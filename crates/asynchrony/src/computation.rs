@@ -1,0 +1,539 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use synctime_poset::Poset;
+use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
+
+/// One slot of an asynchronous process history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsyncEvent {
+    /// A non-blocking send of the message with the given key.
+    Send(usize),
+    /// Delivery of the message with the given key.
+    Receive(usize),
+    /// A local step.
+    Internal,
+}
+
+/// Addresses an event: the `index`-th slot of `process`'s history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsyncEventId {
+    /// The process the event occurs on.
+    pub process: ProcessId,
+    /// The position within that process's history.
+    pub index: usize,
+}
+
+impl fmt::Display for AsyncEventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}[{}]", self.process + 1, self.index)
+    }
+}
+
+/// Errors from building asynchronous computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsyncError {
+    /// A process id was out of range.
+    ProcessOutOfRange {
+        /// The offending process.
+        process: ProcessId,
+        /// The number of processes.
+        process_count: usize,
+    },
+    /// A message key was sent or received more than once.
+    DuplicateKey {
+        /// The duplicated key (hashed from the caller's label).
+        key: String,
+    },
+    /// A message was received but never sent, or vice versa.
+    UnmatchedKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A message's receive happens causally before its send (the history
+    /// is not a possible execution).
+    CausalityViolation {
+        /// The offending key.
+        key: String,
+    },
+    /// A process sent a message to itself... which is fine asynchronously,
+    /// but the receive must come after the send on that process.
+    SelfReceiveBeforeSend {
+        /// The offending key.
+        key: String,
+    },
+}
+
+impl fmt::Display for AsyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncError::ProcessOutOfRange {
+                process,
+                process_count,
+            } => {
+                write!(
+                    f,
+                    "process {process} out of range ({process_count} processes)"
+                )
+            }
+            AsyncError::DuplicateKey { key } => write!(f, "message key `{key}` used twice"),
+            AsyncError::UnmatchedKey { key } => {
+                write!(f, "message key `{key}` lacks a matching send/receive")
+            }
+            AsyncError::CausalityViolation { key } => {
+                write!(f, "message `{key}` would be received before it is sent")
+            }
+            AsyncError::SelfReceiveBeforeSend { key } => {
+                write!(f, "self-message `{key}` received before its send")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsyncError {}
+
+/// Builds an [`AsyncComputation`] by appending events per process in local
+/// order. Message keys are arbitrary strings pairing each send with its
+/// receive.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncBuilder {
+    process_count: usize,
+    histories: Vec<Vec<(AsyncEvent, String)>>,
+}
+
+impl AsyncBuilder {
+    /// Starts a computation on `process_count` processes.
+    pub fn new(process_count: usize) -> Self {
+        AsyncBuilder {
+            process_count,
+            histories: vec![Vec::new(); process_count],
+        }
+    }
+
+    fn check(&self, p: ProcessId) -> Result<(), AsyncError> {
+        if p >= self.process_count {
+            return Err(AsyncError::ProcessOutOfRange {
+                process: p,
+                process_count: self.process_count,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends a non-blocking send of message `key` on `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncError::ProcessOutOfRange`] for a bad process.
+    pub fn send(&mut self, process: ProcessId, key: &str) -> Result<AsyncEventId, AsyncError> {
+        self.check(process)?;
+        self.histories[process].push((AsyncEvent::Send(0), key.to_string()));
+        Ok(AsyncEventId {
+            process,
+            index: self.histories[process].len() - 1,
+        })
+    }
+
+    /// Appends the delivery of message `key` on `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncError::ProcessOutOfRange`] for a bad process.
+    pub fn receive(&mut self, process: ProcessId, key: &str) -> Result<AsyncEventId, AsyncError> {
+        self.check(process)?;
+        self.histories[process].push((AsyncEvent::Receive(0), key.to_string()));
+        Ok(AsyncEventId {
+            process,
+            index: self.histories[process].len() - 1,
+        })
+    }
+
+    /// Appends an internal event on `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncError::ProcessOutOfRange`] for a bad process.
+    pub fn internal(&mut self, process: ProcessId) -> Result<AsyncEventId, AsyncError> {
+        self.check(process)?;
+        self.histories[process].push((AsyncEvent::Internal, String::new()));
+        Ok(AsyncEventId {
+            process,
+            index: self.histories[process].len() - 1,
+        })
+    }
+
+    /// Validates the histories and produces the computation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AsyncError`]: unmatched or duplicate keys, or a causally
+    /// impossible delivery (a cycle through process order and send→receive
+    /// edges).
+    pub fn build(self) -> Result<AsyncComputation, AsyncError> {
+        // Pair keys.
+        let mut sends: BTreeMap<String, AsyncEventId> = BTreeMap::new();
+        let mut recvs: BTreeMap<String, AsyncEventId> = BTreeMap::new();
+        for (p, h) in self.histories.iter().enumerate() {
+            for (i, (ev, key)) in h.iter().enumerate() {
+                let id = AsyncEventId {
+                    process: p,
+                    index: i,
+                };
+                match ev {
+                    AsyncEvent::Send(_) => {
+                        if sends.insert(key.clone(), id).is_some() {
+                            return Err(AsyncError::DuplicateKey { key: key.clone() });
+                        }
+                    }
+                    AsyncEvent::Receive(_) => {
+                        if recvs.insert(key.clone(), id).is_some() {
+                            return Err(AsyncError::DuplicateKey { key: key.clone() });
+                        }
+                    }
+                    AsyncEvent::Internal => {}
+                }
+            }
+        }
+        for key in sends.keys() {
+            if !recvs.contains_key(key) {
+                return Err(AsyncError::UnmatchedKey { key: key.clone() });
+            }
+        }
+        for key in recvs.keys() {
+            if !sends.contains_key(key) {
+                return Err(AsyncError::UnmatchedKey { key: key.clone() });
+            }
+        }
+        // Renumber keys by send order (process-major) into message ids.
+        let keys: Vec<String> = sends.keys().cloned().collect();
+        let key_id: BTreeMap<&str, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
+        let histories: Vec<Vec<AsyncEvent>> = self
+            .histories
+            .iter()
+            .map(|h| {
+                h.iter()
+                    .map(|(ev, key)| match ev {
+                        AsyncEvent::Send(_) => AsyncEvent::Send(key_id[key.as_str()]),
+                        AsyncEvent::Receive(_) => AsyncEvent::Receive(key_id[key.as_str()]),
+                        AsyncEvent::Internal => AsyncEvent::Internal,
+                    })
+                    .collect()
+            })
+            .collect();
+        let comp = AsyncComputation {
+            process_count: self.process_count,
+            histories,
+            send_of: keys.iter().map(|k| sends[k]).collect(),
+            receive_of: keys.iter().map(|k| recvs[k]).collect(),
+            keys: keys.clone(),
+        };
+        // Causality: the event relation must be acyclic.
+        if comp.event_poset_checked().is_none() {
+            // Identify some offending key for the error message.
+            for (k, key) in keys.iter().enumerate() {
+                let (s, r) = (comp.send_of[k], comp.receive_of[k]);
+                if s.process == r.process && r.index < s.index {
+                    return Err(AsyncError::SelfReceiveBeforeSend { key: key.clone() });
+                }
+            }
+            let key = keys.first().cloned().unwrap_or_default();
+            return Err(AsyncError::CausalityViolation { key });
+        }
+        Ok(comp)
+    }
+}
+
+/// A completed asynchronous computation: per-process histories with
+/// decoupled send/receive events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsyncComputation {
+    process_count: usize,
+    histories: Vec<Vec<AsyncEvent>>,
+    send_of: Vec<AsyncEventId>,
+    receive_of: Vec<AsyncEventId>,
+    keys: Vec<String>,
+}
+
+impl AsyncComputation {
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.process_count
+    }
+
+    /// Number of messages.
+    pub fn message_count(&self) -> usize {
+        self.send_of.len()
+    }
+
+    /// The history of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn history(&self, p: ProcessId) -> &[AsyncEvent] {
+        &self.histories[p]
+    }
+
+    /// All events, process-major.
+    pub fn events(&self) -> impl Iterator<Item = AsyncEventId> + '_ {
+        (0..self.process_count).flat_map(move |p| {
+            (0..self.histories[p].len()).map(move |i| AsyncEventId {
+                process: p,
+                index: i,
+            })
+        })
+    }
+
+    /// The send and receive events of message `k`.
+    pub fn message_endpoints(&self, k: usize) -> (AsyncEventId, AsyncEventId) {
+        (self.send_of[k], self.receive_of[k])
+    }
+
+    /// Dense event numbering used by the poset representation.
+    pub fn event_index(&self, e: AsyncEventId) -> usize {
+        let mut base = 0;
+        for p in 0..e.process {
+            base += self.histories[p].len();
+        }
+        base + e.index
+    }
+
+    fn event_poset_checked(&self) -> Option<Poset> {
+        let total: usize = self.histories.iter().map(Vec::len).sum();
+        let mut pairs = Vec::new();
+        for p in 0..self.process_count {
+            for i in 1..self.histories[p].len() {
+                let a = self.event_index(AsyncEventId {
+                    process: p,
+                    index: i - 1,
+                });
+                let b = self.event_index(AsyncEventId {
+                    process: p,
+                    index: i,
+                });
+                pairs.push((a, b));
+            }
+        }
+        for k in 0..self.send_of.len() {
+            pairs.push((
+                self.event_index(self.send_of[k]),
+                self.event_index(self.receive_of[k]),
+            ));
+        }
+        Poset::from_cover_edges(total, &pairs).ok()
+    }
+
+    /// The ground-truth happened-before poset over all events (process
+    /// order + send→receive edges, transitively closed).
+    ///
+    /// # Panics
+    ///
+    /// Never for computations produced by [`AsyncBuilder::build`], which
+    /// validated acyclicity.
+    pub fn event_poset(&self) -> Poset {
+        self.event_poset_checked()
+            .expect("builder validated acyclicity")
+    }
+
+    /// Lamport's happened-before between two events.
+    pub fn happened_before(&self, poset: &Poset, e: AsyncEventId, f: AsyncEventId) -> bool {
+        poset.lt(self.event_index(e), self.event_index(f))
+    }
+
+    /// Attempts to reinterpret this computation as a **synchronous** one:
+    /// succeeds iff the messages can be totally ordered consistently with
+    /// both endpoints' local orders (no crossings) — the vertical-drawing
+    /// criterion. Internal events between the original send and receive of
+    /// a message cannot be preserved in general; they are kept relative to
+    /// the merged rendezvous point of each message.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::NotSynchronous`] when crossings make the computation
+    /// unrealizable under rendezvous; other [`TraceError`]s for malformed
+    /// self-messages.
+    pub fn to_synchronous(&self) -> Result<SyncComputation, TraceError> {
+        let sequences: Vec<Vec<EventKind>> = self
+            .histories
+            .iter()
+            .map(|h| {
+                h.iter()
+                    .map(|ev| match ev {
+                        AsyncEvent::Send(k) => EventKind::Send(MessageId(*k)),
+                        AsyncEvent::Receive(k) => EventKind::Receive(MessageId(*k)),
+                        AsyncEvent::Internal => EventKind::Internal,
+                    })
+                    .collect()
+            })
+            .collect();
+        SyncComputation::from_process_sequences(sequences)
+    }
+}
+
+/// Charron-Bost's lower-bound computation on `n` processes: every process
+/// broadcasts, then receives from everyone, with `P_i`'s message to
+/// `P_{(i+1) mod n}` delivered **last** — after `P_{(i+1)}` has received
+/// from everyone else. The event poset restricted to the broadcast events
+/// and the "received all but one" points is the crown `S_n`, so any
+/// order-characterizing vector timestamps for this computation need `n`
+/// components.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn charron_bost(n: usize) -> AsyncComputation {
+    assert!(n >= 2, "the construction needs n >= 2");
+    let mut b = AsyncBuilder::new(n);
+    // Broadcast phase: one send per ordered pair (i -> j).
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.send(i, &format!("m{i}->{j}")).expect("valid process");
+            }
+        }
+    }
+    // Receive phase on process p: from everyone except p-1 first (in
+    // ascending order), then from p-1 last.
+    for p in 0..n {
+        let late = (p + n - 1) % n;
+        for j in 0..n {
+            if j != p && j != late {
+                b.receive(p, &format!("m{j}->{p}")).expect("valid process");
+            }
+        }
+        b.receive(p, &format!("m{late}->{p}"))
+            .expect("valid process");
+    }
+    b.build()
+        .expect("the Charron-Bost schedule is causally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut b = AsyncBuilder::new(2);
+        let s = b.send(0, "x").unwrap();
+        let i = b.internal(0).unwrap();
+        let r = b.receive(1, "x").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.process_count(), 2);
+        assert_eq!(c.message_count(), 1);
+        assert_eq!(c.message_endpoints(0), (s, r));
+        let poset = c.event_poset();
+        assert!(c.happened_before(&poset, s, r));
+        assert!(c.happened_before(&poset, s, i));
+        assert!(!c.happened_before(&poset, r, i));
+    }
+
+    #[test]
+    fn crossing_messages_are_legal_async() {
+        let mut b = AsyncBuilder::new(2);
+        let s0 = b.send(0, "a").unwrap();
+        let s1 = b.send(1, "b").unwrap();
+        let r0 = b.receive(0, "b").unwrap();
+        let r1 = b.receive(1, "a").unwrap();
+        let c = b.build().unwrap();
+        let poset = c.event_poset();
+        // The sends are concurrent; each send precedes the other side's
+        // receive.
+        assert!(!c.happened_before(&poset, s0, s1));
+        assert!(!c.happened_before(&poset, s1, s0));
+        assert!(c.happened_before(&poset, s0, r1));
+        assert!(c.happened_before(&poset, s1, r0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = AsyncBuilder::new(1);
+        assert!(matches!(
+            b.send(5, "x"),
+            Err(AsyncError::ProcessOutOfRange { .. })
+        ));
+
+        let mut b = AsyncBuilder::new(2);
+        b.send(0, "x").unwrap();
+        b.send(1, "x").unwrap();
+        b.receive(0, "x").unwrap();
+        assert!(matches!(b.build(), Err(AsyncError::DuplicateKey { .. })));
+
+        let mut b = AsyncBuilder::new(2);
+        b.send(0, "x").unwrap();
+        assert!(matches!(b.build(), Err(AsyncError::UnmatchedKey { .. })));
+
+        let mut b = AsyncBuilder::new(2);
+        b.receive(0, "x").unwrap();
+        assert!(matches!(b.build(), Err(AsyncError::UnmatchedKey { .. })));
+
+        // Self-message delivered before its own send.
+        let mut b = AsyncBuilder::new(1);
+        b.receive(0, "x").unwrap();
+        b.send(0, "x").unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(AsyncError::SelfReceiveBeforeSend { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_delivery_rejected() {
+        // P0 receives m2 before sending m1; P1 receives m1 before sending
+        // m2: a genuine causal cycle.
+        let mut b = AsyncBuilder::new(2);
+        b.receive(0, "m2").unwrap();
+        b.send(0, "m1").unwrap();
+        b.receive(1, "m1").unwrap();
+        b.send(1, "m2").unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(AsyncError::CausalityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn charron_bost_embeds_the_crown() {
+        for n in [3usize, 4, 5] {
+            let c = charron_bost(n);
+            assert_eq!(c.message_count(), n * (n - 1));
+            let poset = c.event_poset();
+            // a_i := P_i's first send (below its whole broadcast); b_i :=
+            // the event on P_{i+1} just before it receives from P_i, i.e.
+            // its second-to-last receive.
+            let a: Vec<AsyncEventId> = (0..n)
+                .map(|i| AsyncEventId {
+                    process: i,
+                    index: 0,
+                })
+                .collect();
+            let b: Vec<AsyncEventId> = (0..n)
+                .map(|i| {
+                    let host = (i + 1) % n;
+                    let len = c.history(host).len();
+                    AsyncEventId {
+                        process: host,
+                        index: len - 2,
+                    }
+                })
+                .collect();
+            for i in 0..n {
+                for j in 0..n {
+                    let ordered = c.happened_before(&poset, a[j], b[i]);
+                    if i == j {
+                        assert!(!ordered, "a_{i} must be concurrent with b_{i}");
+                        assert!(!c.happened_before(&poset, b[i], a[i]));
+                    } else {
+                        assert!(ordered, "a_{j} must precede b_{i}");
+                    }
+                }
+            }
+        }
+    }
+}

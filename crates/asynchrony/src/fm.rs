@@ -1,0 +1,194 @@
+//! Classical Fidge–Mattern vector clocks for asynchronous computations:
+//! one component per process, each event increments its own component,
+//! receives merge the piggybacked vector. These clocks are the baseline
+//! the paper starts from — and, by Charron-Bost's bound realized in
+//! [`crate::charron_bost`], they cannot be shrunk in the asynchronous
+//! model without losing the characterization.
+
+use synctime_core::VectorTime;
+
+use crate::computation::{AsyncComputation, AsyncEvent, AsyncEventId};
+
+/// Per-event Fidge–Mattern vectors for an asynchronous computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncEventClocks {
+    stamps: Vec<Vec<VectorTime>>,
+}
+
+impl AsyncEventClocks {
+    /// The vector of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn vector(&self, e: AsyncEventId) -> &VectorTime {
+        &self.stamps[e.process][e.index]
+    }
+
+    /// `e → f ⟺ v(e) < v(f)` — the classical FM characterization (every
+    /// event increments its own component, so distinct events never share
+    /// a vector).
+    pub fn happened_before(&self, e: AsyncEventId, f: AsyncEventId) -> bool {
+        self.vector(e) < self.vector(f)
+    }
+
+    /// Whether the clocks agree with the ground-truth poset on every pair.
+    pub fn encodes(&self, computation: &AsyncComputation) -> bool {
+        let poset = computation.event_poset();
+        let events: Vec<AsyncEventId> = computation.events().collect();
+        events.iter().all(|&e| {
+            events.iter().all(|&f| {
+                e == f || self.happened_before(e, f) == computation.happened_before(&poset, e, f)
+            })
+        })
+    }
+}
+
+/// Computes FM clocks for every event: process `p`'s component counts its
+/// events; receives additionally merge the sender's vector at the send.
+///
+/// The walk follows any topological order of the event poset; the result
+/// is schedule-independent.
+pub fn fm_event_clocks(computation: &AsyncComputation) -> AsyncEventClocks {
+    let n = computation.process_count();
+    let poset = computation.event_poset();
+    let order = poset.linear_extension();
+    // Dense index -> event id.
+    let mut by_index = Vec::new();
+    for e in computation.events() {
+        by_index.push(e);
+    }
+    let mut clocks: Vec<VectorTime> = vec![VectorTime::zero(n); n];
+    let mut send_vectors: Vec<Option<VectorTime>> = vec![None; computation.message_count()];
+    let mut stamps: Vec<Vec<Option<VectorTime>>> = (0..n)
+        .map(|p| vec![None; computation.history(p).len()])
+        .collect();
+    for &dense in &order {
+        let e = by_index[dense];
+        let p = e.process;
+        match computation.history(p)[e.index] {
+            AsyncEvent::Internal => {
+                clocks[p].increment(p);
+            }
+            AsyncEvent::Send(k) => {
+                clocks[p].increment(p);
+                send_vectors[k] = Some(clocks[p].clone());
+            }
+            AsyncEvent::Receive(k) => {
+                let piggyback = send_vectors[k]
+                    .clone()
+                    .expect("topological order places the send first");
+                clocks[p].merge_max(&piggyback);
+                clocks[p].increment(p);
+            }
+        }
+        stamps[p][e.index] = Some(clocks[p].clone());
+    }
+    AsyncEventClocks {
+        stamps: stamps
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|s| s.expect("every event stamped"))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::computation::{charron_bost, AsyncBuilder};
+
+    #[test]
+    fn encodes_simple_chains_and_crossings() {
+        let mut b = AsyncBuilder::new(3);
+        b.send(0, "a").unwrap();
+        b.send(1, "b").unwrap();
+        b.receive(1, "a").unwrap();
+        b.receive(2, "b").unwrap();
+        b.internal(2).unwrap();
+        let c = b.build().unwrap();
+        let clocks = fm_event_clocks(&c);
+        assert!(clocks.encodes(&c));
+    }
+
+    #[test]
+    fn encodes_charron_bost() {
+        for n in [3usize, 4] {
+            let c = charron_bost(n);
+            let clocks = fm_event_clocks(&c);
+            assert!(clocks.encodes(&c), "n = {n}");
+            // And the vectors are n-dimensional — Charron-Bost says no
+            // characterizing scheme can do better here.
+            let any = c.events().next().unwrap();
+            assert_eq!(clocks.vector(any).dim(), n);
+        }
+    }
+
+    #[test]
+    fn encodes_random_async_computations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..6);
+            let mut b = AsyncBuilder::new(n);
+            let mut pending: Vec<(usize, String)> = Vec::new();
+            let mut next_key = 0usize;
+            for _ in 0..rng.gen_range(1..25) {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let p = rng.gen_range(0..n);
+                        let key = format!("k{next_key}");
+                        next_key += 1;
+                        b.send(p, &key).unwrap();
+                        let q = rng.gen_range(0..n);
+                        pending.push((q, key));
+                    }
+                    1 if !pending.is_empty() => {
+                        let (q, key) = pending.swap_remove(rng.gen_range(0..pending.len()));
+                        b.receive(q, &key).unwrap();
+                    }
+                    _ => {
+                        b.internal(rng.gen_range(0..n)).unwrap();
+                    }
+                }
+            }
+            // Drain undelivered messages.
+            for (q, key) in pending.drain(..) {
+                b.receive(q, &key).unwrap();
+            }
+            let c = match b.build() {
+                Ok(c) => c,
+                Err(e) => panic!("trial {trial}: construction should be causal: {e}"),
+            };
+            assert!(fm_event_clocks(&c).encodes(&c), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn synchronizable_async_computation_converts() {
+        // Sequential request/response is realizable synchronously.
+        let mut b = AsyncBuilder::new(2);
+        b.send(0, "req").unwrap();
+        b.receive(1, "req").unwrap();
+        b.send(1, "resp").unwrap();
+        b.receive(0, "resp").unwrap();
+        let c = b.build().unwrap();
+        let sync = c.to_synchronous().unwrap();
+        assert_eq!(sync.message_count(), 2);
+    }
+
+    #[test]
+    fn charron_bost_is_not_synchronizable() {
+        for n in [2usize, 3, 4] {
+            let c = charron_bost(n);
+            assert!(
+                c.to_synchronous().is_err(),
+                "the crown schedule must not be realizable by rendezvous (n={n})"
+            );
+        }
+    }
+}

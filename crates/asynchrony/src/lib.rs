@@ -1,0 +1,47 @@
+//! Asynchronous message-passing computations — the contrast case.
+//!
+//! The paper's premise rests on a dichotomy:
+//!
+//! * for **asynchronous** computations, Charron-Bost showed vector clocks
+//!   of size `N` are necessary in the worst case (the crown construction,
+//!   see [`charron_bost`] and
+//!   [`synctime_poset::dimension::charron_bost_events`]);
+//! * for **synchronous** computations, the rendezvous couples every send
+//!   to its receive, caps the message-poset width at `⌊N/2⌋`, and lets
+//!   timestamps shrink to the edge-decomposition dimension.
+//!
+//! This crate supplies the asynchronous side so the dichotomy is testable
+//! in one workspace: an [`AsyncComputation`] model where sends and
+//! receives are decoupled (crossing messages allowed!), classical
+//! Fidge–Mattern clocks over it ([`fm_event_clocks`]), a ground-truth
+//! happened-before oracle, and conversions showing exactly which
+//! asynchronous computations are realizable synchronously
+//! ([`AsyncComputation::to_synchronous`]).
+//!
+//! # Example: crossing messages
+//!
+//! ```
+//! use synctime_asynchrony::AsyncBuilder;
+//!
+//! // Both processes send before they receive — fine asynchronously,
+//! // impossible under rendezvous.
+//! let mut b = AsyncBuilder::new(2);
+//! b.send(0, "a")?;
+//! b.send(1, "b")?;
+//! b.receive(0, "b")?;
+//! b.receive(1, "a")?;
+//! let comp = b.build()?;
+//! assert!(comp.to_synchronous().is_err(), "not realizable synchronously");
+//! # Ok::<(), synctime_asynchrony::AsyncError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod computation;
+mod fm;
+
+pub use computation::{
+    charron_bost, AsyncBuilder, AsyncComputation, AsyncError, AsyncEvent, AsyncEventId,
+};
+pub use fm::{fm_event_clocks, AsyncEventClocks};

@@ -1,0 +1,120 @@
+//! Cross-model properties: converting asynchronous computations to
+//! synchronous ones preserves causality (and only ever *adds* order —
+//! the rendezvous couples each receive back to its sender).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synctime_asynchrony::{AsyncBuilder, AsyncComputation, AsyncEventId};
+use synctime_trace::{EventId, Oracle};
+
+/// A random async computation whose deliveries happen immediately after
+/// their sends (FIFO-ish), which keeps many of them synchronizable.
+fn random_async(n: usize, steps: usize, eagerness: f64, rng: &mut StdRng) -> AsyncComputation {
+    loop {
+        let mut b = AsyncBuilder::new(n);
+        let mut pending: Vec<(usize, String)> = Vec::new();
+        let mut next_key = 0usize;
+        for _ in 0..steps {
+            let deliver = !pending.is_empty() && rng.gen_bool(eagerness);
+            if deliver {
+                let (q, key) = pending.remove(0);
+                b.receive(q, &key).unwrap();
+            } else {
+                let p = rng.gen_range(0..n);
+                let mut q = rng.gen_range(0..n);
+                while q == p {
+                    q = rng.gen_range(0..n);
+                }
+                let key = format!("k{next_key}");
+                next_key += 1;
+                b.send(p, &key).unwrap();
+                pending.push((q, key));
+            }
+        }
+        for (q, key) in pending.drain(..) {
+            b.receive(q, &key).unwrap();
+        }
+        if let Ok(c) = b.build() {
+            return c;
+        }
+    }
+}
+
+#[test]
+fn synchronization_only_adds_order() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut converted = 0;
+    for _ in 0..40 {
+        let ac = random_async(4, 20, 0.7, &mut rng);
+        let Ok(sc) = ac.to_synchronous() else {
+            continue; // crossings: legitimately unsynchronizable
+        };
+        converted += 1;
+        // Event positions carry over one-to-one (same per-process slots).
+        let poset = ac.event_poset();
+        let oracle = Oracle::new(&sc);
+        for e in ac.events() {
+            for f in ac.events() {
+                if e == f {
+                    continue;
+                }
+                let async_hb = ac.happened_before(&poset, e, f);
+                let sync_hb = oracle.happened_before(
+                    &sc,
+                    EventId::new(e.process, e.index),
+                    EventId::new(f.process, f.index),
+                );
+                // Async order is preserved; the rendezvous may add more
+                // (receive -> sender's later events via the ack).
+                if async_hb {
+                    assert!(sync_hb, "{e} -> {f} lost in conversion");
+                }
+            }
+        }
+    }
+    assert!(
+        converted >= 5,
+        "expected several synchronizable samples, got {converted}"
+    );
+}
+
+#[test]
+fn rendezvous_adds_the_ack_edge() {
+    // Async: r(m) does NOT precede the sender's later events; sync: it does.
+    let mut b = AsyncBuilder::new(2);
+    b.send(0, "m").unwrap();
+    b.internal(0).unwrap(); // sender's later event
+    b.receive(1, "m").unwrap();
+    let ac = b.build().unwrap();
+    let poset = ac.event_poset();
+    let r = AsyncEventId {
+        process: 1,
+        index: 0,
+    };
+    let later = AsyncEventId {
+        process: 0,
+        index: 1,
+    };
+    assert!(
+        !ac.happened_before(&poset, r, later),
+        "no ack in the async model"
+    );
+
+    let sc = ac.to_synchronous().unwrap();
+    let oracle = Oracle::new(&sc);
+    assert!(
+        oracle.happened_before(&sc, EventId::new(1, 0), EventId::new(0, 1)),
+        "the rendezvous acknowledgement orders r(m) before the sender's next event"
+    );
+}
+
+#[test]
+fn eager_delivery_is_always_synchronizable() {
+    // If every message is delivered before anything else happens, the
+    // computation is trivially a rendezvous schedule.
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..20 {
+        let ac = random_async(3, 14, 1.0, &mut rng);
+        assert!(ac.to_synchronous().is_ok());
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment P3: the Figure 7 greedy decomposition runs in `O(|V|·|E|)`.
+//! Benchmarks its wall-clock across graph sizes and densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synctime_graph::{decompose, topology};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_greedy");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(31);
+
+    for n in [32usize, 64, 128, 256] {
+        let sparse = topology::random_connected(n, n / 4, &mut rng);
+        group.throughput(Throughput::Elements(sparse.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::new("sparse", n), &sparse, |b, g| {
+            b.iter(|| black_box(decompose::greedy(black_box(g))))
+        });
+
+        let dense = topology::gnp(n, 0.3, &mut rng);
+        group.throughput(Throughput::Elements(dense.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::new("dense", n), &dense, |b, g| {
+            b.iter(|| black_box(decompose::greedy(black_box(g))))
+        });
+
+        let tree = topology::random_tree(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("tree", n), &tree, |b, g| {
+            b.iter(|| black_box(decompose::greedy(black_box(g))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("vertex_cover");
+    group.sample_size(10);
+    for n in [12usize, 16, 20] {
+        let g = topology::random_connected(n, n / 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &g, |b, g| {
+            b.iter(|| black_box(synctime_graph::cover::exact_min(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("two_approx", n), &g, |b, g| {
+            b.iter(|| black_box(synctime_graph::cover::two_approx(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

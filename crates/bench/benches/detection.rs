@@ -1,0 +1,59 @@
+//! Cost of the application layer: weak-conjunctive-predicate detection and
+//! orphan/recovery analysis, both driven purely by timestamp comparisons
+//! of dimension `d` — the payoff of small vectors at query time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use synctime_core::events::stamp_events;
+use synctime_core::online::OnlineStamper;
+use synctime_detect::{orphans, wcp};
+use synctime_graph::{decompose, topology};
+use synctime_sim::workload::RandomWorkload;
+use synctime_trace::EventId;
+
+fn bench_detection(c: &mut Criterion) {
+    let topo = topology::client_server(3, 9);
+    let dec = decompose::best_known(&topo);
+    let mut rng = StdRng::seed_from_u64(21);
+
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+    for msgs in [100usize, 400] {
+        let comp = RandomWorkload::messages(msgs)
+            .with_internal_events(msgs)
+            .generate(&topo, &mut rng);
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let events = stamp_events(&comp, &stamps);
+        // Candidate slots: each client's internal events.
+        let slots: Vec<Vec<EventId>> = (3..topo.node_count())
+            .map(|p| {
+                comp.history(p)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ev)| ev.is_internal())
+                    .map(|(i, _)| EventId::new(p, i))
+                    .collect()
+            })
+            .filter(|v: &Vec<EventId>| !v.is_empty())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("wcp_possibly", msgs),
+            &slots,
+            |b, slots| b.iter(|| black_box(wcp::possibly(&events, black_box(slots)))),
+        );
+
+        let failures = [orphans::Failure {
+            process: rng.gen_range(0..3),
+            surviving_events: 1,
+        }];
+        group.bench_with_input(BenchmarkId::new("recovery_line", msgs), &comp, |b, comp| {
+            b.iter(|| black_box(orphans::recovery_line(black_box(comp), &events, &failures)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Cost of ground-truth construction: building the message poset (the
+//! `O(|M|²/64)` closure the *offline* algorithm and every oracle check pay)
+//! versus the `O(|M| · d)` online stamping pass, across trace sizes.
+//! This is the scalability argument for the online algorithm made
+//! concrete: the oracle/offline path grows quadratically, the online path
+//! linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synctime_core::online::OnlineStamper;
+use synctime_graph::{decompose, topology};
+use synctime_sim::workload::random_computation;
+use synctime_trace::Oracle;
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_vs_online");
+    group.sample_size(10);
+    let topo = topology::complete(12);
+    let dec = decompose::best_known(&topo);
+    let mut rng = StdRng::seed_from_u64(3);
+    for msgs in [250usize, 1_000, 4_000] {
+        let comp = random_computation(&topo, msgs, &mut rng);
+        group.throughput(Throughput::Elements(msgs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("oracle_closure", msgs),
+            &comp,
+            |b, comp| b.iter(|| black_box(Oracle::new(black_box(comp)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("online_stamping", msgs),
+            &comp,
+            |b, comp| {
+                let stamper = OnlineStamper::new(&dec);
+                b.iter(|| black_box(stamper.stamp_computation(black_box(comp)).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment P1b: precedence-test latency — the cost of answering
+//! `m1 ↦ m2?` from timestamps of different dimensions. Our vectors are
+//! `d`-dimensional; FM's are `N`-dimensional; the comparison cost scales
+//! with the dimension, which is the point of shrinking it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synctime_core::online::OnlineStamper;
+use synctime_core::{fm, offline, MessageTimestamps};
+use synctime_graph::{decompose, topology};
+use synctime_sim::workload::random_computation;
+use synctime_trace::MessageId;
+
+const MESSAGES: usize = 600;
+
+fn bench_precedence(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let topo = topology::client_server(4, 60);
+    let comp = random_computation(&topo, MESSAGES, &mut rng);
+    let dec = decompose::best_known(&topo);
+
+    let online = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+    let fm_stamps = fm::stamp_messages(&comp);
+    let off = offline::stamp_computation(&comp);
+
+    let pairs: Vec<(MessageId, MessageId)> = (0..MESSAGES)
+        .map(|i| (MessageId(i), MessageId((i * 7 + 13) % MESSAGES)))
+        .collect();
+
+    let mut group = c.benchmark_group("precedence");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+
+    let run = |b: &mut criterion::Bencher, stamps: &MessageTimestamps| {
+        b.iter(|| {
+            let mut yes = 0usize;
+            for &(x, y) in &pairs {
+                yes += usize::from(stamps.precedes(black_box(x), black_box(y)));
+            }
+            black_box(yes)
+        })
+    };
+
+    group.bench_function(
+        BenchmarkId::new("online", format!("d={}", online.dim())),
+        |b| run(b, &online),
+    );
+    group.bench_function(
+        BenchmarkId::new("offline", format!("w={}", off.dim())),
+        |b| run(b, &off),
+    );
+    group.bench_function(
+        BenchmarkId::new("fm", format!("N={}", fm_stamps.dim())),
+        |b| run(b, &fm_stamps),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_precedence);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment P1a: stamping throughput — time to timestamp a whole
+//! computation, per algorithm (online Figure 5 vs Fidge–Mattern vs Lamport
+//! vs offline Figure 9), per topology family.
+//!
+//! The paper's claim: online stamping is `O(d)` per message versus FM's
+//! `O(N)`; the gap should widen as N grows while d stays fixed
+//! (client–server, star, tree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synctime_core::online::OnlineStamper;
+use synctime_core::{fm, lamport, offline};
+use synctime_graph::{decompose, topology, Graph};
+use synctime_sim::workload::random_computation;
+use synctime_trace::SyncComputation;
+
+const MESSAGES: usize = 2_000;
+
+fn workloads() -> Vec<(String, Graph, SyncComputation)> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut out = Vec::new();
+    let families: Vec<(String, Graph)> = vec![
+        ("star(64)".into(), topology::star(64)),
+        ("client_server(4x60)".into(), topology::client_server(4, 60)),
+        ("tree(2^6)".into(), topology::balanced_tree(2, 5)),
+        ("complete(16)".into(), topology::complete(16)),
+        ("complete(64)".into(), topology::complete(64)),
+    ];
+    for (name, topo) in families {
+        let comp = random_computation(&topo, MESSAGES, &mut rng);
+        out.push((name, topo, comp));
+    }
+    out
+}
+
+fn bench_stamping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stamping");
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    group.sample_size(10);
+
+    for (name, topo, comp) in workloads() {
+        let dec = decompose::best_known(&topo);
+        group.bench_with_input(
+            BenchmarkId::new(format!("online_d{}", dec.len()), &name),
+            &comp,
+            |b, comp| {
+                let stamper = OnlineStamper::new(&dec);
+                b.iter(|| black_box(stamper.stamp_computation(black_box(comp)).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("fm_N{}", topo.node_count()), &name),
+            &comp,
+            |b, comp| b.iter(|| black_box(fm::stamp_messages(black_box(comp)))),
+        );
+        group.bench_with_input(BenchmarkId::new("lamport", &name), &comp, |b, comp| {
+            b.iter(|| black_box(lamport::stamp_messages(black_box(comp))))
+        });
+    }
+    group.finish();
+
+    // Offline stamping is O(M^2)-ish (matching + realizer); bench smaller.
+    let mut group = c.benchmark_group("stamping_offline");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(18);
+    for msgs in [100usize, 400] {
+        let topo = topology::complete(10);
+        let comp = random_computation(&topo, msgs, &mut rng);
+        group.throughput(Throughput::Elements(msgs as u64));
+        group.bench_with_input(BenchmarkId::new("offline", msgs), &comp, |b, comp| {
+            b.iter(|| black_box(offline::stamp_computation(black_box(comp))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamping);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Experiment P2 (Section 1/3.3 claim): for client–server systems with a
+//! fixed number of servers, timestamp size is *constant* in the number of
+//! clients, while Fidge–Mattern grows linearly. Reports the dimensions and
+//! the per-message piggyback payload (8 bytes per component).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_core::fm;
+use synctime_core::online::OnlineStamper;
+use synctime_graph::decompose;
+use synctime_sim::scenarios;
+use synctime_trace::Oracle;
+
+#[derive(Serialize)]
+struct Record {
+    servers: usize,
+    clients: usize,
+    processes: usize,
+    ours_dim: usize,
+    fm_dim: usize,
+    ours_bytes: usize,
+    fm_bytes: usize,
+    encodes: bool,
+}
+
+fn main() {
+    let mut records = Vec::new();
+    for servers in [2, 4] {
+        for clients in [4, 8, 16, 32, 64, 128] {
+            let mut rng = StdRng::seed_from_u64(servers as u64 * 1000 + clients as u64);
+            let sc = scenarios::client_server_rpc(servers, clients, 40, &mut rng);
+            let dec = decompose::best_known(&sc.topology);
+            let stamps = OnlineStamper::new(&dec)
+                .stamp_computation(&sc.computation)
+                .expect("decomposition covers the topology");
+            let fm_stamps = fm::stamp_messages(&sc.computation);
+            let oracle = Oracle::new(&sc.computation);
+            let encodes = stamps.encodes(&oracle) && fm_stamps.encodes(&oracle);
+            records.push(Record {
+                servers,
+                clients,
+                processes: sc.topology.node_count(),
+                ours_dim: stamps.dim(),
+                fm_dim: fm_stamps.dim(),
+                ours_bytes: stamps.dim() * 8,
+                fm_bytes: fm_stamps.dim() * 8,
+                encodes,
+            });
+        }
+    }
+
+    let mut table = Table::new(&[
+        "servers",
+        "clients",
+        "N",
+        "ours",
+        "FM",
+        "ours B/msg",
+        "FM B/msg",
+        "encodes",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.servers.to_string(),
+            r.clients.to_string(),
+            r.processes.to_string(),
+            r.ours_dim.to_string(),
+            r.fm_dim.to_string(),
+            r.ours_bytes.to_string(),
+            r.fm_bytes.to_string(),
+            r.encodes.to_string(),
+        ]);
+        assert!(r.encodes);
+        assert_eq!(r.ours_dim, r.servers.min(r.clients));
+        assert_eq!(r.fm_dim, r.processes);
+    }
+    emit(
+        "P2 — client-server scaling: constant-dimension timestamps vs FM's N",
+        &table,
+        &records,
+    );
+}

@@ -1,0 +1,138 @@
+//! Experiment T2 (Theorem 5): timestamp dimension per topology family.
+//!
+//! For each family and size, reports the dimension our constructions
+//! achieve (greedy Figure 7, vertex-cover stars, best-known), the exact
+//! vertex cover β(G) where feasible, the paper's `min(β, N−2)` bound, and
+//! the Fidge–Mattern baseline `N`. The paper's claims to check: star and
+//! triangle are 1; client–server equals #servers; trees track hub counts;
+//! the complete graph is the worst case at `N − 2`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_graph::{cover, decompose, topology, Graph};
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    n: usize,
+    edges: usize,
+    greedy: usize,
+    vertex_cover_stars: usize,
+    best: usize,
+    beta: Option<usize>,
+    bound: Option<usize>,
+    fm: usize,
+}
+
+fn measure(family: &str, g: &Graph) -> Record {
+    let n = g.node_count();
+    let greedy = decompose::greedy(g);
+    greedy
+        .validate(g)
+        .expect("greedy output is a valid decomposition");
+    let (beta, vc_dec) = if n <= 26 {
+        let c = cover::exact_min(g);
+        (Some(c.len()), decompose::from_vertex_cover(g, &c))
+    } else {
+        let c = cover::greedy_max_degree(g);
+        (None, decompose::from_vertex_cover(g, &c))
+    };
+    vc_dec.validate(g).expect("cover decomposition is valid");
+    let best = decompose::best_known(g);
+    best.validate(g).expect("best decomposition is valid");
+    Record {
+        family: family.to_string(),
+        n,
+        edges: g.edge_count(),
+        greedy: greedy.len(),
+        vertex_cover_stars: vc_dec.len(),
+        best: best.len(),
+        beta,
+        bound: beta.map(|b| b.min(n.saturating_sub(2))),
+        fm: n,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let mut records = Vec::new();
+
+    for leaves in [4, 16, 64] {
+        records.push(measure("star", &topology::star(leaves)));
+    }
+    records.push(measure("triangle", &topology::triangle()));
+    for n in [4, 6, 8, 12, 16] {
+        records.push(measure("complete", &topology::complete(n)));
+    }
+    for (s, c) in [(2, 8), (3, 24), (4, 64)] {
+        records.push(measure("client-server", &topology::client_server(s, c)));
+    }
+    records.push(measure("tree(fig4)", &topology::figure4_tree()));
+    for depth in [3, 5, 7] {
+        records.push(measure("tree(binary)", &topology::balanced_tree(2, depth)));
+    }
+    for n in [8, 16, 32] {
+        records.push(measure("random-tree", &topology::random_tree(n, &mut rng)));
+    }
+    for n in [8, 12, 16] {
+        records.push(measure(
+            "random-sparse",
+            &topology::random_connected(n, n / 2, &mut rng),
+        ));
+    }
+    for n in [6, 8, 10] {
+        records.push(measure("cycle", &topology::cycle(n)));
+    }
+    records.push(measure("grid", &topology::grid(4, 4)));
+    for d in [3, 4] {
+        records.push(measure("hypercube", &topology::hypercube(d)));
+    }
+    records.push(measure("torus", &topology::torus(3, 4)));
+    for rim in [5, 9] {
+        records.push(measure("wheel", &topology::wheel(rim)));
+    }
+    records.push(measure("barbell", &topology::barbell(4, 3)));
+    records.push(measure("figure2b", &topology::figure2b()));
+
+    let mut table = Table::new(&[
+        "family",
+        "N",
+        "|E|",
+        "greedy",
+        "vc-stars",
+        "best",
+        "beta",
+        "min(b,N-2)",
+        "FM",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            r.edges.to_string(),
+            r.greedy.to_string(),
+            r.vertex_cover_stars.to_string(),
+            r.best.to_string(),
+            r.beta.map_or("-".into(), |b| b.to_string()),
+            r.bound.map_or("-".into(), |b| b.to_string()),
+            r.fm.to_string(),
+        ]);
+        // The Theorem 5 bound holds whenever we could compute it.
+        if let Some(bound) = r.bound {
+            assert!(
+                r.best <= bound.max(1),
+                "{}: best {} > bound {}",
+                r.family,
+                r.best,
+                bound
+            );
+        }
+    }
+    emit(
+        "T2 / Theorem 5 — timestamp dimension by topology (FM needs N)",
+        &table,
+        &records,
+    );
+}

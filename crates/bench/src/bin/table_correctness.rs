@@ -1,0 +1,127 @@
+//! Experiment T1 (Theorem 4): the headline equivalence
+//! `m1 ↦ m2 ⟺ v(m1) < v(m2)` checked exhaustively across topology
+//! families, workload sizes and seeds, for all three encodings (online,
+//! offline, Fidge–Mattern) plus the Section 5 event stamps (Theorem 9).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_core::online::OnlineStamper;
+use synctime_core::{events, fm, offline};
+use synctime_graph::{decompose, topology, Graph};
+use synctime_sim::workload::RandomWorkload;
+use synctime_trace::Oracle;
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    runs: usize,
+    messages_total: usize,
+    pairs_checked: u64,
+    online_ok: usize,
+    offline_ok: usize,
+    fm_ok: usize,
+    events_ok: usize,
+}
+
+fn sweep(family: &str, topos: &[Graph], msgs: usize, seeds: u64) -> Record {
+    let mut rec = Record {
+        family: family.to_string(),
+        runs: 0,
+        messages_total: 0,
+        pairs_checked: 0,
+        online_ok: 0,
+        offline_ok: 0,
+        fm_ok: 0,
+        events_ok: 0,
+    };
+    for topo in topos {
+        let dec = decompose::best_known(topo);
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let comp = RandomWorkload::messages(msgs)
+                .with_internal_events(msgs / 2)
+                .generate(topo, &mut rng);
+            let oracle = Oracle::new(&comp);
+            rec.runs += 1;
+            rec.messages_total += comp.message_count();
+            rec.pairs_checked += (comp.message_count() * comp.message_count()) as u64;
+
+            let online = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+            rec.online_ok += usize::from(online.encodes(&oracle));
+            let off = offline::stamp_computation(&comp);
+            rec.offline_ok += usize::from(off.encodes(&oracle));
+            let fm_stamps = fm::stamp_messages(&comp);
+            rec.fm_ok += usize::from(fm_stamps.encodes(&oracle));
+            rec.events_ok +=
+                usize::from(events::stamp_events(&comp, &online).encodes(&comp, &oracle));
+        }
+    }
+    rec
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let families: Vec<(&str, Vec<Graph>, usize, u64)> = vec![
+        ("star", vec![topology::star(6)], 60, 10),
+        ("triangle", vec![topology::triangle()], 60, 10),
+        (
+            "complete",
+            vec![topology::complete(6), topology::complete(9)],
+            50,
+            8,
+        ),
+        ("client-server", vec![topology::client_server(3, 9)], 50, 10),
+        (
+            "tree",
+            vec![topology::figure4_tree(), topology::balanced_tree(3, 2)],
+            50,
+            8,
+        ),
+        (
+            "random",
+            (0..4)
+                .map(|_| topology::random_connected(8, 4, &mut rng))
+                .collect(),
+            40,
+            5,
+        ),
+        ("cycle", vec![topology::cycle(7)], 40, 10),
+        ("grid", vec![topology::grid(3, 3)], 40, 10),
+    ];
+
+    let mut records = Vec::new();
+    for (family, topos, msgs, seeds) in families {
+        records.push(sweep(family, &topos, msgs, seeds));
+    }
+
+    let mut table = Table::new(&[
+        "family", "runs", "msgs", "pairs", "online", "offline", "FM", "events",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.family.clone(),
+            r.runs.to_string(),
+            r.messages_total.to_string(),
+            r.pairs_checked.to_string(),
+            format!("{}/{}", r.online_ok, r.runs),
+            format!("{}/{}", r.offline_ok, r.runs),
+            format!("{}/{}", r.fm_ok, r.runs),
+            format!("{}/{}", r.events_ok, r.runs),
+        ]);
+        assert_eq!(r.online_ok, r.runs, "{}: online encoding failed", r.family);
+        assert_eq!(
+            r.offline_ok, r.runs,
+            "{}: offline encoding failed",
+            r.family
+        );
+        assert_eq!(r.fm_ok, r.runs, "{}: FM encoding failed", r.family);
+        assert_eq!(r.events_ok, r.runs, "{}: event encoding failed", r.family);
+    }
+    emit(
+        "T1 / Theorems 4 & 9 — encoding equivalence across families (all cells must be full)",
+        &table,
+        &records,
+    );
+}

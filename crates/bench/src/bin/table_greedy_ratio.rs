@@ -1,0 +1,129 @@
+//! Experiment T3 (Theorem 6): the greedy decomposition is within a factor 2
+//! of optimal, and the stars-only (vertex-cover) variant within a factor 2
+//! of stars+triangles (β ≤ 2α, tight on disjoint triangles).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_graph::{cover, decompose, topology};
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    graphs: usize,
+    avg_greedy: f64,
+    avg_opt: f64,
+    worst_ratio: f64,
+    avg_ratio: f64,
+}
+
+fn sweep(family: &str, graphs: Vec<synctime_graph::Graph>) -> Record {
+    let mut worst: f64 = 0.0;
+    let mut sum_ratio = 0.0;
+    let mut sum_greedy = 0usize;
+    let mut sum_opt = 0usize;
+    let count = graphs.len();
+    for g in &graphs {
+        let greedy = decompose::greedy(g).len();
+        let opt = decompose::alpha(g);
+        assert!(greedy <= 2 * opt, "Theorem 6 violated: {greedy} > 2x{opt}");
+        let ratio = greedy as f64 / opt as f64;
+        worst = worst.max(ratio);
+        sum_ratio += ratio;
+        sum_greedy += greedy;
+        sum_opt += opt;
+    }
+    Record {
+        family: family.to_string(),
+        graphs: count,
+        avg_greedy: sum_greedy as f64 / count as f64,
+        avg_opt: sum_opt as f64 / count as f64,
+        worst_ratio: worst,
+        avg_ratio: sum_ratio / count as f64,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut records = Vec::new();
+
+    for (label, n, p) in [
+        ("gnp(6, 0.3)", 6, 0.3),
+        ("gnp(6, 0.6)", 6, 0.6),
+        ("gnp(7, 0.4)", 7, 0.4),
+        ("gnp(8, 0.3)", 8, 0.3),
+    ] {
+        let graphs: Vec<_> = std::iter::from_fn(|| Some(topology::gnp(n, p, &mut rng)))
+            .filter(|g| !g.is_empty() && g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT)
+            .take(60)
+            .collect();
+        records.push(sweep(label, graphs));
+    }
+    {
+        let graphs: Vec<_> = (0..60)
+            .map(|_| topology::random_tree(10, &mut rng))
+            .collect();
+        records.push(sweep("random-tree(10)", graphs));
+    }
+    {
+        let graphs: Vec<_> = (1..=5).map(topology::disjoint_triangles).collect();
+        records.push(sweep("disjoint-triangles", graphs));
+    }
+
+    let mut table = Table::new(&[
+        "family",
+        "graphs",
+        "avg greedy",
+        "avg opt",
+        "worst ratio",
+        "avg ratio",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.family.clone(),
+            r.graphs.to_string(),
+            format!("{:.2}", r.avg_greedy),
+            format!("{:.2}", r.avg_opt),
+            format!("{:.3}", r.worst_ratio),
+            format!("{:.3}", r.avg_ratio),
+        ]);
+    }
+    emit(
+        "T3 / Theorem 6 — greedy vs optimal decomposition (ratio must stay <= 2)",
+        &table,
+        &records,
+    );
+
+    // The beta <= 2 alpha companion claim, tight on t disjoint triangles.
+    let mut t2 = Table::new(&["t", "alpha", "beta", "beta/alpha"]);
+    let mut recs2 = Vec::new();
+    #[derive(Serialize)]
+    struct TriRecord {
+        t: usize,
+        alpha: usize,
+        beta: usize,
+    }
+    for t in 1..=6 {
+        let g = topology::disjoint_triangles(t);
+        let alpha = if g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT {
+            decompose::alpha(&g)
+        } else {
+            decompose::greedy(&g).len() // greedy is optimal here (all triangles)
+        };
+        let beta = cover::beta(&g);
+        assert_eq!(beta, 2 * alpha, "the disjoint-triangle case is tight");
+        t2.row(&[
+            t.to_string(),
+            alpha.to_string(),
+            beta.to_string(),
+            format!("{:.1}", beta as f64 / alpha as f64),
+        ]);
+        recs2.push(TriRecord { t, alpha, beta });
+    }
+    emit(
+        "T3b — stars-only (vertex cover) vs stars+triangles: beta = 2*alpha on t triangles",
+        &t2,
+        &recs2,
+    );
+}

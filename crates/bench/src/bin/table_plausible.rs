@@ -1,0 +1,103 @@
+//! Experiment R1 (Section 6 comparison): plausible clocks vs the paper's
+//! edge-decomposition clocks at equal size.
+//!
+//! Plausible clocks (Torres-Rojas & Ahamad) are also constant-size, but
+//! only *approximate*: concurrent messages can appear ordered. At the same
+//! vector size `d` as our exact clocks, this table measures how much
+//! concurrency they misreport — the qualitative gap the paper claims for
+//! topology-aware dimensions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_core::online::OnlineStamper;
+use synctime_core::plausible;
+use synctime_graph::{decompose, topology, Graph};
+use synctime_sim::workload::random_computation;
+use synctime_trace::Oracle;
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    n: usize,
+    ours_dim: usize,
+    ours_conc_recall: f64,
+    plaus_same_size_recall: f64,
+    plaus_half_n_recall: f64,
+    concurrent_pairs: usize,
+}
+
+fn measure(family: &str, topo: &Graph, msgs: usize, seed: u64) -> Record {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp = random_computation(topo, msgs, &mut rng);
+    let oracle = Oracle::new(&comp);
+    let dec = decompose::best_known(topo);
+    let ours = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+    let ours_acc = plausible::accuracy(&ours, &oracle);
+    assert_eq!(ours_acc.ordered_recall, 1.0);
+    assert_eq!(ours_acc.concurrency_recall, 1.0, "ours is exact");
+
+    let same = plausible::accuracy(&plausible::stamp_messages(&comp, dec.len()), &oracle);
+    let half = plausible::accuracy(
+        &plausible::stamp_messages(&comp, (topo.node_count() / 2).max(1)),
+        &oracle,
+    );
+    assert_eq!(same.ordered_recall, 1.0, "plausible clocks stay consistent");
+    Record {
+        family: family.to_string(),
+        n: topo.node_count(),
+        ours_dim: dec.len(),
+        ours_conc_recall: ours_acc.concurrency_recall,
+        plaus_same_size_recall: same.concurrency_recall,
+        plaus_half_n_recall: half.concurrency_recall,
+        concurrent_pairs: same.concurrent_pairs,
+    }
+}
+
+fn main() {
+    let records = vec![
+        measure(
+            "client_server(3x20)",
+            &topology::client_server(3, 20),
+            300,
+            1,
+        ),
+        measure(
+            "client_server(2x40)",
+            &topology::client_server(2, 40),
+            300,
+            2,
+        ),
+        measure("tree(fig4)", &topology::figure4_tree(), 250, 3),
+        measure("tree(2^5)", &topology::balanced_tree(2, 4), 250, 4),
+        measure("complete(12)", &topology::complete(12), 300, 5),
+        measure("grid(4x4)", &topology::grid(4, 4), 250, 6),
+    ];
+
+    let mut table = Table::new(&[
+        "family",
+        "N",
+        "d (ours)",
+        "ours conc.",
+        "plausible@d",
+        "plausible@N/2",
+        "conc. pairs",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            r.ours_dim.to_string(),
+            format!("{:.3}", r.ours_conc_recall),
+            format!("{:.3}", r.plaus_same_size_recall),
+            format!("{:.3}", r.plaus_half_n_recall),
+            r.concurrent_pairs.to_string(),
+        ]);
+    }
+    emit(
+        "R1 / Section 6 — concurrency recall: exact edge-decomposition clocks vs plausible clocks",
+        &table,
+        &records,
+    );
+}

@@ -1,0 +1,100 @@
+//! Experiment T5 (Theorem 8): the width of the message poset of a
+//! synchronous computation on N processes — and hence the offline
+//! timestamp dimension — is at most ⌊N/2⌋.
+//!
+//! Sweeps random computations over complete topologies and reports the
+//! measured width distribution against the bound, plus the offline
+//! dimension actually used and whether the stamps encode the poset.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_core::offline;
+use synctime_graph::topology;
+use synctime_poset::chains;
+use synctime_sim::workload::random_computation;
+use synctime_trace::Oracle;
+
+#[derive(Serialize)]
+struct Record {
+    n: usize,
+    messages: usize,
+    runs: usize,
+    bound: usize,
+    max_width: usize,
+    avg_width: f64,
+    bound_hit: usize,
+    all_encode: bool,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut records = Vec::new();
+    for n in [4, 6, 8, 10, 12] {
+        for messages in [n, 4 * n] {
+            let runs = 30;
+            let mut max_width = 0;
+            let mut sum_width = 0usize;
+            let mut bound_hit = 0;
+            let mut all_encode = true;
+            for _ in 0..runs {
+                let comp = random_computation(&topology::complete(n), messages, &mut rng);
+                let oracle = Oracle::new(&comp);
+                let width = chains::width(oracle.message_poset());
+                assert!(
+                    width <= n / 2,
+                    "Theorem 8 violated: width {width} > {}",
+                    n / 2
+                );
+                max_width = max_width.max(width);
+                sum_width += width;
+                if width == n / 2 {
+                    bound_hit += 1;
+                }
+                let stamps = offline::stamp_computation(&comp);
+                assert_eq!(stamps.dim(), width);
+                all_encode &= stamps.encodes(&oracle);
+            }
+            records.push(Record {
+                n,
+                messages,
+                runs,
+                bound: n / 2,
+                max_width,
+                avg_width: sum_width as f64 / runs as f64,
+                bound_hit,
+                all_encode,
+            });
+        }
+    }
+
+    let mut table = Table::new(&[
+        "N",
+        "msgs",
+        "runs",
+        "floor(N/2)",
+        "max width",
+        "avg width",
+        "hit bound",
+        "encodes",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.n.to_string(),
+            r.messages.to_string(),
+            r.runs.to_string(),
+            r.bound.to_string(),
+            r.max_width.to_string(),
+            format!("{:.2}", r.avg_width),
+            format!("{}/{}", r.bound_hit, r.runs),
+            r.all_encode.to_string(),
+        ]);
+        assert!(r.all_encode);
+    }
+    emit(
+        "T5 / Theorem 8 — message-poset width vs the floor(N/2) bound (offline dim = width)",
+        &table,
+        &records,
+    );
+}

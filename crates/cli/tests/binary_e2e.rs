@@ -1,0 +1,95 @@
+//! End-to-end tests of the built `synctime` binary via std::process.
+
+use std::process::Command;
+
+fn synctime(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_synctime"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_and_errors() {
+    let (stdout, _, ok) = synctime(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    let (_, stderr, ok) = synctime(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn decompose_pipeline() {
+    let (stdout, _, ok) = synctime(&["decompose", "--topology", "clients:3x12", "--cover"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("timestamp dimension: 3"));
+    assert!(stdout.contains("Fidge-Mattern would use 15"));
+}
+
+#[test]
+fn generate_stamp_query_roundtrip() {
+    let dir = std::env::temp_dir().join("synctime-bin-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.json");
+
+    let (json, _, ok) = synctime(&[
+        "generate",
+        "--topology",
+        "star:4",
+        "--messages",
+        "8",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok);
+    std::fs::write(&trace, &json).unwrap();
+
+    let t = trace.to_str().unwrap();
+    let (stamped, _, ok) = synctime(&["stamp", "--topology", "star:4", "--trace", t]);
+    assert!(ok, "{stamped}");
+    assert!(stamped.contains("online (d = 1)"), "{stamped}");
+
+    let (verdict, _, ok) = synctime(&[
+        "query",
+        "--topology",
+        "star:4",
+        "--trace",
+        t,
+        "--m1",
+        "1",
+        "--m2",
+        "8",
+    ]);
+    assert!(ok);
+    // Star topologies are totally ordered (Lemma 1).
+    assert!(
+        verdict.contains("m1 synchronously precedes m2"),
+        "{verdict}"
+    );
+
+    let (diagram, _, ok) = synctime(&["diagram", "--trace", t]);
+    assert!(ok);
+    assert!(diagram.contains("m8"));
+}
+
+#[test]
+fn simulate_binary() {
+    let dir = std::env::temp_dir().join("synctime-bin-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let progs = dir.join("p.json");
+    std::fs::write(
+        &progs,
+        r#"{"programs": [[{"send_to": 1}], [{"receive_from": 0}, {"send_to": 2}], ["receive_any"]]}"#,
+    )
+    .unwrap();
+    let (json, _, ok) = synctime(&["simulate", "--programs", progs.to_str().unwrap()]);
+    assert!(ok, "{json}");
+    assert!(json.contains("\"processes\": 3"));
+    assert_eq!(json.matches("message").count(), 2);
+}

@@ -1,0 +1,167 @@
+//! Fowler–Zwaenepoel direct-dependency tracking, the other related-work
+//! baseline (Section 6 of the paper).
+//!
+//! Instead of piggybacking a vector, each message records only its **direct
+//! predecessors**: the previous message of its sender and the previous
+//! message of its receiver. The piggyback is `O(1)`, but the precedence
+//! test must *recursively trace* dependencies — an `O(|M|)` backward search
+//! — which is why the technique suits offline analysis only (exactly the
+//! trade-off the paper points out).
+
+use synctime_trace::{MessageId, SyncComputation};
+
+/// The direct-dependency log of a computation: per message, the previous
+/// message (if any) at each of its two participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectDependencies {
+    preds: Vec<[Option<MessageId>; 2]>,
+}
+
+impl DirectDependencies {
+    /// Records the dependency log of a completed computation. `O(|M|)`.
+    pub fn stamp(computation: &SyncComputation) -> Self {
+        let mut last: Vec<Option<MessageId>> = vec![None; computation.process_count()];
+        let mut preds = Vec::with_capacity(computation.message_count());
+        for m in computation.messages() {
+            preds.push([last[m.sender], last[m.receiver]]);
+            last[m.sender] = Some(m.id);
+            last[m.receiver] = Some(m.id);
+        }
+        DirectDependencies { preds }
+    }
+
+    /// Number of logged messages.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The direct predecessors of a message (sender-side, receiver-side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn direct_predecessors(&self, m: MessageId) -> [Option<MessageId>; 2] {
+        self.preds[m.0]
+    }
+
+    /// The precedence test `m1 ↦ m2`, by backward search through the
+    /// dependency log. Worst case `O(|M|)` per query — the cost the
+    /// vector-based encodings pay up front instead.
+    pub fn precedes(&self, m1: MessageId, m2: MessageId) -> bool {
+        if m1 == m2 {
+            return false;
+        }
+        // Depth-first backward from m2; ids decrease along predecessors,
+        // so marking visited ids bounds the walk.
+        let mut visited = vec![false; self.preds.len()];
+        let mut stack = vec![m2];
+        while let Some(cur) = stack.pop() {
+            for pred in self.preds[cur.0].iter().flatten() {
+                if *pred == m1 {
+                    return true;
+                }
+                // Ids below the target cannot lead back up to it.
+                if *pred > m1 && !visited[pred.0] {
+                    visited[pred.0] = true;
+                    stack.push(*pred);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether two messages are concurrent under the log.
+    pub fn concurrent(&self, m1: MessageId, m2: MessageId) -> bool {
+        m1 != m2 && !self.precedes(m1, m2) && !self.precedes(m2, m1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_trace::{Builder, Oracle};
+
+    fn sample() -> SyncComputation {
+        let mut b = Builder::new(4);
+        b.message(0, 1).unwrap(); // m1
+        b.message(2, 3).unwrap(); // m2
+        b.message(1, 2).unwrap(); // m3
+        b.message(2, 3).unwrap(); // m4
+        b.message(0, 1).unwrap(); // m5
+        b.build()
+    }
+
+    #[test]
+    fn matches_oracle_on_sample() {
+        let comp = sample();
+        let log = DirectDependencies::stamp(&comp);
+        let oracle = Oracle::new(&comp);
+        for i in 0..comp.message_count() {
+            for j in 0..comp.message_count() {
+                assert_eq!(
+                    log.precedes(MessageId(i), MessageId(j)),
+                    oracle.synchronously_precedes(MessageId(i), MessageId(j)),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_computations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..8);
+            let mut b = Builder::new(n);
+            for _ in 0..rng.gen_range(0..40) {
+                let s = rng.gen_range(0..n);
+                let mut r = rng.gen_range(0..n);
+                while r == s {
+                    r = rng.gen_range(0..n);
+                }
+                b.message(s, r).unwrap();
+            }
+            let comp = b.build();
+            let log = DirectDependencies::stamp(&comp);
+            let oracle = Oracle::new(&comp);
+            for i in 0..comp.message_count() {
+                for j in 0..comp.message_count() {
+                    assert_eq!(
+                        log.precedes(MessageId(i), MessageId(j)),
+                        oracle.synchronously_precedes(MessageId(i), MessageId(j))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_predecessors_recorded() {
+        let comp = sample();
+        let log = DirectDependencies::stamp(&comp);
+        assert_eq!(log.direct_predecessors(MessageId(0)), [None, None]);
+        // m3 = P2 -> P3: P2's previous is m1, P3's previous is m2.
+        assert_eq!(
+            log.direct_predecessors(MessageId(2)),
+            [Some(MessageId(0)), Some(MessageId(1))]
+        );
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn irreflexive_and_concurrent() {
+        let comp = sample();
+        let log = DirectDependencies::stamp(&comp);
+        assert!(!log.precedes(MessageId(1), MessageId(1)));
+        assert!(log.concurrent(MessageId(0), MessageId(1)));
+        assert!(!log.concurrent(MessageId(0), MessageId(0)));
+    }
+}

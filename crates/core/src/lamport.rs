@@ -1,0 +1,86 @@
+//! Scalar Lamport clocks for synchronous computations.
+//!
+//! One integer per process: a rendezvous between `P_i` and `P_j` sets both
+//! clocks to `max(L_i, L_j) + 1`, which is the message's scalar timestamp.
+//! Lamport clocks are *consistent* (`m1 ↦ m2 ⇒ L(m1) < L(m2)`) but not
+//! *characterizing* — concurrent messages may receive ordered scalars — so
+//! they serve here as the cheap baseline and as a synchrony witness: the
+//! assignment increases along every local history and is equal at the two
+//! endpoints of each message, which is exactly Charron-Bost et al.'s
+//! criterion for a computation being synchronous (Section 2 of the paper).
+
+use synctime_trace::SyncComputation;
+
+/// The scalar timestamp of each message, indexed by message id.
+pub fn stamp_messages(computation: &SyncComputation) -> Vec<u64> {
+    let mut clocks = vec![0u64; computation.process_count()];
+    computation
+        .messages()
+        .iter()
+        .map(|m| {
+            let t = clocks[m.sender].max(clocks[m.receiver]) + 1;
+            clocks[m.sender] = t;
+            clocks[m.receiver] = t;
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_trace::examples::figure6;
+    use synctime_trace::{Builder, MessageId, Oracle};
+
+    #[test]
+    fn consistency_with_the_order() {
+        let comp = figure6();
+        let stamps = stamp_messages(&comp);
+        let oracle = Oracle::new(&comp);
+        for i in 0..comp.message_count() {
+            for j in 0..comp.message_count() {
+                if oracle.synchronously_precedes(MessageId(i), MessageId(j)) {
+                    assert!(stamps[i] < stamps[j], "m{} -> m{}", i + 1, j + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_properties() {
+        let comp = figure6();
+        let stamps = stamp_messages(&comp);
+        // Increasing along every local history.
+        for p in 0..comp.process_count() {
+            let local: Vec<u64> = comp
+                .process_messages(p)
+                .iter()
+                .map(|m| stamps[m.0])
+                .collect();
+            assert!(
+                local.windows(2).all(|w| w[0] < w[1]),
+                "P{}: {local:?}",
+                p + 1
+            );
+        }
+    }
+
+    #[test]
+    fn not_characterizing() {
+        // Two concurrent messages get the same scalar — Lamport clocks
+        // cannot detect concurrency, which is the point of vectors.
+        let mut b = Builder::new(4);
+        let a = b.message(0, 1).unwrap();
+        let c = b.message(2, 3).unwrap();
+        let comp = b.build();
+        let stamps = stamp_messages(&comp);
+        let oracle = Oracle::new(&comp);
+        assert!(oracle.concurrent(a, c));
+        assert_eq!(stamps[a.0], stamps[c.0]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(stamp_messages(&Builder::new(2).build()).is_empty());
+    }
+}

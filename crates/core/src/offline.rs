@@ -1,0 +1,148 @@
+//! The paper's offline timestamping algorithm (Section 4, Figure 9).
+//!
+//! Given a *completed* computation, build the message poset `(M, ↦)`,
+//! compute a minimum chain cover (whose size — the width — is at most
+//! `⌊N/2⌋` by Theorem 8, since each message occupies two of the `N`
+//! processes), derive a chain realizer `L_1..L_w` with
+//! `∩ L_i = (M, ↦)`, and stamp each message `m` with
+//! `V_m[i] = |{x : x <_{L_i} m}|`, i.e. `m`'s position in `L_i`.
+//!
+//! Because each `L_i` is a total order, `V(m1) < V(m2)` in vector order iff
+//! `m1` precedes `m2` in *every* extension, which by the realizer property
+//! is exactly `m1 ↦ m2`.
+
+use synctime_poset::{realizer, Poset};
+use synctime_trace::{Oracle, SyncComputation};
+
+use crate::{MessageTimestamps, VectorTime};
+
+/// Offline-stamps all messages of a completed computation.
+///
+/// The resulting dimension equals the width of the message poset
+/// (≤ `⌊N/2⌋` by Theorem 8); for totally ordered message sets (e.g. any
+/// computation on a star or triangle topology, Lemma 1) it is 1.
+///
+/// ```
+/// use synctime_core::offline;
+/// use synctime_trace::Builder;
+///
+/// let mut b = Builder::new(4);
+/// let a = b.message(0, 1)?;
+/// let c = b.message(2, 3)?; // concurrent with a
+/// let comp = b.build();
+/// let stamps = offline::stamp_computation(&comp);
+/// assert_eq!(stamps.dim(), 2); // the poset's width
+/// assert!(stamps.concurrent(a, c));
+/// # Ok::<(), synctime_trace::TraceError>(())
+/// ```
+pub fn stamp_computation(computation: &SyncComputation) -> MessageTimestamps {
+    stamp_poset(Oracle::new(computation).message_poset())
+}
+
+/// Offline-stamps the elements of an arbitrary message poset (step (2) and
+/// (3) of Figure 9). Exposed separately so callers who already built the
+/// poset — or who study posets directly — can reuse it.
+pub fn stamp_poset(poset: &Poset) -> MessageTimestamps {
+    let extensions = realizer::chain_realizer(poset);
+    debug_assert!(realizer::verify(poset, &extensions));
+    let table = realizer::position_table(poset, &extensions);
+    let vectors: Vec<VectorTime> = (0..poset.len())
+        .map(|m| {
+            VectorTime::from(
+                table
+                    .iter()
+                    .map(|positions| positions[m] as u64)
+                    .collect::<Vec<u64>>(),
+            )
+        })
+        .collect();
+    MessageTimestamps::new(vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_graph::topology;
+    use synctime_poset::chains;
+    use synctime_trace::examples::figure6;
+    use synctime_trace::{Builder, MessageId};
+
+    #[test]
+    fn fig9_offline_2d() {
+        // Section 4: applying the offline algorithm to the Figure 6
+        // computation needs only 2-dimensional vectors.
+        let comp = figure6();
+        let oracle = Oracle::new(&comp);
+        assert_eq!(chains::width(oracle.message_poset()), 2);
+        let stamps = stamp_computation(&comp);
+        assert_eq!(stamps.dim(), 2);
+        assert!(stamps.encodes(&oracle));
+    }
+
+    #[test]
+    fn width_bounded_by_half_n() {
+        // Theorem 8 on a dense computation over K6.
+        let topo = topology::complete(6);
+        let mut b = Builder::with_topology(&topo);
+        for (s, r) in [
+            (0, 1),
+            (2, 3),
+            (4, 5),
+            (1, 2),
+            (3, 4),
+            (5, 0),
+            (0, 2),
+            (1, 4),
+        ] {
+            b.message(s, r).unwrap();
+        }
+        let comp = b.build();
+        let stamps = stamp_computation(&comp);
+        assert!(stamps.dim() <= 3, "width {} > N/2", stamps.dim());
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+    }
+
+    #[test]
+    fn chain_computation_dimension_one() {
+        // All messages share process 0: totally ordered, width 1.
+        let mut b = Builder::new(4);
+        for r in [1, 2, 3, 1, 2] {
+            b.message(0, r).unwrap();
+        }
+        let comp = b.build();
+        let stamps = stamp_computation(&comp);
+        assert_eq!(stamps.dim(), 1);
+        // Positions are 0..m in rendezvous order.
+        for i in 0..comp.message_count() {
+            assert_eq!(stamps.vector(MessageId(i)).component(0), i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_computation() {
+        let comp = Builder::new(3).build();
+        let stamps = stamp_computation(&comp);
+        assert!(stamps.is_empty());
+        assert_eq!(stamps.dim(), 0);
+    }
+
+    #[test]
+    fn stamp_poset_directly() {
+        use synctime_poset::Poset;
+        let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+        let stamps = stamp_poset(&p);
+        assert_eq!(stamps.dim(), chains::width(&p));
+        // Encodes the poset: check every pair by hand.
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(
+                        stamps.precedes(MessageId(a), MessageId(b)),
+                        p.lt(a, b),
+                        "pair ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+}

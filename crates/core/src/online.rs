@@ -1,0 +1,412 @@
+//! The paper's online timestamping algorithm (Section 3, Figure 5).
+//!
+//! Each process keeps a vector of dimension `d = |edge decomposition|`. To
+//! stamp a message over a channel in edge group `E_g`:
+//!
+//! 1. the sender piggybacks its vector `v_i` on the message (line 02);
+//! 2. the receiver sends its pre-update vector `v_j` back on the
+//!    acknowledgement (line 04), then sets `v_j := max(v_j, v_i)` and
+//!    increments `v_j[g]` (lines 05–06);
+//! 3. the sender, on the acknowledgement, performs the same max and
+//!    increment (lines 09–10).
+//!
+//! Both sides end with the identical vector, which *is* the message's
+//! timestamp. Theorem 4 shows `m1 ↦ m2 ⟺ v(m1) < v(m2)`.
+//!
+//! Two entry points:
+//!
+//! * [`ProcessClock`] — one endpoint of the protocol, message by message;
+//!   this is what a real runtime (see `synctime-runtime`) embeds, with the
+//!   vectors physically piggybacked on program messages and acks.
+//! * [`OnlineStamper`] — stamps a whole recorded [`SyncComputation`] in
+//!   rendezvous order.
+
+use synctime_graph::{Edge, EdgeDecomposition};
+use synctime_trace::SyncComputation;
+
+use crate::{CoreError, MessageTimestamps, VectorTime};
+
+/// One process's local vector clock and its half of the Figure 5 protocol.
+///
+/// ```
+/// use synctime_core::online::ProcessClock;
+///
+/// let mut sender = ProcessClock::new(2);
+/// let mut receiver = ProcessClock::new(2);
+/// // Sender piggybacks its vector; channel lies in edge group 1.
+/// let payload = sender.send_payload();
+/// let (ack, t_recv) = receiver.on_receive(&payload, 1);
+/// let t_send = sender.on_acknowledgement(&ack, 1);
+/// assert_eq!(t_send, t_recv); // both sides agree on the timestamp
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessClock {
+    vector: VectorTime,
+}
+
+impl ProcessClock {
+    /// A fresh clock of dimension `dim`, initially all zeros.
+    pub fn new(dim: usize) -> Self {
+        ProcessClock {
+            vector: VectorTime::zero(dim),
+        }
+    }
+
+    /// The current local vector.
+    pub fn current(&self) -> &VectorTime {
+        &self.vector
+    }
+
+    /// The vector to piggyback on an outgoing message (line 02).
+    pub fn send_payload(&self) -> VectorTime {
+        self.vector.clone()
+    }
+
+    /// Handles an incoming message whose channel lies in edge group
+    /// `group`: returns the acknowledgement payload (the *pre-update*
+    /// local vector, line 04) and the message's timestamp (lines 05–07).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload dimension differs from this clock's.
+    pub fn on_receive(&mut self, payload: &VectorTime, group: usize) -> (VectorTime, VectorTime) {
+        let ack = self.vector.clone();
+        self.vector.merge_max(payload);
+        self.vector.increment(group);
+        (ack, self.vector.clone())
+    }
+
+    /// Handles the acknowledgement of a message this process sent over a
+    /// channel in edge group `group`: returns the message's timestamp
+    /// (lines 09–11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acknowledgement dimension differs from this clock's.
+    pub fn on_acknowledgement(&mut self, ack: &VectorTime, group: usize) -> VectorTime {
+        self.vector.merge_max(ack);
+        self.vector.increment(group);
+        self.vector.clone()
+    }
+}
+
+/// Stamps whole computations against a fixed edge decomposition.
+#[derive(Debug, Clone)]
+pub struct OnlineStamper {
+    decomposition: EdgeDecomposition,
+}
+
+impl OnlineStamper {
+    /// Creates a stamper for the given decomposition (assumed, as in the
+    /// paper, to be known to all processes).
+    pub fn new(decomposition: &EdgeDecomposition) -> Self {
+        OnlineStamper {
+            decomposition: decomposition.clone(),
+        }
+    }
+
+    /// The timestamp dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.decomposition.len()
+    }
+
+    /// The decomposition in use.
+    pub fn decomposition(&self) -> &EdgeDecomposition {
+        &self.decomposition
+    }
+
+    /// Runs the Figure 5 protocol over every message of `computation` in
+    /// rendezvous order and returns the per-message timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ChannelNotInDecomposition`] if a message uses a
+    /// channel outside the decomposition.
+    pub fn stamp_computation(
+        &self,
+        computation: &SyncComputation,
+    ) -> Result<MessageTimestamps, CoreError> {
+        let mut session = OnlineSession::new(&self.decomposition, computation.process_count());
+        let mut stamps = Vec::with_capacity(computation.message_count());
+        for m in computation.messages() {
+            stamps.push(session.stamp(m.sender, m.receiver)?);
+        }
+        Ok(MessageTimestamps::new(stamps))
+    }
+}
+
+/// An incremental stamping session: the clocks of all `n` processes, fed
+/// one rendezvous at a time. [`OnlineStamper::stamp_computation`] is a
+/// convenience wrapper around this.
+///
+/// ```
+/// use synctime_core::online::OnlineSession;
+/// use synctime_graph::{decompose, topology};
+///
+/// let topo = topology::star(3);
+/// let dec = decompose::best_known(&topo);
+/// let mut session = OnlineSession::new(&dec, topo.node_count());
+/// let t1 = session.stamp(1, 0)?; // leaf 1 -> hub
+/// let t2 = session.stamp(0, 2)?; // hub -> leaf 2
+/// assert!(t1 < t2); // stars are totally ordered (Lemma 1)
+/// # Ok::<(), synctime_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineSession {
+    decomposition: EdgeDecomposition,
+    clocks: Vec<ProcessClock>,
+    stamped: usize,
+}
+
+impl OnlineSession {
+    /// Starts a session for `process_count` processes.
+    pub fn new(decomposition: &EdgeDecomposition, process_count: usize) -> Self {
+        OnlineSession {
+            decomposition: decomposition.clone(),
+            clocks: vec![ProcessClock::new(decomposition.len()); process_count],
+            stamped: 0,
+        }
+    }
+
+    /// Number of messages stamped so far.
+    pub fn stamped(&self) -> usize {
+        self.stamped
+    }
+
+    /// The current clock of a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProcessOutOfRange`] for a bad id.
+    pub fn clock(&self, process: usize) -> Result<&ProcessClock, CoreError> {
+        self.clocks
+            .get(process)
+            .ok_or(CoreError::ProcessOutOfRange {
+                process,
+                process_count: self.clocks.len(),
+            })
+    }
+
+    /// Adds a fresh process (all-zero clock) to a running session and
+    /// returns its id — the dynamic-join case: together with
+    /// [`EdgeDecomposition::extend_star`] a new client can enter an
+    /// existing star without changing the timestamp dimension or
+    /// invalidating any issued timestamp.
+    ///
+    /// [`EdgeDecomposition::extend_star`]: synctime_graph::EdgeDecomposition::extend_star
+    pub fn add_process(&mut self) -> usize {
+        self.clocks
+            .push(ProcessClock::new(self.decomposition.len()));
+        self.clocks.len() - 1
+    }
+
+    /// Extends star group `group` of the session's decomposition with a new
+    /// channel (see [`EdgeDecomposition::extend_star`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the decomposition's validation errors.
+    ///
+    /// [`EdgeDecomposition::extend_star`]: synctime_graph::EdgeDecomposition::extend_star
+    pub fn extend_star(
+        &mut self,
+        group: usize,
+        edge: Edge,
+    ) -> Result<(), synctime_graph::GraphError> {
+        self.decomposition.extend_star(group, edge)
+    }
+
+    /// Performs one rendezvous (message + acknowledgement) between
+    /// `sender` and `receiver` and returns the message's timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ChannelNotInDecomposition`] if the channel's
+    /// edge is in no group, or [`CoreError::ProcessOutOfRange`] for bad
+    /// process ids.
+    pub fn stamp(&mut self, sender: usize, receiver: usize) -> Result<VectorTime, CoreError> {
+        for &p in &[sender, receiver] {
+            if p >= self.clocks.len() {
+                return Err(CoreError::ProcessOutOfRange {
+                    process: p,
+                    process_count: self.clocks.len(),
+                });
+            }
+        }
+        let edge = Edge::new(sender, receiver);
+        let group = self
+            .decomposition
+            .group_of(edge)
+            .ok_or(CoreError::ChannelNotInDecomposition { edge })?;
+        let payload = self.clocks[sender].send_payload();
+        let (ack, t_recv) = self.clocks[receiver].on_receive(&payload, group);
+        let t_send = self.clocks[sender].on_acknowledgement(&ack, group);
+        debug_assert_eq!(t_send, t_recv, "protocol endpoints must agree");
+        self.stamped += 1;
+        Ok(t_send)
+    }
+}
+
+/// Stamps a computation using the smallest decomposition the fast
+/// constructions find for the given topology ([`synctime_graph::decompose::best_known`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ChannelNotInDecomposition`] if the computation uses
+/// a channel outside `topology`.
+pub fn stamp_with_topology(
+    computation: &SyncComputation,
+    topology: &synctime_graph::Graph,
+) -> Result<MessageTimestamps, CoreError> {
+    let dec = synctime_graph::decompose::best_known(topology);
+    OnlineStamper::new(&dec).stamp_computation(computation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_graph::{decompose, topology};
+    use synctime_trace::examples::{figure6, figure6_decomposition};
+    use synctime_trace::{Builder, MessageId, Oracle};
+
+    #[test]
+    fn fig6_exact_timestamps() {
+        // Figure 6 of the paper: K5, decomposition {star@P1, star@P2,
+        // triangle(P3,P4,P5)}, eight messages. The paper's walkthrough:
+        // m3 = P2 -> P3 is stamped (1,1,1) from locals (1,0,0) and (0,0,1).
+        let comp = figure6();
+        let dec = figure6_decomposition();
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let expected: Vec<Vec<u64>> = vec![
+            vec![1, 0, 0], // m1: P1 -> P2 (E1)
+            vec![0, 0, 1], // m2: P3 -> P4 (E3)
+            vec![1, 1, 1], // m3: P2 -> P3 (E2)  <- the paper's example
+            vec![0, 0, 2], // m4: P4 -> P5 (E3)
+            vec![2, 0, 2], // m5: P1 -> P4 (E1)
+            vec![1, 2, 2], // m6: P2 -> P5 (E2)
+            vec![1, 2, 3], // m7: P5 -> P3 (E3)
+            vec![3, 2, 2], // m8: P1 -> P2 (E1)
+        ];
+        for (i, exp) in expected.iter().enumerate() {
+            assert_eq!(
+                stamps.vector(MessageId(i)).as_slice(),
+                exp.as_slice(),
+                "m{}",
+                i + 1
+            );
+        }
+        // And the timestamps encode the poset (Theorem 4).
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+    }
+
+    #[test]
+    fn protocol_sides_agree() {
+        let mut a = ProcessClock::new(3);
+        let mut b = ProcessClock::new(3);
+        let payload = a.send_payload();
+        let (ack, tr) = b.on_receive(&payload, 2);
+        let ts = a.on_acknowledgement(&ack, 2);
+        assert_eq!(tr, ts);
+        assert_eq!(a.current(), b.current());
+        assert_eq!(ts.as_slice(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn ack_carries_pre_update_vector() {
+        // Line 04 of Figure 5: the ack is the receiver's vector *before*
+        // the max/increment. If it carried the post-update vector the
+        // sender would double-increment.
+        let mut receiver = ProcessClock::new(1);
+        let (ack, stamp) = receiver.on_receive(&VectorTime::zero(1), 0);
+        assert_eq!(ack.as_slice(), &[0]);
+        assert_eq!(stamp.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn star_topology_single_integer() {
+        // Lemma 1: on a star every pair of messages is ordered; a single
+        // component suffices and the stamps are strictly increasing.
+        let topo = topology::star(4);
+        let dec = decompose::best_known(&topo);
+        assert_eq!(dec.len(), 1);
+        let mut b = Builder::with_topology(&topo);
+        for leaf in 1..=4 {
+            b.message(0, leaf).unwrap();
+            b.message(leaf, 0).unwrap();
+        }
+        let comp = b.build();
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let values: Vec<u64> = stamps.vectors().iter().map(|v| v.component(0)).collect();
+        assert_eq!(values, (1..=8).collect::<Vec<u64>>());
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        let dec = decompose::best_known(&topology::path(3)); // covers 0-1, 1-2
+        let mut b = Builder::new(3);
+        b.message(0, 2).unwrap(); // not a channel of the path
+        let comp = b.build();
+        let err = OnlineStamper::new(&dec)
+            .stamp_computation(&comp)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::ChannelNotInDecomposition {
+                edge: Edge::new(0, 2)
+            }
+        );
+    }
+
+    #[test]
+    fn session_rejects_bad_process() {
+        let dec = decompose::best_known(&topology::path(3));
+        let mut s = OnlineSession::new(&dec, 3);
+        assert!(matches!(
+            s.stamp(0, 9),
+            Err(CoreError::ProcessOutOfRange { process: 9, .. })
+        ));
+        assert!(s.clock(5).is_err());
+        assert!(s.clock(2).is_ok());
+    }
+
+    #[test]
+    fn incremental_session_matches_batch() {
+        let topo = topology::complete(4);
+        let dec = decompose::best_known(&topo);
+        let mut b = Builder::with_topology(&topo);
+        let pairs = [(0, 1), (2, 3), (1, 2), (3, 0), (1, 3)];
+        for (s, r) in pairs {
+            b.message(s, r).unwrap();
+        }
+        let comp = b.build();
+        let batch = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let mut session = OnlineSession::new(&dec, 4);
+        for (i, (s, r)) in pairs.iter().enumerate() {
+            let t = session.stamp(*s, *r).unwrap();
+            assert_eq!(&t, batch.vector(MessageId(i)));
+        }
+        assert_eq!(session.stamped(), pairs.len());
+    }
+
+    #[test]
+    fn stamp_with_topology_convenience() {
+        let topo = topology::client_server(2, 3);
+        let mut b = Builder::with_topology(&topo);
+        b.message(2, 0).unwrap();
+        b.message(3, 1).unwrap();
+        let comp = b.build();
+        let stamps = stamp_with_topology(&comp, &topo).unwrap();
+        assert_eq!(stamps.dim(), 2);
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+    }
+
+    #[test]
+    fn empty_computation_stamps_nothing() {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let comp = Builder::with_topology(&topo).build();
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        assert!(stamps.is_empty());
+    }
+}

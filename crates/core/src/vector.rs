@@ -1,0 +1,317 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use synctime_trace::MessageId;
+
+/// The outcome of comparing two vector timestamps under *vector order*
+/// (Equation 2 of the paper): `u < v` iff `u[k] ≤ v[k]` for all `k` and
+/// `u[j] < v[j]` for some `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorOrder {
+    /// All components equal.
+    Equal,
+    /// Strictly less in vector order.
+    Less,
+    /// Strictly greater in vector order.
+    Greater,
+    /// Incomparable: some component smaller, some larger.
+    Concurrent,
+}
+
+/// A vector timestamp of fixed dimension.
+///
+/// For message timestamps produced by this crate, the dimension is the
+/// edge-decomposition size (online), the poset width (offline), or the
+/// process count (Fidge–Mattern) — never one-per-process unless you asked
+/// for the baseline.
+///
+/// `PartialOrd` implements vector order:
+///
+/// ```
+/// use synctime_core::VectorTime;
+///
+/// let a = VectorTime::from(vec![1, 0, 2]);
+/// let b = VectorTime::from(vec![1, 1, 2]);
+/// let c = VectorTime::from(vec![0, 3, 0]);
+/// assert!(a < b);
+/// assert!(!(a < c) && !(c < a)); // concurrent
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorTime {
+    components: Vec<u64>,
+}
+
+impl VectorTime {
+    /// The zero vector of the given dimension.
+    pub fn zero(dim: usize) -> Self {
+        VectorTime {
+            components: vec![0; dim],
+        }
+    }
+
+    /// The number of components.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// One component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn component(&self, idx: usize) -> u64 {
+        self.components[idx]
+    }
+
+    /// Component-wise maximum with `other` (lines 5 and 9 of Figure 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn merge_max(&mut self, other: &VectorTime) {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "cannot merge vectors of dimensions {} and {}",
+            self.dim(),
+            other.dim()
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Increments component `idx` (lines 6 and 10 of Figure 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    pub fn increment(&mut self, idx: usize) {
+        self.components[idx] += 1;
+    }
+
+    /// Full vector-order comparison.
+    pub fn compare(&self, other: &VectorTime) -> VectorOrder {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "cannot compare vectors of dimensions {} and {}",
+            self.dim(),
+            other.dim()
+        );
+        let mut some_less = false;
+        let mut some_greater = false;
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp(b) {
+                Ordering::Less => some_less = true,
+                Ordering::Greater => some_greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (some_less, some_greater) {
+            (false, false) => VectorOrder::Equal,
+            (true, false) => VectorOrder::Less,
+            (false, true) => VectorOrder::Greater,
+            (true, true) => VectorOrder::Concurrent,
+        }
+    }
+
+    /// Component-wise `≤` (used by the Theorem 9 event test, where equality
+    /// is allowed).
+    pub fn le(&self, other: &VectorTime) -> bool {
+        matches!(self.compare(other), VectorOrder::Less | VectorOrder::Equal)
+    }
+}
+
+impl From<Vec<u64>> for VectorTime {
+    fn from(components: Vec<u64>) -> Self {
+        VectorTime { components }
+    }
+}
+
+impl PartialOrd for VectorTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.compare(other) {
+            VectorOrder::Equal => Some(Ordering::Equal),
+            VectorOrder::Less => Some(Ordering::Less),
+            VectorOrder::Greater => Some(Ordering::Greater),
+            VectorOrder::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The per-message timestamps produced by one run of a timestamping
+/// algorithm, with the paper's precedence test as methods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageTimestamps {
+    vectors: Vec<VectorTime>,
+    dim: usize,
+}
+
+impl MessageTimestamps {
+    /// Wraps a per-message vector table (indexed by message id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not all share one dimension.
+    pub fn new(vectors: Vec<VectorTime>) -> Self {
+        let dim = vectors.first().map_or(0, VectorTime::dim);
+        assert!(
+            vectors.iter().all(|v| v.dim() == dim),
+            "all timestamps must share one dimension"
+        );
+        MessageTimestamps { vectors, dim }
+    }
+
+    /// The timestamp dimension (number of vector components).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stamped messages.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether no messages were stamped.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The timestamp of a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn vector(&self, m: MessageId) -> &VectorTime {
+        &self.vectors[m.0]
+    }
+
+    /// All timestamps, indexed by message id.
+    pub fn vectors(&self) -> &[VectorTime] {
+        &self.vectors
+    }
+
+    /// The precedence test: `m1 ↦ m2` iff `v(m1) < v(m2)`.
+    pub fn precedes(&self, m1: MessageId, m2: MessageId) -> bool {
+        self.vectors[m1.0].compare(&self.vectors[m2.0]) == VectorOrder::Less
+    }
+
+    /// The concurrency test: neither vector is below the other and the
+    /// messages are distinct.
+    pub fn concurrent(&self, m1: MessageId, m2: MessageId) -> bool {
+        m1 != m2
+            && matches!(
+                self.vectors[m1.0].compare(&self.vectors[m2.0]),
+                VectorOrder::Concurrent | VectorOrder::Equal
+            )
+    }
+
+    /// Whether these timestamps encode the poset exactly: for every ordered
+    /// pair, `precedes(m1, m2) ⟺ m1 ↦ m2` per the ground-truth `oracle`
+    /// (the central property, Theorem 4 / Figure 9). `O(|M|²)`.
+    pub fn encodes(&self, oracle: &synctime_trace::Oracle) -> bool {
+        let n = self.vectors.len();
+        if oracle.message_poset().len() != n {
+            return false;
+        }
+        (0..n).all(|i| {
+            (0..n).all(|j| {
+                i == j
+                    || self.precedes(MessageId(i), MessageId(j))
+                        == oracle.synchronously_precedes(MessageId(i), MessageId(j))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_accessors() {
+        let v = VectorTime::zero(3);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.as_slice(), &[0, 0, 0]);
+        assert_eq!(v.component(1), 0);
+    }
+
+    #[test]
+    fn merge_and_increment() {
+        let mut a = VectorTime::from(vec![3, 0, 5]);
+        a.merge_max(&VectorTime::from(vec![1, 4, 5]));
+        assert_eq!(a.as_slice(), &[3, 4, 5]);
+        a.increment(1);
+        assert_eq!(a.as_slice(), &[3, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = VectorTime::zero(2);
+        a.merge_max(&VectorTime::zero(3));
+    }
+
+    #[test]
+    fn vector_order_cases() {
+        let a = VectorTime::from(vec![1, 2]);
+        let b = VectorTime::from(vec![1, 3]);
+        let c = VectorTime::from(vec![2, 1]);
+        assert_eq!(a.compare(&b), VectorOrder::Less);
+        assert_eq!(b.compare(&a), VectorOrder::Greater);
+        assert_eq!(a.compare(&a.clone()), VectorOrder::Equal);
+        assert_eq!(a.compare(&c), VectorOrder::Concurrent);
+        assert!(a < b);
+        assert!(a.le(&a.clone()));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert_eq!(a.partial_cmp(&c), None);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(VectorTime::from(vec![1, 1, 1]).to_string(), "(1,1,1)");
+        assert_eq!(VectorTime::zero(0).to_string(), "()");
+    }
+
+    #[test]
+    fn message_timestamps_tests() {
+        let ts = MessageTimestamps::new(vec![
+            VectorTime::from(vec![1, 0]),
+            VectorTime::from(vec![1, 1]),
+            VectorTime::from(vec![0, 1]),
+        ]);
+        assert_eq!(ts.dim(), 2);
+        assert_eq!(ts.len(), 3);
+        assert!(ts.precedes(MessageId(0), MessageId(1)));
+        assert!(!ts.precedes(MessageId(1), MessageId(0)));
+        assert!(ts.concurrent(MessageId(0), MessageId(2)));
+        assert!(!ts.concurrent(MessageId(0), MessageId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one dimension")]
+    fn message_timestamps_reject_mixed_dims() {
+        MessageTimestamps::new(vec![VectorTime::zero(1), VectorTime::zero(2)]);
+    }
+}

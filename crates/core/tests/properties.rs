@@ -1,0 +1,109 @@
+//! Crate-level property tests: algebraic laws of vector timestamps, the
+//! protocol pieces, and the wire encodings.
+
+use proptest::prelude::*;
+use synctime_core::online::ProcessClock;
+use synctime_core::wire;
+use synctime_core::{VectorOrder, VectorTime};
+
+prop_compose! {
+    fn arb_vec(dim: usize)(components in proptest::collection::vec(0u64..1000, dim)) -> VectorTime {
+        VectorTime::from(components)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vector_order_is_a_strict_partial_order(
+        a in arb_vec(5), b in arb_vec(5), c in arb_vec(5)
+    ) {
+        // Irreflexive / antisymmetric.
+        prop_assert_eq!(a.compare(&a), VectorOrder::Equal);
+        if a.compare(&b) == VectorOrder::Less {
+            prop_assert_eq!(b.compare(&a), VectorOrder::Greater);
+        }
+        // Transitive.
+        if a.compare(&b) == VectorOrder::Less && b.compare(&c) == VectorOrder::Less {
+            prop_assert_eq!(a.compare(&c), VectorOrder::Less);
+        }
+        // compare agrees with PartialOrd.
+        prop_assert_eq!(a < b, a.compare(&b) == VectorOrder::Less);
+        prop_assert_eq!(a.le(&b), matches!(a.compare(&b), VectorOrder::Less | VectorOrder::Equal));
+    }
+
+    #[test]
+    fn merge_max_is_least_upper_bound(a in arb_vec(6), b in arb_vec(6)) {
+        let mut m = a.clone();
+        m.merge_max(&b);
+        // Upper bound.
+        prop_assert!(a.le(&m) && b.le(&m));
+        // Least: componentwise it equals one of the inputs.
+        for i in 0..6 {
+            prop_assert_eq!(m.component(i), a.component(i).max(b.component(i)));
+        }
+        // Commutative and idempotent.
+        let mut m2 = b.clone();
+        m2.merge_max(&a);
+        prop_assert_eq!(&m, &m2);
+        let mut m3 = m.clone();
+        m3.merge_max(&m2);
+        prop_assert_eq!(m3, m);
+    }
+
+    #[test]
+    fn protocol_sides_always_agree(
+        sender in arb_vec(4),
+        receiver in arb_vec(4),
+        group in 0usize..4,
+    ) {
+        // Whatever the pre-states, one Figure 5 exchange leaves both sides
+        // with the identical timestamp, strictly above both pre-states.
+        let mut s = ProcessClock::new(4);
+        let mut r = ProcessClock::new(4);
+        // Drive the clocks to the arbitrary pre-states via merges.
+        s.on_acknowledgement(&sender, group);
+        r.on_acknowledgement(&receiver, group);
+        let pre_s = s.current().clone();
+        let pre_r = r.current().clone();
+        let payload = s.send_payload();
+        let (ack, t_r) = r.on_receive(&payload, group);
+        let t_s = s.on_acknowledgement(&ack, group);
+        prop_assert_eq!(&t_s, &t_r);
+        prop_assert!(pre_s < t_s);
+        prop_assert!(pre_r < t_s.clone());
+    }
+
+    #[test]
+    fn wire_full_roundtrip(v in arb_vec(8)) {
+        let bytes = wire::encode_full(&v);
+        prop_assert_eq!(wire::decode_full(&bytes), Some(v));
+    }
+
+    #[test]
+    fn wire_delta_roundtrip(a in arb_vec(8), b in arb_vec(8)) {
+        let delta = wire::encode_delta(&a, &b);
+        prop_assert_eq!(wire::apply_delta(&a, &delta), Some(b));
+    }
+
+    #[test]
+    fn wire_stream_roundtrip(vs in proptest::collection::vec(arb_vec(5), 1..20)) {
+        let mut enc = wire::DeltaEncoder::new();
+        let mut dec = wire::DeltaDecoder::new();
+        for v in &vs {
+            let bytes = enc.encode(3, v);
+            let decoded = dec.decode(3, &bytes);
+            prop_assert_eq!(decoded.as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_wire_data_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        // Fuzz the decoders: garbage must return None, never panic.
+        let _ = wire::decode_full(&bytes);
+        let _ = wire::apply_delta(&VectorTime::zero(4), &bytes);
+        let mut d = wire::DeltaDecoder::new();
+        let _ = d.decode(0, &bytes);
+    }
+}

@@ -1,0 +1,53 @@
+//! Applications of synchronous-computation timestamps — the two uses the
+//! paper's introduction leads with:
+//!
+//! * **global property evaluation** ([`wcp`]): detecting whether a weak
+//!   conjunctive predicate — "every process's local predicate held
+//!   simultaneously in some consistent observation" — *possibly* held, via
+//!   the Garg–Waldecker queue algorithm driven purely by timestamp
+//!   comparisons;
+//! * **distributed monitoring** ([`monitor`]): an online observation
+//!   service in the spirit of POET/XPVM — ingest timestamped message
+//!   notifications in any arrival order, answer precedence/concurrency
+//!   queries, track the frontier and a running parallelism metric;
+//! * **fault tolerance** ([`orphans`]): after an optimistic-recovery
+//!   rollback (Strom & Yemini), deciding which events are *orphans* —
+//!   causally dependent on rolled-back events — and computing the
+//!   recovery line, again from timestamps alone.
+//!
+//! Both consume any message timestamps satisfying the paper's Theorem 4
+//! encoding property (online, offline, or Fidge–Mattern), through the
+//! Section 5 event stamps.
+//!
+//! # Example
+//!
+//! ```
+//! use synctime_core::events::stamp_events;
+//! use synctime_core::online::OnlineStamper;
+//! use synctime_detect::wcp;
+//! use synctime_graph::{decompose, topology};
+//! use synctime_trace::Builder;
+//!
+//! // Two workers hold their local predicate around concurrent events.
+//! let topo = topology::star(2);
+//! let mut b = Builder::with_topology(&topo);
+//! b.message(1, 0)?;
+//! let e1 = b.internal(1)?; // worker 1's predicate true here
+//! let e2 = b.internal(2)?; // worker 2's predicate true here
+//! b.message(2, 0)?;
+//! let comp = b.build();
+//!
+//! let dec = decompose::best_known(&topo);
+//! let msgs = OnlineStamper::new(&dec).stamp_computation(&comp)?;
+//! let events = stamp_events(&comp, &msgs);
+//! let witness = wcp::possibly(&events, &[vec![e1], vec![e2]]);
+//! assert_eq!(witness, Some(vec![e1, e2]));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod orphans;
+pub mod wcp;

@@ -1,0 +1,221 @@
+//! Orphan detection and recovery lines for optimistic rollback recovery
+//! (Strom & Yemini), evaluated from timestamps.
+//!
+//! When a process fails and rolls back, the events it "un-executes" may
+//! already have influenced others; any event causally dependent on a
+//! rolled-back event is an **orphan** and must roll back too. Because
+//! orphan-hood is upward closed along `→`, the surviving prefix per
+//! process — the **recovery line** — is the prefix before its first
+//! orphan, and that cut is automatically consistent (with rendezvous
+//! semantics the two endpoints of a message are mutually dependent, so
+//! they survive or roll back together).
+
+use synctime_core::events::EventTimestamps;
+use synctime_trace::{EventId, ProcessId, SyncComputation};
+
+/// One process's rollback: events `0..surviving_events` of its history
+/// survive; everything at or after index `surviving_events` is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// The failed process.
+    pub process: ProcessId,
+    /// Length of the surviving local prefix.
+    pub surviving_events: usize,
+}
+
+/// Whether event `f` is an orphan of the given failures: lost directly, or
+/// causally dependent on a lost event.
+pub fn is_orphan(
+    computation: &SyncComputation,
+    stamps: &EventTimestamps,
+    failures: &[Failure],
+    f: EventId,
+) -> bool {
+    failures.iter().any(|fail| {
+        if f.process == fail.process && f.index >= fail.surviving_events {
+            return true;
+        }
+        // The earliest lost event dominates all later ones, so testing it
+        // suffices.
+        let history_len = computation.history(fail.process).len();
+        if fail.surviving_events >= history_len {
+            return false; // nothing actually lost
+        }
+        let first_lost = EventId::new(fail.process, fail.surviving_events);
+        stamps.happened_before(first_lost, f)
+    })
+}
+
+/// All orphaned events, in process-major order.
+pub fn orphan_events(
+    computation: &SyncComputation,
+    stamps: &EventTimestamps,
+    failures: &[Failure],
+) -> Vec<EventId> {
+    computation
+        .events()
+        .filter(|&f| is_orphan(computation, stamps, failures, f))
+        .collect()
+}
+
+/// The recovery line: for each process, the length of its longest
+/// orphan-free prefix. The induced cut is consistent (see module docs).
+pub fn recovery_line(
+    computation: &SyncComputation,
+    stamps: &EventTimestamps,
+    failures: &[Failure],
+) -> Vec<usize> {
+    (0..computation.process_count())
+        .map(|p| {
+            let len = computation.history(p).len();
+            (0..len)
+                .find(|&i| is_orphan(computation, stamps, failures, EventId::new(p, i)))
+                .unwrap_or(len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_core::events::stamp_events;
+    use synctime_core::online::OnlineStamper;
+    use synctime_graph::{decompose, topology, Graph};
+    use synctime_trace::{Builder, Oracle};
+
+    fn stamps_for(comp: &SyncComputation, topo: &Graph) -> EventTimestamps {
+        let dec = decompose::best_known(topo);
+        let msgs = OnlineStamper::new(&dec).stamp_computation(comp).unwrap();
+        stamp_events(comp, &msgs)
+    }
+
+    /// P0 computes, tells P1; P1 tells P2; P2 computes independently first.
+    fn chain() -> (SyncComputation, Graph) {
+        let topo = topology::path(3);
+        let mut b = Builder::with_topology(&topo);
+        b.internal(2).unwrap(); // P2[0]: independent, never an orphan
+        b.internal(0).unwrap(); // P0[0]
+        b.message(0, 1).unwrap(); // P0[1] / P1[0]
+        b.internal(1).unwrap(); // P1[1]
+        b.message(1, 2).unwrap(); // P1[2] / P2[1]
+        b.internal(2).unwrap(); // P2[2]
+        (b.build(), topo)
+    }
+
+    #[test]
+    fn rollback_propagates_downstream() {
+        let (comp, topo) = chain();
+        let st = stamps_for(&comp, &topo);
+        // P0 loses everything from its send onwards.
+        let failures = [Failure {
+            process: 0,
+            surviving_events: 1,
+        }];
+        let orphans = orphan_events(&comp, &st, &failures);
+        // Lost: P0[1]; orphaned: all of P1, and P2's events after the
+        // receive (P2[1], P2[2]) — but not P2[0] or P0[0].
+        let expect: Vec<EventId> = vec![
+            EventId::new(0, 1),
+            EventId::new(1, 0),
+            EventId::new(1, 1),
+            EventId::new(1, 2),
+            EventId::new(2, 1),
+            EventId::new(2, 2),
+        ];
+        assert_eq!(orphans, expect);
+        assert_eq!(recovery_line(&comp, &st, &failures), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn downstream_failure_does_not_orphan_upstream() {
+        let (comp, topo) = chain();
+        let st = stamps_for(&comp, &topo);
+        // P2 rolls back its last internal event only.
+        let failures = [Failure {
+            process: 2,
+            surviving_events: 2,
+        }];
+        let orphans = orphan_events(&comp, &st, &failures);
+        assert_eq!(orphans, vec![EventId::new(2, 2)]);
+        assert_eq!(recovery_line(&comp, &st, &failures), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn vacuous_failure_orphans_nothing() {
+        let (comp, topo) = chain();
+        let st = stamps_for(&comp, &topo);
+        let failures = [Failure {
+            process: 1,
+            surviving_events: 3,
+        }];
+        assert!(orphan_events(&comp, &st, &failures).is_empty());
+        assert_eq!(recovery_line(&comp, &st, &failures), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn multiple_failures_union() {
+        let (comp, topo) = chain();
+        let st = stamps_for(&comp, &topo);
+        let failures = [
+            Failure {
+                process: 2,
+                surviving_events: 2,
+            },
+            Failure {
+                process: 1,
+                surviving_events: 1,
+            },
+        ];
+        let line = recovery_line(&comp, &st, &failures);
+        assert_eq!(line, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn recovery_line_cut_is_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let topo = topology::complete(4);
+            let mut b = Builder::with_topology(&topo);
+            for _ in 0..rng.gen_range(1..20) {
+                if rng.gen_bool(0.6) {
+                    let s = rng.gen_range(0..4);
+                    let mut r = rng.gen_range(0..4);
+                    while r == s {
+                        r = rng.gen_range(0..4);
+                    }
+                    b.message(s, r).unwrap();
+                } else {
+                    b.internal(rng.gen_range(0..4)).unwrap();
+                }
+            }
+            let comp = b.build();
+            let st = stamps_for(&comp, &topo);
+            let p = rng.gen_range(0..4);
+            let k = rng.gen_range(0..=comp.history(p).len());
+            let failures = [Failure {
+                process: p,
+                surviving_events: k,
+            }];
+            let line = recovery_line(&comp, &st, &failures);
+            // Consistency: no surviving event depends on a rolled-back one.
+            let oracle = Oracle::new(&comp);
+            for q in 0..4 {
+                for i in 0..line[q] {
+                    let f = EventId::new(q, i);
+                    #[allow(clippy::needless_range_loop)]
+                    for q2 in 0..4 {
+                        for j in line[q2]..comp.history(q2).len() {
+                            let e = EventId::new(q2, j);
+                            assert!(
+                                !oracle.happened_before(&comp, e, f),
+                                "surviving {f} depends on rolled-back {e}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

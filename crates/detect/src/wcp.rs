@@ -1,0 +1,499 @@
+//! Weak conjunctive predicate detection (Garg & Waldecker), driven by
+//! timestamp comparisons.
+//!
+//! *Possibly(φ₁ ∧ … ∧ φₖ)* holds iff there is a consistent observation of
+//! the computation in which every local predicate φᵢ holds — equivalently,
+//! iff one can pick one φᵢ-event per slot such that the picks are pairwise
+//! concurrent. The queue algorithm walks each slot's candidate list once:
+//! whenever two current candidates are ordered (`e → f`), the earlier one
+//! can never be concurrent with `f` **or any later candidate on `f`'s
+//! process**, so it is discarded. Either the cursors stabilize on a
+//! pairwise-concurrent witness, or some slot runs dry and the predicate
+//! never possibly held.
+//!
+//! Total work is `O(k² · Σ|candidates|)` happened-before tests, each a
+//! vector comparison of the paper's small dimension `d`.
+
+use synctime_core::events::EventTimestamps;
+use synctime_trace::EventId;
+
+/// Searches for one event per slot, pairwise concurrent.
+///
+/// `candidates[i]` lists slot `i`'s φᵢ-true events in local order; all
+/// events of one slot must belong to one process (the Garg–Waldecker
+/// elimination argument needs each slot totally ordered).
+///
+/// Returns the first witness found (one event per slot, in slot order), or
+/// `None` if no pairwise-concurrent selection exists. An empty candidate
+/// list for any slot yields `None`; zero slots yield the empty witness.
+///
+/// # Panics
+///
+/// Panics if a slot mixes events from different processes.
+pub fn possibly(stamps: &EventTimestamps, candidates: &[Vec<EventId>]) -> Option<Vec<EventId>> {
+    for slot in candidates {
+        assert!(
+            slot.windows(2).all(|w| w[0].process == w[1].process),
+            "a slot's candidates must all be on one process"
+        );
+    }
+    let k = candidates.len();
+    let mut cursor = vec![0usize; k];
+    if candidates.iter().any(Vec::is_empty) {
+        return None;
+    }
+    loop {
+        // Find an ordered pair among the current candidates.
+        let mut advanced = false;
+        'scan: for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let (ei, ej) = (candidates[i][cursor[i]], candidates[j][cursor[j]]);
+                if stamps.happened_before(ei, ej) {
+                    // ei precedes ej and hence every later candidate of
+                    // slot j too; ei can never appear in a witness with
+                    // anything slot j can still offer. Discard ei.
+                    cursor[i] += 1;
+                    if cursor[i] == candidates[i].len() {
+                        return None;
+                    }
+                    advanced = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !advanced {
+            return Some((0..k).map(|i| candidates[i][cursor[i]]).collect());
+        }
+    }
+}
+
+/// Convenience: whether *possibly(φ₁ ∧ … ∧ φₖ)* holds.
+pub fn holds(stamps: &EventTimestamps, candidates: &[Vec<EventId>]) -> bool {
+    possibly(stamps, candidates).is_some()
+}
+
+/// Global states (consistent cuts) of a rendezvous computation: one event
+/// count per process, advancing over internal events singly and over a
+/// message's two endpoints **atomically** (the endpoints are mutually
+/// dependent, so no consistent cut separates them).
+///
+/// `φᵢ` is taken to hold on slot `i`'s process exactly in the local state
+/// immediately following one of `candidates[i]`'s events.
+mod lattice {
+    use synctime_trace::{EventId, EventKind, SyncComputation};
+
+    pub(super) struct CutSpace<'a> {
+        comp: &'a SyncComputation,
+        /// Per slot: process and the candidate flags per event index.
+        slots: Vec<(usize, Vec<bool>)>,
+    }
+
+    impl<'a> CutSpace<'a> {
+        pub(super) fn new(comp: &'a SyncComputation, candidates: &[Vec<EventId>]) -> Self {
+            let slots = candidates
+                .iter()
+                .map(|slot| {
+                    let p = slot.first().expect("non-empty slot").process;
+                    let mut flags = vec![false; comp.history(p).len()];
+                    for e in slot {
+                        assert_eq!(e.process, p, "a slot's candidates must share a process");
+                        flags[e.index] = true;
+                    }
+                    (p, flags)
+                })
+                .collect();
+            CutSpace { comp, slots }
+        }
+
+        pub(super) fn initial(&self) -> Vec<usize> {
+            vec![0; self.comp.process_count()]
+        }
+
+        pub(super) fn is_final(&self, cut: &[usize]) -> bool {
+            (0..self.comp.process_count()).all(|p| cut[p] == self.comp.history(p).len())
+        }
+
+        /// Whether every slot's predicate holds in this global state.
+        pub(super) fn all_hold(&self, cut: &[usize]) -> bool {
+            self.slots
+                .iter()
+                .all(|(p, flags)| cut[*p] >= 1 && flags[cut[*p] - 1])
+        }
+
+        /// The consistent single-step successors of a cut.
+        pub(super) fn successors(&self, cut: &[usize]) -> Vec<Vec<usize>> {
+            let mut out = Vec::new();
+            for p in 0..self.comp.process_count() {
+                let idx = cut[p];
+                if idx >= self.comp.history(p).len() {
+                    continue;
+                }
+                match self.comp.history(p)[idx] {
+                    EventKind::Internal => {
+                        let mut next = cut.to_vec();
+                        next[p] += 1;
+                        out.push(next);
+                    }
+                    EventKind::Send(m) | EventKind::Receive(m) => {
+                        // Advance both endpoints atomically, if the partner
+                        // is also at this message.
+                        let msg = self.comp.message(m);
+                        let q = if msg.sender == p {
+                            msg.receiver
+                        } else {
+                            msg.sender
+                        };
+                        if q < p {
+                            continue; // counted once, from the smaller id
+                        }
+                        let (se, re) = self.comp.message_endpoints(m);
+                        let (pi, qi) = if msg.sender == p {
+                            (se.index, re.index)
+                        } else {
+                            (re.index, se.index)
+                        };
+                        if cut[p] == pi && cut[q] == qi {
+                            let mut next = cut.to_vec();
+                            next[p] += 1;
+                            next[q] += 1;
+                            out.push(next);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// *Definitely(φ₁ ∧ … ∧ φₖ)* (Cooper–Marzullo): every observation of the
+/// computation passes through a global state in which all slot predicates
+/// hold simultaneously. Decided by searching the cut lattice for a path
+/// from the initial to the final cut that avoids all-φ states; if none
+/// exists, φ definitely held.
+///
+/// Exponential in the worst case (the lattice can be large); intended for
+/// the trace sizes a debugger inspects.
+///
+/// # Panics
+///
+/// Panics if a slot is empty or mixes processes.
+pub fn definitely(
+    computation: &synctime_trace::SyncComputation,
+    candidates: &[Vec<EventId>],
+) -> bool {
+    if candidates.is_empty() {
+        return true; // the empty conjunction holds everywhere
+    }
+    if candidates.iter().any(Vec::is_empty) {
+        return false;
+    }
+    let space = lattice::CutSpace::new(computation, candidates);
+    // BFS through non-φ cuts (the initial all-zero cut has no executed
+    // events, so it never satisfies a non-empty conjunction).
+    let start = space.initial();
+    let mut visited = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::from([start.clone()]);
+    visited.insert(start);
+    while let Some(cut) = queue.pop_front() {
+        if space.is_final(&cut) {
+            return false; // an observation dodged every φ-state
+        }
+        for next in space.successors(&cut) {
+            if !space.all_hold(&next) && visited.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    true
+}
+
+/// *Possibly* decided by exhaustive lattice search — exponential, used to
+/// cross-validate the queue algorithm in tests.
+///
+/// State semantics treat a rendezvous as one joint transition, so for
+/// slots holding the *two endpoints of the same message* this reports
+/// `true` (both states coincide) while the event-based [`possibly`]
+/// reports `false` (the endpoints are mutually ordered). For internal
+/// candidate events — the intended use — the two notions agree.
+pub fn possibly_by_lattice(
+    computation: &synctime_trace::SyncComputation,
+    candidates: &[Vec<EventId>],
+) -> bool {
+    if candidates.is_empty() {
+        return true;
+    }
+    if candidates.iter().any(Vec::is_empty) {
+        return false;
+    }
+    let space = lattice::CutSpace::new(computation, candidates);
+    let start = space.initial();
+    let mut visited = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::from([start.clone()]);
+    visited.insert(start);
+    while let Some(cut) = queue.pop_front() {
+        if space.all_hold(&cut) {
+            return true;
+        }
+        for next in space.successors(&cut) {
+            if visited.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_core::events::stamp_events;
+    use synctime_core::online::OnlineStamper;
+    use synctime_graph::{decompose, topology, Graph};
+    use synctime_trace::{Builder, Oracle, SyncComputation};
+
+    fn stamps_for(comp: &SyncComputation, topo: &Graph) -> EventTimestamps {
+        let dec = decompose::best_known(topo);
+        let msgs = OnlineStamper::new(&dec).stamp_computation(comp).unwrap();
+        stamp_events(comp, &msgs)
+    }
+
+    #[test]
+    fn concurrent_witness_found() {
+        let topo = topology::star(2);
+        let mut b = Builder::with_topology(&topo);
+        b.message(1, 0).unwrap();
+        let e1 = b.internal(1).unwrap();
+        let e2 = b.internal(2).unwrap();
+        b.message(2, 0).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        assert_eq!(possibly(&st, &[vec![e1], vec![e2]]), Some(vec![e1, e2]));
+    }
+
+    #[test]
+    fn ordered_candidates_are_skipped() {
+        // P1's early predicate-true event is ordered before P2's only one,
+        // but P1 has a later concurrent candidate: detection succeeds via
+        // the later one.
+        let topo = topology::path(3);
+        let mut b = Builder::with_topology(&topo);
+        let early = b.internal(0).unwrap();
+        b.message(0, 1).unwrap();
+        b.message(1, 2).unwrap();
+        let late0 = b.internal(0).unwrap();
+        let e2 = b.internal(2).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        let witness = possibly(&st, &[vec![early, late0], vec![e2]]).unwrap();
+        assert_eq!(witness, vec![late0, e2]);
+    }
+
+    #[test]
+    fn impossible_when_always_ordered() {
+        // On a star every pair of post-message internals on the hub and a
+        // leaf straddling the same message is ordered.
+        let topo = topology::star(1);
+        let mut b = Builder::with_topology(&topo);
+        let before = b.internal(1).unwrap();
+        b.message(1, 0).unwrap();
+        let after = b.internal(0).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        assert_eq!(possibly(&st, &[vec![before], vec![after]]), None);
+        assert!(!holds(&st, &[vec![before], vec![after]]));
+    }
+
+    #[test]
+    fn empty_slots_and_zero_slots() {
+        let topo = topology::path(2);
+        let mut b = Builder::with_topology(&topo);
+        let e = b.internal(0).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        assert_eq!(possibly(&st, &[vec![e], vec![]]), None);
+        assert_eq!(possibly(&st, &[]), Some(vec![]));
+        assert_eq!(possibly(&st, &[vec![e]]), Some(vec![e]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one process")]
+    fn mixed_process_slot_rejected() {
+        let topo = topology::path(2);
+        let mut b = Builder::with_topology(&topo);
+        let a = b.internal(0).unwrap();
+        let c = b.internal(1).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        let _ = possibly(&st, &[vec![a, c]]);
+    }
+
+    #[test]
+    fn definitely_vs_possibly() {
+        // A flag that is possibly-but-not-definitely up: whether both
+        // workers' flags overlap depends on the observation.
+        let topo = topology::star(2);
+        let mut b = Builder::with_topology(&topo);
+        b.message(1, 0).unwrap();
+        let e1 = b.internal(1).unwrap(); // worker 1 flag
+        let e2 = b.internal(2).unwrap(); // worker 2 flag
+        b.message(2, 0).unwrap();
+        let comp = b.build();
+        let st = stamps_for(&comp, &topo);
+        let slots = vec![vec![e1], vec![e2]];
+        assert!(holds(&st, &slots));
+        assert!(possibly_by_lattice(&comp, &slots));
+        // Not definite: an observation can step worker 1 past e1 before
+        // worker 2 reaches e2.
+        assert!(!definitely(&comp, &slots));
+    }
+
+    #[test]
+    fn definitely_holds_when_unavoidable() {
+        // One process, one candidate internal event between two messages:
+        // every observation passes through the state right after it...
+        // with a second process whose predicate is the constant "after its
+        // first event", sandwiched so that the overlap is forced.
+        let topo = topology::path(2);
+        let mut b = Builder::with_topology(&topo);
+        let e0 = b.internal(0).unwrap();
+        let e1 = b.internal(1).unwrap();
+        b.message(0, 1).unwrap();
+        let comp = b.build();
+        // φ_0 true after e0 (until the send); φ_1 true after e1 (until the
+        // receive). Every observation must execute both internals before
+        // the rendezvous, so the state {e0 done, e1 done} is unavoidable.
+        let slots = vec![vec![e0], vec![e1]];
+        let st = stamps_for(&comp, &topo);
+        assert!(holds(&st, &slots));
+        assert!(definitely(&comp, &slots));
+    }
+
+    #[test]
+    fn lattice_and_queue_possibly_agree_on_internal_candidates() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(64);
+        for trial in 0..20 {
+            let topo = topology::complete(3);
+            let mut b = Builder::with_topology(&topo);
+            let mut internals: Vec<Vec<EventId>> = vec![Vec::new(); 3];
+            for _ in 0..rng.gen_range(2..12) {
+                if rng.gen_bool(0.55) {
+                    let s = rng.gen_range(0..3);
+                    let mut r = rng.gen_range(0..3);
+                    while r == s {
+                        r = rng.gen_range(0..3);
+                    }
+                    b.message(s, r).unwrap();
+                } else {
+                    let p = rng.gen_range(0..3);
+                    internals[p].push(b.internal(p).unwrap());
+                }
+            }
+            let comp = b.build();
+            // Random sub-slots of the internal events.
+            let slots: Vec<Vec<EventId>> = internals
+                .iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| {
+                    let take = rng.gen_range(1..=v.len());
+                    v[..take].to_vec()
+                })
+                .collect();
+            if slots.len() < 2 {
+                continue;
+            }
+            let st = stamps_for(&comp, &topo);
+            assert_eq!(
+                holds(&st, &slots),
+                possibly_by_lattice(&comp, &slots),
+                "trial {trial}"
+            );
+            // Definitely implies possibly.
+            if definitely(&comp, &slots) {
+                assert!(holds(&st, &slots), "trial {trial}: definitely w/o possibly");
+            }
+        }
+    }
+
+    #[test]
+    fn definitely_trivial_cases() {
+        let topo = topology::path(2);
+        let mut b = Builder::with_topology(&topo);
+        let e = b.internal(0).unwrap();
+        let comp = b.build();
+        assert!(definitely(&comp, &[]));
+        assert!(!definitely(&comp, &[vec![]]));
+        // A single slot whose event is the only event: unavoidable.
+        assert!(definitely(&comp, &[vec![e]]));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_computations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..25 {
+            let topo = topology::complete(4);
+            let mut b = Builder::with_topology(&topo);
+            let mut internals: Vec<Vec<EventId>> = vec![Vec::new(); 4];
+            for _ in 0..rng.gen_range(2..14) {
+                if rng.gen_bool(0.5) {
+                    let s = rng.gen_range(0..4);
+                    let mut r = rng.gen_range(0..4);
+                    while r == s {
+                        r = rng.gen_range(0..4);
+                    }
+                    b.message(s, r).unwrap();
+                } else {
+                    let p = rng.gen_range(0..4);
+                    internals[p].push(b.internal(p).unwrap());
+                }
+            }
+            let comp = b.build();
+            // Slots: processes that have at least one internal event.
+            let slots: Vec<Vec<EventId>> = internals
+                .iter()
+                .filter(|v| !v.is_empty())
+                .cloned()
+                .collect();
+            if slots.len() < 2 {
+                continue;
+            }
+            let st = stamps_for(&comp, &topo);
+            let fast = possibly(&st, &slots).is_some();
+            // Brute force over the cartesian product with the oracle.
+            let oracle = Oracle::new(&comp);
+            let mut found = false;
+            let mut idx = vec![0usize; slots.len()];
+            'outer: loop {
+                let picks: Vec<EventId> = idx.iter().zip(&slots).map(|(&i, s)| s[i]).collect();
+                let pairwise = picks.iter().enumerate().all(|(a, &ea)| {
+                    picks[a + 1..]
+                        .iter()
+                        .all(|&eb| oracle.events_concurrent(&comp, ea, eb))
+                });
+                if pairwise {
+                    found = true;
+                    break;
+                }
+                // Next tuple.
+                for s in (0..slots.len()).rev() {
+                    idx[s] += 1;
+                    if idx[s] < slots[s].len() {
+                        continue 'outer;
+                    }
+                    idx[s] = 0;
+                    if s == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+            assert_eq!(fast, found, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Vertex covers of communication topologies.
+//!
+//! Theorem 5 of the paper bounds the timestamp vector size by
+//! `min(β(G), N − 2)`, where `β(G)` is the size of an optimal vertex cover:
+//! assigning every edge to one of its covered endpoints partitions the edge
+//! set into stars rooted at the cover vertices. Minimum vertex cover is
+//! NP-hard, so alongside an exact branch-and-bound solver (practical for the
+//! small-to-medium topologies of the evaluation) we provide the classic
+//! maximal-matching 2-approximation and a greedy max-degree heuristic.
+
+use std::collections::BTreeSet;
+
+use crate::{Graph, NodeId};
+
+/// Whether `cover` touches every edge of `g`.
+///
+/// ```
+/// use synctime_graph::{cover, topology};
+///
+/// let g = topology::path(4); // 0-1-2-3
+/// assert!(cover::is_vertex_cover(&g, &[1, 2]));
+/// assert!(!cover::is_vertex_cover(&g, &[0, 3]));
+/// ```
+pub fn is_vertex_cover(g: &Graph, cover: &[NodeId]) -> bool {
+    let set: BTreeSet<NodeId> = cover.iter().copied().collect();
+    g.edges()
+        .all(|e| set.contains(&e.lo()) || set.contains(&e.hi()))
+}
+
+/// The classic 2-approximation: take both endpoints of a greedily built
+/// maximal matching. The result is a vertex cover of size at most `2·β(G)`.
+///
+/// Edges are scanned in sorted order, so the output is deterministic.
+pub fn two_approx(g: &Graph) -> Vec<NodeId> {
+    let mut covered = vec![false; g.node_count()];
+    let mut cover = Vec::new();
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if !covered[u] && !covered[v] {
+            covered[u] = true;
+            covered[v] = true;
+            cover.push(u);
+            cover.push(v);
+        }
+    }
+    cover
+}
+
+/// Greedy max-degree heuristic: repeatedly add the highest-degree vertex of
+/// the residual graph. No constant-factor guarantee (Θ(log n) in the worst
+/// case) but typically smaller covers than [`two_approx`] in practice.
+pub fn greedy_max_degree(g: &Graph) -> Vec<NodeId> {
+    let mut residual = g.clone();
+    let mut cover = Vec::new();
+    while !residual.is_empty() {
+        let v = residual
+            .nodes()
+            .max_by_key(|&v| residual.degree(v))
+            .expect("non-empty graph has nodes");
+        cover.push(v);
+        let incident: Vec<_> = residual.incident_edges(v).collect();
+        for e in incident {
+            residual.remove_edge(e.lo(), e.hi());
+        }
+    }
+    cover.sort_unstable();
+    cover
+}
+
+/// A proper 2-coloring of the graph, if one exists (i.e. the graph is
+/// bipartite): `Some(side)` with `side[v] ∈ {0, 1}` per non-isolated
+/// vertex, or `None` when an odd cycle exists. Isolated vertices get side
+/// 0.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut side = vec![u8::MAX; g.node_count()];
+    for root in g.nodes() {
+        if side[root] != u8::MAX {
+            continue;
+        }
+        side[root] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for u in g.neighbors(v) {
+                if side[u] == u8::MAX {
+                    side[u] = 1 - side[v];
+                    queue.push_back(u);
+                } else if side[u] == side[v] {
+                    return None;
+                }
+            }
+        }
+    }
+    for s in &mut side {
+        if *s == u8::MAX {
+            *s = 0;
+        }
+    }
+    Some(side)
+}
+
+/// Exact minimum vertex cover for **bipartite** graphs, in polynomial time
+/// via König's theorem (maximum matching + alternating reachability).
+/// Returns `None` when the graph is not bipartite.
+///
+/// This makes client–server topologies — complete bipartite graphs —
+/// exactly coverable at any scale, where the branch-and-bound of
+/// [`exact_min`] would be too slow.
+pub fn bipartite_exact(g: &Graph) -> Option<Vec<NodeId>> {
+    use synctime_poset::matching::{hopcroft_karp, koenig_cover, Bipartite};
+    let side = bipartition(g)?;
+    // Map left-side (0) and right-side (1) vertices to dense indices.
+    let lefts: Vec<NodeId> = g.nodes().filter(|&v| side[v] == 0).collect();
+    let rights: Vec<NodeId> = g.nodes().filter(|&v| side[v] == 1).collect();
+    let mut left_index = vec![usize::MAX; g.node_count()];
+    let mut right_index = vec![usize::MAX; g.node_count()];
+    for (i, &v) in lefts.iter().enumerate() {
+        left_index[v] = i;
+    }
+    for (i, &v) in rights.iter().enumerate() {
+        right_index[v] = i;
+    }
+    let mut b = Bipartite::new(lefts.len(), rights.len());
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        let (l, r) = if side[u] == 0 { (u, v) } else { (v, u) };
+        b.add_edge(left_index[l], right_index[r]);
+    }
+    let m = hopcroft_karp(&b);
+    let (lc, rc) = koenig_cover(&b, &m);
+    let mut cover: Vec<NodeId> = lc.into_iter().map(|i| lefts[i]).collect();
+    cover.extend(rc.into_iter().map(|i| rights[i]));
+    cover.sort_unstable();
+    debug_assert!(is_vertex_cover(g, &cover));
+    Some(cover)
+}
+
+/// Exact minimum vertex cover by branch and bound.
+///
+/// Branches on an endpoint of a max-degree edge (either `u` is in the cover,
+/// or all of `u`'s neighbors are), pruning with the greedy matching lower
+/// bound. Exponential in the worst case; intended for the topology sizes
+/// used in the paper's examples and our experiment sweeps (tens of nodes,
+/// moderate density).
+///
+/// The returned cover is sorted.
+pub fn exact_min(g: &Graph) -> Vec<NodeId> {
+    // Polynomial shortcut for bipartite graphs (König).
+    if let Some(cover) = bipartite_exact(g) {
+        return cover;
+    }
+    let mut best = two_approx(g);
+    best.sort_unstable();
+    let mut residual = g.clone();
+    let mut current = Vec::new();
+    branch(&mut residual, &mut current, &mut best);
+    best.sort_unstable();
+    best
+}
+
+/// Size of the optimal vertex cover, `β(G)`.
+pub fn beta(g: &Graph) -> usize {
+    exact_min(g).len()
+}
+
+fn matching_lower_bound(g: &Graph) -> usize {
+    // A maximal matching of size k forces at least k cover vertices.
+    let mut covered = vec![false; g.node_count()];
+    let mut size = 0;
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if !covered[u] && !covered[v] {
+            covered[u] = true;
+            covered[v] = true;
+            size += 1;
+        }
+    }
+    size
+}
+
+fn branch(residual: &mut Graph, current: &mut Vec<NodeId>, best: &mut Vec<NodeId>) {
+    if residual.is_empty() {
+        if current.len() < best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    if current.len() + matching_lower_bound(residual) >= best.len() {
+        return;
+    }
+    // Simplification: a degree-1 edge is always optimally covered by the
+    // non-leaf endpoint.
+    let pendant = residual.nodes().find(|&v| residual.degree(v) == 1);
+    if let Some(leaf) = pendant {
+        let hub = residual
+            .neighbors(leaf)
+            .next()
+            .expect("degree-1 node has a neighbor");
+        let removed = take_vertex(residual, hub);
+        current.push(hub);
+        branch(residual, current, best);
+        current.pop();
+        put_back(residual, &removed);
+        return;
+    }
+    let v = residual
+        .nodes()
+        .max_by_key(|&v| residual.degree(v))
+        .expect("non-empty residual graph");
+
+    // Branch 1: v in the cover.
+    let removed = take_vertex(residual, v);
+    current.push(v);
+    branch(residual, current, best);
+    current.pop();
+    put_back(residual, &removed);
+
+    // Branch 2: v not in the cover, so all its neighbors are.
+    let neighbors: Vec<NodeId> = residual.neighbors(v).collect();
+    let mut removed_all = Vec::new();
+    for &u in &neighbors {
+        removed_all.extend(take_vertex(residual, u));
+        current.push(u);
+    }
+    branch(residual, current, best);
+    for _ in &neighbors {
+        current.pop();
+    }
+    put_back(residual, &removed_all);
+}
+
+fn take_vertex(g: &mut Graph, v: NodeId) -> Vec<(NodeId, NodeId)> {
+    let incident: Vec<(NodeId, NodeId)> = g.incident_edges(v).map(|e| e.endpoints()).collect();
+    for &(a, b) in &incident {
+        g.remove_edge(a, b);
+    }
+    incident
+}
+
+fn put_back(g: &mut Graph, edges: &[(NodeId, NodeId)]) {
+    for &(a, b) in edges {
+        g.add_edge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_cover_is_center() {
+        let g = topology::star(7);
+        assert_eq!(exact_min(&g), vec![0]);
+        assert_eq!(beta(&g), 1);
+    }
+
+    #[test]
+    fn triangle_needs_two() {
+        assert_eq!(beta(&topology::triangle()), 2);
+    }
+
+    #[test]
+    fn path_cover() {
+        // P4 (0-1-2-3) has β = 2.
+        assert_eq!(beta(&topology::path(4)), 2);
+        // P5 has β = 2 ({1, 3}).
+        assert_eq!(beta(&topology::path(5)), 2);
+    }
+
+    #[test]
+    fn complete_graph_cover() {
+        // K_n needs n - 1 vertices.
+        for n in 2..7 {
+            assert_eq!(beta(&topology::complete(n)), n - 1, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn cycle_cover() {
+        // C_n needs ceil(n/2).
+        for n in 3..9 {
+            assert_eq!(beta(&topology::cycle(n)), n.div_ceil(2), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn client_server_cover_is_servers() {
+        // Complete bipartite K_{s,c} with s <= c has β = s (König).
+        let g = topology::client_server(3, 9);
+        assert_eq!(beta(&g), 3);
+    }
+
+    #[test]
+    fn disjoint_triangles_cover() {
+        // Each triangle needs 2 cover vertices.
+        assert_eq!(beta(&topology::disjoint_triangles(4)), 8);
+    }
+
+    #[test]
+    fn empty_graph_cover_is_empty() {
+        let g = Graph::new(5);
+        assert!(exact_min(&g).is_empty());
+        assert!(is_vertex_cover(&g, &[]));
+    }
+
+    #[test]
+    fn bipartition_detects_odd_cycles() {
+        assert!(bipartition(&topology::cycle(6)).is_some());
+        assert!(bipartition(&topology::cycle(5)).is_none());
+        assert!(bipartition(&topology::triangle()).is_none());
+        let side = bipartition(&topology::client_server(2, 3)).unwrap();
+        assert!(side[0] == side[1] && side[2] == side[3] && side[0] != side[2]);
+        // Edgeless graphs are trivially bipartite.
+        assert_eq!(bipartition(&Graph::new(3)), Some(vec![0, 0, 0]));
+    }
+
+    #[test]
+    fn bipartite_exact_matches_branch_and_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in 4..9 {
+            // Random bipartite graph: random tree (always bipartite) plus
+            // same-parity-respecting extra edges would be complex; a grid
+            // and K_{a,b} cover the shapes.
+            let g = topology::grid(2, n);
+            let koenig = bipartite_exact(&g).expect("grids are bipartite");
+            assert!(is_vertex_cover(&g, &koenig));
+            assert_eq!(koenig.len(), brute_force_min(&g), "grid 2x{n}");
+            let _ = &mut rng;
+        }
+        for (s, c) in [(2, 5), (3, 4), (4, 4)] {
+            let g = topology::client_server(s, c);
+            let koenig = bipartite_exact(&g).expect("bipartite");
+            assert_eq!(koenig.len(), s.min(c), "K_{{{s},{c}}}");
+        }
+    }
+
+    #[test]
+    fn bipartite_exact_rejects_odd_cycles() {
+        assert!(bipartite_exact(&topology::triangle()).is_none());
+        assert!(bipartite_exact(&topology::complete(5)).is_none());
+    }
+
+    #[test]
+    fn bipartite_exact_scales_beyond_branch_and_bound() {
+        // 60 servers x 300 clients: instant via König.
+        let g = topology::client_server(60, 300);
+        let cover = bipartite_exact(&g).expect("bipartite");
+        assert_eq!(cover.len(), 60);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn two_approx_is_cover_within_factor_two() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in 4..16 {
+            let g = topology::random_connected(n, n / 2, &mut rng);
+            let apx = two_approx(&g);
+            assert!(is_vertex_cover(&g, &apx));
+            assert!(apx.len() <= 2 * beta(&g));
+        }
+    }
+
+    #[test]
+    fn greedy_is_cover() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in 4..16 {
+            let g = topology::gnp(n, 0.4, &mut rng);
+            let c = greedy_max_degree(&g);
+            assert!(is_vertex_cover(&g, &c));
+        }
+    }
+
+    #[test]
+    fn exact_is_minimal_cover() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 3..10 {
+            let g = topology::gnp(n, 0.5, &mut rng);
+            let c = exact_min(&g);
+            assert!(is_vertex_cover(&g, &c), "n={n}");
+            // No strictly smaller cover exists: check by brute force.
+            let brute = brute_force_min(&g);
+            assert_eq!(c.len(), brute, "n={n}");
+        }
+    }
+
+    fn brute_force_min(g: &Graph) -> usize {
+        let n = g.node_count();
+        (0usize..1 << n)
+            .filter(|mask| {
+                let cover: Vec<NodeId> = (0..n).filter(|v| mask & (1 << v) != 0).collect();
+                is_vertex_cover(g, &cover)
+            })
+            .map(|mask: usize| mask.count_ones() as usize)
+            .min()
+            .expect("full vertex set is always a cover")
+    }
+}

@@ -1,0 +1,1067 @@
+//! Star/triangle edge decompositions (Definition 2 of the paper).
+//!
+//! An *edge decomposition* of a topology `G = (V, E)` is a partition
+//! `{E_1, ..., E_d}` of `E` in which every part induces a star or a
+//! triangle. The paper's online timestamping algorithm uses one vector-clock
+//! component per part, so the whole game is making `d` small:
+//!
+//! * [`greedy`] — the paper's Figure 7 approximation algorithm
+//!   (ratio 2 by Theorem 6; optimal on forests by Theorem 7),
+//! * [`from_vertex_cover`] — stars rooted at a vertex cover (Theorem 5),
+//! * [`trivial`] — the `N − 3` stars + 1 triangle fallback (≤ `N − 2`
+//!   groups for any graph),
+//! * [`optimal`] — exact minimum by branch-and-bound over edge subsets, for
+//!   the small graphs used in ratio experiments,
+//! * [`best_known`] — the smallest decomposition among the fast methods.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Edge, Graph, GraphError, NodeId};
+
+/// One part of an edge decomposition: a star or a triangle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeGroup {
+    /// Edges all incident to `center`.
+    Star {
+        /// The node every edge of the group touches.
+        center: NodeId,
+        /// The edges of the group, sorted.
+        edges: Vec<Edge>,
+    },
+    /// The three edges of a triangle on `nodes`.
+    Triangle {
+        /// The triangle's vertices, sorted ascending.
+        nodes: [NodeId; 3],
+    },
+}
+
+impl EdgeGroup {
+    /// Creates a star group, sorting its edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or an edge is not incident to `center`.
+    pub fn star(center: NodeId, mut edges: Vec<Edge>) -> Self {
+        assert!(
+            !edges.is_empty(),
+            "a star group must have at least one edge"
+        );
+        for e in &edges {
+            assert!(
+                e.is_incident_to(center),
+                "edge {e} not incident to star center {center}"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        EdgeGroup::Star { center, edges }
+    }
+
+    /// Creates a triangle group from its three vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertices are not distinct.
+    pub fn triangle(x: NodeId, y: NodeId, z: NodeId) -> Self {
+        let mut nodes = [x, y, z];
+        nodes.sort_unstable();
+        assert!(
+            nodes[0] != nodes[1] && nodes[1] != nodes[2],
+            "triangle vertices must be distinct"
+        );
+        EdgeGroup::Triangle { nodes }
+    }
+
+    /// The edges of the group, in sorted order.
+    pub fn edges(&self) -> Vec<Edge> {
+        match self {
+            EdgeGroup::Star { edges, .. } => edges.clone(),
+            EdgeGroup::Triangle { nodes: [x, y, z] } => {
+                vec![Edge::new(*x, *y), Edge::new(*x, *z), Edge::new(*y, *z)]
+            }
+        }
+    }
+
+    /// Number of edges in the group.
+    pub fn len(&self) -> usize {
+        match self {
+            EdgeGroup::Star { edges, .. } => edges.len(),
+            EdgeGroup::Triangle { .. } => 3,
+        }
+    }
+
+    /// Whether the group has no edges (never true for valid groups).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this group is a star.
+    pub fn is_star(&self) -> bool {
+        matches!(self, EdgeGroup::Star { .. })
+    }
+}
+
+impl fmt::Display for EdgeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeGroup::Star { center, edges } => {
+                write!(f, "star@{center}{{")?;
+                for (i, e) in edges.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            EdgeGroup::Triangle { nodes: [x, y, z] } => write!(f, "triangle({x}, {y}, {z})"),
+        }
+    }
+}
+
+/// A validated star/triangle partition of a topology's edge set.
+///
+/// Component `g` of the online vector clock corresponds to `groups()[g]`;
+/// [`EdgeDecomposition::group_of`] maps a channel's edge to its component.
+///
+/// ```
+/// use synctime_graph::{decompose, topology, Edge};
+///
+/// let k5 = topology::complete(5);
+/// let dec = decompose::best_known(&k5);
+/// assert_eq!(dec.len(), 3); // N - 2, the complete-graph optimum
+/// let g = dec.group_of(Edge::new(1, 3)).expect("every channel is grouped");
+/// assert!(dec.groups()[g].edges().contains(&Edge::new(1, 3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeDecomposition {
+    groups: Vec<EdgeGroup>,
+    edge_to_group: BTreeMap<Edge, usize>,
+}
+
+impl EdgeDecomposition {
+    /// Builds a decomposition from groups, checking they are disjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::OverlappingGroups`] if two groups share an edge
+    /// or [`GraphError::EmptyGroup`] if a group has no edges. Coverage of a
+    /// particular graph is checked separately by [`validate`].
+    ///
+    /// [`validate`]: EdgeDecomposition::validate
+    pub fn new(groups: Vec<EdgeGroup>) -> Result<Self, GraphError> {
+        let mut edge_to_group = BTreeMap::new();
+        for (idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(GraphError::EmptyGroup { group: idx });
+            }
+            for e in group.edges() {
+                if let Some(prev) = edge_to_group.insert(e, idx) {
+                    return Err(GraphError::OverlappingGroups {
+                        edge: e,
+                        first: prev,
+                        second: idx,
+                    });
+                }
+            }
+        }
+        Ok(EdgeDecomposition {
+            groups,
+            edge_to_group,
+        })
+    }
+
+    /// Number of groups `d` — the vector-clock dimension of the online
+    /// algorithm.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups (only for edgeless topologies).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The groups, in component order.
+    pub fn groups(&self) -> &[EdgeGroup] {
+        &self.groups
+    }
+
+    /// The vector component assigned to a channel, i.e. the index `g` with
+    /// `edge ∈ E_g`. Returns `None` for edges outside the decomposition.
+    pub fn group_of(&self, edge: Edge) -> Option<usize> {
+        self.edge_to_group.get(&edge).copied()
+    }
+
+    /// Checks this decomposition against a topology per Definition 2: the
+    /// groups must exactly partition `g`'s edge set and each group must be a
+    /// star or a triangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`GraphError`].
+    pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
+        for (idx, group) in self.groups.iter().enumerate() {
+            match group {
+                EdgeGroup::Star { center, edges } => {
+                    if edges.is_empty() {
+                        return Err(GraphError::EmptyGroup { group: idx });
+                    }
+                    if !edges.iter().all(|e| e.is_incident_to(*center)) {
+                        return Err(GraphError::NotAStar { group: idx });
+                    }
+                }
+                EdgeGroup::Triangle { nodes: [x, y, z] } => {
+                    let distinct = x != y && y != z && x != z;
+                    if !distinct {
+                        return Err(GraphError::NotATriangle { group: idx });
+                    }
+                }
+            }
+            for e in group.edges() {
+                if !g.contains(e) {
+                    return Err(GraphError::UnknownEdge(e));
+                }
+            }
+        }
+        for e in g.edges() {
+            if !self.edge_to_group.contains_key(&e) {
+                return Err(GraphError::UncoveredEdge(e));
+            }
+        }
+        // Disjointness was enforced at construction; the partition property
+        // follows from coverage + disjointness + membership.
+        Ok(())
+    }
+
+    /// Extends star group `group` with a new channel — the dynamic-topology
+    /// case the paper's client–server discussion implies: a client joining
+    /// a server's star adds an edge without adding a vector component, so
+    /// running clocks keep their dimension and all previously issued
+    /// timestamps stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NotAStar`] if `group` is not a star or the edge is not
+    /// incident to its center; [`GraphError::OverlappingGroups`] if the
+    /// edge is already in some group.
+    pub fn extend_star(&mut self, group: usize, edge: Edge) -> Result<(), GraphError> {
+        if let Some(prev) = self.edge_to_group.get(&edge) {
+            return Err(GraphError::OverlappingGroups {
+                edge,
+                first: *prev,
+                second: group,
+            });
+        }
+        match self.groups.get_mut(group) {
+            Some(EdgeGroup::Star { center, edges }) if edge.is_incident_to(*center) => {
+                edges.push(edge);
+                edges.sort_unstable();
+                self.edge_to_group.insert(edge, group);
+                Ok(())
+            }
+            _ => Err(GraphError::NotAStar { group }),
+        }
+    }
+
+    /// Appends a new singleton star group for `edge`, rooted at `center`,
+    /// and returns its index. This *grows the dimension by one*; clocks
+    /// created before the growth cannot be mixed with clocks created after
+    /// (their vectors have different lengths), so use this only between
+    /// stamping sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NotAStar`] if `center` is not an endpoint of `edge`;
+    /// [`GraphError::OverlappingGroups`] if the edge is already grouped.
+    pub fn push_star(&mut self, center: NodeId, edge: Edge) -> Result<usize, GraphError> {
+        if !edge.is_incident_to(center) {
+            return Err(GraphError::NotAStar {
+                group: self.groups.len(),
+            });
+        }
+        if let Some(prev) = self.edge_to_group.get(&edge) {
+            return Err(GraphError::OverlappingGroups {
+                edge,
+                first: *prev,
+                second: self.groups.len(),
+            });
+        }
+        let idx = self.groups.len();
+        self.groups.push(EdgeGroup::star(center, vec![edge]));
+        self.edge_to_group.insert(edge, idx);
+        Ok(idx)
+    }
+
+    /// Number of star groups.
+    pub fn star_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_star()).count()
+    }
+
+    /// Number of triangle groups.
+    pub fn triangle_count(&self) -> usize {
+        self.groups.len() - self.star_count()
+    }
+}
+
+impl fmt::Display for EdgeDecomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdgeDecomposition[")?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "E{}={g}", i + 1)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One group-emitting action of the greedy algorithm, recorded so that runs
+/// can be compared against the paper's Figure 8 narration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GreedyStep {
+    /// Step 1: a degree-1 node `leaf` triggered a star rooted at `root`.
+    Degree1Star {
+        /// The degree-1 node.
+        leaf: NodeId,
+        /// The star's center (the leaf's unique neighbor).
+        root: NodeId,
+    },
+    /// Step 2: a pendant triangle (two of its vertices had residual degree
+    /// exactly 2) was emitted.
+    PendantTriangle {
+        /// The triangle's vertices, ascending.
+        nodes: [NodeId; 3],
+    },
+    /// Step 3: the edge with the most adjacent edges triggered a star at
+    /// each endpoint.
+    DoubleStar {
+        /// The chosen max-adjacency edge `(x, y)`.
+        edge: Edge,
+    },
+}
+
+/// The result of a [`greedy`] run: the decomposition plus the step trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyRun {
+    /// The decomposition produced.
+    pub decomposition: EdgeDecomposition,
+    /// The actions taken, in order.
+    pub steps: Vec<GreedyStep>,
+}
+
+/// How step 3 of the greedy algorithm picks its seed edge. The paper
+/// observes (after Theorem 6) that correctness and the ratio bound are
+/// independent of this choice; max-adjacency is expected to delete more
+/// edges per step and hence produce smaller decompositions. The
+/// `ablate_step3` bench quantifies that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Step3Rule {
+    /// The edge with the largest number of adjacent edges (the paper's
+    /// choice, line 12 of Figure 7).
+    #[default]
+    MaxAdjacency,
+    /// The first remaining edge in sorted order.
+    FirstEdge,
+}
+
+/// The paper's Figure 7 approximation algorithm (ratio bound 2, Theorem 6;
+/// optimal on acyclic graphs, Theorem 7). Runs in `O(|V|·|E|)`.
+///
+/// Deterministic: node scans are in ascending id order and step-3 ties are
+/// broken toward the smallest edge.
+///
+/// ```
+/// use synctime_graph::{decompose, topology};
+///
+/// let run = decompose::greedy_with_trace(&topology::figure4_tree());
+/// run.decomposition.validate(&topology::figure4_tree()).unwrap();
+/// assert_eq!(run.decomposition.len(), 3); // Figure 4: three stars
+/// ```
+pub fn greedy(g: &Graph) -> EdgeDecomposition {
+    greedy_with_trace(g).decomposition
+}
+
+/// [`greedy`] with a configurable step-3 rule (for the ablation study).
+pub fn greedy_with_rule(g: &Graph, rule: Step3Rule) -> EdgeDecomposition {
+    greedy_run(g, rule).decomposition
+}
+
+/// Like [`greedy`], but also returns the step-by-step trace (used to
+/// reproduce Figure 8).
+pub fn greedy_with_trace(g: &Graph) -> GreedyRun {
+    greedy_run(g, Step3Rule::MaxAdjacency)
+}
+
+fn greedy_run(g: &Graph, rule: Step3Rule) -> GreedyRun {
+    let mut f = g.clone(); // residual edge set F := E
+    let mut groups = Vec::new();
+    let mut steps = Vec::new();
+
+    while !f.is_empty() {
+        // First step: peel stars around neighbors of degree-1 nodes.
+        loop {
+            let Some(leaf) = f.nodes().find(|&x| f.degree(x) == 1) else {
+                break;
+            };
+            let root = f
+                .neighbors(leaf)
+                .next()
+                .expect("degree-1 node has a neighbor");
+            let star_edges: Vec<Edge> = f.incident_edges(root).collect();
+            for e in &star_edges {
+                f.remove_edge(e.lo(), e.hi());
+            }
+            groups.push(EdgeGroup::star(root, star_edges));
+            steps.push(GreedyStep::Degree1Star { leaf, root });
+        }
+        // Second step: pendant triangles — (x, y, z) whose x and y have no
+        // edges outside the triangle.
+        loop {
+            let found = f.triangles().into_iter().find_map(|(x, y, z)| {
+                // Two of the three vertices must have residual degree 2.
+                let degs = [f.degree(x), f.degree(y), f.degree(z)];
+                let deg2 = degs.iter().filter(|&&d| d == 2).count();
+                (deg2 >= 2).then_some([x, y, z])
+            });
+            let Some(nodes) = found else {
+                break;
+            };
+            let [x, y, z] = nodes;
+            for (a, b) in [(x, y), (x, z), (y, z)] {
+                f.remove_edge(a, b);
+            }
+            groups.push(EdgeGroup::triangle(x, y, z));
+            steps.push(GreedyStep::PendantTriangle { nodes });
+        }
+        // Third step: the edge with the largest number of adjacent edges
+        // seeds a star at each endpoint.
+        if !f.is_empty() {
+            let edge = match rule {
+                Step3Rule::MaxAdjacency => f
+                    .edges()
+                    .max_by_key(|&e| (f.adjacent_edge_count(e), std::cmp::Reverse(e)))
+                    .expect("residual graph is non-empty"),
+                Step3Rule::FirstEdge => f.edges().next().expect("residual graph is non-empty"),
+            };
+            let (x, y) = edge.endpoints();
+            let star_y: Vec<Edge> = f.incident_edges(y).collect();
+            for e in &star_y {
+                f.remove_edge(e.lo(), e.hi());
+            }
+            groups.push(EdgeGroup::star(y, star_y));
+            let star_x: Vec<Edge> = f.incident_edges(x).collect();
+            if !star_x.is_empty() {
+                for e in &star_x {
+                    f.remove_edge(e.lo(), e.hi());
+                }
+                groups.push(EdgeGroup::star(x, star_x));
+            }
+            steps.push(GreedyStep::DoubleStar { edge });
+        }
+    }
+
+    let decomposition = EdgeDecomposition::new(groups)
+        .expect("greedy removes emitted edges, so groups are disjoint");
+    GreedyRun {
+        decomposition,
+        steps,
+    }
+}
+
+/// Decomposition into stars rooted at a vertex cover (the construction in
+/// Theorem 5's proof): every edge is assigned to one covered endpoint; an
+/// edge with both endpoints covered goes to the smaller id. Cover vertices
+/// with no assigned edges produce no group, so the size is at most
+/// `cover.len()`.
+///
+/// # Panics
+///
+/// Panics if `cover` is not a vertex cover of `g`.
+pub fn from_vertex_cover(g: &Graph, cover: &[NodeId]) -> EdgeDecomposition {
+    assert!(
+        crate::cover::is_vertex_cover(g, cover),
+        "the provided vertex set is not a vertex cover"
+    );
+    let in_cover = {
+        let mut v = vec![false; g.node_count()];
+        for &c in cover {
+            v[c] = true;
+        }
+        v
+    };
+    let mut star_edges: BTreeMap<NodeId, Vec<Edge>> = BTreeMap::new();
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        let root = if in_cover[u] { u } else { v };
+        star_edges.entry(root).or_default().push(e);
+    }
+    let groups = star_edges
+        .into_iter()
+        .map(|(center, edges)| EdgeGroup::star(center, edges))
+        .collect();
+    EdgeDecomposition::new(groups).expect("per-root assignment is disjoint")
+}
+
+/// The trivial decomposition of size at most `N − 2` used in Theorem 5 when
+/// the vertex cover is large: stars at nodes `0..N−3` (each taking its edges
+/// toward higher-numbered nodes), with the leftover edges among the last
+/// three nodes forming a final triangle or star. For the complete graph
+/// `K_N` this is exactly Figure 3(a)'s `N − 3` stars plus one triangle.
+pub fn trivial(g: &Graph) -> EdgeDecomposition {
+    let n = g.node_count();
+    let mut groups = Vec::new();
+    let cutoff = n.saturating_sub(3);
+    // Each edge goes to the star of its smaller endpoint, provided that
+    // endpoint is below the cutoff; what remains lies entirely among the
+    // last three nodes.
+    for v in 0..cutoff {
+        let edges: Vec<Edge> = g.incident_edges(v).filter(|e| e.lo() == v).collect();
+        if !edges.is_empty() {
+            groups.push(EdgeGroup::star(v, edges));
+        }
+    }
+    // Leftover: edges entirely among the last three nodes — a subgraph of a
+    // triangle, hence a triangle or a star.
+    let last: Vec<Edge> = g.edges().filter(|e| e.lo() >= cutoff).collect();
+    if !last.is_empty() {
+        // At most three edges among three nodes: a triangle, or one/two
+        // edges sharing a vertex (a star) — group_from_edges covers both.
+        groups.push(group_from_edges(&last));
+    }
+    EdgeDecomposition::new(groups).expect("trivial construction assigns each edge once")
+}
+
+/// Maximum number of edges supported by [`optimal`]'s exact search.
+pub const OPTIMAL_EDGE_LIMIT: usize = 26;
+
+/// Exact minimum edge decomposition by memoized branch-and-bound over edge
+/// subsets. Intended for the small graphs of ratio experiments.
+///
+/// The search branches, for the lowest-index uncovered edge `(u, v)`, over
+/// the maximal residual star at `u`, the maximal residual star at `v`, and
+/// every residual triangle through the edge. Taking maximal stars is safe:
+/// removing an edge from any star or triangle leaves a valid (possibly
+/// empty) group, so any optimum can be rewritten to use maximal stars.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`OPTIMAL_EDGE_LIMIT`] edges.
+pub fn optimal(g: &Graph) -> EdgeDecomposition {
+    let edges: Vec<Edge> = g.edges().collect();
+    let m = edges.len();
+    assert!(
+        m <= OPTIMAL_EDGE_LIMIT,
+        "optimal() supports at most {OPTIMAL_EDGE_LIMIT} edges, got {m}"
+    );
+    if m == 0 {
+        return EdgeDecomposition::new(Vec::new()).expect("empty decomposition is valid");
+    }
+    let index: HashMap<Edge, usize> = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let full: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+
+    // Precompute incident-edge masks per node and triangles per edge.
+    let mut incident = vec![0u64; g.node_count()];
+    for (i, e) in edges.iter().enumerate() {
+        incident[e.lo()] |= 1 << i;
+        incident[e.hi()] |= 1 << i;
+    }
+    let mut tri_by_edge: Vec<Vec<u64>> = vec![Vec::new(); m];
+    for (x, y, z) in g.triangles() {
+        let mask = (1u64 << index[&Edge::new(x, y)])
+            | (1u64 << index[&Edge::new(x, z)])
+            | (1u64 << index[&Edge::new(y, z)]);
+        for (a, b) in [(x, y), (x, z), (y, z)] {
+            tri_by_edge[index[&Edge::new(a, b)]].push(mask);
+        }
+    }
+
+    struct Search<'a> {
+        edges: &'a [Edge],
+        incident: &'a [u64],
+        tri_by_edge: &'a [Vec<u64>],
+        memo: HashMap<u64, (usize, u64)>, // remaining mask -> (best count, chosen group mask)
+    }
+
+    impl Search<'_> {
+        fn solve(&mut self, remaining: u64) -> usize {
+            if remaining == 0 {
+                return 0;
+            }
+            if let Some(&(count, _)) = self.memo.get(&remaining) {
+                return count;
+            }
+            let lowest = remaining.trailing_zeros() as usize;
+            let e = self.edges[lowest];
+            let mut best = usize::MAX;
+            let mut best_group = 0u64;
+            let star_u = self.incident[e.lo()] & remaining;
+            let star_v = self.incident[e.hi()] & remaining;
+            let mut candidates = vec![star_u, star_v];
+            for &tri in &self.tri_by_edge[lowest] {
+                if tri & remaining == tri {
+                    candidates.push(tri);
+                }
+            }
+            for group in candidates {
+                debug_assert!(group & (1 << lowest) != 0);
+                let sub = self.solve(remaining & !group);
+                if sub != usize::MAX && sub + 1 < best {
+                    best = sub + 1;
+                    best_group = group;
+                }
+            }
+            self.memo.insert(remaining, (best, best_group));
+            best
+        }
+    }
+
+    let mut search = Search {
+        edges: &edges,
+        incident: &incident,
+        tri_by_edge: &tri_by_edge,
+        memo: HashMap::new(),
+    };
+    let size = search.solve(full);
+    debug_assert_ne!(size, usize::MAX);
+
+    // Reconstruct the chosen groups from the memo.
+    let mut groups = Vec::with_capacity(size);
+    let mut remaining = full;
+    while remaining != 0 {
+        let (_, group_mask) = search.memo[&remaining];
+        let group_edges: Vec<Edge> = (0..m)
+            .filter(|i| group_mask & (1 << i) != 0)
+            .map(|i| edges[i])
+            .collect();
+        groups.push(group_from_edges(&group_edges));
+        remaining &= !group_mask;
+    }
+    let dec = EdgeDecomposition::new(groups).expect("search picks disjoint groups");
+    debug_assert_eq!(dec.len(), size);
+    dec
+}
+
+/// Size of the exact optimal decomposition, `α(G)`.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`OPTIMAL_EDGE_LIMIT`] edges.
+pub fn alpha(g: &Graph) -> usize {
+    optimal(g).len()
+}
+
+/// A lower bound on `α(G)`: the size of a greedily built maximal matching.
+/// Pairwise non-adjacent edges must occupy pairwise distinct groups (both
+/// stars and triangles have pairwise adjacent edges), so any matching's size
+/// bounds the decomposition from below.
+pub fn matching_lower_bound(g: &Graph) -> usize {
+    let mut covered = vec![false; g.node_count()];
+    let mut size = 0;
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if !covered[u] && !covered[v] {
+            covered[u] = true;
+            covered[v] = true;
+            size += 1;
+        }
+    }
+    size
+}
+
+/// The smallest decomposition among the fast (polynomial) constructions:
+/// [`greedy`], [`from_vertex_cover`] over the exact cover when the graph is
+/// small (else the two-approximate cover), and [`trivial`]. This is what the
+/// higher layers use by default to size their vector clocks.
+pub fn best_known(g: &Graph) -> EdgeDecomposition {
+    let mut best = greedy(g);
+    let cover = if let Some(exact) = crate::cover::bipartite_exact(g) {
+        exact // polynomial-time optimal (König) at any scale
+    } else if g.node_count() <= 24 {
+        crate::cover::exact_min(g)
+    } else {
+        crate::cover::greedy_max_degree(g)
+    };
+    for candidate in [from_vertex_cover(g, &cover), trivial(g)] {
+        if candidate.len() < best.len() {
+            best = candidate;
+        }
+    }
+    best
+}
+
+fn group_from_edges(edges: &[Edge]) -> EdgeGroup {
+    debug_assert!(!edges.is_empty());
+    // Try a star first: find a common endpoint.
+    let (a, b) = edges[0].endpoints();
+    for center in [a, b] {
+        if edges.iter().all(|e| e.is_incident_to(center)) {
+            return EdgeGroup::star(center, edges.to_vec());
+        }
+    }
+    // Otherwise it must be a triangle.
+    debug_assert_eq!(edges.len(), 3);
+    let mut nodes: Vec<NodeId> = edges.iter().flat_map(|e| [e.lo(), e.hi()]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    debug_assert_eq!(nodes.len(), 3);
+    EdgeGroup::triangle(nodes[0], nodes[1], nodes[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_topology_is_one_group() {
+        let g = topology::star(6);
+        let dec = greedy(&g);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.len(), 1);
+        assert_eq!(alpha(&g), 1);
+    }
+
+    #[test]
+    fn triangle_topology_is_one_group() {
+        let g = topology::triangle();
+        let dec = greedy(&g);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.len(), 1);
+        assert!(!dec.groups()[0].is_star());
+    }
+
+    #[test]
+    fn fig3_k5_decompositions() {
+        // Figure 3: K5 decomposes into (a) 2 stars + 1 triangle via the
+        // trivial construction, and (b) 4 stars via a vertex cover.
+        let k5 = topology::complete(5);
+        let a = trivial(&k5);
+        a.validate(&k5).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.star_count(), 2);
+        assert_eq!(a.triangle_count(), 1);
+
+        let cover = crate::cover::exact_min(&k5); // 4 vertices
+        let b = from_vertex_cover(&k5, &cover);
+        b.validate(&k5).unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.triangle_count(), 0);
+
+        // And N - 2 = 3 is optimal for K5.
+        assert_eq!(alpha(&k5), 3);
+    }
+
+    #[test]
+    fn fig4_tree20_three_stars() {
+        let g = topology::figure4_tree();
+        let dec = greedy(&g);
+        dec.validate(&g).unwrap();
+        // Figure 4: E1 (root's star is absorbed into hub stars), three
+        // groups total, all stars.
+        assert!(dec.len() <= 4, "got {}", dec.len());
+        assert_eq!(dec.triangle_count(), 0);
+        // Theorem 7: greedy is optimal on acyclic graphs; the hub cover
+        // {1, 2, 3} yields 3 stars, and a 20-node tree with 3 hubs cannot
+        // do better than 3 (matching (0,1),(2,x),(3,y) is size 3).
+        assert_eq!(dec.len(), 3);
+    }
+
+    #[test]
+    fn fig8_greedy_run_matches_narration() {
+        let g = topology::figure2b();
+        let run = greedy_with_trace(&g);
+        run.decomposition.validate(&g).unwrap();
+        // Step sequence: one degree-1 star, one pendant triangle, one
+        // double-star, then the loop-back degree-1 star on (j, k).
+        let kinds: Vec<&str> = run
+            .steps
+            .iter()
+            .map(|s| match s {
+                GreedyStep::Degree1Star { .. } => "star1",
+                GreedyStep::PendantTriangle { .. } => "triangle",
+                GreedyStep::DoubleStar { .. } => "double",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["star1", "triangle", "double", "star1"]);
+        // The loop-back star is the edge (j, k) = (9, 10).
+        match run.steps.last().unwrap() {
+            GreedyStep::Degree1Star { leaf, root } => {
+                assert_eq!(Edge::new(*leaf, *root), Edge::new(9, 10));
+            }
+            other => panic!("unexpected final step {other:?}"),
+        }
+        // Greedy emits 5 groups (double-star emits two), matching the
+        // optimal size; the optimal uses 4 stars + 1 triangle (Figure 8(f)).
+        assert_eq!(run.decomposition.len(), 5);
+        let opt = optimal(&g);
+        opt.validate(&g).unwrap();
+        assert_eq!(opt.len(), 5);
+        // The greedy maximal matching is a valid (if not tight) lower
+        // bound; the true maximum matching {(0,1),(2,3),(4,6),(5,7),(9,10)}
+        // has size 5, certifying that 5 groups are optimal.
+        let lb = matching_lower_bound(&g);
+        assert!(lb >= 4 && lb <= opt.len());
+        // An optimal decomposition with 4 stars + 1 triangle exists.
+        let witness = EdgeDecomposition::new(vec![
+            EdgeGroup::star(1, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(1, 3)]),
+            EdgeGroup::triangle(2, 3, 4),
+            EdgeGroup::star(
+                4,
+                vec![
+                    Edge::new(4, 5),
+                    Edge::new(4, 6),
+                    Edge::new(4, 7),
+                    Edge::new(4, 8),
+                    Edge::new(4, 9),
+                ],
+            ),
+            EdgeGroup::star(
+                5,
+                vec![
+                    Edge::new(5, 6),
+                    Edge::new(5, 7),
+                    Edge::new(5, 8),
+                    Edge::new(5, 10),
+                ],
+            ),
+            EdgeGroup::star(9, vec![Edge::new(9, 10)]),
+        ])
+        .unwrap();
+        witness.validate(&g).unwrap();
+        assert_eq!(witness.len(), 5);
+        assert_eq!(witness.star_count(), 4);
+        assert_eq!(witness.triangle_count(), 1);
+    }
+
+    #[test]
+    fn client_server_decomposes_to_server_stars() {
+        let g = topology::client_server(3, 12);
+        let dec = best_known(&g);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.len(), 3);
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_forests() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for n in 2..14 {
+            let g = topology::random_tree(n, &mut rng);
+            let gr = greedy(&g);
+            gr.validate(&g).unwrap();
+            assert_eq!(gr.len(), alpha(&g), "tree n={n}");
+            assert_eq!(gr.triangle_count(), 0);
+        }
+    }
+
+    #[test]
+    fn greedy_within_ratio_two() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in 3..9 {
+            for p in [0.3, 0.6] {
+                let g = topology::gnp(n, p, &mut rng);
+                if g.edge_count() == 0 || g.edge_count() > OPTIMAL_EDGE_LIMIT {
+                    continue;
+                }
+                let gr = greedy(&g);
+                gr.validate(&g).unwrap();
+                let opt = alpha(&g);
+                assert!(gr.len() <= 2 * opt, "n={n} p={p}: {} > 2*{}", gr.len(), opt);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_triangles_alpha_vs_beta() {
+        // The tight example for β ≤ 2α: t triangles.
+        let g = topology::disjoint_triangles(3);
+        assert_eq!(alpha(&g), 3);
+        assert_eq!(crate::cover::beta(&g), 6);
+        let dec = greedy(&g);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.len(), 3);
+        assert_eq!(dec.triangle_count(), 3);
+    }
+
+    #[test]
+    fn trivial_at_most_n_minus_2() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for n in 3..12 {
+            let g = topology::gnp(n, 0.5, &mut rng);
+            if g.is_empty() {
+                continue;
+            }
+            let dec = trivial(&g);
+            dec.validate(&g).unwrap();
+            assert!(dec.len() <= n - 2, "n={n}: {}", dec.len());
+        }
+    }
+
+    #[test]
+    fn trivial_on_complete_matches_figure3a() {
+        for n in 4..9 {
+            let g = topology::complete(n);
+            let dec = trivial(&g);
+            dec.validate(&g).unwrap();
+            assert_eq!(dec.len(), n - 2, "K_{n}");
+            assert_eq!(dec.star_count(), n - 3);
+            assert_eq!(dec.triangle_count(), 1);
+        }
+    }
+
+    #[test]
+    fn from_vertex_cover_respects_cover_size() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in 3..12 {
+            let g = topology::random_connected(n, 2, &mut rng);
+            let cover = crate::cover::exact_min(&g);
+            let dec = from_vertex_cover(&g, &cover);
+            dec.validate(&g).unwrap();
+            assert!(dec.len() <= cover.len());
+            assert_eq!(dec.triangle_count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a vertex cover")]
+    fn from_vertex_cover_rejects_non_cover() {
+        let g = topology::path(4);
+        from_vertex_cover(&g, &[0]);
+    }
+
+    #[test]
+    fn extend_star_adds_channels_in_place() {
+        let mut dec = EdgeDecomposition::new(vec![
+            EdgeGroup::star(0, vec![Edge::new(0, 1)]),
+            EdgeGroup::triangle(2, 3, 4),
+        ])
+        .unwrap();
+        dec.extend_star(0, Edge::new(0, 5)).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec.group_of(Edge::new(0, 5)), Some(0));
+        // Duplicate edges are rejected.
+        assert!(matches!(
+            dec.extend_star(0, Edge::new(0, 5)),
+            Err(GraphError::OverlappingGroups { .. })
+        ));
+        // Edges not incident to the center are rejected.
+        assert!(matches!(
+            dec.extend_star(0, Edge::new(5, 6)),
+            Err(GraphError::NotAStar { group: 0 })
+        ));
+        // Triangles cannot be extended.
+        assert!(matches!(
+            dec.extend_star(1, Edge::new(2, 5)),
+            Err(GraphError::NotAStar { group: 1 })
+        ));
+    }
+
+    #[test]
+    fn push_star_grows_dimension() {
+        let mut dec =
+            EdgeDecomposition::new(vec![EdgeGroup::star(0, vec![Edge::new(0, 1)])]).unwrap();
+        let idx = dec.push_star(7, Edge::new(7, 8)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec.group_of(Edge::new(7, 8)), Some(1));
+        assert!(matches!(
+            dec.push_star(8, Edge::new(7, 8)),
+            Err(GraphError::OverlappingGroups { .. })
+        ));
+        assert!(matches!(
+            dec.push_star(3, Edge::new(7, 9)),
+            Err(GraphError::NotAStar { .. })
+        ));
+    }
+
+    #[test]
+    fn decomposition_rejects_overlap() {
+        let e = Edge::new(0, 1);
+        let err = EdgeDecomposition::new(vec![
+            EdgeGroup::star(0, vec![e]),
+            EdgeGroup::star(1, vec![e]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GraphError::OverlappingGroups { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_uncovered_and_unknown_edges() {
+        let g = topology::path(3); // edges (0,1), (1,2)
+        let partial =
+            EdgeDecomposition::new(vec![EdgeGroup::star(1, vec![Edge::new(0, 1)])]).unwrap();
+        assert!(matches!(
+            partial.validate(&g),
+            Err(GraphError::UncoveredEdge(_))
+        ));
+
+        let foreign =
+            EdgeDecomposition::new(vec![EdgeGroup::star(0, vec![Edge::new(0, 2)])]).unwrap();
+        assert!(matches!(
+            foreign.validate(&g),
+            Err(GraphError::UnknownEdge(_))
+        ));
+    }
+
+    #[test]
+    fn group_of_maps_channels_to_components() {
+        let g = topology::figure2b();
+        let dec = greedy(&g);
+        for e in g.edges() {
+            let idx = dec.group_of(e).expect("every edge has a group");
+            assert!(dec.groups()[idx].edges().contains(&e));
+        }
+        assert_eq!(dec.group_of(Edge::new(0, 10)), None);
+    }
+
+    #[test]
+    fn optimal_matches_lower_bound_families() {
+        // alpha(path_n) = ceil((n-1)/2)? No: stars at alternating internal
+        // nodes cover two edges each, so alpha = ceil(m/2) for paths.
+        for n in 2..10 {
+            let g = topology::path(n);
+            assert_eq!(alpha(&g), (n - 1).div_ceil(2), "path {n}");
+        }
+        // Cycle: each star covers at most 2 edges, no triangles for n > 3.
+        for n in 4..9 {
+            let g = topology::cycle(n);
+            assert_eq!(alpha(&g), n.div_ceil(2), "cycle {n}");
+        }
+    }
+
+    #[test]
+    fn greedy_deterministic() {
+        let g = topology::figure2b();
+        assert_eq!(greedy_with_trace(&g), greedy_with_trace(&g));
+    }
+
+    #[test]
+    fn display_forms() {
+        let dec = EdgeDecomposition::new(vec![
+            EdgeGroup::star(0, vec![Edge::new(0, 1)]),
+            EdgeGroup::triangle(2, 3, 4),
+        ])
+        .unwrap();
+        let s = dec.to_string();
+        assert!(s.contains("star@0"));
+        assert!(s.contains("triangle(2, 3, 4)"));
+    }
+
+    #[test]
+    fn empty_graph_decomposes_to_nothing() {
+        let g = Graph::new(4);
+        let dec = greedy(&g);
+        dec.validate(&g).unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(alpha(&g), 0);
+        let t = trivial(&g);
+        t.validate(&g).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+use crate::{Edge, NodeId};
+
+/// Errors produced by graph construction and decomposition validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint refers to a node id outside the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; communication topologies are
+    /// simple graphs.
+    SelfLoop(NodeId),
+    /// The same edge was supplied twice.
+    DuplicateEdge(Edge),
+    /// A decomposition group contains an edge that is not in the graph.
+    UnknownEdge(Edge),
+    /// A decomposition assigns the same edge to two groups.
+    OverlappingGroups {
+        /// The edge covered twice.
+        edge: Edge,
+        /// Index of the first group containing it.
+        first: usize,
+        /// Index of the second group containing it.
+        second: usize,
+    },
+    /// A decomposition misses an edge of the graph.
+    UncoveredEdge(Edge),
+    /// A group labelled as a star is not a star rooted at its center.
+    NotAStar {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// A group labelled as a triangle does not consist of exactly the three
+    /// edges of a triangle.
+    NotATriangle {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// A group is empty; decompositions must consist of non-empty groups.
+    EmptyGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge(e) => write!(f, "duplicate edge {e}"),
+            GraphError::UnknownEdge(e) => write!(f, "edge {e} is not present in the graph"),
+            GraphError::OverlappingGroups {
+                edge,
+                first,
+                second,
+            } => write!(
+                f,
+                "edge {edge} assigned to both group {first} and group {second}"
+            ),
+            GraphError::UncoveredEdge(e) => write!(f, "edge {e} is not covered by any group"),
+            GraphError::NotAStar { group } => write!(f, "group {group} is not a star"),
+            GraphError::NotATriangle { group } => write!(f, "group {group} is not a triangle"),
+            GraphError::EmptyGroup { group } => write!(f, "group {group} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,558 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// Identifier of a node (process) in a communication topology.
+///
+/// Nodes of a [`Graph`] with `n` nodes are exactly `0..n`. The paper writes
+/// processes `P_1..P_N`; we use zero-based ids throughout.
+pub type NodeId = usize;
+
+/// An undirected edge with normalized endpoints (`lo() <= hi()`).
+///
+/// Two `Edge` values compare equal iff they connect the same pair of nodes,
+/// regardless of the order the endpoints were supplied in.
+///
+/// ```
+/// use synctime_graph::Edge;
+/// assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized edge between two distinct nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; communication topologies are simple graphs. Use
+    /// [`Edge::try_new`] for a fallible variant.
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        Edge::try_new(u, v).expect("self-loops are not valid edges")
+    }
+
+    /// Creates a normalized edge, returning an error on a self-loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`.
+    pub fn try_new(u: NodeId, v: NodeId) -> Result<Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        Ok(Edge {
+            a: u.min(v),
+            b: u.max(v),
+        })
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> NodeId {
+        self.a
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> NodeId {
+        self.b
+    }
+
+    /// Both endpoints as a `(min, max)` pair.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// Whether `v` is one of the endpoints.
+    pub fn is_incident_to(self, v: NodeId) -> bool {
+        self.a == v || self.b == v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of this edge.
+    pub fn other(self, v: NodeId) -> NodeId {
+        if v == self.a {
+            self.b
+        } else if v == self.b {
+            self.a
+        } else {
+            panic!("node {v} is not an endpoint of edge {self}")
+        }
+    }
+
+    /// Whether two edges share at least one endpoint (are *adjacent*).
+    pub fn is_adjacent_to(self, other: Edge) -> bool {
+        self.is_incident_to(other.a) || self.is_incident_to(other.b)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    fn from((u, v): (NodeId, NodeId)) -> Self {
+        Edge::new(u, v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+/// A simple undirected graph over nodes `0..n`, used as the communication
+/// topology of a synchronous system: `(P_i, P_j)` is an edge when the two
+/// processes can exchange (synchronous) messages directly.
+///
+/// The representation keeps both an adjacency structure (for neighborhood
+/// queries) and a sorted edge set (for deterministic iteration), so all
+/// algorithms in this workspace are reproducible run-to-run.
+///
+/// ```
+/// use synctime_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.is_acyclic());
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    node_count: usize,
+    adjacency: Vec<BTreeSet<NodeId>>,
+    edges: BTreeSet<Edge>,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        Graph {
+            node_count,
+            adjacency: vec![BTreeSet::new(); node_count],
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a
+    /// self-loop, or the same edge appears twice.
+    pub fn from_edges<I>(node_count: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::new(node_count);
+        for (u, v) in edges {
+            g.try_add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count
+    }
+
+    /// Iterates over all edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The sorted edge set.
+    pub fn edge_set(&self) -> &BTreeSet<Edge> {
+        &self.edges
+    }
+
+    /// Adds an edge between two distinct in-range nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    /// Use [`Graph::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.try_add_edge(u, v)
+            .expect("invalid edge insertion; use try_add_edge to handle errors");
+    }
+
+    /// Adds an edge, validating endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`].
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        for &x in &[u, v] {
+            if x >= self.node_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node: x,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        let edge = Edge::try_new(u, v)?;
+        if !self.edges.insert(edge) {
+            return Err(GraphError::DuplicateEdge(edge));
+        }
+        self.adjacency[u].insert(v);
+        self.adjacency[v].insert(u);
+        Ok(())
+    }
+
+    /// Removes an edge if present; returns whether it was present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        match Edge::try_new(u, v) {
+            Ok(edge) if self.edges.remove(&edge) => {
+                self.adjacency[u].remove(&v);
+                self.adjacency[v].remove(&u);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Edge::try_new(u, v).is_ok_and(|e| self.edges.contains(&e))
+    }
+
+    /// Whether the given [`Edge`] is present.
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.edges.contains(&edge)
+    }
+
+    /// Neighbors of `v` in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[v].iter().copied()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Edges incident to `v`, in sorted order.
+    pub fn incident_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency[v].iter().map(move |&u| Edge::new(u, v))
+    }
+
+    /// Number of edges adjacent to the edge `(u, v)` (sharing an endpoint
+    /// with it, excluding the edge itself). This is the quantity maximized
+    /// by step 3 of the paper's Figure 7 algorithm.
+    pub fn adjacent_edge_count(&self, edge: Edge) -> usize {
+        let (u, v) = edge.endpoints();
+        // Shared neighbors would be double-counted via both endpoints, but
+        // each shared neighbor contributes two *distinct* adjacent edges
+        // ((u,w) and (v,w)), so the sum is correct after removing the edge
+        // itself from both endpoint counts.
+        self.degree(u) + self.degree(v) - 2
+    }
+
+    /// Whether all of the graph's edges are incident to a single node, i.e.
+    /// the edge set forms a *star*. Graphs with no edges are not stars.
+    ///
+    /// A single edge is a star (rooted at either endpoint).
+    pub fn is_star(&self) -> bool {
+        let mut edges = self.edges.iter();
+        let Some(first) = edges.next() else {
+            return false;
+        };
+        let (a, b) = first.endpoints();
+        let mut candidates = vec![a, b];
+        for e in edges {
+            candidates.retain(|&c| e.is_incident_to(c));
+            if candidates.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the edge set consists of exactly three edges forming a
+    /// triangle.
+    pub fn is_triangle(&self) -> bool {
+        if self.edges.len() != 3 {
+            return false;
+        }
+        let mut nodes = BTreeSet::new();
+        for e in &self.edges {
+            nodes.insert(e.lo());
+            nodes.insert(e.hi());
+        }
+        nodes.len() == 3
+    }
+
+    /// Whether the graph is connected, considering only nodes that have at
+    /// least one incident edge (isolated nodes are ignored so that
+    /// topologies padded with unused process slots still count as
+    /// connected). Graphs with no edges are considered connected.
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.nodes().find(|&v| self.degree(v) > 0) else {
+            return true;
+        };
+        let mut seen = vec![false; self.node_count];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for u in self.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        self.nodes().all(|v| self.degree(v) == 0 || seen[v])
+    }
+
+    /// Whether the graph contains no cycle (is a forest).
+    pub fn is_acyclic(&self) -> bool {
+        let mut seen = vec![false; self.node_count];
+        for root in self.nodes() {
+            if seen[root] {
+                continue;
+            }
+            // DFS remembering the parent edge; a visited non-parent
+            // neighbor closes a cycle.
+            let mut stack = vec![(root, usize::MAX)];
+            seen[root] = true;
+            while let Some((v, parent)) = stack.pop() {
+                for u in self.neighbors(v) {
+                    if u == parent {
+                        continue;
+                    }
+                    if seen[u] {
+                        return false;
+                    }
+                    seen[u] = true;
+                    stack.push((u, v));
+                }
+            }
+        }
+        true
+    }
+
+    /// All triangles `(x, y, z)` with `x < y < z`, in lexicographic order.
+    pub fn triangles(&self) -> Vec<(NodeId, NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            let (x, y) = e.endpoints();
+            for z in self.adjacency[x].intersection(&self.adjacency[y]) {
+                if *z > y {
+                    out.push((x, y, *z));
+                }
+            }
+        }
+        out
+    }
+
+    /// The subgraph induced by keeping only the given edges (same node set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if one of the edges is not present in this graph.
+    pub fn edge_subgraph(&self, edges: &[Edge]) -> Graph {
+        let mut g = Graph::new(self.node_count);
+        for e in edges {
+            assert!(self.contains(*e), "edge {e} not in graph");
+            g.add_edge(e.lo(), e.hi());
+        }
+        g
+    }
+
+    /// Maximum degree over all nodes; 0 for edgeless graphs.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e = Edge::new(5, 2);
+        assert_eq!(e.lo(), 2);
+        assert_eq!(e.hi(), 5);
+        assert_eq!(e, Edge::new(2, 5));
+        assert_eq!(e.endpoints(), (2, 5));
+    }
+
+    #[test]
+    fn edge_rejects_self_loop() {
+        assert_eq!(Edge::try_new(3, 3), Err(GraphError::SelfLoop(3)));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(1, 4);
+        assert_eq!(e.other(1), 4);
+        assert_eq!(e.other(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_on_non_endpoint() {
+        Edge::new(1, 4).other(2);
+    }
+
+    #[test]
+    fn edge_adjacency() {
+        assert!(Edge::new(0, 1).is_adjacent_to(Edge::new(1, 2)));
+        assert!(!Edge::new(0, 1).is_adjacent_to(Edge::new(2, 3)));
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(2, 1);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert_eq!(
+            g.try_add_edge(1, 0),
+            Err(GraphError::DuplicateEdge(Edge::new(0, 1)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        assert_eq!(
+            g.try_add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(1, 0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn star_detection() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(g.is_star());
+        let h = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!h.is_star());
+        let single = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(single.is_star());
+        assert!(!Graph::new(3).is_star());
+    }
+
+    #[test]
+    fn triangle_detection() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert!(g.is_triangle());
+        assert!(!g.is_star());
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(!path.is_triangle());
+    }
+
+    #[test]
+    fn connectivity_ignores_isolated_nodes() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2)]).unwrap();
+        assert!(g.is_connected());
+        let h = Graph::from_edges(5, [(0, 1), (3, 4)]).unwrap();
+        assert!(!h.is_connected());
+        assert!(Graph::new(7).is_connected());
+    }
+
+    #[test]
+    fn acyclicity() {
+        let tree = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert!(tree.is_acyclic());
+        let cyc = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!cyc.is_acyclic());
+        // Two disjoint components, one cyclic.
+        let mix = Graph::from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert!(!mix.is_acyclic());
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]).unwrap();
+        assert_eq!(g.triangles(), vec![(0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn adjacent_edge_count_counts_both_endpoints() {
+        // path 0-1-2-3: edge (1,2) has two adjacent edges.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.adjacent_edge_count(Edge::new(1, 2)), 2);
+        assert_eq!(g.adjacent_edge_count(Edge::new(0, 1)), 1);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_node_count() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sub = g.edge_subgraph(&[Edge::new(1, 2)]);
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Edge::new(2, 1).to_string(), "(1, 2)");
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(g.to_string(), "Graph(n=3, m=1)");
+    }
+}

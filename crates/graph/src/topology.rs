@@ -1,0 +1,590 @@
+//! Generators for the communication-topology families discussed in the
+//! paper: stars and triangles (Lemma 1), trees (Figure 4), complete graphs
+//! (Figure 3), client–server bipartite systems (Section 3.3), and the random
+//! and structured families used by the benchmark sweeps.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// A star with `leaves` leaves rooted at node 0 (so `leaves + 1` nodes).
+///
+/// By Lemma 1 of the paper, every synchronous computation over a star
+/// topology has a totally ordered message set, so a *single integer*
+/// suffices as a timestamp.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn star(leaves: usize) -> Graph {
+    assert!(leaves > 0, "a star needs at least one leaf");
+    let mut g = Graph::new(leaves + 1);
+    for leaf in 1..=leaves {
+        g.add_edge(0, leaf);
+    }
+    g
+}
+
+/// The triangle on three nodes — the other topology whose computations are
+/// always totally ordered (Lemma 1).
+pub fn triangle() -> Graph {
+    Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).expect("triangle edges are valid")
+}
+
+/// A simple path `0 - 1 - ... - (n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2, "a path needs at least two nodes");
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v);
+    }
+    g
+}
+
+/// A cycle on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least three nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The complete graph `K_n` — the paper's worst case, whose smallest edge
+/// decomposition has `n - 2` groups (`n - 3` stars plus one triangle,
+/// Figure 3(a)).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2, "a complete graph needs at least two nodes");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A balanced tree in which every internal node has `branching` children and
+/// leaves sit at depth `depth`. Node 0 is the root; children are laid out in
+/// breadth-first order. `depth == 0` yields a single isolated root.
+///
+/// # Panics
+///
+/// Panics if `branching == 0` and `depth > 0`.
+pub fn balanced_tree(branching: usize, depth: usize) -> Graph {
+    if depth == 0 {
+        return Graph::new(1);
+    }
+    assert!(branching > 0, "branching factor must be positive");
+    // Total nodes: 1 + b + b^2 + ... + b^depth.
+    let mut level_size = 1usize;
+    let mut total = 1usize;
+    for _ in 0..depth {
+        level_size *= branching;
+        total += level_size;
+    }
+    let mut g = Graph::new(total);
+    let mut next = 1usize;
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut new_frontier = Vec::with_capacity(frontier.len() * branching);
+        for &parent in &frontier {
+            for _ in 0..branching {
+                g.add_edge(parent, next);
+                new_frontier.push(next);
+                next += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    g
+}
+
+/// The 20-process tree of the paper's Figure 4, which decomposes into three
+/// stars. The figure shows a three-level tree; we reconstruct it as a root
+/// with three children, each internal child having further children for a
+/// total of 20 nodes: the root (node 0), 3 hubs (1..=3), and 16 leaves
+/// spread across the hubs.
+pub fn figure4_tree() -> Graph {
+    let mut g = Graph::new(20);
+    // Root and its three hub children.
+    for hub in 1..=3 {
+        g.add_edge(0, hub);
+    }
+    // Leaves: 6 under hub 1, 5 under hub 2, 5 under hub 3.
+    let mut next = 4;
+    for (hub, count) in [(1, 6), (2, 5), (3, 5)] {
+        for _ in 0..count {
+            g.add_edge(hub, next);
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, 20);
+    g
+}
+
+/// A client–server topology: the complete bipartite graph between `servers`
+/// server nodes (ids `0..servers`) and `clients` client nodes (ids
+/// `servers..servers+clients`). Clients only talk to servers, as in a system
+/// built on synchronous RPC/RMI (Section 3.3 of the paper); the edge set
+/// decomposes into one star per server, so timestamp vectors have
+/// `servers` components regardless of the number of clients.
+///
+/// # Panics
+///
+/// Panics if `servers == 0` or `clients == 0`.
+pub fn client_server(servers: usize, clients: usize) -> Graph {
+    assert!(servers > 0 && clients > 0, "need at least one of each");
+    let mut g = Graph::new(servers + clients);
+    for s in 0..servers {
+        for c in 0..clients {
+            g.add_edge(s, servers + c);
+        }
+    }
+    g
+}
+
+/// A 2-D grid topology with `rows * cols` nodes connected to their
+/// horizontal and vertical neighbors.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// `t` vertex-disjoint triangles (`3t` nodes). This is the tight example for
+/// the bound `β(G) ≤ 2·α(G)` (Section 3.3): the optimal star-and-triangle
+/// decomposition has `t` groups while any pure-star (vertex-cover)
+/// decomposition needs `2t`.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn disjoint_triangles(t: usize) -> Graph {
+    assert!(t > 0, "need at least one triangle");
+    let mut g = Graph::new(3 * t);
+    for i in 0..t {
+        let b = 3 * i;
+        g.add_edge(b, b + 1);
+        g.add_edge(b + 1, b + 2);
+        g.add_edge(b, b + 2);
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube (`2^d` nodes): vertices are bitstrings,
+/// edges connect strings at Hamming distance 1. A classic interconnect.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d > 0 && d <= 20, "hypercube dimension must be in 1..=20");
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// A `rows × cols` torus: the grid with wrap-around edges in both
+/// dimensions. Requires at least 3 rows and 3 columns so wrap-around edges
+/// do not duplicate grid edges.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3x3");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r % rows) * cols + (c % cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, c + 1));
+            g.add_edge(id(r, c), id(r + 1, c));
+        }
+    }
+    g
+}
+
+/// A wheel: a hub (node 0) connected to every rim node, plus the rim cycle
+/// `1..=n`. Its hub is a one-node vertex cover of the spokes; the rim
+/// still needs covering, making it a nice middle case between star and
+/// cycle.
+///
+/// # Panics
+///
+/// Panics if `rim < 3`.
+pub fn wheel(rim: usize) -> Graph {
+    assert!(rim >= 3, "a wheel needs at least 3 rim nodes");
+    let mut g = Graph::new(rim + 1);
+    for v in 1..=rim {
+        g.add_edge(0, v);
+        g.add_edge(v, v % rim + 1);
+    }
+    g
+}
+
+/// A barbell: two complete graphs `K_k` joined by a path of `bridge`
+/// edges. Stresses decompositions with two dense cores and a sparse cut.
+///
+/// # Panics
+///
+/// Panics if `k < 3` or `bridge == 0`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 3 && bridge >= 1, "need K_3 cores and a bridge");
+    let n = 2 * k + bridge.saturating_sub(1);
+    let mut g = Graph::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u, v);
+            g.add_edge(k + bridge - 1 + u, k + bridge - 1 + v);
+        }
+    }
+    // Path from node k-1 (in the first core) to node k+bridge-1 (first of
+    // the second core) through bridge-1 intermediate nodes.
+    let mut prev = k - 1;
+    for step in 0..bridge {
+        let next = k + step;
+        g.add_edge(prev, next);
+        prev = next;
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` nodes, drawn via a random Prüfer
+/// sequence.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2, "a tree needs at least two nodes");
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("valid edge");
+    }
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut g = Graph::new(n);
+    // Standard Prüfer decoding with a sorted set of current leaves.
+    let mut leaves: std::collections::BTreeSet<NodeId> =
+        (0..n).filter(|&v| degree[v] == 1).collect();
+    for &v in &prufer {
+        let leaf = *leaves.iter().next().expect("a leaf always exists");
+        leaves.remove(&leaf);
+        g.add_edge(leaf, v);
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.insert(v);
+        }
+    }
+    let mut last = leaves.into_iter();
+    let (u, v) = (
+        last.next().expect("two leaves remain"),
+        last.next().expect("two leaves remain"),
+    );
+    g.add_edge(u, v);
+    g
+}
+
+/// An Erdős–Rényi random graph `G(n, p)`: each of the `n(n-1)/2` candidate
+/// edges is present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A connected random graph: a random tree plus `extra_edges` additional
+/// distinct random non-tree edges (fewer if the graph saturates).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    let mut g = random_tree(n, rng);
+    let mut candidates: Vec<(NodeId, NodeId)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .filter(|&(u, v)| !g.has_edge(u, v))
+        .collect();
+    candidates.shuffle(rng);
+    for (u, v) in candidates.into_iter().take(extra_edges) {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// The 11-node topology of the paper's Figure 2(b), reconstructed (the exact
+/// drawing is not recoverable from the text; see DESIGN.md). Vertices are
+/// labelled `a..k` ↦ `0..10`. The reconstruction is constrained so that the
+/// greedy decomposition run matches the narration of Figure 8:
+///
+/// 1. step 1 fires (there is a degree-1 node) and emits one star;
+/// 2. step 2 then finds a pendant triangle `(x, y, z)` with
+///    `deg(x) = deg(y) = 2` and emits it;
+/// 3. step 3 emits two stars around the max-adjacency edge;
+/// 4. looping back, step 1 emits the lone remaining edge `(j, k)`;
+/// 5. the greedy total is 5 groups, and an optimal decomposition of the same
+///    size exists consisting of 4 stars and 1 triangle (Figure 8(f)).
+pub fn figure2b() -> Graph {
+    // Labels: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10.
+    Graph::from_edges(
+        11,
+        [
+            // Pendant node a hanging off hub b: the only degree-1 node, so
+            // step 1 fires exactly once, emitting the star at b.
+            (0, 1),
+            (1, 2),
+            (1, 3),
+            // Triangle c-d-e; after the step-1 deletion of b's edges, c and
+            // d have degree exactly 2, so step 2 emits this triangle.
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            // Dense middle around edge (e, f), the max-adjacency edge chosen
+            // by step 3 (8 adjacent edges): step 3 emits the star at f and
+            // the star at e.
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (4, 8),
+            (4, 9),
+            (5, 6),
+            (5, 7),
+            (5, 8),
+            (5, 10),
+            // After step 3 removes everything incident to e or f, only
+            // (j, k) remains; the loop-back step 1 emits it and exits.
+            (9, 10),
+        ],
+    )
+    .expect("figure 2(b) reconstruction is a valid simple graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_star());
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let g = triangle();
+        assert!(g.is_triangle());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert!(path(5).is_acyclic());
+        assert_eq!(path(5).edge_count(), 4);
+        assert!(!cycle(5).is_acyclic());
+        assert_eq!(cycle(5).edge_count(), 5);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_acyclic());
+        assert!(g.is_connected());
+        let trivial = balanced_tree(3, 0);
+        assert_eq!(trivial.node_count(), 1);
+        assert_eq!(trivial.edge_count(), 0);
+    }
+
+    #[test]
+    fn figure4_tree_shape() {
+        let g = figure4_tree();
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 19);
+        assert!(g.is_acyclic());
+        assert!(g.is_connected());
+        // Every edge is incident to the root or one of the three hubs.
+        for e in g.edges() {
+            assert!(
+                (0..=3).any(|hub| e.is_incident_to(hub)),
+                "edge {e} not covered by hubs"
+            );
+        }
+    }
+
+    #[test]
+    fn client_server_bipartite() {
+        let g = client_server(3, 10);
+        assert_eq!(g.node_count(), 13);
+        assert_eq!(g.edge_count(), 30);
+        // No server-server or client-client edges.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disjoint_triangles_shape() {
+        let g = disjoint_triangles(4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.triangles().len(), 4);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(g.is_connected());
+        // Bipartite (even/odd parity).
+        assert!(crate::cover::bipartition(&g).is_some());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 24);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.degree(0), 5);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 3));
+        assert_eq!(g.triangles().len(), 5);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 6 + 6 + 2);
+        assert!(g.is_connected());
+        let tight = barbell(3, 1);
+        assert_eq!(tight.node_count(), 6);
+        assert_eq!(tight.edge_count(), 3 + 3 + 1);
+        assert!(tight.is_connected());
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 2..30 {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.edge_count(), n - 1, "n={n}");
+            assert!(g.is_acyclic(), "n={n}");
+            assert!(g.is_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_seed_deterministic() {
+        let a = random_tree(12, &mut StdRng::seed_from_u64(42));
+        let b = random_tree(12, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(8, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(8, 1.0, &mut rng).edge_count(), 28);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 2..20 {
+            let g = random_connected(n, 3, &mut rng);
+            assert!(g.is_connected());
+            assert!(g.edge_count() >= n - 1);
+        }
+    }
+
+    #[test]
+    fn figure2b_is_connected_simple_graph() {
+        let g = figure2b();
+        assert_eq!(g.node_count(), 11);
+        assert!(g.is_connected());
+        // Node a (=0) must have degree 1 so that step 1 of Figure 8 fires.
+        assert_eq!(g.degree(0), 1);
+        // The lone far edge (j, k) exists.
+        assert!(g.has_edge(9, 10));
+    }
+}

@@ -1,0 +1,124 @@
+//! Crate-level property tests: structural invariants of graphs, covers,
+//! and decompositions under randomized inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime_graph::{cover, decompose, topology, Edge, EdgeGroup, Graph};
+
+prop_compose! {
+    fn arb_graph()(n in 2usize..14, p in 0.0f64..1.0, seed in 0u64..10_000) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::gnp(n, p, &mut rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edge_normalization_is_involutive(a in 0usize..100, b in 0usize..100) {
+        prop_assume!(a != b);
+        let e1 = Edge::new(a, b);
+        let e2 = Edge::new(b, a);
+        prop_assert_eq!(e1, e2);
+        prop_assert!(e1.lo() < e1.hi());
+        prop_assert_eq!(e1.other(a), b);
+        prop_assert_eq!(e1.other(b), a);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph()) {
+        for v in g.nodes() {
+            for u in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).any(|w| w == v));
+                prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            }
+        }
+        // Handshake lemma.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn remove_then_add_is_identity(g in arb_graph()) {
+        let mut h = g.clone();
+        let edges: Vec<Edge> = g.edges().collect();
+        for e in &edges {
+            prop_assert!(h.remove_edge(e.lo(), e.hi()));
+        }
+        prop_assert!(h.is_empty());
+        for e in &edges {
+            h.add_edge(e.lo(), e.hi());
+        }
+        prop_assert_eq!(h, g);
+    }
+
+    #[test]
+    fn every_group_of_every_construction_is_star_or_triangle(g in arb_graph()) {
+        for dec in [decompose::greedy(&g), decompose::trivial(&g), decompose::best_known(&g)] {
+            prop_assert!(dec.validate(&g).is_ok());
+            for group in dec.groups() {
+                match group {
+                    EdgeGroup::Star { center, edges } => {
+                        prop_assert!(!edges.is_empty());
+                        prop_assert!(edges.iter().all(|e| e.is_incident_to(*center)));
+                        // The group's edges, viewed as a graph, pass is_star.
+                        prop_assert!(g.edge_subgraph(&group.edges()).is_star());
+                    }
+                    EdgeGroup::Triangle { .. } => {
+                        prop_assert!(g.edge_subgraph(&group.edges()).is_triangle());
+                    }
+                }
+            }
+            // Sizes add up to the edge count (partition).
+            let total: usize = dec.groups().iter().map(EdgeGroup::len).sum();
+            prop_assert_eq!(total, g.edge_count());
+        }
+    }
+
+    #[test]
+    fn covers_cover(g in arb_graph()) {
+        for c in [cover::two_approx(&g), cover::greedy_max_degree(&g)] {
+            prop_assert!(cover::is_vertex_cover(&g, &c));
+        }
+        if g.node_count() <= 12 {
+            let exact = cover::exact_min(&g);
+            prop_assert!(cover::is_vertex_cover(&g, &exact));
+            prop_assert!(exact.len() <= cover::two_approx(&g).len());
+            prop_assert!(exact.len() <= cover::greedy_max_degree(&g).len());
+        }
+    }
+
+    #[test]
+    fn bipartite_exact_agrees_with_branch_and_bound(n in 2usize..10, extra in 0usize..4, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::random_tree(n, &mut rng); // trees are bipartite
+        let koenig = cover::bipartite_exact(&g).expect("trees are bipartite");
+        prop_assert_eq!(koenig.len(), {
+            // Compare against B&B on the same graph via matching bound.
+            let bnb = cover::exact_min(&g);
+            bnb.len()
+        });
+        let _ = extra;
+    }
+
+    #[test]
+    fn matching_bound_sandwiches_alpha(g in arb_graph()) {
+        prop_assume!(!g.is_empty() && g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT);
+        let lb = decompose::matching_lower_bound(&g);
+        let alpha = decompose::alpha(&g);
+        let greedy = decompose::greedy(&g).len();
+        prop_assert!(lb <= alpha);
+        prop_assert!(alpha <= greedy);
+        prop_assert!(greedy <= 2 * alpha);
+    }
+
+    #[test]
+    fn star_and_triangle_graphs_decompose_to_one_group(leaves in 1usize..20) {
+        let s = topology::star(leaves);
+        prop_assert_eq!(decompose::best_known(&s).len(), 1);
+        let t = topology::triangle();
+        prop_assert_eq!(decompose::best_known(&t).len(), 1);
+    }
+}

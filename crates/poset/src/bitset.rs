@@ -1,0 +1,81 @@
+//! A compact fixed-capacity bitset used for transitive-closure rows.
+
+/// A fixed-capacity set of `usize` values below `capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, idx: usize) {
+        debug_assert!(idx < self.capacity);
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    pub(crate) fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.capacity);
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// `self |= other`.
+    pub(crate) fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = BitSet::new(130);
+        for i in [0, 63, 64, 65, 129] {
+            s.insert(i);
+        }
+        assert!(s.contains(64));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        b.insert(2);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(2));
+    }
+}

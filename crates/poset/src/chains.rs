@@ -1,0 +1,208 @@
+//! Dilworth machinery: minimum chain covers, width, maximum antichains.
+//!
+//! Theorem 8 of the paper feeds on exactly this: the message poset of a
+//! synchronous computation on `N` processes has width at most `⌊N/2⌋`, and a
+//! chain cover of `width` chains yields a realizer (and hence timestamps) of
+//! that many components.
+
+use crate::matching::{hopcroft_karp, koenig_cover, Bipartite};
+use crate::Poset;
+
+fn comparability_bipartite(p: &Poset) -> Bipartite {
+    let n = p.len();
+    let mut g = Bipartite::new(n, n);
+    for a in 0..n {
+        for b in p.above(a) {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+/// A minimum chain cover of the poset: a partition of the elements into the
+/// fewest totally ordered sequences (each returned chain is sorted in
+/// increasing poset order). By Dilworth's theorem the number of chains
+/// equals the width.
+///
+/// ```
+/// use synctime_poset::{chains, Poset};
+///
+/// let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)])?;
+/// let cover = chains::min_chain_cover(&p);
+/// assert_eq!(cover.len(), 2);
+/// # Ok::<(), synctime_poset::PosetError>(())
+/// ```
+pub fn min_chain_cover(p: &Poset) -> Vec<Vec<usize>> {
+    let g = comparability_bipartite(p);
+    let m = hopcroft_karp(&g);
+    // Matched pair (a, b) links a to its chain successor b. Chain heads are
+    // elements that are nobody's successor.
+    let n = p.len();
+    let mut chains = Vec::new();
+    for head in 0..n {
+        if m.pair_right[head].is_some() {
+            continue;
+        }
+        let mut chain = vec![head];
+        let mut cur = head;
+        while let Some(next) = m.pair_left[cur] {
+            chain.push(next);
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    debug_assert_eq!(chains.iter().map(Vec::len).sum::<usize>(), n);
+    chains
+}
+
+/// The width of the poset: the size of its largest antichain, equal to the
+/// size of its minimum chain cover.
+pub fn width(p: &Poset) -> usize {
+    if p.is_empty() {
+        return 0;
+    }
+    let g = comparability_bipartite(p);
+    let m = hopcroft_karp(&g);
+    p.len() - m.len()
+}
+
+/// A maximum antichain, extracted from a König vertex cover of the
+/// comparability bipartite graph: the elements covered on neither side form
+/// an antichain of size `n − matching = width`.
+pub fn maximum_antichain(p: &Poset) -> Vec<usize> {
+    let g = comparability_bipartite(p);
+    let m = hopcroft_karp(&g);
+    let (left_cover, right_cover) = koenig_cover(&g, &m);
+    let mut in_cover = vec![false; p.len()];
+    for &l in &left_cover {
+        in_cover[l] = true;
+    }
+    for &r in &right_cover {
+        in_cover[r] = true;
+    }
+    let antichain: Vec<usize> = (0..p.len()).filter(|&v| !in_cover[v]).collect();
+    debug_assert_eq!(antichain.len(), p.len() - m.len());
+    debug_assert!(is_antichain(p, &antichain));
+    antichain
+}
+
+/// Whether the given elements are pairwise incomparable.
+pub fn is_antichain(p: &Poset, elements: &[usize]) -> bool {
+    elements
+        .iter()
+        .enumerate()
+        .all(|(i, &a)| elements[i + 1..].iter().all(|&b| p.concurrent(a, b)))
+}
+
+/// Whether the given elements form a chain (pairwise comparable).
+pub fn is_chain(p: &Poset, elements: &[usize]) -> bool {
+    elements
+        .iter()
+        .enumerate()
+        .all(|(i, &a)| elements[i + 1..].iter().all(|&b| p.comparable(a, b)))
+}
+
+/// The length of the longest chain (the poset's *height*).
+pub fn height(p: &Poset) -> usize {
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let ext = p.linear_extension();
+    let mut best = vec![1usize; n];
+    let mut max = 1;
+    for &v in &ext {
+        for w in p.above(v) {
+            if best[v] + 1 > best[w] {
+                best[w] = best[v] + 1;
+                max = max.max(best[w]);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Poset {
+        // 0 < {1, 2} < 3.
+        Poset::from_cover_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn diamond_width_two() {
+        let p = diamond();
+        assert_eq!(width(&p), 2);
+        let cover = min_chain_cover(&p);
+        assert_eq!(cover.len(), 2);
+        for chain in &cover {
+            assert!(is_chain(&p, chain));
+            // Chains are in increasing order.
+            for w in chain.windows(2) {
+                assert!(p.lt(w[0], w[1]));
+            }
+        }
+        let ac = maximum_antichain(&p);
+        assert_eq!(ac.len(), 2);
+        assert!(is_antichain(&p, &ac));
+    }
+
+    #[test]
+    fn chain_poset_width_one() {
+        let p = Poset::from_cover_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(width(&p), 1);
+        assert_eq!(min_chain_cover(&p), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(height(&p), 5);
+    }
+
+    #[test]
+    fn antichain_poset_width_n() {
+        let p = Poset::antichain(6);
+        assert_eq!(width(&p), 6);
+        assert_eq!(min_chain_cover(&p).len(), 6);
+        assert_eq!(maximum_antichain(&p).len(), 6);
+        assert_eq!(height(&p), 1);
+    }
+
+    #[test]
+    fn empty_poset_degenerate() {
+        let p = Poset::antichain(0);
+        assert_eq!(width(&p), 0);
+        assert!(min_chain_cover(&p).is_empty());
+        assert_eq!(height(&p), 0);
+    }
+
+    #[test]
+    fn standard_example_sn() {
+        // The "standard example" S_3: minimal a_i, maximal b_j, a_i < b_j
+        // iff i != j. Width 3.
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    pairs.push((i, 3 + j));
+                }
+            }
+        }
+        let p = Poset::from_cover_edges(6, &pairs).unwrap();
+        assert_eq!(width(&p), 3);
+        assert_eq!(min_chain_cover(&p).len(), 3);
+        assert_eq!(height(&p), 2);
+    }
+
+    #[test]
+    fn chain_cover_partitions_elements() {
+        let p = diamond();
+        let cover = min_chain_cover(&p);
+        let mut seen = vec![false; p.len()];
+        for chain in &cover {
+            for &v in chain {
+                assert!(!seen[v], "element {v} appears twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

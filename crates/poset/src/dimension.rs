@@ -1,0 +1,382 @@
+//! Exact poset dimension for small posets, and the classical witnesses
+//! that frame the paper's contribution.
+//!
+//! * The paper's offline algorithm uses `width(P)` linear extensions;
+//!   dimension theory says `dim(P) ≤ width(P)` (Dilworth) but the gap can
+//!   be real — [`dimension`] computes the exact value by exhaustive
+//!   realizer search so the gap can be measured (the `table_dimension_gap`
+//!   experiment).
+//! * [`standard_example`] builds `S_n`, the canonical dimension-`n` poset;
+//!   Charron-Bost's lower bound — *asynchronous* computations on `N`
+//!   processes can require `N`-component vector clocks — rests on
+//!   embedding `S_N` into an (asynchronous) computation's event poset,
+//!   built here by [`charron_bost_events`]. Synchronous computations can
+//!   never contain `S_k` with `k > ⌊N/2⌋` (their width is bounded,
+//!   Theorem 8), which is exactly the room the paper exploits.
+
+use crate::realizer::verify;
+use crate::Poset;
+
+/// Enumerates every linear extension of `p`.
+///
+/// # Panics
+///
+/// Panics if `p` has more than [`ENUMERATION_LIMIT`] elements — the count
+/// is factorial in the worst case.
+pub fn all_linear_extensions(p: &Poset) -> Vec<Vec<usize>> {
+    assert!(
+        p.len() <= ENUMERATION_LIMIT,
+        "extension enumeration supports at most {ENUMERATION_LIMIT} elements"
+    );
+    let mut out = Vec::new();
+    let mut prefix = Vec::with_capacity(p.len());
+    let mut placed = vec![false; p.len()];
+    let mut remaining_below: Vec<usize> = (0..p.len()).map(|v| p.downset_len(v)).collect();
+    extend(p, &mut prefix, &mut placed, &mut remaining_below, &mut out);
+    out
+}
+
+/// Maximum poset size accepted by [`all_linear_extensions`] / [`dimension`].
+pub const ENUMERATION_LIMIT: usize = 9;
+
+fn extend(
+    p: &Poset,
+    prefix: &mut Vec<usize>,
+    placed: &mut [bool],
+    remaining_below: &mut [usize],
+    out: &mut Vec<Vec<usize>>,
+) {
+    if prefix.len() == p.len() {
+        out.push(prefix.clone());
+        return;
+    }
+    for v in 0..p.len() {
+        if placed[v] || remaining_below[v] != 0 {
+            continue;
+        }
+        placed[v] = true;
+        prefix.push(v);
+        for w in p.above(v) {
+            remaining_below[w] -= 1;
+        }
+        extend(p, prefix, placed, remaining_below, out);
+        for w in p.above(v) {
+            remaining_below[w] += 1;
+        }
+        prefix.pop();
+        placed[v] = false;
+    }
+}
+
+/// The exact dimension of a small poset: the least `t` such that some `t`
+/// linear extensions intersect to exactly `P`. Exhaustive over extension
+/// subsets with early pruning; exponential, intended for poset sizes used
+/// in the dimension-gap experiment.
+///
+/// Degenerate cases follow Dushnik–Miller: the empty poset and singletons
+/// have dimension 1 (we report 0 for the empty poset's empty realizer).
+///
+/// # Panics
+///
+/// Panics if `p` has more than [`ENUMERATION_LIMIT`] elements.
+pub fn dimension(p: &Poset) -> usize {
+    if p.is_empty() {
+        return 0;
+    }
+    if p.len() == 1 {
+        return 1;
+    }
+    let extensions = all_linear_extensions(p);
+    // A chain has exactly one extension.
+    if extensions.len() == 1 {
+        return 1;
+    }
+    // The incomparable pairs each extension "reverses" (orders b before a
+    // for the canonical orientation a < b by index).
+    let pairs: Vec<(usize, usize)> = (0..p.len())
+        .flat_map(|a| ((a + 1)..p.len()).map(move |b| (a, b)))
+        .filter(|&(a, b)| p.concurrent(a, b))
+        .collect();
+    // For each extension, the bitmask over `pairs` of orientations.
+    assert!(pairs.len() <= 128, "too many incomparable pairs");
+    let mut tagged: Vec<(u128, usize)> = extensions
+        .iter()
+        .enumerate()
+        .map(|(idx, ext)| {
+            let mut pos = vec![0usize; p.len()];
+            for (i, &v) in ext.iter().enumerate() {
+                pos[v] = i;
+            }
+            let mut mask = 0u128;
+            for (k, &(a, b)) in pairs.iter().enumerate() {
+                if pos[a] < pos[b] {
+                    mask |= 1 << k;
+                }
+            }
+            (mask, idx)
+        })
+        .collect();
+    // Distinct extensions often induce identical orientations; only the
+    // orientation matters for realizability, so dedupe (keeping one
+    // representative extension per orientation). Trying high-coverage
+    // orientations first makes the subset search terminate quickly.
+    tagged.sort_unstable_by_key(|(m, _)| *m);
+    tagged.dedup_by_key(|(m, _)| *m);
+    tagged.sort_unstable_by_key(|(m, _)| std::cmp::Reverse(m.count_ones().max((!m).count_ones())));
+    let masks: Vec<u128> = tagged.iter().map(|(m, _)| *m).collect();
+    let reps: Vec<usize> = tagged.iter().map(|(_, i)| *i).collect();
+    // A set of extensions realizes P iff over every incomparable pair both
+    // orientations occur: the OR of masks is all-ones and the OR of
+    // complements is all-ones.
+    let full: u128 = if pairs.is_empty() {
+        0
+    } else {
+        (1u128 << pairs.len()) - 1
+    };
+    for t in 1..=masks.len() {
+        if search_subset(&masks, full, t, 0, 0, 0) {
+            debug_assert!(verify_some_subset(p, &extensions, &reps, &masks, full, t));
+            return t;
+        }
+    }
+    unreachable!("the set of all extensions always realizes the poset")
+}
+
+fn search_subset(
+    masks: &[u128],
+    full: u128,
+    t: usize,
+    start: usize,
+    or_a: u128,
+    or_b: u128,
+) -> bool {
+    if or_a == full && or_b == full {
+        return true;
+    }
+    if t == 0 || start >= masks.len() {
+        return false;
+    }
+    // Prune: even taking everything remaining cannot fix missing bits.
+    let mut rest_a = or_a;
+    let mut rest_b = or_b;
+    for &m in &masks[start..] {
+        rest_a |= m;
+        rest_b |= !m & full;
+    }
+    if rest_a != full || rest_b != full {
+        return false;
+    }
+    for i in start..masks.len() {
+        if search_subset(
+            masks,
+            full,
+            t - 1,
+            i + 1,
+            or_a | masks[i],
+            or_b | (!masks[i] & full),
+        ) {
+            return true;
+        }
+    }
+    false
+}
+
+fn verify_some_subset(
+    p: &Poset,
+    extensions: &[Vec<usize>],
+    reps: &[usize],
+    masks: &[u128],
+    full: u128,
+    t: usize,
+) -> bool {
+    // Re-find one witness subset and verify it with the realizer checker.
+    fn rec(
+        idx: usize,
+        left: usize,
+        or_a: u128,
+        or_b: u128,
+        masks: &[u128],
+        full: u128,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        if or_a == full && or_b == full {
+            return true;
+        }
+        if left == 0 || idx >= masks.len() {
+            return false;
+        }
+        for i in idx..masks.len() {
+            chosen.push(i);
+            if rec(
+                i + 1,
+                left - 1,
+                or_a | masks[i],
+                or_b | (!masks[i] & full),
+                masks,
+                full,
+                chosen,
+            ) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+    let mut chosen = Vec::new();
+    if !rec(0, t, 0, 0, masks, full, &mut chosen) {
+        return false;
+    }
+    let family: Vec<Vec<usize>> = chosen
+        .iter()
+        .map(|&i| extensions[reps[i]].clone())
+        .collect();
+    verify(p, &family)
+}
+
+/// The standard example `S_n`: minimal elements `a_0..a_{n-1}` (indices
+/// `0..n`), maximal elements `b_0..b_{n-1}` (indices `n..2n`), with
+/// `a_i < b_j` iff `i ≠ j`. Its dimension is exactly `n` (Dushnik–Miller).
+///
+/// # Panics
+///
+/// Panics if `n < 2` (the construction needs at least two pairs).
+pub fn standard_example(n: usize) -> Poset {
+    assert!(n >= 2, "the standard example needs n >= 2");
+    let mut pairs = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                pairs.push((i, n + j));
+            }
+        }
+    }
+    Poset::from_cover_edges(2 * n, &pairs).expect("S_n is acyclic")
+}
+
+/// The reduced event poset of Charron-Bost's asynchronous lower-bound
+/// computation on `n` processes. In that computation every process
+/// broadcasts and then receives from everyone, with deliveries delayed so
+/// that, writing `a_i` for `P_i`'s broadcast event (index `i`) and `b_i`
+/// for the event on `P_{(i+1) mod n}` right after it has received from
+/// *everyone except* `P_i` (index `n + i`, intermediate events elided):
+///
+/// * `a_j < b_i` for every `j ≠ i` (a message from `P_j` has arrived), but
+/// * `a_i ‖ b_i` (`P_i`'s message is still in flight, and `b_i` lives on a
+///   different process, so process order doesn't relate them either).
+///
+/// That is exactly the crown [`standard_example`]`(n)` up to relabeling,
+/// whose dimension is `n` — so any order-encoding vector assignment for
+/// this *asynchronous* computation needs `n` components. No synchronous
+/// computation can contain this shape beyond `n = ⌊N/2⌋`: rendezvous makes
+/// each message an atomic synchronization, capping the width (Theorem 8) —
+/// the slack the paper's algorithms exploit.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn charron_bost_events(n: usize) -> Poset {
+    assert!(n >= 2, "the construction needs n >= 2");
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                // a_j (the broadcast of P_j) has reached the process
+                // hosting b_i; P_i's own message is still undelivered.
+                pairs.push((j, n + i));
+            }
+        }
+    }
+    Poset::from_cover_edges(2 * n, &pairs).expect("acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains;
+
+    #[test]
+    fn chains_and_antichains() {
+        let chain = Poset::from_cover_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(dimension(&chain), 1);
+        let anti = Poset::antichain(4);
+        assert_eq!(
+            dimension(&anti),
+            2,
+            "antichains have dimension 2 for n >= 2"
+        );
+        assert_eq!(dimension(&Poset::antichain(1)), 1);
+        assert_eq!(dimension(&Poset::antichain(0)), 0);
+    }
+
+    #[test]
+    fn diamond_dimension_two() {
+        let p = Poset::from_cover_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(dimension(&p), 2);
+        assert_eq!(chains::width(&p), 2);
+    }
+
+    #[test]
+    fn standard_examples_hit_their_dimension() {
+        for n in 2..=3 {
+            let s = standard_example(n);
+            assert_eq!(dimension(&s), n, "dim(S_{n})");
+            assert_eq!(chains::width(&s), n);
+        }
+    }
+
+    #[test]
+    #[ignore = "exhaustive t<4 refutation takes ~30s in debug builds"]
+    fn standard_example_four_is_four_dimensional() {
+        assert_eq!(dimension(&standard_example(4)), 4);
+    }
+
+    #[test]
+    fn dimension_never_exceeds_width() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..8);
+            let mut pairs = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            let p = Poset::from_cover_edges(n, &pairs).unwrap();
+            let d = dimension(&p);
+            let w = chains::width(&p);
+            assert!(d <= w.max(1), "dim {d} > width {w}");
+        }
+    }
+
+    #[test]
+    fn charron_bost_needs_n_dimensions() {
+        for n in 2..=3 {
+            let p = charron_bost_events(n);
+            assert_eq!(dimension(&p), n, "Charron-Bost on {n} processes");
+            // And its width is n — far above the floor(n/2) cap of
+            // synchronous computations on n processes.
+            assert_eq!(chains::width(&p), n);
+        }
+    }
+
+    #[test]
+    fn extension_enumeration_counts() {
+        // Antichain(3): 3! extensions; chain: exactly one.
+        assert_eq!(all_linear_extensions(&Poset::antichain(3)).len(), 6);
+        let chain = Poset::from_cover_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(all_linear_extensions(&chain), vec![vec![0, 1, 2]]);
+        // The "V": 0 < 1, 0 < 2 has two extensions.
+        let v = Poset::from_cover_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert_eq!(all_linear_extensions(&v).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn enumeration_limit_enforced() {
+        all_linear_extensions(&Poset::antichain(ENUMERATION_LIMIT + 1));
+    }
+}

@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors produced while constructing posets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PosetError {
+    /// An element index was at least the poset's size.
+    ElementOutOfRange {
+        /// The offending element.
+        element: usize,
+        /// Number of elements in the poset.
+        len: usize,
+    },
+    /// The supplied relation contains a cycle (possibly a self-pair), so it
+    /// is not a strict partial order.
+    CycleDetected {
+        /// An element on a cycle.
+        element: usize,
+    },
+}
+
+impl fmt::Display for PosetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosetError::ElementOutOfRange { element, len } => {
+                write!(f, "element {element} out of range for poset of size {len}")
+            }
+            PosetError::CycleDetected { element } => {
+                write!(f, "relation has a cycle through element {element}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PosetError {}

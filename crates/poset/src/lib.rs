@@ -1,0 +1,53 @@
+//! Finite posets, Dilworth chain covers, and chain realizers.
+//!
+//! This crate is the order-theoretic substrate of the `synctime` project.
+//! The paper's **offline algorithm** (Section 4, Figure 9) timestamps the
+//! message poset `(M, ↦)` of a synchronous computation with vectors of size
+//! equal to its *width*: by Theorem 8 the width is at most `⌊N/2⌋` (every
+//! message occupies two of the `N` processes), and by Dilworth's theorem the
+//! *dimension* of a poset never exceeds its width, so a realizer of
+//! `width` linear extensions exists. Timestamping message `m` with
+//! `V_m[i] = |{x : x <_{L_i} m}|` then encodes the order exactly.
+//!
+//! Provided machinery:
+//!
+//! * [`Poset`] — a finite strict partial order over elements `0..n`, stored
+//!   as transitively closed successor bitsets,
+//! * [`matching`] — Hopcroft–Karp maximum bipartite matching,
+//! * [`chains`] — minimum chain covers and maximum antichains via
+//!   Dilworth/König,
+//! * [`realizer`] — construction of a chain realizer of `width(P)` linear
+//!   extensions and verification that a family of extensions realizes `P`,
+//! * [`dimension`] — exact Dushnik–Miller dimension for small posets, the
+//!   standard examples `S_n`, and Charron-Bost's asynchronous lower-bound
+//!   poset.
+//!
+//! # Example
+//!
+//! ```
+//! use synctime_poset::{Poset, chains, realizer};
+//!
+//! // The "N" poset: 0 < 2, 1 < 2, 1 < 3.
+//! let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)])?;
+//! assert_eq!(chains::width(&p), 2);
+//! let r = realizer::chain_realizer(&p);
+//! assert_eq!(r.len(), 2);
+//! assert!(realizer::verify(&p, &r));
+//! # Ok::<(), synctime_poset::PosetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod error;
+mod poset;
+
+pub mod chains;
+pub mod dimension;
+pub mod matching;
+pub mod realizer;
+
+pub(crate) use bitset::BitSet;
+pub use error::PosetError;
+pub use poset::Poset;

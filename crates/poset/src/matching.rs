@@ -1,0 +1,240 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used by [`crate::chains`] to compute Dilworth chain covers: splitting a
+//! poset into left/right copies with an edge per ordered pair turns minimum
+//! chain cover into maximum matching (`cover = n − matching`).
+
+/// A bipartite graph with `left` and `right` vertex counts and adjacency
+/// from left vertices to right vertices.
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    left: usize,
+    right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph.
+    pub fn new(left: usize, right: usize) -> Self {
+        Bipartite {
+            left,
+            right,
+            adj: vec![Vec::new(); left],
+        }
+    }
+
+    /// Adds an edge from left vertex `l` to right vertex `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.left, "left vertex {l} out of range");
+        assert!(r < self.right, "right vertex {r} out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn left_len(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    pub fn right_len(&self) -> usize {
+        self.right
+    }
+}
+
+/// The result of a maximum-matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `pair_left[l]` is the right vertex matched to `l`, if any.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[r]` is the left vertex matched to `r`, if any.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether no pair is matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const INF: usize = usize::MAX;
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm in
+/// `O(E √V)`.
+pub fn hopcroft_karp(g: &Bipartite) -> Matching {
+    let mut pair_left = vec![None; g.left];
+    let mut pair_right = vec![None; g.right];
+    let mut dist = vec![INF; g.left];
+
+    loop {
+        // BFS from all free left vertices to layer the graph.
+        let mut queue = std::collections::VecDeque::new();
+        for l in 0..g.left {
+            if pair_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &g.adj[l] {
+                match pair_right[r] {
+                    None => found_augmenting = true,
+                    Some(l2) if dist[l2] == INF => {
+                        dist[l2] = dist[l] + 1;
+                        queue.push_back(l2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint shortest augmenting paths.
+        for l in 0..g.left {
+            if pair_left[l].is_none() {
+                augment(g, l, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+    }
+}
+
+fn augment(
+    g: &Bipartite,
+    l: usize,
+    pair_left: &mut [Option<usize>],
+    pair_right: &mut [Option<usize>],
+    dist: &mut [usize],
+) -> bool {
+    for &r in &g.adj[l] {
+        let ok = match pair_right[r] {
+            None => true,
+            Some(l2) => {
+                dist[l2] == dist[l].saturating_add(1) && augment(g, l2, pair_left, pair_right, dist)
+            }
+        };
+        if ok {
+            pair_left[l] = Some(r);
+            pair_right[r] = Some(l);
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+/// A minimum vertex cover of the bipartite graph via König's theorem,
+/// returned as (left-cover, right-cover). Its size equals the maximum
+/// matching size.
+pub fn koenig_cover(g: &Bipartite, m: &Matching) -> (Vec<usize>, Vec<usize>) {
+    // Alternating BFS from unmatched left vertices.
+    let mut visited_left = vec![false; g.left];
+    let mut visited_right = vec![false; g.right];
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..g.left).filter(|&l| m.pair_left[l].is_none()).collect();
+    for &l in &queue {
+        visited_left[l] = true;
+    }
+    while let Some(l) = queue.pop_front() {
+        for &r in &g.adj[l] {
+            if Some(r) == m.pair_left[l] || visited_right[r] {
+                continue;
+            }
+            visited_right[r] = true;
+            if let Some(l2) = m.pair_right[r] {
+                if !visited_left[l2] {
+                    visited_left[l2] = true;
+                    queue.push_back(l2);
+                }
+            }
+        }
+    }
+    let left_cover: Vec<usize> = (0..g.left).filter(|&l| !visited_left[l]).collect();
+    let right_cover: Vec<usize> = (0..g.right).filter(|&r| visited_right[r]).collect();
+    (left_cover, right_cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching() {
+        let mut g = Bipartite::new(3, 3);
+        for (l, r) in [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)] {
+            g.add_edge(l, r);
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn no_edges_no_matching() {
+        let g = Bipartite::new(4, 4);
+        let m = hopcroft_karp(&g);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy left-to-right would match 0-0 and block 1; HK augments.
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let mut g = Bipartite::new(5, 4);
+        for (l, r) in [(0, 0), (1, 0), (1, 1), (2, 1), (3, 2), (4, 2), (4, 3)] {
+            g.add_edge(l, r);
+        }
+        let m = hopcroft_karp(&g);
+        for (l, pr) in m.pair_left.iter().enumerate() {
+            if let Some(r) = pr {
+                assert_eq!(m.pair_right[*r], Some(l));
+            }
+        }
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn koenig_cover_size_equals_matching() {
+        let mut g = Bipartite::new(4, 4);
+        for (l, r) in [(0, 0), (0, 1), (1, 0), (2, 2), (3, 2)] {
+            g.add_edge(l, r);
+        }
+        let m = hopcroft_karp(&g);
+        let (lc, rc) = koenig_cover(&g, &m);
+        assert_eq!(lc.len() + rc.len(), m.len());
+        // Every edge is covered.
+        for l in 0..4 {
+            for &r in &g.adj[l] {
+                assert!(
+                    lc.contains(&l) || rc.contains(&r),
+                    "edge ({l},{r}) uncovered"
+                );
+            }
+        }
+    }
+}

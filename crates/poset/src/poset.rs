@@ -1,0 +1,343 @@
+use crate::{BitSet, PosetError};
+
+/// A finite strict partial order over elements `0..len`, stored transitively
+/// closed: `up[a]` is the bitset of all `b` with `a < b`.
+///
+/// Elements are plain indices; callers keep their own mapping from domain
+/// objects (e.g. messages) to indices.
+///
+/// ```
+/// use synctime_poset::Poset;
+///
+/// let p = Poset::from_cover_edges(3, &[(0, 1), (1, 2)])?;
+/// assert!(p.lt(0, 2)); // transitivity
+/// assert!(!p.lt(2, 0));
+/// # Ok::<(), synctime_poset::PosetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poset {
+    len: usize,
+    /// `up[a]` = elements strictly above `a`.
+    up: Vec<BitSet>,
+    /// `down[a]` = elements strictly below `a`.
+    down: Vec<BitSet>,
+}
+
+impl Poset {
+    /// The antichain of `len` pairwise-incomparable elements.
+    pub fn antichain(len: usize) -> Self {
+        Poset {
+            len,
+            up: (0..len).map(|_| BitSet::new(len)).collect(),
+            down: (0..len).map(|_| BitSet::new(len)).collect(),
+        }
+    }
+
+    /// Builds a poset as the transitive closure of the given directed pairs
+    /// `(a, b)` meaning `a < b`. The pairs need not be cover (immediate)
+    /// relations; any acyclic relation works.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PosetError::ElementOutOfRange`] for bad indices and
+    /// [`PosetError::CycleDetected`] if the pairs contain a cycle.
+    pub fn from_cover_edges(len: usize, pairs: &[(usize, usize)]) -> Result<Self, PosetError> {
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); len];
+        let mut indegree = vec![0usize; len];
+        for &(a, b) in pairs {
+            for &x in &[a, b] {
+                if x >= len {
+                    return Err(PosetError::ElementOutOfRange { element: x, len });
+                }
+            }
+            if a == b {
+                return Err(PosetError::CycleDetected { element: a });
+            }
+            successors[a].push(b);
+            indegree[b] += 1;
+        }
+        // Kahn topological sort; doubles as cycle detection.
+        let mut order = Vec::with_capacity(len);
+        let mut queue: Vec<usize> = (0..len).filter(|&v| indegree[v] == 0).collect();
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in &successors[v] {
+                indegree[w] -= 1;
+                if indegree[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() != len {
+            let culprit = (0..len)
+                .find(|&v| indegree[v] > 0)
+                .expect("a cycle leaves positive indegrees");
+            return Err(PosetError::CycleDetected { element: culprit });
+        }
+        // Closure: in reverse topological order, up[v] = ∪ (up[w] ∪ {w}).
+        let mut up: Vec<BitSet> = (0..len).map(|_| BitSet::new(len)).collect();
+        for &v in order.iter().rev() {
+            // Indexing (not iterating) keeps the borrow checker happy while
+            // `up` is split mutably below.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..successors[v].len() {
+                let w = successors[v][i];
+                let (head, tail) = if v < w {
+                    let (a, b) = up.split_at_mut(w);
+                    (&mut a[v], &b[0])
+                } else {
+                    let (a, b) = up.split_at_mut(v);
+                    (&mut b[0], &a[w])
+                };
+                head.union_with(tail);
+                head.insert(w);
+            }
+        }
+        let mut down: Vec<BitSet> = (0..len).map(|_| BitSet::new(len)).collect();
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..len {
+            for b in up[a].iter() {
+                down[b].insert(a);
+            }
+        }
+        Ok(Poset { len, up, down })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the poset has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Strictly-less test `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn lt(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.len && b < self.len, "element out of range");
+        self.up[a].contains(b)
+    }
+
+    /// Less-or-equal test.
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        a == b || self.lt(a, b)
+    }
+
+    /// Whether `a` and `b` are comparable (one is below the other or equal).
+    pub fn comparable(&self, a: usize, b: usize) -> bool {
+        a == b || self.lt(a, b) || self.lt(b, a)
+    }
+
+    /// Whether `a` and `b` are distinct and incomparable (`a ‖ b`).
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.comparable(a, b)
+    }
+
+    /// Elements strictly above `a`, ascending.
+    pub fn above(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.up[a].iter()
+    }
+
+    /// Elements strictly below `a`, ascending.
+    pub fn below(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.down[a].iter()
+    }
+
+    /// Number of elements strictly below `a`.
+    pub fn downset_len(&self, a: usize) -> usize {
+        self.down[a].len()
+    }
+
+    /// The minimal elements (nothing below them), ascending. A message is
+    /// *minimal* in the paper's sense when no message synchronously precedes
+    /// it.
+    pub fn minimal_elements(&self) -> Vec<usize> {
+        (0..self.len).filter(|&v| self.down[v].len() == 0).collect()
+    }
+
+    /// The maximal elements (nothing above them), ascending.
+    pub fn maximal_elements(&self) -> Vec<usize> {
+        (0..self.len).filter(|&v| self.up[v].len() == 0).collect()
+    }
+
+    /// The cover (immediate-predecessor) relation: pairs `(a, b)` with
+    /// `a < b` and no `c` strictly between. This is the transitive
+    /// reduction of the order.
+    pub fn cover_pairs(&self) -> Vec<(usize, usize)> {
+        let mut covers = Vec::new();
+        for a in 0..self.len {
+            'next: for b in self.up[a].iter() {
+                for c in self.up[a].iter() {
+                    if c != b && self.up[c].contains(b) {
+                        continue 'next;
+                    }
+                }
+                covers.push((a, b));
+            }
+        }
+        covers
+    }
+
+    /// All ordered pairs `(a, b)` with `a < b`.
+    pub fn relation_pairs(&self) -> Vec<(usize, usize)> {
+        (0..self.len)
+            .flat_map(|a| self.up[a].iter().map(move |b| (a, b)))
+            .collect()
+    }
+
+    /// A linear extension: a permutation of `0..len` in which smaller poset
+    /// elements come first. Deterministic (smallest eligible index first).
+    pub fn linear_extension(&self) -> Vec<usize> {
+        let mut placed = vec![false; self.len];
+        let mut remaining_below: Vec<usize> = (0..self.len).map(|v| self.down[v].len()).collect();
+        let mut out = Vec::with_capacity(self.len);
+        for _ in 0..self.len {
+            let v = (0..self.len)
+                .find(|&v| !placed[v] && remaining_below[v] == 0)
+                .expect("a finite poset always has a minimal unplaced element");
+            placed[v] = true;
+            out.push(v);
+            for w in self.up[v].iter() {
+                remaining_below[w] -= 1;
+            }
+        }
+        out
+    }
+
+    /// Whether `order` is a linear extension of this poset: a permutation of
+    /// `0..len` that respects the order.
+    pub fn is_linear_extension(&self, order: &[usize]) -> bool {
+        if order.len() != self.len {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len];
+        for (pos, &v) in order.iter().enumerate() {
+            if v >= self.len || position[v] != usize::MAX {
+                return false;
+            }
+            position[v] = pos;
+        }
+        (0..self.len).all(|a| self.up[a].iter().all(|b| position[a] < position[b]))
+    }
+
+    /// Checks the strict-order axioms on the stored relation
+    /// (irreflexivity and transitivity); used by property tests.
+    pub fn check_invariants(&self) -> bool {
+        for a in 0..self.len {
+            if self.up[a].contains(a) {
+                return false;
+            }
+            for b in self.up[a].iter() {
+                if self.up[b].contains(a) {
+                    return false; // antisymmetry violated
+                }
+                for c in self.up[b].iter() {
+                    if !self.up[a].contains(c) {
+                        return false; // transitivity violated
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_transitive() {
+        let p = Poset::from_cover_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(p.lt(0, 3));
+        assert!(p.lt(1, 3));
+        assert!(!p.lt(3, 0));
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn duplicate_pairs_are_fine() {
+        let p = Poset::from_cover_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert!(p.lt(0, 2));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Poset::from_cover_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, PosetError::CycleDetected { .. }));
+        let refl = Poset::from_cover_edges(2, &[(1, 1)]).unwrap_err();
+        assert!(matches!(refl, PosetError::CycleDetected { element: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Poset::from_cover_edges(2, &[(0, 5)]).unwrap_err();
+        assert_eq!(err, PosetError::ElementOutOfRange { element: 5, len: 2 });
+    }
+
+    #[test]
+    fn concurrency_and_comparability() {
+        let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+        assert!(p.concurrent(0, 1));
+        assert!(p.concurrent(2, 3));
+        assert!(p.comparable(1, 3));
+        assert!(p.comparable(2, 2));
+        assert!(!p.concurrent(0, 0));
+    }
+
+    #[test]
+    fn minimal_and_maximal() {
+        let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(p.minimal_elements(), vec![0, 1]);
+        assert_eq!(p.maximal_elements(), vec![2, 3]);
+    }
+
+    #[test]
+    fn cover_pairs_are_reduction() {
+        // 0 < 1 < 2 plus the redundant (0, 2).
+        let p = Poset::from_cover_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(p.cover_pairs(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn linear_extension_is_valid() {
+        let p = Poset::from_cover_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let ext = p.linear_extension();
+        assert!(p.is_linear_extension(&ext));
+        // Invalid permutations are rejected.
+        assert!(!p.is_linear_extension(&[4, 3, 2, 1, 0]));
+        assert!(!p.is_linear_extension(&[0, 0, 1, 2, 3]));
+        assert!(!p.is_linear_extension(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn downsets() {
+        let p = Poset::from_cover_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(p.downset_len(0), 0);
+        assert_eq!(p.downset_len(2), 2);
+        assert_eq!(p.below(3).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p.above(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn antichain_constructor() {
+        let p = Poset::antichain(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.concurrent(0, 4));
+        assert_eq!(p.minimal_elements().len(), 5);
+        assert!(Poset::antichain(0).is_empty());
+    }
+
+    #[test]
+    fn empty_poset() {
+        let p = Poset::from_cover_edges(0, &[]).unwrap();
+        assert!(p.is_empty());
+        assert!(p.linear_extension().is_empty());
+        assert!(p.check_invariants());
+    }
+}

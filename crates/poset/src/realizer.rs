@@ -1,0 +1,230 @@
+//! Chain realizers: families of linear extensions whose intersection is the
+//! poset (step (2) of the paper's Figure 9 offline algorithm).
+//!
+//! Dilworth's bound `dim(P) ≤ width(P)` is made constructive here: given a
+//! minimum chain cover `C_1, ..., C_w`, the extension `L_i` is built by
+//! repeatedly emitting minimal elements while *deferring* the elements of
+//! `C_i` as long as any other minimal element exists. In `L_i`, every
+//! element incomparable to some `y ∈ C_i` precedes `y` (when `y` is emitted,
+//! it is the unique minimal element left, so anything still unplaced is
+//! above it). Hence for every incomparable pair `(x, y)` with `y ∈ C_i`,
+//! `x <_{L_i} y` — and symmetrically some other extension puts `y` before
+//! `x`, so the intersection of the family is exactly the poset.
+
+use crate::chains::min_chain_cover;
+use crate::Poset;
+
+/// Builds a linear extension of `p` that defers the elements of `chain` as
+/// long as possible: at every step the smallest minimal element outside
+/// `chain` is emitted; a chain element is emitted only when it is the sole
+/// minimal element remaining.
+///
+/// For every `y ∈ chain` and every `x` incomparable to `y`, the result puts
+/// `x` before `y`.
+///
+/// # Panics
+///
+/// Panics if `chain` contains an out-of-range element.
+pub fn extension_deferring(p: &Poset, chain: &[usize]) -> Vec<usize> {
+    let n = p.len();
+    let mut in_chain = vec![false; n];
+    for &v in chain {
+        assert!(v < n, "chain element {v} out of range");
+        in_chain[v] = true;
+    }
+    let mut placed = vec![false; n];
+    let mut remaining_below: Vec<usize> = (0..n).map(|v| p.downset_len(v)).collect();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pick = (0..n)
+            .filter(|&v| !placed[v] && remaining_below[v] == 0)
+            .min_by_key(|&v| (in_chain[v], v))
+            .expect("a finite poset always has a minimal unplaced element");
+        placed[pick] = true;
+        out.push(pick);
+        for w in p.above(pick) {
+            remaining_below[w] -= 1;
+        }
+    }
+    out
+}
+
+/// A chain realizer of size `width(p)`: one deferring extension per chain of
+/// a minimum chain cover. The intersection of the returned extensions is
+/// exactly `p` (checkable with [`verify`]).
+///
+/// Degenerate case: a poset with at most one element has an empty
+/// or singleton realizer of size `width` (0 or 1).
+///
+/// ```
+/// use synctime_poset::{realizer, Poset};
+///
+/// let p = Poset::from_cover_edges(4, &[(0, 2), (1, 2), (1, 3)])?;
+/// let r = realizer::chain_realizer(&p);
+/// assert!(realizer::verify(&p, &r));
+/// # Ok::<(), synctime_poset::PosetError>(())
+/// ```
+pub fn chain_realizer(p: &Poset) -> Vec<Vec<usize>> {
+    min_chain_cover(p)
+        .iter()
+        .map(|chain| extension_deferring(p, chain))
+        .collect()
+}
+
+/// Whether the intersection of `extensions` is exactly `p`: every extension
+/// is a linear extension of `p`, and every incomparable pair is ordered both
+/// ways across the family.
+pub fn verify(p: &Poset, extensions: &[Vec<usize>]) -> bool {
+    if p.len() <= 1 {
+        // A single element (or none) is realized by any family, including
+        // the empty one produced for the empty poset.
+        return extensions.iter().all(|e| p.is_linear_extension(e));
+    }
+    if extensions.is_empty() {
+        return false;
+    }
+    let positions: Vec<Vec<usize>> = extensions
+        .iter()
+        .map(|ext| {
+            let mut pos = vec![usize::MAX; p.len()];
+            for (i, &v) in ext.iter().enumerate() {
+                if v >= p.len() || pos[v] != usize::MAX {
+                    return Vec::new(); // malformed; caught below
+                }
+                pos[v] = i;
+            }
+            pos
+        })
+        .collect();
+    if positions.iter().any(|pos| pos.len() != p.len()) {
+        return false;
+    }
+    for ext in extensions {
+        if !p.is_linear_extension(ext) {
+            return false;
+        }
+    }
+    for a in 0..p.len() {
+        for b in (a + 1)..p.len() {
+            if p.concurrent(a, b) {
+                let a_before_b = positions.iter().any(|pos| pos[a] < pos[b]);
+                let b_before_a = positions.iter().any(|pos| pos[b] < pos[a]);
+                if !(a_before_b && b_before_a) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The positions of each element in each extension:
+/// `result[i][v]` = index of `v` in `extensions[i]`. This is the vector
+/// timestamp table of the offline algorithm (`V_m[i]` = number of elements
+/// before `m` in `L_i`).
+///
+/// # Panics
+///
+/// Panics if an extension is not a permutation of `0..p.len()`.
+pub fn position_table(p: &Poset, extensions: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    extensions
+        .iter()
+        .map(|ext| {
+            assert_eq!(ext.len(), p.len(), "extension has wrong length");
+            let mut pos = vec![usize::MAX; p.len()];
+            for (i, &v) in ext.iter().enumerate() {
+                assert!(pos[v] == usize::MAX, "element {v} repeated in extension");
+                pos[v] = i;
+            }
+            pos
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::width;
+
+    fn assert_realized(p: &Poset) {
+        let r = chain_realizer(p);
+        assert_eq!(r.len(), width(p));
+        assert!(verify(p, &r), "realizer does not realize the poset");
+    }
+
+    #[test]
+    fn diamond_realizer() {
+        let p = Poset::from_cover_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_realized(&p);
+    }
+
+    #[test]
+    fn chain_needs_one_extension() {
+        let p = Poset::from_cover_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = chain_realizer(&p);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], vec![0, 1, 2, 3]);
+        assert!(verify(&p, &r));
+    }
+
+    #[test]
+    fn antichain_needs_n() {
+        let p = Poset::antichain(4);
+        assert_realized(&p);
+    }
+
+    #[test]
+    fn standard_example_realizer() {
+        // S_3 has dimension 3 = width 3; chain realizer of size 3 works.
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    pairs.push((i, 3 + j));
+                }
+            }
+        }
+        let p = Poset::from_cover_edges(6, &pairs).unwrap();
+        assert_realized(&p);
+    }
+
+    #[test]
+    fn deferring_extension_defers() {
+        // 0 < 1; chain {0, 1}; element 2 incomparable to both must precede
+        // both in the deferring extension.
+        let p = Poset::from_cover_edges(3, &[(0, 1)]).unwrap();
+        let ext = extension_deferring(&p, &[0, 1]);
+        assert_eq!(ext, vec![2, 0, 1]);
+        assert!(p.is_linear_extension(&ext));
+    }
+
+    #[test]
+    fn verify_rejects_one_sided_families() {
+        let p = Poset::antichain(2);
+        // Both extensions order 0 before 1: fails to realize incomparability.
+        assert!(!verify(&p, &[vec![0, 1], vec![0, 1]]));
+        assert!(verify(&p, &[vec![0, 1], vec![1, 0]]));
+        // Non-extensions are rejected.
+        let q = Poset::from_cover_edges(2, &[(0, 1)]).unwrap();
+        assert!(!verify(&q, &[vec![1, 0]]));
+        // Empty family realizes nothing (for n > 1).
+        assert!(!verify(&p, &[]));
+    }
+
+    #[test]
+    fn position_table_matches_extensions() {
+        let p = Poset::antichain(3);
+        let table = position_table(&p, &[vec![2, 0, 1]]);
+        assert_eq!(table, vec![vec![1, 2, 0]]);
+    }
+
+    #[test]
+    fn empty_and_singleton_posets() {
+        let empty = Poset::antichain(0);
+        assert!(verify(&empty, &chain_realizer(&empty)));
+        let single = Poset::antichain(1);
+        let r = chain_realizer(&single);
+        assert_eq!(r, vec![vec![0]]);
+        assert!(verify(&single, &r));
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+use synctime_trace::ProcessId;
+
+/// Errors surfaced by the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A behavior addressed a process with no channel to it (not adjacent
+    /// in the topology, or out of range).
+    NoChannel {
+        /// The process attempting the operation.
+        from: ProcessId,
+        /// The addressed peer.
+        to: ProcessId,
+    },
+    /// The peer's thread terminated (finished or panicked) while this
+    /// process was blocked on a rendezvous with it.
+    PeerTerminated {
+        /// The peer that went away.
+        peer: ProcessId,
+    },
+    /// A behavior panicked; the runtime aborts the run.
+    BehaviorPanicked {
+        /// The panicking process.
+        process: ProcessId,
+    },
+    /// The channel's edge is missing from the decomposition, so no vector
+    /// component exists for it.
+    ChannelNotInDecomposition {
+        /// The sending process.
+        from: ProcessId,
+        /// The receiving process.
+        to: ProcessId,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoChannel { from, to } => {
+                write!(f, "process {from} has no channel to process {to}")
+            }
+            RuntimeError::PeerTerminated { peer } => {
+                write!(f, "peer process {peer} terminated during a rendezvous")
+            }
+            RuntimeError::BehaviorPanicked { process } => {
+                write!(f, "behavior of process {process} panicked")
+            }
+            RuntimeError::ChannelNotInDecomposition { from, to } => {
+                write!(f, "channel ({from}, {to}) belongs to no edge group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,566 @@
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use synctime_core::online::ProcessClock;
+use synctime_core::{MessageTimestamps, VectorTime};
+use synctime_graph::{Edge, EdgeDecomposition, Graph};
+use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
+
+use crate::RuntimeError;
+
+/// A live notification emitted to an observer as each rendezvous completes
+/// (from the sender's side, once the acknowledgement confirmed the agreed
+/// timestamp). This is what a monitoring service consumes — see
+/// `synctime-detect`'s `monitor` module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveObservation {
+    /// The message's globally unique key (sender id in the high bits).
+    pub key: u64,
+    /// The sending process.
+    pub sender: ProcessId,
+    /// The receiving process.
+    pub receiver: ProcessId,
+    /// The agreed timestamp.
+    pub stamp: VectorTime,
+}
+
+/// What travels on a program message: the payload plus the piggybacked
+/// vector (line 02 of Figure 5) and a globally unique key used only for
+/// post-hoc trace reconstruction.
+#[derive(Debug)]
+struct Wire {
+    key: u64,
+    payload: u64,
+    vector: VectorTime,
+}
+
+/// One entry of a process's execution log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    /// This process sent a message.
+    Sent {
+        /// The receiver.
+        to: ProcessId,
+        /// The message's reconstruction key.
+        key: u64,
+        /// The agreed timestamp.
+        stamp: VectorTime,
+    },
+    /// This process received a message.
+    Received {
+        /// The sender.
+        from: ProcessId,
+        /// The message's reconstruction key.
+        key: u64,
+        /// The agreed timestamp.
+        stamp: VectorTime,
+    },
+    /// A local event.
+    Internal,
+}
+
+/// The per-process API available to a [`Behavior`]: blocking rendezvous
+/// sends and receives with automatic timestamp piggybacking, plus internal
+/// events.
+#[derive(Debug)]
+pub struct ProcessCtx {
+    id: ProcessId,
+    clock: ProcessClock,
+    decomposition: EdgeDecomposition,
+    observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
+    seq: u64,
+    data_out: HashMap<ProcessId, SyncSender<Wire>>,
+    data_in: HashMap<ProcessId, Receiver<Wire>>,
+    ack_out: HashMap<ProcessId, SyncSender<VectorTime>>,
+    ack_in: HashMap<ProcessId, Receiver<VectorTime>>,
+    log: Vec<LogEntry>,
+}
+
+impl ProcessCtx {
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// A snapshot of the current local vector.
+    pub fn clock(&self) -> &VectorTime {
+        self.clock.current()
+    }
+
+    fn group_for(&self, from: ProcessId, to: ProcessId) -> Result<usize, RuntimeError> {
+        // Channel existence (a topology property) is diagnosed before the
+        // decomposition lookup, so behaviors get the more actionable error.
+        let peer = if from == self.id { to } else { from };
+        if !self.data_out.contains_key(&peer) {
+            return Err(RuntimeError::NoChannel { from, to });
+        }
+        let edge = Edge::try_new(from, to).map_err(|_| RuntimeError::NoChannel { from, to })?;
+        self.decomposition
+            .group_of(edge)
+            .ok_or(RuntimeError::ChannelNotInDecomposition { from, to })
+    }
+
+    /// Synchronously sends `payload` to `to`: blocks until the receiver
+    /// takes the message *and* acknowledges it, then returns the message's
+    /// timestamp (identical on both sides).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoChannel`] if `to` is not a neighbor;
+    /// [`RuntimeError::ChannelNotInDecomposition`] if the decomposition
+    /// misses the edge; [`RuntimeError::PeerTerminated`] if the peer's
+    /// thread exited mid-rendezvous.
+    pub fn send(&mut self, to: ProcessId, payload: u64) -> Result<VectorTime, RuntimeError> {
+        let group = self.group_for(self.id, to)?;
+        let key = ((self.id as u64) << 32) | self.seq;
+        self.seq += 1;
+        let wire = Wire {
+            key,
+            payload,
+            vector: self.clock.send_payload(),
+        };
+        let tx = self
+            .data_out
+            .get(&to)
+            .ok_or(RuntimeError::NoChannel { from: self.id, to })?;
+        tx.send(wire)
+            .map_err(|_| RuntimeError::PeerTerminated { peer: to })?;
+        let ack = self
+            .ack_in
+            .get(&to)
+            .ok_or(RuntimeError::NoChannel { from: self.id, to })?
+            .recv()
+            .map_err(|_| RuntimeError::PeerTerminated { peer: to })?;
+        let stamp = self.clock.on_acknowledgement(&ack, group);
+        if let Some(tx) = &self.observer {
+            // A lagging or dropped observer must never stall the protocol.
+            let _ = tx.send(LiveObservation {
+                key,
+                sender: self.id,
+                receiver: to,
+                stamp: stamp.clone(),
+            });
+        }
+        self.log.push(LogEntry::Sent {
+            to,
+            key,
+            stamp: stamp.clone(),
+        });
+        Ok(stamp)
+    }
+
+    /// Blocks until `from` sends a message; acknowledges it (carrying this
+    /// process's pre-update vector back, line 04 of Figure 5) and returns
+    /// the payload and the message's timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`ProcessCtx::send`].
+    pub fn receive_from(&mut self, from: ProcessId) -> Result<(u64, VectorTime), RuntimeError> {
+        let group = self.group_for(from, self.id)?;
+        let wire = self
+            .data_in
+            .get(&from)
+            .ok_or(RuntimeError::NoChannel { from, to: self.id })?
+            .recv()
+            .map_err(|_| RuntimeError::PeerTerminated { peer: from })?;
+        let (ack, stamp) = self.clock.on_receive(&wire.vector, group);
+        self.ack_out
+            .get(&from)
+            .ok_or(RuntimeError::NoChannel { from, to: self.id })?
+            .send(ack)
+            .map_err(|_| RuntimeError::PeerTerminated { peer: from })?;
+        self.log.push(LogEntry::Received {
+            from,
+            key: wire.key,
+            stamp: stamp.clone(),
+        });
+        Ok((wire.payload, stamp))
+    }
+
+    /// Records an internal event.
+    pub fn internal(&mut self) {
+        self.log.push(LogEntry::Internal);
+    }
+}
+
+/// A process's code: runs on its own thread against a [`ProcessCtx`].
+pub type Behavior = Box<dyn FnOnce(&mut ProcessCtx) -> Result<(), RuntimeError> + Send>;
+
+/// Configures and launches rendezvous executions over a topology and its
+/// edge decomposition.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    topology: Graph,
+    decomposition: EdgeDecomposition,
+    observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
+}
+
+impl Runtime {
+    /// Creates a runtime over `topology`, timestamping with the components
+    /// of `decomposition` (which should cover the topology's edges).
+    pub fn new(topology: &Graph, decomposition: &EdgeDecomposition) -> Self {
+        Runtime {
+            topology: topology.clone(),
+            decomposition: decomposition.clone(),
+            observer: None,
+        }
+    }
+
+    /// Streams a [`LiveObservation`] per message to `tx` as the execution
+    /// runs (sent from the sender's thread right after the rendezvous
+    /// completes). Observer failures are ignored — monitoring must not
+    /// perturb the system under observation.
+    #[must_use]
+    pub fn with_observer(mut self, tx: std::sync::mpsc::Sender<LiveObservation>) -> Self {
+        self.observer = Some(tx);
+        self
+    }
+
+    /// Runs one behavior per process (there must be exactly
+    /// `topology.node_count()` of them), each on its own OS thread, until
+    /// all of them return.
+    ///
+    /// **Deadlock warning:** rendezvous semantics mean mismatched behaviors
+    /// (everyone sending, nobody receiving) block forever, exactly as real
+    /// CSP programs do. The `synctime-sim` crate's scheduler detects such
+    /// deadlocks deterministically; the runtime does not.
+    ///
+    /// # Errors
+    ///
+    /// The first behavior error, in process order; a panicking behavior
+    /// surfaces as [`RuntimeError::BehaviorPanicked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behaviors.len()` differs from the process count.
+    pub fn run(&self, behaviors: Vec<Behavior>) -> Result<RuntimeRun, RuntimeError> {
+        let n = self.topology.node_count();
+        assert_eq!(behaviors.len(), n, "need exactly one behavior per process");
+        // Wire up zero-capacity (rendezvous) channels for both directions
+        // of every topology edge, plus the acknowledgement back-channels.
+        let mut data_out: Vec<HashMap<ProcessId, SyncSender<Wire>>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        let mut data_in: Vec<HashMap<ProcessId, Receiver<Wire>>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        let mut ack_out: Vec<HashMap<ProcessId, SyncSender<VectorTime>>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        let mut ack_in: Vec<HashMap<ProcessId, Receiver<VectorTime>>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        for e in self.topology.edges() {
+            for (u, v) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+                let (dtx, drx) = sync_channel::<Wire>(0);
+                data_out[u].insert(v, dtx);
+                data_in[v].insert(u, drx);
+                let (atx, arx) = sync_channel::<VectorTime>(0);
+                ack_out[v].insert(u, atx);
+                ack_in[u].insert(v, arx);
+            }
+        }
+        let dim = self.decomposition.len();
+        let mut ctxs: Vec<ProcessCtx> = Vec::with_capacity(n);
+        // Assemble contexts back-to-front so we can pop from the vectors.
+        let mut parts: Vec<_> = data_out
+            .into_iter()
+            .zip(data_in)
+            .zip(ack_out.into_iter().zip(ack_in))
+            .collect();
+        for (id, ((d_out, d_in), (a_out, a_in))) in parts.drain(..).enumerate() {
+            ctxs.push(ProcessCtx {
+                id,
+                clock: ProcessClock::new(dim),
+                decomposition: self.decomposition.clone(),
+                observer: self.observer.clone(),
+                seq: 0,
+                data_out: d_out,
+                data_in: d_in,
+                ack_out: a_out,
+                ack_in: a_in,
+                log: Vec::new(),
+            });
+        }
+
+        let results: Vec<Result<Vec<LogEntry>, RuntimeError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = behaviors
+                .into_iter()
+                .zip(ctxs)
+                .map(|(behavior, mut ctx)| {
+                    s.spawn(move || {
+                        behavior(&mut ctx)?;
+                        Ok(ctx.log)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(p, h)| {
+                    h.join()
+                        .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: p }))
+                })
+                .collect()
+        });
+
+        let mut logs = Vec::with_capacity(n);
+        for r in results {
+            logs.push(r?);
+        }
+        Ok(RuntimeRun {
+            process_count: n,
+            logs,
+        })
+    }
+}
+
+/// The logs of a completed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeRun {
+    process_count: usize,
+    logs: Vec<Vec<LogEntry>>,
+}
+
+impl RuntimeRun {
+    /// The per-process execution logs.
+    pub fn logs(&self) -> &[Vec<LogEntry>] {
+        &self.logs
+    }
+
+    /// Rebuilds the [`SyncComputation`] the execution performed, together
+    /// with the piggybacked per-message timestamps (re-indexed by the
+    /// computation's message ids).
+    ///
+    /// That the rebuild succeeds at all is itself a check: it certifies the
+    /// logged per-process orders are realizable by a synchronous execution
+    /// — which they are, having just been executed by one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceError`]s from sequence reconstruction (these would
+    /// indicate a runtime bug, e.g. mismatched logs).
+    pub fn reconstruct(&self) -> Result<(SyncComputation, MessageTimestamps), TraceError> {
+        let sequences: Vec<Vec<EventKind>> = self
+            .logs
+            .iter()
+            .map(|log| {
+                log.iter()
+                    .map(|entry| match entry {
+                        LogEntry::Sent { key, .. } => EventKind::Send(MessageId(*key as usize)),
+                        LogEntry::Received { key, .. } => {
+                            EventKind::Receive(MessageId(*key as usize))
+                        }
+                        LogEntry::Internal => EventKind::Internal,
+                    })
+                    .collect()
+            })
+            .collect();
+        let computation = SyncComputation::from_process_sequences(sequences)?;
+        // Re-associate stamps: process p's i-th logged rendezvous is its
+        // i-th message in the rebuilt computation's local order.
+        let mut stamps: Vec<Option<VectorTime>> = vec![None; computation.message_count()];
+        for (p, log) in self.logs.iter().enumerate() {
+            let local = computation.process_messages(p);
+            let mut next = 0usize;
+            for entry in log {
+                let stamp = match entry {
+                    LogEntry::Sent { stamp, .. } | LogEntry::Received { stamp, .. } => stamp,
+                    LogEntry::Internal => continue,
+                };
+                let id = local[next];
+                next += 1;
+                match &stamps[id.0] {
+                    None => stamps[id.0] = Some(stamp.clone()),
+                    Some(prev) => {
+                        // Both endpoints logged the same timestamp.
+                        debug_assert_eq!(prev, stamp, "endpoint stamps disagree for {id}");
+                    }
+                }
+            }
+        }
+        let vectors: Vec<VectorTime> = stamps
+            .into_iter()
+            .map(|s| s.expect("every message has at least one logged endpoint"))
+            .collect();
+        Ok((computation, MessageTimestamps::new(vectors)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_graph::{decompose, topology};
+    use synctime_trace::Oracle;
+
+    fn ping_pong(rounds: u64) -> (Runtime, Vec<Behavior>) {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let a: Behavior = Box::new(move |ctx| {
+            for i in 0..rounds {
+                ctx.send(1, i)?;
+                let (echo, _) = ctx.receive_from(1)?;
+                assert_eq!(echo, i * 2);
+            }
+            Ok(())
+        });
+        let b: Behavior = Box::new(move |ctx| {
+            for _ in 0..rounds {
+                let (x, _) = ctx.receive_from(0)?;
+                ctx.internal();
+                ctx.send(0, x * 2)?;
+            }
+            Ok(())
+        });
+        (rt, vec![a, b])
+    }
+
+    #[test]
+    fn ping_pong_reconstructs() {
+        let (rt, behaviors) = ping_pong(5);
+        let run = rt.run(behaviors).unwrap();
+        let (comp, stamps) = run.reconstruct().unwrap();
+        assert_eq!(comp.message_count(), 10);
+        assert_eq!(stamps.dim(), 1);
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+        // Scalar components strictly increase: the path is a star (Lemma 1).
+        let vals: Vec<u64> = stamps.vectors().iter().map(|v| v.component(0)).collect();
+        assert_eq!(vals, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn timestamps_match_simulator_on_same_computation() {
+        let (rt, behaviors) = ping_pong(3);
+        let run = rt.run(behaviors).unwrap();
+        let (comp, live_stamps) = run.reconstruct().unwrap();
+        let dec = decompose::best_known(&topology::path(2));
+        let sim_stamps = synctime_core::online::OnlineStamper::new(&dec)
+            .stamp_computation(&comp)
+            .unwrap();
+        assert_eq!(live_stamps, sim_stamps);
+    }
+
+    #[test]
+    fn no_channel_is_reported() {
+        let topo = topology::path(3);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let result = rt.run(vec![
+            Box::new(|ctx| match ctx.send(2, 1) {
+                Err(RuntimeError::NoChannel { from: 0, to: 2 }) => Ok(()),
+                other => panic!("expected NoChannel, got {other:?}"),
+            }),
+            Box::new(|_| Ok(())),
+            Box::new(|_| Ok(())),
+        ]);
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn peer_termination_is_reported() {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let err = rt
+            .run(vec![
+                Box::new(|ctx| {
+                    // Peer exits immediately; this receive must fail, not hang.
+                    match ctx.receive_from(1) {
+                        Err(RuntimeError::PeerTerminated { peer: 1 }) => {
+                            Err(RuntimeError::PeerTerminated { peer: 1 })
+                        }
+                        other => panic!("expected PeerTerminated, got {other:?}"),
+                    }
+                }),
+                Box::new(|_| Ok(())),
+            ])
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::PeerTerminated { peer: 1 });
+    }
+
+    #[test]
+    fn concurrent_branches_get_concurrent_stamps() {
+        // A 5-node tree: two independent leaf pairs talk to their hubs
+        // concurrently; the runtime's stamps must reflect the concurrency.
+        let topo = topology::balanced_tree(2, 2); // 0 -> {1,2}, 1 -> {3,4}, 2 -> {5,6}
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let mk_leaf = |hub: ProcessId| -> Behavior {
+            Box::new(move |ctx| {
+                ctx.send(hub, ctx.id() as u64)?;
+                Ok(())
+            })
+        };
+        let mk_hub = |leaves: Vec<ProcessId>| -> Behavior {
+            Box::new(move |ctx| {
+                for leaf in leaves {
+                    ctx.receive_from(leaf)?;
+                }
+                Ok(())
+            })
+        };
+        let run = rt
+            .run(vec![
+                Box::new(|_| Ok(())), // root idles
+                mk_hub(vec![3, 4]),
+                mk_hub(vec![5, 6]),
+                mk_leaf(1),
+                mk_leaf(1),
+                mk_leaf(2),
+                mk_leaf(2),
+            ])
+            .unwrap();
+        let (comp, stamps) = run.reconstruct().unwrap();
+        assert_eq!(comp.message_count(), 4);
+        let oracle = Oracle::new(&comp);
+        assert!(stamps.encodes(&oracle));
+        // Messages into hub 1 are concurrent with messages into hub 2.
+        let (into1, into2): (Vec<&synctime_trace::Message>, Vec<&synctime_trace::Message>) =
+            comp.messages().iter().partition(|m| m.receiver == 1);
+        for a in &into1 {
+            for b in &into2 {
+                assert!(stamps.concurrent(a.id, b.id), "{} vs {}", a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn observer_streams_live_stamps() {
+        let (rt, behaviors) = ping_pong(4);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = rt.with_observer(tx);
+        let run = rt.run(behaviors).unwrap();
+        let observations: Vec<LiveObservation> = rx.try_iter().collect();
+        assert_eq!(observations.len(), 8, "one observation per message");
+        // Every observation's stamp matches the reconstructed run's stamp
+        // for the same key (keys appear in the logs).
+        let (comp, stamps) = run.reconstruct().unwrap();
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+        for obs in &observations {
+            let logged = run
+                .logs()
+                .iter()
+                .flatten()
+                .find_map(|e| match e {
+                    LogEntry::Sent { key, stamp, .. } if *key == obs.key => Some(stamp),
+                    _ => None,
+                })
+                .expect("observed key was logged");
+            assert_eq!(logged, &obs.stamp);
+        }
+        // Dropping the receiver must not break later runs.
+        let (rt2, behaviors2) = ping_pong(2);
+        let (tx2, rx2) = std::sync::mpsc::channel();
+        drop(rx2);
+        assert!(rt2.with_observer(tx2).run(behaviors2).is_ok());
+    }
+
+    #[test]
+    fn panicking_behavior_surfaces() {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let err = rt
+            .run(vec![Box::new(|_| panic!("boom")), Box::new(|_| Ok(()))])
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::BehaviorPanicked { process: 0 });
+    }
+}

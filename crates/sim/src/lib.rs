@@ -1,0 +1,34 @@
+//! Deterministic workload generators and a rendezvous simulator for
+//! synchronous computations.
+//!
+//! The paper's evaluation domain is "distributed programs that communicate
+//! by synchronous messages" (CSP, Ada rendezvous, synchronous RPC). This
+//! crate supplies that substrate in two flavours:
+//!
+//! * [`workload`] — seeded random computations over an arbitrary topology,
+//!   used by property tests and benchmark sweeps;
+//! * [`scenarios`] — the structured application classes the paper's
+//!   introduction motivates: client–server RPC, tree
+//!   broadcast/convergecast, ring token passing, and barrier phases;
+//! * [`programs`] — extraction of per-process scripts from computations
+//!   (directed rendezvous programs are confluent, enabling replay
+//!   round-trips) and generation of guaranteed-deadlock-free program sets;
+//! * [`sim`] — a deterministic discrete-event scheduler for CSP-style
+//!   *programs* (per-process scripts of send/receive/internal operations)
+//!   that resolves rendezvous pairs and emits the resulting
+//!   [`SyncComputation`](synctime_trace::SyncComputation), detecting
+//!   deadlock when the scripts cannot rendezvous.
+//!
+//! Everything is seeded and deterministic: the same seed yields the same
+//! computation, so experiments are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod programs;
+pub mod scenarios;
+pub mod sim;
+pub mod workload;
+
+pub use scenarios::Scenario;
+pub use sim::{enumerate_schedules, Op, Program, SimError, Simulator};

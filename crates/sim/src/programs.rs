@@ -1,0 +1,149 @@
+//! Deriving process scripts from computations and generating random
+//! *confluent* program sets.
+//!
+//! Directed rendezvous programs (no `ReceiveAny`) are **confluent**: each
+//! process's communication sequence is fixed, so every schedule realizes
+//! the same computation — and a schedule exists exactly when the scripts
+//! came from a real computation. That yields both a powerful round-trip
+//! test (computation → scripts → simulate → same computation) and a
+//! generator of guaranteed-deadlock-free workloads for the threaded
+//! runtime.
+
+use rand::Rng;
+use synctime_graph::Graph;
+use synctime_trace::{EventKind, SyncComputation};
+
+use crate::sim::Program;
+use crate::workload::RandomWorkload;
+
+/// Extracts one directed script per process from a computation: sends
+/// become `send_to`, receives `receive_from`, internal events `internal`.
+///
+/// Simulating the result (any seed) reproduces a computation with the same
+/// per-process histories — see [`roundtrips`].
+pub fn from_computation(computation: &SyncComputation) -> Vec<Program> {
+    (0..computation.process_count())
+        .map(|p| {
+            let mut prog = Program::new();
+            for ev in computation.history(p) {
+                prog = match ev {
+                    EventKind::Internal => prog.internal(),
+                    EventKind::Send(m) => prog.send_to(computation.message(*m).receiver),
+                    EventKind::Receive(m) => prog.receive_from(computation.message(*m).sender),
+                };
+            }
+            prog
+        })
+        .collect()
+}
+
+/// Whether `computation` and `other` have identical per-process histories
+/// up to message renumbering (the confluence invariant: any schedule of
+/// the same directed scripts).
+pub fn roundtrips(computation: &SyncComputation, other: &SyncComputation) -> bool {
+    if computation.process_count() != other.process_count() {
+        return false;
+    }
+    (0..computation.process_count()).all(|p| {
+        let shape = |c: &SyncComputation| -> Vec<(u8, usize)> {
+            c.history(p)
+                .iter()
+                .map(|ev| match ev {
+                    EventKind::Internal => (0u8, 0),
+                    EventKind::Send(m) => (1, c.message(*m).receiver),
+                    EventKind::Receive(m) => (2, c.message(*m).sender),
+                })
+                .collect()
+        };
+        shape(computation) == shape(other)
+    })
+}
+
+/// Generates a random set of directed, deadlock-free programs over
+/// `topology` by first generating a random computation and extracting its
+/// scripts — by construction a rendezvous schedule exists.
+pub fn random_confluent<R: Rng + ?Sized>(
+    topology: &Graph,
+    messages: usize,
+    internal_events: usize,
+    rng: &mut R,
+) -> Vec<Program> {
+    let comp = RandomWorkload::messages(messages)
+        .with_internal_events(internal_events)
+        .generate(topology, rng);
+    from_computation(&comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use synctime_graph::topology;
+    use synctime_trace::Builder;
+
+    #[test]
+    fn roundtrip_small() {
+        let mut b = Builder::new(3);
+        b.message(0, 1).unwrap();
+        b.internal(1).unwrap();
+        b.message(1, 2).unwrap();
+        b.message(2, 0).unwrap();
+        let comp = b.build();
+        let programs = from_computation(&comp);
+        let replay = Simulator::new().run(&programs).unwrap();
+        assert!(roundtrips(&comp, &replay));
+        // In this fully sequential case the computations are identical.
+        assert_eq!(comp, replay);
+    }
+
+    #[test]
+    fn roundtrip_random_many_schedules() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let topo = topology::random_connected(6, 3, &mut rng);
+            let comp = RandomWorkload::messages(30)
+                .with_internal_events(10)
+                .generate(&topo, &mut rng);
+            let programs = from_computation(&comp);
+            for seed in 0..5 {
+                let replay = Simulator::new()
+                    .with_topology(&topo)
+                    .with_seed(seed)
+                    .run(&programs)
+                    .unwrap_or_else(|e| panic!("trial {trial} seed {seed}: {e}"));
+                assert!(roundtrips(&comp, &replay), "trial {trial} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_confluent_never_deadlocks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let topo = topology::complete(5);
+            let programs = random_confluent(&topo, 25, 5, &mut rng);
+            for seed in [0, 1, 2] {
+                assert!(Simulator::new()
+                    .with_topology(&topo)
+                    .with_seed(seed)
+                    .run(&programs)
+                    .is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_detects_differences() {
+        let mut b = Builder::new(2);
+        b.message(0, 1).unwrap();
+        let a = b.build();
+        let mut b = Builder::new(2);
+        b.message(1, 0).unwrap();
+        let c = b.build();
+        assert!(!roundtrips(&a, &c));
+        let d = Builder::new(3).build();
+        assert!(!roundtrips(&a, &d));
+    }
+}

@@ -1,0 +1,129 @@
+//! Seeded random synchronous computations over arbitrary topologies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use synctime_graph::{Edge, Graph};
+use synctime_trace::{Builder, SyncComputation};
+
+/// Parameters for a random workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomWorkload {
+    /// Number of messages to generate.
+    pub messages: usize,
+    /// Number of internal events to sprinkle uniformly across processes.
+    pub internal_events: usize,
+}
+
+impl RandomWorkload {
+    /// A workload of `messages` messages and no internal events.
+    pub fn messages(messages: usize) -> Self {
+        RandomWorkload {
+            messages,
+            internal_events: 0,
+        }
+    }
+
+    /// Sets the number of internal events.
+    pub fn with_internal_events(mut self, internal_events: usize) -> Self {
+        self.internal_events = internal_events;
+        self
+    }
+
+    /// Generates a computation over `topology`: each message picks a
+    /// uniformly random channel and direction; internal events pick a
+    /// uniformly random process. Events are interleaved uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` has no edges but `messages > 0`, or no nodes
+    /// but `internal_events > 0`.
+    pub fn generate<R: Rng + ?Sized>(&self, topology: &Graph, rng: &mut R) -> SyncComputation {
+        let edges: Vec<Edge> = topology.edges().collect();
+        assert!(
+            self.messages == 0 || !edges.is_empty(),
+            "cannot generate messages on an edgeless topology"
+        );
+        assert!(
+            self.internal_events == 0 || topology.node_count() > 0,
+            "cannot generate internal events without processes"
+        );
+        // Shuffle a tape of actions, then run it through the builder.
+        let mut actions: Vec<bool> = std::iter::repeat_n(true, self.messages)
+            .chain(std::iter::repeat_n(false, self.internal_events))
+            .collect();
+        actions.shuffle(rng);
+        let mut b = Builder::with_topology(topology);
+        for is_message in actions {
+            if is_message {
+                let e = edges[rng.gen_range(0..edges.len())];
+                let (mut s, mut r) = e.endpoints();
+                if rng.gen_bool(0.5) {
+                    std::mem::swap(&mut s, &mut r);
+                }
+                b.message(s, r).expect("edge endpoints are valid channels");
+            } else {
+                let p = rng.gen_range(0..topology.node_count());
+                b.internal(p).expect("process id in range");
+            }
+        }
+        b.build()
+    }
+}
+
+/// Convenience: a random computation of `messages` messages over
+/// `topology`.
+pub fn random_computation<R: Rng + ?Sized>(
+    topology: &Graph,
+    messages: usize,
+    rng: &mut R,
+) -> SyncComputation {
+    RandomWorkload::messages(messages).generate(topology, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use synctime_graph::topology;
+
+    #[test]
+    fn respects_topology_and_counts() {
+        let topo = topology::cycle(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = RandomWorkload::messages(40)
+            .with_internal_events(10)
+            .generate(&topo, &mut rng);
+        assert_eq!(c.message_count(), 40);
+        assert_eq!(c.events().count(), 40 * 2 + 10);
+        for m in c.messages() {
+            assert!(topo.has_edge(m.sender, m.receiver));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = topology::complete(5);
+        let w = RandomWorkload::messages(25).with_internal_events(5);
+        let a = w.generate(&topo, &mut StdRng::seed_from_u64(7));
+        let b = w.generate(&topo, &mut StdRng::seed_from_u64(7));
+        let c = w.generate(&topo, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let topo = topology::path(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = RandomWorkload::messages(0).generate(&topo, &mut rng);
+        assert_eq!(c.message_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn rejects_edgeless_topology() {
+        let mut rng = StdRng::seed_from_u64(3);
+        random_computation(&Graph::new(4), 5, &mut rng);
+    }
+}

@@ -1,0 +1,216 @@
+//! ASCII space–time diagrams of synchronous computations.
+//!
+//! The monitoring systems the paper cites (POET, XPVM) visualize
+//! computations as process lines with message arrows; for synchronous
+//! computations all arrows are vertical (Section 2), so each rendezvous is
+//! a single column. This renderer draws one row per process and one column
+//! per event slot:
+//!
+//! ```text
+//!      m1  m2  m3   .
+//! P1    S   .   .   o
+//! P2    R   .   S   .
+//! P3    .   S   R   .
+//! P4    .   R   .   .
+//! ```
+//!
+//! `S`/`R` mark a message's sender and receiver (same column — the
+//! vertical arrow), `o` marks an internal event, `.` is idle.
+
+use crate::computation::{EventKind, SyncComputation};
+
+/// Renders the computation as an ASCII space–time diagram.
+///
+/// Columns appear in rendezvous order; each internal event takes its own
+/// column placed before the next rendezvous its process participates in
+/// (or at the end). Messages are labelled `m1, m2, ...` in the header;
+/// internal-event columns are labelled `.`.
+pub fn render(computation: &SyncComputation) -> String {
+    render_with_labels(computation, |m| format!("m{}", m + 1))
+}
+
+/// Like [`render`], but message columns are labelled by `label(index)` —
+/// e.g. with their vector timestamps.
+pub fn render_with_labels<F>(computation: &SyncComputation, label: F) -> String
+where
+    F: Fn(usize) -> String,
+{
+    let n = computation.process_count();
+    // Build columns: internal events sort right before their process's
+    // next rendezvous (key = that message's id; trailing internals get
+    // key = message_count). Within a key, internals of lower process ids
+    // come first and the message itself comes last.
+    #[derive(Clone)]
+    enum Column {
+        Message(usize),
+        Internal { process: usize },
+    }
+    let mut keyed: Vec<(usize, usize, Column)> = Vec::new(); // (key, subkey, col)
+    for p in 0..n {
+        for (i, ev) in computation.history(p).iter().enumerate() {
+            if ev.is_internal() {
+                let key = computation
+                    .message_at_or_after(crate::computation::EventId::new(p, i))
+                    .map_or(computation.message_count(), |m| m.0);
+                keyed.push((key, p, Column::Internal { process: p }));
+            }
+        }
+    }
+    for m in 0..computation.message_count() {
+        keyed.push((m, usize::MAX, Column::Message(m)));
+    }
+    keyed.sort_by_key(|(key, sub, _)| (*key, *sub));
+
+    // Lay out cells.
+    let labels: Vec<String> = keyed
+        .iter()
+        .map(|(_, _, col)| match col {
+            Column::Message(m) => label(*m),
+            Column::Internal { .. } => ".".to_string(),
+        })
+        .collect();
+    let name_width = format!("P{n}").len().max(2);
+    let widths: Vec<usize> = labels.iter().map(|l| l.len().max(1)).collect();
+
+    let mut out = String::new();
+    // Header.
+    out.push_str(&" ".repeat(name_width));
+    for (l, w) in labels.iter().zip(&widths) {
+        out.push_str(&format!("  {l:>w$}"));
+    }
+    out.push('\n');
+    // One row per process; track per-process internal cursors so each
+    // internal column marks exactly its own process.
+    for p in 0..n {
+        out.push_str(&format!("{:>name_width$}", format!("P{}", p + 1)));
+        for ((_, sub, col), w) in keyed.iter().zip(&widths) {
+            let cell = match col {
+                Column::Message(m) => {
+                    let msg = computation.messages()[*m];
+                    if msg.sender == p {
+                        "S"
+                    } else if msg.receiver == p {
+                        "R"
+                    } else {
+                        "."
+                    }
+                }
+                Column::Internal { process } if *process == p && *sub == p => "o",
+                Column::Internal { .. } => ".",
+            };
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact per-process textual summary (one line per process listing its
+/// history), useful in logs and error messages.
+pub fn summarize(computation: &SyncComputation) -> String {
+    let mut out = String::new();
+    for p in 0..computation.process_count() {
+        out.push_str(&format!("P{}:", p + 1));
+        for ev in computation.history(p) {
+            match ev {
+                EventKind::Internal => out.push_str(" o"),
+                EventKind::Send(m) => out.push_str(&format!(" !{m}")),
+                EventKind::Receive(m) => out.push_str(&format!(" ?{m}")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::computation::Builder;
+    use crate::examples::figure1;
+
+    #[test]
+    fn renders_figure1() {
+        let s = render(&figure1());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 processes
+        assert!(lines[0].contains("m1") && lines[0].contains("m6"));
+        // m1: P1 -> P2 in the first message column.
+        let header_cols: Vec<&str> = lines[0].split_whitespace().collect();
+        assert_eq!(header_cols[0], "m1");
+        let p1: Vec<&str> = lines[1].split_whitespace().collect();
+        let p2: Vec<&str> = lines[2].split_whitespace().collect();
+        assert_eq!(p1[1], "S");
+        assert_eq!(p2[1], "R");
+    }
+
+    #[test]
+    fn internal_events_get_their_own_columns() {
+        let mut b = Builder::new(2);
+        b.internal(0).unwrap();
+        b.message(0, 1).unwrap();
+        b.internal(1).unwrap();
+        let c = b.build();
+        let s = render(&c);
+        let lines: Vec<&str> = s.lines().collect();
+        // Columns: internal(P1), m1, internal(P2).
+        let p1: Vec<&str> = lines[1].split_whitespace().collect();
+        let p2: Vec<&str> = lines[2].split_whitespace().collect();
+        assert_eq!(&p1[1..], &["o", "S", "."]);
+        assert_eq!(&p2[1..], &[".", "R", "o"]);
+    }
+
+    #[test]
+    fn custom_labels() {
+        let mut b = Builder::new(2);
+        b.message(0, 1).unwrap();
+        let c = b.build();
+        let s = render_with_labels(&c, |m| format!("({m})"));
+        assert!(s.lines().next().unwrap().contains("(0)"));
+    }
+
+    #[test]
+    fn summary_lists_histories() {
+        let mut b = Builder::new(2);
+        b.message(0, 1).unwrap();
+        b.internal(1).unwrap();
+        let c = b.build();
+        let s = summarize(&c);
+        assert_eq!(s, "P1: !m1\nP2: ?m1 o\n");
+    }
+
+    #[test]
+    fn empty_computation_renders_header_only() {
+        let c = Builder::new(3).build();
+        let s = render(&c);
+        assert_eq!(s.lines().count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod label_tests {
+    use super::*;
+    use crate::computation::Builder;
+
+    #[test]
+    fn message_only_columns_keep_process_rows_aligned() {
+        let mut b = Builder::new(3);
+        b.message(0, 2).unwrap();
+        b.message(1, 2).unwrap();
+        let c = b.build();
+        let s = render(&c);
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged rows: {s}");
+    }
+
+    #[test]
+    fn wide_labels_widen_columns() {
+        let mut b = Builder::new(2);
+        b.message(0, 1).unwrap();
+        let c = b.build();
+        let s = render_with_labels(&c, |_| "(10,20,30)".to_string());
+        assert!(s.lines().next().unwrap().contains("(10,20,30)"));
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+}

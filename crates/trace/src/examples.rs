@@ -1,0 +1,101 @@
+//! The worked example computations of the paper's figures.
+//!
+//! The paper's figures are drawings we cannot recover pixel-exactly from
+//! text, so each reconstruction here is constrained to satisfy every
+//! relation the prose states about it; the corresponding tests assert those
+//! relations against the [`Oracle`](crate::Oracle).
+
+use synctime_graph::{topology, Edge, EdgeDecomposition, EdgeGroup};
+
+use crate::computation::{Builder, MessageId, SyncComputation};
+
+/// The synchronous computation of **Figure 1**: 4 processes, 6 messages,
+/// with `m1 ‖ m2`, `m1 ▷ m3`, `m2 ↦ m6`, `m3 ↦ m5`, and a synchronous chain
+/// of size 4 from `m1` to `m5` (`m1 ↦ m3 ↦ m4 ↦ m5`).
+pub fn figure1() -> SyncComputation {
+    let mut b = Builder::new(4);
+    b.message(0, 1).expect("m1: P1 -> P2");
+    b.message(2, 3).expect("m2: P3 -> P4");
+    b.message(1, 2).expect("m3: P2 -> P3");
+    b.message(2, 3).expect("m4: P3 -> P4");
+    b.message(3, 2).expect("m5: P4 -> P3");
+    b.message(0, 1).expect("m6: P1 -> P2");
+    b.build()
+}
+
+/// The message ids `m1..m6` of [`figure1`], for readable assertions.
+pub fn figure1_messages() -> [MessageId; 6] {
+    [0, 1, 2, 3, 4, 5].map(MessageId)
+}
+
+/// The computation of **Figure 6**: a fully-connected system with 5
+/// processes, 8 messages. The third message, `P2 -> P3`, is the one the
+/// paper walks through: its channel lies in edge group `E2` and it is
+/// timestamped `(1, 1, 1)` because the local vectors of `P2` and `P3`
+/// before the exchange are `(1, 0, 0)` and `(0, 0, 1)`.
+pub fn figure6() -> SyncComputation {
+    let mut b = Builder::with_topology(&topology::complete(5));
+    b.message(0, 1).expect("m1: P1 -> P2, group E1");
+    b.message(2, 3).expect("m2: P3 -> P4, group E3");
+    b.message(1, 2).expect("m3: P2 -> P3, group E2");
+    b.message(3, 4).expect("m4: P4 -> P5, group E3");
+    b.message(0, 3).expect("m5: P1 -> P4, group E1");
+    b.message(1, 4).expect("m6: P2 -> P5, group E2");
+    b.message(4, 2).expect("m7: P5 -> P3, group E3");
+    b.message(0, 1).expect("m8: P1 -> P2, group E1");
+    b.build()
+}
+
+/// The edge decomposition of **Figure 6** (and Figure 3(a)): the complete
+/// graph `K5` split into two stars and one triangle:
+/// `E1 = star@P1`, `E2 = star@P2`, `E3 = triangle(P3, P4, P5)`.
+pub fn figure6_decomposition() -> EdgeDecomposition {
+    EdgeDecomposition::new(vec![
+        EdgeGroup::star(
+            0,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(0, 4),
+            ],
+        ),
+        EdgeGroup::star(1, vec![Edge::new(1, 2), Edge::new(1, 3), Edge::new(1, 4)]),
+        EdgeGroup::triangle(2, 3, 4),
+    ])
+    .expect("the three groups partition K5's edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+
+    #[test]
+    fn fig1_relations() {
+        let c = figure1();
+        let o = Oracle::new(&c);
+        let [m1, m2, m3, _m4, m5, m6] = figure1_messages();
+        // The relations stated in Section 2 about Figure 1:
+        assert!(o.concurrent(m1, m2), "m1 || m2");
+        assert!(o.synchronously_precedes(m1, m3), "m1 |> m3");
+        assert!(o.synchronously_precedes(m2, m6), "m2 |-> m6");
+        assert!(o.synchronously_precedes(m3, m5), "m3 |-> m5");
+        // A synchronous chain of size 4 ends at m5: m1 -> m3 -> m4 -> m5.
+        assert_eq!(o.chain_depths()[m5.0], 4);
+    }
+
+    #[test]
+    fn fig6_shape() {
+        let c = figure6();
+        assert_eq!(c.process_count(), 5);
+        assert_eq!(c.message_count(), 8);
+        let dec = figure6_decomposition();
+        dec.validate(&topology::complete(5)).unwrap();
+        assert_eq!(dec.len(), 3);
+        // The walked-through message m3 = P2 -> P3 lies in E2 (index 1).
+        let m3 = c.message(MessageId(2));
+        assert_eq!((m3.sender, m3.receiver), (1, 2));
+        assert_eq!(dec.group_of(Edge::new(1, 2)), Some(1));
+    }
+}

@@ -1,0 +1,213 @@
+//! A human-writable JSON interchange format for computations, shared by
+//! the `synctime` CLI and any external tooling:
+//!
+//! ```json
+//! {
+//!   "processes": 3,
+//!   "events": [
+//!     {"message": [0, 1]},
+//!     {"internal": 2},
+//!     {"message": [1, 2]}
+//!   ]
+//! }
+//! ```
+//!
+//! Events appear in a valid rendezvous order (messages ordered, each
+//! process's internal events placed relative to its rendezvous), which is
+//! exactly what [`Builder`] consumes — so parsing doubles as validation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::computation::{Builder, EventKind, ProcessId, SyncComputation};
+use crate::TraceError;
+use synctime_graph::Graph;
+
+#[derive(Serialize, Deserialize)]
+struct TraceFile {
+    processes: usize,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Serialize, Deserialize)]
+enum TraceEvent {
+    #[serde(rename = "message")]
+    Message((ProcessId, ProcessId)),
+    #[serde(rename = "internal")]
+    Internal(ProcessId),
+}
+
+/// Errors from reading the JSON trace format.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JsonTraceError {
+    /// The text is not valid JSON for the trace schema.
+    Malformed(serde_json::Error),
+    /// The events are structurally invalid (bad process, self-message,
+    /// channel missing from the topology), with the offending event index.
+    Invalid {
+        /// Index into the `events` array.
+        event: usize,
+        /// The underlying error.
+        source: TraceError,
+    },
+    /// The trace declares more processes than the provided topology has.
+    TooManyProcesses {
+        /// Processes declared by the trace.
+        declared: usize,
+        /// Nodes in the topology.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for JsonTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonTraceError::Malformed(e) => write!(f, "bad trace JSON: {e}"),
+            JsonTraceError::Invalid { event, source } => {
+                write!(f, "event {event}: {source}")
+            }
+            JsonTraceError::TooManyProcesses {
+                declared,
+                available,
+            } => write!(
+                f,
+                "trace declares {declared} processes but topology has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JsonTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonTraceError::Malformed(e) => Some(e),
+            JsonTraceError::Invalid { source, .. } => Some(source),
+            JsonTraceError::TooManyProcesses { .. } => None,
+        }
+    }
+}
+
+/// Parses the JSON trace format, optionally validating channels against a
+/// topology.
+///
+/// # Errors
+///
+/// See [`JsonTraceError`].
+pub fn from_json_str(
+    text: &str,
+    topology: Option<&Graph>,
+) -> Result<SyncComputation, JsonTraceError> {
+    let file: TraceFile = serde_json::from_str(text).map_err(JsonTraceError::Malformed)?;
+    let mut b = match topology {
+        Some(t) => {
+            if t.node_count() < file.processes {
+                return Err(JsonTraceError::TooManyProcesses {
+                    declared: file.processes,
+                    available: t.node_count(),
+                });
+            }
+            Builder::with_topology(t)
+        }
+        None => Builder::new(file.processes),
+    };
+    for (i, ev) in file.events.iter().enumerate() {
+        let result = match *ev {
+            TraceEvent::Message((s, r)) => b.message(s, r).map(|_| ()),
+            TraceEvent::Internal(p) => b.internal(p).map(|_| ()),
+        };
+        result.map_err(|source| JsonTraceError::Invalid { event: i, source })?;
+    }
+    Ok(b.build())
+}
+
+/// Serializes a computation to the JSON trace format (pretty-printed,
+/// trailing newline). Events are emitted in a valid rendezvous order:
+/// messages by id, each process's internal events before its next
+/// rendezvous.
+pub fn to_json_string(computation: &SyncComputation) -> String {
+    let mut events = Vec::new();
+    let mut cursor = vec![0usize; computation.process_count()];
+    let flush = |p: usize, upto: usize, events: &mut Vec<TraceEvent>, cursor: &mut Vec<usize>| {
+        while cursor[p] < upto {
+            debug_assert!(matches!(
+                computation.history(p)[cursor[p]],
+                EventKind::Internal
+            ));
+            events.push(TraceEvent::Internal(p));
+            cursor[p] += 1;
+        }
+    };
+    for m in computation.messages() {
+        let (se, re) = computation.message_endpoints(m.id);
+        flush(m.sender, se.index, &mut events, &mut cursor);
+        flush(m.receiver, re.index, &mut events, &mut cursor);
+        events.push(TraceEvent::Message((m.sender, m.receiver)));
+        cursor[m.sender] += 1;
+        cursor[m.receiver] += 1;
+    }
+    for p in 0..computation.process_count() {
+        let len = computation.history(p).len();
+        flush(p, len, &mut events, &mut cursor);
+    }
+    let file = TraceFile {
+        processes: computation.process_count(),
+        events,
+    };
+    let mut s = serde_json::to_string_pretty(&file).expect("trace serializes");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_graph::topology;
+
+    #[test]
+    fn roundtrip_preserves_histories() {
+        let mut b = Builder::new(3);
+        b.internal(2).unwrap();
+        b.message(0, 1).unwrap();
+        b.internal(1).unwrap();
+        b.message(1, 2).unwrap();
+        b.internal(1).unwrap();
+        let comp = b.build();
+        let json = to_json_string(&comp);
+        let back = from_json_str(&json, None).unwrap();
+        for p in 0..3 {
+            assert_eq!(comp.history(p), back.history(p), "P{p}");
+        }
+        assert_eq!(comp.messages(), back.messages());
+    }
+
+    #[test]
+    fn topology_validation() {
+        let topo = topology::path(3);
+        let good = r#"{"processes": 3, "events": [{"message": [0, 1]}]}"#;
+        assert!(from_json_str(good, Some(&topo)).is_ok());
+        let bad_channel = r#"{"processes": 3, "events": [{"message": [0, 2]}]}"#;
+        assert!(matches!(
+            from_json_str(bad_channel, Some(&topo)),
+            Err(JsonTraceError::Invalid { event: 0, .. })
+        ));
+        let too_many = r#"{"processes": 9, "events": []}"#;
+        assert!(matches!(
+            from_json_str(too_many, Some(&topo)),
+            Err(JsonTraceError::TooManyProcesses {
+                declared: 9,
+                available: 3
+            })
+        ));
+        assert!(matches!(
+            from_json_str("{nope", None),
+            Err(JsonTraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = from_json_str(r#"{"processes": 2, "events": [{"message": [0, 0]}]}"#, None)
+            .unwrap_err();
+        assert!(err.to_string().contains("event 0"));
+    }
+}

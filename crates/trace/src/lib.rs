@@ -1,0 +1,53 @@
+//! Synchronous computation traces and ground-truth ordering oracles.
+//!
+//! A *synchronous computation* is one whose messages all use blocking
+//! (rendezvous) sends: the sender waits until the receiver has taken the
+//! message. Charron-Bost, Mattern and Tel showed such computations are
+//! exactly those whose time diagrams can be drawn with **vertical message
+//! arrows** — equivalently, whose messages can be totally ordered
+//! consistently with every process's local order.
+//!
+//! This crate models those computations and computes the ground truth the
+//! rest of the `synctime` workspace is tested against:
+//!
+//! * [`SyncComputation`] — processes, messages, and internal events, built
+//!   either from a global rendezvous order ([`Builder`]) or from
+//!   per-process sequences with synchrony checked
+//!   ([`SyncComputation::from_process_sequences`]),
+//! * [`Oracle`] — the message poset `(M, ↦)` of Section 2 ("synchronously
+//!   precedes") and the event-level happened-before relation `→` of
+//!   Section 5 (which crosses messages *and* their acknowledgements),
+//! * [`examples`] — the worked computations of the paper's Figures 1 and 6.
+//!
+//! # Example
+//!
+//! ```
+//! use synctime_trace::{Builder, Oracle};
+//!
+//! let mut b = Builder::new(4);
+//! let m1 = b.message(0, 1)?; // P1 -> P2
+//! let m2 = b.message(2, 3)?; // P3 -> P4, concurrent with m1
+//! let m3 = b.message(1, 2)?; // P2 -> P3, after both
+//! let comp = b.build();
+//! let oracle = Oracle::new(&comp);
+//! assert!(oracle.concurrent(m1, m2));
+//! assert!(oracle.synchronously_precedes(m1, m3));
+//! # Ok::<(), synctime_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod computation;
+mod error;
+mod oracle;
+
+pub mod diagram;
+pub mod examples;
+pub mod json;
+
+pub use computation::{
+    Builder, EventId, EventKind, Message, MessageId, ProcessId, SyncComputation,
+};
+pub use error::TraceError;
+pub use oracle::Oracle;

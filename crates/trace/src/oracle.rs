@@ -1,0 +1,219 @@
+use synctime_poset::Poset;
+
+use crate::computation::{EventId, MessageId, SyncComputation};
+
+/// Ground-truth order relations of a computation, computed by transitive
+/// closure. Every timestamping algorithm in the workspace is tested against
+/// this oracle.
+///
+/// ```
+/// use synctime_trace::{Builder, Oracle};
+///
+/// let mut b = Builder::new(3);
+/// let m1 = b.message(0, 1)?;
+/// let m2 = b.message(1, 2)?; // shares P2 with m1
+/// let comp = b.build();
+/// let oracle = Oracle::new(&comp);
+/// assert!(oracle.synchronously_precedes(m1, m2));
+/// # Ok::<(), synctime_trace::TraceError>(())
+/// ```
+///
+/// * The **message poset** `(M, ↦)` of Section 2: `↦` is the transitive
+///   closure of `▷`, where `m1 ▷ m2` holds when an endpoint of `m1`
+///   precedes an endpoint of `m2` on a shared process. Within a process the
+///   local order is total, so the per-process *consecutive* message pairs
+///   generate the same closure.
+/// * The **event relation** `→` of Section 5: Lamport's happened-before
+///   over both the application messages *and* their acknowledgements. With
+///   rendezvous semantics the two endpoints of a message act as one
+///   synchronization point: for events on different processes,
+///   `e → f` iff the first message at-or-after `e` equals or synchronously
+///   precedes the last message at-or-before `f`.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    poset: Poset,
+}
+
+impl Oracle {
+    /// Builds the oracle for a computation.
+    ///
+    /// Cost: `O(|M|² / 64)` space/time for the closure bitsets.
+    pub fn new(computation: &SyncComputation) -> Self {
+        let mut pairs = Vec::new();
+        for p in 0..computation.process_count() {
+            for w in computation.process_messages(p).windows(2) {
+                pairs.push((w[0].0, w[1].0));
+            }
+        }
+        let poset = Poset::from_cover_edges(computation.message_count(), &pairs)
+            .expect("rendezvous order is a topological witness, so no cycle exists");
+        Oracle { poset }
+    }
+
+    /// The message poset `(M, ↦)` with elements indexed by message id.
+    pub fn message_poset(&self) -> &Poset {
+        &self.poset
+    }
+
+    /// `m1 ↦ m2`: m1 synchronously precedes m2.
+    pub fn synchronously_precedes(&self, m1: MessageId, m2: MessageId) -> bool {
+        self.poset.lt(m1.0, m2.0)
+    }
+
+    /// `m1 ‖ m2`: distinct and ordered neither way.
+    pub fn concurrent(&self, m1: MessageId, m2: MessageId) -> bool {
+        self.poset.concurrent(m1.0, m2.0)
+    }
+
+    /// The size of the longest synchronous chain ending at each message
+    /// (1 for minimal messages) — the induction measure of Theorem 4.
+    pub fn chain_depths(&self) -> Vec<usize> {
+        let mut depth = vec![1usize; self.poset.len()];
+        for v in self.poset.linear_extension() {
+            for w in self.poset.above(v) {
+                depth[w] = depth[w].max(depth[v] + 1);
+            }
+        }
+        depth
+    }
+
+    /// Lamport's happened-before `e → f` (irreflexive), crossing messages
+    /// and acknowledgements, evaluated against `computation` (which must be
+    /// the one this oracle was built from).
+    pub fn happened_before(&self, computation: &SyncComputation, e: EventId, f: EventId) -> bool {
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let Some(me) = computation.message_at_or_after(e) else {
+            return false;
+        };
+        let Some(mf) = computation.message_at_or_before(f) else {
+            return false;
+        };
+        me == mf || self.synchronously_precedes(me, mf)
+    }
+
+    /// Whether two events are causally concurrent (distinct, no
+    /// happened-before either way).
+    pub fn events_concurrent(&self, computation: &SyncComputation, e: EventId, f: EventId) -> bool {
+        e != f
+            && !self.happened_before(computation, e, f)
+            && !self.happened_before(computation, f, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::computation::Builder;
+
+    /// P1 -> P2 (m1), P3 -> P4 (m2), P2 -> P3 (m3), then P3 -> P4 (m4).
+    fn sample() -> (SyncComputation, Vec<MessageId>) {
+        let mut b = Builder::new(4);
+        let m1 = b.message(0, 1).unwrap();
+        let m2 = b.message(2, 3).unwrap();
+        let m3 = b.message(1, 2).unwrap();
+        let m4 = b.message(2, 3).unwrap();
+        (b.build(), vec![m1, m2, m3, m4])
+    }
+
+    #[test]
+    fn direct_and_transitive_precedence() {
+        let (c, m) = sample();
+        let o = Oracle::new(&c);
+        assert!(o.synchronously_precedes(m[0], m[2])); // share P2
+        assert!(o.synchronously_precedes(m[1], m[2])); // share P3
+        assert!(o.synchronously_precedes(m[0], m[3])); // transitive via m3
+        assert!(!o.synchronously_precedes(m[2], m[0]));
+        assert!(o.concurrent(m[0], m[1]));
+        assert!(!o.concurrent(m[0], m[0]));
+    }
+
+    #[test]
+    fn chain_depths_measure_longest_chain() {
+        let (c, _) = sample();
+        let o = Oracle::new(&c);
+        // m1 and m2 minimal (depth 1), m3 depth 2, m4 depth 3.
+        assert_eq!(o.chain_depths(), vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn happened_before_same_process() {
+        let mut b = Builder::new(2);
+        let e1 = b.internal(0).unwrap();
+        b.message(0, 1).unwrap();
+        let e2 = b.internal(0).unwrap();
+        let c = b.build();
+        let o = Oracle::new(&c);
+        assert!(o.happened_before(&c, e1, e2));
+        assert!(!o.happened_before(&c, e2, e1));
+        assert!(!o.happened_before(&c, e1, e1));
+    }
+
+    #[test]
+    fn happened_before_crosses_messages_and_acks() {
+        let mut b = Builder::new(2);
+        let e_before = b.internal(0).unwrap(); // on sender, before m
+        let m = b.message(0, 1).unwrap();
+        let e_sender_after = b.internal(0).unwrap();
+        let e_receiver_after = b.internal(1).unwrap();
+        let c = b.build();
+        let o = Oracle::new(&c);
+        let (s, r) = c.message_endpoints(m);
+        // Through the message: sender-side past -> receiver-side future.
+        assert!(o.happened_before(&c, e_before, e_receiver_after));
+        assert!(o.happened_before(&c, s, e_receiver_after));
+        // Through the acknowledgement: the receive endpoint precedes the
+        // sender's subsequent events.
+        assert!(o.happened_before(&c, r, e_sender_after));
+        // The two endpoints synchronize both ways (rendezvous), so the
+        // internal events on opposite sides after/before are ordered.
+        assert!(!o.events_concurrent(&c, e_before, e_receiver_after));
+    }
+
+    #[test]
+    fn unrelated_internal_events_are_concurrent() {
+        let mut b = Builder::new(3);
+        let e0 = b.internal(0).unwrap();
+        let e2 = b.internal(2).unwrap();
+        b.message(0, 1).unwrap();
+        let c = b.build();
+        let o = Oracle::new(&c);
+        assert!(o.events_concurrent(&c, e0, e2));
+    }
+
+    #[test]
+    fn endpoints_of_one_message_are_mutually_ordered() {
+        // With rendezvous + acknowledgements, s(m) -> r(m) and r(m) -> any
+        // later sender event; s and r themselves satisfy s -> r (message)
+        // and r -> s? By our definition message_at_or_* of both endpoints is
+        // m itself, so both directions hold — they are one synchronization
+        // point, never concurrent.
+        let mut b = Builder::new(2);
+        let m = b.message(0, 1).unwrap();
+        let c = b.build();
+        let o = Oracle::new(&c);
+        let (s, r) = c.message_endpoints(m);
+        assert!(o.happened_before(&c, s, r));
+        assert!(o.happened_before(&c, r, s));
+        assert!(!o.events_concurrent(&c, s, r));
+    }
+
+    #[test]
+    fn events_before_any_message_are_isolated() {
+        let mut b = Builder::new(2);
+        let e0 = b.internal(0).unwrap();
+        let e1 = b.internal(1).unwrap();
+        let c = b.build();
+        let o = Oracle::new(&c);
+        assert!(o.events_concurrent(&c, e0, e1));
+    }
+
+    #[test]
+    fn empty_computation_oracle() {
+        let c = Builder::new(3).build();
+        let o = Oracle::new(&c);
+        assert_eq!(o.message_poset().len(), 0);
+        assert!(o.chain_depths().is_empty());
+    }
+}

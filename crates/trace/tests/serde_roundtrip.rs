@@ -1,0 +1,60 @@
+//! Serialization round-trips: computations survive JSON (C-SERDE), and the
+//! paper's example computations are stable artifacts.
+
+use synctime_trace::examples::{figure1, figure6};
+use synctime_trace::{Builder, EventKind, MessageId, Oracle, SyncComputation};
+
+#[test]
+fn computation_json_roundtrip() {
+    let mut b = Builder::new(4);
+    b.internal(0).unwrap();
+    b.message(0, 1).unwrap();
+    b.message(2, 3).unwrap();
+    b.internal(2).unwrap();
+    b.message(1, 2).unwrap();
+    let comp = b.build();
+    let json = serde_json::to_string(&comp).unwrap();
+    let back: SyncComputation = serde_json::from_str(&json).unwrap();
+    assert_eq!(comp, back);
+    // And the oracle built from the deserialized copy agrees.
+    let (o1, o2) = (Oracle::new(&comp), Oracle::new(&back));
+    for i in 0..comp.message_count() {
+        for j in 0..comp.message_count() {
+            assert_eq!(
+                o1.synchronously_precedes(MessageId(i), MessageId(j)),
+                o2.synchronously_precedes(MessageId(i), MessageId(j))
+            );
+        }
+    }
+}
+
+#[test]
+fn example_computations_roundtrip() {
+    for comp in [figure1(), figure6()] {
+        let json = serde_json::to_string(&comp).unwrap();
+        let back: SyncComputation = serde_json::from_str(&json).unwrap();
+        assert_eq!(comp, back);
+    }
+}
+
+#[test]
+fn event_kind_serialization_is_stable() {
+    let kinds = vec![
+        EventKind::Internal,
+        EventKind::Send(MessageId(3)),
+        EventKind::Receive(MessageId(7)),
+    ];
+    let json = serde_json::to_string(&kinds).unwrap();
+    let back: Vec<EventKind> = serde_json::from_str(&json).unwrap();
+    assert_eq!(kinds, back);
+}
+
+#[test]
+fn diagram_of_roundtripped_computation_is_identical() {
+    use synctime_trace::diagram;
+    let comp = figure1();
+    let json = serde_json::to_string(&comp).unwrap();
+    let back: SyncComputation = serde_json::from_str(&json).unwrap();
+    assert_eq!(diagram::render(&comp), diagram::render(&back));
+    assert_eq!(diagram::summarize(&comp), diagram::summarize(&back));
+}

@@ -1,0 +1,83 @@
+//! # synctime
+//!
+//! Small vector timestamps for synchronous message-passing computations — a
+//! full reproduction of *Garg & Skawratananond, "Timestamping Messages in
+//! Synchronous Computations" (ICDCS 2002)*.
+//!
+//! Fidge–Mattern vector clocks need one component per process (`N`
+//! components, and for asynchronous systems that is tight). When every
+//! message is **synchronous** — a blocking rendezvous, as in CSP, Ada, or
+//! synchronous RPC — the message set forms a poset `(M, ↦)` that can be
+//! encoded exactly by vectors with one component per **edge group** of a
+//! star/triangle decomposition of the communication topology: an integer
+//! for a star or triangle topology, `#servers` components for a
+//! client–server system, a handful for a tree, and never more than
+//! `min(β(G), N − 2)` (vertex cover) in general.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `synctime-graph` | topologies, vertex covers, edge decompositions (Figure 7 algorithm) |
+//! | [`poset`] | `synctime-poset` | Dilworth chain covers, realizers |
+//! | [`trace`] | `synctime-trace` | computation traces, ground-truth oracle, the paper's Figure 1/6 examples |
+//! | [`core`] | `synctime-core` | online (Figure 5) & offline (Figure 9) algorithms, event stamps, FM/Lamport baselines |
+//! | [`sim`] | `synctime-sim` | workload generators, CSP-style rendezvous simulator |
+//! | [`detect`] | `synctime-detect` | predicate detection & orphan/recovery analysis |
+//! | [`asynchrony`] | `synctime-asynchrony` | asynchronous computations + Charron-Bost lower-bound construction (the contrast case) |
+//! | [`runtime`] | `synctime-runtime` | threaded rendezvous runtime with piggybacking |
+//!
+//! The [`prelude`] re-exports the everyday names.
+//!
+//! # Example
+//!
+//! ```
+//! use synctime::prelude::*;
+//!
+//! // 2 servers, 30 clients — timestamps still have just 2 components.
+//! let topo = graph::topology::client_server(2, 30);
+//! let dec = graph::decompose::best_known(&topo);
+//! assert_eq!(dec.len(), 2);
+//!
+//! let mut b = Builder::with_topology(&topo);
+//! let call = b.message(5, 0)?;  // client 3 calls server 0
+//! let reply = b.message(0, 5)?; // and gets its reply
+//! let other = b.message(9, 1)?; // an unrelated client calls server 1
+//! let comp = b.build();
+//!
+//! let stamps = OnlineStamper::new(&dec).stamp_computation(&comp)?;
+//! assert!(stamps.precedes(call, reply));
+//! assert!(stamps.concurrent(reply, other));
+//! assert!(stamps.encodes(&Oracle::new(&comp)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use synctime_asynchrony as asynchrony;
+pub use synctime_core as core;
+pub use synctime_detect as detect;
+pub use synctime_graph as graph;
+pub use synctime_poset as poset;
+pub use synctime_runtime as runtime;
+pub use synctime_sim as sim;
+pub use synctime_trace as trace;
+
+/// The everyday names, importable with one `use synctime::prelude::*`.
+pub mod prelude {
+    pub use synctime_core::events::{
+        stamp_events, EventStamp, EventTimestamps, PrevTime, SuccTime,
+    };
+    pub use synctime_core::online::{OnlineSession, OnlineStamper, ProcessClock};
+    pub use synctime_core::{offline, CoreError, MessageTimestamps, VectorOrder, VectorTime};
+    pub use synctime_detect::{orphans, wcp};
+    pub use synctime_graph::{self as graph, Edge, EdgeDecomposition, EdgeGroup, Graph};
+    pub use synctime_poset::{chains, realizer, Poset};
+    pub use synctime_runtime::{Behavior, ProcessCtx, Runtime, RuntimeRun};
+    pub use synctime_sim::{scenarios, workload, Op, Program, Simulator};
+    pub use synctime_trace::{
+        Builder, EventId, EventKind, Message, MessageId, Oracle, ProcessId, SyncComputation,
+        TraceError,
+    };
+}

@@ -1,0 +1,95 @@
+//! Properties of the Figure 7 edge-decomposition algorithm: validity on
+//! arbitrary graphs, the Theorem 6 ratio bound of 2, Theorem 7 optimality
+//! on forests, and the β ≤ 2α relationship of Section 3.3.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime::graph::{cover, decompose, topology, Graph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_is_valid_on_random_graphs(n in 2usize..12, p in 0.05f64..0.9, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::gnp(n, p, &mut rng);
+        let dec = decompose::greedy(&g);
+        prop_assert!(dec.validate(&g).is_ok());
+        // best_known folds in the trivial construction, so it always meets
+        // the N − 2 bound (greedy alone only promises the ratio bound).
+        if !g.is_empty() {
+            let best = decompose::best_known(&g);
+            prop_assert!(best.validate(&g).is_ok());
+            prop_assert!(best.len() <= n.saturating_sub(2).max(1));
+        }
+    }
+
+    #[test]
+    fn ratio_bound_two(n in 3usize..9, p in 0.2f64..0.8, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::gnp(n, p, &mut rng);
+        prop_assume!(!g.is_empty() && g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT);
+        let greedy = decompose::greedy(&g).len();
+        let opt = decompose::alpha(&g);
+        prop_assert!(greedy <= 2 * opt, "greedy {greedy} > 2 × α {opt}");
+        prop_assert!(opt >= decompose::matching_lower_bound(&g));
+    }
+
+    #[test]
+    fn optimal_on_forests(n in 2usize..16, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::random_tree(n, &mut rng);
+        let greedy = decompose::greedy(&g);
+        prop_assert!(greedy.validate(&g).is_ok());
+        if g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT {
+            prop_assert_eq!(greedy.len(), decompose::alpha(&g));
+        }
+        // Forests decompose into stars only.
+        prop_assert_eq!(greedy.triangle_count(), 0);
+    }
+
+    #[test]
+    fn beta_at_most_twice_alpha(t in 1usize..6) {
+        // Disjoint triangles: the tight case. α = t, β = 2t.
+        let g = topology::disjoint_triangles(t);
+        prop_assert_eq!(decompose::alpha(&g), t);
+        prop_assert_eq!(cover::beta(&g), 2 * t);
+    }
+
+    #[test]
+    fn vertex_cover_decomposition_valid(n in 3usize..12, extra in 0usize..6, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::random_connected(n, extra, &mut rng);
+        for cover_set in [cover::exact_min(&g), cover::two_approx(&g), cover::greedy_max_degree(&g)] {
+            let dec = decompose::from_vertex_cover(&g, &cover_set);
+            prop_assert!(dec.validate(&g).is_ok());
+            prop_assert!(dec.len() <= cover_set.len().max(1));
+        }
+    }
+
+    #[test]
+    fn alpha_never_exceeds_beta_or_trivial(n in 3usize..8, p in 0.2f64..0.9, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::gnp(n, p, &mut rng);
+        prop_assume!(!g.is_empty() && g.edge_count() <= decompose::OPTIMAL_EDGE_LIMIT);
+        let alpha = decompose::alpha(&g);
+        prop_assert!(alpha <= cover::beta(&g));
+        prop_assert!(alpha <= decompose::trivial(&g).len());
+        prop_assert!(alpha <= decompose::greedy(&g).len());
+    }
+}
+
+#[test]
+fn disconnected_graphs_are_handled() {
+    // Decomposition and stamping work per-component without special cases.
+    let mut g = Graph::new(7);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(4, 5);
+    g.add_edge(5, 6);
+    g.add_edge(4, 6); // triangle component + path component + isolated node 3
+    let dec = decompose::greedy(&g);
+    dec.validate(&g).unwrap();
+    assert_eq!(dec.len(), 2);
+}

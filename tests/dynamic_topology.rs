@@ -1,0 +1,85 @@
+//! Dynamic topologies: the client-join scenario implied by Section 3.3 —
+//! new clients enter a running client–server system without changing the
+//! timestamp dimension or invalidating issued timestamps.
+
+use synctime::prelude::*;
+
+#[test]
+fn clients_join_a_running_session_without_dimension_change() {
+    // Start with 2 servers and 1 client.
+    let topo = graph::topology::client_server(2, 1);
+    let dec = graph::decompose::best_known(&topo);
+    // The cover of K_{2,1} is the single client, size 1; force the
+    // server-star decomposition instead so joins extend server stars.
+    let dec = if dec.len() == 2 {
+        dec
+    } else {
+        graph::decompose::from_vertex_cover(&topo, &[0, 1])
+    };
+    assert_eq!(dec.len(), 2);
+
+    let mut session = OnlineSession::new(&dec, 3);
+    // We mirror every stamp into a Builder so the oracle can check the
+    // final history.
+    let mut b = Builder::new(3 + 2); // room for two future clients
+    let mut stamps: Vec<VectorTime> = Vec::new();
+    let record = |session: &mut OnlineSession,
+                  b: &mut Builder,
+                  stamps: &mut Vec<VectorTime>,
+                  s: usize,
+                  r: usize| {
+        let t = session.stamp(s, r).expect("channel known");
+        b.message(s, r).expect("message valid");
+        stamps.push(t);
+    };
+
+    // Client 2 talks to both servers.
+    record(&mut session, &mut b, &mut stamps, 2, 0);
+    record(&mut session, &mut b, &mut stamps, 0, 2);
+    record(&mut session, &mut b, &mut stamps, 2, 1);
+
+    // A new client joins: extend each server's star with its channels.
+    let c3 = session.add_process();
+    assert_eq!(c3, 3);
+    session.extend_star(0, Edge::new(0, c3)).unwrap();
+    session.extend_star(1, Edge::new(1, c3)).unwrap();
+    record(&mut session, &mut b, &mut stamps, 3, 0);
+    record(&mut session, &mut b, &mut stamps, 0, 3);
+
+    // And another.
+    let c4 = session.add_process();
+    session.extend_star(0, Edge::new(0, c4)).unwrap();
+    session.extend_star(1, Edge::new(1, c4)).unwrap();
+    record(&mut session, &mut b, &mut stamps, 4, 1);
+    record(&mut session, &mut b, &mut stamps, 1, 4);
+
+    // Dimension never changed, and the full history is encoded correctly.
+    assert!(stamps.iter().all(|v| v.dim() == 2));
+    let comp = b.build();
+    let all = MessageTimestamps::new(stamps);
+    assert!(all.encodes(&Oracle::new(&comp)));
+}
+
+#[test]
+fn genuinely_new_groups_require_dimension_growth() {
+    // A peer-to-peer edge between two clients cannot join any server star;
+    // push_star grows the dimension, which is only safe between sessions.
+    let mut dec =
+        graph::decompose::from_vertex_cover(&graph::topology::client_server(2, 2), &[0, 1]);
+    assert_eq!(dec.len(), 2);
+    let g = dec.push_star(2, Edge::new(2, 3)).unwrap();
+    assert_eq!(dec.len(), 3);
+
+    // A *fresh* session at the grown dimension stamps the extended
+    // topology correctly.
+    let mut session = OnlineSession::new(&dec, 4);
+    let mut b = Builder::new(4);
+    let mut stamps = Vec::new();
+    for (s, r) in [(2usize, 0usize), (3, 1), (2, 3), (0, 2)] {
+        stamps.push(session.stamp(s, r).unwrap());
+        b.message(s, r).unwrap();
+    }
+    let comp = b.build();
+    assert!(MessageTimestamps::new(stamps).encodes(&Oracle::new(&comp)));
+    let _ = g;
+}

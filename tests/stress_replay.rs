@@ -1,0 +1,120 @@
+//! Whole-stack stress: random computations are compiled to CSP scripts,
+//! replayed on the deterministic simulator under many seeds AND on the
+//! threaded runtime, and every replay must (a) reproduce the per-process
+//! histories (confluence of directed rendezvous), and (b) produce online
+//! timestamps that encode its ground-truth order.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime::prelude::*;
+use synctime::sim::programs;
+use synctime::sim::workload::RandomWorkload;
+
+fn behaviors_from_programs(progs: &[Program]) -> Vec<Behavior> {
+    progs
+        .iter()
+        .map(|prog| {
+            let ops: Vec<Op> = prog.ops().to_vec();
+            let behavior: Behavior = Box::new(move |ctx| {
+                for op in &ops {
+                    match op {
+                        Op::SendTo(peer) => {
+                            ctx.send(*peer, 0)?;
+                        }
+                        Op::ReceiveFrom(peer) => {
+                            ctx.receive_from(*peer)?;
+                        }
+                        Op::Internal => ctx.internal(),
+                        Op::ReceiveAny => unreachable!("directed scripts only"),
+                    }
+                }
+                Ok(())
+            });
+            behavior
+        })
+        .collect()
+}
+
+#[test]
+fn simulator_replays_are_confluent_and_correctly_stamped() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..6 {
+        let topo = graph::topology::random_connected(5 + trial % 3, 3, &mut rng);
+        let dec = graph::decompose::best_known(&topo);
+        let original = RandomWorkload::messages(40)
+            .with_internal_events(12)
+            .generate(&topo, &mut rng);
+        let progs = programs::from_computation(&original);
+        for seed in 0..6 {
+            let replay = Simulator::new()
+                .with_topology(&topo)
+                .with_seed(seed)
+                .run(&progs)
+                .unwrap_or_else(|e| panic!("trial {trial} seed {seed}: {e}"));
+            assert!(
+                programs::roundtrips(&original, &replay),
+                "trial {trial} seed {seed}: replay diverged"
+            );
+            let stamps = OnlineStamper::new(&dec).stamp_computation(&replay).unwrap();
+            assert!(
+                stamps.encodes(&Oracle::new(&replay)),
+                "trial {trial} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_runtime_replays_random_scripts() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..4 {
+        let topo = graph::topology::complete(4 + trial % 2);
+        let dec = graph::decompose::best_known(&topo);
+        let original = RandomWorkload::messages(30).generate(&topo, &mut rng);
+        let progs = programs::from_computation(&original);
+        let run = Runtime::new(&topo, &dec)
+            .run(behaviors_from_programs(&progs))
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        let (replay, live_stamps) = run.reconstruct().unwrap();
+        assert!(
+            programs::roundtrips(&original, &replay),
+            "trial {trial}: runtime replay diverged"
+        );
+        assert!(live_stamps.encodes(&Oracle::new(&replay)), "trial {trial}");
+        // Piggybacked stamps equal batch stamps on the same computation.
+        let batch = OnlineStamper::new(&dec).stamp_computation(&replay).unwrap();
+        assert_eq!(live_stamps, batch, "trial {trial}");
+    }
+}
+
+#[test]
+fn event_pipeline_on_replays() {
+    // Replay, then run the full Section 5 event pipeline and the detect
+    // layer's orphan analysis on the result.
+    let mut rng = StdRng::seed_from_u64(5150);
+    let topo = graph::topology::client_server(2, 4);
+    let dec = graph::decompose::best_known(&topo);
+    let original = RandomWorkload::messages(25)
+        .with_internal_events(10)
+        .generate(&topo, &mut rng);
+    let progs = programs::from_computation(&original);
+    let replay = Simulator::new()
+        .with_topology(&topo)
+        .with_seed(3)
+        .run(&progs)
+        .unwrap();
+    let oracle = Oracle::new(&replay);
+    let stamps = OnlineStamper::new(&dec).stamp_computation(&replay).unwrap();
+    let events = stamp_events(&replay, &stamps);
+    assert!(events.encodes(&replay, &oracle));
+    // Orphan analysis from an arbitrary failure is internally consistent.
+    let failures = [synctime::detect::orphans::Failure {
+        process: 0,
+        surviving_events: replay.history(0).len() / 2,
+    }];
+    let line = synctime::detect::orphans::recovery_line(&replay, &events, &failures);
+    for (p, &len) in line.iter().enumerate() {
+        assert!(len <= replay.history(p).len());
+    }
+    assert!(line[0] <= replay.history(0).len() / 2);
+}

@@ -1,0 +1,153 @@
+//! Theorem 4 (the central correctness result): the online algorithm's
+//! vectors encode `(M, ↦)` exactly — `m1 ↦ m2 ⟺ v(m1) < v(m2)` — on
+//! randomized computations over every topology family, for every
+//! decomposition construction.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime::prelude::*;
+use synctime::sim::workload::RandomWorkload;
+
+fn check_topology(topo: &Graph, messages: usize, internals: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp = RandomWorkload::messages(messages)
+        .with_internal_events(internals)
+        .generate(topo, &mut rng);
+    let oracle = Oracle::new(&comp);
+    // Every decomposition construction must work, whatever its size.
+    let candidates = vec![
+        graph::decompose::greedy(topo),
+        graph::decompose::trivial(topo),
+        graph::decompose::best_known(topo),
+    ];
+    for dec in candidates {
+        dec.validate(topo).unwrap();
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        assert_eq!(stamps.dim(), dec.len());
+        assert!(
+            stamps.encodes(&oracle),
+            "encoding violated on {topo} with dec size {}",
+            dec.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_connected_topologies(n in 3usize..10, extra in 0usize..6, msgs in 1usize..60, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        check_topology(&topo, msgs, msgs / 3, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn complete_graphs(n in 2usize..8, msgs in 1usize..50, seed in 0u64..1000) {
+        check_topology(&graph::topology::complete(n), msgs, 5, seed);
+    }
+
+    #[test]
+    fn stars(leaves in 1usize..9, msgs in 1usize..50, seed in 0u64..1000) {
+        check_topology(&graph::topology::star(leaves), msgs, 5, seed);
+    }
+
+    #[test]
+    fn client_server(servers in 1usize..4, clients in 1usize..7, msgs in 1usize..50, seed in 0u64..1000) {
+        check_topology(&graph::topology::client_server(servers, clients), msgs, 3, seed);
+    }
+
+    #[test]
+    fn cycles_and_grids(n in 3usize..9, msgs in 1usize..40, seed in 0u64..1000) {
+        check_topology(&graph::topology::cycle(n), msgs, 2, seed);
+        check_topology(&graph::topology::grid(2, n), msgs, 2, seed);
+    }
+}
+
+#[test]
+fn dimension_bound_of_theorem5() {
+    // d ≤ min(β(G), N − 2) via the Theorem 5 construction, on many random
+    // connected graphs (β computed exactly).
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in 4..11 {
+        for extra in 0..4 {
+            let topo = graph::topology::random_connected(n, extra, &mut rng);
+            let beta = graph::cover::beta(&topo);
+            let bound = beta.min(n - 2);
+            // The paper's pipeline: vertex-cover stars when the cover is
+            // small, trivial otherwise.
+            let dec = if beta <= n - 2 {
+                graph::decompose::from_vertex_cover(&topo, &graph::cover::exact_min(&topo))
+            } else {
+                graph::decompose::trivial(&topo)
+            };
+            dec.validate(&topo).unwrap();
+            assert!(
+                dec.len() <= bound,
+                "n={n}: got {} > min(β={beta}, N-2={})",
+                dec.len(),
+                n - 2
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustively_all_schedules_get_correct_stamps() {
+    // Model-check a small nondeterministic program set: EVERY reachable
+    // interleaving must yield stamps that encode its own ground truth.
+    use synctime::sim::enumerate_schedules;
+    let topo = graph::topology::complete(4);
+    let dec = graph::decompose::best_known(&topo);
+    let programs = vec![
+        Program::new().receive_any().receive_any().send_to(3),
+        Program::new().send_to(0).internal().send_to(3),
+        Program::new().send_to(0),
+        Program::new().receive_from(1).receive_from(0),
+    ];
+    let all = enumerate_schedules(Some(&topo), &programs, 500).unwrap();
+    assert!(
+        all.len() >= 2,
+        "expected genuine branching, got {}",
+        all.len()
+    );
+    for comp in &all {
+        let stamps = OnlineStamper::new(&dec).stamp_computation(comp).unwrap();
+        assert!(stamps.encodes(&Oracle::new(comp)));
+        let off = synctime::core::offline::stamp_computation(comp);
+        assert!(off.encodes(&Oracle::new(comp)));
+    }
+}
+
+#[test]
+fn every_schedule_of_one_program_gets_correct_stamps() {
+    // Simulate the same scripts under many schedules; the stamps must
+    // encode each resulting computation.
+    let topo = graph::topology::complete(4);
+    let dec = graph::decompose::best_known(&topo);
+    // Two receive-any sinks (P0, P3) each absorb two messages from the two
+    // producers; every interleaving completes, but different seeds commit
+    // the racing rendezvous in different orders.
+    let programs = vec![
+        Program::new().receive_any().receive_any(),
+        Program::new().send_to(0).send_to(3),
+        Program::new().send_to(0).send_to(3),
+        Program::new().receive_any().receive_any(),
+    ];
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..40 {
+        let comp = Simulator::new()
+            .with_topology(&topo)
+            .with_seed(seed)
+            .run(&programs)
+            .unwrap();
+        distinct.insert(format!("{comp:?}"));
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        assert!(stamps.encodes(&Oracle::new(&comp)), "seed {seed}");
+    }
+    assert!(
+        distinct.len() > 1,
+        "expected several distinct interleavings"
+    );
+}

@@ -1,0 +1,90 @@
+//! Theorem 8 and the Figure 9 offline algorithm: the message poset of a
+//! synchronous computation on `N` processes has width ≤ ⌊N/2⌋, and the
+//! chain-realizer timestamps of that dimension encode it exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime::poset::chains;
+use synctime::prelude::*;
+use synctime::sim::workload::random_computation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn width_and_encoding(n in 2usize..11, msgs in 0usize..80, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::complete(n.max(2));
+        let comp = random_computation(&topo, msgs, &mut rng);
+        let oracle = Oracle::new(&comp);
+
+        // Theorem 8: width ≤ ⌊N/2⌋.
+        let width = chains::width(oracle.message_poset());
+        prop_assert!(width <= n / 2 || msgs == 0, "width {width} > N/2 = {}", n / 2);
+
+        // Figure 9: the offline stamps encode the poset in `width` dims.
+        let stamps = offline::stamp_computation(&comp);
+        prop_assert_eq!(stamps.dim(), width);
+        prop_assert!(stamps.encodes(&oracle));
+    }
+
+    #[test]
+    fn offline_matches_online_verdicts(n in 3usize..8, msgs in 1usize..50, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, 2, &mut rng);
+        let comp = random_computation(&topo, msgs, &mut rng);
+        let dec = graph::decompose::best_known(&topo);
+        let online = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let off = offline::stamp_computation(&comp);
+        // Two encodings of the same poset must return identical verdicts on
+        // every pair, even though their dimensions differ.
+        for i in 0..msgs {
+            for j in 0..msgs {
+                let (a, b) = (MessageId(i), MessageId(j));
+                prop_assert_eq!(online.precedes(a, b), off.precedes(a, b));
+            }
+        }
+    }
+}
+
+#[test]
+fn width_bound_is_tight() {
+    // ⌊N/2⌋ disjoint concurrent messages realize the bound.
+    for half in 1..6 {
+        let n = 2 * half;
+        let mut b = Builder::new(n);
+        for i in 0..half {
+            b.message(2 * i, 2 * i + 1).unwrap();
+        }
+        let comp = b.build();
+        let oracle = Oracle::new(&comp);
+        assert_eq!(chains::width(oracle.message_poset()), half);
+        let stamps = offline::stamp_computation(&comp);
+        assert_eq!(stamps.dim(), half);
+    }
+}
+
+#[test]
+fn realizer_dimensions_on_scenarios() {
+    // Structured workloads: their posets are narrow, so offline stamps are
+    // tiny regardless of N.
+    let sc = scenarios::ring_token(9, 3);
+    let stamps = offline::stamp_computation(&sc.computation);
+    assert_eq!(stamps.dim(), 1, "a circulating token is a chain");
+
+    let sc = scenarios::barrier_phases(6, 2);
+    let stamps = offline::stamp_computation(&sc.computation);
+    assert_eq!(
+        stamps.dim(),
+        1,
+        "star topologies are totally ordered (Lemma 1)"
+    );
+
+    let tree = graph::topology::balanced_tree(2, 3);
+    let sc = scenarios::tree_broadcast_convergecast(&tree, 0);
+    let stamps = offline::stamp_computation(&sc.computation);
+    let oracle = Oracle::new(&sc.computation);
+    assert!(stamps.encodes(&oracle));
+    assert!(stamps.dim() <= tree.node_count() / 2);
+}

@@ -1,0 +1,85 @@
+//! Theorem 9: the Section 5 event triples `(prev, succ, c)` capture
+//! Lamport's happened-before exactly — `e → f ⟺ succ(e) ≤ prev(f)` (with
+//! the per-segment counter for same-process ties) — whichever encoding
+//! supplied the underlying message timestamps.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synctime::prelude::*;
+use synctime::sim::workload::RandomWorkload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_stamps_encode_happened_before(
+        n in 2usize..8,
+        msgs in 0usize..30,
+        internals in 0usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::complete(n.max(2));
+        let comp = RandomWorkload::messages(msgs)
+            .with_internal_events(internals)
+            .generate(&topo, &mut rng);
+        let oracle = Oracle::new(&comp);
+
+        let dec = graph::decompose::best_known(&topo);
+        let online = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        prop_assert!(stamp_events(&comp, &online).encodes(&comp, &oracle));
+
+        // The construction is agnostic to which encoding stamped the
+        // messages (it only relies on the Theorem 4 property).
+        let off = offline::stamp_computation(&comp);
+        prop_assert!(stamp_events(&comp, &off).encodes(&comp, &oracle));
+
+        let fm = synctime::core::fm::stamp_messages(&comp);
+        prop_assert!(stamp_events(&comp, &fm).encodes(&comp, &oracle));
+    }
+
+    #[test]
+    fn fm_event_clocks_agree_with_oracle(
+        n in 2usize..7,
+        msgs in 0usize..25,
+        internals in 0usize..15,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::complete(n.max(2));
+        let comp = RandomWorkload::messages(msgs)
+            .with_internal_events(internals)
+            .generate(&topo, &mut rng);
+        let oracle = Oracle::new(&comp);
+        let clocks = synctime::core::fm::stamp_events(&comp);
+        prop_assert!(clocks.encodes(&comp, &oracle));
+    }
+}
+
+#[test]
+fn event_and_fm_tests_agree_pairwise() {
+    // The two event mechanisms (Section 5 triples vs FM event vectors)
+    // return the same verdict on every pair.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let topo = graph::topology::random_connected(6, 3, &mut rng);
+    let comp = RandomWorkload::messages(30)
+        .with_internal_events(15)
+        .generate(&topo, &mut rng);
+    let dec = graph::decompose::best_known(&topo);
+    let msgs = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+    let triples = stamp_events(&comp, &msgs);
+    let fm = synctime::core::fm::stamp_events(&comp);
+    let events: Vec<EventId> = comp.events().collect();
+    for &e in &events {
+        for &f in &events {
+            if e != f {
+                assert_eq!(
+                    triples.happened_before(e, f),
+                    fm.happened_before(e, f),
+                    "{e} vs {f}"
+                );
+            }
+        }
+    }
+}
