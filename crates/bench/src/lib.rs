@@ -6,6 +6,9 @@
 //! claims. Binaries print an aligned human-readable table to stdout and,
 //! when `--json` is passed, a machine-readable JSON array to stderr.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 
 use serde::Serialize;

@@ -22,6 +22,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "query" => cmd_query(&opts),
         "generate" => cmd_generate(&opts),
         "simulate" => cmd_simulate(&opts),
+        "run" => cmd_run(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`; try `synctime help`")),
     }
@@ -38,6 +39,8 @@ USAGE:
   synctime query     --topology <SPEC> --trace <FILE> --m1 <K> --m2 <K>
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
+  synctime run       (--programs <FILE> | --ring <N> [--rounds <R>])
+                     [--topology <SPEC>] [--stats] [--watchdog-ms <MS>]
 
 TOPOLOGY SPECS:
   star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
@@ -51,6 +54,14 @@ PROGRAMS FILE:
                  \"receive_any\"], ...]}  (one op list per process)
 
 ALGORITHMS: online (default), offline, fm, lamport
+
+RUN:
+  Executes programs on real OS threads (one per process) with the Figure 5
+  rendezvous protocol; a watchdog aborts stalled runs with a wait-for-graph
+  diagnosis. `--ring N` is a built-in token-ring workload over cycle:N.
+  `--stats` prints the run's observability summary as JSON (message counts,
+  p50/p99 ack latency, wire bytes, max vector component) instead of the
+  reconstructed trace.
 "
     .to_string()
 }
@@ -66,7 +77,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
             return Err("empty flag `--`".to_string());
         }
         // Boolean flags take no value.
-        if matches!(name, "optimal" | "cover" | "json") {
+        if matches!(name, "optimal" | "cover" | "json" | "stats") {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -422,6 +433,131 @@ fn cmd_simulate(opts: &BTreeMap<String, String>) -> Result<String, String> {
     Ok(synctime_trace::json::to_json_string(&comp))
 }
 
+// --------------------------------------------------------------------- run
+
+/// Loads program op lists for `run`: from a `--programs` file, or the
+/// built-in `--ring N` token-ring workload (`--rounds R` trips around a
+/// `cycle:N` topology).
+fn run_programs(opts: &BTreeMap<String, String>) -> Result<Vec<Vec<ProgramOp>>, String> {
+    if let Some(path) = opts.get("programs") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read programs `{path}`: {e}"))?;
+        let file: ProgramsFile =
+            serde_json::from_str(&text).map_err(|e| format!("bad programs JSON: {e}"))?;
+        return Ok(file.programs);
+    }
+    if let Some(n_str) = opts.get("ring") {
+        let n: usize = n_str
+            .parse()
+            .map_err(|_| "--ring expects a process count".to_string())?;
+        if n < 3 {
+            return Err("--ring needs at least 3 processes (cycle topology)".to_string());
+        }
+        let rounds: usize = opts
+            .get("rounds")
+            .map(|s| s.parse().map_err(|_| "--rounds expects a number".to_string()))
+            .transpose()?
+            .unwrap_or(1);
+        // Process 0 injects the token each round; everyone else forwards it.
+        let programs = (0..n)
+            .map(|p| {
+                let mut ops = Vec::with_capacity(2 * rounds);
+                for _ in 0..rounds {
+                    if p == 0 {
+                        ops.push(ProgramOp::SendTo(1));
+                        ops.push(ProgramOp::ReceiveFrom(n - 1));
+                    } else {
+                        ops.push(ProgramOp::ReceiveFrom(p - 1));
+                        ops.push(ProgramOp::SendTo((p + 1) % n));
+                    }
+                }
+                ops
+            })
+            .collect();
+        return Ok(programs);
+    }
+    Err("run needs --programs <FILE> or --ring <N>".to_string())
+}
+
+fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let programs = run_programs(opts)?;
+    let n = programs.len();
+    if programs
+        .iter()
+        .flatten()
+        .any(|op| matches!(op, ProgramOp::ReceiveAny))
+    {
+        return Err(
+            "receive_any is only supported by `simulate` (the threaded runtime needs a \
+             concrete peer per receive)"
+                .to_string(),
+        );
+    }
+    let topo = match opts.get("topology") {
+        Some(spec) => parse_topology(spec)?,
+        None => {
+            // Infer the topology from the channels the programs use.
+            let mut edges = std::collections::BTreeSet::new();
+            for (p, ops) in programs.iter().enumerate() {
+                for op in ops {
+                    match op {
+                        ProgramOp::SendTo(q) | ProgramOp::ReceiveFrom(q) => {
+                            edges.insert((p.min(*q), p.max(*q)));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Graph::from_edges(n, edges).map_err(|e| format!("bad inferred topology: {e}"))?
+        }
+    };
+    if topo.node_count() != n {
+        return Err(format!(
+            "topology has {} nodes but {} programs were given",
+            topo.node_count(),
+            n
+        ));
+    }
+    let dec = decompose::best_known(&topo);
+    let mut rt = synctime_runtime::Runtime::new(&topo, &dec);
+    if let Some(ms) = opts.get("watchdog-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--watchdog-ms expects milliseconds".to_string())?;
+        rt = rt.with_watchdog(std::time::Duration::from_millis(ms));
+    }
+    let behaviors: Vec<synctime_runtime::Behavior> = programs
+        .into_iter()
+        .map(|ops| -> synctime_runtime::Behavior {
+            Box::new(move |ctx| {
+                for (i, op) in ops.iter().enumerate() {
+                    match op {
+                        ProgramOp::SendTo(q) => {
+                            ctx.send(*q, i as u64)?;
+                        }
+                        ProgramOp::ReceiveFrom(q) => {
+                            ctx.receive_from(*q)?;
+                        }
+                        ProgramOp::Internal => ctx.internal(),
+                        ProgramOp::ReceiveAny => unreachable!("rejected above"),
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let run = rt.run(behaviors).map_err(|e| e.to_string())?;
+    if opts.contains_key("stats") {
+        let mut out = run.stats().to_json();
+        out.push('\n');
+        return Ok(out);
+    }
+    let (comp, _stamps) = run
+        .reconstruct()
+        .map_err(|e| format!("internal error reconstructing the run: {e}"))?;
+    Ok(synctime_trace::json::to_json_string(&comp))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +803,84 @@ mod tests {
         ])
         .unwrap();
         assert!(stamped.contains("online (d = 2)"), "{stamped}");
+    }
+
+    #[test]
+    fn run_ring_emits_stats_json() {
+        let out = run_strs(&["run", "--ring", "4", "--rounds", "5", "--stats"]).unwrap();
+        let stats = synctime_obs::RunStats::from_json(&out).expect("stats output parses");
+        assert_eq!(stats.process_count, 4);
+        // 4 hops per round x 5 rounds.
+        assert_eq!(stats.messages, 20);
+        assert_eq!(stats.receives, 20);
+        assert!(stats.ack_latency_p50_ns > 0, "{out}");
+        assert!(stats.ack_latency_p99_ns >= stats.ack_latency_p50_ns);
+        assert!(stats.total_wire_bytes > 0);
+        assert!(stats.max_vector_component > 0);
+    }
+
+    #[test]
+    fn run_without_stats_emits_trace() {
+        let out = run_strs(&["run", "--ring", "3", "--rounds", "2"]).unwrap();
+        let comp = parse_trace(&out, Some(&topology::cycle(3))).unwrap();
+        assert_eq!(comp.message_count(), 6);
+    }
+
+    #[test]
+    fn run_executes_program_files_on_threads() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let progs = dir.join("run-programs.json");
+        std::fs::write(
+            &progs,
+            r#"{"programs": [
+                [{"send_to": 1}, "internal"],
+                [{"receive_from": 0}, {"send_to": 2}],
+                [{"receive_from": 1}]
+            ]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&["run", "--programs", progs.to_str().unwrap()]).unwrap();
+        let comp = parse_trace(&out, None).unwrap();
+        assert_eq!(comp.message_count(), 2);
+        // receive_any is a simulator-only construct.
+        let any = dir.join("run-any.json");
+        std::fs::write(&any, r#"{"programs": [["receive_any"], [{"send_to": 0}]]}"#).unwrap();
+        let err = run_strs(&["run", "--programs", any.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("receive_any"), "{err}");
+    }
+
+    #[test]
+    fn run_diagnoses_deadlock_instead_of_hanging() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("run-deadlock.json");
+        std::fs::write(
+            &bad,
+            r#"{"programs": [[{"receive_from": 1}], [{"receive_from": 0}]]}"#,
+        )
+        .unwrap();
+        let err = run_strs(&[
+            "run",
+            "--programs",
+            bad.to_str().unwrap(),
+            "--watchdog-ms",
+            "100",
+        ])
+        .unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+        assert!(err.contains("P0 -> P1 -> P0"), "{err}");
+    }
+
+    #[test]
+    fn run_flag_validation() {
+        assert!(run_strs(&["run"]).unwrap_err().contains("--programs"));
+        assert!(run_strs(&["run", "--ring", "2"])
+            .unwrap_err()
+            .contains("at least 3"));
+        // Mismatched topology is rejected before spawning threads.
+        let err = run_strs(&["run", "--ring", "4", "--topology", "cycle:5"]).unwrap_err();
+        assert!(err.contains("5 nodes"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! synctime stamp --topology clients:3x20 --trace trace.json [--algorithm online|offline|fm|lamport]
 //! synctime diagram --trace trace.json
 //! synctime query --topology topo.json --trace trace.json --m1 2 --m2 7
+//! synctime run --ring 4 --rounds 5 --stats
+//! synctime run --programs programs.json [--watchdog-ms 2000]
 //! ```
+//!
+//! `run` executes programs on real OS threads with rendezvous channels (the
+//! Figure 5 protocol); `--stats` prints a JSON observability summary and a
+//! watchdog turns stalls into a diagnosed deadlock error.
 //!
 //! Topology specs: `star:L`, `triangle`, `complete:N`, `clients:SxC`,
 //! `tree:BxD`, `cycle:N`, `path:N`, `grid:RxC`, or a JSON file

@@ -1,0 +1,183 @@
+//! Wait-for-graph construction and cycle extraction for stalled runs.
+//!
+//! In a rendezvous runtime every blocked process waits on exactly **one**
+//! peer (the target of its send, the source of its receive, or the ack it
+//! has not yet been handed). The wait-for graph is therefore a functional
+//! graph — out-degree at most one — and a stall in which every live process
+//! is blocked always contains at least one directed cycle, found by walking
+//! successor pointers until a node repeats.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The rendezvous operation a blocked process is stuck in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitOp {
+    /// Blocked in `send`, waiting for the peer to start a matching receive.
+    SendTo,
+    /// Blocked in `receive_from`, waiting for the peer to send.
+    ReceiveFrom,
+    /// Message handed over; waiting for the peer's acknowledgement.
+    AckFrom,
+}
+
+impl fmt::Display for WaitOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitOp::SendTo => write!(f, "send to"),
+            WaitOp::ReceiveFrom => write!(f, "receive from"),
+            WaitOp::AckFrom => write!(f, "await ack from"),
+        }
+    }
+}
+
+/// One edge of the wait-for graph: `process` is blocked on `peer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitEdge {
+    /// The blocked process.
+    pub process: usize,
+    /// What it is blocked doing.
+    pub op: WaitOp,
+    /// The process it is waiting on.
+    pub peer: usize,
+    /// How long it has been blocked, in milliseconds.
+    pub blocked_ms: u64,
+}
+
+/// A diagnosed stall: the full wait-for graph plus one extracted cycle.
+///
+/// Built by the runtime watchdog when every live process has been blocked
+/// beyond the configured timeout, and carried by the runtime's `Deadlock`
+/// error so callers see *who* is waiting on *whom* instead of a hang.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlockDiagnosis {
+    /// Every blocked process and what it waits on.
+    pub waiting: Vec<WaitEdge>,
+    /// One directed cycle through the wait-for graph, in wait order; the
+    /// first element is repeated implicitly (`cycle[last]` waits on
+    /// `cycle[0]`). Empty only if no cycle exists among the edges — which a
+    /// genuine all-blocked rendezvous stall cannot produce, but a snapshot
+    /// taken mid-transition can.
+    pub cycle: Vec<usize>,
+}
+
+impl DeadlockDiagnosis {
+    /// Diagnoses a stall from the set of blocked processes.
+    ///
+    /// Walks successor pointers from each blocked process until either a
+    /// repeat (cycle found) or a dead end (peer not blocked). The cycle is
+    /// rotated so it starts at its smallest process id, making diagnoses
+    /// deterministic for tests and log comparison.
+    pub fn from_waiting(waiting: Vec<WaitEdge>) -> Self {
+        let successor = |p: usize| -> Option<usize> {
+            waiting.iter().find(|e| e.process == p).map(|e| e.peer)
+        };
+        let mut cycle = Vec::new();
+        for start in waiting.iter().map(|e| e.process) {
+            let mut path = vec![start];
+            let mut current = start;
+            while let Some(next) = successor(current) {
+                if let Some(pos) = path.iter().position(|&p| p == next) {
+                    cycle = path[pos..].to_vec();
+                    break;
+                }
+                path.push(next);
+                current = next;
+            }
+            if !cycle.is_empty() {
+                break;
+            }
+        }
+        if let Some(min_pos) = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &p)| p)
+            .map(|(i, _)| i)
+        {
+            cycle.rotate_left(min_pos);
+        }
+        DeadlockDiagnosis { waiting, cycle }
+    }
+}
+
+impl fmt::Display for DeadlockDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cycle.is_empty() {
+            write!(f, "all processes blocked, no cycle snapshot")?;
+        } else {
+            write!(f, "cycle ")?;
+            for p in &self.cycle {
+                write!(f, "P{p} -> ")?;
+            }
+            write!(f, "P{}", self.cycle[0])?;
+        }
+        write!(f, "; waiting:")?;
+        for e in &self.waiting {
+            write!(
+                f,
+                " [P{} {} P{} for {}ms]",
+                e.process, e.op, e.peer, e.blocked_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(process: usize, op: WaitOp, peer: usize) -> WaitEdge {
+        WaitEdge { process, op, peer, blocked_ms: 100 }
+    }
+
+    #[test]
+    fn two_process_mutual_receive_cycle() {
+        let d = DeadlockDiagnosis::from_waiting(vec![
+            edge(1, WaitOp::ReceiveFrom, 0),
+            edge(0, WaitOp::ReceiveFrom, 1),
+        ]);
+        assert_eq!(d.cycle, vec![0, 1]);
+        let text = d.to_string();
+        assert!(text.contains("P0 -> P1 -> P0"), "got: {text}");
+    }
+
+    #[test]
+    fn tail_leading_into_cycle_is_excluded() {
+        // 0 waits on 1, 1 waits on 2, 2 waits on 1: cycle is {1, 2}.
+        let d = DeadlockDiagnosis::from_waiting(vec![
+            edge(0, WaitOp::SendTo, 1),
+            edge(1, WaitOp::ReceiveFrom, 2),
+            edge(2, WaitOp::ReceiveFrom, 1),
+        ]);
+        assert_eq!(d.cycle, vec![1, 2]);
+    }
+
+    #[test]
+    fn cycle_starts_at_smallest_id() {
+        let d = DeadlockDiagnosis::from_waiting(vec![
+            edge(3, WaitOp::SendTo, 2),
+            edge(2, WaitOp::SendTo, 3),
+        ]);
+        assert_eq!(d.cycle, vec![2, 3]);
+    }
+
+    #[test]
+    fn no_cycle_yields_empty() {
+        let d = DeadlockDiagnosis::from_waiting(vec![edge(0, WaitOp::SendTo, 1)]);
+        assert!(d.cycle.is_empty());
+        assert!(d.to_string().contains("no cycle"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = DeadlockDiagnosis::from_waiting(vec![
+            edge(0, WaitOp::ReceiveFrom, 1),
+            edge(1, WaitOp::AckFrom, 0),
+        ]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeadlockDiagnosis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,50 @@
+//! Runtime observability for synchronous timestamping runs.
+//!
+//! The paper's protocol (Fig. 5) is a rendezvous protocol: every message is a
+//! blocking send matched with a blocking receive plus an acknowledgement
+//! round-trip that carries the receiver's vector back to the sender. That
+//! makes two operational questions interesting in practice:
+//!
+//! 1. **How expensive is the protocol?** Each rendezvous costs one ack
+//!    round-trip and piggybacks a `d`-component vector on the wire, where `d`
+//!    is the number of edge groups in the decomposition. The [`Recorder`]
+//!    captures per-process counters and timing samples with low overhead
+//!    (atomic counters plus a bounded ring buffer), and [`RunStats`]
+//!    summarises a run: message counts, p50/p99 ack latency, total wire
+//!    bytes, largest vector component.
+//! 2. **What happens when a program misuses the rendezvous?** Two processes
+//!    that each wait for the other to send will block forever. The
+//!    [`DeadlockDiagnosis`] type describes such a stall as a wait-for graph
+//!    and extracts the cycle, so a runtime watchdog can abort with an
+//!    actionable error instead of hanging.
+//!
+//! This crate is deliberately free of any dependency on the runtime itself:
+//! `synctime-runtime` records into it, `synctime-cli` and `synctime-bench`
+//! read summaries out of it.
+//!
+//! # Example
+//!
+//! ```
+//! use synctime_obs::{Recorder, WaitOp};
+//!
+//! let recorder = Recorder::new(2, 64);
+//! // Process 0 sends to process 1: 24 wire bytes, 1500 ns ack round-trip.
+//! recorder.process(0).record_send(1, 24, 1_500);
+//! recorder.process(1).record_receive(0, 24, 800);
+//!
+//! let stats = recorder.finish(3);
+//! assert_eq!(stats.messages, 1);
+//! assert_eq!(stats.total_wire_bytes, 48); // counted at both endpoints
+//! assert_eq!(stats.max_vector_component, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deadlock;
+mod recorder;
+mod stats;
+
+pub use deadlock::{DeadlockDiagnosis, WaitEdge, WaitOp};
+pub use recorder::{ObsEvent, ObsEventKind, ProcessRecorder, Recorder};
+pub use stats::{ProcessStats, RunStats};

@@ -1,0 +1,99 @@
+//! Aggregated run summaries, exportable as JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for a single process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessStats {
+    /// Process id.
+    pub process: usize,
+    /// Messages this process sent.
+    pub sends: u64,
+    /// Messages this process received.
+    pub receives: u64,
+    /// Wire bytes this process put on or took off its channels.
+    pub wire_bytes: u64,
+    /// Total nanoseconds spent blocked in rendezvous operations.
+    pub blocked_ns: u64,
+}
+
+/// Summary of one timestamped run.
+///
+/// Produced by [`Recorder::finish`](crate::Recorder::finish); serialised to
+/// JSON by `synctime run --stats` and the bench tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of processes in the run.
+    pub process_count: usize,
+    /// Total messages exchanged (counted once, at the sender).
+    pub messages: u64,
+    /// Total receives completed (equals `messages` in a clean run).
+    pub receives: u64,
+    /// Total bytes on the wire, counted at both endpoints: payload framing
+    /// plus the piggybacked vector of dimension `d` on every message and its
+    /// acknowledgement.
+    pub total_wire_bytes: u64,
+    /// Total nanoseconds processes spent blocked in rendezvous operations.
+    pub total_blocked_ns: u64,
+    /// Median acknowledgement round-trip latency, in nanoseconds.
+    pub ack_latency_p50_ns: u64,
+    /// 99th-percentile acknowledgement round-trip latency, in nanoseconds.
+    pub ack_latency_p99_ns: u64,
+    /// Worst observed acknowledgement round-trip latency, in nanoseconds.
+    pub ack_latency_max_ns: u64,
+    /// Send events that fell out of the bounded rings before aggregation;
+    /// when nonzero, percentiles cover only the most recent sends (counters
+    /// remain exact).
+    pub latency_sample_dropped: u64,
+    /// Largest component in any process's final vector — the paper's claim
+    /// is that components track edge-group activity, so this bounds the
+    /// per-component growth for the run.
+    pub max_vector_component: u64,
+    /// Per-process breakdown.
+    pub per_process: Vec<ProcessStats>,
+}
+
+impl RunStats {
+    /// Pretty-printed JSON rendering of the summary.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunStats serialises infallibly")
+    }
+
+    /// Parses a summary previously produced by [`RunStats::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            process_count: 2,
+            messages: 5,
+            receives: 5,
+            total_wire_bytes: 240,
+            total_blocked_ns: 9000,
+            ack_latency_p50_ns: 400,
+            ack_latency_p99_ns: 900,
+            ack_latency_max_ns: 950,
+            latency_sample_dropped: 0,
+            max_vector_component: 5,
+            per_process: vec![
+                ProcessStats { process: 0, sends: 5, receives: 0, wire_bytes: 120, blocked_ns: 4000 },
+                ProcessStats { process: 1, sends: 0, receives: 5, wire_bytes: 120, blocked_ns: 5000 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let stats = sample();
+        let json = stats.to_json();
+        assert!(json.contains("\"ack_latency_p99_ns\": 900"));
+        let back = RunStats::from_json(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use synctime_obs::DeadlockDiagnosis;
 use synctime_trace::ProcessId;
 
 /// Errors surfaced by the threaded runtime.
@@ -33,6 +34,13 @@ pub enum RuntimeError {
         /// The receiving process.
         to: ProcessId,
     },
+    /// The watchdog found every live process blocked in a rendezvous beyond
+    /// the configured timeout and aborted the run. The diagnosis names the
+    /// wait-for cycle (who is blocked on whom, and for how long).
+    Deadlock {
+        /// The wait-for graph snapshot taken when the watchdog fired.
+        diagnosis: DeadlockDiagnosis,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -49,6 +57,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::ChannelNotInDecomposition { from, to } => {
                 write!(f, "channel ({from}, {to}) belongs to no edge group")
+            }
+            RuntimeError::Deadlock { diagnosis } => {
+                write!(f, "rendezvous deadlock: {diagnosis}")
             }
         }
     }

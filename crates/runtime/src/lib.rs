@@ -62,4 +62,10 @@ mod error;
 mod runtime;
 
 pub use error::RuntimeError;
-pub use runtime::{Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun};
+pub use runtime::{
+    Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun,
+    DEFAULT_EVENT_RING, DEFAULT_WATCHDOG_TIMEOUT,
+};
+// Re-exported so downstream users can consume diagnoses and stats without
+// depending on `synctime-obs` directly.
+pub use synctime_obs::{DeadlockDiagnosis, RunStats, WaitEdge, WaitOp};

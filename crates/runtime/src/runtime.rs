@@ -1,12 +1,109 @@
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use synctime_core::online::ProcessClock;
 use synctime_core::{MessageTimestamps, VectorTime};
 use synctime_graph::{Edge, EdgeDecomposition, Graph};
+use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
 
 use crate::RuntimeError;
+
+/// How often a blocked rendezvous operation re-polls its channel. Channel
+/// handoffs themselves are not delayed by this — the partner being parked in
+/// `recv_timeout` completes a `try_send` immediately — it only bounds how
+/// quickly a blocked thread notices a watchdog abort.
+const BLOCK_POLL: Duration = Duration::from_micros(200);
+
+/// A process's registered wait while blocked in a rendezvous operation.
+#[derive(Debug, Clone, Copy)]
+struct BlockedOn {
+    op: WaitOp,
+    peer: ProcessId,
+    since: Instant,
+}
+
+/// State shared between the process threads and the watchdog.
+#[derive(Debug)]
+struct RunShared {
+    /// What each process is currently blocked on, if anything.
+    blocked: Vec<Mutex<Option<BlockedOn>>>,
+    /// Whether each process's behavior is still running.
+    live: Vec<AtomicBool>,
+    /// Set by the watchdog to make every blocked operation bail out.
+    abort: AtomicBool,
+    /// Set once every behavior has been joined; stops the watchdog.
+    finished: AtomicBool,
+    /// The diagnosis backing `abort`, filled in before the flag is set.
+    diagnosis: Mutex<Option<DeadlockDiagnosis>>,
+}
+
+impl RunShared {
+    fn new(n: usize) -> Self {
+        RunShared {
+            blocked: (0..n).map(|_| Mutex::new(None)).collect(),
+            live: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            abort: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            diagnosis: Mutex::new(None),
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    fn deadlock_error(&self) -> RuntimeError {
+        let diagnosis = self
+            .diagnosis
+            .lock()
+            .expect("diagnosis lock poisoned")
+            .clone()
+            .unwrap_or(DeadlockDiagnosis { waiting: Vec::new(), cycle: Vec::new() });
+        RuntimeError::Deadlock { diagnosis }
+    }
+}
+
+/// The watchdog body: periodically snapshots the blocked-state registry and
+/// aborts the run when every live process has been blocked in a rendezvous
+/// beyond `timeout`.
+fn watchdog_loop(shared: &RunShared, timeout: Duration) {
+    let poll = (timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        std::thread::sleep(poll);
+        if shared.finished.load(Ordering::Acquire) || shared.aborted() {
+            return;
+        }
+        let mut waiting = Vec::new();
+        let mut all_expired = true;
+        let mut any_live = false;
+        for (p, live) in shared.live.iter().enumerate() {
+            if !live.load(Ordering::Acquire) {
+                continue;
+            }
+            any_live = true;
+            let slot = shared.blocked[p].lock().expect("blocked lock poisoned");
+            match &*slot {
+                Some(b) if b.since.elapsed() >= timeout => waiting.push(WaitEdge {
+                    process: p,
+                    op: b.op,
+                    peer: b.peer,
+                    blocked_ms: b.since.elapsed().as_millis() as u64,
+                }),
+                _ => all_expired = false,
+            }
+        }
+        if any_live && all_expired && !waiting.is_empty() {
+            let diagnosis = DeadlockDiagnosis::from_waiting(waiting);
+            *shared.diagnosis.lock().expect("diagnosis lock poisoned") = Some(diagnosis);
+            shared.abort.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
 
 /// A live notification emitted to an observer as each rendezvous completes
 /// (from the sender's side, once the acknowledgement confirmed the agreed
@@ -74,6 +171,12 @@ pub struct ProcessCtx {
     ack_out: HashMap<ProcessId, SyncSender<VectorTime>>,
     ack_in: HashMap<ProcessId, Receiver<VectorTime>>,
     log: Vec<LogEntry>,
+    shared: Arc<RunShared>,
+    recorder: Arc<Recorder>,
+    /// Bytes one full rendezvous puts on the wire: the data message (key +
+    /// payload + piggybacked `d`-component vector) plus the acknowledgement
+    /// (another `d`-component vector).
+    rendezvous_bytes: u64,
 }
 
 impl ProcessCtx {
@@ -85,6 +188,94 @@ impl ProcessCtx {
     /// A snapshot of the current local vector.
     pub fn clock(&self) -> &VectorTime {
         self.clock.current()
+    }
+
+    fn enter_blocked(&self, op: WaitOp, peer: ProcessId) {
+        *self.shared.blocked[self.id].lock().expect("blocked lock poisoned") =
+            Some(BlockedOn { op, peer, since: Instant::now() });
+    }
+
+    /// Clears this process's blocked registration, returning how long it
+    /// was held.
+    fn exit_blocked(&self) -> Duration {
+        self.shared.blocked[self.id]
+            .lock()
+            .expect("blocked lock poisoned")
+            .take()
+            .map(|b| b.since.elapsed())
+            .unwrap_or_default()
+    }
+
+    /// Rendezvous handoff of `value` into `tx`, registered with the
+    /// watchdog. `try_send` on a zero-capacity channel succeeds exactly when
+    /// the peer is parked in a receive, so polling preserves rendezvous
+    /// semantics. Returns the time spent blocked.
+    fn push<T>(
+        &self,
+        tx: &SyncSender<T>,
+        value: T,
+        op: WaitOp,
+        peer: ProcessId,
+    ) -> Result<Duration, RuntimeError> {
+        let mut value = match tx.try_send(value) {
+            Ok(()) => return Ok(Duration::ZERO),
+            Err(TrySendError::Disconnected(_)) => return Err(self.peer_gone(peer)),
+            Err(TrySendError::Full(v)) => v,
+        };
+        self.enter_blocked(op, peer);
+        loop {
+            if self.shared.aborted() {
+                self.exit_blocked();
+                return Err(self.shared.deadlock_error());
+            }
+            match tx.try_send(value) {
+                Ok(()) => return Ok(self.exit_blocked()),
+                Err(TrySendError::Full(v)) => {
+                    value = v;
+                    std::thread::sleep(BLOCK_POLL);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.exit_blocked();
+                    return Err(self.peer_gone(peer));
+                }
+            }
+        }
+    }
+
+    /// The error for a disconnected channel: a peer bailing out of a
+    /// watchdog abort also disconnects, so during an abort the deadlock
+    /// diagnosis is the real story, not the peer's termination.
+    fn peer_gone(&self, peer: ProcessId) -> RuntimeError {
+        if self.shared.aborted() {
+            self.shared.deadlock_error()
+        } else {
+            RuntimeError::PeerTerminated { peer }
+        }
+    }
+
+    /// Rendezvous take from `rx`, registered with the watchdog. Returns the
+    /// value and the time spent blocked.
+    fn pull<T>(
+        &self,
+        rx: &Receiver<T>,
+        op: WaitOp,
+        peer: ProcessId,
+    ) -> Result<(T, Duration), RuntimeError> {
+        self.enter_blocked(op, peer);
+        loop {
+            if self.shared.aborted() {
+                self.exit_blocked();
+                return Err(self.shared.deadlock_error());
+            }
+            match rx.recv_timeout(BLOCK_POLL) {
+                Ok(v) => return Ok((v, self.exit_blocked())),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.exit_blocked();
+                    return Err(self.peer_gone(peer));
+                }
+            }
+        }
     }
 
     fn group_for(&self, from: ProcessId, to: ProcessId) -> Result<usize, RuntimeError> {
@@ -109,8 +300,12 @@ impl ProcessCtx {
     /// [`RuntimeError::NoChannel`] if `to` is not a neighbor;
     /// [`RuntimeError::ChannelNotInDecomposition`] if the decomposition
     /// misses the edge; [`RuntimeError::PeerTerminated`] if the peer's
-    /// thread exited mid-rendezvous.
+    /// thread exited mid-rendezvous; [`RuntimeError::Deadlock`] if the
+    /// watchdog aborted the run while this process was blocked here.
     pub fn send(&mut self, to: ProcessId, payload: u64) -> Result<VectorTime, RuntimeError> {
+        if self.shared.aborted() {
+            return Err(self.shared.deadlock_error());
+        }
         let group = self.group_for(self.id, to)?;
         let key = ((self.id as u64) << 32) | self.seq;
         self.seq += 1;
@@ -123,15 +318,18 @@ impl ProcessCtx {
             .data_out
             .get(&to)
             .ok_or(RuntimeError::NoChannel { from: self.id, to })?;
-        tx.send(wire)
-            .map_err(|_| RuntimeError::PeerTerminated { peer: to })?;
-        let ack = self
+        let handoff_wait = self.push(tx, wire, WaitOp::SendTo, to)?;
+        let ack_started = Instant::now();
+        let ack_rx = self
             .ack_in
             .get(&to)
-            .ok_or(RuntimeError::NoChannel { from: self.id, to })?
-            .recv()
-            .map_err(|_| RuntimeError::PeerTerminated { peer: to })?;
+            .ok_or(RuntimeError::NoChannel { from: self.id, to })?;
+        let (ack, _) = self.pull(ack_rx, WaitOp::AckFrom, to)?;
+        let ack_latency = ack_started.elapsed();
         let stamp = self.clock.on_acknowledgement(&ack, group);
+        let me = self.recorder.process(self.id);
+        me.record_blocked((handoff_wait + ack_latency).as_nanos() as u64);
+        me.record_send(to, self.rendezvous_bytes, ack_latency.as_nanos() as u64);
         if let Some(tx) = &self.observer {
             // A lagging or dropped observer must never stall the protocol.
             let _ = tx.send(LiveObservation {
@@ -157,19 +355,26 @@ impl ProcessCtx {
     ///
     /// Same classes as [`ProcessCtx::send`].
     pub fn receive_from(&mut self, from: ProcessId) -> Result<(u64, VectorTime), RuntimeError> {
+        if self.shared.aborted() {
+            return Err(self.shared.deadlock_error());
+        }
         let group = self.group_for(from, self.id)?;
-        let wire = self
+        let rx = self
             .data_in
             .get(&from)
-            .ok_or(RuntimeError::NoChannel { from, to: self.id })?
-            .recv()
-            .map_err(|_| RuntimeError::PeerTerminated { peer: from })?;
+            .ok_or(RuntimeError::NoChannel { from, to: self.id })?;
+        let (wire, recv_wait) = self.pull(rx, WaitOp::ReceiveFrom, from)?;
         let (ack, stamp) = self.clock.on_receive(&wire.vector, group);
-        self.ack_out
+        let ack_tx = self
+            .ack_out
             .get(&from)
-            .ok_or(RuntimeError::NoChannel { from, to: self.id })?
-            .send(ack)
-            .map_err(|_| RuntimeError::PeerTerminated { peer: from })?;
+            .ok_or(RuntimeError::NoChannel { from, to: self.id })?;
+        // Handing the ack back is itself a rendezvous: the sender is (or is
+        // about to be) parked waiting for it.
+        let ack_wait = self.push(ack_tx, ack, WaitOp::SendTo, from)?;
+        let me = self.recorder.process(self.id);
+        me.record_receive(from, self.rendezvous_bytes, recv_wait.as_nanos() as u64);
+        me.record_blocked(ack_wait.as_nanos() as u64);
         self.log.push(LogEntry::Received {
             from,
             key: wire.key,
@@ -194,17 +399,55 @@ pub struct Runtime {
     topology: Graph,
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
+    watchdog: Option<Duration>,
+    ring_capacity: usize,
 }
+
+/// Default stall timeout before the watchdog declares a deadlock.
+pub const DEFAULT_WATCHDOG_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default per-process event-ring capacity for run statistics.
+pub const DEFAULT_EVENT_RING: usize = 4096;
 
 impl Runtime {
     /// Creates a runtime over `topology`, timestamping with the components
     /// of `decomposition` (which should cover the topology's edges).
+    ///
+    /// The deadlock watchdog is on by default with
+    /// [`DEFAULT_WATCHDOG_TIMEOUT`]; tune it with [`Runtime::with_watchdog`]
+    /// or disable it with [`Runtime::without_watchdog`].
     pub fn new(topology: &Graph, decomposition: &EdgeDecomposition) -> Self {
         Runtime {
             topology: topology.clone(),
             decomposition: decomposition.clone(),
             observer: None,
+            watchdog: Some(DEFAULT_WATCHDOG_TIMEOUT),
+            ring_capacity: DEFAULT_EVENT_RING,
         }
+    }
+
+    /// Aborts a run with [`RuntimeError::Deadlock`] once every live process
+    /// has been blocked in a rendezvous for `timeout`.
+    #[must_use]
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Disables the deadlock watchdog: mismatched behaviors block forever,
+    /// exactly as real CSP programs do.
+    #[must_use]
+    pub fn without_watchdog(mut self) -> Self {
+        self.watchdog = None;
+        self
+    }
+
+    /// Sets how many recent events each process retains for the run's
+    /// latency percentiles (counters are exact regardless).
+    #[must_use]
+    pub fn with_event_ring(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
     }
 
     /// Streams a [`LiveObservation`] per message to `tx` as the execution
@@ -221,10 +464,14 @@ impl Runtime {
     /// `topology.node_count()` of them), each on its own OS thread, until
     /// all of them return.
     ///
-    /// **Deadlock warning:** rendezvous semantics mean mismatched behaviors
-    /// (everyone sending, nobody receiving) block forever, exactly as real
-    /// CSP programs do. The `synctime-sim` crate's scheduler detects such
-    /// deadlocks deterministically; the runtime does not.
+    /// **Deadlock handling:** rendezvous semantics mean mismatched behaviors
+    /// (everyone sending, nobody receiving) would block forever, exactly as
+    /// real CSP programs do. A watchdog thread monitors the run and, once
+    /// every live process has been blocked beyond the configured timeout,
+    /// aborts it with [`RuntimeError::Deadlock`] carrying a wait-for-graph
+    /// diagnosis. The `synctime-sim` crate's scheduler detects the same
+    /// deadlocks deterministically and instantly; the runtime's watchdog is
+    /// the wall-clock analogue for real threads.
     ///
     /// # Errors
     ///
@@ -258,6 +505,11 @@ impl Runtime {
             }
         }
         let dim = self.decomposition.len();
+        // One full rendezvous on the wire: key + payload + d-component
+        // vector out, d-component vector back on the acknowledgement.
+        let rendezvous_bytes = 16 + 16 * dim as u64;
+        let shared = Arc::new(RunShared::new(n));
+        let recorder = Arc::new(Recorder::new(n, self.ring_capacity));
         let mut ctxs: Vec<ProcessCtx> = Vec::with_capacity(n);
         // Assemble contexts back-to-front so we can pop from the vectors.
         let mut parts: Vec<_> = data_out
@@ -277,37 +529,67 @@ impl Runtime {
                 ack_out: a_out,
                 ack_in: a_in,
                 log: Vec::new(),
+                shared: Arc::clone(&shared),
+                recorder: Arc::clone(&recorder),
+                rendezvous_bytes,
             });
         }
 
         let results: Vec<Result<Vec<LogEntry>, RuntimeError>> = std::thread::scope(|s| {
+            if let Some(timeout) = self.watchdog {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || watchdog_loop(&shared, timeout));
+            }
             let handles: Vec<_> = behaviors
                 .into_iter()
                 .zip(ctxs)
                 .map(|(behavior, mut ctx)| {
+                    let shared = Arc::clone(&shared);
                     s.spawn(move || {
-                        behavior(&mut ctx)?;
+                        let result = behavior(&mut ctx);
+                        // Finished processes are no longer candidates for a
+                        // deadlock; tell the watchdog before dropping the
+                        // context (which disconnects our channels).
+                        shared.live[ctx.id].store(false, Ordering::Release);
+                        result?;
                         Ok(ctx.log)
                     })
                 })
                 .collect();
-            handles
+            let results = handles
                 .into_iter()
                 .enumerate()
                 .map(|(p, h)| {
                     h.join()
                         .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: p }))
                 })
-                .collect()
+                .collect();
+            shared.finished.store(true, Ordering::Release);
+            results
         });
 
         let mut logs = Vec::with_capacity(n);
         for r in results {
             logs.push(r?);
         }
+        // Components only grow and every increment is captured in a logged
+        // stamp, so the run-wide maximum component is the maximum over all
+        // logged stamps.
+        let max_component = logs
+            .iter()
+            .flatten()
+            .filter_map(|entry| match entry {
+                LogEntry::Sent { stamp, .. } | LogEntry::Received { stamp, .. } => {
+                    stamp.as_slice().iter().copied().max()
+                }
+                LogEntry::Internal => None,
+            })
+            .max()
+            .unwrap_or(0);
         Ok(RuntimeRun {
             process_count: n,
             logs,
+            stats: recorder.finish(max_component),
         })
     }
 }
@@ -317,12 +599,20 @@ impl Runtime {
 pub struct RuntimeRun {
     process_count: usize,
     logs: Vec<Vec<LogEntry>>,
+    stats: RunStats,
 }
 
 impl RuntimeRun {
     /// The per-process execution logs.
     pub fn logs(&self) -> &[Vec<LogEntry>] {
         &self.logs
+    }
+
+    /// Observability summary of the run: message counts, ack-latency
+    /// percentiles, wire bytes, blocking time, and the largest vector
+    /// component (see [`RunStats`]).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
     }
 
     /// Rebuilds the [`SyncComputation`] the execution performed, together
@@ -562,5 +852,109 @@ mod tests {
             .run(vec![Box::new(|_| panic!("boom")), Box::new(|_| Ok(()))])
             .unwrap_err();
         assert_eq!(err, RuntimeError::BehaviorPanicked { process: 0 });
+    }
+
+    #[test]
+    fn mutual_receive_deadlock_is_diagnosed() {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(100));
+        let started = Instant::now();
+        let err = rt
+            .run(vec![
+                Box::new(|ctx| ctx.receive_from(1).map(|_| ())),
+                Box::new(|ctx| ctx.receive_from(0).map(|_| ())),
+            ])
+            .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "watchdog did not fire promptly"
+        );
+        match err {
+            RuntimeError::Deadlock { diagnosis } => {
+                assert_eq!(diagnosis.cycle, vec![0, 1], "wrong cycle: {diagnosis}");
+                for e in &diagnosis.waiting {
+                    assert_eq!(e.op, WaitOp::ReceiveFrom);
+                    assert_eq!(e.peer, 1 - e.process);
+                    assert!(e.blocked_ms >= 100);
+                }
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_send_deadlock_is_diagnosed() {
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(100));
+        let err = rt
+            .run(vec![
+                Box::new(|ctx| ctx.send(1, 0).map(|_| ())),
+                Box::new(|ctx| ctx.send(0, 0).map(|_| ())),
+            ])
+            .unwrap_err();
+        match err {
+            RuntimeError::Deadlock { diagnosis } => {
+                assert_eq!(diagnosis.cycle, vec![0, 1]);
+                assert!(diagnosis.waiting.iter().all(|e| e.op == WaitOp::SendTo));
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_run_never_trips_the_watchdog() {
+        // A tight watchdog over many rounds: every rendezvous completes well
+        // inside the timeout, so the run must finish normally.
+        let (rt, behaviors) = ping_pong(200);
+        let rt = rt.with_watchdog(Duration::from_millis(250));
+        let run = rt.run(behaviors).expect("clean run aborted by watchdog");
+        assert_eq!(run.stats().messages, 400);
+    }
+
+    #[test]
+    fn slow_but_live_processes_are_not_deadlocked() {
+        // One process naps longer than the watchdog timeout while its peer
+        // blocks in receive. Not a deadlock: the napper is not blocked in a
+        // rendezvous, so the "every live process blocked" condition fails.
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(100));
+        let run = rt
+            .run(vec![
+                Box::new(|ctx| {
+                    std::thread::sleep(Duration::from_millis(300));
+                    ctx.send(1, 7).map(|_| ())
+                }),
+                Box::new(|ctx| ctx.receive_from(0).map(|_| ())),
+            ])
+            .expect("slow sender misdiagnosed as deadlock");
+        assert_eq!(run.stats().messages, 1);
+    }
+
+    #[test]
+    fn run_stats_capture_counts_bytes_and_latency() {
+        let (rt, behaviors) = ping_pong(5);
+        let run = rt.run(behaviors).unwrap();
+        let stats = run.stats();
+        assert_eq!(stats.process_count, 2);
+        assert_eq!(stats.messages, 10);
+        assert_eq!(stats.receives, 10);
+        // path(2) decomposes into one star: dim 1, so a full rendezvous is
+        // (8 key + 8 payload + 8 vector) + 8 ack vector = 32 bytes, counted
+        // at both endpoints.
+        assert_eq!(stats.total_wire_bytes, 10 * 2 * 32);
+        // 10 messages through a single edge group: the component reaches 10.
+        assert_eq!(stats.max_vector_component, 10);
+        assert!(stats.ack_latency_p50_ns > 0);
+        assert!(stats.ack_latency_p99_ns >= stats.ack_latency_p50_ns);
+        assert!(stats.ack_latency_max_ns >= stats.ack_latency_p99_ns);
+        assert_eq!(stats.latency_sample_dropped, 0);
+        assert_eq!(stats.per_process[0].sends, 5);
+        assert_eq!(stats.per_process[1].receives, 5);
+        // The JSON rendering round-trips.
+        let back = synctime_obs::RunStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(&back, stats);
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace. Run from the repo root.
+#
+#   scripts/verify.sh          # everything below
+#
+# Steps:
+#   1. release build (tier-1)
+#   2. root-package tests (tier-1): lib + tests/ + doctests, incl. README
+#   3. full workspace tests
+#   4. workspace doctests
+#   5. strict doc build: `cargo doc --no-deps` with rustdoc warnings as errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo test --workspace -q
+run cargo test --doc --workspace -q
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "==> verify: all green"

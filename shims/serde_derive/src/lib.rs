@@ -1,0 +1,443 @@
+//! `#[derive(Serialize, Deserialize)]` for the local `serde` shim, written
+//! against `proc_macro` alone (no `syn`/`quote`, so it builds offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple structs (any arity; arity 1 is a
+//!   transparent newtype), unit structs;
+//! * enums with unit, newtype, tuple, and struct variants, externally
+//!   tagged exactly like real serde (`"Unit"`, `{"Newtype": v}`,
+//!   `{"Tuple": [..]}`, `{"Struct": {..}}`);
+//! * `#[serde(rename = "...")]` on variants and named fields.
+//!
+//! Generic types are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields, by count.
+    Tuple(usize),
+    /// Named fields as `(rust_name, serialized_name)` pairs.
+    Named(Vec<(String, String)>),
+}
+
+struct Variant {
+    ident: String,
+    /// The externally-tagged name (`rename` or the ident verbatim).
+    tag: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (the local shim's trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (the local shim's trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+// ------------------------------------------------------------------ parse
+
+/// Extracts `rename = "..."` from the tokens of a `#[serde(...)]` attribute
+/// body, if present.
+fn rename_from_attr(group: &proc_macro::Group) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Shape: serde ( rename = "..." )
+    if let [TokenTree::Ident(tag), TokenTree::Group(args)] = tokens.as_slice() {
+        if tag.to_string() == "serde" {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            if let [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)] =
+                inner.as_slice()
+            {
+                if key.to_string() == "rename" && eq.as_char() == '=' {
+                    let s = lit.to_string();
+                    return Some(s.trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Consumes a run of leading attributes, returning any `serde(rename)`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut rename = None;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(r) = rename_from_attr(g) {
+                    rename = Some(r);
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, rename)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Counts commas at angle-bracket depth 0 in a field list (commas inside
+/// nested `TokenTree::Group`s are invisible at this level by construction;
+/// only `<...>` generic argument lists need explicit depth tracking).
+fn split_top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut parts = 0usize;
+    let mut part_has_tokens = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                parts += 1;
+                part_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        part_has_tokens = true;
+    }
+    parts + usize::from(part_has_tokens)
+}
+
+/// Parses the `{ name: Type, ... }` body of a struct or struct variant into
+/// `(rust_name, serialized_name)` pairs.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<(String, String)>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, rename) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, j);
+        let TokenTree::Ident(field) = &tokens[i] else {
+            return Err(format!("expected field name, found `{}`", tokens[i]));
+        };
+        let rust_name = field.to_string();
+        let ser_name = rename.unwrap_or_else(|| rust_name.clone());
+        fields.push((rust_name, ser_name));
+        i += 1;
+        // Skip `: Type` up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level_commas(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = tokens.get(i) else {
+                return Err("expected enum body".to_string());
+            };
+            let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < vt.len() {
+                let (k, rename) = skip_attrs(&vt, j);
+                j = k;
+                let TokenTree::Ident(vid) = &vt[j] else {
+                    return Err(format!("expected variant name, found `{}`", vt[j]));
+                };
+                let ident = vid.to_string();
+                let tag = rename.unwrap_or_else(|| ident.clone());
+                j += 1;
+                let fields = match vt.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_top_level_commas(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Fields::Named(parse_named_fields(g)?)
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant { ident, tag, fields });
+                // Skip to past the next comma (tolerates discriminants).
+                while j < vt.len() {
+                    if matches!(&vt[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => named_to_object(fs, "self."),
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let Variant { ident, tag, fields } = v;
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{ident} => ::serde::Value::Str({tag:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{ident}(f0) => ::serde::Value::Object(::std::vec![({tag:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{ident}({}) => ::serde::Value::Object(::std::vec![({tag:?}.to_string(), ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<&str> =
+                            fs.iter().map(|(rust, _)| rust.as_str()).collect();
+                        let obj = named_to_object(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{ident} {{ {} }} => ::serde::Value::Object(::std::vec![({tag:?}.to_string(), {obj})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+/// `Object` literal for named fields; `access` prefixes each field
+/// (`self.` for structs, empty for match binders).
+fn named_to_object(fields: &[(String, String)], access: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|(rust, ser)| {
+            format!("({ser:?}.to_string(), ::serde::Serialize::to_value(&{access}{rust}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::DeError::new(format!(\"expected array of length {n}, found {{}}\", items.len())));\n\
+                         }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => format!(
+                    "if v.as_object().is_none() {{\n\
+                         return Err(::serde::DeError::expected(\"object\", v));\n\
+                     }}\n\
+                     Ok({name} {{ {} }})",
+                    named_from_object(fs, "v")
+                ),
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let Variant { ident, tag, fields } = v;
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{tag:?} => return Ok({name}::{ident}),\n"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{tag:?} => return Ok({name}::{ident}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", inner))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::DeError::new(format!(\"expected array of length {n}, found {{}}\", items.len())));\n\
+                                 }}\n\
+                                 return Ok({name}::{ident}({}));\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => tagged_arms.push_str(&format!(
+                        "{tag:?} => {{\n\
+                             if inner.as_object().is_none() {{\n\
+                                 return Err(::serde::DeError::expected(\"object\", inner));\n\
+                             }}\n\
+                             return Ok({name}::{ident} {{ {} }});\n\
+                         }}\n",
+                        named_from_object(fs, "inner")
+                    )),
+                }
+            }
+            let body = format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                         other => return Err(::serde::DeError::new(format!(\"unknown variant `{{other}}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(fields) = v.as_object() {{\n\
+                     if fields.len() == 1 {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => return Err(::serde::DeError::new(format!(\"unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"externally tagged enum\", v))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+/// Field initializers reading from object value `src`.
+fn named_from_object(fields: &[(String, String)], src: &str) -> String {
+    fields
+        .iter()
+        .map(|(rust, ser)| {
+            format!(
+                "{rust}: match {src}.get_field({ser:?}) {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     ::std::option::Option::None => ::serde::Deserialize::missing_field({ser:?})?,\n\
+                 }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -55,6 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Compile-and-run the README's Rust code blocks as doctests, so the
+// front-page examples can never drift from the API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use synctime_asynchrony as asynchrony;
 pub use synctime_core as core;
 pub use synctime_detect as detect;

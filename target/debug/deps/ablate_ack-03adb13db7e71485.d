@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ack-03adb13db7e71485.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/debug/deps/ablate_ack-03adb13db7e71485: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

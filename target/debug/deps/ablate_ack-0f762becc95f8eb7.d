@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ack-0f762becc95f8eb7.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/debug/deps/ablate_ack-0f762becc95f8eb7: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ack-ff768f69b79e29ce.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/debug/deps/ablate_ack-ff768f69b79e29ce: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_step3-2ea1ebdb6a4aed86.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/debug/deps/ablate_step3-2ea1ebdb6a4aed86: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

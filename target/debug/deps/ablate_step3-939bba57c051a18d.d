@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_step3-939bba57c051a18d.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/debug/deps/ablate_step3-939bba57c051a18d: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_step3-a93a16204a92b831.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/debug/deps/ablate_step3-a93a16204a92b831: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binary_e2e-3476663b904f5033.d: crates/cli/tests/binary_e2e.rs
+
+/root/repo/target/debug/deps/binary_e2e-3476663b904f5033: crates/cli/tests/binary_e2e.rs
+
+crates/cli/tests/binary_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_synctime=/root/repo/target/debug/synctime

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition_props-4f953de08bffbe7b.d: tests/decomposition_props.rs
+
+/root/repo/target/debug/deps/decomposition_props-4f953de08bffbe7b: tests/decomposition_props.rs
+
+tests/decomposition_props.rs:

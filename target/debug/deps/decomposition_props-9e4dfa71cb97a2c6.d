@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition_props-9e4dfa71cb97a2c6.d: tests/decomposition_props.rs
+
+/root/repo/target/debug/deps/decomposition_props-9e4dfa71cb97a2c6: tests/decomposition_props.rs
+
+tests/decomposition_props.rs:

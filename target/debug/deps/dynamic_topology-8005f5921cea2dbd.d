@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_topology-8005f5921cea2dbd.d: tests/dynamic_topology.rs
+
+/root/repo/target/debug/deps/dynamic_topology-8005f5921cea2dbd: tests/dynamic_topology.rs
+
+tests/dynamic_topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_topology-a8e9950036af1034.d: tests/dynamic_topology.rs
+
+/root/repo/target/debug/deps/dynamic_topology-a8e9950036af1034: tests/dynamic_topology.rs
+
+tests/dynamic_topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedding-4f6aa1dde0f99520.d: crates/asynchrony/tests/embedding.rs
+
+/root/repo/target/debug/deps/embedding-4f6aa1dde0f99520: crates/asynchrony/tests/embedding.rs
+
+crates/asynchrony/tests/embedding.rs:

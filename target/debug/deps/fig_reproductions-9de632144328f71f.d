@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_reproductions-9de632144328f71f.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/debug/deps/fig_reproductions-9de632144328f71f: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_reproductions-e14b8870a48f871f.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/debug/deps/fig_reproductions-e14b8870a48f871f: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

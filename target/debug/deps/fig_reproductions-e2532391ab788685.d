@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_reproductions-e2532391ab788685.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/debug/deps/fig_reproductions-e2532391ab788685: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma1_total_order-582eac94a0ad896a.d: tests/lemma1_total_order.rs
+
+/root/repo/target/debug/deps/lemma1_total_order-582eac94a0ad896a: tests/lemma1_total_order.rs
+
+tests/lemma1_total_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemma1_total_order-ca3e58d894f98a97.d: tests/lemma1_total_order.rs
+
+/root/repo/target/debug/deps/lemma1_total_order-ca3e58d894f98a97: tests/lemma1_total_order.rs
+
+tests/lemma1_total_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_monitoring-264ac625b1290509.d: tests/live_monitoring.rs
+
+/root/repo/target/debug/deps/live_monitoring-264ac625b1290509: tests/live_monitoring.rs
+
+tests/live_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_monitoring-c57238cd8a424b8b.d: tests/live_monitoring.rs
+
+/root/repo/target/debug/deps/live_monitoring-c57238cd8a424b8b: tests/live_monitoring.rs
+
+tests/live_monitoring.rs:

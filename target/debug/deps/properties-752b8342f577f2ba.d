@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-752b8342f577f2ba.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-752b8342f577f2ba: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec22e097bf8db121.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec22e097bf8db121: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3e247b3ee6fa9bf7.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3e247b3ee6fa9bf7.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3e247b3ee6fa9bf7.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

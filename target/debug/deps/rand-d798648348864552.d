@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d798648348864552.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d798648348864552.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d798648348864552.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

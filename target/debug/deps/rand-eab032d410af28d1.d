@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-eab032d410af28d1.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-eab032d410af28d1.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-eab032d410af28d1.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-fdc7ef35d6ce4312.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fdc7ef35d6ce4312.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_matches_sim-7b51de22686b3d74.d: tests/runtime_matches_sim.rs
+
+/root/repo/target/debug/deps/runtime_matches_sim-7b51de22686b3d74: tests/runtime_matches_sim.rs
+
+tests/runtime_matches_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_matches_sim-e3f3068565dc179c.d: tests/runtime_matches_sim.rs
+
+/root/repo/target/debug/deps/runtime_matches_sim-e3f3068565dc179c: tests/runtime_matches_sim.rs
+
+tests/runtime_matches_sim.rs:

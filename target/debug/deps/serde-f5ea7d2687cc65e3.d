@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f5ea7d2687cc65e3.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f5ea7d2687cc65e3.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

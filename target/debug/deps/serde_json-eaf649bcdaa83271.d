@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-eaf649bcdaa83271.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-eaf649bcdaa83271.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

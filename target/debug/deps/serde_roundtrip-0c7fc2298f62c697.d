@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-0c7fc2298f62c697.d: crates/trace/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-0c7fc2298f62c697: crates/trace/tests/serde_roundtrip.rs
+
+crates/trace/tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_replay-25db80c85660600f.d: tests/stress_replay.rs
+
+/root/repo/target/debug/deps/stress_replay-25db80c85660600f: tests/stress_replay.rs
+
+tests/stress_replay.rs:

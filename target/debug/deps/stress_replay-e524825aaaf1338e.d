@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_replay-e524825aaaf1338e.d: tests/stress_replay.rs
+
+/root/repo/target/debug/deps/stress_replay-e524825aaaf1338e: tests/stress_replay.rs
+
+tests/stress_replay.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-0a4689755be47ff7.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-0a4689755be47ff7: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

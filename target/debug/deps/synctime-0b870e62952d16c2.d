@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime-0b870e62952d16c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-0b870e62952d16c2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-0b870e62952d16c2.rmeta: src/lib.rs
+
+src/lib.rs:

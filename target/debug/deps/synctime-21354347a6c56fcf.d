@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime-21354347a6c56fcf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-21354347a6c56fcf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-21354347a6c56fcf.rmeta: src/lib.rs
+
+src/lib.rs:

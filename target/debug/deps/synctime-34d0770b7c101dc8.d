@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-34d0770b7c101dc8.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-34d0770b7c101dc8: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

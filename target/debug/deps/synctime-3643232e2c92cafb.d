@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-3643232e2c92cafb.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-3643232e2c92cafb: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

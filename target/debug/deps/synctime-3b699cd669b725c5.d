@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-3b699cd669b725c5.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-3b699cd669b725c5: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

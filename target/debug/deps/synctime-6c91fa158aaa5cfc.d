@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime-6c91fa158aaa5cfc.d: src/lib.rs
+
+/root/repo/target/debug/deps/synctime-6c91fa158aaa5cfc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-6fc4b9d685cc518e.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-6fc4b9d685cc518e: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

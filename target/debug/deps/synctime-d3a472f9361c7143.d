@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime-d3a472f9361c7143.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-d3a472f9361c7143.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime-d3a472f9361c7143.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/synctime-e5f8dd535e1eb4a5.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/synctime-e5f8dd535e1eb4a5: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

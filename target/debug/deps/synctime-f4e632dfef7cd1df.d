@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime-f4e632dfef7cd1df.d: src/lib.rs
+
+/root/repo/target/debug/deps/synctime-f4e632dfef7cd1df: src/lib.rs
+
+src/lib.rs:

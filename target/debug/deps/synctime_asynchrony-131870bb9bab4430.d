@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_asynchrony-131870bb9bab4430.d: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/libsynctime_asynchrony-131870bb9bab4430.rlib: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/libsynctime_asynchrony-131870bb9bab4430.rmeta: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+crates/asynchrony/src/lib.rs:
+crates/asynchrony/src/computation.rs:
+crates/asynchrony/src/fm.rs:

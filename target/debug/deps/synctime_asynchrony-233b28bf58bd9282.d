@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_asynchrony-233b28bf58bd9282.d: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/libsynctime_asynchrony-233b28bf58bd9282.rmeta: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+crates/asynchrony/src/lib.rs:
+crates/asynchrony/src/computation.rs:
+crates/asynchrony/src/fm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_asynchrony-726a76d1abdc5bd5.d: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/libsynctime_asynchrony-726a76d1abdc5bd5.rlib: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/libsynctime_asynchrony-726a76d1abdc5bd5.rmeta: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+crates/asynchrony/src/lib.rs:
+crates/asynchrony/src/computation.rs:
+crates/asynchrony/src/fm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_asynchrony-d65bda614491d684.d: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/debug/deps/synctime_asynchrony-d65bda614491d684: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+crates/asynchrony/src/lib.rs:
+crates/asynchrony/src/computation.rs:
+crates/asynchrony/src/fm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_bench-00c0a44d8df8ef77.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-00c0a44d8df8ef77.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-00c0a44d8df8ef77.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

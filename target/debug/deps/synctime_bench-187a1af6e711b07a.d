@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime_bench-187a1af6e711b07a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/synctime_bench-187a1af6e711b07a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_bench-4b74334840ac89c8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-4b74334840ac89c8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-4b74334840ac89c8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime_bench-96508b26427d2092.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/synctime_bench-96508b26427d2092: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

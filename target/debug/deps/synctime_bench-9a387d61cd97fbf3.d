@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_bench-9a387d61cd97fbf3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-9a387d61cd97fbf3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-9a387d61cd97fbf3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

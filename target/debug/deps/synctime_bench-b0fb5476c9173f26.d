@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_bench-b0fb5476c9173f26.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-b0fb5476c9173f26.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsynctime_bench-b0fb5476c9173f26.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

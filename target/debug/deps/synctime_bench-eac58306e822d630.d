@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime_bench-eac58306e822d630.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/synctime_bench-eac58306e822d630: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/synctime_core-eed95ca37d417bc6.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/vector.rs crates/core/src/events.rs crates/core/src/fm.rs crates/core/src/fz.rs crates/core/src/lamport.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/plausible.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libsynctime_core-eed95ca37d417bc6.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/vector.rs crates/core/src/events.rs crates/core/src/fm.rs crates/core/src/fz.rs crates/core/src/lamport.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/plausible.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/vector.rs:
+crates/core/src/events.rs:
+crates/core/src/fm.rs:
+crates/core/src/fz.rs:
+crates/core/src/lamport.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/plausible.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/synctime_detect-411b4ad332821ac2.d: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/debug/deps/libsynctime_detect-411b4ad332821ac2.rlib: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/debug/deps/libsynctime_detect-411b4ad332821ac2.rmeta: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/monitor.rs:
+crates/detect/src/orphans.rs:
+crates/detect/src/wcp.rs:

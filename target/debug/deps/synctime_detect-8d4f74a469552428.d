@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/synctime_detect-8d4f74a469552428.d: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/debug/deps/synctime_detect-8d4f74a469552428: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/monitor.rs:
+crates/detect/src/orphans.rs:
+crates/detect/src/wcp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/synctime_detect-e793cb6b146ab982.d: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/debug/deps/libsynctime_detect-e793cb6b146ab982.rmeta: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/monitor.rs:
+crates/detect/src/orphans.rs:
+crates/detect/src/wcp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/synctime_obs-d70eef3d5eef3fc3.d: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/debug/deps/libsynctime_obs-d70eef3d5eef3fc3.rmeta: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/deadlock.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/stats.rs:

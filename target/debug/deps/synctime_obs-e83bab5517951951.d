@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/synctime_obs-e83bab5517951951.d: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/debug/deps/synctime_obs-e83bab5517951951: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/deadlock.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/synctime_obs-f7331f06e4e55079.d: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/debug/deps/libsynctime_obs-f7331f06e4e55079.rlib: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/debug/deps/libsynctime_obs-f7331f06e4e55079.rmeta: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/deadlock.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/stats.rs:

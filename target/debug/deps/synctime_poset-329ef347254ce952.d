@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/synctime_poset-329ef347254ce952.d: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+/root/repo/target/debug/deps/synctime_poset-329ef347254ce952: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+crates/poset/src/lib.rs:
+crates/poset/src/bitset.rs:
+crates/poset/src/error.rs:
+crates/poset/src/poset.rs:
+crates/poset/src/chains.rs:
+crates/poset/src/dimension.rs:
+crates/poset/src/matching.rs:
+crates/poset/src/realizer.rs:

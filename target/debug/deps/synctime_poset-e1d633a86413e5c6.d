@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/synctime_poset-e1d633a86413e5c6.d: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+/root/repo/target/debug/deps/libsynctime_poset-e1d633a86413e5c6.rlib: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+/root/repo/target/debug/deps/libsynctime_poset-e1d633a86413e5c6.rmeta: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+crates/poset/src/lib.rs:
+crates/poset/src/bitset.rs:
+crates/poset/src/error.rs:
+crates/poset/src/poset.rs:
+crates/poset/src/chains.rs:
+crates/poset/src/dimension.rs:
+crates/poset/src/matching.rs:
+crates/poset/src/realizer.rs:

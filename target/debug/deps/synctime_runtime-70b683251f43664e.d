@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_runtime-70b683251f43664e.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+/root/repo/target/debug/deps/libsynctime_runtime-70b683251f43664e.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+/root/repo/target/debug/deps/libsynctime_runtime-70b683251f43664e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/runtime.rs:

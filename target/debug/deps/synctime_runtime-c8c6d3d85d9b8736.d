@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_runtime-c8c6d3d85d9b8736.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+/root/repo/target/debug/deps/libsynctime_runtime-c8c6d3d85d9b8736.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+/root/repo/target/debug/deps/libsynctime_runtime-c8c6d3d85d9b8736.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/runtime.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/synctime_runtime-ff7d56f625cc7971.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+/root/repo/target/debug/deps/synctime_runtime-ff7d56f625cc7971: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/runtime.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/synctime_sim-06b71db9e2ecd9e0.d: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libsynctime_sim-06b71db9e2ecd9e0.rlib: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libsynctime_sim-06b71db9e2ecd9e0.rmeta: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/programs.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_sim-bdd65f7cbeb55fca.d: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/synctime_sim-bdd65f7cbeb55fca: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/programs.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synctime_sim-d88db9bc13a35ec8.d: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libsynctime_sim-d88db9bc13a35ec8.rmeta: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/programs.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/workload.rs:

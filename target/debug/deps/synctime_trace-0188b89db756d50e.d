@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/synctime_trace-0188b89db756d50e.d: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/debug/deps/libsynctime_trace-0188b89db756d50e.rlib: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/debug/deps/libsynctime_trace-0188b89db756d50e.rmeta: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/error.rs:
+crates/trace/src/oracle.rs:
+crates/trace/src/diagram.rs:
+crates/trace/src/examples.rs:
+crates/trace/src/json.rs:

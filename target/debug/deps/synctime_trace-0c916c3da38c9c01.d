@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/synctime_trace-0c916c3da38c9c01.d: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/debug/deps/libsynctime_trace-0c916c3da38c9c01.rmeta: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/error.rs:
+crates/trace/src/oracle.rs:
+crates/trace/src/diagram.rs:
+crates/trace/src/examples.rs:
+crates/trace/src/json.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/synctime_trace-9c11d0c24991294b.d: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/debug/deps/libsynctime_trace-9c11d0c24991294b.rlib: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/debug/deps/libsynctime_trace-9c11d0c24991294b.rmeta: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/error.rs:
+crates/trace/src/oracle.rs:
+crates/trace/src/diagram.rs:
+crates/trace/src/examples.rs:
+crates/trace/src/json.rs:

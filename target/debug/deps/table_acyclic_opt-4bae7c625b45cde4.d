@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_acyclic_opt-4bae7c625b45cde4.d: crates/bench/src/bin/table_acyclic_opt.rs
+
+/root/repo/target/debug/deps/table_acyclic_opt-4bae7c625b45cde4: crates/bench/src/bin/table_acyclic_opt.rs
+
+crates/bench/src/bin/table_acyclic_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_acyclic_opt-7ecb91735626b94a.d: crates/bench/src/bin/table_acyclic_opt.rs
+
+/root/repo/target/debug/deps/table_acyclic_opt-7ecb91735626b94a: crates/bench/src/bin/table_acyclic_opt.rs
+
+crates/bench/src/bin/table_acyclic_opt.rs:

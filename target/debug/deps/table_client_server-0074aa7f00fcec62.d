@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_client_server-0074aa7f00fcec62.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/debug/deps/table_client_server-0074aa7f00fcec62: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_client_server-8c42e960fc3d9b26.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/debug/deps/table_client_server-8c42e960fc3d9b26: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

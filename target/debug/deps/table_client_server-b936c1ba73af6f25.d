@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_client_server-b936c1ba73af6f25.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/debug/deps/table_client_server-b936c1ba73af6f25: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_clock_size-652f861dc278f8ca.d: crates/bench/src/bin/table_clock_size.rs
+
+/root/repo/target/debug/deps/table_clock_size-652f861dc278f8ca: crates/bench/src/bin/table_clock_size.rs
+
+crates/bench/src/bin/table_clock_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_correctness-1f8685cd80eb3429.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/debug/deps/table_correctness-1f8685cd80eb3429: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

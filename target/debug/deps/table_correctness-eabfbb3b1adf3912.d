@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_correctness-eabfbb3b1adf3912.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/debug/deps/table_correctness-eabfbb3b1adf3912: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_correctness-f2074365d3c8ebf2.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/debug/deps/table_correctness-f2074365d3c8ebf2: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_dimension_gap-9be6fc909d683e43.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/debug/deps/table_dimension_gap-9be6fc909d683e43: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

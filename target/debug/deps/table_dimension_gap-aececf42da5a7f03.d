@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_dimension_gap-aececf42da5a7f03.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/debug/deps/table_dimension_gap-aececf42da5a7f03: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_dimension_gap-e629a51c671ec5bb.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/debug/deps/table_dimension_gap-e629a51c671ec5bb: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

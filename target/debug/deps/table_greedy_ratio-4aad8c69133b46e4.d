@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_greedy_ratio-4aad8c69133b46e4.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/debug/deps/table_greedy_ratio-4aad8c69133b46e4: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_greedy_ratio-c4a9d6377ba52a9f.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/debug/deps/table_greedy_ratio-c4a9d6377ba52a9f: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_greedy_ratio-d510dc2dcaa48eaa.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/debug/deps/table_greedy_ratio-d510dc2dcaa48eaa: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_plausible-539d48ed48748ba7.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/debug/deps/table_plausible-539d48ed48748ba7: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_plausible-e84b0ef5dbf45903.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/debug/deps/table_plausible-e84b0ef5dbf45903: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_plausible-f5e95ead24b94b46.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/debug/deps/table_plausible-f5e95ead24b94b46: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

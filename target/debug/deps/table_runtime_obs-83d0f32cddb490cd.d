@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_runtime_obs-83d0f32cddb490cd.d: crates/bench/src/bin/table_runtime_obs.rs
+
+/root/repo/target/debug/deps/table_runtime_obs-83d0f32cddb490cd: crates/bench/src/bin/table_runtime_obs.rs
+
+crates/bench/src/bin/table_runtime_obs.rs:

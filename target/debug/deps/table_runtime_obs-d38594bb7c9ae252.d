@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_runtime_obs-d38594bb7c9ae252.d: crates/bench/src/bin/table_runtime_obs.rs
+
+/root/repo/target/debug/deps/table_runtime_obs-d38594bb7c9ae252: crates/bench/src/bin/table_runtime_obs.rs
+
+crates/bench/src/bin/table_runtime_obs.rs:

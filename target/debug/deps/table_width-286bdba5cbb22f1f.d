@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_width-286bdba5cbb22f1f.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/debug/deps/table_width-286bdba5cbb22f1f: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

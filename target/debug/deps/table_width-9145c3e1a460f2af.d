@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_width-9145c3e1a460f2af.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/debug/deps/table_width-9145c3e1a460f2af: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

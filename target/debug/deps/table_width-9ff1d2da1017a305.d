@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_width-9ff1d2da1017a305.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/debug/deps/table_width-9ff1d2da1017a305: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_wire_bytes-1f70b943d6d40d29.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/debug/deps/table_wire_bytes-1f70b943d6d40d29: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_wire_bytes-426493d9f1933a89.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/debug/deps/table_wire_bytes-426493d9f1933a89: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

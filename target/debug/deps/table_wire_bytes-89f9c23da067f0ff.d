@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_wire_bytes-89f9c23da067f0ff.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/debug/deps/table_wire_bytes-89f9c23da067f0ff: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

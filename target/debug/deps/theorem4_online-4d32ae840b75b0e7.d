@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem4_online-4d32ae840b75b0e7.d: tests/theorem4_online.rs
+
+/root/repo/target/debug/deps/theorem4_online-4d32ae840b75b0e7: tests/theorem4_online.rs
+
+tests/theorem4_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem4_online-fa86f44f214cf045.d: tests/theorem4_online.rs
+
+/root/repo/target/debug/deps/theorem4_online-fa86f44f214cf045: tests/theorem4_online.rs
+
+tests/theorem4_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem8_offline-680d98bbb44d4da5.d: tests/theorem8_offline.rs
+
+/root/repo/target/debug/deps/theorem8_offline-680d98bbb44d4da5: tests/theorem8_offline.rs
+
+tests/theorem8_offline.rs:

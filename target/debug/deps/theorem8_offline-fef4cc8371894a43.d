@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem8_offline-fef4cc8371894a43.d: tests/theorem8_offline.rs
+
+/root/repo/target/debug/deps/theorem8_offline-fef4cc8371894a43: tests/theorem8_offline.rs
+
+tests/theorem8_offline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem9_events-4625bb270eae9d2b.d: tests/theorem9_events.rs
+
+/root/repo/target/debug/deps/theorem9_events-4625bb270eae9d2b: tests/theorem9_events.rs
+
+tests/theorem9_events.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem9_events-dbdc17f5df01d424.d: tests/theorem9_events.rs
+
+/root/repo/target/debug/deps/theorem9_events-dbdc17f5df01d424: tests/theorem9_events.rs
+
+tests/theorem9_events.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/watchdog_and_stats-63cbb5fcb9996155.d: tests/watchdog_and_stats.rs
+
+/root/repo/target/debug/deps/watchdog_and_stats-63cbb5fcb9996155: tests/watchdog_and_stats.rs
+
+tests/watchdog_and_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_vs_sync-12e6c47fcba04f5f.d: examples/async_vs_sync.rs
+
+/root/repo/target/debug/examples/async_vs_sync-12e6c47fcba04f5f: examples/async_vs_sync.rs
+
+examples/async_vs_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_vs_sync-708ff8e76fcbea33.d: examples/async_vs_sync.rs
+
+/root/repo/target/debug/examples/async_vs_sync-708ff8e76fcbea33: examples/async_vs_sync.rs
+
+examples/async_vs_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_server-4466e4f4ede710ca.d: examples/client_server.rs
+
+/root/repo/target/debug/examples/client_server-4466e4f4ede710ca: examples/client_server.rs
+
+examples/client_server.rs:

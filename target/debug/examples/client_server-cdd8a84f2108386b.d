@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_server-cdd8a84f2108386b.d: examples/client_server.rs
+
+/root/repo/target/debug/examples/client_server-cdd8a84f2108386b: examples/client_server.rs
+
+examples/client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugger_trace-c7a00cea47fbe7e9.d: examples/debugger_trace.rs
+
+/root/repo/target/debug/examples/debugger_trace-c7a00cea47fbe7e9: examples/debugger_trace.rs
+
+examples/debugger_trace.rs:

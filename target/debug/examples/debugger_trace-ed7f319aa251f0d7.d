@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugger_trace-ed7f319aa251f0d7.d: examples/debugger_trace.rs
+
+/root/repo/target/debug/examples/debugger_trace-ed7f319aa251f0d7: examples/debugger_trace.rs
+
+examples/debugger_trace.rs:

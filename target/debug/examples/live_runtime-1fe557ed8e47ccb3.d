@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_runtime-1fe557ed8e47ccb3.d: examples/live_runtime.rs
+
+/root/repo/target/debug/examples/live_runtime-1fe557ed8e47ccb3: examples/live_runtime.rs
+
+examples/live_runtime.rs:

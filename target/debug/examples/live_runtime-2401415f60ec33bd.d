@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_runtime-2401415f60ec33bd.d: examples/live_runtime.rs
+
+/root/repo/target/debug/examples/live_runtime-2401415f60ec33bd: examples/live_runtime.rs
+
+examples/live_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitoring-20ce414c9a106d2e.d: examples/monitoring.rs
+
+/root/repo/target/debug/examples/monitoring-20ce414c9a106d2e: examples/monitoring.rs
+
+examples/monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitoring-e91de5eb56c36a7f.d: examples/monitoring.rs
+
+/root/repo/target/debug/examples/monitoring-e91de5eb56c36a7f: examples/monitoring.rs
+
+examples/monitoring.rs:

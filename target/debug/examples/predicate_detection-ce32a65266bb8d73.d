@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predicate_detection-ce32a65266bb8d73.d: examples/predicate_detection.rs
+
+/root/repo/target/debug/examples/predicate_detection-ce32a65266bb8d73: examples/predicate_detection.rs
+
+examples/predicate_detection.rs:

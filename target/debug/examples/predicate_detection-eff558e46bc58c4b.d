@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predicate_detection-eff558e46bc58c4b.d: examples/predicate_detection.rs
+
+/root/repo/target/debug/examples/predicate_detection-eff558e46bc58c4b: examples/predicate_detection.rs
+
+examples/predicate_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6afc4760999d3d7e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6afc4760999d3d7e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-82be9cdc21c2c322.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-82be9cdc21c2c322: examples/quickstart.rs
+
+examples/quickstart.rs:

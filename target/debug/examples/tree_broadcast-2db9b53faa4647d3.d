@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tree_broadcast-2db9b53faa4647d3.d: examples/tree_broadcast.rs
+
+/root/repo/target/debug/examples/tree_broadcast-2db9b53faa4647d3: examples/tree_broadcast.rs
+
+examples/tree_broadcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tree_broadcast-e8df6aaec2d62f69.d: examples/tree_broadcast.rs
+
+/root/repo/target/debug/examples/tree_broadcast-e8df6aaec2d62f69: examples/tree_broadcast.rs
+
+examples/tree_broadcast.rs:

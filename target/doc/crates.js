@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["synctime"];
+//{"start":21,"fragment_lengths":[10]}

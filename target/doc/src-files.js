@@ -1,0 +1,2 @@
+createSrcSidebar('[["synctime",["",[],["lib.rs"]]]]');
+//{"start":19,"fragment_lengths":[31]}

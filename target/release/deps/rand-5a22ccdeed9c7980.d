@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5a22ccdeed9c7980.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5a22ccdeed9c7980.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5a22ccdeed9c7980.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/synctime-9852669fd08ae9d3.d: src/lib.rs
+
+/root/repo/target/release/deps/libsynctime-9852669fd08ae9d3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsynctime-9852669fd08ae9d3.rmeta: src/lib.rs
+
+src/lib.rs:

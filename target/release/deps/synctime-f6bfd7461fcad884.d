@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/synctime-f6bfd7461fcad884.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/release/deps/synctime-f6bfd7461fcad884: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

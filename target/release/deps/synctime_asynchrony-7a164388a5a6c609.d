@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/synctime_asynchrony-7a164388a5a6c609.d: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/release/deps/libsynctime_asynchrony-7a164388a5a6c609.rlib: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+/root/repo/target/release/deps/libsynctime_asynchrony-7a164388a5a6c609.rmeta: crates/asynchrony/src/lib.rs crates/asynchrony/src/computation.rs crates/asynchrony/src/fm.rs
+
+crates/asynchrony/src/lib.rs:
+crates/asynchrony/src/computation.rs:
+crates/asynchrony/src/fm.rs:

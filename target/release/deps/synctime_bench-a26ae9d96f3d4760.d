@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/synctime_bench-a26ae9d96f3d4760.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsynctime_bench-a26ae9d96f3d4760.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsynctime_bench-a26ae9d96f3d4760.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

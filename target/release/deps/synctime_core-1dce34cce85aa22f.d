@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/synctime_core-1dce34cce85aa22f.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/vector.rs crates/core/src/events.rs crates/core/src/fm.rs crates/core/src/fz.rs crates/core/src/lamport.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/plausible.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libsynctime_core-1dce34cce85aa22f.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/vector.rs crates/core/src/events.rs crates/core/src/fm.rs crates/core/src/fz.rs crates/core/src/lamport.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/plausible.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libsynctime_core-1dce34cce85aa22f.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/vector.rs crates/core/src/events.rs crates/core/src/fm.rs crates/core/src/fz.rs crates/core/src/lamport.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/plausible.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/vector.rs:
+crates/core/src/events.rs:
+crates/core/src/fm.rs:
+crates/core/src/fz.rs:
+crates/core/src/lamport.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/plausible.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/synctime_detect-53a8e1deb8c7c186.d: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/release/deps/libsynctime_detect-53a8e1deb8c7c186.rlib: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+/root/repo/target/release/deps/libsynctime_detect-53a8e1deb8c7c186.rmeta: crates/detect/src/lib.rs crates/detect/src/monitor.rs crates/detect/src/orphans.rs crates/detect/src/wcp.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/monitor.rs:
+crates/detect/src/orphans.rs:
+crates/detect/src/wcp.rs:

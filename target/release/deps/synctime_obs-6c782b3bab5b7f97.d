@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/synctime_obs-6c782b3bab5b7f97.d: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/release/deps/libsynctime_obs-6c782b3bab5b7f97.rlib: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+/root/repo/target/release/deps/libsynctime_obs-6c782b3bab5b7f97.rmeta: crates/obs/src/lib.rs crates/obs/src/deadlock.rs crates/obs/src/recorder.rs crates/obs/src/stats.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/deadlock.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/synctime_poset-8160399f8c6007a8.d: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+/root/repo/target/release/deps/libsynctime_poset-8160399f8c6007a8.rlib: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+/root/repo/target/release/deps/libsynctime_poset-8160399f8c6007a8.rmeta: crates/poset/src/lib.rs crates/poset/src/bitset.rs crates/poset/src/error.rs crates/poset/src/poset.rs crates/poset/src/chains.rs crates/poset/src/dimension.rs crates/poset/src/matching.rs crates/poset/src/realizer.rs
+
+crates/poset/src/lib.rs:
+crates/poset/src/bitset.rs:
+crates/poset/src/error.rs:
+crates/poset/src/poset.rs:
+crates/poset/src/chains.rs:
+crates/poset/src/dimension.rs:
+crates/poset/src/matching.rs:
+crates/poset/src/realizer.rs:

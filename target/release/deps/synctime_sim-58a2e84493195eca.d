@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/synctime_sim-58a2e84493195eca.d: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libsynctime_sim-58a2e84493195eca.rlib: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libsynctime_sim-58a2e84493195eca.rmeta: crates/sim/src/lib.rs crates/sim/src/programs.rs crates/sim/src/scenarios.rs crates/sim/src/sim.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/programs.rs:
+crates/sim/src/scenarios.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/workload.rs:

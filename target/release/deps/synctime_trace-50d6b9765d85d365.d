@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/synctime_trace-50d6b9765d85d365.d: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/release/deps/libsynctime_trace-50d6b9765d85d365.rlib: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+/root/repo/target/release/deps/libsynctime_trace-50d6b9765d85d365.rmeta: crates/trace/src/lib.rs crates/trace/src/computation.rs crates/trace/src/error.rs crates/trace/src/oracle.rs crates/trace/src/diagram.rs crates/trace/src/examples.rs crates/trace/src/json.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/error.rs:
+crates/trace/src/oracle.rs:
+crates/trace/src/diagram.rs:
+crates/trace/src/examples.rs:
+crates/trace/src/json.rs:

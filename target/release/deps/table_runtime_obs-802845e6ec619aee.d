@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_runtime_obs-802845e6ec619aee.d: crates/bench/src/bin/table_runtime_obs.rs
+
+/root/repo/target/release/deps/table_runtime_obs-802845e6ec619aee: crates/bench/src/bin/table_runtime_obs.rs
+
+crates/bench/src/bin/table_runtime_obs.rs:
