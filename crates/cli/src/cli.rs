@@ -41,6 +41,7 @@ USAGE:
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
   synctime run       (--programs <FILE> | --ring <N> [--rounds <R>])
                      [--topology <SPEC>] [--stats] [--watchdog-ms <MS>]
+                     [--matcher parking|polling]
 
 TOPOLOGY SPECS:
   star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
@@ -60,8 +61,11 @@ RUN:
   rendezvous protocol; a watchdog aborts stalled runs with a wait-for-graph
   diagnosis. `--ring N` is a built-in token-ring workload over cycle:N.
   `--stats` prints the run's observability summary as JSON (message counts,
-  p50/p99 ack latency, wire bytes, max vector component) instead of the
-  reconstructed trace.
+  p50/p99 ack and rendezvous-wakeup latency, wire bytes, max vector
+  component) instead of the reconstructed trace. `--matcher` selects how
+  blocked endpoints wait: `parking` (default; park on the channel slot's
+  condvar, zero idle CPU) or `polling` (re-poll the slot, the benchmark
+  baseline).
 "
     .to_string()
 }
@@ -526,6 +530,13 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
             .map_err(|_| "--watchdog-ms expects milliseconds".to_string())?;
         rt = rt.with_watchdog(std::time::Duration::from_millis(ms));
     }
+    if let Some(matcher) = opts.get("matcher") {
+        rt = rt.with_matcher(match matcher.as_str() {
+            "parking" => synctime_runtime::Matcher::Parking,
+            "polling" => synctime_runtime::Matcher::Polling,
+            other => return Err(format!("--matcher expects `parking` or `polling`, got `{other}`")),
+        });
+    }
     let behaviors: Vec<synctime_runtime::Behavior> = programs
         .into_iter()
         .map(|ops| -> synctime_runtime::Behavior {
@@ -817,6 +828,24 @@ mod tests {
         assert!(stats.ack_latency_p99_ns >= stats.ack_latency_p50_ns);
         assert!(stats.total_wire_bytes > 0);
         assert!(stats.max_vector_component > 0);
+    }
+
+    #[test]
+    fn run_matcher_flag_selects_strategy() {
+        // The parking matcher (default) reports wakeups in --stats; the
+        // polling baseline is selectable and produces the same counters.
+        let parked = run_strs(&["run", "--ring", "3", "--rounds", "4", "--stats"]).unwrap();
+        let parked = synctime_obs::RunStats::from_json(&parked).unwrap();
+        assert!(parked.wakeups > 0, "parking matcher should park threads");
+        assert!(parked.wakeup_max_ns >= parked.wakeup_p50_ns);
+        let polled = run_strs(&[
+            "run", "--ring", "3", "--rounds", "4", "--matcher", "polling", "--stats",
+        ])
+        .unwrap();
+        let polled = synctime_obs::RunStats::from_json(&polled).unwrap();
+        assert_eq!(polled.messages, parked.messages);
+        let err = run_strs(&["run", "--ring", "3", "--matcher", "spinning"]).unwrap_err();
+        assert!(err.contains("--matcher"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub enum CoreError {
         /// The number of processes the stamper was prepared for.
         process_count: usize,
     },
+    /// A reconfiguration's group remap did not line up with the session's
+    /// current dimension or the new decomposition's size.
+    DimensionMismatch {
+        /// The dimension the remap had to match.
+        expected: usize,
+        /// The dimension it actually described.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +45,12 @@ impl fmt::Display for CoreError {
                 process_count,
             } => {
                 write!(f, "process {process} out of range ({process_count} clocks)")
+            }
+            CoreError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "group remap dimension mismatch: expected {expected}, got {got}"
+                )
             }
         }
     }

@@ -21,7 +21,7 @@
 //! * [`OnlineStamper`] — stamps a whole recorded [`SyncComputation`] in
 //!   rendezvous order.
 
-use synctime_graph::{Edge, EdgeDecomposition};
+use synctime_graph::{Edge, EdgeDecomposition, GroupRemap};
 use synctime_trace::SyncComputation;
 
 use crate::{CoreError, MessageTimestamps, VectorTime};
@@ -87,6 +87,40 @@ impl ProcessClock {
         self.vector.merge_max(ack);
         self.vector.increment(group);
         self.vector.clone()
+    }
+
+    /// Rebases this clock after the edge decomposition was edited in place
+    /// (see [`synctime_graph::IncrementalDecomposition`]): a surviving
+    /// group's count moves to its new position, dissolved groups' counts
+    /// are dropped, and fresh groups start at zero.
+    ///
+    /// Sound because every component of a stamp counts the group's
+    /// rendezvous chain (any two messages of a star or triangle group share
+    /// a process, so they are totally ordered): groups the remap preserves
+    /// keep their chain and their count; fresh groups begin a new chain at
+    /// zero *uniformly across processes*. Theorem 4 therefore continues to
+    /// hold among messages stamped after the remap. Stamps issued *before*
+    /// it live in the old coordinate space and must not be compared with
+    /// newer ones unless the remap [is the
+    /// identity](synctime_graph::GroupRemap::is_identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remap's domain differs from this clock's dimension or
+    /// maps a group outside the new dimension.
+    pub fn remap(&mut self, remap: &GroupRemap) {
+        assert_eq!(
+            remap.old_to_new.len(),
+            self.vector.dim(),
+            "remap domain must match the clock dimension"
+        );
+        let mut fresh = vec![0u64; remap.new_len];
+        for (old, target) in remap.old_to_new.iter().enumerate() {
+            if let Some(new) = target {
+                fresh[*new] = self.vector.component(old);
+            }
+        }
+        self.vector = VectorTime::from(fresh);
     }
 }
 
@@ -214,6 +248,45 @@ impl OnlineSession {
         edge: Edge,
     ) -> Result<(), synctime_graph::GraphError> {
         self.decomposition.extend_star(group, edge)
+    }
+
+    /// Switches the session to a reconfigured decomposition whose group ids
+    /// shifted per `remap` (as reported by
+    /// [`synctime_graph::IncrementalDecomposition`]'s edits), rebasing every
+    /// process clock with [`ProcessClock::remap`].
+    ///
+    /// After this call the session stamps against `decomposition`;
+    /// timestamps issued before the call are comparable with later ones only
+    /// if the remap [is the identity](GroupRemap::is_identity) (see
+    /// [`ProcessClock::remap`] for why later stamps remain mutually sound).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] if the remap's domain is not the
+    /// session's current dimension or its codomain is not the new
+    /// decomposition's size.
+    pub fn reconfigure(
+        &mut self,
+        decomposition: &EdgeDecomposition,
+        remap: &GroupRemap,
+    ) -> Result<(), CoreError> {
+        if remap.old_to_new.len() != self.decomposition.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.decomposition.len(),
+                got: remap.old_to_new.len(),
+            });
+        }
+        if remap.new_len != decomposition.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: decomposition.len(),
+                got: remap.new_len,
+            });
+        }
+        for clock in &mut self.clocks {
+            clock.remap(remap);
+        }
+        self.decomposition = decomposition.clone();
+        Ok(())
     }
 
     /// Performs one rendezvous (message + acknowledgement) between
@@ -387,6 +460,84 @@ mod tests {
             assert_eq!(&t, batch.vector(MessageId(i)));
         }
         assert_eq!(session.stamped(), pairs.len());
+    }
+
+    #[test]
+    fn clock_remap_moves_surviving_counts() {
+        let mut clock = ProcessClock::new(3);
+        // Drive the clock to (2, 1, 3).
+        for (group, times) in [(0usize, 2usize), (1, 1), (2, 3)] {
+            for _ in 0..times {
+                clock.on_acknowledgement(&VectorTime::zero(3), group);
+            }
+        }
+        assert_eq!(clock.current().as_slice(), &[2, 1, 3]);
+        // Group 1 dissolves, groups 0 and 2 swap, one fresh group appears.
+        clock.remap(&GroupRemap {
+            old_to_new: vec![Some(2), None, Some(0)],
+            new_len: 4,
+        });
+        assert_eq!(clock.current().as_slice(), &[3, 0, 2, 0]);
+    }
+
+    #[test]
+    fn session_reconfigure_follows_topology_edits() {
+        use synctime_graph::IncrementalDecomposition;
+
+        // A hub with two clients; a third client joins mid-session, then a
+        // disconnected pair appears (fresh group), then the pair is cut.
+        let mut g = synctime_graph::Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let mut cache = IncrementalDecomposition::new(&g);
+        let mut session = OnlineSession::new(cache.decomposition(), 6);
+        let t1 = session.stamp(1, 0).unwrap();
+
+        // Join absorbed by the hub star: identity remap, old stamps stay
+        // comparable and the session keeps its counts.
+        let remap = cache.insert_edge(0, 3).unwrap();
+        assert!(remap.is_identity());
+        session.reconfigure(cache.decomposition(), &remap).unwrap();
+        let t2 = session.stamp(3, 0).unwrap();
+        assert!(t1 < t2);
+
+        // A disconnected pair: dimension grows; surviving counts carry over.
+        let remap = cache.insert_edge(4, 5).unwrap();
+        session.reconfigure(cache.decomposition(), &remap).unwrap();
+        let t3 = session.stamp(4, 5).unwrap();
+        let t4 = session.stamp(0, 2).unwrap();
+        assert!(t3 < t4 || t4.partial_cmp(&t3).is_none());
+        assert_eq!(t4.dim(), cache.decomposition().len());
+
+        // Cutting the pair dissolves its singleton group.
+        let remap = cache.remove_edge(4, 5).unwrap();
+        session.reconfigure(cache.decomposition(), &remap).unwrap();
+        let t5 = session.stamp(2, 0).unwrap();
+        assert_eq!(t5.dim(), cache.decomposition().len());
+        // The hub group's chain kept counting across every reconfiguration.
+        assert!(t4.as_slice().iter().max() < t5.as_slice().iter().max());
+    }
+
+    #[test]
+    fn reconfigure_rejects_mismatched_remaps() {
+        let dec = decompose::best_known(&topology::path(3)); // d = 1
+        let mut session = OnlineSession::new(&dec, 3);
+        let bad_domain = GroupRemap {
+            old_to_new: vec![Some(0), Some(1)],
+            new_len: dec.len(),
+        };
+        assert!(matches!(
+            session.reconfigure(&dec, &bad_domain),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        let bad_codomain = GroupRemap {
+            old_to_new: (0..dec.len()).map(Some).collect(),
+            new_len: dec.len() + 2,
+        };
+        assert!(matches!(
+            session.reconfigure(&dec, &bad_codomain),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -296,6 +296,94 @@ impl EdgeDecomposition {
         Ok(idx)
     }
 
+    /// Removes a channel from star group `group` — the inverse of
+    /// [`extend_star`], for dynamic topologies shedding an edge. The group
+    /// keeps its index (and so its vector component), so running clocks
+    /// stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NotAStar`] if `group` is not a star;
+    /// [`GraphError::UnknownEdge`] if the edge is not in that group;
+    /// [`GraphError::EmptyGroup`] if removing the edge would leave the
+    /// group empty (drop the whole group instead).
+    ///
+    /// [`extend_star`]: EdgeDecomposition::extend_star
+    pub fn retract_star_edge(&mut self, group: usize, edge: Edge) -> Result<(), GraphError> {
+        if self.edge_to_group.get(&edge) != Some(&group) {
+            return Err(GraphError::UnknownEdge(edge));
+        }
+        match self.groups.get_mut(group) {
+            Some(EdgeGroup::Star { edges, .. }) => {
+                if edges.len() == 1 {
+                    return Err(GraphError::EmptyGroup { group });
+                }
+                edges.retain(|e| *e != edge);
+                self.edge_to_group.remove(&edge);
+                Ok(())
+            }
+            _ => Err(GraphError::NotAStar { group }),
+        }
+    }
+
+    /// Replaces group `idx` wholesale, rewiring the edge index. Used by the
+    /// incremental cache's triangle-break patch; the replacement's edges
+    /// must be disjoint from every *other* group's.
+    pub(crate) fn replace_group(&mut self, idx: usize, group: EdgeGroup) {
+        for e in self.groups[idx].edges() {
+            self.edge_to_group.remove(&e);
+        }
+        for e in group.edges() {
+            let prev = self.edge_to_group.insert(e, idx);
+            debug_assert!(prev.is_none(), "replacement group overlaps group {prev:?}");
+        }
+        self.groups[idx] = group;
+    }
+
+    /// Appends a pre-built group, returning its index. The group's edges
+    /// must be disjoint from every existing group's.
+    pub(crate) fn push_group(&mut self, group: EdgeGroup) -> usize {
+        let idx = self.groups.len();
+        for e in group.edges() {
+            let prev = self.edge_to_group.insert(e, idx);
+            debug_assert!(prev.is_none(), "pushed group overlaps group {prev:?}");
+        }
+        self.groups.push(group);
+        idx
+    }
+
+    /// Removes the listed groups and compacts the survivors' indices,
+    /// returning the old-index → new-index map (`None` for the removed).
+    pub(crate) fn remove_groups(&mut self, doomed: &[usize]) -> Vec<Option<usize>> {
+        let mut dead = vec![false; self.groups.len()];
+        for &d in doomed {
+            dead[d] = true;
+        }
+        let mut old_to_new = Vec::with_capacity(self.groups.len());
+        let mut next = 0usize;
+        for &d in &dead {
+            old_to_new.push(if d {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            });
+        }
+        let survivors: Vec<EdgeGroup> = std::mem::take(&mut self.groups)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, g)| (!dead[i]).then_some(g))
+            .collect();
+        self.groups = survivors;
+        self.edge_to_group.clear();
+        for (idx, g) in self.groups.iter().enumerate() {
+            for e in g.edges() {
+                self.edge_to_group.insert(e, idx);
+            }
+        }
+        old_to_new
+    }
+
     /// Number of star groups.
     pub fn star_count(&self) -> usize {
         self.groups.iter().filter(|g| g.is_star()).count()

@@ -20,7 +20,12 @@
 //! * [`decompose`] — the paper's greedy decomposition algorithm (Figure 7,
 //!   ratio bound 2 by Theorem 6, optimal on forests by Theorem 7), a
 //!   vertex-cover-based decomposition, the trivial complete-graph
-//!   decomposition, and an exact branch-and-bound optimum for small graphs.
+//!   decomposition, and an exact branch-and-bound optimum for small graphs,
+//! * [`incremental`] — a decomposition cache for **dynamic topologies**:
+//!   edge insertions and removals patch the existing groups (re-running the
+//!   greedy algorithm only on a component whose Theorem 6 ratio can no
+//!   longer be certified), reporting how group ids shifted so running
+//!   clocks can be rebased.
 //!
 //! # Example
 //!
@@ -43,8 +48,10 @@ mod graph;
 
 pub mod cover;
 pub mod decompose;
+pub mod incremental;
 pub mod topology;
 
 pub use decompose::{EdgeDecomposition, EdgeGroup};
 pub use error::GraphError;
 pub use graph::{Edge, Graph, NodeId};
+pub use incremental::{GroupRemap, IncrementalDecomposition};

@@ -30,6 +30,12 @@ pub enum ObsEventKind {
         /// Nanoseconds this process spent blocked waiting for the message.
         blocked_ns: u64,
     },
+    /// A parked thread resumed after its rendezvous condition became true.
+    Wakeup {
+        /// Nanoseconds between the peer making the condition true (and
+        /// notifying) and this process observing it.
+        latency_ns: u64,
+    },
 }
 
 /// One timestamped entry in a process's event ring.
@@ -94,6 +100,7 @@ pub struct ProcessRecorder {
     receives: AtomicU64,
     wire_bytes: AtomicU64,
     blocked_ns: AtomicU64,
+    wakeups: AtomicU64,
     events: Mutex<Ring>,
     epoch: Instant,
 }
@@ -105,6 +112,7 @@ impl ProcessRecorder {
             receives: AtomicU64::new(0),
             wire_bytes: AtomicU64::new(0),
             blocked_ns: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
             events: Mutex::new(Ring::new(ring_capacity)),
             epoch,
         }
@@ -138,6 +146,15 @@ impl ProcessRecorder {
     /// an ack, or blocked on a send that was aborted).
     pub fn record_blocked(&self, blocked_ns: u64) {
         self.blocked_ns.fetch_add(blocked_ns, Ordering::Relaxed);
+    }
+
+    /// Records how long a parked rendezvous wait took to resume after its
+    /// condition became true (the matcher's wakeup latency). Only sampled
+    /// when the thread actually parked; an already-satisfied condition does
+    /// not produce a sample.
+    pub fn record_wakeup(&self, latency_ns: u64) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.push(ObsEventKind::Wakeup { latency_ns });
     }
 
     /// Messages sent so far.
@@ -202,6 +219,8 @@ impl Recorder {
     pub fn finish(&self, max_vector_component: u64) -> RunStats {
         let mut per_process = Vec::with_capacity(self.processes.len());
         let mut latencies: Vec<u64> = Vec::new();
+        let mut wakeup_latencies: Vec<u64> = Vec::new();
+        let mut wakeups = 0u64;
         let mut dropped = 0usize;
         for (id, p) in self.processes.iter().enumerate() {
             per_process.push(ProcessStats {
@@ -211,22 +230,26 @@ impl Recorder {
                 wire_bytes: p.wire_bytes.load(Ordering::Relaxed),
                 blocked_ns: p.blocked_ns.load(Ordering::Relaxed),
             });
+            wakeups += p.wakeups.load(Ordering::Relaxed);
             let ring = p.events.lock().expect("obs ring poisoned");
             dropped += ring.dropped();
             for event in ring.in_order() {
-                if let ObsEventKind::Send { ack_latency_ns, .. } = event.kind {
-                    latencies.push(ack_latency_ns);
+                match event.kind {
+                    ObsEventKind::Send { ack_latency_ns, .. } => latencies.push(ack_latency_ns),
+                    ObsEventKind::Wakeup { latency_ns } => wakeup_latencies.push(latency_ns),
+                    ObsEventKind::Receive { .. } => {}
                 }
             }
         }
         latencies.sort_unstable();
-        let pick = |q_num: usize, q_den: usize| -> u64 {
-            if latencies.is_empty() {
+        wakeup_latencies.sort_unstable();
+        // Nearest-rank percentile.
+        let pick = |sorted: &[u64], q_num: usize, q_den: usize| -> u64 {
+            if sorted.is_empty() {
                 return 0;
             }
-            // Nearest-rank percentile.
-            let rank = (latencies.len() * q_num).div_ceil(q_den).max(1);
-            latencies[rank - 1]
+            let rank = (sorted.len() * q_num).div_ceil(q_den).max(1);
+            sorted[rank - 1]
         };
         RunStats {
             process_count: self.processes.len(),
@@ -234,9 +257,13 @@ impl Recorder {
             receives: per_process.iter().map(|p| p.receives).sum(),
             total_wire_bytes: per_process.iter().map(|p| p.wire_bytes).sum(),
             total_blocked_ns: per_process.iter().map(|p| p.blocked_ns).sum(),
-            ack_latency_p50_ns: pick(50, 100),
-            ack_latency_p99_ns: pick(99, 100),
+            ack_latency_p50_ns: pick(&latencies, 50, 100),
+            ack_latency_p99_ns: pick(&latencies, 99, 100),
             ack_latency_max_ns: latencies.last().copied().unwrap_or(0),
+            wakeups,
+            wakeup_p50_ns: pick(&wakeup_latencies, 50, 100),
+            wakeup_p99_ns: pick(&wakeup_latencies, 99, 100),
+            wakeup_max_ns: wakeup_latencies.last().copied().unwrap_or(0),
             latency_sample_dropped: dropped as u64,
             max_vector_component,
             per_process,

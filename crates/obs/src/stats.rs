@@ -41,6 +41,16 @@ pub struct RunStats {
     pub ack_latency_p99_ns: u64,
     /// Worst observed acknowledgement round-trip latency, in nanoseconds.
     pub ack_latency_max_ns: u64,
+    /// Times a parked rendezvous wait actually resumed after a peer's
+    /// notification (zero under a matcher that never parks threads).
+    pub wakeups: u64,
+    /// Median rendezvous wakeup latency — nanoseconds between a peer making
+    /// a parked thread's condition true and the thread observing it.
+    pub wakeup_p50_ns: u64,
+    /// 99th-percentile rendezvous wakeup latency, in nanoseconds.
+    pub wakeup_p99_ns: u64,
+    /// Worst observed rendezvous wakeup latency, in nanoseconds.
+    pub wakeup_max_ns: u64,
     /// Send events that fell out of the bounded rings before aggregation;
     /// when nonzero, percentiles cover only the most recent sends (counters
     /// remain exact).
@@ -79,6 +89,10 @@ mod tests {
             ack_latency_p50_ns: 400,
             ack_latency_p99_ns: 900,
             ack_latency_max_ns: 950,
+            wakeups: 4,
+            wakeup_p50_ns: 1200,
+            wakeup_p99_ns: 2500,
+            wakeup_max_ns: 2600,
             latency_sample_dropped: 0,
             max_vector_component: 5,
             per_process: vec![

@@ -7,11 +7,13 @@
 //! that:
 //!
 //! * each process runs on its own thread and talks to its neighbors over
-//!   **zero-capacity channels** (a send blocks until the receiver takes the
-//!   message — true rendezvous semantics);
-//! * a [`ProcessCtx::send`] transmits `(payload, key, vector)`, then blocks
-//!   on the acknowledgement channel, which carries the receiver's
-//!   pre-update vector back; both sides merge and increment exactly as in
+//!   **per-channel rendezvous slots** (a send blocks until the receiver
+//!   takes the message — true rendezvous semantics; blocked endpoints park
+//!   on the slot's condvar and consume no CPU);
+//! * a [`ProcessCtx::send`] deposits `(payload, key, vector)` into the
+//!   channel slot, then parks until the receiver's acknowledgement — the
+//!   receiver's pre-update vector, deposited under the same lock hold as
+//!   the take — wakes it; both sides merge and increment exactly as in
 //!   Figure 5 and deterministically agree on the message's timestamp;
 //! * every process logs its sends, receives and internal events; after the
 //!   run, [`RuntimeRun::reconstruct`] rebuilds the
@@ -59,9 +61,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod matcher;
 mod runtime;
 
 pub use error::RuntimeError;
+pub use matcher::{Matcher, BLOCK_POLL};
 pub use runtime::{
     Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun,
     DEFAULT_EVENT_RING, DEFAULT_WATCHDOG_TIMEOUT,

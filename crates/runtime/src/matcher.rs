@@ -1,0 +1,207 @@
+//! The rendezvous matcher: one slot per directed channel.
+//!
+//! PR 1 implemented rendezvous as zero-capacity mpsc channels re-polled
+//! every 200µs, with a second channel pair for the Figure 5
+//! acknowledgement. This module replaces that with a single mutex+condvar
+//! **slot** per directed channel carrying the whole exchange:
+//!
+//! ```text
+//!   Empty ──sender deposits──▶ Offered(wire) ──receiver takes, acks──▶
+//!   Acked(vector) ──sender merges, resets──▶ Empty
+//! ```
+//!
+//! The receiver takes the offer and deposits the acknowledgement under a
+//! single lock hold, so the vector exchange piggybacks on the wakeup: one
+//! `notify` delivers the program message, one `notify` delivers the ack,
+//! and a blocked endpoint consumes zero CPU while parked. The
+//! [`Matcher::Polling`] strategy keeps PR 1's poll-loop behavior selectable
+//! so benchmarks can measure the parking fast path against it
+//! (`results/BENCH_online_runtime.json`).
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use synctime_core::VectorTime;
+
+/// How blocked rendezvous endpoints wait for their partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Matcher {
+    /// Park on the channel slot's condvar; the partner's deposit wakes the
+    /// thread directly. Idle processes consume no CPU.
+    #[default]
+    Parking,
+    /// Re-poll the slot every [`BLOCK_POLL`] — PR 1's strategy, kept as a
+    /// measurable baseline for the parking fast path.
+    Polling,
+}
+
+/// How often the [`Matcher::Polling`] strategy re-checks a slot.
+pub const BLOCK_POLL: Duration = Duration::from_micros(200);
+
+/// Upper bound on one parked wait under [`Matcher::Parking`]. Watchdog
+/// aborts and peer exits notify the slot explicitly, so this is pure
+/// insurance against a lost wakeup, not a progress mechanism.
+const PARK_BACKSTOP: Duration = Duration::from_millis(250);
+
+/// What travels on a program message: the payload plus the piggybacked
+/// vector (line 02 of Figure 5) and a globally unique key used only for
+/// post-hoc trace reconstruction.
+#[derive(Debug)]
+pub(crate) struct Wire {
+    pub(crate) key: u64,
+    pub(crate) payload: u64,
+    pub(crate) vector: VectorTime,
+}
+
+/// One rendezvous slot's state. Timestamps record when the state became
+/// observable so the other side can report wakeup latency.
+#[derive(Debug)]
+pub(crate) enum SlotState {
+    /// No rendezvous in flight.
+    Empty,
+    /// The sender deposited a message at `at` and is waiting for the
+    /// acknowledgement.
+    Offered {
+        /// The in-flight message.
+        wire: Wire,
+        /// When the offer was deposited (and the receiver notified).
+        at: Instant,
+    },
+    /// The receiver took the offer at `taken`, ran lines 04–06 of Figure 5,
+    /// and deposited the pre-update vector at `acked`.
+    Acked {
+        /// The acknowledgement payload (receiver's pre-update vector).
+        ack: VectorTime,
+        /// When the receiver took the matching offer.
+        taken: Instant,
+        /// When the acknowledgement was deposited (and the sender notified).
+        acked: Instant,
+    },
+}
+
+/// A directed channel's rendezvous slot: both endpoints hold an `Arc` to it.
+#[derive(Debug)]
+pub(crate) struct ChannelSlot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+impl ChannelSlot {
+    pub(crate) fn new() -> Self {
+        ChannelSlot {
+            state: Mutex::new(SlotState::Empty),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().expect("rendezvous slot poisoned")
+    }
+
+    /// Notifies the slot's waiters (call with the guard held or just
+    /// released; deposits in this crate always notify under the lock).
+    pub(crate) fn notify(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Wakes any thread parked on this slot without changing its state.
+    /// Used by the watchdog (abort) and by exiting processes so parked
+    /// peers re-check their abort/liveness conditions promptly.
+    pub(crate) fn wake(&self) {
+        // Taking the lock before notifying guarantees a thread that checked
+        // its condition and is about to wait cannot miss this notification.
+        let _guard = self.lock();
+        self.cond.notify_all();
+    }
+
+    /// One blocked-wait step under the given strategy: parks on the condvar
+    /// (with a backstop timeout) or sleeps one poll interval and re-locks.
+    pub(crate) fn wait_step<'a>(
+        &'a self,
+        guard: MutexGuard<'a, SlotState>,
+        matcher: Matcher,
+    ) -> MutexGuard<'a, SlotState> {
+        match matcher {
+            Matcher::Parking => {
+                self.cond
+                    .wait_timeout(guard, PARK_BACKSTOP)
+                    .expect("rendezvous slot poisoned")
+                    .0
+            }
+            Matcher::Polling => {
+                drop(guard);
+                std::thread::sleep(BLOCK_POLL);
+                self.lock()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn slot_roundtrip_carries_wire_and_ack() {
+        let slot = Arc::new(ChannelSlot::new());
+        let receiver = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let mut st = slot.lock();
+                loop {
+                    match std::mem::replace(&mut *st, SlotState::Empty) {
+                        SlotState::Offered { wire, .. } => {
+                            let now = Instant::now();
+                            *st = SlotState::Acked {
+                                ack: VectorTime::zero(wire.vector.dim()),
+                                taken: now,
+                                acked: now,
+                            };
+                            slot.notify();
+                            return wire.payload;
+                        }
+                        other => {
+                            *st = other;
+                            st = slot.wait_step(st, Matcher::Parking);
+                        }
+                    }
+                }
+            })
+        };
+        let mut st = slot.lock();
+        *st = SlotState::Offered {
+            wire: Wire {
+                key: 1,
+                payload: 42,
+                vector: VectorTime::zero(2),
+            },
+            at: Instant::now(),
+        };
+        slot.notify();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Empty) {
+                SlotState::Acked { ack, .. } => {
+                    assert_eq!(ack.dim(), 2);
+                    break;
+                }
+                other => {
+                    *st = other;
+                    st = slot.wait_step(st, Matcher::Parking);
+                }
+            }
+        }
+        drop(st);
+        assert_eq!(receiver.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn polling_wait_step_relocks_after_interval() {
+        let slot = ChannelSlot::new();
+        let guard = slot.lock();
+        let t0 = Instant::now();
+        let guard = slot.wait_step(guard, Matcher::Polling);
+        assert!(t0.elapsed() >= BLOCK_POLL);
+        assert!(matches!(*guard, SlotState::Empty));
+    }
+}

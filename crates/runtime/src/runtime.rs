@@ -1,6 +1,5 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -10,15 +9,10 @@ use synctime_graph::{Edge, EdgeDecomposition, Graph};
 use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
 
-use crate::RuntimeError;
+use crate::matcher::{ChannelSlot, SlotState, Wire};
+use crate::{Matcher, RuntimeError};
 
-/// How often a blocked rendezvous operation re-polls its channel. Channel
-/// handoffs themselves are not delayed by this — the partner being parked in
-/// `recv_timeout` completes a `try_send` immediately — it only bounds how
-/// quickly a blocked thread notices a watchdog abort.
-const BLOCK_POLL: Duration = Duration::from_micros(200);
-
-/// A process's registered wait while blocked in a rendezvous operation.
+/// A process's registered wait while parked in a rendezvous operation.
 #[derive(Debug, Clone, Copy)]
 struct BlockedOn {
     op: WaitOp,
@@ -29,31 +23,44 @@ struct BlockedOn {
 /// State shared between the process threads and the watchdog.
 #[derive(Debug)]
 struct RunShared {
-    /// What each process is currently blocked on, if anything.
+    /// What each process is currently parked on, if anything.
     blocked: Vec<Mutex<Option<BlockedOn>>>,
     /// Whether each process's behavior is still running.
     live: Vec<AtomicBool>,
-    /// Set by the watchdog to make every blocked operation bail out.
+    /// Set by the watchdog to make every parked operation bail out.
     abort: AtomicBool,
     /// Set once every behavior has been joined; stops the watchdog.
     finished: AtomicBool,
     /// The diagnosis backing `abort`, filled in before the flag is set.
     diagnosis: Mutex<Option<DeadlockDiagnosis>>,
+    /// Every channel slot of the run, so aborts and process exits can wake
+    /// parked threads promptly (the park backstop makes this best-effort
+    /// redundancy, not a correctness requirement).
+    slots: Vec<Arc<ChannelSlot>>,
 }
 
 impl RunShared {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, slots: Vec<Arc<ChannelSlot>>) -> Self {
         RunShared {
             blocked: (0..n).map(|_| Mutex::new(None)).collect(),
             live: (0..n).map(|_| AtomicBool::new(true)).collect(),
             abort: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             diagnosis: Mutex::new(None),
+            slots,
         }
     }
 
     fn aborted(&self) -> bool {
         self.abort.load(Ordering::Acquire)
+    }
+
+    /// Wakes every thread parked on any slot so it re-checks abort and
+    /// peer-liveness conditions.
+    fn wake_all(&self) {
+        for slot in &self.slots {
+            slot.wake();
+        }
     }
 
     fn deadlock_error(&self) -> RuntimeError {
@@ -67,9 +74,16 @@ impl RunShared {
     }
 }
 
-/// The watchdog body: periodically snapshots the blocked-state registry and
-/// aborts the run when every live process has been blocked in a rendezvous
-/// beyond `timeout`.
+/// The watchdog body: periodically snapshots the parked-thread registry,
+/// builds the wait-for graph over threads parked beyond `timeout`, and
+/// aborts the run as soon as that graph contains a cycle.
+///
+/// Unlike PR 1's detector (which required *every* live process to be
+/// blocked), cycle detection reports partial deadlocks — a wait-for cycle
+/// among a subset of processes aborts the run even while unrelated
+/// processes keep computing — and never flags slow-but-live runs: a chain
+/// of parked threads whose head is merely napping has no cycle, no matter
+/// how long the chain has been parked.
 fn watchdog_loop(shared: &RunShared, timeout: Duration) {
     let poll = (timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
     loop {
@@ -77,31 +91,36 @@ fn watchdog_loop(shared: &RunShared, timeout: Duration) {
         if shared.finished.load(Ordering::Acquire) || shared.aborted() {
             return;
         }
-        let mut waiting = Vec::new();
-        let mut all_expired = true;
-        let mut any_live = false;
+        let mut expired = Vec::new();
         for (p, live) in shared.live.iter().enumerate() {
             if !live.load(Ordering::Acquire) {
                 continue;
             }
-            any_live = true;
             let slot = shared.blocked[p].lock().expect("blocked lock poisoned");
-            match &*slot {
-                Some(b) if b.since.elapsed() >= timeout => waiting.push(WaitEdge {
-                    process: p,
-                    op: b.op,
-                    peer: b.peer,
-                    blocked_ms: b.since.elapsed().as_millis() as u64,
-                }),
-                _ => all_expired = false,
+            if let Some(b) = &*slot {
+                if b.since.elapsed() >= timeout {
+                    expired.push(WaitEdge {
+                        process: p,
+                        op: b.op,
+                        peer: b.peer,
+                        blocked_ms: b.since.elapsed().as_millis() as u64,
+                    });
+                }
             }
         }
-        if any_live && all_expired && !waiting.is_empty() {
-            let diagnosis = DeadlockDiagnosis::from_waiting(waiting);
-            *shared.diagnosis.lock().expect("diagnosis lock poisoned") = Some(diagnosis);
-            shared.abort.store(true, Ordering::Release);
-            return;
+        if expired.is_empty() {
+            continue;
         }
+        let diagnosis = DeadlockDiagnosis::from_waiting(expired);
+        if diagnosis.cycle.is_empty() {
+            // Parked threads, but every wait chain dead-ends in a process
+            // that is still making progress: slow, not deadlocked.
+            continue;
+        }
+        *shared.diagnosis.lock().expect("diagnosis lock poisoned") = Some(diagnosis);
+        shared.abort.store(true, Ordering::Release);
+        shared.wake_all();
+        return;
     }
 }
 
@@ -119,16 +138,6 @@ pub struct LiveObservation {
     pub receiver: ProcessId,
     /// The agreed timestamp.
     pub stamp: VectorTime,
-}
-
-/// What travels on a program message: the payload plus the piggybacked
-/// vector (line 02 of Figure 5) and a globally unique key used only for
-/// post-hoc trace reconstruction.
-#[derive(Debug)]
-struct Wire {
-    key: u64,
-    payload: u64,
-    vector: VectorTime,
 }
 
 /// One entry of a process's execution log.
@@ -166,10 +175,9 @@ pub struct ProcessCtx {
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
     seq: u64,
-    data_out: HashMap<ProcessId, SyncSender<Wire>>,
-    data_in: HashMap<ProcessId, Receiver<Wire>>,
-    ack_out: HashMap<ProcessId, SyncSender<VectorTime>>,
-    ack_in: HashMap<ProcessId, Receiver<VectorTime>>,
+    matcher: Matcher,
+    data_out: HashMap<ProcessId, Arc<ChannelSlot>>,
+    data_in: HashMap<ProcessId, Arc<ChannelSlot>>,
     log: Vec<LogEntry>,
     shared: Arc<RunShared>,
     recorder: Arc<Recorder>,
@@ -195,7 +203,7 @@ impl ProcessCtx {
             Some(BlockedOn { op, peer, since: Instant::now() });
     }
 
-    /// Clears this process's blocked registration, returning how long it
+    /// Clears this process's parked registration, returning how long it
     /// was held.
     fn exit_blocked(&self) -> Duration {
         self.shared.blocked[self.id]
@@ -206,75 +214,56 @@ impl ProcessCtx {
             .unwrap_or_default()
     }
 
-    /// Rendezvous handoff of `value` into `tx`, registered with the
-    /// watchdog. `try_send` on a zero-capacity channel succeeds exactly when
-    /// the peer is parked in a receive, so polling preserves rendezvous
-    /// semantics. Returns the time spent blocked.
-    fn push<T>(
+    /// One blocked-wait step on `slot`: registers the wait with the
+    /// watchdog on first park, checks abort and peer liveness, then parks
+    /// (or polls, under [`Matcher::Polling`]) until the next wakeup.
+    ///
+    /// On an error return the registration has already been cleared.
+    fn park_step<'a>(
         &self,
-        tx: &SyncSender<T>,
-        value: T,
+        slot: &'a ChannelSlot,
+        guard: std::sync::MutexGuard<'a, SlotState>,
         op: WaitOp,
         peer: ProcessId,
-    ) -> Result<Duration, RuntimeError> {
-        let mut value = match tx.try_send(value) {
-            Ok(()) => return Ok(Duration::ZERO),
-            Err(TrySendError::Disconnected(_)) => return Err(self.peer_gone(peer)),
-            Err(TrySendError::Full(v)) => v,
-        };
-        self.enter_blocked(op, peer);
-        loop {
-            if self.shared.aborted() {
+        parked: &mut bool,
+    ) -> Result<std::sync::MutexGuard<'a, SlotState>, RuntimeError> {
+        if self.shared.aborted() {
+            if *parked {
                 self.exit_blocked();
-                return Err(self.shared.deadlock_error());
             }
-            match tx.try_send(value) {
-                Ok(()) => return Ok(self.exit_blocked()),
-                Err(TrySendError::Full(v)) => {
-                    value = v;
-                    std::thread::sleep(BLOCK_POLL);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    self.exit_blocked();
-                    return Err(self.peer_gone(peer));
-                }
+            return Err(self.shared.deadlock_error());
+        }
+        if !self.shared.live[peer].load(Ordering::Acquire) {
+            if *parked {
+                self.exit_blocked();
             }
+            return Err(self.peer_gone(peer));
+        }
+        if !*parked {
+            *parked = true;
+            self.enter_blocked(op, peer);
+        }
+        Ok(slot.wait_step(guard, self.matcher))
+    }
+
+    /// Finishes a parked phase: clears the registration and accumulates the
+    /// blocked time, returning it.
+    fn unpark(&self, parked: bool) -> Duration {
+        if parked {
+            self.exit_blocked()
+        } else {
+            Duration::ZERO
         }
     }
 
-    /// The error for a disconnected channel: a peer bailing out of a
-    /// watchdog abort also disconnects, so during an abort the deadlock
+    /// The error for a vanished peer: a peer bailing out of a watchdog
+    /// abort also stops being live, so during an abort the deadlock
     /// diagnosis is the real story, not the peer's termination.
     fn peer_gone(&self, peer: ProcessId) -> RuntimeError {
         if self.shared.aborted() {
             self.shared.deadlock_error()
         } else {
             RuntimeError::PeerTerminated { peer }
-        }
-    }
-
-    /// Rendezvous take from `rx`, registered with the watchdog. Returns the
-    /// value and the time spent blocked.
-    fn pull<T>(
-        &self,
-        rx: &Receiver<T>,
-        op: WaitOp,
-        peer: ProcessId,
-    ) -> Result<(T, Duration), RuntimeError> {
-        self.enter_blocked(op, peer);
-        loop {
-            if self.shared.aborted() {
-                self.exit_blocked();
-                return Err(self.shared.deadlock_error());
-            }
-            match rx.recv_timeout(BLOCK_POLL) {
-                Ok(v) => return Ok((v, self.exit_blocked())),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    self.exit_blocked();
-                    return Err(self.peer_gone(peer));
-                }
-            }
         }
     }
 
@@ -295,6 +284,11 @@ impl ProcessCtx {
     /// takes the message *and* acknowledges it, then returns the message's
     /// timestamp (identical on both sides).
     ///
+    /// The whole exchange rides one channel slot: the deposit of the
+    /// message wakes the receiver, and the receiver's acknowledgement
+    /// deposit (made under the same lock hold as the take) wakes this
+    /// process back — the vector exchange piggybacks on the wakeups.
+    ///
     /// # Errors
     ///
     /// [`RuntimeError::NoChannel`] if `to` is not a neighbor;
@@ -314,22 +308,49 @@ impl ProcessCtx {
             payload,
             vector: self.clock.send_payload(),
         };
-        let tx = self
-            .data_out
-            .get(&to)
-            .ok_or(RuntimeError::NoChannel { from: self.id, to })?;
-        let handoff_wait = self.push(tx, wire, WaitOp::SendTo, to)?;
-        let ack_started = Instant::now();
-        let ack_rx = self
-            .ack_in
-            .get(&to)
-            .ok_or(RuntimeError::NoChannel { from: self.id, to })?;
-        let (ack, _) = self.pull(ack_rx, WaitOp::AckFrom, to)?;
-        let ack_latency = ack_started.elapsed();
+        let slot = Arc::clone(
+            self.data_out
+                .get(&to)
+                .ok_or(RuntimeError::NoChannel { from: self.id, to })?,
+        );
+        let mut blocked = Duration::ZERO;
+        let mut st = slot.lock();
+        // In a healthy run the slot is always Empty here (each send on a
+        // channel completes its full cycle before the next), but an aborted
+        // rendezvous can leave debris; waiting keeps the state machine
+        // self-consistent and lets the abort check surface the real error.
+        let mut parked = false;
+        while !matches!(*st, SlotState::Empty) {
+            st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked)?;
+        }
+        blocked += self.unpark(parked);
+        *st = SlotState::Offered { wire, at: Instant::now() };
+        slot.notify();
+        // Wait for the receiver to take the offer and hand back its
+        // pre-update vector. While the offer sits untaken the visible state
+        // is still `Offered`, i.e. the peer has not matched yet — so the
+        // wait registers as `SendTo` (take and ack are atomic; a distinct
+        // "awaiting ack" phase is never observable with this matcher).
+        let mut parked = false;
+        let (ack, taken, acked) = loop {
+            match std::mem::replace(&mut *st, SlotState::Empty) {
+                SlotState::Acked { ack, taken, acked } => break (ack, taken, acked),
+                other => {
+                    *st = other;
+                    st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked)?;
+                }
+            }
+        };
+        slot.notify();
+        drop(st);
+        blocked += self.unpark(parked);
         let stamp = self.clock.on_acknowledgement(&ack, group);
         let me = self.recorder.process(self.id);
-        me.record_blocked((handoff_wait + ack_latency).as_nanos() as u64);
-        me.record_send(to, self.rendezvous_bytes, ack_latency.as_nanos() as u64);
+        if parked {
+            me.record_wakeup(acked.elapsed().as_nanos() as u64);
+        }
+        me.record_blocked(blocked.as_nanos() as u64);
+        me.record_send(to, self.rendezvous_bytes, taken.elapsed().as_nanos() as u64);
         if let Some(tx) = &self.observer {
             // A lagging or dropped observer must never stall the protocol.
             let _ = tx.send(LiveObservation {
@@ -349,7 +370,9 @@ impl ProcessCtx {
 
     /// Blocks until `from` sends a message; acknowledges it (carrying this
     /// process's pre-update vector back, line 04 of Figure 5) and returns
-    /// the payload and the message's timestamp.
+    /// the payload and the message's timestamp. Take and acknowledgement
+    /// happen under one lock hold, so the sender's next wakeup already
+    /// carries the ack.
     ///
     /// # Errors
     ///
@@ -359,22 +382,33 @@ impl ProcessCtx {
             return Err(self.shared.deadlock_error());
         }
         let group = self.group_for(from, self.id)?;
-        let rx = self
-            .data_in
-            .get(&from)
-            .ok_or(RuntimeError::NoChannel { from, to: self.id })?;
-        let (wire, recv_wait) = self.pull(rx, WaitOp::ReceiveFrom, from)?;
+        let slot = Arc::clone(
+            self.data_in
+                .get(&from)
+                .ok_or(RuntimeError::NoChannel { from, to: self.id })?,
+        );
+        let mut st = slot.lock();
+        let mut parked = false;
+        let (wire, offered_at) = loop {
+            match std::mem::replace(&mut *st, SlotState::Empty) {
+                SlotState::Offered { wire, at } => break (wire, at),
+                other => {
+                    *st = other;
+                    st = self.park_step(&slot, st, WaitOp::ReceiveFrom, from, &mut parked)?;
+                }
+            }
+        };
+        let recv_wait = self.unpark(parked);
+        let taken = Instant::now();
         let (ack, stamp) = self.clock.on_receive(&wire.vector, group);
-        let ack_tx = self
-            .ack_out
-            .get(&from)
-            .ok_or(RuntimeError::NoChannel { from, to: self.id })?;
-        // Handing the ack back is itself a rendezvous: the sender is (or is
-        // about to be) parked waiting for it.
-        let ack_wait = self.push(ack_tx, ack, WaitOp::SendTo, from)?;
+        *st = SlotState::Acked { ack, taken, acked: Instant::now() };
+        slot.notify();
+        drop(st);
         let me = self.recorder.process(self.id);
+        if parked {
+            me.record_wakeup(offered_at.elapsed().as_nanos() as u64);
+        }
         me.record_receive(from, self.rendezvous_bytes, recv_wait.as_nanos() as u64);
-        me.record_blocked(ack_wait.as_nanos() as u64);
         self.log.push(LogEntry::Received {
             from,
             key: wire.key,
@@ -401,6 +435,7 @@ pub struct Runtime {
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
     watchdog: Option<Duration>,
     ring_capacity: usize,
+    matcher: Matcher,
 }
 
 /// Default stall timeout before the watchdog declares a deadlock.
@@ -415,7 +450,8 @@ impl Runtime {
     ///
     /// The deadlock watchdog is on by default with
     /// [`DEFAULT_WATCHDOG_TIMEOUT`]; tune it with [`Runtime::with_watchdog`]
-    /// or disable it with [`Runtime::without_watchdog`].
+    /// or disable it with [`Runtime::without_watchdog`]. The rendezvous
+    /// matcher defaults to [`Matcher::Parking`].
     pub fn new(topology: &Graph, decomposition: &EdgeDecomposition) -> Self {
         Runtime {
             topology: topology.clone(),
@@ -423,11 +459,12 @@ impl Runtime {
             observer: None,
             watchdog: Some(DEFAULT_WATCHDOG_TIMEOUT),
             ring_capacity: DEFAULT_EVENT_RING,
+            matcher: Matcher::default(),
         }
     }
 
-    /// Aborts a run with [`RuntimeError::Deadlock`] once every live process
-    /// has been blocked in a rendezvous for `timeout`.
+    /// Aborts a run with [`RuntimeError::Deadlock`] once a wait-for cycle
+    /// of processes has been parked in rendezvous operations for `timeout`.
     #[must_use]
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
         self.watchdog = Some(timeout);
@@ -439,6 +476,14 @@ impl Runtime {
     #[must_use]
     pub fn without_watchdog(mut self) -> Self {
         self.watchdog = None;
+        self
+    }
+
+    /// Selects how blocked rendezvous endpoints wait for their partner
+    /// (parking by default; polling is kept as a benchmark baseline).
+    #[must_use]
+    pub fn with_matcher(mut self, matcher: Matcher) -> Self {
+        self.matcher = matcher;
         self
     }
 
@@ -466,12 +511,14 @@ impl Runtime {
     ///
     /// **Deadlock handling:** rendezvous semantics mean mismatched behaviors
     /// (everyone sending, nobody receiving) would block forever, exactly as
-    /// real CSP programs do. A watchdog thread monitors the run and, once
-    /// every live process has been blocked beyond the configured timeout,
-    /// aborts it with [`RuntimeError::Deadlock`] carrying a wait-for-graph
-    /// diagnosis. The `synctime-sim` crate's scheduler detects the same
-    /// deadlocks deterministically and instantly; the runtime's watchdog is
-    /// the wall-clock analogue for real threads.
+    /// real CSP programs do. A watchdog thread monitors the parked-thread
+    /// registry and, once the wait-for graph contains a cycle whose members
+    /// have all been parked beyond the configured timeout, aborts the run
+    /// with [`RuntimeError::Deadlock`] carrying the diagnosis. Slow-but-live
+    /// runs — arbitrarily long parks whose wait chains end in a running
+    /// process — are never aborted. The `synctime-sim` crate's scheduler
+    /// detects the same deadlocks deterministically and instantly; the
+    /// runtime's watchdog is the wall-clock analogue for real threads.
     ///
     /// # Errors
     ///
@@ -484,50 +531,37 @@ impl Runtime {
     pub fn run(&self, behaviors: Vec<Behavior>) -> Result<RuntimeRun, RuntimeError> {
         let n = self.topology.node_count();
         assert_eq!(behaviors.len(), n, "need exactly one behavior per process");
-        // Wire up zero-capacity (rendezvous) channels for both directions
-        // of every topology edge, plus the acknowledgement back-channels.
-        let mut data_out: Vec<HashMap<ProcessId, SyncSender<Wire>>> =
+        // One rendezvous slot per directed channel; both endpoints share it.
+        let mut data_out: Vec<HashMap<ProcessId, Arc<ChannelSlot>>> =
             (0..n).map(|_| HashMap::new()).collect();
-        let mut data_in: Vec<HashMap<ProcessId, Receiver<Wire>>> =
+        let mut data_in: Vec<HashMap<ProcessId, Arc<ChannelSlot>>> =
             (0..n).map(|_| HashMap::new()).collect();
-        let mut ack_out: Vec<HashMap<ProcessId, SyncSender<VectorTime>>> =
-            (0..n).map(|_| HashMap::new()).collect();
-        let mut ack_in: Vec<HashMap<ProcessId, Receiver<VectorTime>>> =
-            (0..n).map(|_| HashMap::new()).collect();
+        let mut slots = Vec::with_capacity(2 * self.topology.edge_count());
         for e in self.topology.edges() {
             for (u, v) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
-                let (dtx, drx) = sync_channel::<Wire>(0);
-                data_out[u].insert(v, dtx);
-                data_in[v].insert(u, drx);
-                let (atx, arx) = sync_channel::<VectorTime>(0);
-                ack_out[v].insert(u, atx);
-                ack_in[u].insert(v, arx);
+                let slot = Arc::new(ChannelSlot::new());
+                data_out[u].insert(v, Arc::clone(&slot));
+                data_in[v].insert(u, Arc::clone(&slot));
+                slots.push(slot);
             }
         }
         let dim = self.decomposition.len();
         // One full rendezvous on the wire: key + payload + d-component
         // vector out, d-component vector back on the acknowledgement.
         let rendezvous_bytes = 16 + 16 * dim as u64;
-        let shared = Arc::new(RunShared::new(n));
+        let shared = Arc::new(RunShared::new(n, slots));
         let recorder = Arc::new(Recorder::new(n, self.ring_capacity));
         let mut ctxs: Vec<ProcessCtx> = Vec::with_capacity(n);
-        // Assemble contexts back-to-front so we can pop from the vectors.
-        let mut parts: Vec<_> = data_out
-            .into_iter()
-            .zip(data_in)
-            .zip(ack_out.into_iter().zip(ack_in))
-            .collect();
-        for (id, ((d_out, d_in), (a_out, a_in))) in parts.drain(..).enumerate() {
+        for (id, (d_out, d_in)) in data_out.into_iter().zip(data_in).enumerate() {
             ctxs.push(ProcessCtx {
                 id,
                 clock: ProcessClock::new(dim),
                 decomposition: self.decomposition.clone(),
                 observer: self.observer.clone(),
                 seq: 0,
+                matcher: self.matcher,
                 data_out: d_out,
                 data_in: d_in,
-                ack_out: a_out,
-                ack_in: a_in,
                 log: Vec::new(),
                 shared: Arc::clone(&shared),
                 recorder: Arc::clone(&recorder),
@@ -548,9 +582,11 @@ impl Runtime {
                     s.spawn(move || {
                         let result = behavior(&mut ctx);
                         // Finished processes are no longer candidates for a
-                        // deadlock; tell the watchdog before dropping the
-                        // context (which disconnects our channels).
+                        // deadlock; tell the watchdog and wake parked peers
+                        // so they observe the exit instead of waiting for
+                        // the park backstop.
                         shared.live[ctx.id].store(false, Ordering::Release);
+                        shared.wake_all();
                         result?;
                         Ok(ctx.log)
                     })
@@ -608,9 +644,9 @@ impl RuntimeRun {
         &self.logs
     }
 
-    /// Observability summary of the run: message counts, ack-latency
-    /// percentiles, wire bytes, blocking time, and the largest vector
-    /// component (see [`RunStats`]).
+    /// Observability summary of the run: message counts, ack-latency and
+    /// wakeup-latency percentiles, wire bytes, blocking time, and the
+    /// largest vector component (see [`RunStats`]).
     pub fn stats(&self) -> &RunStats {
         &self.stats
     }
@@ -712,6 +748,18 @@ mod tests {
         assert_eq!(stamps.dim(), 1);
         assert!(stamps.encodes(&Oracle::new(&comp)));
         // Scalar components strictly increase: the path is a star (Lemma 1).
+        let vals: Vec<u64> = stamps.vectors().iter().map(|v| v.component(0)).collect();
+        assert_eq!(vals, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn polling_matcher_produces_identical_stamps() {
+        let (rt, behaviors) = ping_pong(5);
+        let rt = rt.with_matcher(Matcher::Polling);
+        let run = rt.run(behaviors).unwrap();
+        let (comp, stamps) = run.reconstruct().unwrap();
+        assert_eq!(comp.message_count(), 10);
+        assert!(stamps.encodes(&Oracle::new(&comp)));
         let vals: Vec<u64> = stamps.vectors().iter().map(|v| v.component(0)).collect();
         assert_eq!(vals, (1..=10).collect::<Vec<u64>>());
     }
@@ -904,6 +952,32 @@ mod tests {
     }
 
     #[test]
+    fn partial_deadlock_detected_while_others_run() {
+        // P1 and P2 deadlock on each other while P0 keeps napping (live,
+        // never parked). PR 1's all-blocked detector would have waited for
+        // P0 forever; the cycle detector aborts on the {1, 2} cycle alone.
+        let topo = topology::path(3);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(100));
+        let err = rt
+            .run(vec![
+                Box::new(|_| {
+                    std::thread::sleep(Duration::from_millis(800));
+                    Ok(())
+                }),
+                Box::new(|ctx| ctx.receive_from(2).map(|_| ())),
+                Box::new(|ctx| ctx.receive_from(1).map(|_| ())),
+            ])
+            .unwrap_err();
+        match err {
+            RuntimeError::Deadlock { diagnosis } => {
+                assert_eq!(diagnosis.cycle, vec![1, 2], "wrong cycle: {diagnosis}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn clean_run_never_trips_the_watchdog() {
         // A tight watchdog over many rounds: every rendezvous completes well
         // inside the timeout, so the run must finish normally.
@@ -916,8 +990,8 @@ mod tests {
     #[test]
     fn slow_but_live_processes_are_not_deadlocked() {
         // One process naps longer than the watchdog timeout while its peer
-        // blocks in receive. Not a deadlock: the napper is not blocked in a
-        // rendezvous, so the "every live process blocked" condition fails.
+        // parks in receive. Not a deadlock: the parked peer's wait chain
+        // ends at the napper, which is not parked — no cycle.
         let topo = topology::path(2);
         let dec = decompose::best_known(&topo);
         let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(100));
@@ -953,6 +1027,11 @@ mod tests {
         assert_eq!(stats.latency_sample_dropped, 0);
         assert_eq!(stats.per_process[0].sends, 5);
         assert_eq!(stats.per_process[1].receives, 5);
+        // Strict ping-pong alternation: at every rendezvous one side arrives
+        // second and parks, so wakeup samples exist and are ordered.
+        assert!(stats.wakeups > 0);
+        assert!(stats.wakeup_p99_ns >= stats.wakeup_p50_ns);
+        assert!(stats.wakeup_max_ns >= stats.wakeup_p99_ns);
         // The JSON rendering round-trips.
         let back = synctime_obs::RunStats::from_json(&stats.to_json()).unwrap();
         assert_eq!(&back, stats);

@@ -9,6 +9,9 @@
 #   3. full workspace tests
 #   4. workspace doctests
 #   5. strict doc build: `cargo doc --no-deps` with rustdoc warnings as errors
+#   6. bench-smoke: the online_runtime suite at 1-iteration scale, checking
+#      both its own smoke report and the checked-in results/ JSON against
+#      the synctime/bench_online_runtime/v1 schema
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,11 @@ run cargo test -q
 run cargo test --workspace -q
 run cargo test --doc --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+SMOKE_OUT="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT"' EXIT
+# Absolute paths: cargo runs bench binaries from the package directory.
+run cargo bench -q -p synctime-bench --bench online_runtime -- \
+  --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_online_runtime.json"
 
 echo "==> verify: all green"

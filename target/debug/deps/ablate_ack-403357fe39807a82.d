@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ack-403357fe39807a82.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/debug/deps/ablate_ack-403357fe39807a82: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

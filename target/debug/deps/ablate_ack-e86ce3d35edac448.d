@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ack-e86ce3d35edac448.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/debug/deps/ablate_ack-e86ce3d35edac448: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

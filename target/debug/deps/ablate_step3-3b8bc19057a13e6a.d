@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_step3-3b8bc19057a13e6a.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/debug/deps/ablate_step3-3b8bc19057a13e6a: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_step3-fb3a0792f4653974.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/debug/deps/ablate_step3-fb3a0792f4653974: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decompose_scaling-c4f7dccc9158ed60.d: crates/bench/benches/decompose_scaling.rs
+
+/root/repo/target/debug/deps/decompose_scaling-c4f7dccc9158ed60: crates/bench/benches/decompose_scaling.rs
+
+crates/bench/benches/decompose_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection-a082fb873bd5885c.d: crates/bench/benches/detection.rs
+
+/root/repo/target/debug/deps/detection-a082fb873bd5885c: crates/bench/benches/detection.rs
+
+crates/bench/benches/detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_timestamps-ca081e2ae0653e22.d: tests/differential_timestamps.rs
+
+/root/repo/target/debug/deps/differential_timestamps-ca081e2ae0653e22: tests/differential_timestamps.rs
+
+tests/differential_timestamps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_reproductions-828bf44d701d1c66.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/debug/deps/fig_reproductions-828bf44d701d1c66: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

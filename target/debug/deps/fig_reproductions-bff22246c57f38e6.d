@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_reproductions-bff22246c57f38e6.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/debug/deps/fig_reproductions-bff22246c57f38e6: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

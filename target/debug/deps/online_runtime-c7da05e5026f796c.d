@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_runtime-c7da05e5026f796c.d: crates/bench/benches/online_runtime.rs
+
+/root/repo/target/debug/deps/online_runtime-c7da05e5026f796c: crates/bench/benches/online_runtime.rs
+
+crates/bench/benches/online_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_scaling-60f48f2630a890c5.d: crates/bench/benches/oracle_scaling.rs
+
+/root/repo/target/debug/deps/oracle_scaling-60f48f2630a890c5: crates/bench/benches/oracle_scaling.rs
+
+crates/bench/benches/oracle_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precedence-eec697a0933a4fe5.d: crates/bench/benches/precedence.rs
+
+/root/repo/target/debug/deps/precedence-eec697a0933a4fe5: crates/bench/benches/precedence.rs
+
+crates/bench/benches/precedence.rs:

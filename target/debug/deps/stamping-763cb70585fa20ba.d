@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stamping-763cb70585fa20ba.d: crates/bench/benches/stamping.rs
+
+/root/repo/target/debug/deps/stamping-763cb70585fa20ba: crates/bench/benches/stamping.rs
+
+crates/bench/benches/stamping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synctime_bench-bf9fea3d39f179dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/synctime_bench-bf9fea3d39f179dc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/synctime_graph-6f62b26fbd1d68c1.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/synctime_graph-6f62b26fbd1d68c1.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/libsynctime_graph-6f62b26fbd1d68c1.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/libsynctime_graph-6f62b26fbd1d68c1.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/libsynctime_graph-6f62b26fbd1d68c1.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/libsynctime_graph-6f62b26fbd1d68c1.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/error.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/cover.rs:
 crates/graph/src/decompose.rs:
+crates/graph/src/incremental.rs:
 crates/graph/src/topology.rs:

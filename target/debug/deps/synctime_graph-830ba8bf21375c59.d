@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/synctime_graph-830ba8bf21375c59.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/synctime_graph-830ba8bf21375c59.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/synctime_graph-830ba8bf21375c59: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/synctime_graph-830ba8bf21375c59: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/error.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/cover.rs:
 crates/graph/src/decompose.rs:
+crates/graph/src/incremental.rs:
 crates/graph/src/topology.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/synctime_graph-d17bec84ff2c3531.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/synctime_graph-d17bec84ff2c3531.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/libsynctime_graph-d17bec84ff2c3531.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/libsynctime_graph-d17bec84ff2c3531.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/libsynctime_graph-d17bec84ff2c3531.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/libsynctime_graph-d17bec84ff2c3531.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/error.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/cover.rs:
 crates/graph/src/decompose.rs:
+crates/graph/src/incremental.rs:
 crates/graph/src/topology.rs:

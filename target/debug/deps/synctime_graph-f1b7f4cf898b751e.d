@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/synctime_graph-f1b7f4cf898b751e.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/synctime_graph-f1b7f4cf898b751e.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/debug/deps/libsynctime_graph-f1b7f4cf898b751e.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/debug/deps/libsynctime_graph-f1b7f4cf898b751e.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/error.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/cover.rs:
 crates/graph/src/decompose.rs:
+crates/graph/src/incremental.rs:
 crates/graph/src/topology.rs:

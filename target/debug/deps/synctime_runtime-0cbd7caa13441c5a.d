@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/synctime_runtime-0cbd7caa13441c5a.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-0cbd7caa13441c5a.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/libsynctime_runtime-0cbd7caa13441c5a.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/libsynctime_runtime-0cbd7caa13441c5a.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/libsynctime_runtime-0cbd7caa13441c5a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/libsynctime_runtime-0cbd7caa13441c5a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

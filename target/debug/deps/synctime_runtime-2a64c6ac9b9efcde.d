@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/synctime_runtime-2a64c6ac9b9efcde.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-2a64c6ac9b9efcde.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/synctime_runtime-2a64c6ac9b9efcde: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-2a64c6ac9b9efcde: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

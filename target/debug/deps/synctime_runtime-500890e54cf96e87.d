@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/synctime_runtime-500890e54cf96e87.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-500890e54cf96e87.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/libsynctime_runtime-500890e54cf96e87.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/libsynctime_runtime-500890e54cf96e87.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/synctime_runtime-a838675205c5abe5.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-a838675205c5abe5.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/synctime_runtime-a838675205c5abe5: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-a838675205c5abe5: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

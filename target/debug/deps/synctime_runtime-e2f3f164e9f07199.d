@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/synctime_runtime-e2f3f164e9f07199.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/synctime_runtime-e2f3f164e9f07199.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/libsynctime_runtime-e2f3f164e9f07199.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/libsynctime_runtime-e2f3f164e9f07199.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/debug/deps/libsynctime_runtime-e2f3f164e9f07199.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/debug/deps/libsynctime_runtime-e2f3f164e9f07199.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_acyclic_opt-9fcddda60c2fb0c4.d: crates/bench/src/bin/table_acyclic_opt.rs
+
+/root/repo/target/debug/deps/table_acyclic_opt-9fcddda60c2fb0c4: crates/bench/src/bin/table_acyclic_opt.rs
+
+crates/bench/src/bin/table_acyclic_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_acyclic_opt-cc2d958b66f00b05.d: crates/bench/src/bin/table_acyclic_opt.rs
+
+/root/repo/target/debug/deps/table_acyclic_opt-cc2d958b66f00b05: crates/bench/src/bin/table_acyclic_opt.rs
+
+crates/bench/src/bin/table_acyclic_opt.rs:

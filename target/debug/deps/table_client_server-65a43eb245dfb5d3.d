@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_client_server-65a43eb245dfb5d3.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/debug/deps/table_client_server-65a43eb245dfb5d3: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_client_server-9aa96eafb09bfc3a.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/debug/deps/table_client_server-9aa96eafb09bfc3a: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_clock_size-707735d7042c3db3.d: crates/bench/src/bin/table_clock_size.rs
+
+/root/repo/target/debug/deps/table_clock_size-707735d7042c3db3: crates/bench/src/bin/table_clock_size.rs
+
+crates/bench/src/bin/table_clock_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_clock_size-8a8bfff2063d9b9d.d: crates/bench/src/bin/table_clock_size.rs
+
+/root/repo/target/debug/deps/table_clock_size-8a8bfff2063d9b9d: crates/bench/src/bin/table_clock_size.rs
+
+crates/bench/src/bin/table_clock_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_correctness-cb4525e1868ce470.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/debug/deps/table_correctness-cb4525e1868ce470: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_correctness-f497b1e637dcb7c5.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/debug/deps/table_correctness-f497b1e637dcb7c5: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_dimension_gap-2dd54f406e091b2e.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/debug/deps/table_dimension_gap-2dd54f406e091b2e: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

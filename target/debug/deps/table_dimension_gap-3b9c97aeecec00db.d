@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_dimension_gap-3b9c97aeecec00db.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/debug/deps/table_dimension_gap-3b9c97aeecec00db: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_greedy_ratio-0e847169820ea17b.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/debug/deps/table_greedy_ratio-0e847169820ea17b: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

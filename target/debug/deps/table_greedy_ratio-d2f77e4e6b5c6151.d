@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_greedy_ratio-d2f77e4e6b5c6151.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/debug/deps/table_greedy_ratio-d2f77e4e6b5c6151: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_plausible-2ce1c0d82714b4eb.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/debug/deps/table_plausible-2ce1c0d82714b4eb: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

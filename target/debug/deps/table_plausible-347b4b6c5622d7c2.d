@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_plausible-347b4b6c5622d7c2.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/debug/deps/table_plausible-347b4b6c5622d7c2: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_runtime_obs-8e4b0ed5312f2f8d.d: crates/bench/src/bin/table_runtime_obs.rs
+
+/root/repo/target/debug/deps/table_runtime_obs-8e4b0ed5312f2f8d: crates/bench/src/bin/table_runtime_obs.rs
+
+crates/bench/src/bin/table_runtime_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_width-3d247d1b036dc9c1.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/debug/deps/table_width-3d247d1b036dc9c1: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

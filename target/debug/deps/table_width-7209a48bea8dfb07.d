@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_width-7209a48bea8dfb07.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/debug/deps/table_width-7209a48bea8dfb07: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

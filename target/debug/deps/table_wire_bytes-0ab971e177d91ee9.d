@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_wire_bytes-0ab971e177d91ee9.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/debug/deps/table_wire_bytes-0ab971e177d91ee9: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

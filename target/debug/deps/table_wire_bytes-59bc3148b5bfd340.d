@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_wire_bytes-59bc3148b5bfd340.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/debug/deps/table_wire_bytes-59bc3148b5bfd340: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

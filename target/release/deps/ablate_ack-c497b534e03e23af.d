@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_ack-c497b534e03e23af.d: crates/bench/src/bin/ablate_ack.rs
+
+/root/repo/target/release/deps/ablate_ack-c497b534e03e23af: crates/bench/src/bin/ablate_ack.rs
+
+crates/bench/src/bin/ablate_ack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_step3-a34613d032421d31.d: crates/bench/src/bin/ablate_step3.rs
+
+/root/repo/target/release/deps/ablate_step3-a34613d032421d31: crates/bench/src/bin/ablate_step3.rs
+
+crates/bench/src/bin/ablate_step3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_reproductions-dde9923dd68cf90a.d: crates/bench/src/bin/fig_reproductions.rs
+
+/root/repo/target/release/deps/fig_reproductions-dde9923dd68cf90a: crates/bench/src/bin/fig_reproductions.rs
+
+crates/bench/src/bin/fig_reproductions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/online_runtime-7c569c8fe25efa72.d: crates/bench/benches/online_runtime.rs
+
+/root/repo/target/release/deps/online_runtime-7c569c8fe25efa72: crates/bench/benches/online_runtime.rs
+
+crates/bench/benches/online_runtime.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/synctime_graph-ec0f71fb11d13e55.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/release/deps/synctime_graph-ec0f71fb11d13e55.d: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/release/deps/libsynctime_graph-ec0f71fb11d13e55.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/release/deps/libsynctime_graph-ec0f71fb11d13e55.rlib: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
-/root/repo/target/release/deps/libsynctime_graph-ec0f71fb11d13e55.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/topology.rs
+/root/repo/target/release/deps/libsynctime_graph-ec0f71fb11d13e55.rmeta: crates/graph/src/lib.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/cover.rs crates/graph/src/decompose.rs crates/graph/src/incremental.rs crates/graph/src/topology.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/error.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/cover.rs:
 crates/graph/src/decompose.rs:
+crates/graph/src/incremental.rs:
 crates/graph/src/topology.rs:

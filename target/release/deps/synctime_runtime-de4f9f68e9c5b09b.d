@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/synctime_runtime-de4f9f68e9c5b09b.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/release/deps/synctime_runtime-de4f9f68e9c5b09b.d: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/release/deps/libsynctime_runtime-de4f9f68e9c5b09b.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/release/deps/libsynctime_runtime-de4f9f68e9c5b09b.rlib: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
-/root/repo/target/release/deps/libsynctime_runtime-de4f9f68e9c5b09b.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/runtime.rs
+/root/repo/target/release/deps/libsynctime_runtime-de4f9f68e9c5b09b.rmeta: crates/runtime/src/lib.rs crates/runtime/src/error.rs crates/runtime/src/matcher.rs crates/runtime/src/runtime.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/error.rs:
+crates/runtime/src/matcher.rs:
 crates/runtime/src/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_acyclic_opt-eaaf885f7dd85f01.d: crates/bench/src/bin/table_acyclic_opt.rs
+
+/root/repo/target/release/deps/table_acyclic_opt-eaaf885f7dd85f01: crates/bench/src/bin/table_acyclic_opt.rs
+
+crates/bench/src/bin/table_acyclic_opt.rs:

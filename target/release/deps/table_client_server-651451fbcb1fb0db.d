@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_client_server-651451fbcb1fb0db.d: crates/bench/src/bin/table_client_server.rs
+
+/root/repo/target/release/deps/table_client_server-651451fbcb1fb0db: crates/bench/src/bin/table_client_server.rs
+
+crates/bench/src/bin/table_client_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_clock_size-6f95c56e417fdc80.d: crates/bench/src/bin/table_clock_size.rs
+
+/root/repo/target/release/deps/table_clock_size-6f95c56e417fdc80: crates/bench/src/bin/table_clock_size.rs
+
+crates/bench/src/bin/table_clock_size.rs:

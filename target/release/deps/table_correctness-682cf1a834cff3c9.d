@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_correctness-682cf1a834cff3c9.d: crates/bench/src/bin/table_correctness.rs
+
+/root/repo/target/release/deps/table_correctness-682cf1a834cff3c9: crates/bench/src/bin/table_correctness.rs
+
+crates/bench/src/bin/table_correctness.rs:

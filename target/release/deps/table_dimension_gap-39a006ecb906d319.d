@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_dimension_gap-39a006ecb906d319.d: crates/bench/src/bin/table_dimension_gap.rs
+
+/root/repo/target/release/deps/table_dimension_gap-39a006ecb906d319: crates/bench/src/bin/table_dimension_gap.rs
+
+crates/bench/src/bin/table_dimension_gap.rs:

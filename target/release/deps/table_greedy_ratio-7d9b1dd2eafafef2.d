@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_greedy_ratio-7d9b1dd2eafafef2.d: crates/bench/src/bin/table_greedy_ratio.rs
+
+/root/repo/target/release/deps/table_greedy_ratio-7d9b1dd2eafafef2: crates/bench/src/bin/table_greedy_ratio.rs
+
+crates/bench/src/bin/table_greedy_ratio.rs:

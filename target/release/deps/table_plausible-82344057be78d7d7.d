@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_plausible-82344057be78d7d7.d: crates/bench/src/bin/table_plausible.rs
+
+/root/repo/target/release/deps/table_plausible-82344057be78d7d7: crates/bench/src/bin/table_plausible.rs
+
+crates/bench/src/bin/table_plausible.rs:

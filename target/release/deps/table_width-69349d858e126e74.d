@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_width-69349d858e126e74.d: crates/bench/src/bin/table_width.rs
+
+/root/repo/target/release/deps/table_width-69349d858e126e74: crates/bench/src/bin/table_width.rs
+
+crates/bench/src/bin/table_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_wire_bytes-1019fce55b0c6607.d: crates/bench/src/bin/table_wire_bytes.rs
+
+/root/repo/target/release/deps/table_wire_bytes-1019fce55b0c6607: crates/bench/src/bin/table_wire_bytes.rs
+
+crates/bench/src/bin/table_wire_bytes.rs:

@@ -1,0 +1,275 @@
+//! Differential battery: the online algorithm (Figure 5 / Theorem 4), the
+//! offline chain realizer (Figure 9 / Theorem 8), and the incremental
+//! decomposition cache must all tell the same story about `(M, ↦)`.
+//!
+//! Every property here compares two *independent* implementations pairwise
+//! over every message pair, rather than trusting a single `encodes` bit:
+//! the ground-truth oracle (transitive closure over the event graph), the
+//! online stamper, the offline stamper, and — for dynamic topologies — an
+//! [`OnlineSession`] rebased across live reconfigurations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synctime::prelude::*;
+use synctime::sim::workload::RandomWorkload;
+use synctime_graph::{decompose, IncrementalDecomposition};
+
+/// First pairwise disagreement between a stamp set and the oracle's `↦`,
+/// if any: both the order and the incomparability must match (Theorem 4's
+/// "if and only if").
+fn first_encoding_mismatch(stamps: &MessageTimestamps, oracle: &Oracle) -> Option<String> {
+    let n = stamps.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (m1, m2) = (MessageId(i), MessageId(j));
+            let truth = oracle.synchronously_precedes(m1, m2);
+            let claimed = stamps.precedes(m1, m2);
+            if truth != claimed {
+                return Some(format!(
+                    "m{i} ↦ m{j} is {truth} but vectors {} vs {} say {claimed}",
+                    stamps.vector(m1),
+                    stamps.vector(m2)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// First pair on which two stamp sets (possibly of different dimension)
+/// disagree about the order of the same message set.
+fn first_isomorphism_mismatch(a: &MessageTimestamps, b: &MessageTimestamps) -> Option<String> {
+    let n = a.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (m1, m2) = (MessageId(i), MessageId(j));
+            if a.precedes(m1, m2) != b.precedes(m1, m2) {
+                return Some(format!(
+                    "stamp sets disagree on (m{i}, m{j}): {} vs {} against {} vs {}",
+                    a.vector(m1),
+                    a.vector(m2),
+                    b.vector(m1),
+                    b.vector(m2)
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn random_computation(topo: &Graph, messages: usize, seed: u64) -> SyncComputation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RandomWorkload::messages(messages)
+        .with_internal_events(messages / 4)
+        .generate(topo, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Theorem 4, checked pairwise: the online vectors order two messages
+    /// exactly when `↦` does, and leave them incomparable exactly when the
+    /// messages are concurrent.
+    #[test]
+    fn online_vectors_encode_mapsto_exactly(
+        n in 4usize..9,
+        extra in 0usize..5,
+        msgs in 1usize..45,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        let comp = random_computation(&topo, msgs, seed.wrapping_add(7));
+        let oracle = Oracle::new(&comp);
+        let dec = decompose::best_known(&topo);
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        prop_assert_eq!(stamps.dim(), dec.len());
+        let mismatch = first_encoding_mismatch(&stamps, &oracle);
+        prop_assert!(mismatch.is_none(), "online: {}", mismatch.unwrap());
+    }
+
+    /// Theorem 8, checked pairwise: the offline chain-realizer vectors are
+    /// an order embedding of `(M, ↦)` too, with dimension bounded by the
+    /// realizer the poset admits.
+    #[test]
+    fn offline_chain_realizer_encodes_mapsto(
+        n in 4usize..9,
+        extra in 0usize..5,
+        msgs in 1usize..45,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        let comp = random_computation(&topo, msgs, seed.wrapping_add(13));
+        let oracle = Oracle::new(&comp);
+        let stamps = offline::stamp_computation(&comp);
+        let mismatch = first_encoding_mismatch(&stamps, &oracle);
+        prop_assert!(mismatch.is_none(), "offline: {}", mismatch.unwrap());
+    }
+
+    /// The two algorithms are order-isomorphic on the same computation:
+    /// any pair ordered by the online vectors is ordered the same way by
+    /// the offline vectors, although their dimensions generally differ.
+    #[test]
+    fn online_and_offline_stamps_are_order_isomorphic(
+        n in 4usize..9,
+        extra in 0usize..5,
+        msgs in 1usize..45,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        let comp = random_computation(&topo, msgs, seed.wrapping_add(29));
+        let dec = decompose::best_known(&topo);
+        let online = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let off = offline::stamp_computation(&comp);
+        let mismatch = first_isomorphism_mismatch(&online, &off);
+        prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+    }
+
+    /// The incremental cache is equivalent to batch decomposition: after a
+    /// random edit sequence the cached decomposition is valid for the edited
+    /// graph, within the Theorem 6 factor of the exact optimum, and stamps
+    /// computations on the final topology exactly like a from-scratch
+    /// greedy decomposition would.
+    #[test]
+    fn incremental_cache_matches_batch_greedy_after_random_edits(
+        n in 4usize..8,
+        extra in 0usize..4,
+        edits in 1usize..14,
+        msgs in 1usize..30,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = graph::topology::random_connected(n, extra, &mut rng);
+        let mut cache = IncrementalDecomposition::new(&base);
+        for k in 0..edits {
+            let g = cache.graph();
+            let existing: Vec<Edge> = g.edges().collect();
+            let remove = k % 2 == 0 && existing.len() > 1;
+            if remove {
+                let e = existing[rng.gen_range(0..existing.len())];
+                cache.remove_edge(e.lo(), e.hi()).unwrap();
+            } else if existing.len() < n * (n - 1) / 2 {
+                let (u, v) = loop {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u != v && !g.has_edge(u, v) {
+                        break (u, v);
+                    }
+                };
+                cache.insert_edge(u, v).unwrap();
+            }
+        }
+        let g = cache.graph().clone();
+        cache.decomposition().validate(&g).unwrap();
+        // Theorem 6's guarantee, held against the *exact* optimum (the
+        // graphs are small enough for the branch-and-bound solver).
+        let alpha = decompose::alpha(&g);
+        prop_assert!(
+            cache.decomposition().len() <= 2 * alpha.max(1),
+            "cache kept {} groups but α = {alpha}",
+            cache.decomposition().len()
+        );
+        // Both decompositions stamp the same computation correctly and
+        // order-isomorphically.
+        let comp = random_computation(&g, msgs, seed.wrapping_add(31));
+        let oracle = Oracle::new(&comp);
+        let via_cache = OnlineStamper::new(cache.decomposition())
+            .stamp_computation(&comp)
+            .unwrap();
+        let via_batch = OnlineStamper::new(&decompose::greedy(&g))
+            .stamp_computation(&comp)
+            .unwrap();
+        let mismatch = first_encoding_mismatch(&via_cache, &oracle);
+        prop_assert!(mismatch.is_none(), "cached dec: {}", mismatch.unwrap());
+        let mismatch = first_isomorphism_mismatch(&via_cache, &via_batch);
+        prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+    }
+
+    /// Live reconfiguration keeps Theorem 4 for everything stamped after
+    /// the remap: a session that survives an edge removal (groups may
+    /// dissolve and shift) still orders its *subsequent* stamps exactly as
+    /// `↦` orders the messages, history included.
+    #[test]
+    fn suffix_stamps_after_reconfiguration_encode_mapsto(
+        n in 4usize..8,
+        extra in 1usize..5,
+        prefix in 1usize..20,
+        suffix in 1usize..20,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = graph::topology::random_connected(n, extra, &mut rng);
+        let mut cache = IncrementalDecomposition::new(&base);
+        let mut session = OnlineSession::new(cache.decomposition(), n);
+        let mut b = Builder::new(n);
+
+        let send_random = |session: &mut OnlineSession,
+                               b: &mut Builder,
+                               g: &Graph,
+                               rng: &mut StdRng|
+         -> (MessageId, VectorTime) {
+            let edges: Vec<Edge> = g.edges().collect();
+            let e = edges[rng.gen_range(0..edges.len())];
+            let (s, r) = if rng.gen::<bool>() {
+                (e.lo(), e.hi())
+            } else {
+                (e.hi(), e.lo())
+            };
+            let t = session.stamp(s, r).expect("channel is in the decomposition");
+            let id = b.message(s, r).expect("message over an existing channel");
+            (id, t)
+        };
+
+        for _ in 0..prefix {
+            let g = cache.graph().clone();
+            send_random(&mut session, &mut b, &g, &mut rng);
+        }
+
+        // Remove one random edge (keeping at least one) and rebase the
+        // running session onto the patched decomposition.
+        let existing: Vec<Edge> = cache.graph().edges().collect();
+        prop_assume!(existing.len() > 1);
+        let e = existing[rng.gen_range(0..existing.len())];
+        let remap = cache.remove_edge(e.lo(), e.hi()).unwrap();
+        session.reconfigure(cache.decomposition(), &remap).unwrap();
+
+        let mut stamped = Vec::new();
+        for _ in 0..suffix {
+            let g = cache.graph().clone();
+            stamped.push(send_random(&mut session, &mut b, &g, &mut rng));
+        }
+
+        let comp = b.build();
+        let oracle = Oracle::new(&comp);
+        for &(m1, ref v1) in &stamped {
+            for &(m2, ref v2) in &stamped {
+                if m1 == m2 {
+                    continue;
+                }
+                let truth = oracle.synchronously_precedes(m1, m2);
+                let claimed = matches!(
+                    v1.compare(v2),
+                    VectorOrder::Less
+                );
+                prop_assert_eq!(
+                    truth,
+                    claimed,
+                    "post-remap: {m1} ↦ {m2} is {} but {} vs {} say {}",
+                    truth,
+                    v1,
+                    v2,
+                    claimed
+                );
+            }
+        }
+    }
+}

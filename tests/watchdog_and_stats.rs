@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use synctime::prelude::*;
-use synctime::runtime::{RunStats, RuntimeError, WaitOp};
+use synctime::runtime::{Matcher, RunStats, RuntimeError, WaitOp};
 use synctime_graph::{decompose, topology};
 
 /// A deliberately deadlocked 2-process program: both sides block in
@@ -53,6 +53,113 @@ fn three_process_send_cycle_is_diagnosed() {
     };
     assert_eq!(diagnosis.cycle, vec![0, 1, 2]);
     assert!(diagnosis.waiting.iter().all(|w| w.op == WaitOp::SendTo));
+}
+
+/// Slow is not dead: a pipeline whose stages nap for multiples of the
+/// watchdog timeout between rendezvous. Peers park far longer than the
+/// timeout, but no wait cycle ever forms, so the cycle-based watchdog must
+/// let the run finish instead of mistaking patience for deadlock.
+#[test]
+fn slow_but_live_pipeline_is_never_flagged() {
+    let topo = topology::path(3);
+    let dec = decompose::best_known(&topo);
+    let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(40));
+    let run = rt
+        .run(vec![
+            Box::new(|ctx| {
+                for i in 0..3 {
+                    std::thread::sleep(Duration::from_millis(120));
+                    ctx.send(1, i)?;
+                }
+                Ok(())
+            }),
+            Box::new(|ctx| {
+                for _ in 0..3 {
+                    let (x, _) = ctx.receive_from(0)?;
+                    std::thread::sleep(Duration::from_millis(60));
+                    ctx.send(2, x)?;
+                }
+                Ok(())
+            }),
+            Box::new(|ctx| {
+                for _ in 0..3 {
+                    ctx.receive_from(1)?;
+                }
+                Ok(())
+            }),
+        ])
+        .expect("slow-but-live pipeline was flagged as deadlocked");
+    assert_eq!(run.stats().messages, 6);
+}
+
+/// A genuine deadlock among a subset must be caught even while a bystander
+/// keeps doing useful (non-blocking) work: the watchdog reasons about wait
+/// cycles, not about whether every thread is stuck.
+#[test]
+fn partial_deadlock_is_diagnosed_despite_live_bystander() {
+    let topo = topology::path(3);
+    let dec = decompose::best_known(&topo);
+    let rt = Runtime::new(&topo, &dec).with_watchdog(Duration::from_millis(150));
+    let err = rt
+        .run(vec![
+            Box::new(|_ctx| {
+                // Alive and busy, never waiting on anyone.
+                std::thread::sleep(Duration::from_millis(600));
+                Ok(())
+            }),
+            Box::new(|ctx| ctx.receive_from(2).map(|_| ())),
+            Box::new(|ctx| ctx.receive_from(1).map(|_| ())),
+        ])
+        .unwrap_err();
+    let RuntimeError::Deadlock { diagnosis } = err else {
+        panic!("expected a deadlock diagnosis, got {err}");
+    };
+    assert_eq!(diagnosis.cycle, vec![1, 2]);
+    assert!(!diagnosis.cycle.contains(&0), "P0 was never waiting");
+}
+
+/// Both matchers produce the same computation; the parking matcher's stats
+/// expose the wakeup path it actually took.
+#[test]
+fn matchers_agree_and_parking_reports_wakeups() {
+    let topo = topology::cycle(3);
+    let dec = decompose::best_known(&topo);
+    let behaviors = |rounds: u64| -> Vec<Behavior> {
+        (0..3)
+            .map(|p| -> Behavior {
+                Box::new(move |ctx| {
+                    for i in 0..rounds {
+                        if p == 0 {
+                            ctx.send(1, i)?;
+                            ctx.receive_from(2)?;
+                        } else {
+                            let (t, _) = ctx.receive_from(p - 1)?;
+                            ctx.send((p + 1) % 3, t)?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect()
+    };
+    let parking = Runtime::new(&topo, &dec)
+        .with_matcher(Matcher::Parking)
+        .run(behaviors(20))
+        .unwrap();
+    let polling = Runtime::new(&topo, &dec)
+        .with_matcher(Matcher::Polling)
+        .run(behaviors(20))
+        .unwrap();
+    assert_eq!(parking.stats().messages, 60);
+    assert_eq!(polling.stats().messages, 60);
+    // Identical stamps from identical computations, whatever the matcher.
+    let (_, parking_stamps) = parking.reconstruct().unwrap();
+    let (_, polling_stamps) = polling.reconstruct().unwrap();
+    assert_eq!(parking_stamps.vectors(), polling_stamps.vectors());
+    let s = parking.stats();
+    assert!(s.wakeups > 0, "a ring must park at least once");
+    assert!(s.wakeup_p50_ns <= s.wakeup_p99_ns);
+    assert!(s.wakeup_p99_ns <= s.wakeup_max_ns);
 }
 
 /// A correct program under a tight watchdog: many rounds, never tripped,
