@@ -42,7 +42,12 @@ const SCHEMA: &str = "synctime/bench_online_runtime/v1";
 // ---------------------------------------------------- tiny Value builders
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn string(x: &str) -> Value {
@@ -335,7 +340,11 @@ fn matcher_name(m: Matcher) -> &'static str {
 // ------------------------------------------------------------ the report
 
 fn run_suite(smoke: bool) -> Value {
-    let (ring_rounds, cs_rounds, edits) = if smoke { (10, 2, 24) } else { (2000, 200, 1200) };
+    let (ring_rounds, cs_rounds, edits) = if smoke {
+        (10, 2, 24)
+    } else {
+        (2000, 200, 1200)
+    };
     let mut records = Vec::new();
     eprintln!("online_runtime: ring ({ring_rounds} rounds x 6 processes, both matchers)");
     records.push(bench_ring(6, ring_rounds, Matcher::Parking));
@@ -401,7 +410,9 @@ fn validate_report(doc: &Value) -> Vec<String> {
     }
     match doc.get_field("mode").and_then(Value::as_str) {
         Some("full") | Some("smoke") => {}
-        other => errs.push(format!("\"mode\" must be \"full\" or \"smoke\", got {other:?}")),
+        other => errs.push(format!(
+            "\"mode\" must be \"full\" or \"smoke\", got {other:?}"
+        )),
     }
     let Some(records) = doc.get_field("records").and_then(Value::as_array) else {
         errs.push("\"records\" must be an array".to_string());
@@ -423,7 +434,9 @@ fn validate_report(doc: &Value) -> Vec<String> {
         }
         match r.get_field("ops_per_sec").and_then(as_f64) {
             Some(value) if value > 0.0 => {}
-            _ => errs.push(format!("records[{i}].ops_per_sec must be a positive number")),
+            _ => errs.push(format!(
+                "records[{i}].ops_per_sec must be a positive number"
+            )),
         }
         match r.get_field("detail") {
             Some(Value::Object(_)) => {}
@@ -472,8 +485,8 @@ fn main() {
     if let Some(path) = &validate {
         let text =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let doc: Value = serde_json::from_str(&text)
-            .unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+        let doc: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
         let errs = validate_report(&doc);
         if errs.is_empty() {
             eprintln!("online_runtime: {path} conforms to {SCHEMA}");

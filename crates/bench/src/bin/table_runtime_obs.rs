@@ -126,12 +126,16 @@ fn main() {
         assert_eq!(r.stats.messages, r.stats.receives);
         assert!(r.stats.messages > 0);
         assert!(r.stats.ack_latency_p50_ns > 0);
-        // Every message carries key + payload + d vector, acked with a d
-        // vector, counted at both endpoints.
+        // Every message would carry key + payload + d vector, acked with a
+        // d vector, at full width — that baseline is counted at both
+        // endpoints; the actual bytes ride per-channel delta streams and
+        // never exceed it.
         assert_eq!(
-            r.stats.total_wire_bytes,
+            r.stats.total_wire_bytes_full,
             r.stats.messages * 2 * (16 + 16 * r.dim as u64)
         );
+        assert!(r.stats.total_wire_bytes > 0);
+        assert!(r.stats.total_wire_bytes <= r.stats.total_wire_bytes_full);
     }
     emit(
         "R3 — threaded runtime observability (RunStats per workload)",

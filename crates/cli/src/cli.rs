@@ -35,6 +35,7 @@ synctime — timestamp synchronous computations (Garg & Skawratananond, ICDCS 20
 USAGE:
   synctime decompose --topology <SPEC> [--optimal] [--cover]
   synctime stamp     --topology <SPEC> --trace <FILE> [--algorithm <ALG>]
+                     [--engine dense|sparse]
   synctime diagram   --trace <FILE>
   synctime query     --topology <SPEC> --trace <FILE> --m1 <K> --m2 <K>
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
@@ -55,6 +56,9 @@ PROGRAMS FILE:
                  \"receive_any\"], ...]}  (one op list per process)
 
 ALGORITHMS: online (default), offline, fm, lamport
+  `offline` picks its engine with --engine: `dense` (default; minimum chain
+  cover, width-dimensional vectors, O(M^2) memory) or `sparse` (per-sender
+  chains + chain-merge reachability, scales to millions of messages)
 
 RUN:
   Executes programs on real OS threads (one per process) with the Figure 5
@@ -242,9 +246,15 @@ fn cmd_decompose(opts: &BTreeMap<String, String>) -> Result<String, String> {
 
 fn stamp_with(
     algorithm: &str,
+    engine: &str,
     comp: &SyncComputation,
     topo: &Graph,
 ) -> Result<(String, Option<MessageTimestamps>), String> {
+    if engine != "dense" && algorithm != "offline" {
+        return Err(format!(
+            "--engine {engine} only applies to --algorithm offline"
+        ));
+    }
     match algorithm {
         "online" => {
             let dec = decompose::best_known(topo);
@@ -253,10 +263,20 @@ fn stamp_with(
                 .map_err(|e| e.to_string())?;
             Ok((format!("online (d = {})", stamps.dim()), Some(stamps)))
         }
-        "offline" => {
-            let stamps = offline::stamp_computation(comp);
-            Ok((format!("offline (width = {})", stamps.dim()), Some(stamps)))
-        }
+        "offline" => match engine {
+            "dense" => {
+                let stamps = offline::stamp_computation(comp);
+                Ok((format!("offline (width = {})", stamps.dim()), Some(stamps)))
+            }
+            "sparse" => {
+                let stamps = offline::stamp_computation_sparse(comp);
+                Ok((
+                    format!("offline/sparse (chains = {})", stamps.dim()),
+                    Some(stamps),
+                ))
+            }
+            other => Err(format!("unknown engine `{other}` (dense|sparse)")),
+        },
         "fm" => {
             let stamps = fm::stamp_messages(comp);
             Ok((
@@ -273,7 +293,8 @@ fn cmd_stamp(opts: &BTreeMap<String, String>) -> Result<String, String> {
     let topo = parse_topology(require(opts, "topology")?)?;
     let comp = load_trace(opts, Some(&topo))?;
     let algorithm = opts.get("algorithm").map_or("online", String::as_str);
-    let (label, stamps) = stamp_with(algorithm, &comp, &topo)?;
+    let engine = opts.get("engine").map_or("dense", String::as_str);
+    let (label, stamps) = stamp_with(algorithm, engine, &comp, &topo)?;
     let mut out = String::new();
     writeln!(out, "algorithm: {label}").unwrap();
     match stamps {
@@ -459,7 +480,10 @@ fn run_programs(opts: &BTreeMap<String, String>) -> Result<Vec<Vec<ProgramOp>>, 
         }
         let rounds: usize = opts
             .get("rounds")
-            .map(|s| s.parse().map_err(|_| "--rounds expects a number".to_string()))
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| "--rounds expects a number".to_string())
+            })
             .transpose()?
             .unwrap_or(1);
         // Process 0 injects the token each round; everyone else forwards it.
@@ -534,7 +558,11 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
         rt = rt.with_matcher(match matcher.as_str() {
             "parking" => synctime_runtime::Matcher::Parking,
             "polling" => synctime_runtime::Matcher::Polling,
-            other => return Err(format!("--matcher expects `parking` or `polling`, got `{other}`")),
+            other => {
+                return Err(format!(
+                    "--matcher expects `parking` or `polling`, got `{other}`"
+                ))
+            }
         });
     }
     let behaviors: Vec<synctime_runtime::Behavior> = programs
@@ -669,6 +697,35 @@ mod tests {
             .unwrap();
             assert!(out.contains("m1"), "{alg}: {out}");
         }
+        // The offline algorithm's sparse engine stamps the same trace; the
+        // engine flag is rejected elsewhere.
+        let out = run_strs(&[
+            "stamp",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            t,
+            "--algorithm",
+            "offline",
+            "--engine",
+            "sparse",
+        ])
+        .unwrap();
+        assert!(out.contains("offline/sparse"), "{out}");
+        assert!(out.contains("m1"), "{out}");
+        let err = run_strs(&[
+            "stamp",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            t,
+            "--algorithm",
+            "fm",
+            "--engine",
+            "sparse",
+        ])
+        .unwrap_err();
+        assert!(err.contains("only applies"), "{err}");
         let out = run_strs(&[
             "query",
             "--topology",
@@ -839,7 +896,14 @@ mod tests {
         assert!(parked.wakeups > 0, "parking matcher should park threads");
         assert!(parked.wakeup_max_ns >= parked.wakeup_p50_ns);
         let polled = run_strs(&[
-            "run", "--ring", "3", "--rounds", "4", "--matcher", "polling", "--stats",
+            "run",
+            "--ring",
+            "3",
+            "--rounds",
+            "4",
+            "--matcher",
+            "polling",
+            "--stats",
         ])
         .unwrap();
         let polled = synctime_obs::RunStats::from_json(&polled).unwrap();

@@ -11,8 +11,9 @@
 //! `m1` precedes `m2` in *every* extension, which by the realizer property
 //! is exactly `m1 ↦ m2`.
 
-use synctime_poset::{realizer, Poset};
-use synctime_trace::{Oracle, SyncComputation};
+use synctime_par::ThreadPool;
+use synctime_poset::{realizer, Poset, SparsePoset};
+use synctime_trace::{stream, Oracle, SyncComputation};
 
 use crate::{MessageTimestamps, VectorTime};
 
@@ -56,6 +57,90 @@ pub fn stamp_poset(poset: &Poset) -> MessageTimestamps {
             )
         })
         .collect();
+    MessageTimestamps::new(vectors)
+}
+
+/// Sparse-engine offline stamping: per-sender chain partition, chain-merge
+/// reachability, and a heap-based deferring realizer — `O(M·k)` memory and
+/// `O(k·(M + E) log M)` time for `k` non-empty sender chains, against the
+/// dense engine's `O(M²)` closure.
+///
+/// The tradeoff is dimension: the sparse vectors have one component per
+/// *sending process* (≤ `N`), while the dense engine pays the `O(M²)`
+/// minimum-chain-cover matching to reach `width(P) ≤ ⌊N/2⌋` components.
+/// Both encode exactly the same order (they are order-isomorphic and both
+/// encode `↦`), so pick by scale: `dense` for the tightest vectors on
+/// small traces, `sparse` past tens of thousands of messages.
+///
+/// ```
+/// use synctime_core::offline;
+/// use synctime_trace::Builder;
+///
+/// let mut b = Builder::new(4);
+/// let a = b.message(0, 1)?;
+/// let c = b.message(2, 3)?; // concurrent with a
+/// let comp = b.build();
+/// let stamps = offline::stamp_computation_sparse(&comp);
+/// assert!(stamps.concurrent(a, c));
+/// # Ok::<(), synctime_trace::TraceError>(())
+/// ```
+pub fn stamp_computation_sparse(computation: &SyncComputation) -> MessageTimestamps {
+    stamp_sparse_poset(&stream::sparse_message_poset(computation))
+}
+
+/// Parallel [`stamp_computation_sparse`]: realizer extensions and
+/// per-message vectors fan out over `pool`, merged deterministically so
+/// the output is **bit-identical** to the sequential engine.
+pub fn stamp_computation_sparse_parallel(
+    computation: &SyncComputation,
+    pool: &ThreadPool,
+) -> MessageTimestamps {
+    stamp_sparse_poset_with(&stream::sparse_message_poset(computation), Some(pool))
+}
+
+/// Stamps an arbitrary [`SparsePoset`] sequentially (steps (2) and (3) of
+/// Figure 9 over the sparse representation).
+pub fn stamp_sparse_poset(poset: &SparsePoset) -> MessageTimestamps {
+    stamp_sparse_poset_with(poset, None)
+}
+
+/// Stamps an arbitrary [`SparsePoset`], fanning out across `pool` when one
+/// is supplied. Results are merged by chain / message index, never by
+/// completion order, so every pool size yields the same bytes.
+pub fn stamp_sparse_poset_with(
+    poset: &SparsePoset,
+    pool: Option<&ThreadPool>,
+) -> MessageTimestamps {
+    let (_, extensions) = match pool {
+        Some(pool) => realizer::sparse_chain_realizer_parallel(poset, pool),
+        None => realizer::sparse_chain_realizer(poset),
+    };
+    // Full pairwise verification is quadratic; keep the debug assertion to
+    // sizes where it is instant (every unit/property test qualifies).
+    debug_assert!(poset.len() > 2048 || realizer::sparse_verify(poset, &extensions));
+    let invert = |ext: &Vec<usize>| -> Vec<u32> {
+        let mut pos = vec![0u32; poset.len()];
+        for (i, &v) in ext.iter().enumerate() {
+            pos[v] = i as u32;
+        }
+        pos
+    };
+    let positions: Vec<Vec<u32>> = match pool {
+        Some(pool) => pool.map_indexed(extensions.len(), |i| invert(&extensions[i])),
+        None => extensions.iter().map(invert).collect(),
+    };
+    let vector_of = |m: usize| -> VectorTime {
+        VectorTime::from(
+            positions
+                .iter()
+                .map(|pos| pos[m] as u64)
+                .collect::<Vec<u64>>(),
+        )
+    };
+    let vectors: Vec<VectorTime> = match pool {
+        Some(pool) => pool.map_indexed(poset.len(), vector_of),
+        None => (0..poset.len()).map(vector_of).collect(),
+    };
     MessageTimestamps::new(vectors)
 }
 
@@ -124,6 +209,58 @@ mod tests {
         let stamps = stamp_computation(&comp);
         assert!(stamps.is_empty());
         assert_eq!(stamps.dim(), 0);
+        let sparse = stamp_computation_sparse(&comp);
+        assert!(sparse.is_empty());
+        assert_eq!(sparse.dim(), 0);
+    }
+
+    #[test]
+    fn sparse_engine_encodes_figure6() {
+        let comp = figure6();
+        let oracle = Oracle::new(&comp);
+        let stamps = stamp_computation_sparse(&comp);
+        assert!(stamps.encodes(&oracle));
+        // Dimension: one component per sending process, not per chain of a
+        // minimum cover.
+        let senders: std::collections::BTreeSet<usize> =
+            comp.messages().iter().map(|m| m.sender).collect();
+        assert_eq!(stamps.dim(), senders.len());
+    }
+
+    #[test]
+    fn sparse_parallel_is_bit_identical_to_sequential() {
+        let comp = figure6();
+        let seq = stamp_computation_sparse(&comp);
+        for workers in [1, 2, 8] {
+            let pool = ThreadPool::new(workers);
+            let par = stamp_computation_sparse_parallel(&comp, &pool);
+            assert_eq!(seq.len(), par.len());
+            for m in 0..seq.len() {
+                assert_eq!(
+                    seq.vector(MessageId(m)),
+                    par.vector(MessageId(m)),
+                    "workers = {workers}, message {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_engines_are_order_isomorphic() {
+        let comp = figure6();
+        let dense = stamp_computation(&comp);
+        let sparse = stamp_computation_sparse(&comp);
+        for a in 0..comp.message_count() {
+            for b in 0..comp.message_count() {
+                if a != b {
+                    assert_eq!(
+                        dense.precedes(MessageId(a), MessageId(b)),
+                        sparse.precedes(MessageId(a), MessageId(b)),
+                        "pair ({a}, {b})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

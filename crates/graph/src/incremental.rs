@@ -72,7 +72,11 @@ impl GroupRemap {
     /// Whether this remap moves nothing: clocks need no rebasing.
     pub fn is_identity(&self) -> bool {
         self.old_to_new.len() == self.new_len
-            && self.old_to_new.iter().enumerate().all(|(i, m)| *m == Some(i))
+            && self
+                .old_to_new
+                .iter()
+                .enumerate()
+                .all(|(i, m)| *m == Some(i))
     }
 
     /// Composes two sequential edits: `self` first, `next` second.
@@ -351,7 +355,10 @@ mod tests {
             cache.insert_edge(0, 1),
             Err(GraphError::DuplicateEdge(_))
         ));
-        assert!(matches!(cache.insert_edge(1, 1), Err(GraphError::SelfLoop(1))));
+        assert!(matches!(
+            cache.insert_edge(1, 1),
+            Err(GraphError::SelfLoop(1))
+        ));
         assert!(matches!(
             cache.insert_edge(0, 9),
             Err(GraphError::NodeOutOfRange { node: 9, .. })

@@ -70,9 +70,8 @@ impl DeadlockDiagnosis {
     /// rotated so it starts at its smallest process id, making diagnoses
     /// deterministic for tests and log comparison.
     pub fn from_waiting(waiting: Vec<WaitEdge>) -> Self {
-        let successor = |p: usize| -> Option<usize> {
-            waiting.iter().find(|e| e.process == p).map(|e| e.peer)
-        };
+        let successor =
+            |p: usize| -> Option<usize> { waiting.iter().find(|e| e.process == p).map(|e| e.peer) };
         let mut cycle = Vec::new();
         for start in waiting.iter().map(|e| e.process) {
             let mut path = vec![start];
@@ -129,7 +128,12 @@ mod tests {
     use super::*;
 
     fn edge(process: usize, op: WaitOp, peer: usize) -> WaitEdge {
-        WaitEdge { process, op, peer, blocked_ms: 100 }
+        WaitEdge {
+            process,
+            op,
+            peer,
+            blocked_ms: 100,
+        }
     }
 
     #[test]

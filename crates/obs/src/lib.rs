@@ -28,13 +28,15 @@
 //! use synctime_obs::{Recorder, WaitOp};
 //!
 //! let recorder = Recorder::new(2, 64);
-//! // Process 0 sends to process 1: 24 wire bytes, 1500 ns ack round-trip.
-//! recorder.process(0).record_send(1, 24, 1_500);
-//! recorder.process(1).record_receive(0, 24, 800);
+//! // Process 0 sends to process 1: 24 actual wire bytes (32 had the
+//! // vectors gone out full-width), 1500 ns ack round-trip.
+//! recorder.process(0).record_send(1, 24, 32, 1_500);
+//! recorder.process(1).record_receive(0, 24, 32, 800);
 //!
 //! let stats = recorder.finish(3);
 //! assert_eq!(stats.messages, 1);
 //! assert_eq!(stats.total_wire_bytes, 48); // counted at both endpoints
+//! assert_eq!(stats.total_wire_bytes_full, 64);
 //! assert_eq!(stats.max_vector_component, 3);
 //! ```
 
@@ -47,4 +49,4 @@ mod stats;
 
 pub use deadlock::{DeadlockDiagnosis, WaitEdge, WaitOp};
 pub use recorder::{ObsEvent, ObsEventKind, ProcessRecorder, Recorder};
-pub use stats::{ProcessStats, RunStats};
+pub use stats::{nearest_rank_percentile, ProcessStats, RunStats};

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::stats::{ProcessStats, RunStats};
+use crate::stats::{nearest_rank_percentile, ProcessStats, RunStats};
 
 /// What a recorded event was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +58,11 @@ struct Ring {
 
 impl Ring {
     fn new(capacity: usize) -> Self {
-        Ring { slots: Vec::with_capacity(capacity), capacity, next: 0 }
+        Ring {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
     }
 
     fn push(&mut self, event: ObsEvent) {
@@ -99,6 +103,7 @@ pub struct ProcessRecorder {
     sends: AtomicU64,
     receives: AtomicU64,
     wire_bytes: AtomicU64,
+    wire_bytes_full: AtomicU64,
     blocked_ns: AtomicU64,
     wakeups: AtomicU64,
     events: Mutex<Ring>,
@@ -111,6 +116,7 @@ impl ProcessRecorder {
             sends: AtomicU64::new(0),
             receives: AtomicU64::new(0),
             wire_bytes: AtomicU64::new(0),
+            wire_bytes_full: AtomicU64::new(0),
             blocked_ns: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
             events: Mutex::new(Ring::new(ring_capacity)),
@@ -123,23 +129,55 @@ impl ProcessRecorder {
     }
 
     fn push(&self, kind: ObsEventKind) {
-        let event = ObsEvent { at_ns: self.now_ns(), kind };
+        let event = ObsEvent {
+            at_ns: self.now_ns(),
+            kind,
+        };
         self.events.lock().expect("obs ring poisoned").push(event);
     }
 
     /// Records a completed send and its acknowledgement round-trip.
-    pub fn record_send(&self, to: usize, wire_bytes: u64, ack_latency_ns: u64) {
+    /// `wire_bytes` is what actually moved (delta-encoded where the caller
+    /// uses deltas); `wire_bytes_full` is the full-fixed-width-vector price
+    /// of the same rendezvous, accumulated as the savings baseline.
+    pub fn record_send(
+        &self,
+        to: usize,
+        wire_bytes: u64,
+        wire_bytes_full: u64,
+        ack_latency_ns: u64,
+    ) {
         self.sends.fetch_add(1, Ordering::Relaxed);
         self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
-        self.push(ObsEventKind::Send { to, wire_bytes, ack_latency_ns });
+        self.wire_bytes_full
+            .fetch_add(wire_bytes_full, Ordering::Relaxed);
+        self.push(ObsEventKind::Send {
+            to,
+            wire_bytes,
+            ack_latency_ns,
+        });
     }
 
-    /// Records a completed receive and how long the process blocked for it.
-    pub fn record_receive(&self, from: usize, wire_bytes: u64, blocked_ns: u64) {
+    /// Records a completed receive and how long the process blocked for it
+    /// (`wire_bytes` / `wire_bytes_full` as for
+    /// [`ProcessRecorder::record_send`]).
+    pub fn record_receive(
+        &self,
+        from: usize,
+        wire_bytes: u64,
+        wire_bytes_full: u64,
+        blocked_ns: u64,
+    ) {
         self.receives.fetch_add(1, Ordering::Relaxed);
         self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+        self.wire_bytes_full
+            .fetch_add(wire_bytes_full, Ordering::Relaxed);
         self.blocked_ns.fetch_add(blocked_ns, Ordering::Relaxed);
-        self.push(ObsEventKind::Receive { from, wire_bytes, blocked_ns });
+        self.push(ObsEventKind::Receive {
+            from,
+            wire_bytes,
+            blocked_ns,
+        });
     }
 
     /// Adds time spent blocked outside a completed receive (e.g. waiting for
@@ -228,6 +266,7 @@ impl Recorder {
                 sends: p.sends.load(Ordering::Relaxed),
                 receives: p.receives.load(Ordering::Relaxed),
                 wire_bytes: p.wire_bytes.load(Ordering::Relaxed),
+                wire_bytes_full: p.wire_bytes_full.load(Ordering::Relaxed),
                 blocked_ns: p.blocked_ns.load(Ordering::Relaxed),
             });
             wakeups += p.wakeups.load(Ordering::Relaxed);
@@ -243,19 +282,15 @@ impl Recorder {
         }
         latencies.sort_unstable();
         wakeup_latencies.sort_unstable();
-        // Nearest-rank percentile.
-        let pick = |sorted: &[u64], q_num: usize, q_den: usize| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let rank = (sorted.len() * q_num).div_ceil(q_den).max(1);
-            sorted[rank - 1]
-        };
+        // Nearest-rank percentile; total on empty samples (returns 0), so a
+        // run with zero rendezvous aggregates cleanly.
+        let pick = nearest_rank_percentile;
         RunStats {
             process_count: self.processes.len(),
             messages: per_process.iter().map(|p| p.sends).sum(),
             receives: per_process.iter().map(|p| p.receives).sum(),
             total_wire_bytes: per_process.iter().map(|p| p.wire_bytes).sum(),
+            total_wire_bytes_full: per_process.iter().map(|p| p.wire_bytes_full).sum(),
             total_blocked_ns: per_process.iter().map(|p| p.blocked_ns).sum(),
             ack_latency_p50_ns: pick(&latencies, 50, 100),
             ack_latency_p99_ns: pick(&latencies, 99, 100),
@@ -279,13 +314,14 @@ mod tests {
     fn counters_and_percentiles_aggregate() {
         let rec = Recorder::new(2, 16);
         for i in 0..10u64 {
-            rec.process(0).record_send(1, 24, (i + 1) * 100);
-            rec.process(1).record_receive(0, 24, 50);
+            rec.process(0).record_send(1, 24, 32, (i + 1) * 100);
+            rec.process(1).record_receive(0, 24, 32, 50);
         }
         let stats = rec.finish(7);
         assert_eq!(stats.messages, 10);
         assert_eq!(stats.receives, 10);
         assert_eq!(stats.total_wire_bytes, 24 * 20);
+        assert_eq!(stats.total_wire_bytes_full, 32 * 20);
         assert_eq!(stats.ack_latency_p50_ns, 500);
         assert_eq!(stats.ack_latency_p99_ns, 1000);
         assert_eq!(stats.ack_latency_max_ns, 1000);
@@ -300,7 +336,7 @@ mod tests {
     fn ring_keeps_most_recent_and_counts_drops() {
         let rec = Recorder::new(1, 4);
         for i in 0..10u64 {
-            rec.process(0).record_send(0, 8, i);
+            rec.process(0).record_send(0, 8, 8, i);
         }
         let events = rec.process(0).events();
         assert_eq!(events.len(), 4);
@@ -320,7 +356,7 @@ mod tests {
     #[test]
     fn zero_capacity_ring_still_counts() {
         let rec = Recorder::new(1, 0);
-        rec.process(0).record_send(0, 8, 42);
+        rec.process(0).record_send(0, 8, 8, 42);
         assert!(rec.process(0).events().is_empty());
         let stats = rec.finish(1);
         assert_eq!(stats.messages, 1);

@@ -11,8 +11,12 @@ pub struct ProcessStats {
     pub sends: u64,
     /// Messages this process received.
     pub receives: u64,
-    /// Wire bytes this process put on or took off its channels.
+    /// Wire bytes this process put on or took off its channels (actual
+    /// encoded bytes — per-channel deltas where the runtime uses them).
     pub wire_bytes: u64,
+    /// What the same traffic would have cost with full fixed-width vectors
+    /// on every message and acknowledgement — the before-deltas baseline.
+    pub wire_bytes_full: u64,
     /// Total nanoseconds spent blocked in rendezvous operations.
     pub blocked_ns: u64,
 }
@@ -30,9 +34,15 @@ pub struct RunStats {
     /// Total receives completed (equals `messages` in a clean run).
     pub receives: u64,
     /// Total bytes on the wire, counted at both endpoints: payload framing
-    /// plus the piggybacked vector of dimension `d` on every message and its
-    /// acknowledgement.
+    /// plus the piggybacked vector encoding on every message and its
+    /// acknowledgement (the *actual* encoding — per-channel
+    /// Singhal–Kshemkalyani deltas where the runtime uses them).
     pub total_wire_bytes: u64,
+    /// The same traffic priced at full fixed-width vectors (8 bytes per
+    /// component, both directions): the before-deltas baseline, so
+    /// `total_wire_bytes / total_wire_bytes_full` is the on-wire savings of
+    /// delta encoding.
+    pub total_wire_bytes_full: u64,
     /// Total nanoseconds processes spent blocked in rendezvous operations.
     pub total_blocked_ns: u64,
     /// Median acknowledgement round-trip latency, in nanoseconds.
@@ -73,6 +83,39 @@ impl RunStats {
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Fraction of the full-vector wire cost the run actually paid
+    /// (`1.0` when no bytes moved, so an empty run reports "no savings"
+    /// rather than dividing by zero).
+    pub fn wire_savings_ratio(&self) -> f64 {
+        if self.total_wire_bytes_full == 0 {
+            return 1.0;
+        }
+        self.total_wire_bytes as f64 / self.total_wire_bytes_full as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// element whose rank is at least `q_num / q_den` of the sample size.
+///
+/// A run with zero rendezvous produces an empty sample; the answer is then
+/// `0`, not a panic or an out-of-bounds read — every percentile field of
+/// [`RunStats`] goes through this helper, so stats of empty runs are all
+/// zeroes.
+///
+/// # Panics
+///
+/// Panics if `q_den` is zero.
+pub fn nearest_rank_percentile(sorted: &[u64], q_num: usize, q_den: usize) -> u64 {
+    assert!(q_den > 0, "percentile denominator must be positive");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * q_num)
+        .div_ceil(q_den)
+        .max(1)
+        .min(sorted.len());
+    sorted[rank - 1]
 }
 
 #[cfg(test)]
@@ -85,6 +128,7 @@ mod tests {
             messages: 5,
             receives: 5,
             total_wire_bytes: 240,
+            total_wire_bytes_full: 320,
             total_blocked_ns: 9000,
             ack_latency_p50_ns: 400,
             ack_latency_p99_ns: 900,
@@ -96,8 +140,22 @@ mod tests {
             latency_sample_dropped: 0,
             max_vector_component: 5,
             per_process: vec![
-                ProcessStats { process: 0, sends: 5, receives: 0, wire_bytes: 120, blocked_ns: 4000 },
-                ProcessStats { process: 1, sends: 0, receives: 5, wire_bytes: 120, blocked_ns: 5000 },
+                ProcessStats {
+                    process: 0,
+                    sends: 5,
+                    receives: 0,
+                    wire_bytes: 120,
+                    wire_bytes_full: 160,
+                    blocked_ns: 4000,
+                },
+                ProcessStats {
+                    process: 1,
+                    sends: 0,
+                    receives: 5,
+                    wire_bytes: 120,
+                    wire_bytes_full: 160,
+                    blocked_ns: 5000,
+                },
             ],
         }
     }
@@ -107,7 +165,44 @@ mod tests {
         let stats = sample();
         let json = stats.to_json();
         assert!(json.contains("\"ack_latency_p99_ns\": 900"));
+        assert!(json.contains("\"total_wire_bytes_full\": 320"));
         let back = RunStats::from_json(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn wire_savings_ratio_handles_empty_runs() {
+        let mut stats = sample();
+        assert!((stats.wire_savings_ratio() - 0.75).abs() < 1e-9);
+        stats.total_wire_bytes = 0;
+        stats.total_wire_bytes_full = 0;
+        assert_eq!(stats.wire_savings_ratio(), 1.0);
+    }
+
+    #[test]
+    fn percentiles_of_zero_rendezvous_runs_are_zero() {
+        // A run that exchanged no messages has an empty latency sample;
+        // every percentile must come back 0 rather than panicking or
+        // reading out of bounds.
+        for (q_num, q_den) in [(0, 100), (50, 100), (99, 100), (100, 100)] {
+            assert_eq!(nearest_rank_percentile(&[], q_num, q_den), 0);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_picks_expected_elements() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank_percentile(&sorted, 50, 100), 50);
+        assert_eq!(nearest_rank_percentile(&sorted, 99, 100), 99);
+        assert_eq!(nearest_rank_percentile(&sorted, 100, 100), 100);
+        // Tiny samples: the max(1) clamp keeps the 0th percentile total.
+        assert_eq!(nearest_rank_percentile(&[7], 0, 100), 7);
+        assert_eq!(nearest_rank_percentile(&[7, 9], 50, 100), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn percentile_rejects_zero_denominator() {
+        nearest_rank_percentile(&[1], 50, 0);
     }
 }

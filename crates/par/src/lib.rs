@@ -1,0 +1,215 @@
+//! A minimal, std-only work-stealing thread pool with a *deterministic*
+//! result merge.
+//!
+//! The offline timestamping pipeline fans out over independent index spaces
+//! (one deferring extension per chain, one vector per message). All it needs
+//! from a scheduler is: run `f(i)` for every `i in 0..n` on however many
+//! worker threads are available, and hand back the results **in index
+//! order** — so the output of a parallel run is bit-identical to a
+//! sequential one regardless of how the spans were interleaved or stolen.
+//!
+//! The design is deliberately small (the workspace takes no external
+//! dependencies, see `shims/README.md`):
+//!
+//! * work lives in a shared LIFO stack of half-open index spans,
+//! * an idle worker pops a span and, if it is larger than the grain size,
+//!   *splits it in half* and pushes the far half back for other workers to
+//!   steal — guided self-scheduling without per-worker deques,
+//! * each worker accumulates `(index, value)` pairs locally and the pool
+//!   scatters them into a dense `Vec<T>` by index at the end,
+//! * worker panics propagate to the caller via [`std::thread::scope`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// A fixed-width pool of scoped worker threads.
+///
+/// The pool is cheap to construct (it holds no threads between calls;
+/// workers are scoped to each [`map_indexed`](ThreadPool::map_indexed) call)
+/// and deterministic by construction: results are merged by index, never by
+/// completion order.
+///
+/// ```
+/// use synctime_par::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.map_indexed(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+/// Shared LIFO of half-open spans still to be processed.
+struct SpanQueue {
+    spans: Mutex<Vec<(usize, usize)>>,
+    grain: usize,
+}
+
+impl SpanQueue {
+    /// Pops work for one worker: at most `grain` indices. A larger span is
+    /// split in half first, with the far half pushed back to be stolen.
+    fn next(&self) -> Option<(usize, usize)> {
+        let mut spans = self.spans.lock().expect("span queue poisoned");
+        let (start, end) = spans.pop()?;
+        let len = end - start;
+        if len > self.grain {
+            let mid = start + len / 2;
+            spans.push((mid, end));
+            if mid - start > self.grain {
+                spans.push((start + self.grain, mid));
+                return Some((start, start + self.grain));
+            }
+            return Some((start, mid));
+        }
+        Some((start, end))
+    }
+}
+
+impl ThreadPool {
+    /// A pool of exactly `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to [`std::thread::available_parallelism`], falling back
+    /// to a single worker when the parallelism cannot be queried.
+    pub fn with_default_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        ThreadPool::new(workers)
+    }
+
+    /// Number of worker threads the pool schedules onto.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every index in `0..n` across the pool's workers and
+    /// returns the results **in index order**.
+    ///
+    /// Equivalent to `(0..n).map(f).collect()` — including output order —
+    /// for any `f` that is a pure function of its index. Worker panics
+    /// propagate to the caller.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        // No point spinning up threads for a single worker or a tiny job:
+        // run inline (this is also the path the 1-core CI machine takes).
+        if self.workers == 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+        // Aim for ~4 spans per worker so stealing has something to grab
+        // while keeping queue contention low.
+        let grain = (n / (self.workers * 4)).max(1);
+        let queue = SpanQueue {
+            spans: Mutex::new(vec![(0, n)]),
+            grain,
+        };
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let harvested: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while let Some((start, end)) = queue.next() {
+                        for i in start..end {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    harvested
+                        .lock()
+                        .expect("result sink poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+        for (i, value) in harvested.into_inner().expect("result sink poisoned") {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("index {i} never scheduled")))
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_default_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order() {
+        let pool = ThreadPool::new(7);
+        for n in [0, 1, 2, 3, 64, 1000] {
+            let got = pool.map_indexed(n, |i| i * 3 + 1);
+            let want: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = ThreadPool::new(5);
+        let n = 4096;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.map_indexed(n, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // The merge is by index, so the output must equal the sequential
+        // map no matter how spans were stolen.
+        let seq = ThreadPool::new(1);
+        let par = ThreadPool::new(8);
+        let f = |i: usize| {
+            let mut h = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 27;
+            h
+        };
+        assert_eq!(seq.map_indexed(513, f), par.map_indexed(513, f));
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(ThreadPool::new(0).workers(), 1);
+        assert!(ThreadPool::with_default_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let pool = ThreadPool::new(4);
+        pool.map_indexed(100, |i| {
+            if i == 37 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

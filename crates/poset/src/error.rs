@@ -17,6 +17,15 @@ pub enum PosetError {
         /// An element on a cycle.
         element: usize,
     },
+    /// A supplied chain family is not a partition of the elements into
+    /// chains: an element is missing, repeated, or two consecutive listed
+    /// elements of one chain are not ordered by the relation.
+    InvalidChain {
+        /// Index of the offending chain in the supplied family.
+        chain: usize,
+        /// The element at which the violation was detected.
+        element: usize,
+    },
 }
 
 impl fmt::Display for PosetError {
@@ -27,6 +36,12 @@ impl fmt::Display for PosetError {
             }
             PosetError::CycleDetected { element } => {
                 write!(f, "relation has a cycle through element {element}")
+            }
+            PosetError::InvalidChain { chain, element } => {
+                write!(
+                    f,
+                    "chain {chain} is not a chain of the relation at element {element}"
+                )
             }
         }
     }

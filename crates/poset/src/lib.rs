@@ -42,6 +42,7 @@
 mod bitset;
 mod error;
 mod poset;
+mod sparse;
 
 pub mod chains;
 pub mod dimension;
@@ -51,3 +52,4 @@ pub mod realizer;
 pub(crate) use bitset::BitSet;
 pub use error::PosetError;
 pub use poset::Poset;
+pub use sparse::SparsePoset;

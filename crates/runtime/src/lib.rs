@@ -67,8 +67,8 @@ mod runtime;
 pub use error::RuntimeError;
 pub use matcher::{Matcher, BLOCK_POLL};
 pub use runtime::{
-    Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun,
-    DEFAULT_EVENT_RING, DEFAULT_WATCHDOG_TIMEOUT,
+    Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun, DEFAULT_EVENT_RING,
+    DEFAULT_WATCHDOG_TIMEOUT,
 };
 // Re-exported so downstream users can consume diagnoses and stats without
 // depending on `synctime-obs` directly.

@@ -21,8 +21,6 @@
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use synctime_core::VectorTime;
-
 /// How blocked rendezvous endpoints wait for their partner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Matcher {
@@ -45,12 +43,16 @@ const PARK_BACKSTOP: Duration = Duration::from_millis(250);
 
 /// What travels on a program message: the payload plus the piggybacked
 /// vector (line 02 of Figure 5) and a globally unique key used only for
-/// post-hoc trace reconstruction.
+/// post-hoc trace reconstruction. The vector rides as its *encoded* bytes
+/// — a per-channel Singhal–Kshemkalyani delta stream produced by the
+/// sender's `DeltaEncoder` and consumed by the receiver's `DeltaDecoder` —
+/// so what the stats count as wire bytes is what is actually carried.
 #[derive(Debug)]
 pub(crate) struct Wire {
     pub(crate) key: u64,
     pub(crate) payload: u64,
-    pub(crate) vector: VectorTime,
+    /// Delta-encoded piggybacked vector (`synctime_core::wire` framing).
+    pub(crate) vector: Vec<u8>,
 }
 
 /// One rendezvous slot's state. Timestamps record when the state became
@@ -70,8 +72,9 @@ pub(crate) enum SlotState {
     /// The receiver took the offer at `taken`, ran lines 04–06 of Figure 5,
     /// and deposited the pre-update vector at `acked`.
     Acked {
-        /// The acknowledgement payload (receiver's pre-update vector).
-        ack: VectorTime,
+        /// The acknowledgement payload (receiver's pre-update vector),
+        /// delta-encoded like [`Wire::vector`] but on the reverse stream.
+        ack: Vec<u8>,
         /// When the receiver took the matching offer.
         taken: Instant,
         /// When the acknowledgement was deposited (and the sender notified).
@@ -144,6 +147,9 @@ mod tests {
 
     #[test]
     fn slot_roundtrip_carries_wire_and_ack() {
+        use synctime_core::wire::{DeltaDecoder, DeltaEncoder};
+        use synctime_core::VectorTime;
+
         let slot = Arc::new(ChannelSlot::new());
         let receiver = {
             let slot = Arc::clone(&slot);
@@ -152,9 +158,11 @@ mod tests {
                 loop {
                     match std::mem::replace(&mut *st, SlotState::Empty) {
                         SlotState::Offered { wire, .. } => {
+                            let mut dec = DeltaDecoder::new();
+                            let v = dec.decode(0, &wire.vector).expect("decodable vector");
                             let now = Instant::now();
                             *st = SlotState::Acked {
-                                ack: VectorTime::zero(wire.vector.dim()),
+                                ack: DeltaEncoder::new().encode(0, &VectorTime::zero(v.dim())),
                                 taken: now,
                                 acked: now,
                             };
@@ -174,7 +182,7 @@ mod tests {
             wire: Wire {
                 key: 1,
                 payload: 42,
-                vector: VectorTime::zero(2),
+                vector: DeltaEncoder::new().encode(1, &VectorTime::from(vec![3, 4])),
             },
             at: Instant::now(),
         };
@@ -182,7 +190,8 @@ mod tests {
         loop {
             match std::mem::replace(&mut *st, SlotState::Empty) {
                 SlotState::Acked { ack, .. } => {
-                    assert_eq!(ack.dim(), 2);
+                    let v = DeltaDecoder::new().decode(0, &ack).expect("decodable ack");
+                    assert_eq!(v.dim(), 2);
                     break;
                 }
                 other => {

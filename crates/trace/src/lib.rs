@@ -45,6 +45,7 @@ mod oracle;
 pub mod diagram;
 pub mod examples;
 pub mod json;
+pub mod stream;
 
 pub use computation::{
     Builder, EventId, EventKind, Message, MessageId, ProcessId, SyncComputation,

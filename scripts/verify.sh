@@ -4,14 +4,19 @@
 #   scripts/verify.sh          # everything below
 #
 # Steps:
-#   1. release build (tier-1)
-#   2. root-package tests (tier-1): lib + tests/ + doctests, incl. README
-#   3. full workspace tests
-#   4. workspace doctests
-#   5. strict doc build: `cargo doc --no-deps` with rustdoc warnings as errors
-#   6. bench-smoke: the online_runtime suite at 1-iteration scale, checking
+#   1. formatting gate: `cargo fmt --check`
+#   2. release build (tier-1)
+#   3. root-package tests (tier-1): lib + tests/ + doctests, incl. README
+#   4. full workspace tests
+#   5. workspace doctests
+#   6. strict doc build: `cargo doc --no-deps` with rustdoc warnings as errors
+#   7. bench-smoke: the online_runtime suite at 1-iteration scale, checking
 #      both its own smoke report and the checked-in results/ JSON against
 #      the synctime/bench_online_runtime/v1 schema
+#   8. bench-smoke: the offline_pipeline suite at CI scale, checking both
+#      its own smoke report and the checked-in results/ JSON against the
+#      synctime/bench_offline_pipeline/v1 schema (including the >= 10x
+#      sparse-vs-dense speedup claim in the full report)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +25,7 @@ run() {
   "$@"
 }
 
+run cargo fmt --check
 run cargo build --release
 run cargo test -q
 run cargo test --workspace -q
@@ -27,9 +33,12 @@ run cargo test --doc --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 SMOKE_OUT="$(mktemp)"
-trap 'rm -f "$SMOKE_OUT"' EXIT
+SMOKE_OUT2="$(mktemp)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"' EXIT
 # Absolute paths: cargo runs bench binaries from the package directory.
 run cargo bench -q -p synctime-bench --bench online_runtime -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_online_runtime.json"
+run cargo bench -q -p synctime-bench --bench offline_pipeline -- \
+  --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_offline_pipeline.json"
 
 echo "==> verify: all green"

@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use synctime::prelude::*;
 use synctime::sim::workload::RandomWorkload;
+use synctime_core::wire::{DeltaDecoder, DeltaEncoder};
 use synctime_graph::{decompose, IncrementalDecomposition};
+use synctime_par::ThreadPool;
 
 /// First pairwise disagreement between a stamp set and the oracle's `↦`,
 /// if any: both the order and the incomparability must match (Theorem 4's
@@ -192,6 +194,73 @@ proptest! {
         prop_assert!(mismatch.is_none(), "cached dec: {}", mismatch.unwrap());
         let mismatch = first_isomorphism_mismatch(&via_cache, &via_batch);
         prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+    }
+
+    /// The sparse offline engine is a fourth independent implementation:
+    /// its vectors must encode `↦` exactly, agree pairwise with the dense
+    /// offline engine, and its parallel variant must reproduce the
+    /// sequential stamps bit for bit at every pool size.
+    #[test]
+    fn sparse_offline_engine_agrees_with_dense_and_parallelises_identically(
+        n in 4usize..9,
+        extra in 0usize..5,
+        msgs in 1usize..45,
+        seed in 0u64..5000,
+        workers in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        let comp = random_computation(&topo, msgs, seed.wrapping_add(41));
+        let oracle = Oracle::new(&comp);
+        let sparse = offline::stamp_computation_sparse(&comp);
+        let mismatch = first_encoding_mismatch(&sparse, &oracle);
+        prop_assert!(mismatch.is_none(), "sparse: {}", mismatch.unwrap());
+        let dense = offline::stamp_computation(&comp);
+        let mismatch = first_isomorphism_mismatch(&sparse, &dense);
+        prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+        let pool = ThreadPool::new(workers);
+        let par = offline::stamp_computation_sparse_parallel(&comp, &pool);
+        prop_assert_eq!(sparse.len(), par.len());
+        for m in 0..sparse.len() {
+            prop_assert_eq!(
+                sparse.vector(MessageId(m)),
+                par.vector(MessageId(m)),
+                "workers = {}, message {}",
+                workers,
+                m
+            );
+        }
+    }
+
+    /// The runtime's per-channel delta streams are lossless: an encoder
+    /// feeding a decoder over any sequence of monotone vector snapshots
+    /// (interleaved across several channels, as a real process interleaves
+    /// its peers) reproduces every vector exactly.
+    #[test]
+    fn delta_wire_streams_round_trip_exactly(
+        dim in 1usize..7,
+        channels in 1usize..4,
+        steps in 1usize..60,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut enc = DeltaEncoder::new();
+        let mut dec = DeltaDecoder::new();
+        // One monotonically growing vector per channel, like a clock.
+        let mut clocks: Vec<Vec<u64>> = vec![vec![0; dim]; channels];
+        for _ in 0..steps {
+            let ch = rng.gen_range(0..channels);
+            // Bump a few random components (possibly none: retransmission
+            // of an unchanged vector must also round-trip).
+            for _ in 0..rng.gen_range(0..3) {
+                let c = rng.gen_range(0..dim);
+                clocks[ch][c] += rng.gen_range(1..100);
+            }
+            let v = VectorTime::from(clocks[ch].clone());
+            let bytes = enc.encode(ch, &v);
+            let back = dec.decode(ch, &bytes);
+            prop_assert_eq!(back.as_ref(), Some(&v), "channel {}", ch);
+        }
     }
 
     /// Live reconfiguration keeps Theorem 4 for everything stamped after
