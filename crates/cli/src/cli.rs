@@ -23,6 +23,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&opts),
         "simulate" => cmd_simulate(&opts),
         "run" => cmd_run(&opts),
+        "faultplan" => cmd_faultplan(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`; try `synctime help`")),
     }
@@ -40,9 +41,13 @@ USAGE:
   synctime query     --topology <SPEC> --trace <FILE> --m1 <K> --m2 <K>
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
-  synctime run       (--programs <FILE> | --ring <N> [--rounds <R>])
+  synctime run       (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
                      [--topology <SPEC>] [--stats] [--watchdog-ms <MS>]
-                     [--matcher parking|polling]
+                     [--matcher parking|polling] [--fault-plan <FILE>]
+                     [--rendezvous-timeout <MS>] [--rendezvous-retries <K>]
+                     [--seed <S>]
+  synctime faultplan --processes <N> --max-op <M> [--crashes <K>]
+                     [--desyncs <D>] [--seed <S>]
 
 TOPOLOGY SPECS:
   star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
@@ -69,7 +74,18 @@ RUN:
   component) instead of the reconstructed trace. `--matcher` selects how
   blocked endpoints wait: `parking` (default; park on the channel slot's
   condvar, zero idle CPU) or `polling` (re-poll the slot, the benchmark
-  baseline).
+  baseline). `--gossip N` runs a seeded random pairwise-gossip workload
+  over complete:N. `--fault-plan FILE` injects a deterministic fault
+  schedule (see `faultplan`); the run then tolerates per-process failures
+  and prints {\"stats\": .., \"outcomes\": [null | \"error\", ..]} instead
+  of a trace — the process exits 0 because typed failures are the expected
+  result. `--rendezvous-timeout MS` bounds every blocking rendezvous, with
+  `--rendezvous-retries K` backoff re-arms before giving up.
+
+FAULTPLAN:
+  Generates a random fault schedule as JSON for `run --fault-plan`:
+  `--crashes K` distinct processes crash and `--desyncs D` delta-stream
+  desyncs land at operation indices drawn from 0..M. Same seed, same plan.
 "
     .to_string()
 }
@@ -504,7 +520,48 @@ fn run_programs(opts: &BTreeMap<String, String>) -> Result<Vec<Vec<ProgramOp>>, 
             .collect();
         return Ok(programs);
     }
-    Err("run needs --programs <FILE> or --ring <N>".to_string())
+    if let Some(n_str) = opts.get("gossip") {
+        use rand::SeedableRng;
+        let n: usize = n_str
+            .parse()
+            .map_err(|_| "--gossip expects a process count".to_string())?;
+        if n < 2 {
+            return Err("--gossip needs at least 2 processes".to_string());
+        }
+        let rounds: usize = opts
+            .get("rounds")
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| "--rounds expects a number".to_string())
+            })
+            .transpose()?
+            .unwrap_or(1);
+        let seed: u64 = opts
+            .get("seed")
+            .map(|s| s.parse().map_err(|_| "--seed expects a number".to_string()))
+            .transpose()?
+            .unwrap_or(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scenario = synctime_sim::scenarios::gossip(n, rounds.max(1), &mut rng);
+        // Gossip computations are confluent, so their extracted scripts
+        // replay deadlock-free on the threaded runtime.
+        let programs = synctime_sim::programs::from_computation(&scenario.computation)
+            .iter()
+            .map(|prog| {
+                prog.ops()
+                    .iter()
+                    .map(|op| match op {
+                        synctime_sim::Op::SendTo(q) => ProgramOp::SendTo(*q),
+                        synctime_sim::Op::ReceiveFrom(q) => ProgramOp::ReceiveFrom(*q),
+                        synctime_sim::Op::Internal => ProgramOp::Internal,
+                        synctime_sim::Op::ReceiveAny => ProgramOp::ReceiveAny,
+                    })
+                    .collect()
+            })
+            .collect();
+        return Ok(programs);
+    }
+    Err("run needs --programs <FILE>, --ring <N>, or --gossip <N>".to_string())
 }
 
 fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
@@ -565,6 +622,27 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
             }
         });
     }
+    if let Some(ms) = opts.get("rendezvous-timeout") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--rendezvous-timeout expects milliseconds".to_string())?;
+        rt = rt.with_rendezvous_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(k) = opts.get("rendezvous-retries") {
+        let k: u32 = k
+            .parse()
+            .map_err(|_| "--rendezvous-retries expects a count".to_string())?;
+        rt = rt.with_rendezvous_retries(k);
+    }
+    let fault_plan = opts
+        .get("fault-plan")
+        .map(|path| -> Result<synctime_sim::FaultPlan, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
+            synctime_sim::FaultPlan::from_json(&text)
+                .map_err(|e| format!("bad fault plan JSON: {e}"))
+        })
+        .transpose()?;
     let behaviors: Vec<synctime_runtime::Behavior> = programs
         .into_iter()
         .map(|ops| -> synctime_runtime::Behavior {
@@ -585,6 +663,28 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
             })
         })
         .collect();
+    if let Some(plan) = fault_plan {
+        // Under injected faults, per-process failures are the *expected*
+        // outcome: run fault-tolerantly and report every process's typed
+        // verdict alongside the stats, succeeding as a command.
+        rt = rt.with_fault_injector(std::sync::Arc::new(plan));
+        let run = rt.run_tolerant(behaviors);
+        let outcomes: Vec<String> = run
+            .outcomes()
+            .iter()
+            .map(|o| match o {
+                None => "null".to_string(),
+                Some(e) => {
+                    serde_json::to_string(&e.to_string()).expect("strings serialise infallibly")
+                }
+            })
+            .collect();
+        return Ok(format!(
+            "{{\n  \"stats\": {},\n  \"outcomes\": [{}]\n}}\n",
+            run.stats().to_json(),
+            outcomes.join(", ")
+        ));
+    }
     let run = rt.run(behaviors).map_err(|e| e.to_string())?;
     if opts.contains_key("stats") {
         let mut out = run.stats().to_json();
@@ -595,6 +695,39 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
         .reconstruct()
         .map_err(|e| format!("internal error reconstructing the run: {e}"))?;
     Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+fn cmd_faultplan(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use rand::SeedableRng;
+    let processes: usize = require(opts, "processes")?
+        .parse()
+        .map_err(|_| "--processes expects a count".to_string())?;
+    let max_op: u64 = require(opts, "max-op")?
+        .parse()
+        .map_err(|_| "--max-op expects a number".to_string())?;
+    let num = |name: &str| -> Result<usize, String> {
+        opts.get(name)
+            .map(|s| s.parse().map_err(|_| format!("--{name} expects a count")))
+            .transpose()
+            .map(|v| v.unwrap_or(0))
+    };
+    let crashes = num("crashes")?;
+    let desyncs = num("desyncs")?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    if crashes >= processes && crashes > 0 {
+        return Err(format!(
+            "--crashes {crashes} would kill all {processes} processes; leave survivors"
+        ));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let plan = synctime_sim::FaultPlan::random(processes, max_op, crashes, desyncs, &mut rng);
+    let mut out = plan.to_json();
+    out.push('\n');
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -910,6 +1043,157 @@ mod tests {
         assert_eq!(polled.messages, parked.messages);
         let err = run_strs(&["run", "--ring", "3", "--matcher", "spinning"]).unwrap_err();
         assert!(err.contains("--matcher"), "{err}");
+    }
+
+    /// The combined output `run --fault-plan` prints: stats plus one typed
+    /// verdict (null = survived) per process.
+    #[derive(Deserialize)]
+    struct FaultRunOutput {
+        stats: synctime_obs::RunStats,
+        outcomes: Vec<Option<String>>,
+    }
+
+    #[test]
+    fn run_with_crash_plan_reports_typed_outcomes() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("crash-plan.json");
+        std::fs::write(
+            &plan,
+            r#"{"faults": [{"process": 1, "at_op": 0, "kind": "crash"}]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&[
+            "run",
+            "--ring",
+            "4",
+            "--rounds",
+            "3",
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--watchdog-ms",
+            "200",
+        ])
+        .expect("faulted runs still succeed as commands");
+        let parsed: FaultRunOutput = serde_json::from_str(&out).expect("combined JSON parses");
+        assert_eq!(parsed.outcomes.len(), 4);
+        assert!(
+            parsed.outcomes[1]
+                .as_deref()
+                .is_some_and(|e| e.contains("injected fault")),
+            "{out}"
+        );
+        assert_eq!(parsed.stats.faults_injected, 1);
+        // Every verdict is typed — the crash cascades as PeerTerminated,
+        // never as a panic or a deadlock misdiagnosis.
+        for o in parsed.outcomes.iter().flatten() {
+            assert!(
+                o.contains("injected fault") || o.contains("terminated"),
+                "unexpected outcome: {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_desync_plan_recovers_with_resync_frames() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("desync-plan.json");
+        std::fs::write(
+            &plan,
+            r#"{"faults": [{"process": 0, "at_op": 2, "kind": "desync"}]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&[
+            "run",
+            "--ring",
+            "3",
+            "--rounds",
+            "4",
+            "--fault-plan",
+            plan.to_str().unwrap(),
+        ])
+        .unwrap();
+        let parsed: FaultRunOutput = serde_json::from_str(&out).unwrap();
+        assert!(
+            parsed.outcomes.iter().all(Option::is_none),
+            "a desync must degrade, not fail: {out}"
+        );
+        assert_eq!(parsed.stats.faults_injected, 1, "{out}");
+        assert!(parsed.stats.resync_frames >= 1, "{out}");
+        assert_eq!(parsed.stats.messages, 12);
+    }
+
+    #[test]
+    fn run_gossip_workload() {
+        let out = run_strs(&[
+            "run", "--gossip", "4", "--rounds", "2", "--seed", "3", "--stats",
+        ])
+        .unwrap();
+        let stats = synctime_obs::RunStats::from_json(&out).unwrap();
+        assert_eq!(stats.process_count, 4);
+        // Each round pairs all 4 processes into 2 couples, 2 messages each.
+        assert_eq!(stats.messages, 8);
+        assert!(run_strs(&["run", "--gossip", "1"])
+            .unwrap_err()
+            .contains("at least 2"));
+    }
+
+    #[test]
+    fn rendezvous_timeout_flags_parse_and_clean_runs_pass() {
+        let out = run_strs(&[
+            "run",
+            "--ring",
+            "3",
+            "--rounds",
+            "2",
+            "--rendezvous-timeout",
+            "5000",
+            "--rendezvous-retries",
+            "2",
+            "--stats",
+        ])
+        .unwrap();
+        let stats = synctime_obs::RunStats::from_json(&out).unwrap();
+        assert_eq!(stats.messages, 6);
+        assert!(
+            run_strs(&["run", "--ring", "3", "--rendezvous-timeout", "soon"])
+                .unwrap_err()
+                .contains("milliseconds")
+        );
+    }
+
+    #[test]
+    fn faultplan_generator_is_seeded() {
+        let args = [
+            "faultplan",
+            "--processes",
+            "5",
+            "--max-op",
+            "10",
+            "--crashes",
+            "2",
+            "--desyncs",
+            "1",
+            "--seed",
+            "7",
+        ];
+        let a = run_strs(&args).unwrap();
+        assert_eq!(a, run_strs(&args).unwrap(), "same seed, same plan");
+        let plan = synctime_sim::FaultPlan::from_json(&a).unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        // Killing every process is rejected up front.
+        let err = run_strs(&[
+            "faultplan",
+            "--processes",
+            "3",
+            "--max-op",
+            "5",
+            "--crashes",
+            "3",
+        ])
+        .unwrap_err();
+        assert!(err.contains("survivors"), "{err}");
     }
 
     #[test]

@@ -173,6 +173,188 @@ impl DeltaDecoder {
     }
 }
 
+/// Why a [`StreamDecoder`] rejected a frame.
+///
+/// [`DeltaDecoder`] collapses every failure into `None`; the sequence-framed
+/// streams distinguish *recoverable* losses (a [`StreamError::SeqGap`] — the
+/// decoder missed a frame and a full-vector resync frame will re-anchor it)
+/// from terminal ones (garbage bytes, or a delta arriving on a stream that
+/// never saw a full vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The frame bytes could not be parsed at all.
+    Malformed,
+    /// A delta frame arrived with the wrong sequence number: at least one
+    /// frame was lost or injected. Recoverable — the sender re-anchors the
+    /// stream by transmitting a full frame (see [`StreamEncoder::force_full`]).
+    SeqGap {
+        /// The sequence number the decoder expected next.
+        expected: u64,
+        /// The sequence number the frame carried.
+        got: u64,
+    },
+    /// A delta frame arrived before any full vector established stream
+    /// state; there is nothing to apply the delta to.
+    OrphanDelta,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Malformed => write!(f, "malformed stream frame"),
+            StreamError::SeqGap { expected, got } => {
+                write!(
+                    f,
+                    "stream sequence gap: expected frame {expected}, got {got}"
+                )
+            }
+            StreamError::OrphanDelta => {
+                write!(f, "delta frame arrived before any full vector")
+            }
+        }
+    }
+}
+
+/// Per-peer state of a sequence-framed delta stream at the sender.
+#[derive(Debug, Clone)]
+struct StreamSendState {
+    next_seq: u64,
+    last_sent: VectorTime,
+    force_full: bool,
+}
+
+/// A [`DeltaEncoder`] whose frames carry a per-peer sequence number, so the
+/// receiving [`StreamDecoder`] can *detect* a desynchronised stream instead
+/// of silently applying a delta to the wrong base.
+///
+/// Frame layout: `varint(seq)` then the [`DeltaEncoder`] tag+body (`0` =
+/// full vector, `1` = delta against the previous frame). Delta frames are
+/// only valid at exactly the expected sequence number; full frames
+/// *re-anchor* the stream at any sequence number at or past the expected
+/// one, which is what makes recovery possible — after a detected gap the
+/// sender calls [`StreamEncoder::force_full`] and the next frame repairs
+/// the stream no matter how many frames went missing.
+#[derive(Debug, Clone, Default)]
+pub struct StreamEncoder {
+    peers: HashMap<ProcessId, StreamSendState>,
+}
+
+impl StreamEncoder {
+    /// A fresh encoder (first frame to each peer is a full vector).
+    pub fn new() -> Self {
+        StreamEncoder::default()
+    }
+
+    /// Encodes `v` as the next frame of the stream to `to`.
+    pub fn encode(&mut self, to: ProcessId, v: &VectorTime) -> Vec<u8> {
+        let (seq, body) = match self.peers.get_mut(&to) {
+            Some(state) if !state.force_full && state.last_sent.dim() == v.dim() => {
+                let mut body = vec![1u8];
+                body.extend(encode_delta(&state.last_sent, v));
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.last_sent = v.clone();
+                (seq, body)
+            }
+            existing => {
+                let seq = existing.as_ref().map_or(0, |s| s.next_seq);
+                let mut body = vec![0u8];
+                body.extend(encode_full(v));
+                self.peers.insert(
+                    to,
+                    StreamSendState {
+                        next_seq: seq + 1,
+                        last_sent: v.clone(),
+                        force_full: false,
+                    },
+                );
+                (seq, body)
+            }
+        };
+        let mut out = Vec::with_capacity(body.len() + 2);
+        push_varint(&mut out, seq);
+        out.extend(body);
+        out
+    }
+
+    /// Makes the next frame to `to` a full vector regardless of delta
+    /// state — the resync path after a receiver reported a sequence gap.
+    pub fn force_full(&mut self, to: ProcessId) {
+        if let Some(state) = self.peers.get_mut(&to) {
+            state.force_full = true;
+        }
+    }
+
+    /// Advances the stream to `to` as if a frame had been sent and lost:
+    /// the sequence number moves but no bytes are produced, so the peer's
+    /// decoder will report a [`StreamError::SeqGap`] on the next delta
+    /// frame. Returns `false` (and does nothing) when no frame has ever
+    /// been sent to `to` — a fresh stream opens with a full frame, which
+    /// re-anchors unconditionally, so there is no desync to simulate yet.
+    pub fn skip(&mut self, to: ProcessId) -> bool {
+        match self.peers.get_mut(&to) {
+            Some(state) => {
+                state.next_seq += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Per-peer state decoding [`StreamEncoder`] frames, rejecting anything
+/// that does not line up with the expected sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct StreamDecoder {
+    peers: HashMap<ProcessId, (u64, VectorTime)>,
+}
+
+impl StreamDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Decodes the next frame received from `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::SeqGap`] when a frame arrives out of sequence (a
+    /// delta anywhere but the expected number, or a full frame *behind*
+    /// it); [`StreamError::OrphanDelta`] for a delta on a virgin stream;
+    /// [`StreamError::Malformed`] for unparseable bytes. Only a
+    /// successfully decoded frame advances the stream state.
+    pub fn decode(&mut self, from: ProcessId, bytes: &[u8]) -> Result<VectorTime, StreamError> {
+        let mut pos = 0usize;
+        let seq = read_varint(bytes, &mut pos).ok_or(StreamError::Malformed)?;
+        let (tag, rest) = bytes[pos..].split_first().ok_or(StreamError::Malformed)?;
+        let state = self.peers.get(&from);
+        let expected = state.map_or(0, |(next, _)| *next);
+        let v = match tag {
+            0 => {
+                // Full frames re-anchor: any sequence number at or past the
+                // expected one is acceptable (frames between were lost, but
+                // a full vector needs no prior state). A *stale* full frame
+                // is still a protocol violation.
+                if seq < expected {
+                    return Err(StreamError::SeqGap { expected, got: seq });
+                }
+                decode_full(rest).ok_or(StreamError::Malformed)?
+            }
+            1 => {
+                let (_, base) = state.ok_or(StreamError::OrphanDelta)?;
+                if seq != expected {
+                    return Err(StreamError::SeqGap { expected, got: seq });
+                }
+                apply_delta(base, rest).ok_or(StreamError::Malformed)?
+            }
+            _ => return Err(StreamError::Malformed),
+        };
+        self.peers.insert(from, (seq + 1, v.clone()));
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +440,94 @@ mod tests {
         let first_to_b = enc.encode(1, &v);
         assert_eq!(first_to_a[0], 0);
         assert_eq!(first_to_b[0], 0, "fresh peer gets a full vector");
+    }
+
+    #[test]
+    fn stream_roundtrip_in_sequence() {
+        let mut enc = StreamEncoder::new();
+        let mut dec = StreamDecoder::new();
+        let steps = [
+            VectorTime::from(vec![1, 0, 0]),
+            VectorTime::from(vec![1, 2, 0]),
+            VectorTime::from(vec![4, 2, 9]),
+        ];
+        for v in &steps {
+            let frame = enc.encode(7, v);
+            assert_eq!(dec.decode(7, &frame).as_ref(), Ok(v));
+        }
+    }
+
+    #[test]
+    fn skipped_frame_is_detected_and_full_frame_recovers() {
+        let mut enc = StreamEncoder::new();
+        let mut dec = StreamDecoder::new();
+        let a = VectorTime::from(vec![1, 0]);
+        let b = VectorTime::from(vec![1, 2]);
+        let c = VectorTime::from(vec![3, 2]);
+        assert_eq!(dec.decode(0, &enc.encode(0, &a)), Ok(a));
+        // A frame goes missing; the next delta must not silently apply.
+        assert!(enc.skip(0), "established stream can skip");
+        let desynced = enc.encode(0, &b);
+        assert_eq!(
+            dec.decode(0, &desynced),
+            Err(StreamError::SeqGap {
+                expected: 1,
+                got: 2
+            })
+        );
+        // The failed frame must not have advanced decoder state: replaying
+        // the same frame fails identically.
+        assert!(dec.decode(0, &desynced).is_err());
+        // Sender resyncs with a forced full frame carrying the same vector.
+        enc.force_full(0);
+        let resync = enc.encode(0, &b);
+        assert_eq!(dec.decode(0, &resync), Ok(b));
+        // And the stream is back in delta lock-step afterwards.
+        let next = enc.encode(0, &c);
+        assert_eq!(next[1], 1, "post-resync frame is a delta again");
+        assert_eq!(dec.decode(0, &next), Ok(c));
+    }
+
+    #[test]
+    fn skip_on_virgin_stream_is_a_no_op() {
+        let mut enc = StreamEncoder::new();
+        let mut dec = StreamDecoder::new();
+        assert!(!enc.skip(3), "nothing sent yet: nothing to desynchronise");
+        let v = VectorTime::from(vec![5]);
+        assert_eq!(dec.decode(3, &enc.encode(3, &v)), Ok(v));
+    }
+
+    #[test]
+    fn stream_decoder_rejects_garbage_orphans_and_stale_fulls() {
+        let mut dec = StreamDecoder::new();
+        assert_eq!(dec.decode(0, &[]), Err(StreamError::Malformed));
+        assert_eq!(dec.decode(0, &[0, 9, 1, 2]), Err(StreamError::Malformed));
+        // A delta before any full vector cannot be applied.
+        let mut enc = StreamEncoder::new();
+        enc.encode(0, &VectorTime::from(vec![1]));
+        let delta = enc.encode(0, &VectorTime::from(vec![2]));
+        assert_eq!(dec.decode(0, &delta), Err(StreamError::OrphanDelta));
+        // Establish state, then replay the opening full frame: stale.
+        let mut enc2 = StreamEncoder::new();
+        let opening = enc2.encode(0, &VectorTime::from(vec![1]));
+        assert!(dec.decode(0, &opening).is_ok());
+        assert_eq!(
+            dec.decode(0, &opening),
+            Err(StreamError::SeqGap {
+                expected: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn stream_per_peer_state_is_independent() {
+        let mut enc = StreamEncoder::new();
+        let v = VectorTime::from(vec![1, 1]);
+        enc.encode(0, &v);
+        assert!(enc.skip(0));
+        // Peer 1's stream is untouched by peer 0's desync.
+        let mut dec = StreamDecoder::new();
+        assert_eq!(dec.decode(1, &enc.encode(1, &v)), Ok(v));
     }
 }

@@ -60,6 +60,12 @@ pub struct DeadlockDiagnosis {
     /// genuine all-blocked rendezvous stall cannot produce, but a snapshot
     /// taken mid-transition can.
     pub cycle: Vec<usize>,
+    /// Processes whose threads had already terminated (finished, crashed,
+    /// or were fault-injected) when the snapshot was taken. A wait on a
+    /// terminated peer is *not* a deadlock edge — it resolves with
+    /// `PeerTerminated` as soon as the waiter wakes — so these processes
+    /// are excluded from cycle extraction and reported here instead.
+    pub terminated: Vec<usize>,
 }
 
 impl DeadlockDiagnosis {
@@ -70,8 +76,28 @@ impl DeadlockDiagnosis {
     /// rotated so it starts at its smallest process id, making diagnoses
     /// deterministic for tests and log comparison.
     pub fn from_waiting(waiting: Vec<WaitEdge>) -> Self {
-        let successor =
-            |p: usize| -> Option<usize> { waiting.iter().find(|e| e.process == p).map(|e| e.peer) };
+        DeadlockDiagnosis::from_waiting_filtered(waiting, Vec::new())
+    }
+
+    /// Diagnoses a stall, ignoring waits that involve terminated processes.
+    ///
+    /// An injected crash leaves its peers parked on a dead process for a
+    /// moment; those waits look like deadlock edges to a naive snapshot but
+    /// will resolve with `PeerTerminated` on their own. Dropping every edge
+    /// whose process *or* peer is in `terminated` before walking for cycles
+    /// keeps the watchdog from misreporting a crash as a deadlock. The full
+    /// `waiting` snapshot is preserved for display either way.
+    pub fn from_waiting_filtered(waiting: Vec<WaitEdge>, terminated: Vec<usize>) -> Self {
+        let successor = |p: usize| -> Option<usize> {
+            if terminated.contains(&p) {
+                return None;
+            }
+            waiting
+                .iter()
+                .find(|e| e.process == p)
+                .filter(|e| !terminated.contains(&e.peer))
+                .map(|e| e.peer)
+        };
         let mut cycle = Vec::new();
         for start in waiting.iter().map(|e| e.process) {
             let mut path = vec![start];
@@ -96,7 +122,11 @@ impl DeadlockDiagnosis {
         {
             cycle.rotate_left(min_pos);
         }
-        DeadlockDiagnosis { waiting, cycle }
+        DeadlockDiagnosis {
+            waiting,
+            cycle,
+            terminated,
+        }
     }
 }
 
@@ -118,6 +148,12 @@ impl fmt::Display for DeadlockDiagnosis {
                 " [P{} {} P{} for {}ms]",
                 e.process, e.op, e.peer, e.blocked_ms
             )?;
+        }
+        if !self.terminated.is_empty() {
+            write!(f, "; terminated:")?;
+            for p in &self.terminated {
+                write!(f, " P{p}")?;
+            }
         }
         Ok(())
     }
@@ -183,5 +219,35 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         let back: DeadlockDiagnosis = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn wait_on_terminated_peer_is_not_a_cycle() {
+        // 0 and 1 would form a cycle, but 1's thread is already dead: 0's
+        // wait resolves with PeerTerminated, so no deadlock is diagnosed.
+        let d = DeadlockDiagnosis::from_waiting_filtered(
+            vec![
+                edge(0, WaitOp::ReceiveFrom, 1),
+                edge(1, WaitOp::ReceiveFrom, 0),
+            ],
+            vec![1],
+        );
+        assert!(d.cycle.is_empty(), "crash misdiagnosed as deadlock: {d}");
+        assert_eq!(d.terminated, vec![1]);
+        assert!(d.to_string().contains("terminated: P1"), "got: {d}");
+    }
+
+    #[test]
+    fn genuine_cycle_survives_unrelated_termination() {
+        // 3 is dead and 0 waits on it, but {1, 2} still deadlock each other.
+        let d = DeadlockDiagnosis::from_waiting_filtered(
+            vec![
+                edge(0, WaitOp::ReceiveFrom, 3),
+                edge(1, WaitOp::SendTo, 2),
+                edge(2, WaitOp::SendTo, 1),
+            ],
+            vec![3],
+        );
+        assert_eq!(d.cycle, vec![1, 2]);
     }
 }

@@ -4,7 +4,7 @@
 //! push; nothing allocates after construction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::stats::{nearest_rank_percentile, ProcessStats, RunStats};
@@ -106,6 +106,8 @@ pub struct ProcessRecorder {
     wire_bytes_full: AtomicU64,
     blocked_ns: AtomicU64,
     wakeups: AtomicU64,
+    resyncs: AtomicU64,
+    faults: AtomicU64,
     events: Mutex<Ring>,
     epoch: Instant,
 }
@@ -119,6 +121,8 @@ impl ProcessRecorder {
             wire_bytes_full: AtomicU64::new(0),
             blocked_ns: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             events: Mutex::new(Ring::new(ring_capacity)),
             epoch,
         }
@@ -133,7 +137,10 @@ impl ProcessRecorder {
             at_ns: self.now_ns(),
             kind,
         };
-        self.events.lock().expect("obs ring poisoned").push(event);
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
     }
 
     /// Records a completed send and its acknowledgement round-trip.
@@ -195,6 +202,19 @@ impl ProcessRecorder {
         self.push(ObsEventKind::Wakeup { latency_ns });
     }
 
+    /// Records one full-vector resync frame retransmitted after a detected
+    /// delta-stream desynchronisation (counted at the sender, where the
+    /// frame is actually re-encoded).
+    pub fn record_resync(&self) {
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fault-injector action firing on this process (a crash,
+    /// delay, or armed desync).
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages sent so far.
     pub fn sends(&self) -> u64 {
         self.sends.load(Ordering::Relaxed)
@@ -207,7 +227,10 @@ impl ProcessRecorder {
 
     /// Recent events, oldest retained first.
     pub fn events(&self) -> Vec<ObsEvent> {
-        self.events.lock().expect("obs ring poisoned").in_order()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .in_order()
     }
 }
 
@@ -259,6 +282,8 @@ impl Recorder {
         let mut latencies: Vec<u64> = Vec::new();
         let mut wakeup_latencies: Vec<u64> = Vec::new();
         let mut wakeups = 0u64;
+        let mut resync_frames = 0u64;
+        let mut faults_injected = 0u64;
         let mut dropped = 0usize;
         for (id, p) in self.processes.iter().enumerate() {
             per_process.push(ProcessStats {
@@ -270,7 +295,9 @@ impl Recorder {
                 blocked_ns: p.blocked_ns.load(Ordering::Relaxed),
             });
             wakeups += p.wakeups.load(Ordering::Relaxed);
-            let ring = p.events.lock().expect("obs ring poisoned");
+            resync_frames += p.resyncs.load(Ordering::Relaxed);
+            faults_injected += p.faults.load(Ordering::Relaxed);
+            let ring = p.events.lock().unwrap_or_else(PoisonError::into_inner);
             dropped += ring.dropped();
             for event in ring.in_order() {
                 match event.kind {
@@ -301,6 +328,8 @@ impl Recorder {
             wakeup_max_ns: wakeup_latencies.last().copied().unwrap_or(0),
             latency_sample_dropped: dropped as u64,
             max_vector_component,
+            resync_frames,
+            faults_injected,
             per_process,
         }
     }
@@ -369,5 +398,18 @@ mod tests {
         assert_eq!(stats.messages, 0);
         assert_eq!(stats.ack_latency_p99_ns, 0);
         assert_eq!(stats.per_process.len(), 3);
+        assert_eq!(stats.resync_frames, 0);
+        assert_eq!(stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn resync_and_fault_counters_aggregate() {
+        let rec = Recorder::new(2, 8);
+        rec.process(0).record_resync();
+        rec.process(0).record_resync();
+        rec.process(1).record_fault();
+        let stats = rec.finish(0);
+        assert_eq!(stats.resync_frames, 2);
+        assert_eq!(stats.faults_injected, 1);
     }
 }

@@ -69,6 +69,13 @@ pub struct RunStats {
     /// is that components track edge-group activity, so this bounds the
     /// per-component growth for the run.
     pub max_vector_component: u64,
+    /// Full-vector resync frames retransmitted after a detected
+    /// delta-stream desynchronisation (zero in a fault-free run: the
+    /// per-channel FIFO slots keep the streams in lock-step).
+    pub resync_frames: u64,
+    /// Fault-injector actions that actually fired during the run (crashes,
+    /// delays, armed desyncs). Zero when no injector is configured.
+    pub faults_injected: u64,
     /// Per-process breakdown.
     pub per_process: Vec<ProcessStats>,
 }
@@ -139,6 +146,8 @@ mod tests {
             wakeup_max_ns: 2600,
             latency_sample_dropped: 0,
             max_vector_component: 5,
+            resync_frames: 0,
+            faults_injected: 0,
             per_process: vec![
                 ProcessStats {
                     process: 0,

@@ -41,6 +41,33 @@ pub enum RuntimeError {
         /// The wait-for graph snapshot taken when the watchdog fired.
         diagnosis: DeadlockDiagnosis,
     },
+    /// A per-channel delta stream desynchronised beyond what the resync
+    /// protocol can repair (a malformed frame, a desynchronised
+    /// acknowledgement stream, or more consecutive gaps than the resync
+    /// budget allows). Contained to the channel: other channels' streams
+    /// are unaffected.
+    DeltaDesync {
+        /// The stream's sending endpoint.
+        from: ProcessId,
+        /// The stream's receiving endpoint.
+        to: ProcessId,
+    },
+    /// A rendezvous wait exceeded the configured timeout, including every
+    /// backoff retry (see `Runtime::with_rendezvous_timeout`).
+    RendezvousTimeout {
+        /// The peer the operation was waiting on.
+        peer: ProcessId,
+        /// Total time spent waiting across all retries, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A configured fault injector terminated this process (a scheduled
+    /// crash from a fault plan — see the `FaultInjector` trait).
+    FaultInjected {
+        /// The crashed process.
+        process: ProcessId,
+        /// The operation index at which the crash fired.
+        at_op: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -60,6 +87,24 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Deadlock { diagnosis } => {
                 write!(f, "rendezvous deadlock: {diagnosis}")
+            }
+            RuntimeError::DeltaDesync { from, to } => {
+                write!(
+                    f,
+                    "delta stream on channel ({from} -> {to}) desynchronised beyond recovery"
+                )
+            }
+            RuntimeError::RendezvousTimeout { peer, waited_ms } => {
+                write!(
+                    f,
+                    "rendezvous with process {peer} timed out after {waited_ms}ms (all retries exhausted)"
+                )
+            }
+            RuntimeError::FaultInjected { process, at_op } => {
+                write!(
+                    f,
+                    "injected fault crashed process {process} at operation {at_op}"
+                )
             }
         }
     }

@@ -1,0 +1,79 @@
+//! The fault-injection hook consulted by the runtime at every rendezvous
+//! operation boundary.
+//!
+//! The runtime itself knows nothing about fault *schedules* — it only asks
+//! an injector, before each `send`/`receive_from`, what should happen to
+//! this process's next operation. Deterministic schedules (seeded crash
+//! plans, scripted delays, forced delta-stream desyncs) live in
+//! `synctime-sim`'s `FaultPlan`, which implements [`FaultInjector`]; tests
+//! can implement the trait directly for hand-crafted scenarios.
+//!
+//! Crashes fire at operation *boundaries* — before the process touches any
+//! channel slot — so a crashed process never leaves a half-completed
+//! rendezvous behind: every rendezvous it logged was fully acknowledged on
+//! both sides, which is what lets partial runs reconstruct the surviving
+//! prefix of the computation (Theorem 4 on the survivors).
+
+use std::time::Duration;
+
+use synctime_trace::ProcessId;
+
+/// What a [`FaultInjector`] asks the runtime to do at one operation
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultAction {
+    /// Proceed normally.
+    #[default]
+    None,
+    /// Terminate this process's behavior with
+    /// [`RuntimeError::FaultInjected`](crate::RuntimeError::FaultInjected).
+    /// Peers blocked on it observe
+    /// [`RuntimeError::PeerTerminated`](crate::RuntimeError::PeerTerminated).
+    Crash,
+    /// Sleep this long before starting the operation (models a stalled
+    /// peer; exercises watchdog and timeout paths without killing anyone).
+    Delay(Duration),
+    /// Desynchronise this process's outgoing data delta stream at its next
+    /// send: the stream's sequence number advances as if a frame were lost.
+    /// Sticky — if the current operation is a receive, the desync applies
+    /// to the next send that actually happens.
+    DesyncNext,
+}
+
+/// A deterministic fault source.
+///
+/// Implementations must be cheap and pure: the runtime calls
+/// [`FaultInjector::action`] on the hot path, once per rendezvous
+/// operation, from every process thread concurrently.
+pub trait FaultInjector: std::fmt::Debug + Send + Sync {
+    /// The action for `process`'s `op_index`-th rendezvous operation
+    /// (op indices count this process's `send` + `receive_from` calls from
+    /// zero, in program order).
+    fn action(&self, process: ProcessId, op_index: u64) -> FaultAction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct CrashAt(ProcessId, u64);
+
+    impl FaultInjector for CrashAt {
+        fn action(&self, process: ProcessId, op_index: u64) -> FaultAction {
+            if process == self.0 && op_index == self.1 {
+                FaultAction::Crash
+            } else {
+                FaultAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let injector: Box<dyn FaultInjector> = Box::new(CrashAt(1, 3));
+        assert_eq!(injector.action(1, 3), FaultAction::Crash);
+        assert_eq!(injector.action(1, 2), FaultAction::None);
+        assert_eq!(injector.action(0, 3), FaultAction::None);
+    }
+}

@@ -61,14 +61,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod matcher;
 mod runtime;
 
 pub use error::RuntimeError;
+pub use fault::{FaultAction, FaultInjector};
 pub use matcher::{Matcher, BLOCK_POLL};
 pub use runtime::{
     Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun, DEFAULT_EVENT_RING,
-    DEFAULT_WATCHDOG_TIMEOUT,
+    DEFAULT_RENDEZVOUS_RETRIES, DEFAULT_WATCHDOG_TIMEOUT,
 };
 // Re-exported so downstream users can consume diagnoses and stats without
 // depending on `synctime-obs` directly.

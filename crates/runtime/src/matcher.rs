@@ -18,7 +18,7 @@
 //! so benchmarks can measure the parking fast path against it
 //! (`results/BENCH_online_runtime.json`).
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How blocked rendezvous endpoints wait for their partner.
@@ -80,6 +80,11 @@ pub(crate) enum SlotState {
         /// When the acknowledgement was deposited (and the sender notified).
         acked: Instant,
     },
+    /// The receiver took the offer but could not decode its piggybacked
+    /// vector (a delta-stream sequence gap): it asks the sender to
+    /// re-offer the same message as a full-vector resync frame. Deposited
+    /// in place of `Acked`, consumed by the sender's resync loop.
+    ResyncRequested,
 }
 
 /// A directed channel's rendezvous slot: both endpoints hold an `Arc` to it.
@@ -97,8 +102,14 @@ impl ChannelSlot {
         }
     }
 
+    /// Locks the slot, recovering from poisoning: a panicking endpoint must
+    /// not cascade into panics on every survivor that later touches the
+    /// channel. Slot state transitions are individually consistent (each
+    /// deposit writes a complete state), so the recovered guard is safe to
+    /// use — at worst the survivor observes debris from the aborted
+    /// exchange, which the wait loops already tolerate.
     pub(crate) fn lock(&self) -> MutexGuard<'_, SlotState> {
-        self.state.lock().expect("rendezvous slot poisoned")
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Notifies the slot's waiters (call with the guard held or just
@@ -119,21 +130,27 @@ impl ChannelSlot {
 
     /// One blocked-wait step under the given strategy: parks on the condvar
     /// (with a backstop timeout) or sleeps one poll interval and re-locks.
+    ///
+    /// `cap` bounds this single step from above so a caller enforcing a
+    /// rendezvous timeout is woken close to its deadline instead of a full
+    /// park backstop past it.
     pub(crate) fn wait_step<'a>(
         &'a self,
         guard: MutexGuard<'a, SlotState>,
         matcher: Matcher,
+        cap: Option<Duration>,
     ) -> MutexGuard<'a, SlotState> {
         match matcher {
             Matcher::Parking => {
+                let step = cap.map_or(PARK_BACKSTOP, |c| c.min(PARK_BACKSTOP));
                 self.cond
-                    .wait_timeout(guard, PARK_BACKSTOP)
-                    .expect("rendezvous slot poisoned")
+                    .wait_timeout(guard, step)
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0
             }
             Matcher::Polling => {
                 drop(guard);
-                std::thread::sleep(BLOCK_POLL);
+                std::thread::sleep(cap.map_or(BLOCK_POLL, |c| c.min(BLOCK_POLL)));
                 self.lock()
             }
         }
@@ -171,7 +188,7 @@ mod tests {
                         }
                         other => {
                             *st = other;
-                            st = slot.wait_step(st, Matcher::Parking);
+                            st = slot.wait_step(st, Matcher::Parking, None);
                         }
                     }
                 }
@@ -196,7 +213,7 @@ mod tests {
                 }
                 other => {
                     *st = other;
-                    st = slot.wait_step(st, Matcher::Parking);
+                    st = slot.wait_step(st, Matcher::Parking, None);
                 }
             }
         }
@@ -205,11 +222,41 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_slot_is_recovered_not_cascaded() {
+        // A thread panicking while holding the slot lock must not make
+        // every later lock() on the slot panic too.
+        let slot = Arc::new(ChannelSlot::new());
+        let poisoner = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let _guard = slot.lock();
+                panic!("poison the slot");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        let guard = slot.lock(); // must not panic
+        assert!(matches!(*guard, SlotState::Empty));
+        drop(guard);
+        // wait_step's re-lock paths recover too.
+        let guard = slot.lock();
+        let _guard = slot.wait_step(guard, Matcher::Parking, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn capped_parking_wait_returns_promptly() {
+        let slot = ChannelSlot::new();
+        let guard = slot.lock();
+        let t0 = Instant::now();
+        let _guard = slot.wait_step(guard, Matcher::Parking, Some(Duration::from_millis(5)));
+        assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
     fn polling_wait_step_relocks_after_interval() {
         let slot = ChannelSlot::new();
         let guard = slot.lock();
         let t0 = Instant::now();
-        let guard = slot.wait_step(guard, Matcher::Polling);
+        let guard = slot.wait_step(guard, Matcher::Polling, None);
         assert!(t0.elapsed() >= BLOCK_POLL);
         assert!(matches!(*guard, SlotState::Empty));
     }

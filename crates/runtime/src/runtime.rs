@@ -1,17 +1,36 @@
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use synctime_core::online::ProcessClock;
-use synctime_core::wire::{DeltaDecoder, DeltaEncoder};
+use synctime_core::wire::{StreamDecoder, StreamEncoder, StreamError};
 use synctime_core::{MessageTimestamps, VectorTime};
 use synctime_graph::{Edge, EdgeDecomposition, Graph};
 use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
 
+use crate::fault::{FaultAction, FaultInjector};
 use crate::matcher::{ChannelSlot, SlotState, Wire};
 use crate::{Matcher, RuntimeError};
+
+/// Locks a mutex, recovering from poisoning instead of panicking: every
+/// value behind these locks is written atomically from the holder's
+/// perspective (whole-`Option` replacements), so a panic between lock and
+/// unlock cannot leave a torn value — survivors may safely keep going.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Most consecutive resync round-trips one rendezvous tolerates before the
+/// channel's data stream is declared desynchronised beyond recovery.
+const MAX_RESYNC: u32 = 4;
+
+/// Default number of backoff retries a rendezvous timeout allows before
+/// [`RuntimeError::RendezvousTimeout`] surfaces (each retry doubles the
+/// previous wait budget).
+pub const DEFAULT_RENDEZVOUS_RETRIES: u32 = 3;
 
 /// A process's registered wait while parked in a rendezvous operation.
 #[derive(Debug, Clone, Copy)]
@@ -65,14 +84,12 @@ impl RunShared {
     }
 
     fn deadlock_error(&self) -> RuntimeError {
-        let diagnosis = self
-            .diagnosis
-            .lock()
-            .expect("diagnosis lock poisoned")
+        let diagnosis = lock_recover(&self.diagnosis)
             .clone()
             .unwrap_or(DeadlockDiagnosis {
                 waiting: Vec::new(),
                 cycle: Vec::new(),
+                terminated: Vec::new(),
             });
         RuntimeError::Deadlock { diagnosis }
     }
@@ -96,11 +113,13 @@ fn watchdog_loop(shared: &RunShared, timeout: Duration) {
             return;
         }
         let mut expired = Vec::new();
+        let mut terminated = Vec::new();
         for (p, live) in shared.live.iter().enumerate() {
             if !live.load(Ordering::Acquire) {
+                terminated.push(p);
                 continue;
             }
-            let slot = shared.blocked[p].lock().expect("blocked lock poisoned");
+            let slot = lock_recover(&shared.blocked[p]);
             if let Some(b) = &*slot {
                 if b.since.elapsed() >= timeout {
                     expired.push(WaitEdge {
@@ -115,13 +134,16 @@ fn watchdog_loop(shared: &RunShared, timeout: Duration) {
         if expired.is_empty() {
             continue;
         }
-        let diagnosis = DeadlockDiagnosis::from_waiting(expired);
+        // Waits on terminated peers resolve with `PeerTerminated` on their
+        // own — excluding them from cycle extraction keeps an injected
+        // crash from being misreported as a deadlock.
+        let diagnosis = DeadlockDiagnosis::from_waiting_filtered(expired, terminated);
         if diagnosis.cycle.is_empty() {
             // Parked threads, but every wait chain dead-ends in a process
             // that is still making progress: slow, not deadlocked.
             continue;
         }
-        *shared.diagnosis.lock().expect("diagnosis lock poisoned") = Some(diagnosis);
+        *lock_recover(&shared.diagnosis) = Some(diagnosis);
         shared.abort.store(true, Ordering::Release);
         shared.wake_all();
         return;
@@ -191,17 +213,82 @@ pub struct ProcessCtx {
     /// baseline reported as `wire_bytes_full`.
     rendezvous_bytes_full: u64,
     /// Delta encoder for vectors piggybacked on outgoing data messages,
-    /// one Singhal–Kshemkalyani stream per receiver. The per-channel FIFO
-    /// slot keeps each stream in lock-step with the receiver's `dec_data`.
-    enc_data: DeltaEncoder,
+    /// one sequence-framed Singhal–Kshemkalyani stream per receiver. The
+    /// per-channel FIFO slot keeps each stream in lock-step with the
+    /// receiver's `dec_data`; the sequence framing makes any slip
+    /// detectable and the resync protocol repairs it with a full frame.
+    enc_data: StreamEncoder,
     /// Delta decoder for vectors arriving on incoming data messages, one
     /// stream per sender.
-    dec_data: DeltaDecoder,
+    dec_data: StreamDecoder,
     /// Delta encoder for acknowledgement vectors sent back to senders.
-    enc_ack: DeltaEncoder,
+    enc_ack: StreamEncoder,
     /// Delta decoder for acknowledgement vectors coming back from
     /// receivers.
-    dec_ack: DeltaDecoder,
+    dec_ack: StreamDecoder,
+    /// Fault source consulted at every operation boundary, if any.
+    fault: Option<Arc<dyn FaultInjector>>,
+    /// This process's rendezvous operations so far (`send` +
+    /// `receive_from` calls, in program order) — the index fault plans
+    /// schedule against.
+    op_index: u64,
+    /// An armed [`FaultAction::DesyncNext`] waiting for the next send on
+    /// which it can actually fire (a virgin stream cannot desync — its
+    /// opening full frame re-anchors unconditionally).
+    pending_desync: bool,
+    /// Per-operation rendezvous wait bound, if configured.
+    rendezvous_timeout: Option<Duration>,
+    /// Backoff retries granted before a timeout surfaces.
+    rendezvous_retries: u32,
+}
+
+/// Per-operation bookkeeping for the optional rendezvous timeout: each
+/// expiry either re-arms with a doubled budget (bounded retry backoff) or
+/// reports the total time waited so the caller can surface
+/// [`RuntimeError::RendezvousTimeout`].
+#[derive(Debug, Clone, Copy)]
+struct WaitBudget {
+    started: Instant,
+    deadline: Option<Instant>,
+    step: Duration,
+    retries_left: u32,
+}
+
+impl WaitBudget {
+    fn new(timeout: Option<Duration>, retries: u32) -> Self {
+        let now = Instant::now();
+        WaitBudget {
+            started: now,
+            deadline: timeout.and_then(|t| now.checked_add(t)),
+            step: timeout.map(|t| t * 2).unwrap_or_default(),
+            retries_left: retries,
+        }
+    }
+
+    /// Time left before the current deadline; `None` without a timeout.
+    fn cap(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// `Err(waited_ms)` once the deadline has expired with no retries
+    /// left; otherwise re-arms expired deadlines with exponential backoff.
+    fn check(&mut self) -> Result<(), u64> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now < deadline {
+            return Ok(());
+        }
+        if self.retries_left == 0 {
+            return Err(self.started.elapsed().as_millis() as u64);
+        }
+        self.retries_left -= 1;
+        self.deadline = now.checked_add(self.step);
+        self.step = self.step.saturating_mul(2);
+        Ok(())
+    }
 }
 
 impl ProcessCtx {
@@ -216,9 +303,7 @@ impl ProcessCtx {
     }
 
     fn enter_blocked(&self, op: WaitOp, peer: ProcessId) {
-        *self.shared.blocked[self.id]
-            .lock()
-            .expect("blocked lock poisoned") = Some(BlockedOn {
+        *lock_recover(&self.shared.blocked[self.id]) = Some(BlockedOn {
             op,
             peer,
             since: Instant::now(),
@@ -228,9 +313,7 @@ impl ProcessCtx {
     /// Clears this process's parked registration, returning how long it
     /// was held.
     fn exit_blocked(&self) -> Duration {
-        self.shared.blocked[self.id]
-            .lock()
-            .expect("blocked lock poisoned")
+        lock_recover(&self.shared.blocked[self.id])
             .take()
             .map(|b| b.since.elapsed())
             .unwrap_or_default()
@@ -244,11 +327,12 @@ impl ProcessCtx {
     fn park_step<'a>(
         &self,
         slot: &'a ChannelSlot,
-        guard: std::sync::MutexGuard<'a, SlotState>,
+        guard: MutexGuard<'a, SlotState>,
         op: WaitOp,
         peer: ProcessId,
         parked: &mut bool,
-    ) -> Result<std::sync::MutexGuard<'a, SlotState>, RuntimeError> {
+        budget: &mut WaitBudget,
+    ) -> Result<MutexGuard<'a, SlotState>, RuntimeError> {
         if self.shared.aborted() {
             if *parked {
                 self.exit_blocked();
@@ -261,11 +345,17 @@ impl ProcessCtx {
             }
             return Err(self.peer_gone(peer));
         }
+        if let Err(waited_ms) = budget.check() {
+            if *parked {
+                self.exit_blocked();
+            }
+            return Err(RuntimeError::RendezvousTimeout { peer, waited_ms });
+        }
         if !*parked {
             *parked = true;
             self.enter_blocked(op, peer);
         }
-        Ok(slot.wait_step(guard, self.matcher))
+        Ok(slot.wait_step(guard, self.matcher, budget.cap()))
     }
 
     /// Finishes a parked phase: clears the registration and accumulates the
@@ -286,6 +376,53 @@ impl ProcessCtx {
             self.shared.deadlock_error()
         } else {
             RuntimeError::PeerTerminated { peer }
+        }
+    }
+
+    /// Consults the fault injector at an operation boundary (the entry of
+    /// every `send`/`receive_from`, before any channel slot is touched).
+    /// Crashes surface as [`RuntimeError::FaultInjected`]; delays sleep
+    /// inline; desyncs arm the sticky `pending_desync` flag consumed by
+    /// the next send.
+    fn fault_check(&mut self) -> Result<(), RuntimeError> {
+        let at_op = self.op_index;
+        self.op_index += 1;
+        let Some(injector) = &self.fault else {
+            return Ok(());
+        };
+        match injector.action(self.id, at_op) {
+            FaultAction::None => Ok(()),
+            FaultAction::Crash => {
+                self.recorder.process(self.id).record_fault();
+                Err(RuntimeError::FaultInjected {
+                    process: self.id,
+                    at_op,
+                })
+            }
+            FaultAction::Delay(d) => {
+                self.recorder.process(self.id).record_fault();
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultAction::DesyncNext => {
+                self.recorder.process(self.id).record_fault();
+                self.pending_desync = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes this process's own offer from `slot` if it still sits there
+    /// untaken, so an errored send leaves no debris blocking the channel.
+    /// The outgoing stream stays one frame ahead of the peer's decoder
+    /// after a retraction, which is fine: the next send on the channel
+    /// trips the decoder's sequence check and heals through the ordinary
+    /// resync path.
+    fn retract_offer(&self, slot: &ChannelSlot, key: u64) {
+        let mut st = slot.lock();
+        if matches!(&*st, SlotState::Offered { wire, .. } if wire.key == key) {
+            *st = SlotState::Empty;
+            slot.notify();
         }
     }
 
@@ -322,25 +459,26 @@ impl ProcessCtx {
         if self.shared.aborted() {
             return Err(self.shared.deadlock_error());
         }
+        self.fault_check()?;
         let group = self.group_for(self.id, to)?;
         let key = ((self.id as u64) << 32) | self.seq;
         self.seq += 1;
-        // Delta-encode the piggybacked vector against this channel's stream.
-        // An errored rendezvous leaves the stream one step ahead of its
-        // decoder, but every error below is terminal for the channel (abort,
-        // peer exit), so the desync is never observed.
-        let encoded = self.enc_data.encode(to, &self.clock.send_payload());
-        let msg_bytes = 16 + encoded.len() as u64;
-        let wire = Wire {
-            key,
-            payload,
-            vector: encoded,
-        };
         let slot = Arc::clone(
             self.data_out
                 .get(&to)
                 .ok_or(RuntimeError::NoChannel { from: self.id, to })?,
         );
+        // An armed desync fault fires here: the outgoing stream's sequence
+        // number advances as if a frame were lost, which the receiver will
+        // detect and repair through the resync protocol below.
+        if self.pending_desync && self.enc_data.skip(to) {
+            self.pending_desync = false;
+        }
+        // `send_payload` is non-mutating, so the very same vector can be
+        // re-encoded verbatim when a resync retransmission is needed.
+        let vector = self.clock.send_payload();
+        let mut encoded = self.enc_data.encode(to, &vector);
+        let mut budget = WaitBudget::new(self.rendezvous_timeout, self.rendezvous_retries);
         let mut blocked = Duration::ZERO;
         let mut st = slot.lock();
         // In a healthy run the slot is always Empty here (each send on a
@@ -348,49 +486,124 @@ impl ProcessCtx {
         // rendezvous can leave debris; waiting keeps the state machine
         // self-consistent and lets the abort check surface the real error.
         let mut parked = false;
-        while !matches!(*st, SlotState::Empty) {
-            st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked)?;
+        loop {
+            match &*st {
+                SlotState::Empty => break,
+                SlotState::ResyncRequested => {
+                    // Debris from an earlier errored send on this channel:
+                    // the receiver asked for a resync nobody serviced. This
+                    // fresh send re-anchors the stream with a full frame.
+                    *st = SlotState::Empty;
+                    self.enc_data.force_full(to);
+                    encoded = self.enc_data.encode(to, &vector);
+                    self.recorder.process(self.id).record_resync();
+                    break;
+                }
+                _ => {
+                    st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked, &mut budget)?;
+                }
+            }
         }
         blocked += self.unpark(parked);
-        *st = SlotState::Offered {
-            wire,
-            at: Instant::now(),
-        };
-        slot.notify();
-        // Wait for the receiver to take the offer and hand back its
-        // pre-update vector. While the offer sits untaken the visible state
-        // is still `Offered`, i.e. the peer has not matched yet — so the
-        // wait registers as `SendTo` (take and ack are atomic; a distinct
-        // "awaiting ack" phase is never observable with this matcher).
-        let mut parked = false;
-        let (ack, taken, acked) = loop {
-            match std::mem::replace(&mut *st, SlotState::Empty) {
-                SlotState::Acked { ack, taken, acked } => break (ack, taken, acked),
-                other => {
-                    *st = other;
-                    st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked)?;
+        // Offer/await-ack loop: a ResyncRequested answer re-offers the same
+        // message as a full-vector frame (bounded by MAX_RESYNC). While the
+        // offer sits untaken the visible state is still `Offered`, i.e. the
+        // peer has not matched yet — so the wait registers as `SendTo`
+        // (take and ack are atomic; a distinct "awaiting ack" phase is
+        // never observable with this matcher).
+        let mut msg_bytes_total = 0u64;
+        let mut resyncs = 0u32;
+        let (ack, taken, acked, last_parked) = loop {
+            msg_bytes_total += 16 + encoded.len() as u64;
+            *st = SlotState::Offered {
+                wire: Wire {
+                    key,
+                    payload,
+                    vector: encoded.clone(),
+                },
+                at: Instant::now(),
+            };
+            slot.notify();
+            let mut parked = false;
+            let outcome = loop {
+                match std::mem::replace(&mut *st, SlotState::Empty) {
+                    SlotState::Acked { ack, taken, acked } => break Some((ack, taken, acked)),
+                    SlotState::ResyncRequested => break None,
+                    other => {
+                        *st = other;
+                        match self.park_step(
+                            &slot,
+                            st,
+                            WaitOp::SendTo,
+                            to,
+                            &mut parked,
+                            &mut budget,
+                        ) {
+                            Ok(g) => st = g,
+                            Err(e) => {
+                                // The guard is gone; re-lock to retract our
+                                // untaken offer so the channel is left clean
+                                // for any survivor.
+                                self.retract_offer(&slot, key);
+                                self.recorder
+                                    .process(self.id)
+                                    .record_blocked(blocked.as_nanos() as u64);
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            };
+            blocked += self.unpark(parked);
+            match outcome {
+                Some((ack, taken, acked)) => {
+                    break (ack, taken, acked, parked);
+                }
+                None => {
+                    resyncs += 1;
+                    if resyncs > MAX_RESYNC {
+                        drop(st);
+                        self.recorder
+                            .process(self.id)
+                            .record_blocked(blocked.as_nanos() as u64);
+                        return Err(RuntimeError::DeltaDesync { from: self.id, to });
+                    }
+                    self.enc_data.force_full(to);
+                    encoded = self.enc_data.encode(to, &vector);
+                    self.recorder.process(self.id).record_resync();
+                    // Loop re-offers; the slot is Empty (the request was
+                    // consumed above) and we still hold the guard.
                 }
             }
         };
         slot.notify();
         drop(st);
-        blocked += self.unpark(parked);
         let ack_bytes = ack.len() as u64;
-        // FIFO slots keep the per-channel delta streams in lock-step, so an
-        // undecodable ack is a runtime invariant violation, not a user error.
-        let ack = self
-            .dec_ack
-            .decode(to, &ack)
-            .expect("acknowledgement delta stream desynchronised");
+        // The acknowledgement stream has no resync path — the receiver has
+        // already completed its side of the rendezvous — so a desynchronised
+        // ack stream is terminal. Terminal for this channel only: other
+        // channels' streams are independent.
+        let ack = match self.dec_ack.decode(to, &ack) {
+            Ok(v) => v,
+            Err(_) => {
+                self.recorder
+                    .process(self.id)
+                    .record_blocked(blocked.as_nanos() as u64);
+                return Err(RuntimeError::DeltaDesync {
+                    from: to,
+                    to: self.id,
+                });
+            }
+        };
         let stamp = self.clock.on_acknowledgement(&ack, group);
         let me = self.recorder.process(self.id);
-        if parked {
+        if last_parked {
             me.record_wakeup(acked.elapsed().as_nanos() as u64);
         }
         me.record_blocked(blocked.as_nanos() as u64);
         me.record_send(
             to,
-            msg_bytes + ack_bytes,
+            msg_bytes_total + ack_bytes,
             self.rendezvous_bytes_full,
             taken.elapsed().as_nanos() as u64,
         );
@@ -424,32 +637,76 @@ impl ProcessCtx {
         if self.shared.aborted() {
             return Err(self.shared.deadlock_error());
         }
+        self.fault_check()?;
         let group = self.group_for(from, self.id)?;
         let slot = Arc::clone(
             self.data_in
                 .get(&from)
                 .ok_or(RuntimeError::NoChannel { from, to: self.id })?,
         );
+        let mut budget = WaitBudget::new(self.rendezvous_timeout, self.rendezvous_retries);
         let mut st = slot.lock();
         let mut parked = false;
-        let (wire, offered_at) = loop {
+        let mut blocked = Duration::ZERO;
+        // Bytes of offers this receive bounced back for resync — they moved
+        // on the wire, so they count toward the actual cost.
+        let mut resync_bytes = 0u64;
+        let mut resyncs = 0u32;
+        let (wire, offered_at, vector) = loop {
             match std::mem::replace(&mut *st, SlotState::Empty) {
-                SlotState::Offered { wire, at } => break (wire, at),
+                SlotState::Offered { wire, at } => {
+                    match self.dec_data.decode(from, &wire.vector) {
+                        Ok(vector) => break (wire, at, vector),
+                        Err(StreamError::SeqGap { .. }) if resyncs < MAX_RESYNC => {
+                            // The stream skipped a frame. Recoverable: hand
+                            // the sender a resync request and wait for the
+                            // re-offered full-vector frame. The failed
+                            // decode did not advance stream state, so the
+                            // resync frame applies cleanly.
+                            resyncs += 1;
+                            resync_bytes += 16 + wire.vector.len() as u64;
+                            *st = SlotState::ResyncRequested;
+                            slot.notify();
+                        }
+                        Err(_) => {
+                            // Malformed frame, orphan delta, or resync
+                            // budget exhausted: this channel's stream is
+                            // beyond repair. Other channels are unaffected.
+                            blocked += self.unpark(parked);
+                            drop(st);
+                            self.recorder
+                                .process(self.id)
+                                .record_blocked(blocked.as_nanos() as u64);
+                            return Err(RuntimeError::DeltaDesync { from, to: self.id });
+                        }
+                    }
+                }
                 other => {
                     *st = other;
-                    st = self.park_step(&slot, st, WaitOp::ReceiveFrom, from, &mut parked)?;
+                    match self.park_step(
+                        &slot,
+                        st,
+                        WaitOp::ReceiveFrom,
+                        from,
+                        &mut parked,
+                        &mut budget,
+                    ) {
+                        Ok(g) => st = g,
+                        Err(e) => {
+                            self.recorder
+                                .process(self.id)
+                                .record_blocked(blocked.as_nanos() as u64);
+                            return Err(e);
+                        }
+                    }
                 }
             }
         };
-        let recv_wait = self.unpark(parked);
+        let recv_wait = blocked + self.unpark(parked);
         let taken = Instant::now();
-        let vector = self
-            .dec_data
-            .decode(from, &wire.vector)
-            .expect("message delta stream desynchronised");
         let (ack, stamp) = self.clock.on_receive(&vector, group);
         let ack_bytes = self.enc_ack.encode(from, &ack);
-        let wire_actual = 16 + wire.vector.len() as u64 + ack_bytes.len() as u64;
+        let wire_actual = 16 + wire.vector.len() as u64 + resync_bytes + ack_bytes.len() as u64;
         *st = SlotState::Acked {
             ack: ack_bytes,
             taken,
@@ -494,6 +751,9 @@ pub struct Runtime {
     watchdog: Option<Duration>,
     ring_capacity: usize,
     matcher: Matcher,
+    fault: Option<Arc<dyn FaultInjector>>,
+    rendezvous_timeout: Option<Duration>,
+    rendezvous_retries: u32,
 }
 
 /// Default stall timeout before the watchdog declares a deadlock.
@@ -518,6 +778,9 @@ impl Runtime {
             watchdog: Some(DEFAULT_WATCHDOG_TIMEOUT),
             ring_capacity: DEFAULT_EVENT_RING,
             matcher: Matcher::default(),
+            fault: None,
+            rendezvous_timeout: None,
+            rendezvous_retries: DEFAULT_RENDEZVOUS_RETRIES,
         }
     }
 
@@ -542,6 +805,39 @@ impl Runtime {
     #[must_use]
     pub fn with_matcher(mut self, matcher: Matcher) -> Self {
         self.matcher = matcher;
+        self
+    }
+
+    /// Threads a deterministic fault injector into the run: the runtime
+    /// consults it at every rendezvous operation boundary (see
+    /// [`FaultInjector`]). `synctime-sim`'s `FaultPlan` is the standard
+    /// implementation — a seeded schedule of crashes, delays, and
+    /// delta-stream desyncs.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+
+    /// Bounds every rendezvous wait: an operation that cannot match within
+    /// `timeout` is granted [`DEFAULT_RENDEZVOUS_RETRIES`] exponentially
+    /// backed-off extensions (doubling each time), then fails with
+    /// [`RuntimeError::RendezvousTimeout`]. A timed-out send retracts its
+    /// untaken offer, so the channel stays usable for survivors. Off by
+    /// default — rendezvous semantics say a wait may legitimately be
+    /// unbounded.
+    #[must_use]
+    pub fn with_rendezvous_timeout(mut self, timeout: Duration) -> Self {
+        self.rendezvous_timeout = Some(timeout);
+        self
+    }
+
+    /// Overrides the number of backoff retries a rendezvous timeout allows
+    /// before surfacing (the total budget with `r` retries is roughly
+    /// `timeout * (2^(r+1) - 1)`).
+    #[must_use]
+    pub fn with_rendezvous_retries(mut self, retries: u32) -> Self {
+        self.rendezvous_retries = retries;
         self
     }
 
@@ -587,6 +883,29 @@ impl Runtime {
     ///
     /// Panics if `behaviors.len()` differs from the process count.
     pub fn run(&self, behaviors: Vec<Behavior>) -> Result<RuntimeRun, RuntimeError> {
+        let run = self.run_tolerant(behaviors);
+        if let Some(err) = run.outcomes.iter().flatten().next() {
+            return Err(err.clone());
+        }
+        Ok(run)
+    }
+
+    /// Runs like [`Runtime::run`] but survives per-process failures: every
+    /// behavior's outcome (including injected crashes, peer terminations,
+    /// and panics) is reported individually in [`RuntimeRun::outcomes`],
+    /// and the logs of casualties and survivors alike are kept — so the
+    /// surviving prefix of the computation still reconstructs and its
+    /// timestamps can still be checked against the causal order.
+    ///
+    /// This is the entry point for fault-injected executions: a fault plan
+    /// with `k < N` crashes takes down `k` processes (plus whoever then
+    /// observes [`RuntimeError::PeerTerminated`]), while the run itself
+    /// completes and reports what happened to each process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behaviors.len()` differs from the process count.
+    pub fn run_tolerant(&self, behaviors: Vec<Behavior>) -> RuntimeRun {
         let n = self.topology.node_count();
         assert_eq!(behaviors.len(), n, "need exactly one behavior per process");
         // One rendezvous slot per directed channel; both endpoints share it.
@@ -625,14 +944,19 @@ impl Runtime {
                 shared: Arc::clone(&shared),
                 recorder: Arc::clone(&recorder),
                 rendezvous_bytes_full,
-                enc_data: DeltaEncoder::new(),
-                dec_data: DeltaDecoder::new(),
-                enc_ack: DeltaEncoder::new(),
-                dec_ack: DeltaDecoder::new(),
+                enc_data: StreamEncoder::new(),
+                dec_data: StreamDecoder::new(),
+                enc_ack: StreamEncoder::new(),
+                dec_ack: StreamDecoder::new(),
+                fault: self.fault.clone(),
+                op_index: 0,
+                pending_desync: false,
+                rendezvous_timeout: self.rendezvous_timeout,
+                rendezvous_retries: self.rendezvous_retries,
             });
         }
 
-        let results: Vec<Result<Vec<LogEntry>, RuntimeError>> = std::thread::scope(|s| {
+        let results: Vec<(Vec<LogEntry>, Option<RuntimeError>)> = std::thread::scope(|s| {
             if let Some(timeout) = self.watchdog {
                 let shared = Arc::clone(&shared);
                 s.spawn(move || watchdog_loop(&shared, timeout));
@@ -643,15 +967,22 @@ impl Runtime {
                 .map(|(behavior, mut ctx)| {
                     let shared = Arc::clone(&shared);
                     s.spawn(move || {
-                        let result = behavior(&mut ctx);
+                        let id = ctx.id;
+                        // catch_unwind keeps a panicking behavior from
+                        // unwinding through the runtime: the process's log
+                        // survives for partial reconstruction, and no
+                        // panic propagates before the liveness flag and
+                        // peer wakeups below run — so survivors observe a
+                        // clean PeerTerminated instead of a hang.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
+                            .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
                         // Finished processes are no longer candidates for a
                         // deadlock; tell the watchdog and wake parked peers
                         // so they observe the exit instead of waiting for
                         // the park backstop.
-                        shared.live[ctx.id].store(false, Ordering::Release);
+                        shared.live[id].store(false, Ordering::Release);
                         shared.wake_all();
-                        result?;
-                        Ok(ctx.log)
+                        (ctx.log, outcome.err())
                     })
                 })
                 .collect();
@@ -659,8 +990,12 @@ impl Runtime {
                 .into_iter()
                 .enumerate()
                 .map(|(p, h)| {
-                    h.join()
-                        .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: p }))
+                    h.join().unwrap_or_else(|_| {
+                        (
+                            Vec::new(),
+                            Some(RuntimeError::BehaviorPanicked { process: p }),
+                        )
+                    })
                 })
                 .collect();
             shared.finished.store(true, Ordering::Release);
@@ -668,8 +1003,10 @@ impl Runtime {
         });
 
         let mut logs = Vec::with_capacity(n);
-        for r in results {
-            logs.push(r?);
+        let mut outcomes = Vec::with_capacity(n);
+        for (log, outcome) in results {
+            logs.push(log);
+            outcomes.push(outcome);
         }
         // Components only grow and every increment is captured in a logged
         // stamp, so the run-wide maximum component is the maximum over all
@@ -685,11 +1022,12 @@ impl Runtime {
             })
             .max()
             .unwrap_or(0);
-        Ok(RuntimeRun {
+        RuntimeRun {
             process_count: n,
             logs,
+            outcomes,
             stats: recorder.finish(max_component),
-        })
+        }
     }
 }
 
@@ -698,6 +1036,7 @@ impl Runtime {
 pub struct RuntimeRun {
     process_count: usize,
     logs: Vec<Vec<LogEntry>>,
+    outcomes: Vec<Option<RuntimeError>>,
     stats: RunStats,
 }
 
@@ -705,6 +1044,19 @@ impl RuntimeRun {
     /// The per-process execution logs.
     pub fn logs(&self) -> &[Vec<LogEntry>] {
         &self.logs
+    }
+
+    /// How each process's behavior ended: `None` for a clean return, the
+    /// error otherwise (injected crashes, peer terminations, timeouts,
+    /// panics). All `None` when obtained through [`Runtime::run`], which
+    /// converts the first failure into its own error.
+    pub fn outcomes(&self) -> &[Option<RuntimeError>] {
+        &self.outcomes
+    }
+
+    /// Number of processes whose behavior completed without error.
+    pub fn survivors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_none()).count()
     }
 
     /// Observability summary of the run: message counts, ack-latency and
@@ -765,10 +1117,15 @@ impl RuntimeRun {
                 }
             }
         }
+        // `from_process_sequences` already validated that every message
+        // appears at both endpoints, so a missing stamp is unreachable —
+        // but surfaced as a typed error, not a panic, to keep the runtime
+        // crate panic-free.
         let vectors: Vec<VectorTime> = stamps
             .into_iter()
-            .map(|s| s.expect("every message has at least one logged endpoint"))
-            .collect();
+            .enumerate()
+            .map(|(id, s)| s.ok_or(TraceError::MalformedSequences { message: id }))
+            .collect::<Result<_, _>>()?;
         Ok((computation, MessageTimestamps::new(vectors)))
     }
 }
@@ -1068,6 +1425,158 @@ mod tests {
             ])
             .expect("slow sender misdiagnosed as deadlock");
         assert_eq!(run.stats().messages, 1);
+    }
+
+    /// Fires one scripted action at a single `(process, op_index)` pair.
+    #[derive(Debug)]
+    struct InjectAt {
+        process: ProcessId,
+        at_op: u64,
+        action: FaultAction,
+    }
+
+    impl FaultInjector for InjectAt {
+        fn action(&self, process: ProcessId, op_index: u64) -> FaultAction {
+            if process == self.process && op_index == self.at_op {
+                self.action
+            } else {
+                FaultAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn injected_crash_unblocks_peers_with_typed_errors() {
+        // P1 crashes before its first operation; both neighbors are parked
+        // on it. Even under a tight watchdog this must resolve as typed
+        // PeerTerminated errors — never a panic, never a Deadlock report.
+        let topo = topology::path(3);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec)
+            .with_watchdog(Duration::from_millis(100))
+            .with_fault_injector(Arc::new(InjectAt {
+                process: 1,
+                at_op: 0,
+                action: FaultAction::Crash,
+            }));
+        let run = rt.run_tolerant(vec![
+            Box::new(|ctx| ctx.send(1, 7).map(|_| ())),
+            Box::new(|ctx| ctx.receive_from(0).map(|_| ())),
+            Box::new(|ctx| ctx.receive_from(1).map(|_| ())),
+        ]);
+        assert_eq!(
+            run.outcomes()[1],
+            Some(RuntimeError::FaultInjected {
+                process: 1,
+                at_op: 0
+            })
+        );
+        assert_eq!(
+            run.outcomes()[0],
+            Some(RuntimeError::PeerTerminated { peer: 1 })
+        );
+        assert_eq!(
+            run.outcomes()[2],
+            Some(RuntimeError::PeerTerminated { peer: 1 })
+        );
+        assert_eq!(run.survivors(), 0);
+        assert_eq!(run.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn forced_desync_recovers_via_resync_frames() {
+        // Desync P0's outgoing data stream at its second send: the receiver
+        // detects the sequence gap, requests a full-vector resync, and the
+        // run completes with correct stamps — degradation, not failure.
+        let (rt, behaviors) = ping_pong(5);
+        let rt = rt.with_fault_injector(Arc::new(InjectAt {
+            process: 0,
+            at_op: 2,
+            action: FaultAction::DesyncNext,
+        }));
+        let run = rt.run(behaviors).expect("desync must be recovered");
+        let stats = run.stats();
+        assert!(stats.resync_frames >= 1, "no resync recorded: {stats:?}");
+        assert_eq!(stats.faults_injected, 1);
+        let (comp, stamps) = run.reconstruct().unwrap();
+        assert_eq!(comp.message_count(), 10);
+        assert!(stamps.encodes(&Oracle::new(&comp)));
+    }
+
+    #[test]
+    fn injected_delay_slows_but_completes() {
+        let (rt, behaviors) = ping_pong(3);
+        let rt = rt.with_fault_injector(Arc::new(InjectAt {
+            process: 1,
+            at_op: 0,
+            action: FaultAction::Delay(Duration::from_millis(50)),
+        }));
+        let started = Instant::now();
+        let run = rt.run(behaviors).expect("a delay is not a failure");
+        assert!(started.elapsed() >= Duration::from_millis(50));
+        assert_eq!(run.stats().faults_injected, 1);
+        assert_eq!(run.stats().messages, 6);
+    }
+
+    #[test]
+    fn rendezvous_timeout_fires_with_typed_error() {
+        // P1 is alive but naps past the sender's rendezvous budget: the
+        // send gives up with RendezvousTimeout instead of blocking forever,
+        // and the napper itself finishes cleanly.
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec)
+            .without_watchdog()
+            .with_rendezvous_timeout(Duration::from_millis(50))
+            .with_rendezvous_retries(0);
+        let run = rt.run_tolerant(vec![
+            Box::new(|ctx| ctx.send(1, 1).map(|_| ())),
+            Box::new(|_| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            }),
+        ]);
+        match &run.outcomes()[0] {
+            Some(RuntimeError::RendezvousTimeout { peer: 1, waited_ms }) => {
+                assert!(*waited_ms >= 50, "gave up too early: {waited_ms}ms");
+            }
+            other => panic!("expected RendezvousTimeout, got {other:?}"),
+        }
+        assert_eq!(run.outcomes()[1], None);
+        assert_eq!(run.survivors(), 1);
+    }
+
+    #[test]
+    fn panic_preserves_partial_logs_and_surviving_prefix() {
+        // P1 completes one rendezvous, then panics. The casualty's log must
+        // survive (it rode the panic boundary, not the thread teardown), and
+        // the completed prefix must still reconstruct with correct stamps.
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let run = rt.run_tolerant(vec![
+            Box::new(|ctx| {
+                ctx.send(1, 9)?;
+                match ctx.receive_from(1) {
+                    Err(RuntimeError::PeerTerminated { peer: 1 }) => Ok(()),
+                    other => panic!("expected PeerTerminated, got {other:?}"),
+                }
+            }),
+            Box::new(|ctx| {
+                let (x, _) = ctx.receive_from(0)?;
+                assert_eq!(x, 9);
+                panic!("scripted crash after a completed rendezvous");
+            }),
+        ]);
+        assert_eq!(
+            run.outcomes()[1],
+            Some(RuntimeError::BehaviorPanicked { process: 1 })
+        );
+        assert_eq!(run.survivors(), 1);
+        assert!(!run.logs()[1].is_empty(), "casualty's log was lost");
+        let (comp, stamps) = run.reconstruct().expect("surviving prefix reconstructs");
+        assert_eq!(comp.message_count(), 1);
+        assert!(stamps.encodes(&Oracle::new(&comp)));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Deterministic fault schedules for the rendezvous runtime.
+//!
+//! A [`FaultPlan`] is a seeded, serialisable script of faults — crashes,
+//! rendezvous delays, and forced delta-stream desyncs — keyed by
+//! `(process, op_index)`. It implements the runtime's
+//! [`FaultInjector`] hook, so the same plan drives the same failures on
+//! every run: fault experiments are as reproducible as the fault-free
+//! workloads in [`workload`](crate::workload).
+//!
+//! Plans round-trip through JSON (`synctime run --fault-plan plan.json`):
+//!
+//! ```json
+//! {"faults": [
+//!   {"process": 2, "at_op": 7, "kind": "crash"},
+//!   {"process": 1, "at_op": 3, "kind": {"delay": {"ms": 5}}},
+//!   {"process": 0, "at_op": 2, "kind": "desync"}
+//! ]}
+//! ```
+
+use std::time::Duration;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use synctime_runtime::{FaultAction, FaultInjector};
+use synctime_trace::ProcessId;
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Terminate the process at the operation boundary (typed
+    /// `FaultInjected` error; peers observe `PeerTerminated`).
+    #[serde(rename = "crash")]
+    Crash,
+    /// Stall the process this many milliseconds before the operation.
+    #[serde(rename = "delay")]
+    Delay {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Desynchronise the process's outgoing data delta stream at its next
+    /// send, forcing the receiver through the full-vector resync path.
+    #[serde(rename = "desync")]
+    Desync,
+}
+
+/// One scheduled fault: `kind` fires when `process` reaches its
+/// `at_op`-th rendezvous operation (sends and receives counted together,
+/// from zero, in program order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The process the fault targets.
+    pub process: usize,
+    /// The operation index at which it fires.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, usable directly as the runtime's
+/// [`FaultInjector`].
+///
+/// When several events share a `(process, at_op)` key, the first one in
+/// `faults` wins — plans behave like ordered scripts, not sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, in priority order.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults — the runtime behaves exactly as if no
+    /// injector were configured.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Generates a random plan: `crashes` *distinct* processes crash (so at
+    /// most `process_count` processes can be named, and `k < N` crash plans
+    /// always leave survivors), and `desyncs` desync events land on
+    /// arbitrary processes. Every `at_op` is drawn uniformly from
+    /// `0..max_op.max(1)`.
+    ///
+    /// Deterministic in the generator: the same seeded `rng` yields the
+    /// same plan.
+    pub fn random<R: Rng + ?Sized>(
+        process_count: usize,
+        max_op: u64,
+        crashes: usize,
+        desyncs: usize,
+        rng: &mut R,
+    ) -> Self {
+        let op_bound = max_op.max(1);
+        let mut victims: Vec<usize> = (0..process_count).collect();
+        victims.shuffle(rng);
+        victims.truncate(crashes.min(process_count));
+        let mut faults: Vec<FaultEvent> = victims
+            .into_iter()
+            .map(|process| FaultEvent {
+                process,
+                at_op: rng.gen_range(0..op_bound),
+                kind: FaultKind::Crash,
+            })
+            .collect();
+        for _ in 0..desyncs {
+            if process_count == 0 {
+                break;
+            }
+            faults.push(FaultEvent {
+                process: rng.gen_range(0..process_count),
+                at_op: rng.gen_range(0..op_bound),
+                kind: FaultKind::Desync,
+            });
+        }
+        FaultPlan { faults }
+    }
+
+    /// Pretty-printed JSON rendering of the plan.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FaultPlan serialises infallibly")
+    }
+
+    /// Parses a plan previously produced by [`FaultPlan::to_json`] (or
+    /// written by hand in the same shape).
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn action(&self, process: ProcessId, op_index: u64) -> FaultAction {
+        self.faults
+            .iter()
+            .find(|e| e.process == process && e.at_op == op_index)
+            .map(|e| match e.kind {
+                FaultKind::Crash => FaultAction::Crash,
+                FaultKind::Delay { ms } => FaultAction::Delay(Duration::from_millis(ms)),
+                FaultKind::Desync => FaultAction::DesyncNext,
+            })
+            .unwrap_or(FaultAction::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> FaultPlan {
+        FaultPlan {
+            faults: vec![
+                FaultEvent {
+                    process: 2,
+                    at_op: 7,
+                    kind: FaultKind::Crash,
+                },
+                FaultEvent {
+                    process: 1,
+                    at_op: 3,
+                    kind: FaultKind::Delay { ms: 5 },
+                },
+                FaultEvent {
+                    process: 0,
+                    at_op: 2,
+                    kind: FaultKind::Desync,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = sample();
+        let json = plan.to_json();
+        assert!(json.contains("\"crash\""), "got: {json}");
+        assert!(json.contains("\"delay\""), "got: {json}");
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn parses_handwritten_plan() {
+        let plan = FaultPlan::from_json(
+            r#"{"faults": [
+                {"process": 2, "at_op": 7, "kind": "crash"},
+                {"process": 1, "at_op": 3, "kind": {"delay": {"ms": 5}}},
+                {"process": 0, "at_op": 2, "kind": "desync"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan, sample());
+    }
+
+    #[test]
+    fn injector_maps_events_to_actions() {
+        let plan = sample();
+        assert_eq!(plan.action(2, 7), FaultAction::Crash);
+        assert_eq!(
+            plan.action(1, 3),
+            FaultAction::Delay(Duration::from_millis(5))
+        );
+        assert_eq!(plan.action(0, 2), FaultAction::DesyncNext);
+        assert_eq!(plan.action(0, 3), FaultAction::None);
+        assert_eq!(plan.action(3, 7), FaultAction::None);
+    }
+
+    #[test]
+    fn first_matching_event_wins() {
+        let plan = FaultPlan {
+            faults: vec![
+                FaultEvent {
+                    process: 0,
+                    at_op: 0,
+                    kind: FaultKind::Desync,
+                },
+                FaultEvent {
+                    process: 0,
+                    at_op: 0,
+                    kind: FaultKind::Crash,
+                },
+            ],
+        };
+        assert_eq!(plan.action(0, 0), FaultAction::DesyncNext);
+    }
+
+    #[test]
+    fn random_plans_are_seeded_and_crash_distinct_processes() {
+        let a = FaultPlan::random(6, 10, 3, 2, &mut StdRng::seed_from_u64(42));
+        let b = FaultPlan::random(6, 10, 3, 2, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b, "same seed must yield the same plan");
+        let c = FaultPlan::random(6, 10, 3, 2, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c, "different seeds should differ");
+
+        let crashed: Vec<usize> = a
+            .faults
+            .iter()
+            .filter(|e| e.kind == FaultKind::Crash)
+            .map(|e| e.process)
+            .collect();
+        assert_eq!(crashed.len(), 3);
+        let mut dedup = crashed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), crashed.len(), "crash victims must be distinct");
+        assert!(a.faults.iter().all(|e| e.process < 6 && e.at_op < 10));
+        assert_eq!(
+            a.faults
+                .iter()
+                .filter(|e| e.kind == FaultKind::Desync)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn crash_requests_cap_at_process_count() {
+        let plan = FaultPlan::random(3, 5, 10, 0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(plan.faults.len(), 3);
+        assert!(FaultPlan::random(0, 5, 2, 2, &mut StdRng::seed_from_u64(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        for p in 0..4 {
+            for op in 0..4 {
+                assert_eq!(plan.action(p, op), FaultAction::None);
+            }
+        }
+    }
+}

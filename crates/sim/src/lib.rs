@@ -17,7 +17,10 @@
 //!   *programs* (per-process scripts of send/receive/internal operations)
 //!   that resolves rendezvous pairs and emits the resulting
 //!   [`SyncComputation`](synctime_trace::SyncComputation), detecting
-//!   deadlock when the scripts cannot rendezvous.
+//!   deadlock when the scripts cannot rendezvous;
+//! * [`fault`] — seeded, JSON-serialisable fault schedules (crashes,
+//!   delays, forced delta-stream desyncs) that plug into the runtime's
+//!   fault-injection hook for crash-robustness experiments.
 //!
 //! Everything is seeded and deterministic: the same seed yields the same
 //! computation, so experiments are reproducible run-to-run.
@@ -25,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod programs;
 pub mod scenarios;
 pub mod sim;
 pub mod workload;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use scenarios::Scenario;
 pub use sim::{enumerate_schedules, Op, Program, SimError, Simulator};

@@ -17,6 +17,11 @@
 #      its own smoke report and the checked-in results/ JSON against the
 #      synctime/bench_offline_pipeline/v1 schema (including the >= 10x
 #      sparse-vs-dense speedup claim in the full report)
+#   9. fault-smoke: ring and gossip workloads under fixed crash and desync
+#      plans must exit 0 with typed outcomes, inject every scheduled fault,
+#      and recover desyncs through full-vector resync frames
+#  10. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +45,62 @@ run cargo bench -q -p synctime-bench --bench online_runtime -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_online_runtime.json"
 run cargo bench -q -p synctime-bench --bench offline_pipeline -- \
   --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_offline_pipeline.json"
+
+# --- fault-smoke: seeded fault plans must degrade gracefully, never panic.
+SYNCTIME="target/release/synctime"
+FAULT_DIR="$(mktemp -d)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"; rm -rf "$FAULT_DIR"' EXIT
+
+# Assert `"field": value` in a fault-run report satisfies a predicate.
+stat_check() { # file field op value
+  local got
+  got="$(grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$')"
+  [ -n "$got" ] || { echo "verify: $1 lacks field $2" >&2; exit 1; }
+  [ "$got" "-$3" "$4" ] || {
+    echo "verify: $1: $2 = $got, want -$3 $4" >&2
+    exit 1
+  }
+}
+
+cat > "$FAULT_DIR/crash.json" <<'EOF'
+{"faults": [{"process": 2, "at_op": 1, "kind": "crash"}]}
+EOF
+cat > "$FAULT_DIR/desync.json" <<'EOF'
+{"faults": [{"process": 0, "at_op": 2, "kind": "desync"},
+            {"process": 1, "at_op": 3, "kind": "desync"}]}
+EOF
+
+echo "==> fault-smoke: ring under crash plan"
+"$SYNCTIME" run --ring 5 --rounds 4 --watchdog-ms 2000 \
+  --fault-plan "$FAULT_DIR/crash.json" > "$FAULT_DIR/crash.out"
+stat_check "$FAULT_DIR/crash.out" faults_injected eq 1
+grep -q '"injected fault crashed process 2' "$FAULT_DIR/crash.out" || {
+  echo "verify: crash run lacks typed FaultInjected outcome" >&2; exit 1; }
+
+echo "==> fault-smoke: ring under desync plan"
+"$SYNCTIME" run --ring 4 --rounds 5 \
+  --fault-plan "$FAULT_DIR/desync.json" > "$FAULT_DIR/desync-ring.out"
+stat_check "$FAULT_DIR/desync-ring.out" faults_injected ge 1
+stat_check "$FAULT_DIR/desync-ring.out" resync_frames ge 1
+grep -q '"outcomes": \[null, null, null, null\]' "$FAULT_DIR/desync-ring.out" || {
+  echo "verify: desync ring run did not recover cleanly" >&2; exit 1; }
+
+echo "==> fault-smoke: gossip under desync plan"
+"$SYNCTIME" run --gossip 4 --rounds 4 --seed 11 \
+  --fault-plan "$FAULT_DIR/desync.json" > "$FAULT_DIR/desync-gossip.out"
+stat_check "$FAULT_DIR/desync-gossip.out" faults_injected ge 1
+stat_check "$FAULT_DIR/desync-gossip.out" resync_frames ge 1
+grep -q '"outcomes": \[null, null, null, null\]' "$FAULT_DIR/desync-gossip.out" || {
+  echo "verify: desync gossip run did not recover cleanly" >&2; exit 1; }
+
+echo "==> panic-free gate: crates/runtime/src"
+for f in crates/runtime/src/*.rs; do
+  # Only non-test code is gated: cut each file at its test module.
+  if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+      | grep -nE '\.unwrap\(\)|\.expect\(' ; then
+    echo "verify: $f has unwrap/expect on a non-test path (use typed RuntimeError)" >&2
+    exit 1
+  fi
+done
 
 echo "==> verify: all green"

@@ -263,6 +263,78 @@ proptest! {
         }
     }
 
+    /// Crash robustness — Theorem 4 restricted to survivors: under any
+    /// seeded fault plan with k < N crashes, every process exits with a
+    /// typed verdict (never a panic, never a deadlock misdiagnosis), and
+    /// the completed rendezvous prefix reconstructs with timestamps that
+    /// encode `↦` exactly on that prefix.
+    #[test]
+    fn crashed_runs_keep_survivor_prefix_order_isomorphic(
+        n in 3usize..7,
+        extra in 0usize..4,
+        msgs in 4usize..25,
+        crashes in 1usize..3,
+        seed in 0u64..5000,
+    ) {
+        use std::sync::Arc;
+        use std::time::Duration;
+        use synctime::runtime::{Behavior, Runtime, RuntimeError};
+        use synctime::sim::{programs, FaultPlan};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = graph::topology::random_connected(n, extra, &mut rng);
+        let comp = random_computation(&topo, msgs, seed.wrapping_add(53));
+        // Confluent directed scripts: deadlock-free on the threaded
+        // runtime, so the only failures are the injected ones.
+        let scripts = programs::from_computation(&comp);
+        let behaviors: Vec<Behavior> = scripts
+            .iter()
+            .map(|prog| {
+                let ops = prog.ops().to_vec();
+                let b: Behavior = Box::new(move |ctx| {
+                    for op in &ops {
+                        match op {
+                            Op::SendTo(q) => {
+                                ctx.send(*q, 0)?;
+                            }
+                            Op::ReceiveFrom(q) => {
+                                ctx.receive_from(*q)?;
+                            }
+                            Op::Internal => ctx.internal(),
+                            Op::ReceiveAny => unreachable!("directed scripts only"),
+                        }
+                    }
+                    Ok(())
+                });
+                b
+            })
+            .collect();
+        let crashes = crashes.min(n - 1);
+        let plan = FaultPlan::random(n, 2 * msgs as u64, crashes, 0, &mut rng);
+        let dec = decompose::best_known(&topo);
+        let run = Runtime::new(&topo, &dec)
+            .with_watchdog(Duration::from_secs(1))
+            .with_fault_injector(Arc::new(plan))
+            .run_tolerant(behaviors);
+        for (p, o) in run.outcomes().iter().enumerate() {
+            prop_assert!(
+                !matches!(o, Some(RuntimeError::BehaviorPanicked { .. })),
+                "process {} panicked instead of failing typed", p
+            );
+            prop_assert!(
+                !matches!(o, Some(RuntimeError::Deadlock { .. })),
+                "crash misdiagnosed as deadlock at process {}: {:?}", p, o
+            );
+        }
+        // Crash-at-op-boundary keeps both endpoints' logs consistent, so
+        // the completed prefix always reconstructs.
+        let (prefix, stamps) = run.reconstruct().expect("two-sided logs reconstruct");
+        prop_assert!(prefix.message_count() <= comp.message_count());
+        let oracle = Oracle::new(&prefix);
+        let mismatch = first_encoding_mismatch(&stamps, &oracle);
+        prop_assert!(mismatch.is_none(), "survivor prefix: {}", mismatch.unwrap());
+    }
+
     /// Live reconfiguration keeps Theorem 4 for everything stamped after
     /// the remap: a session that survives an edge removal (groups may
     /// dissolve and shift) still orders its *subsequent* stamps exactly as
