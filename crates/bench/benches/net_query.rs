@@ -1,0 +1,474 @@
+//! Experiment N1: the network layer — precedence-query server throughput
+//! and the TCP transport's overhead against the in-process baseline.
+//!
+//! Two workload families, self-timed and exported as machine-readable JSON:
+//!
+//! * `query` — a stamped trace served by `synctime_net::query::serve`;
+//!   closed-loop client connections hammer it with `precedes` (and a
+//!   `chain-of` variant) over loopback TCP, reporting queries/sec and
+//!   nearest-rank p50/p99 latency. The paper's selling point is O(d)
+//!   comparisons per query; the server should sustain well over 10k
+//!   queries/sec even with framing and socket hops in the path.
+//! * `ring_transport` — the same token-ring behaviors run in-process
+//!   (parking matcher) and as a loopback TCP mesh, so the transport's
+//!   cost per rendezvous and its wire accounting sit side by side.
+//!
+//! Usage (a `harness = false` bench):
+//!
+//! ```text
+//! cargo bench -p synctime-bench --bench net_query
+//!   -- [--smoke] [--out PATH] [--validate PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workloads for CI; `--validate PATH` checks an
+//! existing report (e.g. `results/BENCH_net.json`) against the
+//! `synctime/bench_net/v1` schema. The full run additionally enforces the
+//! acceptance floor: `query/precedes` must exceed 10_000 queries/sec.
+
+use std::net::TcpListener;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use synctime_core::online::OnlineStamper;
+use synctime_graph::{decompose, topology, EdgeDecomposition, Graph};
+use synctime_net::{topology_hash_of, QueryClient, QueryService, TcpMeshBuilder};
+use synctime_obs::{nearest_rank_percentile, RunStats};
+use synctime_runtime::{Behavior, Runtime};
+
+const SCHEMA: &str = "synctime/bench_net/v1";
+const QPS_FLOOR: f64 = 10_000.0;
+
+// ---------------------------------------------------- tiny Value builders
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn string(x: &str) -> Value {
+    Value::Str(x.to_string())
+}
+
+fn uint(x: u64) -> Value {
+    Value::UInt(x)
+}
+
+fn float(x: f64) -> Value {
+    Value::Float(x)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(x) => Some(*x),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+struct Record {
+    workload: &'static str,
+    variant: &'static str,
+    processes: usize,
+    ops: u64,
+    elapsed_ns: u128,
+    detail: Value,
+}
+
+impl Record {
+    fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed_ns as f64 / 1e9;
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("workload", string(self.workload)),
+            ("variant", string(self.variant)),
+            ("processes", uint(self.processes as u64)),
+            ("ops", uint(self.ops)),
+            ("elapsed_ns", uint(self.elapsed_ns as u64)),
+            ("ops_per_sec", float(self.ops_per_sec())),
+            ("detail", self.detail.clone()),
+        ])
+    }
+}
+
+// ----------------------------------------------------------- query server
+
+/// Spawns a query server over a freshly stamped random trace and runs
+/// `connections` closed-loop clients, each issuing `per_client` queries of
+/// the given kind. Latency percentiles are nearest-rank over every query.
+fn bench_query(
+    processes: usize,
+    messages: usize,
+    connections: usize,
+    per_client: usize,
+    chain: bool,
+) -> Record {
+    let topo = topology::complete(processes);
+    let mut rng = StdRng::seed_from_u64(7);
+    let comp = synctime_sim::workload::RandomWorkload::messages(messages).generate(&topo, &mut rng);
+    let dec = decompose::best_known(&topo);
+    let stamps = OnlineStamper::new(&dec)
+        .stamp_computation(&comp)
+        .expect("stamping a generated trace");
+    let m = stamps.len() as u32;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        let _ = synctime_net::query::serve(listener, QueryService::new(stamps));
+    });
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = QueryClient::connect(&addr).expect("connect to query server");
+                let mut rng = StdRng::seed_from_u64(1000 + c as u64);
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let m1 = rng.gen_range(0..m);
+                    let m2 = rng.gen_range(0..m);
+                    let at = Instant::now();
+                    if chain {
+                        client.chain_of(m1).expect("chain query");
+                    } else {
+                        client.precedes(m1, m2).expect("precedes query");
+                    }
+                    latencies.push(at.elapsed().as_nanos() as u64);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * per_client);
+    for w in workers {
+        latencies.extend(w.join().expect("client thread"));
+    }
+    let elapsed_ns = started.elapsed().as_nanos();
+    latencies.sort_unstable();
+    let ops = latencies.len() as u64;
+    Record {
+        workload: "query",
+        variant: if chain { "chain_of" } else { "precedes" },
+        processes,
+        ops,
+        elapsed_ns,
+        detail: obj(vec![
+            ("messages", uint(m as u64)),
+            ("connections", uint(connections as u64)),
+            ("dimension", uint(dec.len() as u64)),
+            ("p50_ns", uint(nearest_rank_percentile(&latencies, 50, 100))),
+            ("p99_ns", uint(nearest_rank_percentile(&latencies, 99, 100))),
+        ]),
+    }
+}
+
+// -------------------------------------------------------- ring transport
+
+fn ring_behaviors(n: usize, rounds: u64) -> Vec<Behavior> {
+    (0..n)
+        .map(|id| -> Behavior {
+            let next = (id + 1) % n;
+            let prev = (id + n - 1) % n;
+            Box::new(move |ctx| {
+                for r in 0..rounds {
+                    if ctx.id() == 0 {
+                        ctx.send(next, r)?;
+                        ctx.receive_from(prev)?;
+                    } else {
+                        ctx.receive_from(prev)?;
+                        ctx.send(next, r)?;
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect()
+}
+
+fn transport_detail(stats: &RunStats) -> Value {
+    obj(vec![
+        ("total_wire_bytes", uint(stats.total_wire_bytes)),
+        ("wire_savings_ratio", float(stats.wire_savings_ratio)),
+        ("ack_latency_p50_ns", uint(stats.ack_latency_p50_ns)),
+        ("ack_latency_p99_ns", uint(stats.ack_latency_p99_ns)),
+    ])
+}
+
+fn bench_ring_local(n: usize, rounds: u64) -> Record {
+    let topo = topology::cycle(n);
+    let dec = decompose::best_known(&topo);
+    let rt = Runtime::new(&topo, &dec);
+    let started = Instant::now();
+    let run = rt.run(ring_behaviors(n, rounds)).expect("local ring run");
+    let elapsed_ns = started.elapsed().as_nanos();
+    let stats = run.stats();
+    assert_eq!(stats.messages, n as u64 * rounds);
+    Record {
+        workload: "ring_transport",
+        variant: "local",
+        processes: n,
+        ops: stats.messages,
+        elapsed_ns,
+        detail: transport_detail(stats),
+    }
+}
+
+fn bench_ring_tcp(n: usize, rounds: u64) -> Record {
+    let topo = topology::cycle(n);
+    let dec = decompose::best_known(&topo);
+    let hash = topology_hash_of(n, &dec);
+    let builders: Vec<TcpMeshBuilder> = (0..n)
+        .map(|_| TcpMeshBuilder::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = builders.iter().map(TcpMeshBuilder::local_addr).collect();
+    let started = Instant::now();
+    let handles: Vec<_> = builders
+        .into_iter()
+        .zip(ring_behaviors(n, rounds))
+        .enumerate()
+        .map(|(id, (builder, behavior))| {
+            let topo: Graph = topo.clone();
+            let dec: EdgeDecomposition = dec.clone();
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let neighbors: Vec<usize> = topo.neighbors(id).collect();
+                let mesh = builder
+                    .establish(
+                        id,
+                        &addrs,
+                        &neighbors,
+                        hash,
+                        std::time::Duration::from_secs(20),
+                    )
+                    .expect("mesh establishment");
+                let (tx, rx) = mesh.channels();
+                Runtime::new(&topo, &dec).run_process(id, behavior, tx, rx)
+            })
+        })
+        .collect();
+    let mut parts = Vec::with_capacity(n);
+    for h in handles {
+        let run = h.join().expect("node thread");
+        assert_eq!(run.outcome(), None, "tcp ring node failed");
+        let (_, _, _, stats) = run.into_parts();
+        parts.push(stats);
+    }
+    let elapsed_ns = started.elapsed().as_nanos();
+    let stats = RunStats::merged(&parts);
+    assert_eq!(stats.messages, n as u64 * rounds);
+    Record {
+        workload: "ring_transport",
+        variant: "tcp",
+        processes: n,
+        ops: stats.messages,
+        elapsed_ns,
+        detail: transport_detail(&stats),
+    }
+}
+
+// ------------------------------------------------------------ the report
+
+fn run_suite(smoke: bool) -> Value {
+    let (messages, connections, per_client, ring_rounds) = if smoke {
+        (60, 2, 50, 5)
+    } else {
+        (2_000, 4, 20_000, 400)
+    };
+    let mut records = Vec::new();
+    eprintln!(
+        "net_query: query server ({connections} connections x {per_client} queries, \
+         {messages}-message trace)"
+    );
+    records.push(bench_query(8, messages, connections, per_client, false));
+    records.push(bench_query(8, messages, connections, per_client / 4, true));
+    eprintln!("net_query: ring transport ({ring_rounds} rounds x 6 processes, local vs tcp)");
+    records.push(bench_ring_local(6, ring_rounds));
+    records.push(bench_ring_tcp(6, ring_rounds));
+
+    let rate = |workload: &str, variant: &str| -> f64 {
+        records
+            .iter()
+            .find(|r| r.workload == workload && r.variant == variant)
+            .map(Record::ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let tcp_rate = rate("ring_transport", "tcp");
+    obj(vec![
+        ("schema", string(SCHEMA)),
+        ("mode", string(if smoke { "smoke" } else { "full" })),
+        (
+            "records",
+            Value::Array(records.iter().map(Record::to_json).collect()),
+        ),
+        (
+            "derived",
+            obj(vec![
+                ("query_precedes_qps", float(rate("query", "precedes"))),
+                ("query_chain_qps", float(rate("query", "chain_of"))),
+                (
+                    "transport_slowdown_tcp_vs_local",
+                    float(if tcp_rate > 0.0 {
+                        rate("ring_transport", "local") / tcp_rate
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------- validation
+
+/// Checks a report against the v1 schema. Returns every violation found.
+fn validate_report(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get_field("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        errs.push(format!("top-level \"schema\" must be \"{SCHEMA}\""));
+    }
+    let mode = doc.get_field("mode").and_then(Value::as_str);
+    match mode {
+        Some("full") | Some("smoke") => {}
+        other => errs.push(format!(
+            "\"mode\" must be \"full\" or \"smoke\", got {other:?}"
+        )),
+    }
+    let Some(records) = doc.get_field("records").and_then(Value::as_array) else {
+        errs.push("\"records\" must be an array".to_string());
+        return errs;
+    };
+    if records.is_empty() {
+        errs.push("\"records\" must not be empty".to_string());
+    }
+    let mut precedes_qps = None;
+    for (i, r) in records.iter().enumerate() {
+        for key in ["workload", "variant"] {
+            if r.get_field(key).and_then(Value::as_str).is_none() {
+                errs.push(format!("records[{i}].{key} must be a string"));
+            }
+        }
+        for key in ["processes", "ops", "elapsed_ns"] {
+            if r.get_field(key).and_then(as_u64).is_none() {
+                errs.push(format!("records[{i}].{key} must be an unsigned integer"));
+            }
+        }
+        match r.get_field("ops_per_sec").and_then(as_f64) {
+            Some(value) if value > 0.0 => {}
+            _ => errs.push(format!(
+                "records[{i}].ops_per_sec must be a positive number"
+            )),
+        }
+        match r.get_field("detail") {
+            Some(Value::Object(_)) => {}
+            _ => errs.push(format!("records[{i}].detail must be an object")),
+        }
+        // Query records must carry their latency percentiles.
+        if r.get_field("workload").and_then(Value::as_str) == Some("query") {
+            for key in ["p50_ns", "p99_ns"] {
+                if r.get_field("detail")
+                    .and_then(|d| d.get_field(key))
+                    .and_then(as_u64)
+                    .is_none()
+                {
+                    errs.push(format!(
+                        "records[{i}].detail.{key} must be an unsigned integer"
+                    ));
+                }
+            }
+            if r.get_field("variant").and_then(Value::as_str) == Some("precedes") {
+                precedes_qps = r.get_field("ops_per_sec").and_then(as_f64);
+            }
+        }
+    }
+    match doc.get_field("derived") {
+        Some(Value::Object(_)) => {}
+        _ => errs.push("\"derived\" must be an object".to_string()),
+    }
+    // The acceptance floor binds full runs only; smoke runs are a bit-rot
+    // gate, not a performance claim.
+    if mode == Some("full") {
+        match precedes_qps {
+            Some(qps) if qps >= QPS_FLOOR => {}
+            Some(qps) => errs.push(format!(
+                "full-mode query/precedes throughput {qps:.0} qps is below the {QPS_FLOOR:.0} floor"
+            )),
+            None => errs.push("full report has no query/precedes record".to_string()),
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().expect("--out expects a path").clone()),
+            "--validate" => {
+                validate = Some(it.next().expect("--validate expects a path").clone());
+            }
+            // Tolerate cargo-bench plumbing (--bench, filter strings, ...).
+            _ => {}
+        }
+    }
+
+    let report = run_suite(smoke);
+    let mut failures = validate_report(&report);
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&report).expect("report serialises")
+    );
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("net_query: report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    if let Some(path) = &validate {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let doc: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+        let errs = validate_report(&doc);
+        if errs.is_empty() {
+            eprintln!("net_query: {path} conforms to {SCHEMA}");
+        } else {
+            failures.extend(errs.into_iter().map(|e| format!("{path}: {e}")));
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("net_query: SCHEMA VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&opts),
         "simulate" => cmd_simulate(&opts),
         "run" => cmd_run(&opts),
+        "serve-node" => cmd_serve_node(&opts),
+        "launch" => cmd_launch(&opts),
+        "serve-query" => cmd_serve_query(&opts),
         "faultplan" => cmd_faultplan(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`; try `synctime help`")),
@@ -38,7 +41,8 @@ USAGE:
   synctime stamp     --topology <SPEC> --trace <FILE> [--algorithm <ALG>]
                      [--engine dense|sparse]
   synctime diagram   --trace <FILE>
-  synctime query     --topology <SPEC> --trace <FILE> --m1 <K> --m2 <K>
+  synctime query     (--topology <SPEC> --trace <FILE> | --connect <ADDR>)
+                     (--m1 <K> --m2 <K> | --chain <K>)
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
   synctime run       (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
@@ -48,6 +52,13 @@ USAGE:
                      [--seed <S>]
   synctime faultplan --processes <N> --max-op <M> [--crashes <K>]
                      [--desyncs <D>] [--seed <S>]
+  synctime launch    (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
+                     [--transport tcp|local] [--stats] [--seed <S>]
+                     [--topology <SPEC>] [--establish-timeout-ms <MS>]
+  synctime serve-node --process <P> (--programs <FILE> | --ring <N> | --gossip <N>)
+                     [--peers <A0,A1,..>] [--topology <SPEC>] [--rounds <R>]
+                     [--seed <S>] [--establish-timeout-ms <MS>]
+  synctime serve-query --topology <SPEC> --trace <FILE> [--listen <ADDR>]
 
 TOPOLOGY SPECS:
   star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
@@ -86,6 +97,18 @@ FAULTPLAN:
   Generates a random fault schedule as JSON for `run --fault-plan`:
   `--crashes K` distinct processes crash and `--desyncs D` delta-stream
   desyncs land at operation indices drawn from 0..M. Same seed, same plan.
+
+DISTRIBUTED:
+  `launch --transport tcp` runs the same workload as `run`, but as one OS
+  process per synchronous process, meshed over loopback TCP: it spawns
+  `serve-node` children on ephemeral ports, hands each the full peer list,
+  and merges their node reports back into one trace (or one `--stats`
+  summary). `serve-node --peers a0,a1,..` runs a single node standalone —
+  one terminal per process, every terminal given the same address list.
+  `serve-query` stamps a trace and serves precedence queries over the same
+  frame protocol; `query --connect HOST:PORT` asks it `--m1/--m2` (which
+  precedes, or concurrent) or `--chain K` (every message comparable with
+  message K). Message numbers are 1-based, as in the local `query`.
 "
     .to_string()
 }
@@ -358,6 +381,9 @@ fn cmd_diagram(opts: &BTreeMap<String, String>) -> Result<String, String> {
 }
 
 fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    if opts.contains_key("connect") {
+        return cmd_query_remote(opts);
+    }
     let topo = parse_topology(require(opts, "topology")?)?;
     let comp = load_trace(opts, Some(&topo))?;
     let parse_m = |name: &str| -> Result<MessageId, String> {
@@ -372,11 +398,20 @@ fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
         }
         Ok(MessageId(k - 1))
     };
-    let (m1, m2) = (parse_m("m1")?, parse_m("m2")?);
     let dec = decompose::best_known(&topo);
     let stamps = OnlineStamper::new(&dec)
         .stamp_computation(&comp)
         .map_err(|e| e.to_string())?;
+    if opts.contains_key("chain") {
+        let m = parse_m("chain")?;
+        let chain: Vec<String> = (0..comp.message_count())
+            .map(MessageId)
+            .filter(|&o| o == m || stamps.precedes(o, m) || stamps.precedes(m, o))
+            .map(|o| format!("m{}", o.0 + 1))
+            .collect();
+        return Ok(format!("chain of m{}: {}\n", m.0 + 1, chain.join(" ")));
+    }
+    let (m1, m2) = (parse_m("m1")?, parse_m("m2")?);
     let verdict = if stamps.precedes(m1, m2) {
         "m1 synchronously precedes m2"
     } else if stamps.precedes(m2, m1) {
@@ -389,6 +424,43 @@ fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
         stamps.vector(m1),
         stamps.vector(m2)
     ))
+}
+
+/// `query --connect HOST:PORT`: ask a running `serve-query` instead of
+/// stamping locally. Message numbers stay 1-based on the command line; the
+/// wire protocol is 0-based.
+fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let addr = require(opts, "connect")?;
+    let mut client = synctime_net::QueryClient::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let parse_m = |name: &str| -> Result<u32, String> {
+        let k: u32 = require(opts, name)?
+            .parse()
+            .map_err(|_| format!("--{name} expects a message number (1-based)"))?;
+        if k == 0 {
+            return Err(format!("--{name} expects a 1-based message number"));
+        }
+        Ok(k - 1)
+    };
+    if opts.contains_key("chain") {
+        let m = parse_m("chain")?;
+        let chain: Vec<String> = client
+            .chain_of(m)
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(|id| format!("m{}", id + 1))
+            .collect();
+        return Ok(format!("chain of m{}: {}\n", m + 1, chain.join(" ")));
+    }
+    let (m1, m2) = (parse_m("m1")?, parse_m("m2")?);
+    let verdict = if client.precedes(m1, m2).map_err(|e| e.to_string())? {
+        "m1 synchronously precedes m2"
+    } else if client.precedes(m2, m1).map_err(|e| e.to_string())? {
+        "m2 synchronously precedes m1"
+    } else {
+        "m1 and m2 are concurrent"
+    };
+    Ok(format!("{verdict}\n"))
 }
 
 // ----------------------------------------------------- generate / simulate
@@ -564,9 +636,8 @@ fn run_programs(opts: &BTreeMap<String, String>) -> Result<Vec<Vec<ProgramOp>>, 
     Err("run needs --programs <FILE>, --ring <N>, or --gossip <N>".to_string())
 }
 
-fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
-    let programs = run_programs(opts)?;
-    let n = programs.len();
+/// Rejects op lists the threaded runtime cannot execute.
+fn reject_receive_any(programs: &[Vec<ProgramOp>]) -> Result<(), String> {
     if programs
         .iter()
         .flatten()
@@ -578,6 +649,16 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
                 .to_string(),
         );
     }
+    Ok(())
+}
+
+/// The topology a set of programs runs over: `--topology SPEC`, or
+/// inferred from the channels the programs use.
+fn run_topology(
+    programs: &[Vec<ProgramOp>],
+    opts: &BTreeMap<String, String>,
+) -> Result<Graph, String> {
+    let n = programs.len();
     let topo = match opts.get("topology") {
         Some(spec) => parse_topology(spec)?,
         None => {
@@ -603,8 +684,14 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
             n
         ));
     }
-    let dec = decompose::best_known(&topo);
-    let mut rt = synctime_runtime::Runtime::new(&topo, &dec);
+    Ok(topo)
+}
+
+/// Applies the runtime tuning flags shared by `run` and `serve-node`.
+fn configure_runtime(
+    mut rt: synctime_runtime::Runtime,
+    opts: &BTreeMap<String, String>,
+) -> Result<synctime_runtime::Runtime, String> {
     if let Some(ms) = opts.get("watchdog-ms") {
         let ms: u64 = ms
             .parse()
@@ -634,6 +721,36 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
             .map_err(|_| "--rendezvous-retries expects a count".to_string())?;
         rt = rt.with_rendezvous_retries(k);
     }
+    Ok(rt)
+}
+
+/// One process's ops as a runtime behavior. The payload convention (the op
+/// index) matches between `run` and `serve-node`, so local and distributed
+/// executions of the same programs are comparable rendezvous-for-rendezvous.
+fn op_behavior(ops: Vec<ProgramOp>) -> synctime_runtime::Behavior {
+    Box::new(move |ctx| {
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                ProgramOp::SendTo(q) => {
+                    ctx.send(*q, i as u64)?;
+                }
+                ProgramOp::ReceiveFrom(q) => {
+                    ctx.receive_from(*q)?;
+                }
+                ProgramOp::Internal => ctx.internal(),
+                ProgramOp::ReceiveAny => unreachable!("rejected before running"),
+            }
+        }
+        Ok(())
+    })
+}
+
+fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let programs = run_programs(opts)?;
+    reject_receive_any(&programs)?;
+    let topo = run_topology(&programs, opts)?;
+    let dec = decompose::best_known(&topo);
+    let mut rt = configure_runtime(synctime_runtime::Runtime::new(&topo, &dec), opts)?;
     let fault_plan = opts
         .get("fault-plan")
         .map(|path| -> Result<synctime_sim::FaultPlan, String> {
@@ -643,26 +760,8 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
                 .map_err(|e| format!("bad fault plan JSON: {e}"))
         })
         .transpose()?;
-    let behaviors: Vec<synctime_runtime::Behavior> = programs
-        .into_iter()
-        .map(|ops| -> synctime_runtime::Behavior {
-            Box::new(move |ctx| {
-                for (i, op) in ops.iter().enumerate() {
-                    match op {
-                        ProgramOp::SendTo(q) => {
-                            ctx.send(*q, i as u64)?;
-                        }
-                        ProgramOp::ReceiveFrom(q) => {
-                            ctx.receive_from(*q)?;
-                        }
-                        ProgramOp::Internal => ctx.internal(),
-                        ProgramOp::ReceiveAny => unreachable!("rejected above"),
-                    }
-                }
-                Ok(())
-            })
-        })
-        .collect();
+    let behaviors: Vec<synctime_runtime::Behavior> =
+        programs.into_iter().map(op_behavior).collect();
     if let Some(plan) = fault_plan {
         // Under injected faults, per-process failures are the *expected*
         // outcome: run fault-tolerantly and report every process's typed
@@ -695,6 +794,259 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
         .reconstruct()
         .map_err(|e| format!("internal error reconstructing the run: {e}"))?;
     Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+// ------------------------------------------- distributed (serve-node etc.)
+
+/// Parses a `--peers` comma-separated address list of exactly `n` entries.
+fn parse_addr_list(list: &str, n: usize) -> Result<Vec<std::net::SocketAddr>, String> {
+    let addrs: Vec<std::net::SocketAddr> = list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad socket address `{}` in peer list", s.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    if addrs.len() != n {
+        return Err(format!(
+            "peer list has {} addresses but the workload has {n} processes",
+            addrs.len()
+        ));
+    }
+    Ok(addrs)
+}
+
+fn establish_timeout(opts: &BTreeMap<String, String>) -> Result<std::time::Duration, String> {
+    let ms: u64 = opts
+        .get("establish-timeout-ms")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--establish-timeout-ms expects milliseconds".to_string())
+        })
+        .transpose()?
+        .unwrap_or(10_000);
+    Ok(std::time::Duration::from_millis(ms))
+}
+
+/// `serve-node`: run ONE process of the workload over TCP. With `--peers`
+/// the address list is fixed up front (one terminal per process); without
+/// it the node binds an ephemeral port, announces `listening on ADDR` on
+/// stdout, and reads the comma-separated peer list from stdin — the
+/// contract `launch --transport tcp` drives. Prints a node report.
+fn cmd_serve_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use std::io::Write as _;
+    let programs = run_programs(opts)?;
+    reject_receive_any(&programs)?;
+    let n = programs.len();
+    let process: usize = require(opts, "process")?
+        .parse()
+        .map_err(|_| "--process expects a process index".to_string())?;
+    if process >= n {
+        return Err(format!(
+            "--process {process} out of range (workload has {n} processes)"
+        ));
+    }
+    let topo = run_topology(&programs, opts)?;
+    let dec = decompose::best_known(&topo);
+    let hash = synctime_net::topology_hash_of(n, &dec);
+    let timeout = establish_timeout(opts)?;
+    let (builder, addrs) = match opts.get("peers") {
+        Some(list) => {
+            let addrs = parse_addr_list(list, n)?;
+            let own = addrs[process];
+            let builder = synctime_net::TcpMeshBuilder::bind(&own.to_string())
+                .map_err(|e| format!("cannot bind {own}: {e}"))?;
+            (builder, addrs)
+        }
+        None => {
+            let builder = synctime_net::TcpMeshBuilder::bind("127.0.0.1:0")
+                .map_err(|e| format!("cannot bind loopback: {e}"))?;
+            println!("listening on {}", builder.local_addr());
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            let mut line = String::new();
+            std::io::stdin()
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read the peer list from stdin: {e}"))?;
+            if line.trim().is_empty() {
+                return Err("launcher closed stdin before sending the peer list".to_string());
+            }
+            (builder, parse_addr_list(line.trim(), n)?)
+        }
+    };
+    let neighbors: Vec<usize> = topo.neighbors(process).collect();
+    let mesh = builder
+        .establish(process, &addrs, &neighbors, hash, timeout)
+        .map_err(|e| format!("mesh establishment failed: {e}"))?;
+    let (tx, rx) = mesh.channels();
+    let rt = configure_runtime(synctime_runtime::Runtime::new(&topo, &dec), opts)?;
+    let behavior = op_behavior(programs.into_iter().nth(process).expect("index checked"));
+    let run = rt.run_process(process, behavior, tx, rx);
+    drop(mesh); // close peer sockets before reporting
+    let (p, log, outcome, stats) = run.into_parts();
+    let report = synctime_net::NodeReport {
+        process: p,
+        outcome: outcome.map(|e| e.to_string()),
+        log,
+        stats,
+    };
+    Ok(report.to_json() + "\n")
+}
+
+/// `launch`: the whole workload, one OS process per synchronous process.
+/// `--transport local` is an alias for `run`; `--transport tcp` (default)
+/// spawns `serve-node` children, wires them into a loopback mesh, and
+/// merges their reports into the same outputs `run` produces.
+fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use std::io::{BufRead as _, Read as _, Write as _};
+    match opts.get("transport").map(String::as_str).unwrap_or("tcp") {
+        "local" => return cmd_run(opts),
+        "tcp" => {}
+        other => {
+            return Err(format!(
+                "--transport expects `tcp` or `local`, got `{other}`"
+            ))
+        }
+    }
+    let programs = run_programs(opts)?;
+    reject_receive_any(&programs)?;
+    // Validate the topology before spawning anything.
+    let _ = run_topology(&programs, opts)?;
+    let n = programs.len();
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+    const FORWARDED: [&str; 9] = [
+        "programs",
+        "ring",
+        "gossip",
+        "rounds",
+        "seed",
+        "topology",
+        "rendezvous-timeout",
+        "rendezvous-retries",
+        "establish-timeout-ms",
+    ];
+    let mut children = Vec::with_capacity(n);
+    for p in 0..n {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve-node").arg("--process").arg(p.to_string());
+        for name in FORWARDED {
+            if let Some(value) = opts.get(name) {
+                cmd.arg(format!("--{name}")).arg(value);
+            }
+        }
+        cmd.stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped());
+        children.push(
+            cmd.spawn()
+                .map_err(|e| format!("cannot spawn node {p}: {e}"))?,
+        );
+    }
+    // Phase 1: every node announces the ephemeral address it bound.
+    let mut outs = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for (p, child) in children.iter_mut().enumerate() {
+        let mut reader = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("node {p}: {e}"))?;
+            if read == 0 {
+                return Err(format!("node {p} exited before announcing its address"));
+            }
+            if let Some(addr) = line.trim().strip_prefix("listening on ") {
+                addrs.push(addr.to_string());
+                break;
+            }
+        }
+        outs.push(reader);
+    }
+    // Phase 2: hand every node the full list; the mesh forms peer-to-peer.
+    let list = addrs.join(",");
+    for (p, child) in children.iter_mut().enumerate() {
+        let mut stdin = child.stdin.take().expect("stdin piped");
+        writeln!(stdin, "{list}").map_err(|e| format!("node {p}: cannot send peer list: {e}"))?;
+    }
+    // Phase 3: collect one report per process.
+    let mut reports: Vec<Option<synctime_net::NodeReport>> = (0..n).map(|_| None).collect();
+    for (p, mut reader) in outs.into_iter().enumerate() {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| format!("node {p}: {e}"))?;
+        let report = synctime_net::NodeReport::from_json(text.trim())
+            .map_err(|e| format!("node {p} produced a bad report: {e}"))?;
+        let slot = report.process;
+        if slot >= n || reports[slot].is_some() {
+            return Err(format!("node {p} reported as process {slot} unexpectedly"));
+        }
+        reports[slot] = Some(report);
+    }
+    for (p, child) in children.iter_mut().enumerate() {
+        let status = child.wait().map_err(|e| format!("node {p}: {e}"))?;
+        if !status.success() {
+            return Err(format!("node {p} exited with {status}"));
+        }
+    }
+    let mut logs = Vec::with_capacity(n);
+    let mut stats_parts = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for report in reports.into_iter().map(|r| r.expect("one report per slot")) {
+        logs.push(report.log);
+        stats_parts.push(report.stats);
+        outcomes.push(report.outcome);
+    }
+    let stats = synctime_obs::RunStats::merged(&stats_parts);
+    if outcomes.iter().any(Option::is_some) {
+        // Mirror `run --fault-plan`: typed per-process failures are a
+        // reportable result, not a launcher error.
+        let rendered: Vec<String> = outcomes
+            .iter()
+            .map(|o| match o {
+                None => "null".to_string(),
+                Some(e) => serde_json::to_string(e).expect("strings serialise infallibly"),
+            })
+            .collect();
+        return Ok(format!(
+            "{{\n  \"stats\": {},\n  \"outcomes\": [{}]\n}}\n",
+            stats.to_json(),
+            rendered.join(", ")
+        ));
+    }
+    if opts.contains_key("stats") {
+        let mut out = stats.to_json();
+        out.push('\n');
+        return Ok(out);
+    }
+    let (comp, _stamps) = synctime_runtime::reconstruct_from_logs(&logs)
+        .map_err(|e| format!("cannot reconstruct the distributed run: {e}"))?;
+    Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+/// `serve-query`: stamp a trace once, then serve precedence queries over
+/// TCP until killed. The bound address is announced as `listening on ADDR`
+/// so scripts can scrape an ephemeral port.
+fn cmd_serve_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use std::io::Write as _;
+    let topo = parse_topology(require(opts, "topology")?)?;
+    let comp = load_trace(opts, Some(&topo))?;
+    let dec = decompose::best_known(&topo);
+    let stamps = OnlineStamper::new(&dec)
+        .stamp_computation(&comp)
+        .map_err(|e| e.to_string())?;
+    let listen = opts
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    synctime_net::query::serve(listener, synctime_net::QueryService::new(stamps))
+        .map_err(|e| format!("query server failed: {e}"))?;
+    Ok(String::new())
 }
 
 fn cmd_faultplan(opts: &BTreeMap<String, String>) -> Result<String, String> {
@@ -1271,5 +1623,119 @@ mod tests {
         assert!(run_strs(&["stamp"])
             .unwrap_err()
             .contains("missing required flag"));
+    }
+
+    #[test]
+    fn query_chain_local() {
+        let dir = std::env::temp_dir().join("synctime-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("chain.json");
+        std::fs::write(
+            &trace,
+            r#"{"processes": 4, "events": [
+                {"message": [2, 0]}, {"message": [3, 1]}, {"message": [2, 1]}
+            ]}"#,
+        )
+        .unwrap();
+        let out = run_strs(&[
+            "query",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--chain",
+            "3",
+        ])
+        .unwrap();
+        // m1 and m3 share process 2, m2 and m3 share process 1; m2 alone is
+        // concurrent with m1 but every message is comparable with m3.
+        assert_eq!(out, "chain of m3: m1 m2 m3\n");
+    }
+
+    /// The network query client against an in-process server: the same
+    /// three answers the local `query` gives on this fixture.
+    #[test]
+    fn query_connect_end_to_end() {
+        let comp = parse_trace(
+            r#"{"processes": 4, "events": [
+                {"message": [2, 0]}, {"message": [3, 1]}, {"message": [2, 1]}
+            ]}"#,
+            None,
+        )
+        .unwrap();
+        let topo = parse_topology("clients:2x2").unwrap();
+        let dec = decompose::best_known(&topo);
+        let stamps = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = synctime_net::query::serve(listener, synctime_net::QueryService::new(stamps));
+        });
+        let out = run_strs(&["query", "--connect", &addr, "--m1", "1", "--m2", "2"]).unwrap();
+        assert_eq!(out, "m1 and m2 are concurrent\n");
+        let out = run_strs(&["query", "--connect", &addr, "--m1", "2", "--m2", "3"]).unwrap();
+        assert_eq!(out, "m1 synchronously precedes m2\n");
+        let out = run_strs(&["query", "--connect", &addr, "--chain", "3"]).unwrap();
+        assert_eq!(out, "chain of m3: m1 m2 m3\n");
+        // Out-of-range numbers come back as server-side query errors
+        // without killing the connection for later clients.
+        let err = run_strs(&["query", "--connect", &addr, "--m1", "9", "--m2", "1"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = run_strs(&["query", "--connect", &addr, "--m1", "0", "--m2", "1"]).unwrap_err();
+        assert!(err.contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn distributed_flag_validation() {
+        // serve-node validates the process index against the workload.
+        let err = run_strs(&["serve-node", "--process", "9", "--ring", "3"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(run_strs(&["serve-node", "--ring", "3"])
+            .unwrap_err()
+            .contains("--process"));
+        // launch rejects unknown transports before spawning anything.
+        let err =
+            run_strs(&["launch", "--ring", "3", "--transport", "carrier-pigeon"]).unwrap_err();
+        assert!(err.contains("tcp"), "{err}");
+        // A malformed or wrong-arity peer list is rejected up front.
+        let err = run_strs(&[
+            "serve-node",
+            "--process",
+            "0",
+            "--ring",
+            "3",
+            "--peers",
+            "127.0.0.1:1,127.0.0.1:2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("3 processes"), "{err}");
+        let err = run_strs(&[
+            "serve-node",
+            "--process",
+            "0",
+            "--ring",
+            "3",
+            "--peers",
+            "not-an-addr,127.0.0.1:1,127.0.0.1:2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad socket address"), "{err}");
+    }
+
+    /// `launch --transport local` is `run` by another name.
+    #[test]
+    fn launch_local_matches_run() {
+        let run_out = run_strs(&["run", "--ring", "3", "--rounds", "2"]).unwrap();
+        let launch_out = run_strs(&[
+            "launch",
+            "--ring",
+            "3",
+            "--rounds",
+            "2",
+            "--transport",
+            "local",
+        ])
+        .unwrap();
+        assert_eq!(run_out, launch_out);
     }
 }

@@ -78,6 +78,71 @@ fn generate_stamp_query_roundtrip() {
     assert!(diagram.contains("m8"));
 }
 
+/// The tentpole end-to-end: `launch --transport tcp` spawns one OS process
+/// per synchronous process, meshes them over loopback TCP, and merges
+/// their node reports into a trace byte-identical to the in-process run.
+#[test]
+fn launch_tcp_matches_run_local() {
+    let (local, stderr, ok) = synctime(&["run", "--ring", "5", "--rounds", "2"]);
+    assert!(ok, "{stderr}");
+    let (tcp, stderr, ok) = synctime(&["launch", "--ring", "5", "--rounds", "2"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(local, tcp);
+    assert!(tcp.contains("\"processes\": 5"), "{tcp}");
+}
+
+/// `serve-query` + `query --connect`: start the server on an ephemeral
+/// port, scrape the announced address, and ask it the fixture's three
+/// known answers over TCP.
+#[test]
+fn serve_query_binary_roundtrip() {
+    use std::io::{BufRead as _, BufReader};
+
+    let dir = std::env::temp_dir().join("synctime-bin-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("q.json");
+    std::fs::write(
+        &trace,
+        r#"{"processes": 4, "events": [
+            {"message": [2, 0]}, {"message": [3, 1]}, {"message": [2, 1]}
+        ]}"#,
+    )
+    .unwrap();
+    let mut server = Command::new(env!("CARGO_BIN_EXE_synctime"))
+        .args([
+            "serve-query",
+            "--topology",
+            "clients:2x2",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut line = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announce line")
+        .to_string();
+
+    let (verdict, _, ok) = synctime(&["query", "--connect", &addr, "--m1", "1", "--m2", "2"]);
+    assert!(ok);
+    assert_eq!(verdict, "m1 and m2 are concurrent\n");
+    let (verdict, _, ok) = synctime(&["query", "--connect", &addr, "--m1", "2", "--m2", "3"]);
+    assert!(ok);
+    assert_eq!(verdict, "m1 synchronously precedes m2\n");
+    let (chain, _, ok) = synctime(&["query", "--connect", &addr, "--chain", "3"]);
+    assert!(ok);
+    assert_eq!(chain, "chain of m3: m1 m2 m3\n");
+
+    server.kill().ok();
+    server.wait().ok();
+}
+
 #[test]
 fn simulate_binary() {
     let dir = std::env::temp_dir().join("synctime-bin-e2e");

@@ -114,6 +114,38 @@ pub fn apply_delta(previous: &VectorTime, bytes: &[u8]) -> Option<VectorTime> {
     (pos == bytes.len()).then(|| VectorTime::from(components))
 }
 
+/// Bytes of framing every transport frame pays before its body: a `u32`
+/// length prefix plus a one-byte frame type (the `synctime-net` frame
+/// layer; the in-process runtime prices its rendezvous with the same
+/// framing so local and TCP stats are comparable).
+pub const FRAME_HEADER_BYTES: u64 = 5;
+
+/// On-wire cost of one OFFER frame carrying a `vector_bytes`-byte encoded
+/// vector: frame header + 8-byte message key + 8-byte payload + the vector.
+pub fn offer_frame_bytes(vector_bytes: usize) -> u64 {
+    FRAME_HEADER_BYTES + 16 + vector_bytes as u64
+}
+
+/// On-wire cost of one ACK frame carrying an `ack_bytes`-byte encoded
+/// acknowledgement vector: frame header + 8-byte message key + the vector.
+pub fn ack_frame_bytes(ack_bytes: usize) -> u64 {
+    FRAME_HEADER_BYTES + 8 + ack_bytes as u64
+}
+
+/// On-wire cost of one RESYNC request frame: frame header + 8-byte key of
+/// the offer whose piggybacked vector could not be decoded.
+pub fn resync_frame_bytes() -> u64 {
+    FRAME_HEADER_BYTES + 8
+}
+
+/// What one clean rendezvous costs with full fixed-width vectors (8 bytes
+/// per component, both directions): an OFFER and an ACK frame, including
+/// frame/ack overhead. The before-deltas baseline behind
+/// `RunStats::total_wire_bytes_full`.
+pub fn rendezvous_bytes_full(dim: usize) -> u64 {
+    offer_frame_bytes(8 * dim) + ack_frame_bytes(8 * dim)
+}
+
 /// Per-sender Singhal–Kshemkalyani state: remembers the vector last sent to
 /// each destination so subsequent transmissions carry only changes.
 #[derive(Debug, Clone, Default)]
@@ -358,6 +390,23 @@ impl StreamDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_pricing_is_consistent() {
+        // OFFER = header + key + payload + vector; ACK = header + key +
+        // vector; RESYNC = header + key. The full baseline prices both
+        // directions at 8 bytes per component.
+        assert_eq!(offer_frame_bytes(0), 21);
+        assert_eq!(ack_frame_bytes(0), 13);
+        assert_eq!(resync_frame_bytes(), 13);
+        for dim in [1usize, 2, 7] {
+            assert_eq!(
+                rendezvous_bytes_full(dim),
+                offer_frame_bytes(8 * dim) + ack_frame_bytes(8 * dim)
+            );
+            assert_eq!(rendezvous_bytes_full(dim), 34 + 16 * dim as u64);
+        }
+    }
 
     #[test]
     fn varint_roundtrip() {

@@ -1,0 +1,44 @@
+//! Typed failures for sockets, handshakes, and the query protocol.
+
+use std::fmt;
+
+/// Why a `synctime-net` operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An OS-level socket failure (connect, bind, read, write).
+    Io(String),
+    /// The HELLO exchange failed: version or topology-hash mismatch, or an
+    /// unexpected first frame. The connection is refused before any
+    /// protocol traffic.
+    Handshake(String),
+    /// The byte stream violated the frame protocol (unknown type,
+    /// malformed body, oversized length). Framing is lost; the connection
+    /// is dead.
+    Protocol(String),
+    /// The peer closed the connection.
+    Closed,
+    /// The query server rejected a query (out-of-range message id,
+    /// unknown query kind); carries the server's diagnostic.
+    Query(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(detail) => write!(f, "socket failure: {detail}"),
+            NetError::Handshake(detail) => write!(f, "handshake refused: {detail}"),
+            NetError::Protocol(detail) => write!(f, "frame protocol violation: {detail}"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Query(detail) => write!(f, "query rejected: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}

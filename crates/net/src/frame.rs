@@ -1,0 +1,420 @@
+//! The length-prefixed frame protocol every `synctime-net` socket speaks.
+//!
+//! A frame is `[u32 le length][u8 type][body]`, where `length` counts the
+//! type byte plus the body. Seven frame types exist:
+//!
+//! | type | name   | body (little-endian)                              |
+//! |------|--------|---------------------------------------------------|
+//! | 0    | HELLO  | `u16` version, `u64` topology hash, `u32` process |
+//! | 1    | OFFER  | `u64` key, `u64` payload, delta-encoded vector    |
+//! | 2    | ACK    | `u64` key, delta-encoded acknowledgement vector   |
+//! | 3    | RESYNC | `u64` key                                         |
+//! | 4    | QUERY  | `u8` kind, `u32` m1, `u32` m2                     |
+//! | 5    | ANSWER | kind-specific answer bytes                        |
+//! | 6    | ERROR  | UTF-8 diagnostic                                  |
+//!
+//! OFFER/ACK/RESYNC body layouts match `synctime_core::wire`'s frame
+//! pricing helpers (`offer_frame_bytes` and friends) byte for byte, so the
+//! byte counts the in-process runtime reports are exactly what a TCP run
+//! moves on the wire.
+//!
+//! Decoding is incremental: a [`FrameReader`] is fed arbitrary chunks as
+//! they arrive from a socket and yields complete frames as soon as their
+//! bytes are in. Malformed frames (unknown type, truncated body, oversized
+//! length prefix) are rejected with a typed [`NetError::Protocol`] — a
+//! desynchronised byte stream can never be silently misparsed.
+
+use crate::error::NetError;
+
+/// The protocol version carried in every HELLO. Bumped on any frame-layout
+/// change; endpoints refuse to talk across versions.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame's length prefix: 16 MiB. A prefix beyond this is
+/// a desynchronised or hostile stream, not a real frame (the largest
+/// legitimate frame is an OFFER whose vector is bounded by the topology's
+/// decomposition dimension).
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Bytes of the fixed frame prefix: the `u32` length plus the type byte.
+pub const FRAME_HEADER_BYTES: usize = 5;
+
+const TYPE_HELLO: u8 = 0;
+const TYPE_OFFER: u8 = 1;
+const TYPE_ACK: u8 = 2;
+const TYPE_RESYNC: u8 = 3;
+const TYPE_QUERY: u8 = 4;
+const TYPE_ANSWER: u8 = 5;
+const TYPE_ERROR: u8 = 6;
+
+/// One protocol frame (see the module docs for the wire layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: each endpoint sends one HELLO first and
+    /// validates the peer's version and topology hash before any traffic.
+    Hello {
+        /// The speaker's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// FNV-1a hash of the run's topology and decomposition (see
+        /// [`topology_hash`]); `0` is the wildcard used by query clients.
+        topology_hash: u64,
+        /// The speaker's process id (`u32::MAX` for query clients).
+        process: u32,
+    },
+    /// A rendezvous offer: program payload plus delta-encoded vector.
+    Offer {
+        /// The message's reconstruction key.
+        key: u64,
+        /// The program payload.
+        payload: u64,
+        /// The piggybacked vector, delta-encoded on the channel stream.
+        vector: Vec<u8>,
+    },
+    /// The receiver's acknowledgement completing a rendezvous.
+    Ack {
+        /// The acknowledged offer's key.
+        key: u64,
+        /// The receiver's pre-update vector, delta-encoded.
+        ack: Vec<u8>,
+    },
+    /// The receiver's request to re-offer `key` with a full vector.
+    Resync {
+        /// The bounced offer's key.
+        key: u64,
+    },
+    /// A precedence query against a stamped trace.
+    Query {
+        /// The question: see `query::QueryKind`.
+        kind: u8,
+        /// First message number (0-based id).
+        m1: u32,
+        /// Second message number (ignored by single-message kinds).
+        m2: u32,
+    },
+    /// A query server's reply; the body layout depends on the query kind.
+    Answer {
+        /// Kind-specific answer bytes.
+        body: Vec<u8>,
+    },
+    /// A typed failure (bad query, out-of-range message, ...).
+    Error {
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Serialises the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let ty = match self {
+            Frame::Hello {
+                version,
+                topology_hash,
+                process,
+            } => {
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&topology_hash.to_le_bytes());
+                body.extend_from_slice(&process.to_le_bytes());
+                TYPE_HELLO
+            }
+            Frame::Offer {
+                key,
+                payload,
+                vector,
+            } => {
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&payload.to_le_bytes());
+                body.extend_from_slice(vector);
+                TYPE_OFFER
+            }
+            Frame::Ack { key, ack } => {
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(ack);
+                TYPE_ACK
+            }
+            Frame::Resync { key } => {
+                body.extend_from_slice(&key.to_le_bytes());
+                TYPE_RESYNC
+            }
+            Frame::Query { kind, m1, m2 } => {
+                body.push(*kind);
+                body.extend_from_slice(&m1.to_le_bytes());
+                body.extend_from_slice(&m2.to_le_bytes());
+                TYPE_QUERY
+            }
+            Frame::Answer { body: b } => {
+                body.extend_from_slice(b);
+                TYPE_ANSWER
+            }
+            Frame::Error { message } => {
+                body.extend_from_slice(message.as_bytes());
+                TYPE_ERROR
+            }
+        };
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+        out.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+        out.push(ty);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses one frame body (`ty` byte already split off).
+    fn decode_body(ty: u8, body: &[u8]) -> Result<Frame, NetError> {
+        let exact = |want: usize| -> Result<(), NetError> {
+            if body.len() == want {
+                Ok(())
+            } else {
+                Err(NetError::Protocol(format!(
+                    "frame type {ty} carries {} body bytes, expected {want}",
+                    body.len()
+                )))
+            }
+        };
+        let at_least = |want: usize| -> Result<(), NetError> {
+            if body.len() >= want {
+                Ok(())
+            } else {
+                Err(NetError::Protocol(format!(
+                    "frame type {ty} carries {} body bytes, expected at least {want}",
+                    body.len()
+                )))
+            }
+        };
+        let u16_at = |i: usize| u16::from_le_bytes([body[i], body[i + 1]]);
+        let u32_at =
+            |i: usize| u32::from_le_bytes([body[i], body[i + 1], body[i + 2], body[i + 3]]);
+        let u64_at = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&body[i..i + 8]);
+            u64::from_le_bytes(b)
+        };
+        match ty {
+            TYPE_HELLO => {
+                exact(14)?;
+                Ok(Frame::Hello {
+                    version: u16_at(0),
+                    topology_hash: u64_at(2),
+                    process: u32_at(10),
+                })
+            }
+            TYPE_OFFER => {
+                at_least(16)?;
+                Ok(Frame::Offer {
+                    key: u64_at(0),
+                    payload: u64_at(8),
+                    vector: body[16..].to_vec(),
+                })
+            }
+            TYPE_ACK => {
+                at_least(8)?;
+                Ok(Frame::Ack {
+                    key: u64_at(0),
+                    ack: body[8..].to_vec(),
+                })
+            }
+            TYPE_RESYNC => {
+                exact(8)?;
+                Ok(Frame::Resync { key: u64_at(0) })
+            }
+            TYPE_QUERY => {
+                exact(9)?;
+                Ok(Frame::Query {
+                    kind: body[0],
+                    m1: u32_at(1),
+                    m2: u32_at(5),
+                })
+            }
+            TYPE_ANSWER => Ok(Frame::Answer {
+                body: body.to_vec(),
+            }),
+            TYPE_ERROR => Ok(Frame::Error {
+                message: String::from_utf8(body.to_vec())
+                    .map_err(|_| NetError::Protocol("ERROR frame body is not UTF-8".to_string()))?,
+            }),
+            other => Err(NetError::Protocol(format!("unknown frame type {other}"))),
+        }
+    }
+}
+
+/// Incremental frame decoder: feed it socket chunks of any size, drain
+/// complete frames as they materialise.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, if its bytes have all arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on an oversized length prefix, an unknown
+    /// frame type, or a malformed body. The stream is unrecoverable after
+    /// an error: framing is lost.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 {
+            return Err(NetError::Protocol("zero-length frame".to_string()));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(self.buf[4], &self.buf[5..total])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// FNV-1a hash of a run's shape: process count plus the decomposition's
+/// edge groups. Two nodes whose HELLOs disagree on this hash would stamp
+/// with incompatible vector spaces, so the handshake refuses the
+/// connection — catching misconfigured launches before any message moves.
+pub fn topology_hash(processes: usize, groups: &[Vec<(usize, usize)>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(processes as u64);
+    eat(groups.len() as u64);
+    for group in groups {
+        eat(group.len() as u64);
+        for &(u, v) in group {
+            eat(u as u64);
+            eat(v as u64);
+        }
+    }
+    h
+}
+
+/// [`topology_hash`] over a run's actual [`EdgeDecomposition`] — the form
+/// every launcher and node uses, so all of them agree byte-for-byte on
+/// what they feed the hash.
+///
+/// [`EdgeDecomposition`]: synctime_graph::EdgeDecomposition
+pub fn topology_hash_of(processes: usize, dec: &synctime_graph::EdgeDecomposition) -> u64 {
+    let groups: Vec<Vec<(usize, usize)>> = dec
+        .groups()
+        .iter()
+        .map(|g| g.edges().iter().map(|e| e.endpoints()).collect())
+        .collect();
+    topology_hash(processes, &groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_whole() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                topology_hash: 0xdead_beef,
+                process: 3,
+            },
+            Frame::Offer {
+                key: 7,
+                payload: 42,
+                vector: vec![1, 2, 3],
+            },
+            Frame::Ack {
+                key: 7,
+                ack: vec![9],
+            },
+            Frame::Resync { key: 7 },
+            Frame::Query {
+                kind: 0,
+                m1: 1,
+                m2: 2,
+            },
+            Frame::Answer { body: vec![1] },
+            Frame::Error {
+                message: "nope".to_string(),
+            },
+        ];
+        let mut reader = FrameReader::new();
+        for f in &frames {
+            reader.feed(&f.encode());
+        }
+        for f in &frames {
+            assert_eq!(reader.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_and_unknown_frames_are_rejected() {
+        let mut reader = FrameReader::new();
+        reader.feed(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        reader.feed(&[1u8; 8]);
+        assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+
+        let mut reader = FrameReader::new();
+        reader.feed(&2u32.to_le_bytes());
+        reader.feed(&[99, 0]); // unknown type 99
+        assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+
+        let mut reader = FrameReader::new();
+        reader.feed(&0u32.to_le_bytes());
+        assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn hash_separates_shapes() {
+        let a = topology_hash(3, &[vec![(0, 1), (1, 2)]]);
+        let b = topology_hash(3, &[vec![(0, 1)], vec![(1, 2)]]);
+        let c = topology_hash(4, &[vec![(0, 1), (1, 2)]]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, topology_hash(3, &[vec![(0, 1), (1, 2)]]));
+    }
+
+    #[test]
+    fn frame_sizes_match_core_wire_pricing() {
+        use synctime_core::wire::{ack_frame_bytes, offer_frame_bytes, resync_frame_bytes};
+        let offer = Frame::Offer {
+            key: 1,
+            payload: 2,
+            vector: vec![0; 11],
+        };
+        assert_eq!(offer.encode().len() as u64, offer_frame_bytes(11));
+        let ack = Frame::Ack {
+            key: 1,
+            ack: vec![0; 5],
+        };
+        assert_eq!(ack.encode().len() as u64, ack_frame_bytes(5));
+        let resync = Frame::Resync { key: 1 };
+        assert_eq!(resync.encode().len() as u64, resync_frame_bytes());
+    }
+}

@@ -1,0 +1,58 @@
+//! `synctime-net`: sockets for synchronous timestamping.
+//!
+//! Everything below the `Transport` seam in `synctime-runtime` is
+//! location-transparent: a [`Behavior`] rendezvouses through `TxChannel` /
+//! `RxChannel` objects and never learns whether its peer is a thread or
+//! another machine. This crate supplies the *other* implementation of that
+//! seam — per-peer TCP connections speaking a length-prefixed frame
+//! protocol — plus a network query service over stamped traces:
+//!
+//! * [`frame`] — the wire protocol: `[u32 len][u8 type][body]` frames
+//!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR), an incremental
+//!   [`FrameReader`], and [`topology_hash`] for handshake validation.
+//!   OFFER/ACK/RESYNC byte layouts match `synctime-core`'s wire-cost
+//!   model *exactly*, so [`RunStats`] wire accounting is identical
+//!   whether a run is local or distributed.
+//! * [`tcp`] — [`TcpMeshBuilder`] / [`TcpMesh`]: bind-then-establish
+//!   peer meshes with deterministic dial direction (lower id dials), a
+//!   reader thread per connection demultiplexing into bounded-poll
+//!   mailboxes, and `TxChannel`/`RxChannel` adapters the runtime drives
+//!   unmodified.
+//! * [`query`] — the precedence-query server: Theorem 4 of the paper as
+//!   a service ([`QueryService`], [`serve_queries`], [`QueryClient`]).
+//! * [`report`] — [`NodeReport`], the JSON document each OS process
+//!   prints so a launcher can merge a distributed run back into one
+//!   trace and one [`RunStats`].
+//!
+//! The crate is std-only: no async runtime, no serialization framework —
+//! blocking sockets, reader threads, and hand-framed bytes, in keeping
+//! with the workspace's no-external-dependency rule.
+//!
+//! [`Behavior`]: synctime_runtime::Behavior
+//! [`RunStats`]: synctime_obs::RunStats
+//! [`QueryService`]: query::QueryService
+//! [`QueryClient`]: query::QueryClient
+//! [`serve_queries`]: query::serve
+//! [`NodeReport`]: report::NodeReport
+//! [`FrameReader`]: frame::FrameReader
+//! [`topology_hash`]: frame::topology_hash
+//! [`TcpMeshBuilder`]: tcp::TcpMeshBuilder
+//! [`TcpMesh`]: tcp::TcpMesh
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod frame;
+mod mailbox;
+pub mod query;
+pub mod report;
+pub mod tcp;
+
+pub use error::NetError;
+pub use frame::{
+    topology_hash, topology_hash_of, Frame, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use query::{QueryClient, QueryService};
+pub use report::{NodeReport, NODE_REPORT_SCHEMA};
+pub use tcp::{TcpMesh, TcpMeshBuilder};

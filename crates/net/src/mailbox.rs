@@ -1,0 +1,140 @@
+//! Condvar mailboxes between a connection's reader thread and the
+//! runtime's bounded polls.
+//!
+//! A connection's reader thread demultiplexes incoming frames into
+//! per-purpose mailboxes (offers from the peer; answers to our offers).
+//! The runtime's wait loops drain them through the same bounded-poll
+//! contract as the in-process transport: a pop with `cap =
+//! Some(Duration::ZERO)` is a pure check, any other cap waits at most that
+//! long (backstopped) before reporting pending.
+//!
+//! Ordering invariant: a closed mailbox **drains queued items before
+//! reporting the close**. The runtime's send path relies on it — an
+//! acknowledgement the peer wrote before its socket closed must be
+//! observable by the sender's final poll, or a completed rendezvous would
+//! be reported failed on one side only, leaving logs that no longer
+//! reconstruct.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use synctime_runtime::{Polled, TransportError};
+
+/// How long one bounded wait may park when the caller gives no cap; the
+/// caller re-runs its abort/liveness checks at least this often.
+pub(crate) const POP_BACKSTOP: Duration = Duration::from_millis(250);
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// Set when the connection died: by the reader thread on EOF/error
+    /// (with `error = None` for a clean close) or with the I/O failure.
+    closed: bool,
+    error: Option<String>,
+}
+
+/// A many-producer, many-consumer queue with bounded-poll draining.
+#[derive(Debug)]
+pub(crate) struct Mailbox<T> {
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+}
+
+impl<T> Mailbox<T> {
+    pub(crate) fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+                error: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item and wakes any bounded poll.
+    pub(crate) fn push(&self, item: T) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.queue.push_back(item);
+        self.cond.notify_all();
+    }
+
+    /// Marks the connection dead (`detail = None` for a clean close) and
+    /// wakes every waiter. Queued items stay poppable.
+    pub(crate) fn close(&self, detail: Option<String>) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if !inner.closed {
+            inner.closed = true;
+            inner.error = detail;
+        }
+        self.cond.notify_all();
+    }
+
+    /// One bounded poll: pops the next item if present, else waits at most
+    /// `cap` (backstopped; `Some(Duration::ZERO)` is a pure check that
+    /// never releases the lock) and re-checks once.
+    ///
+    /// Queued items are always delivered before a close is reported.
+    pub(crate) fn pop(&self, cap: Option<Duration>) -> Result<Polled<T>, TransportError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let waits = usize::from(cap != Some(Duration::ZERO));
+        for pass in 0..=waits {
+            if let Some(item) = inner.queue.pop_front() {
+                return Ok(Polled::Ready(item));
+            }
+            if inner.closed {
+                return Err(match inner.error.clone() {
+                    None => TransportError::Closed,
+                    Some(detail) => TransportError::Io(detail),
+                });
+            }
+            if pass < waits {
+                let step = cap.map_or(POP_BACKSTOP, |c| c.min(POP_BACKSTOP));
+                inner = self
+                    .cond
+                    .wait_timeout(inner, step)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+        Ok(Polled::Pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_drains_before_reporting_close() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.push(1);
+        mb.push(2);
+        mb.close(None);
+        assert!(matches!(mb.pop(Some(Duration::ZERO)), Ok(Polled::Ready(1))));
+        assert!(matches!(mb.pop(Some(Duration::ZERO)), Ok(Polled::Ready(2))));
+        assert!(matches!(
+            mb.pop(Some(Duration::ZERO)),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn zero_cap_is_a_pure_probe() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        assert!(matches!(mb.pop(Some(Duration::ZERO)), Ok(Polled::Pending)));
+        mb.push(9);
+        assert!(matches!(mb.pop(Some(Duration::ZERO)), Ok(Polled::Ready(9))));
+    }
+
+    #[test]
+    fn io_close_surfaces_detail() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.close(Some("reset".to_string()));
+        assert!(matches!(
+            mb.pop(Some(Duration::ZERO)),
+            Err(TransportError::Io(d)) if d == "reset"
+        ));
+    }
+}

@@ -1,0 +1,351 @@
+//! The precedence-query server: Theorem 4 as a network service.
+//!
+//! The paper's punchline is that a d-dimensional vector per message
+//! answers `m1 ↦ m2` with a constant-time comparison. This module serves
+//! that comparison over the frame protocol: a [`QueryServer`] holds the
+//! stamped trace in memory and answers three query kinds —
+//!
+//! * **precedes** `m1 m2` — does `m1` synchronously precede `m2`?
+//! * **concurrent** `m1 m2` — is neither ordered before the other?
+//! * **chain-of** `m` — every message ordered with `m` (its causal past
+//!   and future, `m` included), ascending by message id; the complement
+//!   of `m`'s concurrency set.
+//!
+//! A query is one QUERY frame and one ANSWER (or ERROR) frame; clients
+//! keep a connection open and pipeline queries sequentially, so the
+//! closed-loop cost is one round trip plus two vector comparisons.
+//!
+//! Query connections handshake like transport connections, but a client
+//! is not a process of any computation: it identifies as process
+//! `u32::MAX` with topology hash `0`, and the server validates the
+//! protocol version only.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use synctime_core::MessageTimestamps;
+use synctime_trace::MessageId;
+
+use crate::error::NetError;
+use crate::frame::{Frame, FrameReader, PROTOCOL_VERSION};
+
+/// Query kind byte: does `m1` precede `m2`?
+pub const QUERY_PRECEDES: u8 = 0;
+/// Query kind byte: are `m1` and `m2` concurrent?
+pub const QUERY_CONCURRENT: u8 = 1;
+/// Query kind byte: every message ordered with `m1`.
+pub const QUERY_CHAIN_OF: u8 = 2;
+
+/// The process id query clients identify with: not a process at all.
+pub const QUERY_CLIENT_ID: u32 = u32::MAX;
+
+/// Answers queries against one stamped trace.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    stamps: Arc<MessageTimestamps>,
+}
+
+impl QueryService {
+    /// Wraps a stamped trace.
+    pub fn new(stamps: MessageTimestamps) -> Self {
+        QueryService {
+            stamps: Arc::new(stamps),
+        }
+    }
+
+    /// Number of stamped messages served.
+    pub fn message_count(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Answers one query, returning the ANSWER body.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] on an unknown kind or out-of-range message id
+    /// (0-based).
+    pub fn answer(&self, kind: u8, m1: u32, m2: u32) -> Result<Vec<u8>, NetError> {
+        let check = |m: u32| -> Result<MessageId, NetError> {
+            let idx = m as usize;
+            if idx >= self.stamps.len() {
+                return Err(NetError::Query(format!(
+                    "message {m} out of range (trace has {} messages)",
+                    self.stamps.len()
+                )));
+            }
+            Ok(MessageId(idx))
+        };
+        match kind {
+            QUERY_PRECEDES => {
+                let (a, b) = (check(m1)?, check(m2)?);
+                Ok(vec![u8::from(self.stamps.precedes(a, b))])
+            }
+            QUERY_CONCURRENT => {
+                let (a, b) = (check(m1)?, check(m2)?);
+                Ok(vec![u8::from(self.stamps.concurrent(a, b))])
+            }
+            QUERY_CHAIN_OF => {
+                let m = check(m1)?;
+                let ordered: Vec<u32> = (0..self.stamps.len())
+                    .map(MessageId)
+                    .filter(|&o| o == m || self.stamps.precedes(o, m) || self.stamps.precedes(m, o))
+                    .map(|o| o.0 as u32)
+                    .collect();
+                let mut body = Vec::with_capacity(4 + 4 * ordered.len());
+                body.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
+                for id in ordered {
+                    body.extend_from_slice(&id.to_le_bytes());
+                }
+                Ok(body)
+            }
+            other => Err(NetError::Query(format!("unknown query kind {other}"))),
+        }
+    }
+}
+
+/// Accepts query connections forever, one handler thread per client.
+///
+/// Returns only when the listener itself fails; callers wanting a
+/// bounded server should drop the listener from another thread or kill
+/// the process (the CLI's `serve-query` does the latter).
+///
+/// # Errors
+///
+/// [`NetError::Io`] when accepting fails for a reason other than a
+/// transient client error.
+pub fn serve(listener: TcpListener, service: QueryService) -> Result<(), NetError> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let service = service.clone();
+        std::thread::Builder::new()
+            .name("synctime-query".to_string())
+            .spawn(move || {
+                // A misbehaving client only kills its own connection.
+                let _ = serve_connection(stream, &service);
+            })?;
+    }
+}
+
+/// Runs one client connection: handshake, then a query/answer loop until
+/// the client disconnects.
+fn serve_connection(mut stream: TcpStream, service: &QueryService) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let hello = read_frame(&mut stream, &mut reader, &mut buf)?;
+    let Frame::Hello { version, .. } = hello else {
+        return Err(NetError::Handshake(format!(
+            "expected HELLO, got {hello:?}"
+        )));
+    };
+    if version != PROTOCOL_VERSION {
+        let refusal = Frame::Error {
+            message: format!(
+                "protocol version mismatch: client speaks {version}, server speaks {PROTOCOL_VERSION}"
+            ),
+        };
+        stream.write_all(&refusal.encode())?;
+        return Err(NetError::Handshake("client version mismatch".to_string()));
+    }
+    stream.write_all(
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            topology_hash: 0,
+            process: QUERY_CLIENT_ID,
+        }
+        .encode(),
+    )?;
+    loop {
+        let frame = match read_frame(&mut stream, &mut reader, &mut buf) {
+            Ok(f) => f,
+            Err(NetError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let Frame::Query { kind, m1, m2 } = frame else {
+            let err = Frame::Error {
+                message: format!("expected QUERY, got {frame:?}"),
+            };
+            stream.write_all(&err.encode())?;
+            return Ok(());
+        };
+        let reply = match service.answer(kind, m1, m2) {
+            Ok(body) => Frame::Answer { body },
+            // The wire carries the bare detail; the client re-wraps it in
+            // NetError::Query, which adds the "query rejected:" prefix.
+            Err(NetError::Query(detail)) => Frame::Error { message: detail },
+            Err(e) => Frame::Error {
+                message: e.to_string(),
+            },
+        };
+        stream.write_all(&reply.encode())?;
+    }
+}
+
+fn read_frame(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    buf: &mut [u8],
+) -> Result<Frame, NetError> {
+    loop {
+        if let Some(frame) = reader.next_frame()? {
+            return Ok(frame);
+        }
+        let n = stream.read(buf)?;
+        if n == 0 {
+            return Err(NetError::Closed);
+        }
+        reader.feed(&buf[..n]);
+    }
+}
+
+/// A blocking query connection: one handshake, then sequential queries.
+#[derive(Debug)]
+pub struct QueryClient {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl QueryClient {
+    /// Connects and handshakes with a query server.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on connect failures, [`NetError::Handshake`] when
+    /// the server refuses the protocol version.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                topology_hash: 0,
+                process: QUERY_CLIENT_ID,
+            }
+            .encode(),
+        )?;
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        match read_frame(&mut stream, &mut reader, &mut buf)? {
+            Frame::Hello { .. } => Ok(QueryClient { stream, reader }),
+            Frame::Error { message } => Err(NetError::Handshake(message)),
+            other => Err(NetError::Handshake(format!(
+                "expected HELLO, got {other:?}"
+            ))),
+        }
+    }
+
+    fn ask(&mut self, kind: u8, m1: u32, m2: u32) -> Result<Vec<u8>, NetError> {
+        self.stream
+            .write_all(&Frame::Query { kind, m1, m2 }.encode())?;
+        let mut buf = [0u8; 4096];
+        match read_frame(&mut self.stream, &mut self.reader, &mut buf)? {
+            Frame::Answer { body } => Ok(body),
+            Frame::Error { message } => Err(NetError::Query(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected ANSWER, got {other:?}"
+            ))),
+        }
+    }
+
+    fn ask_bool(&mut self, kind: u8, m1: u32, m2: u32) -> Result<bool, NetError> {
+        let body = self.ask(kind, m1, m2)?;
+        match body.as_slice() {
+            [0] => Ok(false),
+            [1] => Ok(true),
+            _ => Err(NetError::Protocol(
+                "boolean answer body is not a single 0/1 byte".to_string(),
+            )),
+        }
+    }
+
+    /// Does message `m1` synchronously precede `m2`? (0-based ids.)
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] when the server rejects the ids, transport
+    /// errors otherwise.
+    pub fn precedes(&mut self, m1: u32, m2: u32) -> Result<bool, NetError> {
+        self.ask_bool(QUERY_PRECEDES, m1, m2)
+    }
+
+    /// Are messages `m1` and `m2` concurrent? (0-based ids.)
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::precedes`].
+    pub fn concurrent(&mut self, m1: u32, m2: u32) -> Result<bool, NetError> {
+        self.ask_bool(QUERY_CONCURRENT, m1, m2)
+    }
+
+    /// Every message ordered with `m` (see the module docs), ascending.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::precedes`].
+    pub fn chain_of(&mut self, m: u32) -> Result<Vec<u32>, NetError> {
+        let body = self.ask(QUERY_CHAIN_OF, m, 0)?;
+        if body.len() < 4 {
+            return Err(NetError::Protocol("truncated chain answer".to_string()));
+        }
+        let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+        if body.len() != 4 + 4 * count {
+            return Err(NetError::Protocol(format!(
+                "chain answer declares {count} ids but carries {} bytes",
+                body.len()
+            )));
+        }
+        Ok(body[4..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_core::VectorTime;
+
+    fn diamond() -> QueryService {
+        // m0 < m1, m0 < m2, m1 ∥ m2, m1 < m3, m2 < m3.
+        QueryService::new(MessageTimestamps::new(vec![
+            VectorTime::from(vec![1, 0]),
+            VectorTime::from(vec![2, 0]),
+            VectorTime::from(vec![1, 1]),
+            VectorTime::from(vec![2, 2]),
+        ]))
+    }
+
+    #[test]
+    fn service_answers_all_kinds() {
+        let svc = diamond();
+        assert_eq!(svc.answer(QUERY_PRECEDES, 0, 1).unwrap(), vec![1]);
+        assert_eq!(svc.answer(QUERY_PRECEDES, 1, 0).unwrap(), vec![0]);
+        assert_eq!(svc.answer(QUERY_CONCURRENT, 1, 2).unwrap(), vec![1]);
+        assert_eq!(svc.answer(QUERY_CONCURRENT, 0, 3).unwrap(), vec![0]);
+        let chain = svc.answer(QUERY_CHAIN_OF, 1, 0).unwrap();
+        // m1's ordered set: m0 < m1 < m3 (m2 is concurrent with m1).
+        assert_eq!(chain[..4], 3u32.to_le_bytes());
+        assert!(svc.answer(QUERY_PRECEDES, 0, 99).is_err());
+        assert!(svc.answer(77, 0, 1).is_err());
+    }
+
+    #[test]
+    fn server_and_client_roundtrip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = serve(listener, diamond());
+        });
+        let mut client = QueryClient::connect(&addr.to_string()).unwrap();
+        assert!(client.precedes(0, 3).unwrap());
+        assert!(!client.precedes(3, 0).unwrap());
+        assert!(client.concurrent(1, 2).unwrap());
+        assert_eq!(client.chain_of(1).unwrap(), vec![0, 1, 3]);
+        let err = client.precedes(0, 99).unwrap_err();
+        assert!(matches!(err, NetError::Query(_)), "{err}");
+        // The connection survives a rejected query.
+        assert!(client.precedes(0, 1).unwrap());
+    }
+}

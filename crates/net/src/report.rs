@@ -1,0 +1,216 @@
+//! The node-report interchange format for distributed runs.
+//!
+//! When a computation runs as N OS processes (`synctime launch --transport
+//! tcp`), each node observes only its own side of every rendezvous. To
+//! rebuild the run-wide trace, every `serve-node` prints a **node report**
+//! — its execution log, outcome, and [`RunStats`] — as one JSON document
+//! (schema `synctime/node_report/v1`), and the launcher merges them with
+//! `reconstruct_from_logs` + [`RunStats::merged`].
+//!
+//! The format is hand-rolled over the workspace serde shim because
+//! [`LogEntry`] deliberately carries no serde impls (it is a runtime
+//! internal, not a wire type); this module is the one sanctioned
+//! serialization boundary for it.
+
+use serde::{Deserialize, Serialize, Value};
+use synctime_core::VectorTime;
+use synctime_obs::RunStats;
+use synctime_runtime::LogEntry;
+
+use crate::error::NetError;
+
+/// Schema tag stamped on every serialized report.
+pub const NODE_REPORT_SCHEMA: &str = "synctime/node_report/v1";
+
+/// One OS process's view of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Which process this node ran.
+    pub process: usize,
+    /// `None` for a clean finish, else the rendered runtime error.
+    pub outcome: Option<String>,
+    /// The node's execution log, in program order.
+    pub log: Vec<LogEntry>,
+    /// The node's side of the run's wire/latency accounting.
+    pub stats: RunStats,
+}
+
+fn stamp_value(stamp: &VectorTime) -> Value {
+    Value::Array(stamp.as_slice().iter().map(|&c| Value::UInt(c)).collect())
+}
+
+fn entry_value(entry: &LogEntry) -> Value {
+    match entry {
+        LogEntry::Sent { to, key, stamp } => Value::Object(vec![
+            ("kind".to_string(), Value::Str("sent".to_string())),
+            ("peer".to_string(), Value::UInt(*to as u64)),
+            ("key".to_string(), Value::UInt(*key)),
+            ("stamp".to_string(), stamp_value(stamp)),
+        ]),
+        LogEntry::Received { from, key, stamp } => Value::Object(vec![
+            ("kind".to_string(), Value::Str("received".to_string())),
+            ("peer".to_string(), Value::UInt(*from as u64)),
+            ("key".to_string(), Value::UInt(*key)),
+            ("stamp".to_string(), stamp_value(stamp)),
+        ]),
+        LogEntry::Internal => Value::Object(vec![(
+            "kind".to_string(),
+            Value::Str("internal".to_string()),
+        )]),
+    }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, NetError> {
+    v.get_field(name)
+        .ok_or_else(|| NetError::Protocol(format!("node report missing field `{name}`")))
+}
+
+fn parse_entry(v: &Value) -> Result<LogEntry, NetError> {
+    let kind = field(v, "kind")?
+        .as_str()
+        .ok_or_else(|| NetError::Protocol("log entry `kind` is not a string".to_string()))?;
+    if kind == "internal" {
+        return Ok(LogEntry::Internal);
+    }
+    let peer = usize::from_value(field(v, "peer")?)
+        .map_err(|e| NetError::Protocol(format!("log entry `peer`: {e}")))?;
+    let key = u64::from_value(field(v, "key")?)
+        .map_err(|e| NetError::Protocol(format!("log entry `key`: {e}")))?;
+    let components = Vec::<u64>::from_value(field(v, "stamp")?)
+        .map_err(|e| NetError::Protocol(format!("log entry `stamp`: {e}")))?;
+    let stamp = VectorTime::from(components);
+    match kind {
+        "sent" => Ok(LogEntry::Sent {
+            to: peer,
+            key,
+            stamp,
+        }),
+        "received" => Ok(LogEntry::Received {
+            from: peer,
+            key,
+            stamp,
+        }),
+        other => Err(NetError::Protocol(format!(
+            "unknown log entry kind `{other}`"
+        ))),
+    }
+}
+
+impl NodeReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let outcome = match &self.outcome {
+            Some(detail) => Value::Str(detail.clone()),
+            None => Value::Null,
+        };
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::Str(NODE_REPORT_SCHEMA.to_string()),
+            ),
+            ("process".to_string(), Value::UInt(self.process as u64)),
+            ("outcome".to_string(), outcome),
+            (
+                "log".to_string(),
+                Value::Array(self.log.iter().map(entry_value).collect()),
+            ),
+            ("stats".to_string(), self.stats.to_value()),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("node report serialises infallibly")
+    }
+
+    /// Parses a report previously produced by [`NodeReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on malformed JSON, a wrong or missing schema
+    /// tag, or any shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, NetError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| NetError::Protocol(format!("node report is not JSON: {e}")))?;
+        match field(&doc, "schema")?.as_str() {
+            Some(NODE_REPORT_SCHEMA) => {}
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "unsupported node report schema `{other}`"
+                )))
+            }
+            None => {
+                return Err(NetError::Protocol(
+                    "node report `schema` is not a string".to_string(),
+                ))
+            }
+        }
+        let process = usize::from_value(field(&doc, "process")?)
+            .map_err(|e| NetError::Protocol(format!("node report `process`: {e}")))?;
+        let outcome = match field(&doc, "outcome")? {
+            Value::Null => None,
+            Value::Str(detail) => Some(detail.clone()),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "node report `outcome` is {}, expected string or null",
+                    other.type_name()
+                )))
+            }
+        };
+        let log = field(&doc, "log")?
+            .as_array()
+            .ok_or_else(|| NetError::Protocol("node report `log` is not an array".to_string()))?
+            .iter()
+            .map(parse_entry)
+            .collect::<Result<Vec<_>, _>>()?;
+        let stats = RunStats::from_value(field(&doc, "stats")?)
+            .map_err(|e| NetError::Protocol(format!("node report `stats`: {e}")))?;
+        Ok(NodeReport {
+            process,
+            outcome,
+            log,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = NodeReport {
+            process: 2,
+            outcome: Some("process 1 terminated".to_string()),
+            log: vec![
+                LogEntry::Sent {
+                    to: 1,
+                    key: 7,
+                    stamp: VectorTime::from(vec![3, 0, 1]),
+                },
+                LogEntry::Internal,
+                LogEntry::Received {
+                    from: 0,
+                    key: 9,
+                    stamp: VectorTime::from(vec![3, 2, 1]),
+                },
+            ],
+            stats: RunStats::merged(&[]),
+        };
+        let text = report.to_json();
+        assert!(text.contains(NODE_REPORT_SCHEMA));
+        let back = NodeReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected_with_context() {
+        assert!(matches!(
+            NodeReport::from_json("not json"),
+            Err(NetError::Protocol(_))
+        ));
+        let wrong_schema =
+            r#"{"schema":"synctime/other/v9","process":0,"outcome":null,"log":[],"stats":{}}"#;
+        let err = NodeReport::from_json(wrong_schema).unwrap_err();
+        assert!(err.to_string().contains("synctime/other/v9"), "{err}");
+        let bad_kind = r#"{"schema":"synctime/node_report/v1","process":0,"outcome":null,"log":[{"kind":"warped"}],"stats":{}}"#;
+        assert!(NodeReport::from_json(bad_kind).is_err());
+    }
+}

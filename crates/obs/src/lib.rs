@@ -49,4 +49,4 @@ mod stats;
 
 pub use deadlock::{DeadlockDiagnosis, WaitEdge, WaitOp};
 pub use recorder::{ObsEvent, ObsEventKind, ProcessRecorder, Recorder};
-pub use stats::{nearest_rank_percentile, ProcessStats, RunStats};
+pub use stats::{nearest_rank_percentile, ChannelStats, ProcessStats, RunStats};

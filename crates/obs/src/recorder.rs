@@ -7,7 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
-use crate::stats::{nearest_rank_percentile, ProcessStats, RunStats};
+use std::collections::BTreeMap;
+
+use crate::stats::{nearest_rank_percentile, savings_ratio, ChannelStats, ProcessStats, RunStats};
 
 /// What a recorded event was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +102,8 @@ impl Ring {
 /// `&self` and are cheap enough to call on every message.
 #[derive(Debug)]
 pub struct ProcessRecorder {
+    /// This process's id — the channel key half this recorder contributes.
+    id: usize,
     sends: AtomicU64,
     receives: AtomicU64,
     wire_bytes: AtomicU64,
@@ -108,13 +112,18 @@ pub struct ProcessRecorder {
     wakeups: AtomicU64,
     resyncs: AtomicU64,
     faults: AtomicU64,
+    /// Per-directed-channel accumulation, keyed `(from, to)`:
+    /// `(messages, wire_bytes, wire_bytes_full)`. Uncontended in practice —
+    /// only this process's thread writes it.
+    channels: Mutex<BTreeMap<(usize, usize), (u64, u64, u64)>>,
     events: Mutex<Ring>,
     epoch: Instant,
 }
 
 impl ProcessRecorder {
-    fn new(ring_capacity: usize, epoch: Instant) -> Self {
+    fn new(id: usize, ring_capacity: usize, epoch: Instant) -> Self {
         ProcessRecorder {
+            id,
             sends: AtomicU64::new(0),
             receives: AtomicU64::new(0),
             wire_bytes: AtomicU64::new(0),
@@ -123,9 +132,21 @@ impl ProcessRecorder {
             wakeups: AtomicU64::new(0),
             resyncs: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            channels: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Ring::new(ring_capacity)),
             epoch,
         }
+    }
+
+    /// Adds one channel observation: `messages` is 1 only on the send side
+    /// so channel message counts stay counted-once while bytes are counted
+    /// at both endpoints (the aggregate convention).
+    fn record_channel(&self, key: (usize, usize), messages: u64, bytes: u64, bytes_full: u64) {
+        let mut map = self.channels.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = map.entry(key).or_insert((0, 0, 0));
+        entry.0 += messages;
+        entry.1 += bytes;
+        entry.2 += bytes_full;
     }
 
     fn now_ns(&self) -> u64 {
@@ -158,6 +179,7 @@ impl ProcessRecorder {
         self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
         self.wire_bytes_full
             .fetch_add(wire_bytes_full, Ordering::Relaxed);
+        self.record_channel((self.id, to), 1, wire_bytes, wire_bytes_full);
         self.push(ObsEventKind::Send {
             to,
             wire_bytes,
@@ -179,6 +201,7 @@ impl ProcessRecorder {
         self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
         self.wire_bytes_full
             .fetch_add(wire_bytes_full, Ordering::Relaxed);
+        self.record_channel((from, self.id), 0, wire_bytes, wire_bytes_full);
         self.blocked_ns.fetch_add(blocked_ns, Ordering::Relaxed);
         self.push(ObsEventKind::Receive {
             from,
@@ -251,7 +274,7 @@ impl Recorder {
         let epoch = Instant::now();
         Recorder {
             processes: (0..process_count)
-                .map(|_| ProcessRecorder::new(ring_capacity, epoch))
+                .map(|id| ProcessRecorder::new(id, ring_capacity, epoch))
                 .collect(),
         }
     }
@@ -285,6 +308,7 @@ impl Recorder {
         let mut resync_frames = 0u64;
         let mut faults_injected = 0u64;
         let mut dropped = 0usize;
+        let mut channels: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
         for (id, p) in self.processes.iter().enumerate() {
             per_process.push(ProcessStats {
                 process: id,
@@ -297,6 +321,17 @@ impl Recorder {
             wakeups += p.wakeups.load(Ordering::Relaxed);
             resync_frames += p.resyncs.load(Ordering::Relaxed);
             faults_injected += p.faults.load(Ordering::Relaxed);
+            for (key, (msgs, bytes, bytes_full)) in p
+                .channels
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+            {
+                let entry = channels.entry(*key).or_insert((0, 0, 0));
+                entry.0 += msgs;
+                entry.1 += bytes;
+                entry.2 += bytes_full;
+            }
             let ring = p.events.lock().unwrap_or_else(PoisonError::into_inner);
             dropped += ring.dropped();
             for event in ring.in_order() {
@@ -309,6 +344,21 @@ impl Recorder {
         }
         latencies.sort_unstable();
         wakeup_latencies.sort_unstable();
+        let per_channel: Vec<ChannelStats> = channels
+            .into_iter()
+            .map(
+                |((from, to), (messages, wire_bytes, wire_bytes_full))| ChannelStats {
+                    from,
+                    to,
+                    messages,
+                    wire_bytes,
+                    wire_bytes_full,
+                    wire_savings_ratio: savings_ratio(wire_bytes, wire_bytes_full),
+                },
+            )
+            .collect();
+        let total_wire_bytes: u64 = per_process.iter().map(|p| p.wire_bytes).sum();
+        let total_wire_bytes_full: u64 = per_process.iter().map(|p| p.wire_bytes_full).sum();
         // Nearest-rank percentile; total on empty samples (returns 0), so a
         // run with zero rendezvous aggregates cleanly.
         let pick = nearest_rank_percentile;
@@ -316,8 +366,9 @@ impl Recorder {
             process_count: self.processes.len(),
             messages: per_process.iter().map(|p| p.sends).sum(),
             receives: per_process.iter().map(|p| p.receives).sum(),
-            total_wire_bytes: per_process.iter().map(|p| p.wire_bytes).sum(),
-            total_wire_bytes_full: per_process.iter().map(|p| p.wire_bytes_full).sum(),
+            total_wire_bytes,
+            total_wire_bytes_full,
+            wire_savings_ratio: savings_ratio(total_wire_bytes, total_wire_bytes_full),
             total_blocked_ns: per_process.iter().map(|p| p.blocked_ns).sum(),
             ack_latency_p50_ns: pick(&latencies, 50, 100),
             ack_latency_p99_ns: pick(&latencies, 99, 100),
@@ -331,6 +382,7 @@ impl Recorder {
             resync_frames,
             faults_injected,
             per_process,
+            per_channel,
         }
     }
 }
@@ -351,6 +403,14 @@ mod tests {
         assert_eq!(stats.receives, 10);
         assert_eq!(stats.total_wire_bytes, 24 * 20);
         assert_eq!(stats.total_wire_bytes_full, 32 * 20);
+        assert_eq!(stats.per_channel.len(), 1);
+        let ch = &stats.per_channel[0];
+        assert_eq!((ch.from, ch.to), (0, 1));
+        assert_eq!(ch.messages, 10);
+        assert_eq!(ch.wire_bytes, 24 * 20);
+        assert_eq!(ch.wire_bytes_full, 32 * 20);
+        assert!((ch.wire_savings_ratio - 0.75).abs() < 1e-12);
+        assert!((stats.wire_savings_ratio - 0.75).abs() < 1e-12);
         assert_eq!(stats.ack_latency_p50_ns, 500);
         assert_eq!(stats.ack_latency_p99_ns, 1000);
         assert_eq!(stats.ack_latency_max_ns, 1000);

@@ -68,6 +68,16 @@ pub enum RuntimeError {
         /// The operation index at which the crash fired.
         at_op: u64,
     },
+    /// The transport under a channel failed in a way that is not a clean
+    /// peer shutdown: an OS-level I/O error or a malformed frame on a
+    /// socket-backed channel (see `synctime_runtime::TransportError`).
+    /// Never produced by the in-process transport.
+    ChannelIo {
+        /// The peer on the failed channel.
+        peer: ProcessId,
+        /// The transport's description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -104,6 +114,12 @@ impl fmt::Display for RuntimeError {
                 write!(
                     f,
                     "injected fault crashed process {process} at operation {at_op}"
+                )
+            }
+            RuntimeError::ChannelIo { peer, detail } => {
+                write!(
+                    f,
+                    "transport failure on channel to process {peer}: {detail}"
                 )
             }
         }

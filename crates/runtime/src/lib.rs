@@ -64,13 +64,17 @@ mod error;
 mod fault;
 mod matcher;
 mod runtime;
+mod transport;
 
 pub use error::RuntimeError;
 pub use fault::{FaultAction, FaultInjector};
 pub use matcher::{Matcher, BLOCK_POLL};
 pub use runtime::{
-    Behavior, LiveObservation, LogEntry, ProcessCtx, Runtime, RuntimeRun, DEFAULT_EVENT_RING,
-    DEFAULT_RENDEZVOUS_RETRIES, DEFAULT_WATCHDOG_TIMEOUT,
+    reconstruct_from_logs, Behavior, LiveObservation, LogEntry, ProcessCtx, ProcessRun, Runtime,
+    RuntimeRun, DEFAULT_EVENT_RING, DEFAULT_RENDEZVOUS_RETRIES, DEFAULT_WATCHDOG_TIMEOUT,
+};
+pub use transport::{
+    OfferAnswer, Polled, RawOffer, ReadySlot, RxChannel, SendAnswer, TransportError, TxChannel,
 };
 // Re-exported so downstream users can consume diagnoses and stats without
 // depending on `synctime-obs` directly.

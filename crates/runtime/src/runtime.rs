@@ -5,14 +5,20 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use synctime_core::online::ProcessClock;
-use synctime_core::wire::{StreamDecoder, StreamEncoder, StreamError};
+use synctime_core::wire::{
+    ack_frame_bytes, offer_frame_bytes, resync_frame_bytes, StreamDecoder, StreamEncoder,
+    StreamError,
+};
 use synctime_core::{MessageTimestamps, VectorTime};
 use synctime_graph::{Edge, EdgeDecomposition, Graph};
 use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
 
 use crate::fault::{FaultAction, FaultInjector};
-use crate::matcher::{ChannelSlot, SlotState, Wire};
+use crate::matcher::ChannelSlot;
+use crate::transport::{
+    LocalRx, LocalTx, OfferAnswer, Polled, RxChannel, SendAnswer, TransportError, TxChannel,
+};
 use crate::{Matcher, RuntimeError};
 
 /// Locks a mutex, recovering from poisoning instead of panicking: every
@@ -201,9 +207,12 @@ pub struct ProcessCtx {
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
     seq: u64,
-    matcher: Matcher,
-    data_out: HashMap<ProcessId, Arc<ChannelSlot>>,
-    data_in: HashMap<ProcessId, Arc<ChannelSlot>>,
+    /// Sending endpoint of each outgoing channel, keyed by receiver. The
+    /// medium behind the trait object is interchangeable: in-process slots
+    /// for [`Runtime::run`], sockets for [`Runtime::run_process`].
+    tx: HashMap<ProcessId, Arc<dyn TxChannel>>,
+    /// Receiving endpoint of each incoming channel, keyed by sender.
+    rx: HashMap<ProcessId, Arc<dyn RxChannel>>,
     log: Vec<LogEntry>,
     shared: Arc<RunShared>,
     recorder: Arc<Recorder>,
@@ -319,20 +328,19 @@ impl ProcessCtx {
             .unwrap_or_default()
     }
 
-    /// One blocked-wait step on `slot`: registers the wait with the
-    /// watchdog on first park, checks abort and peer liveness, then parks
-    /// (or polls, under [`Matcher::Polling`]) until the next wakeup.
+    /// Bookkeeping between two bounded transport polls that came back
+    /// [`Polled::Pending`]: checks abort, peer liveness, and the rendezvous
+    /// timeout budget, and registers the wait with the watchdog on the
+    /// first pending poll. Returns the wait cap for the next poll.
     ///
     /// On an error return the registration has already been cleared.
-    fn park_step<'a>(
+    fn pending_step(
         &self,
-        slot: &'a ChannelSlot,
-        guard: MutexGuard<'a, SlotState>,
         op: WaitOp,
         peer: ProcessId,
         parked: &mut bool,
         budget: &mut WaitBudget,
-    ) -> Result<MutexGuard<'a, SlotState>, RuntimeError> {
+    ) -> Result<Option<Duration>, RuntimeError> {
         if self.shared.aborted() {
             if *parked {
                 self.exit_blocked();
@@ -355,7 +363,18 @@ impl ProcessCtx {
             *parked = true;
             self.enter_blocked(op, peer);
         }
-        Ok(slot.wait_step(guard, self.matcher, budget.cap()))
+        Ok(budget.cap())
+    }
+
+    /// Maps a transport failure on the channel to `peer` into the runtime
+    /// error the behavior sees: a clean close is the peer terminating (a
+    /// TCP peer closing its socket is the distributed analogue of a thread
+    /// exiting), anything else is a channel I/O failure.
+    fn channel_error(&self, peer: ProcessId, e: TransportError) -> RuntimeError {
+        match e {
+            TransportError::Closed => self.peer_gone(peer),
+            TransportError::Io(detail) => RuntimeError::ChannelIo { peer, detail },
+        }
     }
 
     /// Finishes a parked phase: clears the registration and accumulates the
@@ -412,25 +431,11 @@ impl ProcessCtx {
         }
     }
 
-    /// Removes this process's own offer from `slot` if it still sits there
-    /// untaken, so an errored send leaves no debris blocking the channel.
-    /// The outgoing stream stays one frame ahead of the peer's decoder
-    /// after a retraction, which is fine: the next send on the channel
-    /// trips the decoder's sequence check and heals through the ordinary
-    /// resync path.
-    fn retract_offer(&self, slot: &ChannelSlot, key: u64) {
-        let mut st = slot.lock();
-        if matches!(&*st, SlotState::Offered { wire, .. } if wire.key == key) {
-            *st = SlotState::Empty;
-            slot.notify();
-        }
-    }
-
     fn group_for(&self, from: ProcessId, to: ProcessId) -> Result<usize, RuntimeError> {
         // Channel existence (a topology property) is diagnosed before the
         // decomposition lookup, so behaviors get the more actionable error.
         let peer = if from == self.id { to } else { from };
-        if !self.data_out.contains_key(&peer) {
+        if !self.tx.contains_key(&peer) {
             return Err(RuntimeError::NoChannel { from, to });
         }
         let edge = Edge::try_new(from, to).map_err(|_| RuntimeError::NoChannel { from, to })?;
@@ -443,18 +448,21 @@ impl ProcessCtx {
     /// takes the message *and* acknowledges it, then returns the message's
     /// timestamp (identical on both sides).
     ///
-    /// The whole exchange rides one channel slot: the deposit of the
-    /// message wakes the receiver, and the receiver's acknowledgement
-    /// deposit (made under the same lock hold as the take) wakes this
-    /// process back — the vector exchange piggybacks on the wakeups.
+    /// The whole exchange rides one transport channel: depositing the
+    /// offer wakes the receiver, and the receiver's acknowledgement wakes
+    /// this process back — the vector exchange piggybacks on the wakeups.
+    /// Whether the channel is an in-memory slot or a socket is the
+    /// transport's business ([`crate::TxChannel`]).
     ///
     /// # Errors
     ///
     /// [`RuntimeError::NoChannel`] if `to` is not a neighbor;
     /// [`RuntimeError::ChannelNotInDecomposition`] if the decomposition
     /// misses the edge; [`RuntimeError::PeerTerminated`] if the peer's
-    /// thread exited mid-rendezvous; [`RuntimeError::Deadlock`] if the
-    /// watchdog aborted the run while this process was blocked here.
+    /// thread exited (or its connection closed) mid-rendezvous;
+    /// [`RuntimeError::Deadlock`] if the watchdog aborted the run while
+    /// this process was blocked here; [`RuntimeError::ChannelIo`] on a
+    /// socket-transport failure.
     pub fn send(&mut self, to: ProcessId, payload: u64) -> Result<VectorTime, RuntimeError> {
         if self.shared.aborted() {
             return Err(self.shared.deadlock_error());
@@ -463,8 +471,8 @@ impl ProcessCtx {
         let group = self.group_for(self.id, to)?;
         let key = ((self.id as u64) << 32) | self.seq;
         self.seq += 1;
-        let slot = Arc::clone(
-            self.data_out
+        let tx = Arc::clone(
+            self.tx
                 .get(&to)
                 .ok_or(RuntimeError::NoChannel { from: self.id, to })?,
         );
@@ -477,74 +485,87 @@ impl ProcessCtx {
         // `send_payload` is non-mutating, so the very same vector can be
         // re-encoded verbatim when a resync retransmission is needed.
         let vector = self.clock.send_payload();
-        let mut encoded = self.enc_data.encode(to, &vector);
         let mut budget = WaitBudget::new(self.rendezvous_timeout, self.rendezvous_retries);
         let mut blocked = Duration::ZERO;
-        let mut st = slot.lock();
-        // In a healthy run the slot is always Empty here (each send on a
-        // channel completes its full cycle before the next), but an aborted
-        // rendezvous can leave debris; waiting keeps the state machine
-        // self-consistent and lets the abort check surface the real error.
         let mut parked = false;
-        loop {
-            match &*st {
-                SlotState::Empty => break,
-                SlotState::ResyncRequested => {
-                    // Debris from an earlier errored send on this channel:
-                    // the receiver asked for a resync nobody serviced. This
-                    // fresh send re-anchors the stream with a full frame.
-                    *st = SlotState::Empty;
-                    self.enc_data.force_full(to);
-                    encoded = self.enc_data.encode(to, &vector);
-                    self.recorder.process(self.id).record_resync();
-                    break;
+        // The first poll of every wait is a zero-wait probe, so the
+        // uncontended fast path never registers with the watchdog.
+        let mut cap = Some(Duration::ZERO);
+        let ready = loop {
+            match tx.poll_ready(cap) {
+                Ok(Polled::Ready(r)) => break r,
+                Ok(Polled::Pending) => {
+                    match self.pending_step(WaitOp::SendTo, to, &mut parked, &mut budget) {
+                        Ok(next) => cap = next,
+                        Err(e) => {
+                            self.recorder
+                                .process(self.id)
+                                .record_blocked(blocked.as_nanos() as u64);
+                            return Err(e);
+                        }
+                    }
                 }
-                _ => {
-                    st = self.park_step(&slot, st, WaitOp::SendTo, to, &mut parked, &mut budget)?;
+                Err(e) => {
+                    blocked += self.unpark(parked);
+                    self.recorder
+                        .process(self.id)
+                        .record_blocked(blocked.as_nanos() as u64);
+                    return Err(self.channel_error(to, e));
                 }
             }
-        }
+        };
         blocked += self.unpark(parked);
-        // Offer/await-ack loop: a ResyncRequested answer re-offers the same
-        // message as a full-vector frame (bounded by MAX_RESYNC). While the
-        // offer sits untaken the visible state is still `Offered`, i.e. the
-        // peer has not matched yet — so the wait registers as `SendTo`
-        // (take and ack are atomic; a distinct "awaiting ack" phase is
-        // never observable with this matcher).
+        if ready.resync_debris {
+            // Debris from an earlier errored send on this channel: the
+            // receiver asked for a resync nobody serviced. This fresh send
+            // re-anchors the stream with a full frame.
+            self.enc_data.force_full(to);
+            self.recorder.process(self.id).record_resync();
+        }
+        let mut encoded = self.enc_data.encode(to, &vector);
+        // Offer/await-answer loop: a ResyncRequested answer re-offers the
+        // same message as a full-vector frame (bounded by MAX_RESYNC).
+        // While the offer sits unanswered the peer has not completed the
+        // match, so the wait registers as `SendTo`. Wire accounting prices
+        // whole frames (header + key + payload + body — `core::wire`'s
+        // frame helpers), so local and TCP runs report identical byte
+        // counts for identical executions.
         let mut msg_bytes_total = 0u64;
         let mut resyncs = 0u32;
         let (ack, taken, acked, last_parked) = loop {
-            msg_bytes_total += 16 + encoded.len() as u64;
-            *st = SlotState::Offered {
-                wire: Wire {
-                    key,
-                    payload,
-                    vector: encoded.clone(),
-                },
-                at: Instant::now(),
-            };
-            slot.notify();
+            msg_bytes_total += offer_frame_bytes(encoded.len());
+            if let Err(e) = tx.offer(key, payload, &encoded) {
+                self.recorder
+                    .process(self.id)
+                    .record_blocked(blocked.as_nanos() as u64);
+                return Err(self.channel_error(to, e));
+            }
             let mut parked = false;
+            let mut cap = Some(Duration::ZERO);
             let outcome = loop {
-                match std::mem::replace(&mut *st, SlotState::Empty) {
-                    SlotState::Acked { ack, taken, acked } => break Some((ack, taken, acked)),
-                    SlotState::ResyncRequested => break None,
-                    other => {
-                        *st = other;
-                        match self.park_step(
-                            &slot,
-                            st,
-                            WaitOp::SendTo,
-                            to,
-                            &mut parked,
-                            &mut budget,
-                        ) {
-                            Ok(g) => st = g,
+                match tx.poll_answer(key, cap) {
+                    Ok(Polled::Ready(answer)) => break answer,
+                    Ok(Polled::Pending) => {
+                        match self.pending_step(WaitOp::SendTo, to, &mut parked, &mut budget) {
+                            Ok(next) => cap = next,
                             Err(e) => {
-                                // The guard is gone; re-lock to retract our
-                                // untaken offer so the channel is left clean
-                                // for any survivor.
-                                self.retract_offer(&slot, key);
+                                // The receiver may have acknowledged in the
+                                // instant between the pending poll and the
+                                // liveness/abort/timeout check — and the ack
+                                // deposit happens-before the peer's exit
+                                // flag, so one final zero-wait poll settles
+                                // it. Without this, a completed rendezvous
+                                // could be reported failed on the sender's
+                                // side only, leaving one-sided logs that no
+                                // longer reconstruct.
+                                if let Ok(Polled::Ready(answer @ SendAnswer::Acked { .. })) =
+                                    tx.poll_answer(key, Some(Duration::ZERO))
+                                {
+                                    break answer;
+                                }
+                                // Retract our untaken offer so the channel
+                                // is left clean for any survivor.
+                                tx.retract(key);
                                 self.recorder
                                     .process(self.id)
                                     .record_blocked(blocked.as_nanos() as u64);
@@ -552,17 +573,27 @@ impl ProcessCtx {
                             }
                         }
                     }
+                    Err(e) => {
+                        tx.retract(key);
+                        blocked += self.unpark(parked);
+                        self.recorder
+                            .process(self.id)
+                            .record_blocked(blocked.as_nanos() as u64);
+                        return Err(self.channel_error(to, e));
+                    }
                 }
             };
             blocked += self.unpark(parked);
             match outcome {
-                Some((ack, taken, acked)) => {
+                SendAnswer::Acked { ack, taken, acked } => {
                     break (ack, taken, acked, parked);
                 }
-                None => {
+                SendAnswer::ResyncRequested => {
+                    // The receiver's resync request crossed the channel
+                    // too; count its frame alongside the bounced offer.
+                    msg_bytes_total += resync_frame_bytes();
                     resyncs += 1;
                     if resyncs > MAX_RESYNC {
-                        drop(st);
                         self.recorder
                             .process(self.id)
                             .record_blocked(blocked.as_nanos() as u64);
@@ -571,14 +602,10 @@ impl ProcessCtx {
                     self.enc_data.force_full(to);
                     encoded = self.enc_data.encode(to, &vector);
                     self.recorder.process(self.id).record_resync();
-                    // Loop re-offers; the slot is Empty (the request was
-                    // consumed above) and we still hold the guard.
                 }
             }
         };
-        slot.notify();
-        drop(st);
-        let ack_bytes = ack.len() as u64;
+        let ack_bytes = ack_frame_bytes(ack.len());
         // The acknowledgement stream has no resync path — the receiver has
         // already completed its side of the rendezvous — so a desynchronised
         // ack stream is terminal. Terminal for this channel only: other
@@ -626,9 +653,9 @@ impl ProcessCtx {
 
     /// Blocks until `from` sends a message; acknowledges it (carrying this
     /// process's pre-update vector back, line 04 of Figure 5) and returns
-    /// the payload and the message's timestamp. Take and acknowledgement
-    /// happen under one lock hold, so the sender's next wakeup already
-    /// carries the ack.
+    /// the payload and the message's timestamp. The acknowledgement is
+    /// deposited immediately after the take, so the sender's next wakeup
+    /// already carries it.
     ///
     /// # Errors
     ///
@@ -639,24 +666,25 @@ impl ProcessCtx {
         }
         self.fault_check()?;
         let group = self.group_for(from, self.id)?;
-        let slot = Arc::clone(
-            self.data_in
+        let rx = Arc::clone(
+            self.rx
                 .get(&from)
                 .ok_or(RuntimeError::NoChannel { from, to: self.id })?,
         );
         let mut budget = WaitBudget::new(self.rendezvous_timeout, self.rendezvous_retries);
-        let mut st = slot.lock();
         let mut parked = false;
         let mut blocked = Duration::ZERO;
-        // Bytes of offers this receive bounced back for resync — they moved
-        // on the wire, so they count toward the actual cost.
+        // Bytes of offers this receive bounced back for resync (plus the
+        // resync request frames themselves) — they moved on the wire, so
+        // they count toward the actual cost.
         let mut resync_bytes = 0u64;
         let mut resyncs = 0u32;
-        let (wire, offered_at, vector) = loop {
-            match std::mem::replace(&mut *st, SlotState::Empty) {
-                SlotState::Offered { wire, at } => {
-                    match self.dec_data.decode(from, &wire.vector) {
-                        Ok(vector) => break (wire, at, vector),
+        let mut cap = Some(Duration::ZERO);
+        let (offer, vector) = loop {
+            match rx.poll_offer(cap) {
+                Ok(Polled::Ready(offer)) => {
+                    match self.dec_data.decode(from, &offer.vector) {
+                        Ok(vector) => break (offer, vector),
                         Err(StreamError::SeqGap { .. }) if resyncs < MAX_RESYNC => {
                             // The stream skipped a frame. Recoverable: hand
                             // the sender a resync request and wait for the
@@ -664,16 +692,22 @@ impl ProcessCtx {
                             // decode did not advance stream state, so the
                             // resync frame applies cleanly.
                             resyncs += 1;
-                            resync_bytes += 16 + wire.vector.len() as u64;
-                            *st = SlotState::ResyncRequested;
-                            slot.notify();
+                            resync_bytes +=
+                                offer_frame_bytes(offer.vector.len()) + resync_frame_bytes();
+                            if let Err(e) = rx.answer(OfferAnswer::Resync) {
+                                blocked += self.unpark(parked);
+                                self.recorder
+                                    .process(self.id)
+                                    .record_blocked(blocked.as_nanos() as u64);
+                                return Err(self.channel_error(from, e));
+                            }
+                            cap = Some(Duration::ZERO);
                         }
                         Err(_) => {
                             // Malformed frame, orphan delta, or resync
                             // budget exhausted: this channel's stream is
                             // beyond repair. Other channels are unaffected.
                             blocked += self.unpark(parked);
-                            drop(st);
                             self.recorder
                                 .process(self.id)
                                 .record_blocked(blocked.as_nanos() as u64);
@@ -681,17 +715,9 @@ impl ProcessCtx {
                         }
                     }
                 }
-                other => {
-                    *st = other;
-                    match self.park_step(
-                        &slot,
-                        st,
-                        WaitOp::ReceiveFrom,
-                        from,
-                        &mut parked,
-                        &mut budget,
-                    ) {
-                        Ok(g) => st = g,
+                Ok(Polled::Pending) => {
+                    match self.pending_step(WaitOp::ReceiveFrom, from, &mut parked, &mut budget) {
+                        Ok(next) => cap = next,
                         Err(e) => {
                             self.recorder
                                 .process(self.id)
@@ -700,23 +726,29 @@ impl ProcessCtx {
                         }
                     }
                 }
+                Err(e) => {
+                    blocked += self.unpark(parked);
+                    self.recorder
+                        .process(self.id)
+                        .record_blocked(blocked.as_nanos() as u64);
+                    return Err(self.channel_error(from, e));
+                }
             }
         };
         let recv_wait = blocked + self.unpark(parked);
-        let taken = Instant::now();
         let (ack, stamp) = self.clock.on_receive(&vector, group);
         let ack_bytes = self.enc_ack.encode(from, &ack);
-        let wire_actual = 16 + wire.vector.len() as u64 + resync_bytes + ack_bytes.len() as u64;
-        *st = SlotState::Acked {
-            ack: ack_bytes,
-            taken,
-            acked: Instant::now(),
-        };
-        slot.notify();
-        drop(st);
+        let wire_actual =
+            offer_frame_bytes(offer.vector.len()) + resync_bytes + ack_frame_bytes(ack_bytes.len());
+        if let Err(e) = rx.answer(OfferAnswer::Ack(ack_bytes)) {
+            self.recorder
+                .process(self.id)
+                .record_blocked(recv_wait.as_nanos() as u64);
+            return Err(self.channel_error(from, e));
+        }
         let me = self.recorder.process(self.id);
         if parked {
-            me.record_wakeup(offered_at.elapsed().as_nanos() as u64);
+            me.record_wakeup(offer.offered_at.elapsed().as_nanos() as u64);
         }
         me.record_receive(
             from,
@@ -726,10 +758,10 @@ impl ProcessCtx {
         );
         self.log.push(LogEntry::Received {
             from,
-            key: wire.key,
+            key: offer.key,
             stamp: stamp.clone(),
         });
-        Ok((wire.payload, stamp))
+        Ok((offer.payload, stamp))
     }
 
     /// Records an internal event.
@@ -908,52 +940,32 @@ impl Runtime {
     pub fn run_tolerant(&self, behaviors: Vec<Behavior>) -> RuntimeRun {
         let n = self.topology.node_count();
         assert_eq!(behaviors.len(), n, "need exactly one behavior per process");
-        // One rendezvous slot per directed channel; both endpoints share it.
-        let mut data_out: Vec<HashMap<ProcessId, Arc<ChannelSlot>>> =
+        // One rendezvous slot per directed channel; both endpoints share it
+        // through their [`LocalTx`]/[`LocalRx`] transport halves.
+        let mut tx_maps: Vec<HashMap<ProcessId, Arc<dyn TxChannel>>> =
             (0..n).map(|_| HashMap::new()).collect();
-        let mut data_in: Vec<HashMap<ProcessId, Arc<ChannelSlot>>> =
+        let mut rx_maps: Vec<HashMap<ProcessId, Arc<dyn RxChannel>>> =
             (0..n).map(|_| HashMap::new()).collect();
         let mut slots = Vec::with_capacity(2 * self.topology.edge_count());
         for e in self.topology.edges() {
             for (u, v) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
                 let slot = Arc::new(ChannelSlot::new());
-                data_out[u].insert(v, Arc::clone(&slot));
-                data_in[v].insert(u, Arc::clone(&slot));
+                tx_maps[u].insert(
+                    v,
+                    Arc::new(LocalTx::new(Arc::clone(&slot), self.matcher)) as _,
+                );
+                rx_maps[v].insert(
+                    u,
+                    Arc::new(LocalRx::new(Arc::clone(&slot), self.matcher)) as _,
+                );
                 slots.push(slot);
             }
         }
-        let dim = self.decomposition.len();
-        // Full-width cost of one rendezvous: key + payload + d-component
-        // vector out, d-component vector back on the acknowledgement. The
-        // actual wire cost is measured per message from the delta encoding.
-        let rendezvous_bytes_full = 16 + 16 * dim as u64;
         let shared = Arc::new(RunShared::new(n, slots));
         let recorder = Arc::new(Recorder::new(n, self.ring_capacity));
         let mut ctxs: Vec<ProcessCtx> = Vec::with_capacity(n);
-        for (id, (d_out, d_in)) in data_out.into_iter().zip(data_in).enumerate() {
-            ctxs.push(ProcessCtx {
-                id,
-                clock: ProcessClock::new(dim),
-                decomposition: self.decomposition.clone(),
-                observer: self.observer.clone(),
-                seq: 0,
-                matcher: self.matcher,
-                data_out: d_out,
-                data_in: d_in,
-                log: Vec::new(),
-                shared: Arc::clone(&shared),
-                recorder: Arc::clone(&recorder),
-                rendezvous_bytes_full,
-                enc_data: StreamEncoder::new(),
-                dec_data: StreamDecoder::new(),
-                enc_ack: StreamEncoder::new(),
-                dec_ack: StreamDecoder::new(),
-                fault: self.fault.clone(),
-                op_index: 0,
-                pending_desync: false,
-                rendezvous_timeout: self.rendezvous_timeout,
-                rendezvous_retries: self.rendezvous_retries,
-            });
+        for (id, (tx, rx)) in tx_maps.into_iter().zip(rx_maps).enumerate() {
+            ctxs.push(self.process_ctx(id, tx, rx, Arc::clone(&shared), Arc::clone(&recorder)));
         }
 
         let results: Vec<(Vec<LogEntry>, Option<RuntimeError>)> = std::thread::scope(|s| {
@@ -1029,10 +1041,144 @@ impl Runtime {
             stats: recorder.finish(max_component),
         }
     }
+
+    /// Builds one process's execution context over the given channel
+    /// endpoints — the piece shared by the all-in-process [`Runtime::run`]
+    /// path and the distributed [`Runtime::run_process`] path.
+    fn process_ctx(
+        &self,
+        id: ProcessId,
+        tx: HashMap<ProcessId, Arc<dyn TxChannel>>,
+        rx: HashMap<ProcessId, Arc<dyn RxChannel>>,
+        shared: Arc<RunShared>,
+        recorder: Arc<Recorder>,
+    ) -> ProcessCtx {
+        let dim = self.decomposition.len();
+        ProcessCtx {
+            id,
+            clock: ProcessClock::new(dim),
+            decomposition: self.decomposition.clone(),
+            observer: self.observer.clone(),
+            seq: 0,
+            tx,
+            rx,
+            log: Vec::new(),
+            shared,
+            recorder,
+            // Full-width cost of one rendezvous: the offer and ack frames
+            // with d-component fixed-width vectors (`core::wire`'s frame
+            // pricing). The actual wire cost is measured per message from
+            // the delta encoding.
+            rendezvous_bytes_full: synctime_core::wire::rendezvous_bytes_full(dim),
+            enc_data: StreamEncoder::new(),
+            dec_data: StreamDecoder::new(),
+            enc_ack: StreamEncoder::new(),
+            dec_ack: StreamDecoder::new(),
+            fault: self.fault.clone(),
+            op_index: 0,
+            pending_desync: false,
+            rendezvous_timeout: self.rendezvous_timeout,
+            rendezvous_retries: self.rendezvous_retries,
+        }
+    }
+
+    /// Runs **one** process of the topology — process `id` — against
+    /// externally supplied channel endpoints, one per neighbor. This is
+    /// the distributed entry point: `synctime-net` builds socket-backed
+    /// endpoints and each OS process calls `run_process` with its own id,
+    /// while [`Runtime::run`] is the special case where every endpoint of
+    /// every process shares in-memory slots inside one OS process.
+    ///
+    /// No deadlock watchdog runs here — a single node cannot observe
+    /// remote waits, so cycles spanning machines are caught by rendezvous
+    /// timeouts ([`Runtime::with_rendezvous_timeout`]) instead. Peer
+    /// liveness is learned from the transport: a closed connection
+    /// surfaces as [`RuntimeError::PeerTerminated`].
+    ///
+    /// Like [`Runtime::run_tolerant`], a panicking or failing behavior is
+    /// contained: its partial log and stats survive in the returned
+    /// [`ProcessRun`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a process of the topology.
+    pub fn run_process(
+        &self,
+        id: ProcessId,
+        behavior: Behavior,
+        tx: HashMap<ProcessId, Arc<dyn TxChannel>>,
+        rx: HashMap<ProcessId, Arc<dyn RxChannel>>,
+    ) -> ProcessRun {
+        let n = self.topology.node_count();
+        assert!(id < n, "process id {id} out of range for {n} processes");
+        let shared = Arc::new(RunShared::new(n, Vec::new()));
+        let recorder = Arc::new(Recorder::new(n, self.ring_capacity));
+        let mut ctx = self.process_ctx(id, tx, rx, Arc::clone(&shared), Arc::clone(&recorder));
+        let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
+            .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
+        shared.live[id].store(false, Ordering::Release);
+        let max_component = ctx
+            .log
+            .iter()
+            .filter_map(|entry| match entry {
+                LogEntry::Sent { stamp, .. } | LogEntry::Received { stamp, .. } => {
+                    stamp.as_slice().iter().copied().max()
+                }
+                LogEntry::Internal => None,
+            })
+            .max()
+            .unwrap_or(0);
+        ProcessRun {
+            process: id,
+            log: ctx.log,
+            outcome: outcome.err(),
+            stats: recorder.finish(max_component),
+        }
+    }
+}
+
+/// One process's slice of a distributed execution — what
+/// [`Runtime::run_process`] returns on each node. A coordinator merges
+/// the per-node logs with [`reconstruct_from_logs`] and the per-node
+/// stats with [`RunStats::merged`](synctime_obs::RunStats::merged).
+#[derive(Debug)]
+pub struct ProcessRun {
+    process: ProcessId,
+    log: Vec<LogEntry>,
+    outcome: Option<RuntimeError>,
+    stats: RunStats,
+}
+
+impl ProcessRun {
+    /// The process this run executed.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The process's execution log, in program order.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// How the behavior ended: `None` for a clean return.
+    pub fn outcome(&self) -> Option<&RuntimeError> {
+        self.outcome.as_ref()
+    }
+
+    /// This node's slice of the run statistics (its own counters only;
+    /// merge the slices with `RunStats::merged`).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Decomposes the run into its parts for serialisation.
+    pub fn into_parts(self) -> (ProcessId, Vec<LogEntry>, Option<RuntimeError>, RunStats) {
+        (self.process, self.log, self.outcome, self.stats)
+    }
 }
 
 /// The logs of a completed execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeRun {
     process_count: usize,
     logs: Vec<Vec<LogEntry>>,
@@ -1079,55 +1225,70 @@ impl RuntimeRun {
     /// Propagates [`TraceError`]s from sequence reconstruction (these would
     /// indicate a runtime bug, e.g. mismatched logs).
     pub fn reconstruct(&self) -> Result<(SyncComputation, MessageTimestamps), TraceError> {
-        let sequences: Vec<Vec<EventKind>> = self
-            .logs
-            .iter()
-            .map(|log| {
-                log.iter()
-                    .map(|entry| match entry {
-                        LogEntry::Sent { key, .. } => EventKind::Send(MessageId(*key as usize)),
-                        LogEntry::Received { key, .. } => {
-                            EventKind::Receive(MessageId(*key as usize))
-                        }
-                        LogEntry::Internal => EventKind::Internal,
-                    })
-                    .collect()
-            })
-            .collect();
-        let computation = SyncComputation::from_process_sequences(sequences)?;
-        // Re-associate stamps: process p's i-th logged rendezvous is its
-        // i-th message in the rebuilt computation's local order.
-        let mut stamps: Vec<Option<VectorTime>> = vec![None; computation.message_count()];
-        for (p, log) in self.logs.iter().enumerate() {
-            let local = computation.process_messages(p);
-            let mut next = 0usize;
-            for entry in log {
-                let stamp = match entry {
-                    LogEntry::Sent { stamp, .. } | LogEntry::Received { stamp, .. } => stamp,
-                    LogEntry::Internal => continue,
-                };
-                let id = local[next];
-                next += 1;
-                match &stamps[id.0] {
-                    None => stamps[id.0] = Some(stamp.clone()),
-                    Some(prev) => {
-                        // Both endpoints logged the same timestamp.
-                        debug_assert_eq!(prev, stamp, "endpoint stamps disagree for {id}");
-                    }
+        reconstruct_from_logs(&self.logs)
+    }
+}
+
+/// Rebuilds a [`SyncComputation`] and its per-message timestamps from
+/// per-process execution logs — one log per process, in process order.
+///
+/// This is [`RuntimeRun::reconstruct`] exposed as a free function so a
+/// distributed coordinator can merge the logs gathered from `N` separate
+/// [`Runtime::run_process`] nodes (e.g. `synctime launch --transport tcp`)
+/// exactly as the in-process path merges its thread logs.
+///
+/// # Errors
+///
+/// Propagates [`TraceError`]s from sequence reconstruction (mismatched or
+/// truncated logs, e.g. from a crashed node).
+pub fn reconstruct_from_logs(
+    logs: &[Vec<LogEntry>],
+) -> Result<(SyncComputation, MessageTimestamps), TraceError> {
+    let sequences: Vec<Vec<EventKind>> = logs
+        .iter()
+        .map(|log| {
+            log.iter()
+                .map(|entry| match entry {
+                    LogEntry::Sent { key, .. } => EventKind::Send(MessageId(*key as usize)),
+                    LogEntry::Received { key, .. } => EventKind::Receive(MessageId(*key as usize)),
+                    LogEntry::Internal => EventKind::Internal,
+                })
+                .collect()
+        })
+        .collect();
+    let computation = SyncComputation::from_process_sequences(sequences)?;
+    // Re-associate stamps: process p's i-th logged rendezvous is its
+    // i-th message in the rebuilt computation's local order.
+    let mut stamps: Vec<Option<VectorTime>> = vec![None; computation.message_count()];
+    for (p, log) in logs.iter().enumerate() {
+        let local = computation.process_messages(p);
+        let mut next = 0usize;
+        for entry in log {
+            let stamp = match entry {
+                LogEntry::Sent { stamp, .. } | LogEntry::Received { stamp, .. } => stamp,
+                LogEntry::Internal => continue,
+            };
+            let id = local[next];
+            next += 1;
+            match &stamps[id.0] {
+                None => stamps[id.0] = Some(stamp.clone()),
+                Some(prev) => {
+                    // Both endpoints logged the same timestamp.
+                    debug_assert_eq!(prev, stamp, "endpoint stamps disagree for {id}");
                 }
             }
         }
-        // `from_process_sequences` already validated that every message
-        // appears at both endpoints, so a missing stamp is unreachable —
-        // but surfaced as a typed error, not a panic, to keep the runtime
-        // crate panic-free.
-        let vectors: Vec<VectorTime> = stamps
-            .into_iter()
-            .enumerate()
-            .map(|(id, s)| s.ok_or(TraceError::MalformedSequences { message: id }))
-            .collect::<Result<_, _>>()?;
-        Ok((computation, MessageTimestamps::new(vectors)))
     }
+    // `from_process_sequences` already validated that every message
+    // appears at both endpoints, so a missing stamp is unreachable —
+    // but surfaced as a typed error, not a panic, to keep the runtime
+    // crate panic-free.
+    let vectors: Vec<VectorTime> = stamps
+        .into_iter()
+        .enumerate()
+        .map(|(id, s)| s.ok_or(TraceError::MalformedSequences { message: id }))
+        .collect::<Result<_, _>>()?;
+    Ok((computation, MessageTimestamps::new(vectors)))
 }
 
 #[cfg(test)]
@@ -1588,14 +1749,24 @@ mod tests {
         assert_eq!(stats.messages, 10);
         assert_eq!(stats.receives, 10);
         // path(2) decomposes into one star: dim 1, so a full-width
-        // rendezvous is (8 key + 8 payload + 8 vector) + 8 ack vector = 32
-        // bytes, counted at both endpoints. The actual bytes ride the
-        // per-channel delta streams, so they are positive and never exceed
-        // the full-width baseline.
-        assert_eq!(stats.total_wire_bytes_full, 10 * 2 * 32);
+        // rendezvous prices as one offer frame plus one ack frame with
+        // 8-byte vectors (`core::wire::rendezvous_bytes_full`), counted at
+        // both endpoints. The actual bytes ride the per-channel delta
+        // streams, so they are positive and never exceed the full-width
+        // baseline.
+        assert_eq!(
+            stats.total_wire_bytes_full,
+            10 * 2 * synctime_core::wire::rendezvous_bytes_full(1)
+        );
         assert!(stats.total_wire_bytes > 0);
         assert!(stats.total_wire_bytes <= stats.total_wire_bytes_full);
-        assert!(stats.wire_savings_ratio() <= 1.0);
+        assert!(stats.wire_savings_ratio <= 1.0);
+        // Both directed channels of the ping-pong edge are reported.
+        assert_eq!(stats.per_channel.len(), 2);
+        assert!(stats
+            .per_channel
+            .iter()
+            .all(|c| c.messages == 5 && c.wire_bytes > 0));
         // 10 messages through a single edge group: the component reaches 10.
         assert_eq!(stats.max_vector_component, 10);
         assert!(stats.ack_latency_p50_ns > 0);

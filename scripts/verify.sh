@@ -17,10 +17,18 @@
 #      its own smoke report and the checked-in results/ JSON against the
 #      synctime/bench_offline_pipeline/v1 schema (including the >= 10x
 #      sparse-vs-dense speedup claim in the full report)
-#   9. fault-smoke: ring and gossip workloads under fixed crash and desync
+#   9. bench-smoke: the net_query suite at CI scale, checking both its own
+#      smoke report and the checked-in results/ JSON against the
+#      synctime/bench_net/v1 schema (including the >= 10k queries/sec
+#      floor in the full report)
+#  10. fault-smoke: ring and gossip workloads under fixed crash and desync
 #      plans must exit 0 with typed outcomes, inject every scheduled fault,
 #      and recover desyncs through full-vector resync frames
-#  10. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#  11. net-smoke: `launch --transport tcp` (one OS process per synchronous
+#      process over loopback TCP) must emit a trace byte-identical to the
+#      in-process `run`; `serve-query` must answer the fixture's three
+#      known precedence queries over the wire
+#  12. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,6 +53,8 @@ run cargo bench -q -p synctime-bench --bench online_runtime -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_online_runtime.json"
 run cargo bench -q -p synctime-bench --bench offline_pipeline -- \
   --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_offline_pipeline.json"
+run cargo bench -q -p synctime-bench --bench net_query -- \
+  --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_net.json"
 
 # --- fault-smoke: seeded fault plans must degrade gracefully, never panic.
 SYNCTIME="target/release/synctime"
@@ -92,6 +102,41 @@ stat_check "$FAULT_DIR/desync-gossip.out" faults_injected ge 1
 stat_check "$FAULT_DIR/desync-gossip.out" resync_frames ge 1
 grep -q '"outcomes": \[null, null, null, null\]' "$FAULT_DIR/desync-gossip.out" || {
   echo "verify: desync gossip run did not recover cleanly" >&2; exit 1; }
+
+# --- net-smoke: the distributed path must match the in-process run, and
+# --- the query server must answer known-precedence queries over TCP.
+NET_DIR="$(mktemp -d)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"; rm -rf "$FAULT_DIR" "$NET_DIR"' EXIT
+
+echo "==> net-smoke: launch --transport tcp vs run (ring:6, byte-identical)"
+"$SYNCTIME" run --ring 6 --rounds 3 > "$NET_DIR/local.json"
+"$SYNCTIME" launch --ring 6 --rounds 3 --transport tcp > "$NET_DIR/tcp.json"
+diff "$NET_DIR/local.json" "$NET_DIR/tcp.json" || {
+  echo "verify: tcp launch diverged from the in-process run" >&2; exit 1; }
+
+echo "==> net-smoke: serve-query answers the fixture's known precedences"
+cat > "$NET_DIR/fixture.json" <<'EOF'
+{"processes":4,"events":[{"message":[2,0]},{"message":[3,1]},{"message":[2,1]}]}
+EOF
+"$SYNCTIME" serve-query --topology clients:2x2 --trace "$NET_DIR/fixture.json" \
+  > "$NET_DIR/server.out" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^listening on //p' "$NET_DIR/server.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: serve-query never announced its address" >&2; exit 1; }
+q() { "$SYNCTIME" query --connect "$ADDR" "$@"; }
+[ "$(q --m1 1 --m2 2)" = "m1 and m2 are concurrent" ] || {
+  echo "verify: expected m1 and m2 concurrent" >&2; exit 1; }
+[ "$(q --m1 2 --m2 3)" = "m1 synchronously precedes m2" ] || {
+  echo "verify: expected m2 to precede m3" >&2; exit 1; }
+[ "$(q --chain 3)" = "chain of m3: m1 m2 m3" ] || {
+  echo "verify: expected chain of m3 to be m1 m2 m3" >&2; exit 1; }
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
 
 echo "==> panic-free gate: crates/runtime/src"
 for f in crates/runtime/src/*.rs; do

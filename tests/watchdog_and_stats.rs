@@ -193,14 +193,14 @@ fn clean_run_stats_are_consistent() {
     let stats = run.stats();
     assert_eq!(stats.messages, 4 * rounds);
     assert_eq!(stats.receives, 4 * rounds);
-    // Every rendezvous would move key + payload + d-vector, acked by a
-    // d-vector, with full fixed-width vectors; that baseline is counted at
-    // both endpoints. The actual bytes ride per-channel delta streams, so
-    // they are positive and never exceed the baseline.
+    // Every rendezvous would move one offer frame plus one ack frame with
+    // full fixed-width d-vectors (frame headers included); that baseline is
+    // counted at both endpoints. The actual bytes ride per-channel delta
+    // streams, so they are positive and never exceed the baseline.
     let dim = dec.len() as u64;
     assert_eq!(
         stats.total_wire_bytes_full,
-        stats.messages * 2 * (16 + 16 * dim)
+        stats.messages * 2 * synctime_core::wire::rendezvous_bytes_full(dim as usize)
     );
     assert!(stats.total_wire_bytes > 0);
     assert!(stats.total_wire_bytes <= stats.total_wire_bytes_full);
