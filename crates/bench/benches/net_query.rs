@@ -1,14 +1,24 @@
 //! Experiment N1: the network layer — precedence-query server throughput
-//! and the TCP transport's overhead against the in-process baseline.
+//! (single queries, v2 batches, and the sharded multi-trace fabric) and
+//! the TCP transport's overhead against the in-process baseline.
 //!
-//! Two workload families, self-timed and exported as machine-readable JSON:
+//! Workload families, self-timed and exported as machine-readable JSON:
 //!
-//! * `query` — a stamped trace served by `synctime_net::query::serve`;
-//!   closed-loop client connections hammer it with `precedes` (and a
-//!   `chain-of` variant) over loopback TCP, reporting queries/sec and
+//! * `query` — a stamped trace served over loopback TCP; closed-loop
+//!   client connections hammer it with v1 `precedes` (one query per
+//!   frame, plus a `chain-of` variant), reporting queries/sec and
 //!   nearest-rank p50/p99 latency. The paper's selling point is O(d)
 //!   comparisons per query; the server should sustain well over 10k
 //!   queries/sec even with framing and socket hops in the path.
+//! * `query_batch` — the same trace asked over v2 QUERY2/ANSWER2 batch
+//!   frames on a **single** connection, at batch sizes 16 and 256. This
+//!   isolates the syscall-amortisation win: one `write`/`read` pair per
+//!   N queries instead of per query. Latency is reported **amortised**
+//!   (batch round trip / batch size) — the per-query cost a caller with
+//!   N outstanding questions actually pays.
+//! * `fabric` — a 4-shard catalog of 8 stamped traces served by the
+//!   fixed worker pool; closed-loop connections spread batched load
+//!   across every trace, reporting aggregate queries/sec across shards.
 //! * `ring_transport` — the same token-ring behaviors run in-process
 //!   (parking matcher) and as a loopback TCP mesh, so the transport's
 //!   cost per rendezvous and its wire accounting sit side by side.
@@ -22,23 +32,33 @@
 //!
 //! `--smoke` shrinks the workloads for CI; `--validate PATH` checks an
 //! existing report (e.g. `results/BENCH_net.json`) against the
-//! `synctime/bench_net/v1` schema. The full run additionally enforces the
-//! acceptance floor: `query/precedes` must exceed 10_000 queries/sec.
+//! `synctime/bench_net/v2` schema. The full run additionally enforces the
+//! acceptance floors: `query/precedes` above 10_000 queries/sec,
+//! `batch_256` at least 3x the single-connection v1 rate, and the fabric
+//! at 500_000+ aggregate queries/sec with amortised p99 at or below
+//! 250us.
 
 use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
 use synctime_core::online::OnlineStamper;
+use synctime_core::{wire, MessageTimestamps};
 use synctime_graph::{decompose, topology, EdgeDecomposition, Graph};
-use synctime_net::{topology_hash_of, QueryClient, QueryService, TcpMeshBuilder};
+use synctime_net::{
+    serve_fabric, topology_hash_of, QueryClient, QueryFabric, QueryService, TcpMeshBuilder,
+};
 use synctime_obs::{nearest_rank_percentile, RunStats};
 use synctime_runtime::{Behavior, Runtime};
 
-const SCHEMA: &str = "synctime/bench_net/v1";
+const SCHEMA: &str = "synctime/bench_net/v2";
 const QPS_FLOOR: f64 = 10_000.0;
+const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
+const FABRIC_QPS_FLOOR: f64 = 500_000.0;
+const FABRIC_P99_CEILING_NS: u64 = 250_000;
 
 // ---------------------------------------------------- tiny Value builders
 
@@ -113,23 +133,31 @@ impl Record {
 
 // ----------------------------------------------------------- query server
 
+/// One stamped random trace over `complete(processes)`.
+fn stamped_trace(processes: usize, messages: usize, seed: u64) -> (MessageTimestamps, usize) {
+    let topo = topology::complete(processes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp = synctime_sim::workload::RandomWorkload::messages(messages).generate(&topo, &mut rng);
+    let dec = decompose::best_known(&topo);
+    let stamps = OnlineStamper::new(&dec)
+        .stamp_computation(&comp)
+        .expect("stamping a generated trace");
+    (stamps, dec.len())
+}
+
 /// Spawns a query server over a freshly stamped random trace and runs
-/// `connections` closed-loop clients, each issuing `per_client` queries of
-/// the given kind. Latency percentiles are nearest-rank over every query.
+/// `connections` closed-loop clients, each issuing `per_client` v1 queries
+/// of the given kind. Latency percentiles are nearest-rank over every
+/// query.
 fn bench_query(
     processes: usize,
     messages: usize,
     connections: usize,
     per_client: usize,
     chain: bool,
+    variant: &'static str,
 ) -> Record {
-    let topo = topology::complete(processes);
-    let mut rng = StdRng::seed_from_u64(7);
-    let comp = synctime_sim::workload::RandomWorkload::messages(messages).generate(&topo, &mut rng);
-    let dec = decompose::best_known(&topo);
-    let stamps = OnlineStamper::new(&dec)
-        .stamp_computation(&comp)
-        .expect("stamping a generated trace");
+    let (stamps, dimension) = stamped_trace(processes, messages, 7);
     let m = stamps.len() as u32;
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
@@ -170,16 +198,109 @@ fn bench_query(
     let ops = latencies.len() as u64;
     Record {
         workload: "query",
-        variant: if chain { "chain_of" } else { "precedes" },
+        variant,
         processes,
         ops,
         elapsed_ns,
         detail: obj(vec![
             ("messages", uint(m as u64)),
             ("connections", uint(connections as u64)),
-            ("dimension", uint(dec.len() as u64)),
+            ("dimension", uint(dimension as u64)),
             ("p50_ns", uint(nearest_rank_percentile(&latencies, 50, 100))),
             ("p99_ns", uint(nearest_rank_percentile(&latencies, 99, 100))),
+        ]),
+    }
+}
+
+// ------------------------------------------------- batched queries / fabric
+
+/// Serves a catalog of `traces` stamped traces from a `shards`-way fabric
+/// behind a worker pool sized to the connection count (closed-loop clients
+/// starve on anything smaller), then drives `connections` clients, each
+/// sending `batches_per_client` random-precedes batches of `batch_size`,
+/// spread round-robin across every trace.
+///
+/// Latency is **amortised**: each batch contributes one sample of
+/// `round_trip / batch_size`, the per-query cost a caller actually pays
+/// when it has `batch_size` outstanding questions. `ops` counts queries,
+/// so `ops_per_sec` is aggregate queries/sec across all shards.
+fn bench_batch(
+    shards: usize,
+    traces: usize,
+    connections: usize,
+    batches_per_client: usize,
+    batch_size: usize,
+    messages: usize,
+    workload: &'static str,
+    variant: &'static str,
+) -> Record {
+    let processes = 8;
+    let fabric = QueryFabric::new(shards);
+    let mut m = u32::MAX;
+    for t in 0..traces {
+        let (stamps, _) = stamped_trace(processes, messages, 7 + t as u64);
+        m = m.min(stamps.len() as u32);
+        fabric.publish(&format!("trace-{t}"), stamps);
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serving = Arc::new(fabric);
+    let pool = Arc::clone(&serving);
+    std::thread::spawn(move || {
+        let _ = serve_fabric(listener, pool, connections);
+    });
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = QueryClient::connect(&addr).expect("connect to fabric");
+                let mut rng = StdRng::seed_from_u64(2000 + c as u64);
+                let mut amortised = Vec::with_capacity(batches_per_client);
+                for b in 0..batches_per_client {
+                    let trace = format!("trace-{}", (c + b) % traces);
+                    let pairs: Vec<(u32, u32)> = (0..batch_size)
+                        .map(|_| (rng.gen_range(0..m), rng.gen_range(0..m)))
+                        .collect();
+                    let at = Instant::now();
+                    let verdicts = client.precedes_many(&trace, &pairs).expect("batch query");
+                    let rtt = at.elapsed().as_nanos() as u64;
+                    assert_eq!(verdicts.len(), batch_size);
+                    amortised.push(rtt / batch_size as u64);
+                }
+                amortised
+            })
+        })
+        .collect();
+    let mut amortised: Vec<u64> = Vec::with_capacity(connections * batches_per_client);
+    for w in workers {
+        amortised.extend(w.join().expect("client thread"));
+    }
+    let elapsed_ns = started.elapsed().as_nanos();
+    amortised.sort_unstable();
+    let ops = (connections * batches_per_client * batch_size) as u64;
+    // Wire cost per query, priced by the core model: the batch request and
+    // its all-boolean answer, spread over the batch.
+    let trace_id_bytes = "trace-0".len();
+    let bytes_per_query = (wire::batch_query_frame_bytes(trace_id_bytes, batch_size)
+        + wire::batch_answer_frame_bytes(batch_size, batch_size)) as f64
+        / batch_size as f64;
+    Record {
+        workload,
+        variant,
+        processes,
+        ops,
+        elapsed_ns,
+        detail: obj(vec![
+            ("messages", uint(m as u64)),
+            ("connections", uint(connections as u64)),
+            ("shards", uint(shards as u64)),
+            ("traces", uint(traces as u64)),
+            ("batch_size", uint(batch_size as u64)),
+            ("bytes_per_query", float(bytes_per_query)),
+            ("p50_ns", uint(nearest_rank_percentile(&amortised, 50, 100))),
+            ("p99_ns", uint(nearest_rank_percentile(&amortised, 99, 100))),
         ]),
     }
 }
@@ -291,18 +412,72 @@ fn bench_ring_tcp(n: usize, rounds: u64) -> Record {
 // ------------------------------------------------------------ the report
 
 fn run_suite(smoke: bool) -> Value {
-    let (messages, connections, per_client, ring_rounds) = if smoke {
-        (60, 2, 50, 5)
+    let (messages, connections, per_client, batches, ring_rounds) = if smoke {
+        (60, 2, 50, 4, 5)
     } else {
-        (2_000, 4, 20_000, 400)
+        (2_000, 4, 20_000, 1_000, 400)
     };
     let mut records = Vec::new();
     eprintln!(
-        "net_query: query server ({connections} connections x {per_client} queries, \
+        "net_query: v1 query server ({connections} connections x {per_client} queries, \
          {messages}-message trace)"
     );
-    records.push(bench_query(8, messages, connections, per_client, false));
-    records.push(bench_query(8, messages, connections, per_client / 4, true));
+    records.push(bench_query(
+        8,
+        messages,
+        connections,
+        per_client,
+        false,
+        "precedes",
+    ));
+    records.push(bench_query(
+        8,
+        messages,
+        1,
+        per_client,
+        false,
+        "precedes_1conn",
+    ));
+    records.push(bench_query(
+        8,
+        messages,
+        connections,
+        per_client / 4,
+        true,
+        "chain_of",
+    ));
+    eprintln!("net_query: v2 batches (single connection, batch 16 and 256)");
+    records.push(bench_batch(
+        1,
+        1,
+        1,
+        batches * 4,
+        16,
+        messages,
+        "query_batch",
+        "batch_16",
+    ));
+    records.push(bench_batch(
+        1,
+        1,
+        1,
+        batches,
+        256,
+        messages,
+        "query_batch",
+        "batch_256",
+    ));
+    eprintln!("net_query: sharded fabric (4 shards x 8 traces, {connections} connections)");
+    records.push(bench_batch(
+        4,
+        8,
+        connections,
+        batches / 2,
+        256,
+        messages,
+        "fabric",
+        "shards_4",
+    ));
     eprintln!("net_query: ring transport ({ring_rounds} rounds x 6 processes, local vs tcp)");
     records.push(bench_ring_local(6, ring_rounds));
     records.push(bench_ring_tcp(6, ring_rounds));
@@ -314,7 +489,21 @@ fn run_suite(smoke: bool) -> Value {
             .map(Record::ops_per_sec)
             .unwrap_or(0.0)
     };
+    let detail_u64 = |workload: &str, variant: &str, key: &str| -> u64 {
+        records
+            .iter()
+            .find(|r| r.workload == workload && r.variant == variant)
+            .and_then(|r| r.detail.get_field(key))
+            .and_then(as_u64)
+            .unwrap_or(0)
+    };
     let tcp_rate = rate("ring_transport", "tcp");
+    let v1_single = rate("query", "precedes_1conn");
+    // Wire cost of one v1 precedes exchange, from the same pricing model.
+    let bytes_per_query_v1 = (wire::query_frame_bytes() + wire::answer_frame_bytes(1)) as f64;
+    let bytes_per_query_batch256 = (wire::batch_query_frame_bytes("trace-0".len(), 256)
+        + wire::batch_answer_frame_bytes(256, 256)) as f64
+        / 256.0;
     obj(vec![
         ("schema", string(SCHEMA)),
         ("mode", string(if smoke { "smoke" } else { "full" })),
@@ -327,6 +516,23 @@ fn run_suite(smoke: bool) -> Value {
             obj(vec![
                 ("query_precedes_qps", float(rate("query", "precedes"))),
                 ("query_chain_qps", float(rate("query", "chain_of"))),
+                ("batch16_qps", float(rate("query_batch", "batch_16"))),
+                ("batch256_qps", float(rate("query_batch", "batch_256"))),
+                (
+                    "batch256_speedup_vs_v1",
+                    float(if v1_single > 0.0 {
+                        rate("query_batch", "batch_256") / v1_single
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("fabric_aggregate_qps", float(rate("fabric", "shards_4"))),
+                (
+                    "fabric_p99_ns",
+                    uint(detail_u64("fabric", "shards_4", "p99_ns")),
+                ),
+                ("bytes_per_query_v1", float(bytes_per_query_v1)),
+                ("bytes_per_query_batch256", float(bytes_per_query_batch256)),
                 (
                     "transport_slowdown_tcp_vs_local",
                     float(if tcp_rate > 0.0 {
@@ -342,7 +548,7 @@ fn run_suite(smoke: bool) -> Value {
 
 // ---------------------------------------------------------- validation
 
-/// Checks a report against the v1 schema. Returns every violation found.
+/// Checks a report against the v2 schema. Returns every violation found.
 fn validate_report(doc: &Value) -> Vec<String> {
     let mut errs = Vec::new();
     if doc.get_field("schema").and_then(Value::as_str) != Some(SCHEMA) {
@@ -363,6 +569,8 @@ fn validate_report(doc: &Value) -> Vec<String> {
         errs.push("\"records\" must not be empty".to_string());
     }
     let mut precedes_qps = None;
+    let mut seen_batch = false;
+    let mut seen_fabric = false;
     for (i, r) in records.iter().enumerate() {
         for key in ["workload", "variant"] {
             if r.get_field(key).and_then(Value::as_str).is_none() {
@@ -384,8 +592,9 @@ fn validate_report(doc: &Value) -> Vec<String> {
             Some(Value::Object(_)) => {}
             _ => errs.push(format!("records[{i}].detail must be an object")),
         }
-        // Query records must carry their latency percentiles.
-        if r.get_field("workload").and_then(Value::as_str) == Some("query") {
+        let workload = r.get_field("workload").and_then(Value::as_str);
+        // Every query-shaped record carries its latency percentiles.
+        if matches!(workload, Some("query" | "query_batch" | "fabric")) {
             for key in ["p50_ns", "p99_ns"] {
                 if r.get_field("detail")
                     .and_then(|d| d.get_field(key))
@@ -397,16 +606,65 @@ fn validate_report(doc: &Value) -> Vec<String> {
                     ));
                 }
             }
-            if r.get_field("variant").and_then(Value::as_str) == Some("precedes") {
-                precedes_qps = r.get_field("ops_per_sec").and_then(as_f64);
+        }
+        // Batched records additionally price their wire cost.
+        if matches!(workload, Some("query_batch" | "fabric")) {
+            for key in ["batch_size", "shards", "traces"] {
+                if r.get_field("detail")
+                    .and_then(|d| d.get_field(key))
+                    .and_then(as_u64)
+                    .is_none()
+                {
+                    errs.push(format!(
+                        "records[{i}].detail.{key} must be an unsigned integer"
+                    ));
+                }
             }
+            if r.get_field("detail")
+                .and_then(|d| d.get_field("bytes_per_query"))
+                .and_then(as_f64)
+                .is_none()
+            {
+                errs.push(format!(
+                    "records[{i}].detail.bytes_per_query must be a number"
+                ));
+            }
+            seen_batch |= workload == Some("query_batch");
+            seen_fabric |= workload == Some("fabric");
+        }
+        if workload == Some("query")
+            && r.get_field("variant").and_then(Value::as_str) == Some("precedes")
+        {
+            precedes_qps = r.get_field("ops_per_sec").and_then(as_f64);
         }
     }
-    match doc.get_field("derived") {
+    if !seen_batch {
+        errs.push("report has no query_batch record".to_string());
+    }
+    if !seen_fabric {
+        errs.push("report has no fabric record".to_string());
+    }
+    let derived = doc.get_field("derived");
+    match derived {
         Some(Value::Object(_)) => {}
         _ => errs.push("\"derived\" must be an object".to_string()),
     }
-    // The acceptance floor binds full runs only; smoke runs are a bit-rot
+    let derived_f64 =
+        |key: &str| -> Option<f64> { derived.and_then(|d| d.get_field(key)).and_then(as_f64) };
+    for key in [
+        "batch16_qps",
+        "batch256_qps",
+        "batch256_speedup_vs_v1",
+        "fabric_aggregate_qps",
+        "fabric_p99_ns",
+        "bytes_per_query_v1",
+        "bytes_per_query_batch256",
+    ] {
+        if derived_f64(key).is_none() {
+            errs.push(format!("\"derived.{key}\" must be a number"));
+        }
+    }
+    // The acceptance floors bind full runs only; smoke runs are a bit-rot
     // gate, not a performance claim.
     if mode == Some("full") {
         match precedes_qps {
@@ -415,6 +673,29 @@ fn validate_report(doc: &Value) -> Vec<String> {
                 "full-mode query/precedes throughput {qps:.0} qps is below the {QPS_FLOOR:.0} floor"
             )),
             None => errs.push("full report has no query/precedes record".to_string()),
+        }
+        match derived_f64("batch256_speedup_vs_v1") {
+            Some(x) if x >= BATCH_SPEEDUP_FLOOR => {}
+            Some(x) => errs.push(format!(
+                "full-mode batch256 speedup {x:.2}x is below the {BATCH_SPEEDUP_FLOOR:.1}x floor \
+                 over single-connection v1"
+            )),
+            None => errs.push("full report has no batch256_speedup_vs_v1".to_string()),
+        }
+        match derived_f64("fabric_aggregate_qps") {
+            Some(qps) if qps >= FABRIC_QPS_FLOOR => {}
+            Some(qps) => errs.push(format!(
+                "full-mode fabric aggregate {qps:.0} qps is below the {FABRIC_QPS_FLOOR:.0} floor"
+            )),
+            None => errs.push("full report has no fabric_aggregate_qps".to_string()),
+        }
+        match derived_f64("fabric_p99_ns") {
+            Some(p99) if p99 <= FABRIC_P99_CEILING_NS as f64 => {}
+            Some(p99) => errs.push(format!(
+                "full-mode fabric amortised p99 {p99:.0}ns exceeds the \
+                 {FABRIC_P99_CEILING_NS}ns ceiling"
+            )),
+            None => errs.push("full report has no fabric_p99_ns".to_string()),
         }
     }
     errs

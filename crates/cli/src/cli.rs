@@ -42,7 +42,8 @@ USAGE:
                      [--engine dense|sparse]
   synctime diagram   --trace <FILE>
   synctime query     (--topology <SPEC> --trace <FILE> | --connect <ADDR>)
-                     (--m1 <K> --m2 <K> | --chain <K>)
+                     (--m1 <K> --m2 <K> | --chain <K> | --batch <K:K,K:K,..>)
+                     [--trace <NAME>]   (with --connect: trace name, not file)
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
   synctime run       (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
@@ -58,7 +59,9 @@ USAGE:
   synctime serve-node --process <P> (--programs <FILE> | --ring <N> | --gossip <N>)
                      [--peers <A0,A1,..>] [--topology <SPEC>] [--rounds <R>]
                      [--seed <S>] [--establish-timeout-ms <MS>]
-  synctime serve-query --topology <SPEC> --trace <FILE> [--listen <ADDR>]
+  synctime serve-query (--topology <SPEC> --trace <FILE>
+                       | --traces-dir <DIR> [--topology <SPEC>] [--shards <S>])
+                     [--listen <ADDR>] [--pool <W>]
 
 TOPOLOGY SPECS:
   star:L  triangle  complete:N  clients:SxC  tree:BxD  cycle:N  path:N
@@ -109,6 +112,17 @@ DISTRIBUTED:
   frame protocol; `query --connect HOST:PORT` asks it `--m1/--m2` (which
   precedes, or concurrent) or `--chain K` (every message comparable with
   message K). Message numbers are 1-based, as in the local `query`.
+
+QUERY FABRIC:
+  `serve-query --traces-dir DIR` loads every `DIR/*.json` trace into a
+  sharded catalog (trace id = file stem, consistent-hashed over `--shards`
+  in-process shards, default 4) and serves them from a fixed pool of
+  `--pool` workers (default: available parallelism, min 4). With
+  `--topology` the traces are online-stamped; without it the sparse
+  offline engine stamps them, no topology needed. `query --connect` then
+  targets one trace with `--trace NAME` and asks many questions per round
+  trip with `--batch \"1:2,3:4\"` (pairs of 1-based message numbers; each
+  line answers whether the first synchronously precedes the second).
 "
     .to_string()
 }
@@ -428,13 +442,15 @@ fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
 
 /// `query --connect HOST:PORT`: ask a running `serve-query` instead of
 /// stamping locally. Message numbers stay 1-based on the command line; the
-/// wire protocol is 0-based.
+/// wire protocol is 0-based. `--trace NAME` targets one trace of a
+/// multi-trace catalog (routed over v2 batch frames); `--batch` asks many
+/// precedence questions in one round trip.
 fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
     let addr = require(opts, "connect")?;
     let mut client = synctime_net::QueryClient::connect(addr)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let parse_m = |name: &str| -> Result<u32, String> {
-        let k: u32 = require(opts, name)?
+    let parse_1based = |name: &str, text: &str| -> Result<u32, String> {
+        let k: u32 = text
             .parse()
             .map_err(|_| format!("--{name} expects a message number (1-based)"))?;
         if k == 0 {
@@ -442,10 +458,43 @@ fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
         }
         Ok(k - 1)
     };
+    let parse_m = |name: &str| -> Result<u32, String> { parse_1based(name, require(opts, name)?) };
+    // Empty trace id = the server's default trace (v1-compatible).
+    let trace = opts.get("trace").map(String::as_str).unwrap_or("");
+    if let Some(spec) = opts.get("batch") {
+        let pairs: Vec<(u32, u32)> = spec
+            .split(',')
+            .map(|pair| {
+                let (a, b) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("--batch expects `m1:m2,m1:m2,..`, got `{pair}`"))?;
+                Ok((parse_1based("batch", a)?, parse_1based("batch", b)?))
+            })
+            .collect::<Result<_, String>>()?;
+        let verdicts = client
+            .precedes_many(trace, &pairs)
+            .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (&(a, b), verdict) in pairs.iter().zip(verdicts) {
+            writeln!(
+                out,
+                "m{} -> m{}: {}",
+                a + 1,
+                b + 1,
+                if verdict { "yes" } else { "no" }
+            )
+            .unwrap();
+        }
+        return Ok(out);
+    }
     if opts.contains_key("chain") {
         let m = parse_m("chain")?;
-        let chain: Vec<String> = client
-            .chain_of(m)
+        let ids = if trace.is_empty() {
+            client.chain_of(m)
+        } else {
+            client.chain_of_on(trace, m)
+        };
+        let chain: Vec<String> = ids
             .map_err(|e| e.to_string())?
             .iter()
             .map(|id| format!("m{}", id + 1))
@@ -453,9 +502,21 @@ fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
         return Ok(format!("chain of m{}: {}\n", m + 1, chain.join(" ")));
     }
     let (m1, m2) = (parse_m("m1")?, parse_m("m2")?);
-    let verdict = if client.precedes(m1, m2).map_err(|e| e.to_string())? {
+    let (forward, backward) = if trace.is_empty() {
+        (
+            client.precedes(m1, m2).map_err(|e| e.to_string())?,
+            client.precedes(m2, m1).map_err(|e| e.to_string())?,
+        )
+    } else {
+        // One round trip for both directions over a v2 batch.
+        let verdicts = client
+            .precedes_many(trace, &[(m1, m2), (m2, m1)])
+            .map_err(|e| e.to_string())?;
+        (verdicts[0], verdicts[1])
+    };
+    let verdict = if forward {
         "m1 synchronously precedes m2"
-    } else if client.precedes(m2, m1).map_err(|e| e.to_string())? {
+    } else if backward {
         "m2 synchronously precedes m1"
     } else {
         "m1 and m2 are concurrent"
@@ -1024,17 +1085,47 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
     Ok(synctime_trace::json::to_json_string(&comp))
 }
 
-/// `serve-query`: stamp a trace once, then serve precedence queries over
-/// TCP until killed. The bound address is announced as `listening on ADDR`
-/// so scripts can scrape an ephemeral port.
+/// `serve-query`: stamp one trace (`--trace`) or a whole directory of
+/// traces (`--traces-dir`) once, then serve precedence queries over TCP
+/// until killed. The bound address is announced as `listening on ADDR` so
+/// scripts can scrape an ephemeral port; a catalog run also announces each
+/// trace and the shard it hashed to.
 fn cmd_serve_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
     use std::io::Write as _;
-    let topo = parse_topology(require(opts, "topology")?)?;
-    let comp = load_trace(opts, Some(&topo))?;
-    let dec = decompose::best_known(&topo);
-    let stamps = OnlineStamper::new(&dec)
-        .stamp_computation(&comp)
-        .map_err(|e| e.to_string())?;
+    let pool = opts
+        .get("pool")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "--pool expects a worker count".to_string())
+        })
+        .transpose()?
+        .unwrap_or_else(synctime_net::default_pool_size);
+    let is_catalog = opts.contains_key("traces-dir");
+    let fabric = if let Some(dir) = opts.get("traces-dir") {
+        if opts.contains_key("trace") {
+            return Err("--trace and --traces-dir are mutually exclusive".to_string());
+        }
+        let shards = opts
+            .get("shards")
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|_| "--shards expects a shard count".to_string())
+            })
+            .transpose()?
+            .unwrap_or(synctime_net::DEFAULT_SHARDS);
+        if shards == 0 {
+            return Err("--shards expects at least 1".to_string());
+        }
+        load_trace_catalog(dir, opts.get("topology").map(String::as_str), shards)?
+    } else {
+        let topo = parse_topology(require(opts, "topology")?)?;
+        let comp = load_trace(opts, Some(&topo))?;
+        let dec = decompose::best_known(&topo);
+        let stamps = OnlineStamper::new(&dec)
+            .stamp_computation(&comp)
+            .map_err(|e| e.to_string())?;
+        synctime_net::QueryFabric::single(synctime_net::DEFAULT_TRACE_NAME, stamps)
+    };
     let listen = opts
         .get("listen")
         .map(String::as_str)
@@ -1042,11 +1133,64 @@ fn cmd_serve_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
     let listener =
         std::net::TcpListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // The announce line stays first: scripts scrape it for the port.
     println!("listening on {addr}");
+    if is_catalog {
+        println!(
+            "catalog: {} trace(s) across {} shard(s), {pool} worker(s)",
+            fabric.trace_count(),
+            fabric.shard_count()
+        );
+        for name in fabric.trace_names() {
+            println!("  trace {name} -> shard {}", fabric.shard_of(&name));
+        }
+    }
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    synctime_net::query::serve(listener, synctime_net::QueryService::new(stamps))
+    synctime_net::serve_fabric(listener, std::sync::Arc::new(fabric), pool)
         .map_err(|e| format!("query server failed: {e}"))?;
     Ok(String::new())
+}
+
+/// Loads every `*.json` trace under `dir` into a sharded catalog; the
+/// trace id is the file stem. With a topology the traces are online-stamped
+/// against it; without one they are stamped by the sparse offline engine,
+/// which needs no topology (both encode the same synchronous order, so
+/// precedence verdicts are identical).
+fn load_trace_catalog(
+    dir: &str,
+    topology: Option<&str>,
+    shards: usize,
+) -> Result<synctime_net::QueryFabric, String> {
+    let topo = topology.map(parse_topology).transpose()?;
+    let mut entries: Vec<(String, std::path::PathBuf)> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read --traces-dir `{dir}`: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .filter_map(|p| {
+            let stem = p.file_stem()?.to_str()?.to_string();
+            Some((stem, p))
+        })
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("--traces-dir `{dir}` contains no .json traces"));
+    }
+    let fabric = synctime_net::QueryFabric::new(shards);
+    for (name, path) in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read trace `{}`: {e}", path.display()))?;
+        let comp = parse_trace(&text, topo.as_ref())
+            .map_err(|e| format!("trace `{}`: {e}", path.display()))?;
+        let stamps = match &topo {
+            Some(topo) => OnlineStamper::new(&decompose::best_known(topo))
+                .stamp_computation(&comp)
+                .map_err(|e| format!("trace `{}`: {e}", path.display()))?,
+            None => offline::stamp_computation_sparse(&comp),
+        };
+        fabric.publish(&name, stamps);
+    }
+    Ok(fabric)
 }
 
 fn cmd_faultplan(opts: &BTreeMap<String, String>) -> Result<String, String> {
@@ -1683,6 +1827,145 @@ mod tests {
         assert!(err.contains("out of range"), "{err}");
         let err = run_strs(&["query", "--connect", &addr, "--m1", "0", "--m2", "1"]).unwrap_err();
         assert!(err.contains("1-based"), "{err}");
+    }
+
+    /// A two-trace catalog loaded from a directory, served over the
+    /// fabric, queried by name and in batches through the CLI client.
+    #[test]
+    fn query_connect_catalog_end_to_end() {
+        let dir = std::env::temp_dir().join("synctime-cli-catalog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Trace `web`: the clients:2x2 fixture from the tests above.
+        std::fs::write(
+            dir.join("web.json"),
+            r#"{"processes": 4, "events": [
+                {"message": [2, 0]}, {"message": [3, 1]}, {"message": [2, 1]}
+            ]}"#,
+        )
+        .unwrap();
+        // Trace `ring`: a fully sequential 2-process ping-pong.
+        std::fs::write(
+            dir.join("ring.json"),
+            r#"{"processes": 2, "events": [
+                {"message": [0, 1]}, {"message": [1, 0]}, {"message": [0, 1]}
+            ]}"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a trace").unwrap();
+        // No topology: the sparse offline engine stamps the catalog.
+        let fabric = load_trace_catalog(dir.to_str().unwrap(), None, 4).unwrap();
+        assert_eq!(fabric.trace_names(), vec!["ring", "web"]);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = synctime_net::serve_fabric(listener, std::sync::Arc::new(fabric), 2);
+        });
+        // Named-trace single queries give the fixture verdicts.
+        let out = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "web",
+            "--m1",
+            "1",
+            "--m2",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(out, "m1 and m2 are concurrent\n");
+        let out = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "web",
+            "--chain",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(out, "chain of m3: m1 m2 m3\n");
+        // The `ring` trace is fully ordered, unlike `web`.
+        let out = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "ring",
+            "--m1",
+            "1",
+            "--m2",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(out, "m1 synchronously precedes m2\n");
+        // A batch answers every pair in one round trip, positionally.
+        let out = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "ring",
+            "--batch",
+            "1:2,2:1,1:3",
+        ])
+        .unwrap();
+        assert_eq!(out, "m1 -> m2: yes\nm2 -> m1: no\nm1 -> m3: yes\n");
+        // An unnamed query against a 2-trace catalog is ambiguous.
+        let err = run_strs(&["query", "--connect", &addr, "--m1", "1", "--m2", "2"]).unwrap_err();
+        assert!(err.contains("2 traces"), "{err}");
+        // Unknown trace names fail with a diagnostic, not a hang.
+        let err = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "nope",
+            "--m1",
+            "1",
+            "--m2",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown trace"), "{err}");
+        // Malformed batch specs are rejected client-side.
+        let err = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "ring",
+            "--batch",
+            "1-2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("m1:m2"), "{err}");
+    }
+
+    #[test]
+    fn serve_query_catalog_flag_validation() {
+        let dir = std::env::temp_dir().join("synctime-cli-catalog-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_strs(&[
+            "serve-query",
+            "--traces-dir",
+            dir.to_str().unwrap(),
+            "--trace",
+            "x.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run_strs(&["serve-query", "--traces-dir", dir.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no .json traces"), "{err}");
+        let err = run_strs(&[
+            "serve-query",
+            "--traces-dir",
+            dir.to_str().unwrap(),
+            "--shards",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

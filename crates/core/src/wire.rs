@@ -138,6 +138,35 @@ pub fn resync_frame_bytes() -> u64 {
     FRAME_HEADER_BYTES + 8
 }
 
+/// On-wire cost of one v1 QUERY frame: frame header + 1-byte query kind +
+/// two 4-byte message ids. The per-query price the batch frames amortise.
+pub fn query_frame_bytes() -> u64 {
+    FRAME_HEADER_BYTES + 9
+}
+
+/// On-wire cost of one v1 ANSWER frame carrying a `body_bytes`-byte
+/// kind-specific answer body.
+pub fn answer_frame_bytes(body_bytes: usize) -> u64 {
+    FRAME_HEADER_BYTES + body_bytes as u64
+}
+
+/// On-wire cost of one v2 batched QUERY frame naming a
+/// `trace_bytes`-byte trace id and carrying `count` queries: frame header
+/// + 2-byte trace-id length + the trace id + 4-byte query count + 9 bytes
+/// (kind, m1, m2) per query. The trace id and framing are paid once per
+/// batch, so the marginal cost per query is 9 bytes against
+/// [`query_frame_bytes`]'s 14.
+pub fn batch_query_frame_bytes(trace_bytes: usize, count: usize) -> u64 {
+    FRAME_HEADER_BYTES + 2 + trace_bytes as u64 + 4 + 9 * count as u64
+}
+
+/// On-wire cost of one v2 batched ANSWER frame whose `count` entries carry
+/// `entry_body_bytes` answer bytes in total: frame header + 4-byte entry
+/// count + a 5-byte (status, length) prefix per entry + the bodies.
+pub fn batch_answer_frame_bytes(entry_body_bytes: usize, count: usize) -> u64 {
+    FRAME_HEADER_BYTES + 4 + 5 * count as u64 + entry_body_bytes as u64
+}
+
 /// What one clean rendezvous costs with full fixed-width vectors (8 bytes
 /// per component, both directions): an OFFER and an ACK frame, including
 /// frame/ack overhead. The before-deltas baseline behind
@@ -406,6 +435,23 @@ mod tests {
             );
             assert_eq!(rendezvous_bytes_full(dim), 34 + 16 * dim as u64);
         }
+    }
+
+    #[test]
+    fn query_frame_pricing_is_consistent() {
+        // v1: one query per frame, 14 bytes of request either way.
+        assert_eq!(query_frame_bytes(), 14);
+        assert_eq!(answer_frame_bytes(1), 6);
+        // v2: the batch amortises framing — per-query request cost tends
+        // to 9 bytes as the batch grows.
+        assert_eq!(batch_query_frame_bytes(0, 0), 11);
+        assert_eq!(batch_query_frame_bytes(5, 1), 25);
+        for n in [1u64, 16, 256] {
+            let batched = batch_query_frame_bytes(5, n as usize);
+            assert_eq!(batched, 11 + 5 + 9 * n);
+            assert!(batched < n * query_frame_bytes() + 5 + 11 || n == 1);
+        }
+        assert_eq!(batch_answer_frame_bytes(256, 256), 5 + 4 + 5 * 256 + 256);
     }
 
     #[test]

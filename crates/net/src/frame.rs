@@ -1,22 +1,36 @@
 //! The length-prefixed frame protocol every `synctime-net` socket speaks.
 //!
 //! A frame is `[u32 le length][u8 type][body]`, where `length` counts the
-//! type byte plus the body. Seven frame types exist:
+//! type byte plus the body. Nine frame types exist:
 //!
-//! | type | name   | body (little-endian)                              |
-//! |------|--------|---------------------------------------------------|
-//! | 0    | HELLO  | `u16` version, `u64` topology hash, `u32` process |
-//! | 1    | OFFER  | `u64` key, `u64` payload, delta-encoded vector    |
-//! | 2    | ACK    | `u64` key, delta-encoded acknowledgement vector   |
-//! | 3    | RESYNC | `u64` key                                         |
-//! | 4    | QUERY  | `u8` kind, `u32` m1, `u32` m2                     |
-//! | 5    | ANSWER | kind-specific answer bytes                        |
-//! | 6    | ERROR  | UTF-8 diagnostic                                  |
+//! | type | name    | body (little-endian)                                              |
+//! |------|---------|-------------------------------------------------------------------|
+//! | 0    | HELLO   | `u16` version, `u64` topology hash, `u32` process                 |
+//! | 1    | OFFER   | `u64` key, `u64` payload, delta-encoded vector                    |
+//! | 2    | ACK     | `u64` key, delta-encoded acknowledgement vector                   |
+//! | 3    | RESYNC  | `u64` key                                                         |
+//! | 4    | QUERY   | `u8` kind, `u32` m1, `u32` m2                                     |
+//! | 5    | ANSWER  | kind-specific answer bytes                                        |
+//! | 6    | ERROR   | UTF-8 diagnostic                                                  |
+//! | 7    | QUERY2  | `u16` trace len, trace id, `u32` count, count × (`u8` kind, `u32` m1, `u32` m2) |
+//! | 8    | ANSWER2 | `u32` count, count × (`u8` status, `u32` len, body)               |
+//!
+//! QUERY2/ANSWER2 are the **batch** query frames (protocol v2): one frame
+//! carries up to [`MAX_BATCH`] queries against one named trace of a
+//! multi-trace catalog, so framing, the trace id, and the syscall are paid
+//! once per batch instead of once per query. The trace id is UTF-8; the
+//! empty id means "the catalog's default trace" and gives a batch the v1
+//! single-trace semantics. Each ANSWER2 entry is either status 0 followed
+//! by the same kind-specific answer bytes a v1 ANSWER frame would carry for
+//! that query, or status 1 followed by a UTF-8 diagnostic — one bad message
+//! id fails its entry, not the batch.
 //!
 //! OFFER/ACK/RESYNC body layouts match `synctime_core::wire`'s frame
-//! pricing helpers (`offer_frame_bytes` and friends) byte for byte, so the
-//! byte counts the in-process runtime reports are exactly what a TCP run
-//! moves on the wire.
+//! pricing helpers (`offer_frame_bytes` and friends) byte for byte, and
+//! QUERY/ANSWER/QUERY2/ANSWER2 match `query_frame_bytes` /
+//! `batch_query_frame_bytes` and friends the same way, so the byte counts
+//! the in-process runtime reports are exactly what a TCP run moves on the
+//! wire — and bytes-per-query is a measured, not estimated, metric.
 //!
 //! Decoding is incremental: a [`FrameReader`] is fed arbitrary chunks as
 //! they arrive from a socket and yields complete frames as soon as their
@@ -27,8 +41,10 @@
 use crate::error::NetError;
 
 /// The protocol version carried in every HELLO. Bumped on any frame-layout
-/// change; endpoints refuse to talk across versions.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// change; endpoints refuse to talk across versions. Version 2 added the
+/// batched QUERY2/ANSWER2 frames (a v1 endpoint would reject them as
+/// unknown types, which is exactly what the handshake refusal prevents).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame's length prefix: 16 MiB. A prefix beyond this is
 /// a desynchronised or hostile stream, not a real frame (the largest
@@ -39,6 +55,12 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 /// Bytes of the fixed frame prefix: the `u32` length plus the type byte.
 pub const FRAME_HEADER_BYTES: usize = 5;
 
+/// Upper bound on the queries one QUERY2 frame may carry (and on the
+/// entries one ANSWER2 frame may carry). A larger declared count is a
+/// protocol violation, rejected before any allocation; clients split
+/// larger batches across frames transparently.
+pub const MAX_BATCH: usize = 4096;
+
 const TYPE_HELLO: u8 = 0;
 const TYPE_OFFER: u8 = 1;
 const TYPE_ACK: u8 = 2;
@@ -46,6 +68,32 @@ const TYPE_RESYNC: u8 = 3;
 const TYPE_QUERY: u8 = 4;
 const TYPE_ANSWER: u8 = 5;
 const TYPE_ERROR: u8 = 6;
+const TYPE_QUERY_BATCH: u8 = 7;
+const TYPE_ANSWER_BATCH: u8 = 8;
+
+/// One question inside a QUERY2 batch frame: the same `(kind, m1, m2)`
+/// triple a v1 QUERY frame carries (see `query::QueryKind` constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchQuery {
+    /// The question: see `query::QUERY_PRECEDES` and friends.
+    pub kind: u8,
+    /// First message number (0-based id).
+    pub m1: u32,
+    /// Second message number (ignored by single-message kinds).
+    pub m2: u32,
+}
+
+/// One reply inside an ANSWER2 batch frame: positionally matched to the
+/// batch's queries, each entry succeeds or fails independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchEntry {
+    /// The query succeeded; the bytes are exactly what a v1 ANSWER frame
+    /// would carry for the same query.
+    Answer(Vec<u8>),
+    /// The query was rejected (out-of-range id, unknown kind); the batch's
+    /// other entries are unaffected.
+    Error(String),
+}
 
 /// One protocol frame (see the module docs for the wire layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +149,19 @@ pub enum Frame {
         /// Human-readable diagnostic.
         message: String,
     },
+    /// A v2 batch of queries against one named trace of the catalog.
+    QueryBatch {
+        /// The trace id the batch targets; empty means the catalog's
+        /// default trace.
+        trace: String,
+        /// The questions, answered positionally (at most [`MAX_BATCH`]).
+        queries: Vec<BatchQuery>,
+    },
+    /// A v2 batch of replies, positionally matched to a QUERY2 frame.
+    AnswerBatch {
+        /// One entry per query, in query order.
+        entries: Vec<BatchEntry>,
+    },
 }
 
 impl Frame {
@@ -150,6 +211,33 @@ impl Frame {
             Frame::Error { message } => {
                 body.extend_from_slice(message.as_bytes());
                 TYPE_ERROR
+            }
+            Frame::QueryBatch { trace, queries } => {
+                debug_assert!(trace.len() <= u16::MAX as usize, "trace id too long");
+                debug_assert!(queries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                body.extend_from_slice(&(trace.len() as u16).to_le_bytes());
+                body.extend_from_slice(trace.as_bytes());
+                body.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+                for q in queries {
+                    body.push(q.kind);
+                    body.extend_from_slice(&q.m1.to_le_bytes());
+                    body.extend_from_slice(&q.m2.to_le_bytes());
+                }
+                TYPE_QUERY_BATCH
+            }
+            Frame::AnswerBatch { entries } => {
+                debug_assert!(entries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    let (status, bytes): (u8, &[u8]) = match e {
+                        BatchEntry::Answer(b) => (0, b),
+                        BatchEntry::Error(m) => (1, m.as_bytes()),
+                    };
+                    body.push(status);
+                    body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    body.extend_from_slice(bytes);
+                }
+                TYPE_ANSWER_BATCH
             }
         };
         let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
@@ -232,6 +320,64 @@ impl Frame {
                 message: String::from_utf8(body.to_vec())
                     .map_err(|_| NetError::Protocol("ERROR frame body is not UTF-8".to_string()))?,
             }),
+            TYPE_QUERY_BATCH => {
+                at_least(2)?;
+                let trace_len = u16_at(0) as usize;
+                at_least(2 + trace_len + 4)?;
+                let trace = String::from_utf8(body[2..2 + trace_len].to_vec())
+                    .map_err(|_| NetError::Protocol("QUERY2 trace id is not UTF-8".to_string()))?;
+                let count = u32_at(2 + trace_len) as usize;
+                if count > MAX_BATCH {
+                    return Err(NetError::Protocol(format!(
+                        "QUERY2 batch of {count} queries exceeds the {MAX_BATCH}-query bound"
+                    )));
+                }
+                exact(2 + trace_len + 4 + 9 * count)?;
+                let base = 2 + trace_len + 4;
+                let queries = (0..count)
+                    .map(|i| {
+                        let at = base + 9 * i;
+                        BatchQuery {
+                            kind: body[at],
+                            m1: u32_at(at + 1),
+                            m2: u32_at(at + 5),
+                        }
+                    })
+                    .collect();
+                Ok(Frame::QueryBatch { trace, queries })
+            }
+            TYPE_ANSWER_BATCH => {
+                at_least(4)?;
+                let count = u32_at(0) as usize;
+                if count > MAX_BATCH {
+                    return Err(NetError::Protocol(format!(
+                        "ANSWER2 batch of {count} entries exceeds the {MAX_BATCH}-entry bound"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(count);
+                let mut at = 4usize;
+                for i in 0..count {
+                    at_least(at + 5)?;
+                    let status = body[at];
+                    let len = u32_at(at + 1) as usize;
+                    at_least(at + 5 + len)?;
+                    let bytes = body[at + 5..at + 5 + len].to_vec();
+                    entries.push(match status {
+                        0 => BatchEntry::Answer(bytes),
+                        1 => BatchEntry::Error(String::from_utf8(bytes).map_err(|_| {
+                            NetError::Protocol(format!("ANSWER2 entry {i} error text is not UTF-8"))
+                        })?),
+                        other => {
+                            return Err(NetError::Protocol(format!(
+                                "ANSWER2 entry {i} has unknown status {other}"
+                            )))
+                        }
+                    });
+                    at += 5 + len;
+                }
+                exact(at)?;
+                Ok(Frame::AnswerBatch { entries })
+            }
             other => Err(NetError::Protocol(format!("unknown frame type {other}"))),
         }
     }
@@ -361,6 +507,32 @@ mod tests {
             Frame::Error {
                 message: "nope".to_string(),
             },
+            Frame::QueryBatch {
+                trace: "ring-a".to_string(),
+                queries: vec![
+                    BatchQuery {
+                        kind: 0,
+                        m1: 1,
+                        m2: 2,
+                    },
+                    BatchQuery {
+                        kind: 2,
+                        m1: 7,
+                        m2: 0,
+                    },
+                ],
+            },
+            Frame::QueryBatch {
+                trace: String::new(),
+                queries: vec![],
+            },
+            Frame::AnswerBatch {
+                entries: vec![
+                    BatchEntry::Answer(vec![1]),
+                    BatchEntry::Error("message 9 out of range".to_string()),
+                    BatchEntry::Answer(vec![]),
+                ],
+            },
         ];
         let mut reader = FrameReader::new();
         for f in &frames {
@@ -391,6 +563,47 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batches_are_rejected() {
+        // A QUERY2 declaring more than MAX_BATCH queries is refused from
+        // the count field alone, before any body is even present.
+        let mut body = vec![0u8, 0]; // empty trace id
+        body.extend_from_slice(&((MAX_BATCH as u32) + 1).to_le_bytes());
+        let mut framed = ((1 + body.len()) as u32).to_le_bytes().to_vec();
+        framed.push(7); // TYPE_QUERY_BATCH
+        framed.extend_from_slice(&body);
+        let mut reader = FrameReader::new();
+        reader.feed(&framed);
+        let err = reader.next_frame().unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // Same for an ANSWER2 entry count.
+        let mut body = ((MAX_BATCH as u32) + 1).to_le_bytes().to_vec();
+        body.extend_from_slice(&[0; 16]);
+        let mut framed = ((1 + body.len()) as u32).to_le_bytes().to_vec();
+        framed.push(8); // TYPE_ANSWER_BATCH
+        framed.extend_from_slice(&body);
+        let mut reader = FrameReader::new();
+        reader.feed(&framed);
+        assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+
+        // Exactly MAX_BATCH round-trips.
+        let max = Frame::QueryBatch {
+            trace: "t".to_string(),
+            queries: vec![
+                BatchQuery {
+                    kind: 0,
+                    m1: 0,
+                    m2: 1,
+                };
+                MAX_BATCH
+            ],
+        };
+        let mut reader = FrameReader::new();
+        reader.feed(&max.encode());
+        assert_eq!(reader.next_frame().unwrap(), Some(max));
+    }
+
+    #[test]
     fn hash_separates_shapes() {
         let a = topology_hash(3, &[vec![(0, 1), (1, 2)]]);
         let b = topology_hash(3, &[vec![(0, 1)], vec![(1, 2)]]);
@@ -416,5 +629,45 @@ mod tests {
         assert_eq!(ack.encode().len() as u64, ack_frame_bytes(5));
         let resync = Frame::Resync { key: 1 };
         assert_eq!(resync.encode().len() as u64, resync_frame_bytes());
+    }
+
+    #[test]
+    fn batch_frame_sizes_match_core_wire_pricing() {
+        use synctime_core::wire::{
+            answer_frame_bytes, batch_answer_frame_bytes, batch_query_frame_bytes,
+            query_frame_bytes,
+        };
+        let query = Frame::Query {
+            kind: 0,
+            m1: 1,
+            m2: 2,
+        };
+        assert_eq!(query.encode().len() as u64, query_frame_bytes());
+        let answer = Frame::Answer { body: vec![1] };
+        assert_eq!(answer.encode().len() as u64, answer_frame_bytes(1));
+        for count in [0usize, 1, 16, 256] {
+            let batch = Frame::QueryBatch {
+                trace: "alpha".to_string(),
+                queries: vec![
+                    BatchQuery {
+                        kind: 0,
+                        m1: 3,
+                        m2: 4,
+                    };
+                    count
+                ],
+            };
+            assert_eq!(
+                batch.encode().len() as u64,
+                batch_query_frame_bytes(5, count)
+            );
+            let answers = Frame::AnswerBatch {
+                entries: vec![BatchEntry::Answer(vec![1]); count],
+            };
+            assert_eq!(
+                answers.encode().len() as u64,
+                batch_answer_frame_bytes(count, count)
+            );
+        }
     }
 }

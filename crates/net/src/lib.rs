@@ -8,18 +8,27 @@
 //! protocol — plus a network query service over stamped traces:
 //!
 //! * [`frame`] — the wire protocol: `[u32 len][u8 type][body]` frames
-//!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR), an incremental
-//!   [`FrameReader`], and [`topology_hash`] for handshake validation.
-//!   OFFER/ACK/RESYNC byte layouts match `synctime-core`'s wire-cost
-//!   model *exactly*, so [`RunStats`] wire accounting is identical
-//!   whether a run is local or distributed.
+//!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR, plus the batched
+//!   QUERY2/ANSWER2 pair), an incremental [`FrameReader`], and
+//!   [`topology_hash`] for handshake validation. OFFER/ACK/RESYNC and
+//!   QUERY/ANSWER byte layouts match `synctime-core`'s wire-cost model
+//!   *exactly*, so [`RunStats`] wire accounting is identical whether a
+//!   run is local or distributed.
 //! * [`tcp`] — [`TcpMeshBuilder`] / [`TcpMesh`]: bind-then-establish
 //!   peer meshes with deterministic dial direction (lower id dials), a
 //!   reader thread per connection demultiplexing into bounded-poll
 //!   mailboxes, and `TxChannel`/`RxChannel` adapters the runtime drives
 //!   unmodified.
-//! * [`query`] — the precedence-query server: Theorem 4 of the paper as
-//!   a service ([`QueryService`], [`serve_queries`], [`QueryClient`]).
+//! * [`catalog`] — the multi-trace query fabric: [`QueryFabric`] holds
+//!   shared immutable [`Arc`](std::sync::Arc) snapshots of stamped
+//!   traces, keyed by trace id and spread across in-process shards by a
+//!   consistent-hash [`ShardRing`]; re-stamping publishes copy-on-write
+//!   so in-flight readers are never blocked.
+//! * [`pool`] — [`serve_fabric`], the fixed-size worker pool that
+//!   replaced PR 5's thread-per-connection accept loop.
+//! * [`query`] — the precedence-query protocol: Theorem 4 of the paper
+//!   as a service ([`QueryService`], [`serve_queries`],
+//!   [`QueryClient`] with single, batched, and multi-trace calls).
 //! * [`report`] — [`NodeReport`], the JSON document each OS process
 //!   prints so a launcher can merge a distributed run back into one
 //!   trace and one [`RunStats`].
@@ -33,6 +42,9 @@
 //! [`QueryService`]: query::QueryService
 //! [`QueryClient`]: query::QueryClient
 //! [`serve_queries`]: query::serve
+//! [`QueryFabric`]: catalog::QueryFabric
+//! [`ShardRing`]: catalog::ShardRing
+//! [`serve_fabric`]: pool::serve_fabric
 //! [`NodeReport`]: report::NodeReport
 //! [`FrameReader`]: frame::FrameReader
 //! [`topology_hash`]: frame::topology_hash
@@ -42,17 +54,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 mod error;
 pub mod frame;
 mod mailbox;
+pub mod pool;
 pub mod query;
 pub mod report;
 pub mod tcp;
 
+pub use catalog::{QueryFabric, ShardRing, DEFAULT_SHARDS};
 pub use error::NetError;
 pub use frame::{
-    topology_hash, topology_hash_of, Frame, FrameReader, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    topology_hash, topology_hash_of, BatchEntry, BatchQuery, Frame, FrameReader, MAX_BATCH,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use query::{QueryClient, QueryService};
+pub use pool::{default_pool_size, serve_fabric};
+pub use query::{answer_query, QueryClient, QueryService, DEFAULT_TRACE_NAME};
 pub use report::{NodeReport, NODE_REPORT_SCHEMA};
 pub use tcp::{TcpMesh, TcpMeshBuilder};

@@ -1,0 +1,83 @@
+//! The fixed-size worker pool behind the query fabric's accept loop.
+//!
+//! PR 5 served queries thread-per-connection: every accepted socket
+//! spawned a fresh OS thread, so a burst of N clients cost N stacks and N
+//! scheduler entries — fine for a benchmark, hostile to "millions of
+//! users". The fabric replaces that with the classic bounded model: the
+//! accept loop only enqueues accepted sockets, and a **fixed** pool of
+//! worker threads (sized once, at serve time) drains the queue, each
+//! worker running one connection's query/answer loop to completion before
+//! taking the next.
+//!
+//! The trade is explicit and documented: with W workers, at most W
+//! connections are served *concurrently*; further connections queue until
+//! a worker frees up (closed-loop clients therefore want `workers >=
+//! connections`). What the server never does any more is grow without
+//! bound — memory and thread count are fixed at startup no matter how
+//! many sockets arrive.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::catalog::QueryFabric;
+use crate::error::NetError;
+use crate::query::serve_fabric_connection;
+
+/// The worker count used when a caller does not choose one: the machine's
+/// available parallelism, floored at 4 so small hosts still overlap
+/// slow clients with fast ones.
+pub fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// Accepts query connections forever, serving them from a fixed pool of
+/// `workers` threads (clamped to at least 1).
+///
+/// Returns only when the listener itself fails; callers wanting a bounded
+/// server drop the listener from another thread or kill the process (the
+/// CLI's `serve-query` does the latter).
+///
+/// # Errors
+///
+/// [`NetError::Io`] when accepting fails, or when a worker thread cannot
+/// be spawned at startup.
+pub fn serve_fabric(
+    listener: TcpListener,
+    fabric: Arc<QueryFabric>,
+    workers: usize,
+) -> Result<(), NetError> {
+    let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    for w in 0..workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let fabric = Arc::clone(&fabric);
+        std::thread::Builder::new()
+            .name(format!("synctime-qworker-{w}"))
+            .spawn(move || loop {
+                let stream = {
+                    let (lock, cv) = &*queue;
+                    let mut pending = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    loop {
+                        if let Some(stream) = pending.pop_front() {
+                            break stream;
+                        }
+                        pending = cv.wait(pending).unwrap_or_else(PoisonError::into_inner);
+                    }
+                };
+                // A misbehaving client only kills its own connection.
+                let _ = serve_fabric_connection(stream, &fabric);
+            })?;
+    }
+    loop {
+        let (stream, _) = listener.accept()?;
+        let (lock, cv) = &*queue;
+        lock.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(stream);
+        cv.notify_one();
+    }
+}

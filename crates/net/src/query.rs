@@ -11,9 +11,18 @@
 //!   and future, `m` included), ascending by message id; the complement
 //!   of `m`'s concurrency set.
 //!
-//! A query is one QUERY frame and one ANSWER (or ERROR) frame; clients
+//! A v1 query is one QUERY frame and one ANSWER (or ERROR) frame; clients
 //! keep a connection open and pipeline queries sequentially, so the
-//! closed-loop cost is one round trip plus two vector comparisons.
+//! closed-loop cost is one round trip plus two vector comparisons. A v2
+//! **batch** is one QUERY2 frame carrying up to `MAX_BATCH` queries
+//! against one named trace of the catalog and one ANSWER2 frame carrying
+//! positionally matched entries — the round trip, the framing, and the
+//! trace lookup are paid once per batch, which is what takes a
+//! single connection from ~10⁵ to ~10⁶ queries/sec on loopback.
+//!
+//! Every connection is served by the fixed worker pool in [`crate::pool`]
+//! against a shared [`QueryFabric`] catalog; the single-trace [`serve`]
+//! entry point is the same machinery over a one-trace catalog.
 //!
 //! Query connections handshake like transport connections, but a client
 //! is not a process of any computation: it identifies as process
@@ -27,8 +36,9 @@ use std::sync::Arc;
 use synctime_core::MessageTimestamps;
 use synctime_trace::MessageId;
 
+use crate::catalog::QueryFabric;
 use crate::error::NetError;
-use crate::frame::{Frame, FrameReader, PROTOCOL_VERSION};
+use crate::frame::{BatchEntry, BatchQuery, Frame, FrameReader, MAX_BATCH, PROTOCOL_VERSION};
 
 /// Query kind byte: does `m1` precede `m2`?
 pub const QUERY_PRECEDES: u8 = 0;
@@ -40,7 +50,64 @@ pub const QUERY_CHAIN_OF: u8 = 2;
 /// The process id query clients identify with: not a process at all.
 pub const QUERY_CLIENT_ID: u32 = u32::MAX;
 
-/// Answers queries against one stamped trace.
+/// The trace id a single-trace [`serve`] registers its one trace under.
+pub const DEFAULT_TRACE_NAME: &str = "default";
+
+/// Answers one query against a stamped trace, returning the bytes a v1
+/// ANSWER frame (or a v2 ANSWER2 entry — they are identical) carries:
+///
+/// * `precedes` / `concurrent` — a single `0`/`1` byte;
+/// * `chain-of` — `u32` count, then the ordered message ids as `u32`s.
+///
+/// # Errors
+///
+/// [`NetError::Query`] on an unknown kind or out-of-range message id
+/// (0-based).
+pub fn answer_query(
+    stamps: &MessageTimestamps,
+    kind: u8,
+    m1: u32,
+    m2: u32,
+) -> Result<Vec<u8>, NetError> {
+    let check = |m: u32| -> Result<MessageId, NetError> {
+        let idx = m as usize;
+        if idx >= stamps.len() {
+            return Err(NetError::Query(format!(
+                "message {m} out of range (trace has {} messages)",
+                stamps.len()
+            )));
+        }
+        Ok(MessageId(idx))
+    };
+    match kind {
+        QUERY_PRECEDES => {
+            let (a, b) = (check(m1)?, check(m2)?);
+            Ok(vec![u8::from(stamps.precedes(a, b))])
+        }
+        QUERY_CONCURRENT => {
+            let (a, b) = (check(m1)?, check(m2)?);
+            Ok(vec![u8::from(stamps.concurrent(a, b))])
+        }
+        QUERY_CHAIN_OF => {
+            let m = check(m1)?;
+            let ordered: Vec<u32> = (0..stamps.len())
+                .map(MessageId)
+                .filter(|&o| o == m || stamps.precedes(o, m) || stamps.precedes(m, o))
+                .map(|o| o.0 as u32)
+                .collect();
+            let mut body = Vec::with_capacity(4 + 4 * ordered.len());
+            body.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
+            for id in ordered {
+                body.extend_from_slice(&id.to_le_bytes());
+            }
+            Ok(body)
+        }
+        other => Err(NetError::Query(format!("unknown query kind {other}"))),
+    }
+}
+
+/// Answers queries against one stamped trace (the single-trace façade
+/// over [`answer_query`]; the multi-trace catalog is [`QueryFabric`]).
 #[derive(Debug, Clone)]
 pub struct QueryService {
     stamps: Arc<MessageTimestamps>,
@@ -59,52 +126,23 @@ impl QueryService {
         self.stamps.len()
     }
 
-    /// Answers one query, returning the ANSWER body.
+    /// Answers one query, returning the ANSWER body (see [`answer_query`]).
     ///
     /// # Errors
     ///
     /// [`NetError::Query`] on an unknown kind or out-of-range message id
     /// (0-based).
     pub fn answer(&self, kind: u8, m1: u32, m2: u32) -> Result<Vec<u8>, NetError> {
-        let check = |m: u32| -> Result<MessageId, NetError> {
-            let idx = m as usize;
-            if idx >= self.stamps.len() {
-                return Err(NetError::Query(format!(
-                    "message {m} out of range (trace has {} messages)",
-                    self.stamps.len()
-                )));
-            }
-            Ok(MessageId(idx))
-        };
-        match kind {
-            QUERY_PRECEDES => {
-                let (a, b) = (check(m1)?, check(m2)?);
-                Ok(vec![u8::from(self.stamps.precedes(a, b))])
-            }
-            QUERY_CONCURRENT => {
-                let (a, b) = (check(m1)?, check(m2)?);
-                Ok(vec![u8::from(self.stamps.concurrent(a, b))])
-            }
-            QUERY_CHAIN_OF => {
-                let m = check(m1)?;
-                let ordered: Vec<u32> = (0..self.stamps.len())
-                    .map(MessageId)
-                    .filter(|&o| o == m || self.stamps.precedes(o, m) || self.stamps.precedes(m, o))
-                    .map(|o| o.0 as u32)
-                    .collect();
-                let mut body = Vec::with_capacity(4 + 4 * ordered.len());
-                body.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
-                for id in ordered {
-                    body.extend_from_slice(&id.to_le_bytes());
-                }
-                Ok(body)
-            }
-            other => Err(NetError::Query(format!("unknown query kind {other}"))),
-        }
+        answer_query(&self.stamps, kind, m1, m2)
     }
 }
 
-/// Accepts query connections forever, one handler thread per client.
+/// Accepts query connections forever against a single stamped trace,
+/// registered in a one-shard catalog under [`DEFAULT_TRACE_NAME`] and
+/// served by a default-sized worker pool — the PR 5 entry point, now on
+/// the fabric machinery. v1 clients are unaffected (a single-trace
+/// catalog answers empty-trace-id queries); batch clients may address the
+/// trace as `"default"` or `""`.
 ///
 /// Returns only when the listener itself fails; callers wanting a
 /// bounded server should drop the listener from another thread or kill
@@ -115,21 +153,28 @@ impl QueryService {
 /// [`NetError::Io`] when accepting fails for a reason other than a
 /// transient client error.
 pub fn serve(listener: TcpListener, service: QueryService) -> Result<(), NetError> {
-    loop {
-        let (stream, _) = listener.accept()?;
-        let service = service.clone();
-        std::thread::Builder::new()
-            .name("synctime-query".to_string())
-            .spawn(move || {
-                // A misbehaving client only kills its own connection.
-                let _ = serve_connection(stream, &service);
-            })?;
-    }
+    let fabric = QueryFabric::new(1);
+    fabric.publish_shared(DEFAULT_TRACE_NAME, Arc::clone(&service.stamps));
+    crate::pool::serve_fabric(listener, Arc::new(fabric), crate::pool::default_pool_size())
 }
 
-/// Runs one client connection: handshake, then a query/answer loop until
-/// the client disconnects.
-fn serve_connection(mut stream: TcpStream, service: &QueryService) -> Result<(), NetError> {
+/// Runs one client connection against the catalog: handshake, then a
+/// query/answer loop (v1 single queries and v2 batches interleave freely)
+/// until the client disconnects.
+///
+/// Rejected queries — bad ids, unknown kinds, unresolvable trace ids —
+/// answer with ERROR frames (or error entries) and keep the connection
+/// alive; only protocol violations and socket failures end it.
+///
+/// # Errors
+///
+/// [`NetError::Handshake`] when the client's HELLO is missing or speaks
+/// the wrong protocol version, [`NetError::Protocol`] on frame
+/// violations, [`NetError::Io`] on socket failures.
+pub fn serve_fabric_connection(
+    mut stream: TcpStream,
+    fabric: &QueryFabric,
+) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
     let mut reader = FrameReader::new();
     let mut buf = [0u8; 4096];
@@ -162,21 +207,41 @@ fn serve_connection(mut stream: TcpStream, service: &QueryService) -> Result<(),
             Err(NetError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let Frame::Query { kind, m1, m2 } = frame else {
-            let err = Frame::Error {
-                message: format!("expected QUERY, got {frame:?}"),
-            };
-            stream.write_all(&err.encode())?;
-            return Ok(());
-        };
-        let reply = match service.answer(kind, m1, m2) {
-            Ok(body) => Frame::Answer { body },
-            // The wire carries the bare detail; the client re-wraps it in
-            // NetError::Query, which adds the "query rejected:" prefix.
-            Err(NetError::Query(detail)) => Frame::Error { message: detail },
-            Err(e) => Frame::Error {
-                message: e.to_string(),
-            },
+        let reply = match frame {
+            Frame::Query { kind, m1, m2 } => {
+                // v1: resolve the default trace, answer one query.
+                match fabric
+                    .resolve("")
+                    .and_then(|stamps| answer_query(&stamps, kind, m1, m2))
+                {
+                    Ok(body) => Frame::Answer { body },
+                    // The wire carries the bare detail; the client re-wraps
+                    // it in NetError::Query, which adds the "query
+                    // rejected:" prefix.
+                    Err(NetError::Query(detail)) => Frame::Error { message: detail },
+                    Err(e) => Frame::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Frame::QueryBatch { trace, queries } => {
+                // v2: one trace resolution, then every entry answered
+                // independently.
+                match fabric.answer_batch(&trace, &queries) {
+                    Ok(entries) => Frame::AnswerBatch { entries },
+                    Err(NetError::Query(detail)) => Frame::Error { message: detail },
+                    Err(e) => Frame::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            other => {
+                let err = Frame::Error {
+                    message: format!("expected QUERY or QUERY2, got {other:?}"),
+                };
+                stream.write_all(&err.encode())?;
+                return Ok(());
+            }
         };
         stream.write_all(&reply.encode())?;
     }
@@ -285,21 +350,197 @@ impl QueryClient {
     /// As [`QueryClient::precedes`].
     pub fn chain_of(&mut self, m: u32) -> Result<Vec<u32>, NetError> {
         let body = self.ask(QUERY_CHAIN_OF, m, 0)?;
-        if body.len() < 4 {
-            return Err(NetError::Protocol("truncated chain answer".to_string()));
-        }
-        let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
-        if body.len() != 4 + 4 * count {
-            return Err(NetError::Protocol(format!(
-                "chain answer declares {count} ids but carries {} bytes",
-                body.len()
+        parse_chain_body(&body)
+    }
+
+    /// Sends one v2 batch of queries against a named trace of the server's
+    /// catalog and returns the positionally matched entries. Batches
+    /// larger than [`MAX_BATCH`] are split across frames transparently;
+    /// the empty trace id targets the catalog's default trace.
+    ///
+    /// ```no_run
+    /// use synctime_net::{BatchEntry, BatchQuery, QueryClient};
+    ///
+    /// # fn main() -> Result<(), synctime_net::NetError> {
+    /// let mut client = QueryClient::connect("127.0.0.1:4100")?;
+    /// // 3 precedence questions against trace "ring-a", one round trip.
+    /// let queries: Vec<BatchQuery> = [(0, 1), (1, 2), (2, 0)]
+    ///     .iter()
+    ///     .map(|&(m1, m2)| BatchQuery { kind: 0, m1, m2 })
+    ///     .collect();
+    /// for (q, entry) in queries.iter().zip(client.batch("ring-a", &queries)?) {
+    ///     match entry {
+    ///         BatchEntry::Answer(body) => {
+    ///             println!("m{} precedes m{}: {}", q.m1, q.m2, body == [1]);
+    ///         }
+    ///         BatchEntry::Error(why) => println!("rejected: {why}"),
+    ///     }
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] when the trace id itself is rejected (the
+    /// per-query failures come back as [`BatchEntry::Error`] entries
+    /// instead), [`NetError::Protocol`] on a malformed or mismatched
+    /// reply, transport errors otherwise.
+    pub fn batch(
+        &mut self,
+        trace: &str,
+        queries: &[BatchQuery],
+    ) -> Result<Vec<BatchEntry>, NetError> {
+        if trace.len() > u16::MAX as usize {
+            return Err(NetError::Query(format!(
+                "trace id of {} bytes exceeds the u16 length field",
+                trace.len()
             )));
         }
-        Ok(body[4..]
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        let mut entries = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(MAX_BATCH) {
+            self.stream.write_all(
+                &Frame::QueryBatch {
+                    trace: trace.to_string(),
+                    queries: chunk.to_vec(),
+                }
+                .encode(),
+            )?;
+            let mut buf = [0u8; 65536];
+            match read_frame(&mut self.stream, &mut self.reader, &mut buf)? {
+                Frame::AnswerBatch { entries: got } => {
+                    if got.len() != chunk.len() {
+                        return Err(NetError::Protocol(format!(
+                            "batch of {} queries answered with {} entries",
+                            chunk.len(),
+                            got.len()
+                        )));
+                    }
+                    entries.extend(got);
+                }
+                Frame::Error { message } => return Err(NetError::Query(message)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected ANSWER2, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(entries)
     }
+
+    /// Batched `precedes`: one boolean per `(m1, m2)` pair, in order, via
+    /// as few round trips as [`MAX_BATCH`] allows.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] if the trace id or *any* pair is rejected (use
+    /// [`QueryClient::batch`] to observe per-query failures
+    /// independently), transport errors otherwise.
+    pub fn precedes_many(
+        &mut self,
+        trace: &str,
+        pairs: &[(u32, u32)],
+    ) -> Result<Vec<bool>, NetError> {
+        let queries: Vec<BatchQuery> = pairs
+            .iter()
+            .map(|&(m1, m2)| BatchQuery {
+                kind: QUERY_PRECEDES,
+                m1,
+                m2,
+            })
+            .collect();
+        self.batch(trace, &queries)?
+            .into_iter()
+            .map(|entry| match entry {
+                BatchEntry::Answer(body) => match body.as_slice() {
+                    [0] => Ok(false),
+                    [1] => Ok(true),
+                    _ => Err(NetError::Protocol(
+                        "boolean answer body is not a single 0/1 byte".to_string(),
+                    )),
+                },
+                BatchEntry::Error(message) => Err(NetError::Query(message)),
+            })
+            .collect()
+    }
+
+    /// [`QueryClient::precedes`] against a named trace of a multi-trace
+    /// catalog (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::precedes_many`].
+    pub fn precedes_on(&mut self, trace: &str, m1: u32, m2: u32) -> Result<bool, NetError> {
+        self.ask_bool_on(trace, QUERY_PRECEDES, m1, m2)
+    }
+
+    /// [`QueryClient::concurrent`] against a named trace (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::precedes_many`].
+    pub fn concurrent_on(&mut self, trace: &str, m1: u32, m2: u32) -> Result<bool, NetError> {
+        self.ask_bool_on(trace, QUERY_CONCURRENT, m1, m2)
+    }
+
+    /// [`QueryClient::chain_of`] against a named trace (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::precedes_many`].
+    pub fn chain_of_on(&mut self, trace: &str, m: u32) -> Result<Vec<u32>, NetError> {
+        let entry = self
+            .batch(
+                trace,
+                &[BatchQuery {
+                    kind: QUERY_CHAIN_OF,
+                    m1: m,
+                    m2: 0,
+                }],
+            )?
+            .pop()
+            .ok_or_else(|| NetError::Protocol("empty batch answer".to_string()))?;
+        match entry {
+            BatchEntry::Answer(body) => parse_chain_body(&body),
+            BatchEntry::Error(message) => Err(NetError::Query(message)),
+        }
+    }
+
+    fn ask_bool_on(&mut self, trace: &str, kind: u8, m1: u32, m2: u32) -> Result<bool, NetError> {
+        let entry = self
+            .batch(trace, &[BatchQuery { kind, m1, m2 }])?
+            .pop()
+            .ok_or_else(|| NetError::Protocol("empty batch answer".to_string()))?;
+        match entry {
+            BatchEntry::Answer(body) => match body.as_slice() {
+                [0] => Ok(false),
+                [1] => Ok(true),
+                _ => Err(NetError::Protocol(
+                    "boolean answer body is not a single 0/1 byte".to_string(),
+                )),
+            },
+            BatchEntry::Error(message) => Err(NetError::Query(message)),
+        }
+    }
+}
+
+/// Parses a chain-of answer body: `u32` count, then the ids.
+fn parse_chain_body(body: &[u8]) -> Result<Vec<u32>, NetError> {
+    if body.len() < 4 {
+        return Err(NetError::Protocol("truncated chain answer".to_string()));
+    }
+    let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    if body.len() != 4 + 4 * count {
+        return Err(NetError::Protocol(format!(
+            "chain answer declares {count} ids but carries {} bytes",
+            body.len()
+        )));
+    }
+    Ok(body[4..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
 }
 
 #[cfg(test)]

@@ -4,11 +4,35 @@
 //! misparsing or panicking.
 
 use proptest::prelude::*;
-use synctime_net::{Frame, FrameReader, NetError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use synctime_net::{
+    BatchEntry, BatchQuery, Frame, FrameReader, NetError, MAX_BATCH, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+prop_compose! {
+    fn arb_batch_query()(kind in any::<u8>(), m1 in any::<u32>(), m2 in any::<u32>())
+        -> BatchQuery {
+        BatchQuery { kind, m1, m2 }
+    }
+}
+
+prop_compose! {
+    fn arb_batch_entry()(
+        is_error in any::<bool>(),
+        bytes in collection::vec(any::<u8>(), 0..24),
+    ) -> BatchEntry {
+        if is_error {
+            // Printable ASCII keeps the message valid UTF-8.
+            BatchEntry::Error(bytes.iter().map(|b| char::from(b % 94 + 32)).collect())
+        } else {
+            BatchEntry::Answer(bytes)
+        }
+    }
+}
 
 prop_compose! {
     fn arb_frame()(
-        tag in 0u8..7,
+        tag in 0u8..9,
         key in any::<u64>(),
         payload in any::<u64>(),
         bytes in collection::vec(any::<u8>(), 0..80),
@@ -18,6 +42,8 @@ prop_compose! {
         kind in any::<u8>(),
         m1 in any::<u32>(),
         m2 in any::<u32>(),
+        queries in collection::vec(arb_batch_query(), 0..16),
+        entries in collection::vec(arb_batch_entry(), 0..16),
     ) -> Frame {
         match tag {
             0 => Frame::Hello { version, topology_hash: hash, process },
@@ -26,6 +52,12 @@ prop_compose! {
             3 => Frame::Resync { key },
             4 => Frame::Query { kind, m1, m2 },
             5 => Frame::Answer { body: bytes },
+            6 => Frame::QueryBatch {
+                // Printable ASCII keeps the trace id valid UTF-8.
+                trace: bytes.iter().take(24).map(|b| char::from(b % 94 + 32)).collect(),
+                queries,
+            },
+            7 => Frame::AnswerBatch { entries },
             // Printable ASCII keeps the message valid UTF-8.
             _ => Frame::Error {
                 message: bytes.iter().map(|b| char::from(b % 94 + 32)).collect(),
@@ -116,6 +148,57 @@ proptest! {
     fn oversized_prefix_rejected(extra in 1u32..1000) {
         let mut reader = FrameReader::new();
         reader.feed(&(MAX_FRAME_LEN + extra).to_le_bytes());
+        prop_assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+    }
+
+    /// Truncating a batch frame's body (with the length prefix rewritten to
+    /// match, as a buggy or malicious peer would send it) is always a
+    /// protocol error: the declared trace length and query/entry counts no
+    /// longer fit the bytes present.
+    #[test]
+    fn truncated_batch_bodies_error(
+        queries in collection::vec(arb_batch_query(), 1..8),
+        entries in collection::vec(arb_batch_entry(), 1..8),
+        cut in 1usize..200,
+        which in any::<bool>(),
+    ) {
+        let full = if which {
+            Frame::QueryBatch { trace: "trace-a".to_string(), queries }.encode()
+        } else {
+            Frame::AnswerBatch { entries }.encode()
+        };
+        let body = &full[5..];
+        let cut = cut.min(body.len() - 1).max(1);
+        let kept = &body[..body.len() - cut];
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&((kept.len() + 1) as u32).to_le_bytes());
+        raw.push(full[4]);
+        raw.extend_from_slice(kept);
+        let mut reader = FrameReader::new();
+        reader.feed(&raw);
+        prop_assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
+    }
+
+    /// Any declared batch count beyond [`MAX_BATCH`] is rejected from the
+    /// count field alone, before the decoder allocates for the entries.
+    #[test]
+    fn oversized_batch_counts_rejected(extra in 1u32..100_000, which in any::<bool>()) {
+        let count = MAX_BATCH as u32 + extra;
+        let mut body = Vec::new();
+        let ty = if which {
+            body.extend_from_slice(&0u16.to_le_bytes()); // empty trace id
+            body.extend_from_slice(&count.to_le_bytes());
+            7 // QUERY2
+        } else {
+            body.extend_from_slice(&count.to_le_bytes());
+            8 // ANSWER2
+        };
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+        raw.push(ty);
+        raw.extend_from_slice(&body);
+        let mut reader = FrameReader::new();
+        reader.feed(&raw);
         prop_assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
     }
 }

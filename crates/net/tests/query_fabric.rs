@@ -1,0 +1,255 @@
+//! Integration tests for the sharded multi-trace query fabric: a batched
+//! v2 client against a catalog server answers **identically** to N
+//! sequential v1 queries against per-trace v1 servers, trace-id failures
+//! are recoverable, copy-on-write republish is visible to live
+//! connections, and a one-worker pool still serves every connection.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+use synctime_core::{MessageTimestamps, VectorTime};
+use synctime_net::query::{serve, QUERY_CHAIN_OF, QUERY_CONCURRENT, QUERY_PRECEDES};
+use synctime_net::{
+    answer_query, serve_fabric, BatchEntry, BatchQuery, NetError, QueryClient, QueryFabric,
+    QueryService,
+};
+
+/// m0 < m1, m0 < m2, m1 ∥ m2, m1 < m3, m2 < m3.
+fn diamond() -> MessageTimestamps {
+    MessageTimestamps::new(vec![
+        VectorTime::from(vec![1, 0]),
+        VectorTime::from(vec![2, 0]),
+        VectorTime::from(vec![1, 1]),
+        VectorTime::from(vec![2, 2]),
+    ])
+}
+
+/// A 5-message chain: m0 < m1 < m2 < m3 < m4.
+fn chain() -> MessageTimestamps {
+    MessageTimestamps::new(vec![
+        VectorTime::from(vec![1]),
+        VectorTime::from(vec![2]),
+        VectorTime::from(vec![3]),
+        VectorTime::from(vec![4]),
+        VectorTime::from(vec![5]),
+    ])
+}
+
+/// Two antichains: m0 ∥ m1, m2 ∥ m3, first pair below second.
+fn lattice() -> MessageTimestamps {
+    MessageTimestamps::new(vec![
+        VectorTime::from(vec![1, 0]),
+        VectorTime::from(vec![0, 1]),
+        VectorTime::from(vec![2, 1]),
+        VectorTime::from(vec![1, 2]),
+    ])
+}
+
+fn fabric_server(fabric: QueryFabric, workers: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let fabric = Arc::new(fabric);
+    std::thread::spawn(move || {
+        let _ = serve_fabric(listener, fabric, workers);
+    });
+    addr
+}
+
+fn v1_server(stamps: MessageTimestamps) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = serve(listener, QueryService::new(stamps));
+    });
+    addr
+}
+
+/// The headline acceptance test: every query of every trace, asked (a) as
+/// one big v2 batch against the sharded fabric, (b) sequentially over v1
+/// frames against a dedicated single-trace server, and (c) locally via
+/// `answer_query`, produces byte-identical answer bodies.
+#[test]
+fn batched_answers_match_sequential_v1_across_shards() {
+    let traces: Vec<(&str, MessageTimestamps)> = vec![
+        ("diamond", diamond()),
+        ("chain", chain()),
+        ("lattice", lattice()),
+    ];
+    let fabric = QueryFabric::new(4);
+    for (name, stamps) in &traces {
+        fabric.publish(name, stamps.clone());
+    }
+    // The three traces land on more than one shard (determinism makes this
+    // a fixed fact of the ring, asserted so the test title stays honest).
+    let shards: std::collections::HashSet<usize> = traces
+        .iter()
+        .map(|(name, _)| fabric.shard_of(name))
+        .collect();
+    assert!(shards.len() > 1, "traces all hashed to one shard");
+    let fabric_addr = fabric_server(fabric, 2);
+    let mut batch_client = QueryClient::connect(&fabric_addr.to_string()).expect("connect");
+
+    for (name, stamps) in &traces {
+        // Every (kind, m1, m2) combination over the trace's messages.
+        let mut queries = Vec::new();
+        for kind in [QUERY_PRECEDES, QUERY_CONCURRENT, QUERY_CHAIN_OF] {
+            for m1 in 0..stamps.len() as u32 {
+                for m2 in 0..stamps.len() as u32 {
+                    queries.push(BatchQuery { kind, m1, m2 });
+                }
+            }
+        }
+        let entries = batch_client.batch(name, &queries).expect("batch answers");
+        assert_eq!(entries.len(), queries.len());
+
+        // (c) local ground truth, byte for byte.
+        for (q, entry) in queries.iter().zip(&entries) {
+            let expected = answer_query(stamps, q.kind, q.m1, q.m2).expect("in-range query");
+            assert_eq!(
+                entry,
+                &BatchEntry::Answer(expected),
+                "query {q:?} on {name}"
+            );
+        }
+
+        // (b) a v1 single-trace server answers the same queries one frame
+        // at a time; its typed answers must agree with the batch bodies.
+        let v1_addr = v1_server(stamps.clone());
+        let mut v1 = QueryClient::connect(&v1_addr.to_string()).expect("connect v1");
+        let mut it = entries.iter();
+        for kind in [QUERY_PRECEDES, QUERY_CONCURRENT, QUERY_CHAIN_OF] {
+            for m1 in 0..stamps.len() as u32 {
+                for m2 in 0..stamps.len() as u32 {
+                    let entry = it.next().expect("positional entry");
+                    match kind {
+                        QUERY_PRECEDES => {
+                            let sequential = v1.precedes(m1, m2).expect("v1 precedes");
+                            assert_eq!(entry, &BatchEntry::Answer(vec![u8::from(sequential)]));
+                        }
+                        QUERY_CONCURRENT => {
+                            let sequential = v1.concurrent(m1, m2).expect("v1 concurrent");
+                            assert_eq!(entry, &BatchEntry::Answer(vec![u8::from(sequential)]));
+                        }
+                        _ => {
+                            let sequential = v1.chain_of(m1).expect("v1 chain");
+                            let mut body = (sequential.len() as u32).to_le_bytes().to_vec();
+                            for id in sequential {
+                                body.extend_from_slice(&id.to_le_bytes());
+                            }
+                            assert_eq!(entry, &BatchEntry::Answer(body));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A bad trace id fails the batch with a typed error and leaves the
+/// connection usable; a bad message id fails only its own entry.
+#[test]
+fn trace_and_entry_failures_are_recoverable() {
+    let fabric = QueryFabric::new(4);
+    fabric.publish("a", diamond());
+    fabric.publish("b", chain());
+    let addr = fabric_server(fabric, 2);
+    let mut client = QueryClient::connect(&addr.to_string()).expect("connect");
+
+    let q = BatchQuery {
+        kind: QUERY_PRECEDES,
+        m1: 0,
+        m2: 1,
+    };
+    let err = client.batch("missing", &[q]).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Query(m) if m.contains("unknown trace")),
+        "{err}"
+    );
+    // Same connection, valid trace: still answered.
+    assert_eq!(
+        client.batch("a", &[q]).unwrap(),
+        vec![BatchEntry::Answer(vec![1])]
+    );
+
+    // Entry-level failure: out-of-range id poisons one entry, not the batch.
+    let entries = client
+        .batch(
+            "b",
+            &[
+                q,
+                BatchQuery {
+                    kind: QUERY_PRECEDES,
+                    m1: 0,
+                    m2: 999,
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(entries[0], BatchEntry::Answer(vec![1]));
+    assert!(matches!(&entries[1], BatchEntry::Error(m) if m.contains("out of range")));
+
+    // The convenience wrappers route through the same trace ids.
+    assert!(client.precedes_on("b", 0, 4).unwrap());
+    assert!(client.concurrent_on("a", 1, 2).unwrap());
+    assert_eq!(client.chain_of_on("a", 1).unwrap(), vec![0, 1, 3]);
+    assert_eq!(
+        client
+            .precedes_many("b", &[(0, 1), (1, 0), (2, 4)])
+            .unwrap(),
+        vec![true, false, true]
+    );
+}
+
+/// A v1 single query (empty trace id) is only answerable when the catalog
+/// has exactly one trace; against a multi-trace catalog it is refused with
+/// a diagnostic naming the trace count.
+#[test]
+fn v1_queries_need_an_unambiguous_default_trace() {
+    let fabric = QueryFabric::new(4);
+    fabric.publish("a", diamond());
+    fabric.publish("b", chain());
+    let addr = fabric_server(fabric, 2);
+    let mut client = QueryClient::connect(&addr.to_string()).expect("connect");
+    let err = client.precedes(0, 1).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Query(m) if m.contains("2 traces")),
+        "{err}"
+    );
+    // Naming the trace works on the same connection.
+    assert!(client.precedes_on("a", 0, 1).expect("named trace"));
+}
+
+/// Republishing a trace while the server is live (copy-on-write) changes
+/// the answers new queries see, without restarting anything.
+#[test]
+fn republish_is_visible_to_live_connections() {
+    let fabric = Arc::new(QueryFabric::new(2));
+    fabric.publish("t", chain());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let serving = Arc::clone(&fabric);
+    std::thread::spawn(move || {
+        let _ = serve_fabric(listener, serving, 2);
+    });
+    let mut client = QueryClient::connect(&addr.to_string()).expect("connect");
+    // chain(): m0 < m1.
+    assert!(client.precedes_on("t", 0, 1).unwrap());
+    // Republish with lattice(): m0 ∥ m1 now.
+    fabric.publish("t", lattice());
+    assert!(!client.precedes_on("t", 0, 1).unwrap());
+    assert!(client.concurrent_on("t", 0, 1).unwrap());
+}
+
+/// A one-worker pool serves connections to completion, one after another —
+/// nothing deadlocks and nothing is dropped.
+#[test]
+fn single_worker_pool_serves_sequential_connections() {
+    let fabric = QueryFabric::new(1);
+    fabric.publish("t", diamond());
+    let addr = fabric_server(fabric, 1);
+    for _ in 0..3 {
+        let mut client = QueryClient::connect(&addr.to_string()).expect("connect");
+        assert!(client.precedes_on("t", 0, 3).unwrap());
+        // Dropping the client closes the socket and frees the worker.
+    }
+}

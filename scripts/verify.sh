@@ -19,15 +19,19 @@
 #      sparse-vs-dense speedup claim in the full report)
 #   9. bench-smoke: the net_query suite at CI scale, checking both its own
 #      smoke report and the checked-in results/ JSON against the
-#      synctime/bench_net/v1 schema (including the >= 10k queries/sec
-#      floor in the full report)
+#      synctime/bench_net/v2 schema (full reports must clear the >= 10k
+#      single-query floor, >= 3x batch-256 speedup over single-connection
+#      v1, and >= 500k aggregate fabric queries/sec at amortised
+#      p99 <= 250us)
 #  10. fault-smoke: ring and gossip workloads under fixed crash and desync
 #      plans must exit 0 with typed outcomes, inject every scheduled fault,
 #      and recover desyncs through full-vector resync frames
 #  11. net-smoke: `launch --transport tcp` (one OS process per synchronous
 #      process over loopback TCP) must emit a trace byte-identical to the
 #      in-process `run`; `serve-query` must answer the fixture's three
-#      known precedence queries over the wire
+#      known precedence queries over the wire; a 2-trace `--traces-dir`
+#      catalog must answer named-trace and batched queries with the same
+#      verdicts
 #  12. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
@@ -40,6 +44,10 @@ run() {
 
 run cargo fmt --check
 run cargo build --release
+# The root `synctime` package is a lib; the CLI binary the smoke stages
+# drive lives in `synctime-cli`, which a bare root build does not touch.
+# Build the whole workspace so `target/release/synctime` is never stale.
+run cargo build --release --workspace
 run cargo test -q
 run cargo test --workspace -q
 run cargo test --doc --workspace -q
@@ -137,6 +145,43 @@ q() { "$SYNCTIME" query --connect "$ADDR" "$@"; }
   echo "verify: expected chain of m3 to be m1 m2 m3" >&2; exit 1; }
 kill "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
+
+echo "==> net-smoke: 2-trace catalog serves named-trace and batched queries"
+mkdir -p "$NET_DIR/catalog"
+cp "$NET_DIR/fixture.json" "$NET_DIR/catalog/web.json"
+cat > "$NET_DIR/catalog/ring.json" <<'EOF'
+{"processes":2,"events":[{"message":[0,1]},{"message":[1,0]},{"message":[0,1]}]}
+EOF
+# No --topology: the sparse offline engine stamps the catalog.
+"$SYNCTIME" serve-query --traces-dir "$NET_DIR/catalog" --shards 4 --pool 2 \
+  > "$NET_DIR/catalog-server.out" &
+CATALOG_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^listening on //p' "$NET_DIR/catalog-server.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: catalog serve-query never announced its address" >&2; exit 1; }
+grep -q 'catalog: 2 trace(s) across 4 shard(s)' "$NET_DIR/catalog-server.out" || {
+  echo "verify: catalog server did not announce 2 traces across 4 shards" >&2; exit 1; }
+qc() { "$SYNCTIME" query --connect "$ADDR" "$@"; }
+# The same fixture verdicts, now behind the trace name `web`.
+[ "$(qc --trace web --m1 1 --m2 2)" = "m1 and m2 are concurrent" ] || {
+  echo "verify: catalog trace web: expected m1 and m2 concurrent" >&2; exit 1; }
+[ "$(qc --trace web --chain 3)" = "chain of m3: m1 m2 m3" ] || {
+  echo "verify: catalog trace web: expected chain of m3 to be m1 m2 m3" >&2; exit 1; }
+# One batched round trip answers every pair of the sequential ring trace.
+[ "$(qc --trace ring --batch 1:2,2:1,1:3)" = "m1 -> m2: yes
+m2 -> m1: no
+m1 -> m3: yes" ] || {
+  echo "verify: catalog trace ring: wrong batched verdicts" >&2; exit 1; }
+# Unnamed queries are ambiguous against a 2-trace catalog.
+if qc --m1 1 --m2 2 > /dev/null 2>&1; then
+  echo "verify: unnamed query against a 2-trace catalog should fail" >&2; exit 1
+fi
+kill "$CATALOG_PID" 2>/dev/null || true
+wait "$CATALOG_PID" 2>/dev/null || true
 
 echo "==> panic-free gate: crates/runtime/src"
 for f in crates/runtime/src/*.rs; do
