@@ -78,7 +78,9 @@ pub fn fm_event_clocks(computation: &AsyncComputation) -> AsyncEventClocks {
                 let piggyback = send_vectors[k]
                     .clone()
                     .expect("topological order places the send first");
-                clocks[p].merge_max(&piggyback);
+                clocks[p]
+                    .merge_max(&piggyback)
+                    .expect("all Fidge–Mattern clocks share dimension N");
                 clocks[p].increment(p);
             }
         }

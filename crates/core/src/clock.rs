@@ -1,0 +1,842 @@
+//! Pluggable clock backends behind one [`Clock`] trait.
+//!
+//! Every timestamping algorithm in this crate bottoms out in the same four
+//! operations on a vector of counters: component-wise max-merge, increment
+//! of one component, vector-order comparison, and (de)serialization. The
+//! [`Clock`] trait abstracts that seam so the representation can be chosen
+//! per run without touching the protocol logic:
+//!
+//! * [`DenseVec`] — the plain `Vec<u64>` the paper describes
+//!   ([`VectorTime`] itself); every merge walks all `N` components.
+//! * [`TreeClock`] — a segment tree over the components with per-node
+//!   `(min, max)` summaries. Merges driven by Singhal–Kshemkalyani delta
+//!   change-sets touch `O(k log N)` nodes for `k` changed components, and
+//!   full merges skip every subtree the incoming clock does not dominate —
+//!   the sublinear-join idea of the *Tree Clock* paper (arXiv 2201.06325)
+//!   specialised to our delta streams.
+//! * [`FixedArray`] — a `[u64; K]` with a fixed-trip-count merge loop the
+//!   compiler auto-vectorises; the small-dimension fast path (the paper's
+//!   whole point is that `d ≪ N`, so most topologies fit `K = 16`).
+//!
+//! All three produce **identical** stamps for the same computation — the
+//! differential battery in `tests/differential_timestamps.rs` proves every
+//! backend pair order-isomorphic (and in fact equal) on random, faulted,
+//! and reconfigured traces. Selection is plumbed through
+//! `synctime run --clock dense|tree|fixed` via [`ClockBackend`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{CoreError, VectorOrder, VectorTime};
+
+/// The operations a vector-clock representation must provide to run the
+/// paper's protocols (merge / increment / compare / dims / serialize).
+///
+/// Implementations must behave exactly like a `dim()`-component vector of
+/// `u64` counters under component-wise max and vector order; the protocol
+/// layers rely on that to keep every backend's stamps interchangeable.
+pub trait Clock: Clone + PartialEq + Eq + fmt::Debug + Send + Sync + 'static {
+    /// Short backend name (`"dense"`, `"tree"`, `"fixed"`), used by CLI
+    /// selection and bench labels.
+    const NAME: &'static str;
+
+    /// The all-zero clock of the given dimension.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionUnsupported`] when the backend cannot
+    /// represent `dim` components (e.g. [`FixedArray`] with `dim > K`).
+    fn try_zero(dim: usize) -> Result<Self, CoreError>;
+
+    /// The number of components.
+    fn dim(&self) -> usize;
+
+    /// One component's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    fn component(&self, idx: usize) -> u64;
+
+    /// Increments component `idx` (lines 6 and 10 of Figure 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= dim()`.
+    fn increment(&mut self, idx: usize);
+
+    /// Component-wise maximum with `other` (lines 5 and 9 of Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] when the dimensions differ; the
+    /// clock is left unchanged. No backend may silently truncate.
+    fn try_merge_max(&mut self, other: &Self) -> Result<(), CoreError>;
+
+    /// Merges a Singhal–Kshemkalyani change-set: for every `(idx, value)`
+    /// pair, `self[idx] := max(self[idx], value)`. Sound as a substitute
+    /// for a full merge whenever the unchanged components of the sending
+    /// clock were already merged on an earlier message of the same stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] when any index is out of range;
+    /// entries before the offending one may already be applied (callers
+    /// treat the error as terminal for the stream, exactly like a failed
+    /// full merge).
+    fn merge_delta(&mut self, changes: &[(usize, u64)]) -> Result<(), CoreError>;
+
+    /// Merges a dense [`VectorTime`] into this clock — the interchange
+    /// path used when the other side of the wire sent a full vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] when the dimensions differ.
+    fn merge_from_vector(&mut self, v: &VectorTime) -> Result<(), CoreError> {
+        let other = Self::from_vector(v)?;
+        self.try_merge_max(&other)
+    }
+
+    /// Full vector-order comparison (Equation 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (comparisons across dimensions are a
+    /// caller bug, exactly as for [`VectorTime::compare`]).
+    fn compare(&self, other: &Self) -> VectorOrder;
+
+    /// The dense interchange form. Stamps leave every backend as
+    /// [`VectorTime`]s, which is what keeps cross-backend outputs directly
+    /// comparable (and [`crate::MessageTimestamps`] backend-agnostic).
+    fn to_vector(&self) -> VectorTime;
+
+    /// Builds a clock from its dense interchange form.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionUnsupported`] when the backend cannot
+    /// represent `v.dim()` components.
+    fn from_vector(v: &VectorTime) -> Result<Self, CoreError>;
+
+    /// Serializes the clock in the crate's wire format
+    /// ([`crate::wire::encode_full`] of the interchange vector), so every
+    /// backend is bit-compatible on the wire.
+    fn encode_wire(&self) -> Vec<u8> {
+        crate::wire::encode_full(&self.to_vector())
+    }
+}
+
+/// The paper's plain dense vector — [`VectorTime`] itself, byte-identical
+/// to the pre-trait behavior.
+pub type DenseVec = VectorTime;
+
+impl Clock for VectorTime {
+    const NAME: &'static str = "dense";
+
+    fn try_zero(dim: usize) -> Result<Self, CoreError> {
+        Ok(VectorTime::zero(dim))
+    }
+
+    fn dim(&self) -> usize {
+        VectorTime::dim(self)
+    }
+
+    fn component(&self, idx: usize) -> u64 {
+        VectorTime::component(self, idx)
+    }
+
+    fn increment(&mut self, idx: usize) {
+        VectorTime::increment(self, idx);
+    }
+
+    fn try_merge_max(&mut self, other: &Self) -> Result<(), CoreError> {
+        VectorTime::merge_max(self, other)
+    }
+
+    fn merge_delta(&mut self, changes: &[(usize, u64)]) -> Result<(), CoreError> {
+        let dim = VectorTime::dim(self);
+        let slice = self.as_mut_slice();
+        for &(idx, value) in changes {
+            match slice.get_mut(idx) {
+                Some(c) => *c = (*c).max(value),
+                None => {
+                    return Err(CoreError::DimensionMismatch {
+                        expected: dim,
+                        got: idx + 1,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_from_vector(&mut self, v: &VectorTime) -> Result<(), CoreError> {
+        VectorTime::merge_max(self, v)
+    }
+
+    fn compare(&self, other: &Self) -> VectorOrder {
+        VectorTime::compare(self, other)
+    }
+
+    fn to_vector(&self) -> VectorTime {
+        self.clone()
+    }
+
+    fn from_vector(v: &VectorTime) -> Result<Self, CoreError> {
+        Ok(v.clone())
+    }
+}
+
+/// A clock stored as a segment tree over its components, with `(min, max)`
+/// summaries per node.
+///
+/// The summaries buy two things:
+///
+/// * **Delta merges are `O(k log N)`** — [`Clock::merge_delta`] touches
+///   only the root-to-leaf paths of the `k` changed components, never the
+///   other `N − k`. SK delta streams hand the runtime exactly that
+///   change-set, so the rendezvous hot path becomes sublinear in `N`.
+/// * **Full merges skip dominated subtrees** — a subtree where the
+///   incoming clock's `max` is at most this clock's `min` cannot change
+///   anything and is pruned in one comparison; comparisons prune the same
+///   way and exit as soon as both order flags are set.
+///
+/// Layout: a 1-indexed implicit binary tree with `base =
+/// dim.next_power_of_two()` leaves. Padding leaves hold the inverted pair
+/// `(min, max) = (u64::MAX, 0)`, which is neutral under summary combine
+/// and lets fully-padded subtrees be recognised (`min > max`) without
+/// span bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeClock {
+    dim: usize,
+    /// First leaf index; nodes `base..base + dim` are the components.
+    base: usize,
+    mins: Vec<u64>,
+    maxs: Vec<u64>,
+}
+
+impl TreeClock {
+    fn empty(dim: usize) -> Self {
+        let base = dim.next_power_of_two().max(1);
+        let mut clock = TreeClock {
+            dim,
+            base,
+            mins: vec![u64::MAX; 2 * base],
+            maxs: vec![0; 2 * base],
+        };
+        for leaf in 0..dim {
+            clock.mins[clock.base + leaf] = 0;
+        }
+        clock.rebuild();
+        clock
+    }
+
+    /// Recomputes every internal summary from the leaves.
+    fn rebuild(&mut self) {
+        for n in (1..self.base).rev() {
+            self.mins[n] = self.mins[2 * n].min(self.mins[2 * n + 1]);
+            self.maxs[n] = self.maxs[2 * n].max(self.maxs[2 * n + 1]);
+        }
+    }
+
+    /// Refreshes the summaries on the path from leaf `n` to the root.
+    fn update_path(&mut self, mut n: usize) {
+        n /= 2;
+        while n >= 1 {
+            self.mins[n] = self.mins[2 * n].min(self.mins[2 * n + 1]);
+            self.maxs[n] = self.maxs[2 * n].max(self.maxs[2 * n + 1]);
+            n /= 2;
+        }
+    }
+
+    /// `self[idx] := max(self[idx], value)`, updating summaries only when
+    /// the leaf actually moved.
+    ///
+    /// The ancestor walk exploits that only this one leaf changed: the new
+    /// parent `max` is `max(old, value)` directly (one compare, no child
+    /// loads), only `min` needs the sibling, and the walk stops at the
+    /// first ancestor whose summary is unchanged — every ancestor above it
+    /// is unchanged too. This is the hot path of `merge_delta`, the
+    /// sublinear merge the runtime feeds with SK change-sets.
+    fn raise(&mut self, idx: usize, value: u64) {
+        let mut n = self.base + idx;
+        if value <= self.maxs[n] {
+            return;
+        }
+        self.maxs[n] = value;
+        self.mins[n] = value;
+        // Walk up carrying this child's (already final) min, so each level
+        // loads only the sibling's — the raised leaf is the sole change
+        // below, which also makes `max(old, value)` the exact new summary.
+        let mut child_min = value;
+        while n > 1 {
+            let sibling_min = self.mins[n ^ 1];
+            n /= 2;
+            let min = child_min.min(sibling_min);
+            let max_moved = value > self.maxs[n];
+            if max_moved {
+                self.maxs[n] = value;
+            }
+            let min_moved = min != self.mins[n];
+            if min_moved {
+                self.mins[n] = min;
+            }
+            if !max_moved && !min_moved {
+                // An unchanged summary here means every ancestor's is
+                // unchanged too.
+                break;
+            }
+            child_min = min;
+        }
+    }
+
+    /// Merges `other`'s subtree rooted at `n` into this clock's, pruning
+    /// dominated and padded subtrees. Returns whether anything changed, so
+    /// parents only recompute summaries on a mutated path.
+    fn merge_node(&mut self, other: &TreeClock, n: usize) -> bool {
+        // A fully-padded subtree (inverted summary) has no real leaves.
+        if other.mins[n] > other.maxs[n] {
+            return false;
+        }
+        // Nothing in `other`'s span exceeds anything in ours: a no-op.
+        if other.maxs[n] <= self.mins[n] {
+            return false;
+        }
+        if n >= self.base {
+            let v = other.maxs[n];
+            if v > self.maxs[n] {
+                self.maxs[n] = v;
+                self.mins[n] = v;
+                return true;
+            }
+            return false;
+        }
+        let left = self.merge_node(other, 2 * n);
+        let right = self.merge_node(other, 2 * n + 1);
+        if left || right {
+            self.mins[n] = self.mins[2 * n].min(self.mins[2 * n + 1]);
+            self.maxs[n] = self.maxs[2 * n].max(self.maxs[2 * n + 1]);
+        }
+        left || right
+    }
+
+    /// Accumulates the vector-order flags over the subtree at `n`,
+    /// short-circuiting once both are set (the pair is concurrent).
+    fn compare_node(&self, other: &TreeClock, n: usize, less: &mut bool, greater: &mut bool) {
+        if (*less && *greater) || self.mins[n] > self.maxs[n] {
+            return;
+        }
+        if self.maxs[n] < other.mins[n] {
+            // Every component here is strictly below its counterpart.
+            *less = true;
+            return;
+        }
+        if self.mins[n] > other.maxs[n] {
+            *greater = true;
+            return;
+        }
+        if self.mins[n] == self.maxs[n] && other.mins[n] == other.maxs[n] {
+            // Both subtrees are uniform: one scalar comparison settles
+            // every leaf below (equal values settle to "no flag").
+            match self.mins[n].cmp(&other.mins[n]) {
+                Ordering::Less => *less = true,
+                Ordering::Greater => *greater = true,
+                Ordering::Equal => {}
+            }
+            return;
+        }
+        if n >= self.base {
+            match self.maxs[n].cmp(&other.maxs[n]) {
+                Ordering::Less => *less = true,
+                Ordering::Greater => *greater = true,
+                Ordering::Equal => {}
+            }
+            return;
+        }
+        self.compare_node(other, 2 * n, less, greater);
+        self.compare_node(other, 2 * n + 1, less, greater);
+    }
+}
+
+impl Clock for TreeClock {
+    const NAME: &'static str = "tree";
+
+    fn try_zero(dim: usize) -> Result<Self, CoreError> {
+        Ok(TreeClock::empty(dim))
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn component(&self, idx: usize) -> u64 {
+        assert!(
+            idx < self.dim,
+            "component {idx} out of range ({})",
+            self.dim
+        );
+        self.maxs[self.base + idx]
+    }
+
+    fn increment(&mut self, idx: usize) {
+        assert!(
+            idx < self.dim,
+            "component {idx} out of range ({})",
+            self.dim
+        );
+        let leaf = self.base + idx;
+        self.maxs[leaf] += 1;
+        self.mins[leaf] = self.maxs[leaf];
+        self.update_path(leaf);
+    }
+
+    fn try_merge_max(&mut self, other: &Self) -> Result<(), CoreError> {
+        if self.dim != other.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
+        }
+        self.merge_node(other, 1);
+        Ok(())
+    }
+
+    fn merge_delta(&mut self, changes: &[(usize, u64)]) -> Result<(), CoreError> {
+        for &(idx, value) in changes {
+            if idx >= self.dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: self.dim,
+                    got: idx + 1,
+                });
+            }
+            self.raise(idx, value);
+        }
+        Ok(())
+    }
+
+    fn merge_from_vector(&mut self, v: &VectorTime) -> Result<(), CoreError> {
+        if self.dim != v.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: v.dim(),
+            });
+        }
+        for (idx, &value) in v.as_slice().iter().enumerate() {
+            self.raise(idx, value);
+        }
+        Ok(())
+    }
+
+    fn compare(&self, other: &Self) -> VectorOrder {
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot compare clocks of dimensions {} and {}",
+            self.dim, other.dim
+        );
+        let (mut less, mut greater) = (false, false);
+        self.compare_node(other, 1, &mut less, &mut greater);
+        match (less, greater) {
+            (false, false) => VectorOrder::Equal,
+            (true, false) => VectorOrder::Less,
+            (false, true) => VectorOrder::Greater,
+            (true, true) => VectorOrder::Concurrent,
+        }
+    }
+
+    fn to_vector(&self) -> VectorTime {
+        VectorTime::from(self.maxs[self.base..self.base + self.dim].to_vec())
+    }
+
+    fn from_vector(v: &VectorTime) -> Result<Self, CoreError> {
+        let mut clock = TreeClock::empty(v.dim());
+        for (idx, &value) in v.as_slice().iter().enumerate() {
+            let leaf = clock.base + idx;
+            clock.maxs[leaf] = value;
+            clock.mins[leaf] = value;
+        }
+        clock.rebuild();
+        Ok(clock)
+    }
+}
+
+/// A clock inlined into a `[u64; K]`: the small-dimension fast path.
+///
+/// All merge/compare loops run over the full `K` lanes with no
+/// data-dependent trip count, which the compiler turns into straight-line
+/// SIMD; the unused lanes stay zero, so they are no-ops under max-merge
+/// and invisible to comparisons. Construction fails with a typed
+/// [`CoreError::DimensionUnsupported`] when `dim > K` — there is no
+/// truncating fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedArray<const K: usize> {
+    len: usize,
+    lanes: [u64; K],
+}
+
+/// The standard small-dimension backend: 16 lanes covers every topology
+/// with `d ≤ 16` (recall `d ≤ min(β(G), N − 2)` — most deployments).
+pub type FixedArray16 = FixedArray<16>;
+
+impl<const K: usize> Clock for FixedArray<K> {
+    const NAME: &'static str = "fixed";
+
+    fn try_zero(dim: usize) -> Result<Self, CoreError> {
+        if dim > K {
+            return Err(CoreError::DimensionUnsupported { dim, capacity: K });
+        }
+        Ok(FixedArray {
+            len: dim,
+            lanes: [0; K],
+        })
+    }
+
+    fn dim(&self) -> usize {
+        self.len
+    }
+
+    fn component(&self, idx: usize) -> u64 {
+        assert!(
+            idx < self.len,
+            "component {idx} out of range ({})",
+            self.len
+        );
+        self.lanes[idx]
+    }
+
+    fn increment(&mut self, idx: usize) {
+        assert!(
+            idx < self.len,
+            "component {idx} out of range ({})",
+            self.len
+        );
+        self.lanes[idx] += 1;
+    }
+
+    fn try_merge_max(&mut self, other: &Self) -> Result<(), CoreError> {
+        if self.len != other.len {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.len,
+                got: other.len,
+            });
+        }
+        // Fixed trip count over every lane: auto-vectorises, and the zero
+        // padding is inert under max.
+        for i in 0..K {
+            self.lanes[i] = self.lanes[i].max(other.lanes[i]);
+        }
+        Ok(())
+    }
+
+    fn merge_delta(&mut self, changes: &[(usize, u64)]) -> Result<(), CoreError> {
+        for &(idx, value) in changes {
+            if idx >= self.len {
+                return Err(CoreError::DimensionMismatch {
+                    expected: self.len,
+                    got: idx + 1,
+                });
+            }
+            self.lanes[idx] = self.lanes[idx].max(value);
+        }
+        Ok(())
+    }
+
+    fn merge_from_vector(&mut self, v: &VectorTime) -> Result<(), CoreError> {
+        if self.len != v.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.len,
+                got: v.dim(),
+            });
+        }
+        for (lane, &value) in self.lanes.iter_mut().zip(v.as_slice()) {
+            *lane = (*lane).max(value);
+        }
+        Ok(())
+    }
+
+    fn compare(&self, other: &Self) -> VectorOrder {
+        assert_eq!(
+            self.len, other.len,
+            "cannot compare clocks of dimensions {} and {}",
+            self.len, other.len
+        );
+        // Branchless flag accumulation over all K lanes (padding lanes are
+        // equal and contribute nothing).
+        let (mut less, mut greater) = (false, false);
+        for i in 0..K {
+            less |= self.lanes[i] < other.lanes[i];
+            greater |= self.lanes[i] > other.lanes[i];
+        }
+        match (less, greater) {
+            (false, false) => VectorOrder::Equal,
+            (true, false) => VectorOrder::Less,
+            (false, true) => VectorOrder::Greater,
+            (true, true) => VectorOrder::Concurrent,
+        }
+    }
+
+    fn to_vector(&self) -> VectorTime {
+        VectorTime::from(self.lanes[..self.len].to_vec())
+    }
+
+    fn from_vector(v: &VectorTime) -> Result<Self, CoreError> {
+        let mut clock = Self::try_zero(v.dim())?;
+        clock.lanes[..v.dim()].copy_from_slice(v.as_slice());
+        Ok(clock)
+    }
+}
+
+/// A runtime-selectable clock backend, as named on the command line
+/// (`--clock dense|tree|fixed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockBackend {
+    /// Pick automatically: [`FixedArray16`] when the dimension fits its
+    /// lanes, [`DenseVec`] otherwise. The default.
+    #[default]
+    Auto,
+    /// [`DenseVec`] — the plain vector.
+    Dense,
+    /// [`TreeClock`] — sublinear delta merges.
+    Tree,
+    /// [`FixedArray16`] — the small-dimension SIMD-friendly path.
+    Fixed,
+}
+
+impl ClockBackend {
+    /// Lane count of the [`ClockBackend::Fixed`] backend.
+    pub const FIXED_CAPACITY: usize = 16;
+
+    /// Resolves the selection against a concrete dimension: `Auto` picks
+    /// the fixed-array path exactly when the dimension fits. Never
+    /// returns `Auto`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionUnsupported`] when `Fixed` was explicitly
+    /// requested for a dimension beyond [`ClockBackend::FIXED_CAPACITY`].
+    pub fn resolve(self, dim: usize) -> Result<ClockBackend, CoreError> {
+        match self {
+            ClockBackend::Auto => Ok(if dim <= Self::FIXED_CAPACITY {
+                ClockBackend::Fixed
+            } else {
+                ClockBackend::Dense
+            }),
+            ClockBackend::Fixed if dim > Self::FIXED_CAPACITY => {
+                Err(CoreError::DimensionUnsupported {
+                    dim,
+                    capacity: Self::FIXED_CAPACITY,
+                })
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+impl FromStr for ClockBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ClockBackend::Auto),
+            "dense" => Ok(ClockBackend::Dense),
+            "tree" => Ok(ClockBackend::Tree),
+            "fixed" => Ok(ClockBackend::Fixed),
+            other => Err(format!(
+                "unknown clock backend `{other}` (auto|dense|tree|fixed)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ClockBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClockBackend::Auto => "auto",
+            ClockBackend::Dense => DenseVec::NAME,
+            ClockBackend::Tree => TreeClock::NAME,
+            ClockBackend::Fixed => FixedArray16::NAME,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one backend through a deterministic op mix and checks it
+    /// against the dense reference after every operation.
+    fn differential_ops<C: Clock>(dim: usize) {
+        let mut reference = VectorTime::zero(dim);
+        let mut clock = C::try_zero(dim).unwrap();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..400 {
+            match rng() % 4 {
+                0 => {
+                    let idx = (rng() % dim as u64) as usize;
+                    reference.increment(idx);
+                    clock.increment(idx);
+                }
+                1 => {
+                    // Full merge with a random same-dimension vector.
+                    let other: Vec<u64> = (0..dim).map(|_| rng() % 50).collect();
+                    let other = VectorTime::from(other);
+                    reference.merge_max(&other).unwrap();
+                    clock.merge_from_vector(&other).unwrap();
+                }
+                2 => {
+                    // Sparse delta change-set.
+                    let k = (rng() % 4) as usize;
+                    let changes: Vec<(usize, u64)> = (0..k)
+                        .map(|_| ((rng() % dim as u64) as usize, rng() % 60))
+                        .collect();
+                    <VectorTime as Clock>::merge_delta(&mut reference, &changes).unwrap();
+                    clock.merge_delta(&changes).unwrap();
+                }
+                _ => {
+                    // Backend-native merge of a random clock.
+                    let other: Vec<u64> = (0..dim).map(|_| rng() % 50).collect();
+                    let other = VectorTime::from(other);
+                    let backend_other = C::from_vector(&other).unwrap();
+                    let expected = {
+                        let mut r = reference.clone();
+                        r.merge_max(&other).unwrap();
+                        r
+                    };
+                    reference = expected;
+                    clock.try_merge_max(&backend_other).unwrap();
+                }
+            }
+            assert_eq!(clock.to_vector(), reference, "step {step} diverged");
+            assert_eq!(clock.dim(), dim);
+            // Compare against a perturbed copy in both directions.
+            let perturbed = {
+                let mut p = reference.clone();
+                if dim > 0 {
+                    p.increment((rng() % dim as u64) as usize);
+                }
+                p
+            };
+            let backend_perturbed = C::from_vector(&perturbed).unwrap();
+            assert_eq!(
+                clock.compare(&backend_perturbed),
+                reference.compare(&perturbed)
+            );
+            assert_eq!(
+                backend_perturbed.compare(&clock),
+                perturbed.compare(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_matches_dense_reference() {
+        for dim in [1, 2, 3, 7, 16, 33] {
+            differential_ops::<TreeClock>(dim);
+        }
+    }
+
+    #[test]
+    fn fixed_matches_dense_reference() {
+        for dim in [1, 2, 3, 7, 16] {
+            differential_ops::<FixedArray16>(dim);
+        }
+    }
+
+    #[test]
+    fn dense_trait_impl_matches_inherent() {
+        differential_ops::<DenseVec>(5);
+    }
+
+    #[test]
+    fn zero_dimension_clocks_work() {
+        let mut t = TreeClock::try_zero(0).unwrap();
+        let f = FixedArray16::try_zero(0).unwrap();
+        assert_eq!(t.to_vector(), VectorTime::zero(0));
+        assert_eq!(f.to_vector(), VectorTime::zero(0));
+        assert_eq!(t.compare(&t.clone()), VectorOrder::Equal);
+        t.merge_delta(&[]).unwrap();
+    }
+
+    #[test]
+    fn fixed_rejects_oversized_dimension() {
+        assert_eq!(
+            FixedArray16::try_zero(17),
+            Err(CoreError::DimensionUnsupported {
+                dim: 17,
+                capacity: 16
+            })
+        );
+        assert!(FixedArray16::from_vector(&VectorTime::zero(20)).is_err());
+    }
+
+    #[test]
+    fn merges_reject_dimension_mismatch_typed() {
+        let mut t = TreeClock::try_zero(3).unwrap();
+        let other = TreeClock::try_zero(4).unwrap();
+        assert_eq!(
+            t.try_merge_max(&other),
+            Err(CoreError::DimensionMismatch {
+                expected: 3,
+                got: 4
+            })
+        );
+        assert!(t.merge_from_vector(&VectorTime::zero(4)).is_err());
+        assert!(t.merge_delta(&[(3, 1)]).is_err());
+        let mut f = FixedArray16::try_zero(2).unwrap();
+        assert!(f
+            .try_merge_max(&FixedArray16::try_zero(3).unwrap())
+            .is_err());
+        assert!(f.merge_delta(&[(2, 1)]).is_err());
+        assert!(f.merge_from_vector(&VectorTime::zero(5)).is_err());
+    }
+
+    #[test]
+    fn tree_prunes_but_stays_exact_on_adversarial_shapes() {
+        // A spiky vector (one huge component) against a flat one exercises
+        // the dominated-subtree prune in both directions.
+        let mut spiky = vec![0u64; 33];
+        spiky[17] = 1_000;
+        let flat = vec![3u64; 33];
+        let mut a = TreeClock::from_vector(&VectorTime::from(spiky.clone())).unwrap();
+        let b = TreeClock::from_vector(&VectorTime::from(flat.clone())).unwrap();
+        assert_eq!(a.compare(&b), VectorOrder::Concurrent);
+        a.try_merge_max(&b).unwrap();
+        let mut expected = VectorTime::from(spiky);
+        expected.merge_max(&VectorTime::from(flat)).unwrap();
+        assert_eq!(a.to_vector(), expected);
+    }
+
+    #[test]
+    fn wire_encoding_is_backend_invariant() {
+        let v = VectorTime::from(vec![4, 0, 700, 2]);
+        let dense_bytes = crate::wire::encode_full(&v);
+        assert_eq!(
+            TreeClock::from_vector(&v).unwrap().encode_wire(),
+            dense_bytes
+        );
+        assert_eq!(
+            FixedArray16::from_vector(&v).unwrap().encode_wire(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn backend_selection_resolves() {
+        assert_eq!(ClockBackend::Auto.resolve(8).unwrap(), ClockBackend::Fixed);
+        assert_eq!(ClockBackend::Auto.resolve(17).unwrap(), ClockBackend::Dense);
+        assert_eq!(
+            ClockBackend::Tree.resolve(1_000).unwrap(),
+            ClockBackend::Tree
+        );
+        assert!(ClockBackend::Fixed.resolve(17).is_err());
+        assert_eq!("tree".parse::<ClockBackend>().unwrap(), ClockBackend::Tree);
+        assert!("vector".parse::<ClockBackend>().is_err());
+        assert_eq!(ClockBackend::Fixed.to_string(), "fixed");
+    }
+}

@@ -21,13 +21,24 @@ pub enum CoreError {
         /// The number of processes the stamper was prepared for.
         process_count: usize,
     },
-    /// A reconfiguration's group remap did not line up with the session's
-    /// current dimension or the new decomposition's size.
+    /// Two clocks of different dimensions met where one dimension was
+    /// required: a merge, a delta application, or a reconfiguration remap
+    /// whose domain/codomain disagreed with the session. Proceeding would
+    /// silently truncate causal history, so the operation is refused.
     DimensionMismatch {
-        /// The dimension the remap had to match.
+        /// The dimension the operation had to match.
         expected: usize,
-        /// The dimension it actually described.
+        /// The dimension it actually saw.
         got: usize,
+    },
+    /// A clock backend cannot represent the requested dimension (e.g. the
+    /// fixed-array backend asked to hold more components than it has
+    /// lanes). Pick a wider backend; nothing truncates.
+    DimensionUnsupported {
+        /// The dimension that was requested.
+        dim: usize,
+        /// The backend's maximum dimension.
+        capacity: usize,
     },
 }
 
@@ -47,9 +58,12 @@ impl fmt::Display for CoreError {
                 write!(f, "process {process} out of range ({process_count} clocks)")
             }
             CoreError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            CoreError::DimensionUnsupported { dim, capacity } => {
                 write!(
                     f,
-                    "group remap dimension mismatch: expected {expected}, got {got}"
+                    "clock backend holds at most {capacity} components, {dim} requested"
                 )
             }
         }

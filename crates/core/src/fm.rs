@@ -28,7 +28,8 @@ pub fn stamp_messages(computation: &SyncComputation) -> MessageTimestamps {
     let mut stamps = Vec::with_capacity(computation.message_count());
     for m in computation.messages() {
         let mut v = clocks[m.sender].clone();
-        v.merge_max(&clocks[m.receiver]);
+        v.merge_max(&clocks[m.receiver])
+            .expect("all Fidge–Mattern clocks share dimension N");
         v.increment(m.sender);
         v.increment(m.receiver);
         clocks[m.sender] = v.clone();
@@ -120,7 +121,8 @@ pub fn stamp_events(computation: &SyncComputation) -> EventClocks {
         flush_internals(m.sender, se.index, &mut clocks, &mut stamps, &mut cursor);
         flush_internals(m.receiver, re.index, &mut clocks, &mut stamps, &mut cursor);
         let mut v = clocks[m.sender].clone();
-        v.merge_max(&clocks[m.receiver]);
+        v.merge_max(&clocks[m.receiver])
+            .expect("all Fidge–Mattern clocks share dimension N");
         v.increment(m.sender);
         v.increment(m.receiver);
         clocks[m.sender] = v.clone();

@@ -36,6 +36,12 @@
 //! dependencies with offline tracing), and [`wire`] (varint wire encodings
 //! including the Singhal–Kshemkalyani differential technique).
 //!
+//! The clock *representation* is pluggable: the [`clock`] module defines
+//! the [`Clock`] trait with three backends — [`DenseVec`] (a plain
+//! vector), [`TreeClock`] (sublinear delta merges), and [`FixedArray`]
+//! (fixed-lane fast path for small dimensions) — all producing identical
+//! stamps.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -66,6 +72,7 @@
 mod error;
 mod vector;
 
+pub mod clock;
 pub mod events;
 pub mod fm;
 pub mod fz;
@@ -75,5 +82,6 @@ pub mod online;
 pub mod plausible;
 pub mod wire;
 
+pub use clock::{Clock, ClockBackend, DenseVec, FixedArray, FixedArray16, TreeClock};
 pub use error::CoreError;
 pub use vector::{MessageTimestamps, VectorOrder, VectorTime};

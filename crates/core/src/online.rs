@@ -13,20 +13,28 @@
 //! Both sides end with the identical vector, which *is* the message's
 //! timestamp. Theorem 4 shows `m1 ↦ m2 ⟺ v(m1) < v(m2)`.
 //!
+//! The protocol is generic over the clock representation (the
+//! [`Clock`] trait): [`GenericProcessClock`] and [`GenericOnlineSession`]
+//! run the very same Figure 5 steps on any backend, and the aliases
+//! [`ProcessClock`] / [`OnlineSession`] pin the default dense vector.
+//!
 //! Two entry points:
 //!
 //! * [`ProcessClock`] — one endpoint of the protocol, message by message;
 //!   this is what a real runtime (see `synctime-runtime`) embeds, with the
 //!   vectors physically piggybacked on program messages and acks.
 //! * [`OnlineStamper`] — stamps a whole recorded [`SyncComputation`] in
-//!   rendezvous order.
+//!   rendezvous order. [`stamp_computation_as`] is the backend-generic
+//!   equivalent.
 
 use synctime_graph::{Edge, EdgeDecomposition, GroupRemap};
 use synctime_trace::SyncComputation;
 
+use crate::clock::{Clock, DenseVec};
 use crate::{CoreError, MessageTimestamps, VectorTime};
 
-/// One process's local vector clock and its half of the Figure 5 protocol.
+/// One process's local clock and its half of the Figure 5 protocol,
+/// generic over the [`Clock`] backend.
 ///
 /// ```
 /// use synctime_core::online::ProcessClock;
@@ -35,58 +43,144 @@ use crate::{CoreError, MessageTimestamps, VectorTime};
 /// let mut receiver = ProcessClock::new(2);
 /// // Sender piggybacks its vector; channel lies in edge group 1.
 /// let payload = sender.send_payload();
-/// let (ack, t_recv) = receiver.on_receive(&payload, 1);
-/// let t_send = sender.on_acknowledgement(&ack, 1);
+/// let (ack, t_recv) = receiver.on_receive(&payload, 1)?;
+/// let t_send = sender.on_acknowledgement(&ack, 1)?;
 /// assert_eq!(t_send, t_recv); // both sides agree on the timestamp
+/// # Ok::<(), synctime_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProcessClock {
-    vector: VectorTime,
+pub struct GenericProcessClock<C: Clock> {
+    vector: C,
 }
 
-impl ProcessClock {
+/// The default dense-vector process clock (see [`GenericProcessClock`]).
+pub type ProcessClock = GenericProcessClock<DenseVec>;
+
+impl<C: Clock> From<C> for GenericProcessClock<C> {
+    /// Wraps an existing clock value as a process clock — infallible entry
+    /// point for callers that already hold a validated clock.
+    fn from(vector: C) -> Self {
+        GenericProcessClock { vector }
+    }
+}
+
+impl<C: Clock> GenericProcessClock<C> {
     /// A fresh clock of dimension `dim`, initially all zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionUnsupported`] when the backend cannot hold
+    /// `dim` components.
+    pub fn try_new(dim: usize) -> Result<Self, CoreError> {
+        Ok(GenericProcessClock {
+            vector: C::try_zero(dim)?,
+        })
+    }
+
+    /// A fresh clock of dimension `dim`, initially all zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend cannot hold `dim` components (see
+    /// [`GenericProcessClock::try_new`] for the fallible form). The
+    /// default dense backend supports every dimension.
     pub fn new(dim: usize) -> Self {
-        ProcessClock {
-            vector: VectorTime::zero(dim),
+        match Self::try_new(dim) {
+            Ok(clock) => clock,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// The current local vector.
-    pub fn current(&self) -> &VectorTime {
+    /// The current local clock.
+    pub fn current(&self) -> &C {
         &self.vector
     }
 
-    /// The vector to piggyback on an outgoing message (line 02).
-    pub fn send_payload(&self) -> VectorTime {
+    /// The current local clock in dense interchange form.
+    pub fn current_vector(&self) -> VectorTime {
+        self.vector.to_vector()
+    }
+
+    /// The clock to piggyback on an outgoing message (line 02).
+    pub fn send_payload(&self) -> C {
         self.vector.clone()
     }
 
     /// Handles an incoming message whose channel lies in edge group
     /// `group`: returns the acknowledgement payload (the *pre-update*
-    /// local vector, line 04) and the message's timestamp (lines 05–07).
+    /// local clock, line 04) and the message's timestamp (lines 05–07).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the payload dimension differs from this clock's.
-    pub fn on_receive(&mut self, payload: &VectorTime, group: usize) -> (VectorTime, VectorTime) {
+    /// [`CoreError::DimensionMismatch`] if the payload dimension differs
+    /// from this clock's; the clock is left unchanged.
+    pub fn on_receive(&mut self, payload: &C, group: usize) -> Result<(C, C), CoreError> {
         let ack = self.vector.clone();
-        self.vector.merge_max(payload);
+        self.vector.try_merge_max(payload)?;
         self.vector.increment(group);
-        (ack, self.vector.clone())
+        Ok((ack, self.vector.clone()))
     }
 
     /// Handles the acknowledgement of a message this process sent over a
     /// channel in edge group `group`: returns the message's timestamp
     /// (lines 09–11).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the acknowledgement dimension differs from this clock's.
-    pub fn on_acknowledgement(&mut self, ack: &VectorTime, group: usize) -> VectorTime {
-        self.vector.merge_max(ack);
+    /// [`CoreError::DimensionMismatch`] if the acknowledgement dimension
+    /// differs from this clock's; the clock is left unchanged.
+    pub fn on_acknowledgement(&mut self, ack: &C, group: usize) -> Result<C, CoreError> {
+        self.vector.try_merge_max(ack)?;
         self.vector.increment(group);
-        self.vector.clone()
+        Ok(self.vector.clone())
+    }
+
+    /// Wire-facing [`GenericProcessClock::on_receive`]: the payload
+    /// arrives in dense interchange form, optionally accompanied by the
+    /// Singhal–Kshemkalyani change-set the stream decoder recovered. With
+    /// a change-set the merge is delta-driven — sublinear for backends
+    /// like [`crate::clock::TreeClock`] — sound because every earlier
+    /// frame of a FIFO stream was already merged into this clock.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] as for
+    /// [`GenericProcessClock::on_receive`].
+    pub fn on_receive_interchange(
+        &mut self,
+        payload: &VectorTime,
+        changes: Option<&[(usize, u64)]>,
+        group: usize,
+    ) -> Result<(VectorTime, VectorTime), CoreError> {
+        let ack = self.vector.to_vector();
+        match changes {
+            Some(changes) => self.vector.merge_delta(changes)?,
+            None => self.vector.merge_from_vector(payload)?,
+        }
+        self.vector.increment(group);
+        Ok((ack, self.vector.to_vector()))
+    }
+
+    /// Wire-facing [`GenericProcessClock::on_acknowledgement`]; see
+    /// [`GenericProcessClock::on_receive_interchange`] for the change-set
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] as for
+    /// [`GenericProcessClock::on_acknowledgement`].
+    pub fn on_acknowledgement_interchange(
+        &mut self,
+        ack: &VectorTime,
+        changes: Option<&[(usize, u64)]>,
+        group: usize,
+    ) -> Result<VectorTime, CoreError> {
+        match changes {
+            Some(changes) => self.vector.merge_delta(changes)?,
+            None => self.vector.merge_from_vector(ack)?,
+        }
+        self.vector.increment(group);
+        Ok(self.vector.to_vector())
     }
 
     /// Rebases this clock after the edge decomposition was edited in place
@@ -104,23 +198,26 @@ impl ProcessClock {
     /// newer ones unless the remap [is the
     /// identity](synctime_graph::GroupRemap::is_identity).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the remap's domain differs from this clock's dimension or
-    /// maps a group outside the new dimension.
-    pub fn remap(&mut self, remap: &GroupRemap) {
-        assert_eq!(
-            remap.old_to_new.len(),
-            self.vector.dim(),
-            "remap domain must match the clock dimension"
-        );
+    /// [`CoreError::DimensionMismatch`] if the remap's domain differs from
+    /// this clock's dimension, or [`CoreError::DimensionUnsupported`] if
+    /// the backend cannot hold the new dimension.
+    pub fn remap(&mut self, remap: &GroupRemap) -> Result<(), CoreError> {
+        if remap.old_to_new.len() != self.vector.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.vector.dim(),
+                got: remap.old_to_new.len(),
+            });
+        }
         let mut fresh = vec![0u64; remap.new_len];
         for (old, target) in remap.old_to_new.iter().enumerate() {
             if let Some(new) = target {
                 fresh[*new] = self.vector.component(old);
             }
         }
-        self.vector = VectorTime::from(fresh);
+        self.vector = C::from_vector(&VectorTime::from(fresh))?;
+        Ok(())
     }
 }
 
@@ -160,18 +257,39 @@ impl OnlineStamper {
         &self,
         computation: &SyncComputation,
     ) -> Result<MessageTimestamps, CoreError> {
-        let mut session = OnlineSession::new(&self.decomposition, computation.process_count());
-        let mut stamps = Vec::with_capacity(computation.message_count());
-        for m in computation.messages() {
-            stamps.push(session.stamp(m.sender, m.receiver)?);
-        }
-        Ok(MessageTimestamps::new(stamps))
+        stamp_computation_as::<DenseVec>(&self.decomposition, computation)
     }
 }
 
+/// Runs the Figure 5 protocol over `computation` with clock backend `C`
+/// and returns the per-message timestamps in dense interchange form.
+///
+/// Every backend produces the same stamps — the protocol is deterministic
+/// component arithmetic — which is what the cross-backend differential
+/// battery checks end to end.
+///
+/// # Errors
+///
+/// [`CoreError::ChannelNotInDecomposition`] if a message uses a channel
+/// outside the decomposition; [`CoreError::DimensionUnsupported`] if the
+/// backend cannot hold the decomposition's dimension.
+pub fn stamp_computation_as<C: Clock>(
+    decomposition: &EdgeDecomposition,
+    computation: &SyncComputation,
+) -> Result<MessageTimestamps, CoreError> {
+    let mut session =
+        GenericOnlineSession::<C>::try_new(decomposition, computation.process_count())?;
+    let mut stamps = Vec::with_capacity(computation.message_count());
+    for m in computation.messages() {
+        stamps.push(session.stamp(m.sender, m.receiver)?);
+    }
+    Ok(MessageTimestamps::new(stamps))
+}
+
 /// An incremental stamping session: the clocks of all `n` processes, fed
-/// one rendezvous at a time. [`OnlineStamper::stamp_computation`] is a
-/// convenience wrapper around this.
+/// one rendezvous at a time, generic over the [`Clock`] backend.
+/// [`OnlineStamper::stamp_computation`] is a convenience wrapper around
+/// the dense alias [`OnlineSession`].
 ///
 /// ```
 /// use synctime_core::online::OnlineSession;
@@ -186,19 +304,45 @@ impl OnlineStamper {
 /// # Ok::<(), synctime_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct OnlineSession {
+pub struct GenericOnlineSession<C: Clock> {
     decomposition: EdgeDecomposition,
-    clocks: Vec<ProcessClock>,
+    clocks: Vec<GenericProcessClock<C>>,
     stamped: usize,
 }
 
-impl OnlineSession {
+/// The default dense-vector session (see [`GenericOnlineSession`]).
+pub type OnlineSession = GenericOnlineSession<DenseVec>;
+
+impl<C: Clock> GenericOnlineSession<C> {
     /// Starts a session for `process_count` processes.
-    pub fn new(decomposition: &EdgeDecomposition, process_count: usize) -> Self {
-        OnlineSession {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionUnsupported`] when the backend cannot hold
+    /// the decomposition's dimension.
+    pub fn try_new(
+        decomposition: &EdgeDecomposition,
+        process_count: usize,
+    ) -> Result<Self, CoreError> {
+        let clock = GenericProcessClock::<C>::try_new(decomposition.len())?;
+        Ok(GenericOnlineSession {
             decomposition: decomposition.clone(),
-            clocks: vec![ProcessClock::new(decomposition.len()); process_count],
+            clocks: vec![clock; process_count],
             stamped: 0,
+        })
+    }
+
+    /// Starts a session for `process_count` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend cannot hold the decomposition's dimension
+    /// (see [`GenericOnlineSession::try_new`]); the default dense backend
+    /// supports every dimension.
+    pub fn new(decomposition: &EdgeDecomposition, process_count: usize) -> Self {
+        match Self::try_new(decomposition, process_count) {
+            Ok(session) => session,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -212,7 +356,7 @@ impl OnlineSession {
     /// # Errors
     ///
     /// Returns [`CoreError::ProcessOutOfRange`] for a bad id.
-    pub fn clock(&self, process: usize) -> Result<&ProcessClock, CoreError> {
+    pub fn clock(&self, process: usize) -> Result<&GenericProcessClock<C>, CoreError> {
         self.clocks
             .get(process)
             .ok_or(CoreError::ProcessOutOfRange {
@@ -229,8 +373,9 @@ impl OnlineSession {
     ///
     /// [`EdgeDecomposition::extend_star`]: synctime_graph::EdgeDecomposition::extend_star
     pub fn add_process(&mut self) -> usize {
-        self.clocks
-            .push(ProcessClock::new(self.decomposition.len()));
+        let clock = GenericProcessClock::<C>::try_new(self.decomposition.len())
+            .expect("session dimension was validated at construction");
+        self.clocks.push(clock);
         self.clocks.len() - 1
     }
 
@@ -253,18 +398,20 @@ impl OnlineSession {
     /// Switches the session to a reconfigured decomposition whose group ids
     /// shifted per `remap` (as reported by
     /// [`synctime_graph::IncrementalDecomposition`]'s edits), rebasing every
-    /// process clock with [`ProcessClock::remap`].
+    /// process clock with [`GenericProcessClock::remap`].
     ///
     /// After this call the session stamps against `decomposition`;
     /// timestamps issued before the call are comparable with later ones only
     /// if the remap [is the identity](GroupRemap::is_identity) (see
-    /// [`ProcessClock::remap`] for why later stamps remain mutually sound).
+    /// [`GenericProcessClock::remap`] for why later stamps remain mutually
+    /// sound).
     ///
     /// # Errors
     ///
     /// [`CoreError::DimensionMismatch`] if the remap's domain is not the
     /// session's current dimension or its codomain is not the new
-    /// decomposition's size.
+    /// decomposition's size; [`CoreError::DimensionUnsupported`] if the
+    /// backend cannot hold the new dimension.
     pub fn reconfigure(
         &mut self,
         decomposition: &EdgeDecomposition,
@@ -283,14 +430,15 @@ impl OnlineSession {
             });
         }
         for clock in &mut self.clocks {
-            clock.remap(remap);
+            clock.remap(remap)?;
         }
         self.decomposition = decomposition.clone();
         Ok(())
     }
 
     /// Performs one rendezvous (message + acknowledgement) between
-    /// `sender` and `receiver` and returns the message's timestamp.
+    /// `sender` and `receiver` and returns the message's timestamp in
+    /// dense interchange form.
     ///
     /// # Errors
     ///
@@ -312,11 +460,11 @@ impl OnlineSession {
             .group_of(edge)
             .ok_or(CoreError::ChannelNotInDecomposition { edge })?;
         let payload = self.clocks[sender].send_payload();
-        let (ack, t_recv) = self.clocks[receiver].on_receive(&payload, group);
-        let t_send = self.clocks[sender].on_acknowledgement(&ack, group);
+        let (ack, t_recv) = self.clocks[receiver].on_receive(&payload, group)?;
+        let t_send = self.clocks[sender].on_acknowledgement(&ack, group)?;
         debug_assert_eq!(t_send, t_recv, "protocol endpoints must agree");
         self.stamped += 1;
-        Ok(t_send)
+        Ok(t_send.to_vector())
     }
 }
 
@@ -338,6 +486,7 @@ pub fn stamp_with_topology(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::{FixedArray16, TreeClock};
     use synctime_graph::{decompose, topology};
     use synctime_trace::examples::{figure6, figure6_decomposition};
     use synctime_trace::{Builder, MessageId, Oracle};
@@ -370,6 +519,15 @@ mod tests {
         }
         // And the timestamps encode the poset (Theorem 4).
         assert!(stamps.encodes(&Oracle::new(&comp)));
+        // Every backend reproduces the walkthrough bit for bit.
+        for stamps in [
+            stamp_computation_as::<TreeClock>(&dec, &comp).unwrap(),
+            stamp_computation_as::<FixedArray16>(&dec, &comp).unwrap(),
+        ] {
+            for (i, exp) in expected.iter().enumerate() {
+                assert_eq!(stamps.vector(MessageId(i)).as_slice(), exp.as_slice());
+            }
+        }
     }
 
     #[test]
@@ -377,11 +535,46 @@ mod tests {
         let mut a = ProcessClock::new(3);
         let mut b = ProcessClock::new(3);
         let payload = a.send_payload();
-        let (ack, tr) = b.on_receive(&payload, 2);
-        let ts = a.on_acknowledgement(&ack, 2);
+        let (ack, tr) = b.on_receive(&payload, 2).unwrap();
+        let ts = a.on_acknowledgement(&ack, 2).unwrap();
         assert_eq!(tr, ts);
         assert_eq!(a.current(), b.current());
         assert_eq!(ts.as_slice(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn protocol_rejects_mismatched_payloads() {
+        let mut clock = ProcessClock::new(2);
+        let before = clock.current().clone();
+        assert!(clock.on_receive(&VectorTime::zero(3), 0).is_err());
+        assert!(clock.on_acknowledgement(&VectorTime::zero(5), 0).is_err());
+        // A refused merge leaves the clock untouched.
+        assert_eq!(clock.current(), &before);
+    }
+
+    #[test]
+    fn interchange_paths_match_native_protocol() {
+        // The wire-facing delta path and the native path produce the same
+        // stamps on every backend.
+        let mut native = GenericProcessClock::<TreeClock>::try_new(4).unwrap();
+        let mut wire = GenericProcessClock::<TreeClock>::try_new(4).unwrap();
+        let payload = VectorTime::from(vec![2, 0, 1, 0]);
+        let (ack_n, stamp_n) = native
+            .on_receive(&TreeClock::from_vector(&payload).unwrap(), 1)
+            .unwrap();
+        // The change-set names exactly the nonzero components.
+        let (ack_w, stamp_w) = wire
+            .on_receive_interchange(&payload, Some(&[(0, 2), (2, 1)]), 1)
+            .unwrap();
+        assert_eq!(ack_n.to_vector(), ack_w);
+        assert_eq!(stamp_n.to_vector(), stamp_w);
+        let t_n = native
+            .on_acknowledgement(&TreeClock::from_vector(&payload).unwrap(), 0)
+            .unwrap();
+        let t_w = wire
+            .on_acknowledgement_interchange(&payload, None, 0)
+            .unwrap();
+        assert_eq!(t_n.to_vector(), t_w);
     }
 
     #[test]
@@ -390,7 +583,7 @@ mod tests {
         // the max/increment. If it carried the post-update vector the
         // sender would double-increment.
         let mut receiver = ProcessClock::new(1);
-        let (ack, stamp) = receiver.on_receive(&VectorTime::zero(1), 0);
+        let (ack, stamp) = receiver.on_receive(&VectorTime::zero(1), 0).unwrap();
         assert_eq!(ack.as_slice(), &[0]);
         assert_eq!(stamp.as_slice(), &[1]);
     }
@@ -444,6 +637,16 @@ mod tests {
     }
 
     #[test]
+    fn fixed_backend_session_rejects_wide_decompositions() {
+        // complete:20 decomposes to d = 18 > 16 lanes: typed error, no
+        // truncation.
+        let dec = decompose::best_known(&topology::complete(20));
+        assert!(dec.len() > 16);
+        let err = GenericOnlineSession::<FixedArray16>::try_new(&dec, 20).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionUnsupported { .. }));
+    }
+
+    #[test]
     fn incremental_session_matches_batch() {
         let topo = topology::complete(4);
         let dec = decompose::best_known(&topo);
@@ -455,9 +658,11 @@ mod tests {
         let comp = b.build();
         let batch = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
         let mut session = OnlineSession::new(&dec, 4);
+        let mut tree = GenericOnlineSession::<TreeClock>::try_new(&dec, 4).unwrap();
         for (i, (s, r)) in pairs.iter().enumerate() {
             let t = session.stamp(*s, *r).unwrap();
             assert_eq!(&t, batch.vector(MessageId(i)));
+            assert_eq!(tree.stamp(*s, *r).unwrap(), t);
         }
         assert_eq!(session.stamped(), pairs.len());
     }
@@ -468,15 +673,19 @@ mod tests {
         // Drive the clock to (2, 1, 3).
         for (group, times) in [(0usize, 2usize), (1, 1), (2, 3)] {
             for _ in 0..times {
-                clock.on_acknowledgement(&VectorTime::zero(3), group);
+                clock
+                    .on_acknowledgement(&VectorTime::zero(3), group)
+                    .unwrap();
             }
         }
         assert_eq!(clock.current().as_slice(), &[2, 1, 3]);
         // Group 1 dissolves, groups 0 and 2 swap, one fresh group appears.
-        clock.remap(&GroupRemap {
-            old_to_new: vec![Some(2), None, Some(0)],
-            new_len: 4,
-        });
+        clock
+            .remap(&GroupRemap {
+                old_to_new: vec![Some(2), None, Some(0)],
+                new_len: 4,
+            })
+            .unwrap();
         assert_eq!(clock.current().as_slice(), &[3, 0, 2, 0]);
     }
 

@@ -66,7 +66,8 @@ pub fn stamp_messages_with_mapping(
     let mut stamps = Vec::with_capacity(computation.message_count());
     for m in computation.messages() {
         let mut v = clocks[m.sender].clone();
-        v.merge_max(&clocks[m.receiver]);
+        v.merge_max(&clocks[m.receiver])
+            .expect("all plausible clocks share one entry count");
         let (ei, ej) = (mapping[m.sender], mapping[m.receiver]);
         v.increment(ei);
         if ej != ei {

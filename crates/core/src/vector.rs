@@ -4,6 +4,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use synctime_trace::MessageId;
 
+use crate::CoreError;
+
 /// The outcome of comparing two vector timestamps under *vector order*
 /// (Equation 2 of the paper): `u < v` iff `u[k] ≤ v[k]` for all `k` and
 /// `u[j] < v[j]` for some `j`.
@@ -60,6 +62,14 @@ impl VectorTime {
         &self.components
     }
 
+    /// The components as a mutable slice — for the in-crate [`Clock`]
+    /// backend implementation only.
+    ///
+    /// [`Clock`]: crate::clock::Clock
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u64] {
+        &mut self.components
+    }
+
     /// One component.
     ///
     /// # Panics
@@ -71,20 +81,23 @@ impl VectorTime {
 
     /// Component-wise maximum with `other` (lines 5 and 9 of Figure 5).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on dimension mismatch.
-    pub fn merge_max(&mut self, other: &VectorTime) {
-        assert_eq!(
-            self.dim(),
-            other.dim(),
-            "cannot merge vectors of dimensions {} and {}",
-            self.dim(),
-            other.dim()
-        );
+    /// [`CoreError::DimensionMismatch`] on a dimension mismatch, with the
+    /// vector left unchanged — merging differently-sized vectors would
+    /// silently truncate causal history, so every call site must handle
+    /// (or consciously rule out) the mismatch.
+    pub fn merge_max(&mut self, other: &VectorTime) -> Result<(), CoreError> {
+        if self.dim() != other.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                got: other.dim(),
+            });
+        }
         for (a, b) in self.components.iter_mut().zip(&other.components) {
             *a = (*a).max(*b);
         }
+        Ok(())
     }
 
     /// Increments component `idx` (lines 6 and 10 of Figure 5).
@@ -259,17 +272,24 @@ mod tests {
     #[test]
     fn merge_and_increment() {
         let mut a = VectorTime::from(vec![3, 0, 5]);
-        a.merge_max(&VectorTime::from(vec![1, 4, 5]));
+        a.merge_max(&VectorTime::from(vec![1, 4, 5])).unwrap();
         assert_eq!(a.as_slice(), &[3, 4, 5]);
         a.increment(1);
         assert_eq!(a.as_slice(), &[3, 5, 5]);
     }
 
     #[test]
-    #[should_panic(expected = "dimensions")]
     fn merge_rejects_dimension_mismatch() {
-        let mut a = VectorTime::zero(2);
-        a.merge_max(&VectorTime::zero(3));
+        let mut a = VectorTime::from(vec![7, 7]);
+        assert_eq!(
+            a.merge_max(&VectorTime::zero(3)),
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        // The failed merge left the vector untouched.
+        assert_eq!(a.as_slice(), &[7, 7]);
     }
 
     #[test]

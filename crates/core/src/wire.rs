@@ -100,18 +100,40 @@ pub fn encode_delta(previous: &VectorTime, current: &VectorTime) -> Vec<u8> {
     out
 }
 
-/// Applies a delta produced by [`encode_delta`] on top of `previous`.
-/// Returns `None` on malformed input or out-of-range indices.
-pub fn apply_delta(previous: &VectorTime, bytes: &[u8]) -> Option<VectorTime> {
+/// Parses a delta body produced by [`encode_delta`] into its
+/// `(index, value)` pairs without applying it. Returns `None` on malformed
+/// input; indices are *not* range-checked (the applier does that).
+fn parse_delta_pairs(bytes: &[u8]) -> Option<Vec<(usize, u64)>> {
     let mut pos = 0usize;
     let count = read_varint(bytes, &mut pos)? as usize;
-    let mut components = previous.as_slice().to_vec();
+    // Each pair takes at least two bytes; reject hostile counts before
+    // allocating.
+    if count > bytes.len().saturating_sub(pos) {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(count);
     for _ in 0..count {
         let idx = read_varint(bytes, &mut pos)? as usize;
         let val = read_varint(bytes, &mut pos)?;
+        pairs.push((idx, val));
+    }
+    (pos == bytes.len()).then_some(pairs)
+}
+
+/// Applies parsed delta pairs on top of `previous`. Returns `None` on
+/// out-of-range indices.
+fn apply_delta_pairs(previous: &VectorTime, pairs: &[(usize, u64)]) -> Option<VectorTime> {
+    let mut components = previous.as_slice().to_vec();
+    for &(idx, val) in pairs {
         *components.get_mut(idx)? = val;
     }
-    (pos == bytes.len()).then(|| VectorTime::from(components))
+    Some(VectorTime::from(components))
+}
+
+/// Applies a delta produced by [`encode_delta`] on top of `previous`.
+/// Returns `None` on malformed input or out-of-range indices.
+pub fn apply_delta(previous: &VectorTime, bytes: &[u8]) -> Option<VectorTime> {
+    apply_delta_pairs(previous, &parse_delta_pairs(bytes)?)
 }
 
 /// Bytes of framing every transport frame pays before its body: a `u32`
@@ -386,12 +408,32 @@ impl StreamDecoder {
     /// [`StreamError::Malformed`] for unparseable bytes. Only a
     /// successfully decoded frame advances the stream state.
     pub fn decode(&mut self, from: ProcessId, bytes: &[u8]) -> Result<VectorTime, StreamError> {
+        self.decode_sparse(from, bytes).map(|(v, _)| v)
+    }
+
+    /// [`StreamDecoder::decode`], additionally reporting the
+    /// Singhal–Kshemkalyani change-set when the frame was a delta: the
+    /// `(index, value)` pairs that moved since the previous frame of this
+    /// stream. `None` means the frame carried a full vector (stream
+    /// opening or resync) and no change-set exists. Sparse-merge clock
+    /// backends feed the pairs straight into their delta path instead of
+    /// re-scanning the reconstructed vector.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamDecoder::decode`].
+    #[allow(clippy::type_complexity)]
+    pub fn decode_sparse(
+        &mut self,
+        from: ProcessId,
+        bytes: &[u8],
+    ) -> Result<(VectorTime, Option<Vec<(usize, u64)>>), StreamError> {
         let mut pos = 0usize;
         let seq = read_varint(bytes, &mut pos).ok_or(StreamError::Malformed)?;
         let (tag, rest) = bytes[pos..].split_first().ok_or(StreamError::Malformed)?;
         let state = self.peers.get(&from);
         let expected = state.map_or(0, |(next, _)| *next);
-        let v = match tag {
+        let (v, changes) = match tag {
             0 => {
                 // Full frames re-anchor: any sequence number at or past the
                 // expected one is acceptable (frames between were lost, but
@@ -400,19 +442,21 @@ impl StreamDecoder {
                 if seq < expected {
                     return Err(StreamError::SeqGap { expected, got: seq });
                 }
-                decode_full(rest).ok_or(StreamError::Malformed)?
+                (decode_full(rest).ok_or(StreamError::Malformed)?, None)
             }
             1 => {
                 let (_, base) = state.ok_or(StreamError::OrphanDelta)?;
                 if seq != expected {
                     return Err(StreamError::SeqGap { expected, got: seq });
                 }
-                apply_delta(base, rest).ok_or(StreamError::Malformed)?
+                let pairs = parse_delta_pairs(rest).ok_or(StreamError::Malformed)?;
+                let v = apply_delta_pairs(base, &pairs).ok_or(StreamError::Malformed)?;
+                (v, Some(pairs))
             }
             _ => return Err(StreamError::Malformed),
         };
         self.peers.insert(from, (seq + 1, v.clone()));
-        Ok(v)
+        Ok((v, changes))
     }
 }
 
@@ -581,6 +625,26 @@ mod tests {
         let next = enc.encode(0, &c);
         assert_eq!(next[1], 1, "post-resync frame is a delta again");
         assert_eq!(dec.decode(0, &next), Ok(c));
+    }
+
+    #[test]
+    fn decode_sparse_reports_the_change_set() {
+        let mut enc = StreamEncoder::new();
+        let mut dec = StreamDecoder::new();
+        let a = VectorTime::from(vec![1, 0, 7]);
+        let b = VectorTime::from(vec![1, 2, 9]);
+        // Opening full frame: no change-set.
+        let (v, changes) = dec.decode_sparse(0, &enc.encode(0, &a)).unwrap();
+        assert_eq!(v, a);
+        assert_eq!(changes, None);
+        // Delta frame: exactly the moved components, with their new values.
+        let (v, changes) = dec.decode_sparse(0, &enc.encode(0, &b)).unwrap();
+        assert_eq!(v, b);
+        assert_eq!(changes, Some(vec![(1, 2), (2, 9)]));
+        // An unchanged retransmission yields an empty change-set, not None.
+        let (v, changes) = dec.decode_sparse(0, &enc.encode(0, &b)).unwrap();
+        assert_eq!(v, b);
+        assert_eq!(changes, Some(vec![]));
     }
 
     #[test]

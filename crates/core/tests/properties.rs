@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn merge_max_is_least_upper_bound(a in arb_vec(6), b in arb_vec(6)) {
         let mut m = a.clone();
-        m.merge_max(&b);
+        m.merge_max(&b).unwrap();
         // Upper bound.
         prop_assert!(a.le(&m) && b.le(&m));
         // Least: componentwise it equals one of the inputs.
@@ -45,10 +45,10 @@ proptest! {
         }
         // Commutative and idempotent.
         let mut m2 = b.clone();
-        m2.merge_max(&a);
+        m2.merge_max(&a).unwrap();
         prop_assert_eq!(&m, &m2);
         let mut m3 = m.clone();
-        m3.merge_max(&m2);
+        m3.merge_max(&m2).unwrap();
         prop_assert_eq!(m3, m);
     }
 
@@ -63,13 +63,13 @@ proptest! {
         let mut s = ProcessClock::new(4);
         let mut r = ProcessClock::new(4);
         // Drive the clocks to the arbitrary pre-states via merges.
-        s.on_acknowledgement(&sender, group);
-        r.on_acknowledgement(&receiver, group);
+        s.on_acknowledgement(&sender, group).unwrap();
+        r.on_acknowledgement(&receiver, group).unwrap();
         let pre_s = s.current().clone();
         let pre_r = r.current().clone();
         let payload = s.send_payload();
-        let (ack, t_r) = r.on_receive(&payload, group);
-        let t_s = s.on_acknowledgement(&ack, group);
+        let (ack, t_r) = r.on_receive(&payload, group).unwrap();
+        let t_s = s.on_acknowledgement(&ack, group).unwrap();
         prop_assert_eq!(&t_s, &t_r);
         prop_assert!(pre_s < t_s);
         prop_assert!(pre_r < t_s.clone());

@@ -253,3 +253,56 @@ fn single_worker_pool_serves_sequential_connections() {
         // Dropping the client closes the socket and frees the worker.
     }
 }
+
+// ------------------------------------------------------------ resharding
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+    /// Consistent-hash stability: growing the ring from `S` to `S + 1`
+    /// shards moves at most `1/(S+1) + ε` of the keys (ε absorbs the
+    /// finite-vnode arc skew plus sampling noise), and every key that
+    /// moves lands on the *new* shard — no key ever shuffles between two
+    /// surviving shards.
+    #[test]
+    fn adding_a_shard_moves_at_most_its_fair_share_of_keys(
+        shards in 1usize..9,
+        seeds in proptest::collection::vec(proptest::prelude::any::<u64>(), 400..800),
+    ) {
+        use synctime_net::ShardRing;
+
+        // Structured trace-style ids, deduplicated: the fraction is over
+        // distinct keys.
+        let keys: std::collections::HashSet<String> =
+            seeds.iter().map(|s| format!("trace-{s:x}")).collect();
+        let before = ShardRing::new(shards);
+        let after = ShardRing::new(shards + 1);
+        let mut moved = 0usize;
+        for key in &keys {
+            let old = before.shard_of(key);
+            let new = after.shard_of(key);
+            if old != new {
+                moved += 1;
+                // A reshard only ever donates keys to the newcomer.
+                proptest::prop_assert_eq!(
+                    new,
+                    shards,
+                    "key `{}` moved from shard {} to surviving shard {}",
+                    key,
+                    old,
+                    new
+                );
+            }
+        }
+        let fair = 1.0 / (shards as f64 + 1.0);
+        let fraction = moved as f64 / keys.len() as f64;
+        proptest::prop_assert!(
+            fraction <= fair + 0.15,
+            "{} of {} keys moved ({:.3}); fair share is {:.3}",
+            moved,
+            keys.len(),
+            fraction,
+            fair
+        );
+    }
+}

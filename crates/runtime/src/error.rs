@@ -78,6 +78,16 @@ pub enum RuntimeError {
         /// The transport's description of the failure.
         detail: String,
     },
+    /// The selected clock backend cannot hold one component per edge group
+    /// of the run's decomposition (e.g. `--clock fixed` on a topology that
+    /// decomposes to more groups than the backend has lanes). Pick `dense`,
+    /// `tree`, or `auto` instead; nothing truncates.
+    ClockUnsupported {
+        /// The decomposition's dimension.
+        dim: usize,
+        /// The backend's maximum dimension.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -120,6 +130,12 @@ impl fmt::Display for RuntimeError {
                 write!(
                     f,
                     "transport failure on channel to process {peer}: {detail}"
+                )
+            }
+            RuntimeError::ClockUnsupported { dim, capacity } => {
+                write!(
+                    f,
+                    "clock backend holds at most {capacity} components, but the decomposition has {dim} edge groups"
                 )
             }
         }

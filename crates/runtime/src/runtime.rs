@@ -4,12 +4,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use synctime_core::online::ProcessClock;
+use synctime_core::clock::{ClockBackend, DenseVec, FixedArray16, TreeClock};
+use synctime_core::online::GenericProcessClock;
 use synctime_core::wire::{
     ack_frame_bytes, offer_frame_bytes, resync_frame_bytes, StreamDecoder, StreamEncoder,
     StreamError,
 };
-use synctime_core::{MessageTimestamps, VectorTime};
+use synctime_core::{CoreError, MessageTimestamps, VectorTime};
 use synctime_graph::{Edge, EdgeDecomposition, Graph};
 use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
@@ -197,13 +198,98 @@ pub enum LogEntry {
     Internal,
 }
 
+/// The runtime's process clock, dispatching the Figure 5 steps to the
+/// selected [`ClockBackend`]. Every backend produces identical stamps —
+/// the protocol is deterministic component arithmetic — so backend choice
+/// changes merge cost, never a single logged byte.
+#[derive(Debug, Clone)]
+enum BackendClock {
+    Dense(GenericProcessClock<DenseVec>),
+    Tree(GenericProcessClock<TreeClock>),
+    Fixed(GenericProcessClock<FixedArray16>),
+}
+
+impl BackendClock {
+    /// Builds the clock the resolved backend calls for.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ClockUnsupported`] when the backend cannot hold
+    /// `dim` components.
+    fn new(backend: ClockBackend, dim: usize) -> Result<Self, RuntimeError> {
+        let unsupported = |_: CoreError| RuntimeError::ClockUnsupported {
+            dim,
+            capacity: ClockBackend::FIXED_CAPACITY,
+        };
+        Ok(match backend.resolve(dim).map_err(unsupported)? {
+            ClockBackend::Tree => {
+                BackendClock::Tree(GenericProcessClock::try_new(dim).map_err(unsupported)?)
+            }
+            ClockBackend::Fixed => {
+                BackendClock::Fixed(GenericProcessClock::try_new(dim).map_err(unsupported)?)
+            }
+            _ => BackendClock::Dense(Self::dense_clock(dim)),
+        })
+    }
+
+    /// The universal dense clock — infallible at every dimension.
+    fn dense_clock(dim: usize) -> GenericProcessClock<DenseVec> {
+        GenericProcessClock::from(VectorTime::zero(dim))
+    }
+
+    /// The current local clock in dense interchange form.
+    fn current_vector(&self) -> VectorTime {
+        match self {
+            BackendClock::Dense(c) => c.current_vector(),
+            BackendClock::Tree(c) => c.current_vector(),
+            BackendClock::Fixed(c) => c.current_vector(),
+        }
+    }
+
+    /// The vector to piggyback on an outgoing message (line 02).
+    fn send_payload(&self) -> VectorTime {
+        self.current_vector()
+    }
+
+    /// Receiver side of the rendezvous (lines 04–07). The tree backend
+    /// merges through the Singhal–Kshemkalyani change-set when the stream
+    /// decoder recovered one — its sublinear path; dense and fixed merge
+    /// the reconstructed full vector, their fastest path.
+    fn on_receive(
+        &mut self,
+        vector: &VectorTime,
+        changes: Option<&[(usize, u64)]>,
+        group: usize,
+    ) -> Result<(VectorTime, VectorTime), CoreError> {
+        match self {
+            BackendClock::Dense(c) => c.on_receive_interchange(vector, None, group),
+            BackendClock::Tree(c) => c.on_receive_interchange(vector, changes, group),
+            BackendClock::Fixed(c) => c.on_receive_interchange(vector, None, group),
+        }
+    }
+
+    /// Sender side of the rendezvous completion (lines 09–11).
+    fn on_acknowledgement(
+        &mut self,
+        ack: &VectorTime,
+        changes: Option<&[(usize, u64)]>,
+        group: usize,
+    ) -> Result<VectorTime, CoreError> {
+        match self {
+            BackendClock::Dense(c) => c.on_acknowledgement_interchange(ack, None, group),
+            BackendClock::Tree(c) => c.on_acknowledgement_interchange(ack, changes, group),
+            BackendClock::Fixed(c) => c.on_acknowledgement_interchange(ack, None, group),
+        }
+    }
+}
+
 /// The per-process API available to a [`Behavior`]: blocking rendezvous
 /// sends and receives with automatic timestamp piggybacking, plus internal
 /// events.
 #[derive(Debug)]
 pub struct ProcessCtx {
     id: ProcessId,
-    clock: ProcessClock,
+    clock: BackendClock,
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
     seq: u64,
@@ -306,9 +392,10 @@ impl ProcessCtx {
         self.id
     }
 
-    /// A snapshot of the current local vector.
-    pub fn clock(&self) -> &VectorTime {
-        self.clock.current()
+    /// A snapshot of the current local vector (in dense interchange form,
+    /// whichever clock backend the run uses).
+    pub fn clock(&self) -> VectorTime {
+        self.clock.current_vector()
     }
 
     fn enter_blocked(&self, op: WaitOp, peer: ProcessId) {
@@ -610,8 +697,8 @@ impl ProcessCtx {
         // already completed its side of the rendezvous — so a desynchronised
         // ack stream is terminal. Terminal for this channel only: other
         // channels' streams are independent.
-        let ack = match self.dec_ack.decode(to, &ack) {
-            Ok(v) => v,
+        let (ack, ack_changes) = match self.dec_ack.decode_sparse(to, &ack) {
+            Ok(decoded) => decoded,
             Err(_) => {
                 self.recorder
                     .process(self.id)
@@ -622,7 +709,23 @@ impl ProcessCtx {
                 });
             }
         };
-        let stamp = self.clock.on_acknowledgement(&ack, group);
+        // A decoded frame of the wrong dimension means the peer runs a
+        // different decomposition — the stream is beyond repair.
+        let stamp = match self
+            .clock
+            .on_acknowledgement(&ack, ack_changes.as_deref(), group)
+        {
+            Ok(stamp) => stamp,
+            Err(_) => {
+                self.recorder
+                    .process(self.id)
+                    .record_blocked(blocked.as_nanos() as u64);
+                return Err(RuntimeError::DeltaDesync {
+                    from: to,
+                    to: self.id,
+                });
+            }
+        };
         let me = self.recorder.process(self.id);
         if last_parked {
             me.record_wakeup(acked.elapsed().as_nanos() as u64);
@@ -680,11 +783,11 @@ impl ProcessCtx {
         let mut resync_bytes = 0u64;
         let mut resyncs = 0u32;
         let mut cap = Some(Duration::ZERO);
-        let (offer, vector) = loop {
+        let (offer, vector, changes) = loop {
             match rx.poll_offer(cap) {
                 Ok(Polled::Ready(offer)) => {
-                    match self.dec_data.decode(from, &offer.vector) {
-                        Ok(vector) => break (offer, vector),
+                    match self.dec_data.decode_sparse(from, &offer.vector) {
+                        Ok((vector, changes)) => break (offer, vector, changes),
                         Err(StreamError::SeqGap { .. }) if resyncs < MAX_RESYNC => {
                             // The stream skipped a frame. Recoverable: hand
                             // the sender a resync request and wait for the
@@ -736,7 +839,17 @@ impl ProcessCtx {
             }
         };
         let recv_wait = blocked + self.unpark(parked);
-        let (ack, stamp) = self.clock.on_receive(&vector, group);
+        // A decoded frame of the wrong dimension means the sender runs a
+        // different decomposition — the stream is beyond repair.
+        let (ack, stamp) = match self.clock.on_receive(&vector, changes.as_deref(), group) {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.recorder
+                    .process(self.id)
+                    .record_blocked(recv_wait.as_nanos() as u64);
+                return Err(RuntimeError::DeltaDesync { from, to: self.id });
+            }
+        };
         let ack_bytes = self.enc_ack.encode(from, &ack);
         let wire_actual =
             offer_frame_bytes(offer.vector.len()) + resync_bytes + ack_frame_bytes(ack_bytes.len());
@@ -786,6 +899,7 @@ pub struct Runtime {
     fault: Option<Arc<dyn FaultInjector>>,
     rendezvous_timeout: Option<Duration>,
     rendezvous_retries: u32,
+    clock_backend: ClockBackend,
 }
 
 /// Default stall timeout before the watchdog declares a deadlock.
@@ -813,7 +927,31 @@ impl Runtime {
             fault: None,
             rendezvous_timeout: None,
             rendezvous_retries: DEFAULT_RENDEZVOUS_RETRIES,
+            clock_backend: ClockBackend::default(),
         }
+    }
+
+    /// Selects the clock backend every process clock of this runtime uses
+    /// (see [`ClockBackend`]). The default, [`ClockBackend::Auto`], picks
+    /// the fixed-lane backend when the decomposition fits its lanes and
+    /// the dense vector otherwise. Backend choice never changes a stamp —
+    /// all backends compute identical vectors — only the cost of computing
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ClockUnsupported`] when the backend cannot hold one
+    /// component per edge group of this runtime's decomposition.
+    pub fn with_clock(mut self, backend: ClockBackend) -> Result<Self, RuntimeError> {
+        let dim = self.decomposition.len();
+        backend
+            .resolve(dim)
+            .map_err(|_| RuntimeError::ClockUnsupported {
+                dim,
+                capacity: ClockBackend::FIXED_CAPACITY,
+            })?;
+        self.clock_backend = backend;
+        Ok(self)
     }
 
     /// Aborts a run with [`RuntimeError::Deadlock`] once a wait-for cycle
@@ -1054,9 +1192,16 @@ impl Runtime {
         recorder: Arc<Recorder>,
     ) -> ProcessCtx {
         let dim = self.decomposition.len();
+        // `with_clock` validated the backend against this decomposition, so
+        // construction cannot fail; the dense fallback keeps this path
+        // typed and panic-free regardless.
+        let clock = match BackendClock::new(self.clock_backend, dim) {
+            Ok(clock) => clock,
+            Err(_) => BackendClock::Dense(BackendClock::dense_clock(dim)),
+        };
         ProcessCtx {
             id,
-            clock: ProcessClock::new(dim),
+            clock,
             decomposition: self.decomposition.clone(),
             observer: self.observer.clone(),
             seq: 0,
@@ -1355,6 +1500,92 @@ mod tests {
             .stamp_computation(&comp)
             .unwrap();
         assert_eq!(live_stamps, sim_stamps);
+    }
+
+    /// A fully sequential token relay over `path(4)` — every rendezvous is
+    /// causally ordered, so repeated runs reconstruct the identical
+    /// computation regardless of thread scheduling.
+    fn relay_behaviors(rounds: u64) -> Vec<Behavior> {
+        vec![
+            Box::new(move |ctx| {
+                for i in 0..rounds {
+                    ctx.send(1, i)?;
+                    ctx.receive_from(1)?;
+                }
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..rounds {
+                    let (x, _) = ctx.receive_from(0)?;
+                    ctx.send(2, x)?;
+                    let (y, _) = ctx.receive_from(2)?;
+                    ctx.send(0, y)?;
+                }
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..rounds {
+                    let (x, _) = ctx.receive_from(1)?;
+                    ctx.send(3, x)?;
+                    let (y, _) = ctx.receive_from(3)?;
+                    ctx.send(1, y)?;
+                }
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                for _ in 0..rounds {
+                    let (x, _) = ctx.receive_from(2)?;
+                    ctx.send(2, x + 1)?;
+                }
+                Ok(())
+            }),
+        ]
+    }
+
+    #[test]
+    fn clock_backends_produce_identical_traces() {
+        let topo = topology::path(4);
+        let dec = decompose::best_known(&topo);
+        assert!(dec.len() >= 2, "relay should exercise multi-dim vectors");
+        let mut reference = None;
+        for backend in [
+            ClockBackend::Dense,
+            ClockBackend::Tree,
+            ClockBackend::Fixed,
+            ClockBackend::Auto,
+        ] {
+            let rt = Runtime::new(&topo, &dec).with_clock(backend).unwrap();
+            let run = rt.run(relay_behaviors(4)).unwrap();
+            let (comp, stamps) = run.reconstruct().unwrap();
+            assert!(stamps.encodes(&Oracle::new(&comp)), "{backend}");
+            match &reference {
+                None => reference = Some((comp, stamps)),
+                Some((ref_comp, ref_stamps)) => {
+                    assert_eq!(&comp, ref_comp, "{backend} reconstructed differently");
+                    assert_eq!(&stamps, ref_stamps, "{backend} stamped differently");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_clock_rejects_undersized_fixed_backend() {
+        // complete:20 decomposes to more edge groups than the fixed
+        // backend's 16 lanes.
+        let topo = topology::complete(20);
+        let dec = decompose::best_known(&topo);
+        assert!(dec.len() > ClockBackend::FIXED_CAPACITY);
+        let err = Runtime::new(&topo, &dec)
+            .with_clock(ClockBackend::Fixed)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::ClockUnsupported { capacity: 16, .. }
+        ));
+        // Auto falls back to dense on the same decomposition.
+        assert!(Runtime::new(&topo, &dec)
+            .with_clock(ClockBackend::Auto)
+            .is_ok());
     }
 
     #[test]

@@ -23,16 +23,25 @@
 #      single-query floor, >= 3x batch-256 speedup over single-connection
 #      v1, and >= 500k aggregate fabric queries/sec at amortised
 #      p99 <= 250us)
-#  10. fault-smoke: ring and gossip workloads under fixed crash and desync
+#  10. bench-smoke: the clock_backends suite at CI scale, checking both its
+#      own smoke report and the checked-in results/ JSON against the
+#      synctime/bench_clocks/v1 schema (full reports must clear the >= 2x
+#      TreeClock-over-DenseVec sparse-delta merge floor at N=256 and agree
+#      bit-for-bit on final clocks across backends)
+#  11. fault-smoke: ring and gossip workloads under fixed crash and desync
 #      plans must exit 0 with typed outcomes, inject every scheduled fault,
 #      and recover desyncs through full-vector resync frames
-#  11. net-smoke: `launch --transport tcp` (one OS process per synchronous
+#  12. net-smoke: `launch --transport tcp` (one OS process per synchronous
 #      process over loopback TCP) must emit a trace byte-identical to the
 #      in-process `run`; `serve-query` must answer the fixture's three
 #      known precedence queries over the wire; a 2-trace `--traces-dir`
 #      catalog must answer named-trace and batched queries with the same
 #      verdicts
-#  12. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#  13. clock-smoke: `run --ring 8` and `stamp` of a generated trace must
+#      produce byte-identical output under every `--clock` backend
+#      (dense / tree / fixed / auto), and an unknown backend name must be
+#      refused with a diagnostic
+#  14. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,6 +72,8 @@ run cargo bench -q -p synctime-bench --bench offline_pipeline -- \
   --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_offline_pipeline.json"
 run cargo bench -q -p synctime-bench --bench net_query -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_net.json"
+run cargo bench -q -p synctime-bench --bench clock_backends -- \
+  --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_clocks.json"
 
 # --- fault-smoke: seeded fault plans must degrade gracefully, never panic.
 SYNCTIME="target/release/synctime"
@@ -182,6 +193,39 @@ if qc --m1 1 --m2 2 > /dev/null 2>&1; then
 fi
 kill "$CATALOG_PID" 2>/dev/null || true
 wait "$CATALOG_PID" 2>/dev/null || true
+
+# --- clock-smoke: every clock backend must be a drop-in representation —
+# --- same traces, same stamps, byte for byte.
+CLOCK_DIR="$(mktemp -d)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"; rm -rf "$FAULT_DIR" "$NET_DIR" "$CLOCK_DIR"' EXIT
+
+echo "==> clock-smoke: run ring:8 byte-identical under every backend"
+"$SYNCTIME" run --ring 8 --rounds 3 --clock dense > "$CLOCK_DIR/run-dense.json"
+for clock in tree fixed auto; do
+  "$SYNCTIME" run --ring 8 --rounds 3 --clock "$clock" > "$CLOCK_DIR/run-$clock.json"
+  diff "$CLOCK_DIR/run-dense.json" "$CLOCK_DIR/run-$clock.json" || {
+    echo "verify: run --clock $clock diverged from dense" >&2; exit 1; }
+done
+
+echo "==> clock-smoke: stamp a generated trace byte-identical under every backend"
+"$SYNCTIME" generate --topology cycle:8 --messages 48 --seed 9 > "$CLOCK_DIR/trace.json"
+# The first output line labels the engine+backend; the stamped vectors
+# below it are the comparison.
+"$SYNCTIME" stamp --topology cycle:8 --trace "$CLOCK_DIR/trace.json" --clock dense \
+  | tail -n +2 > "$CLOCK_DIR/stamp-dense.out"
+for clock in tree fixed auto; do
+  "$SYNCTIME" stamp --topology cycle:8 --trace "$CLOCK_DIR/trace.json" --clock "$clock" \
+    | tail -n +2 > "$CLOCK_DIR/stamp-$clock.out"
+  diff "$CLOCK_DIR/stamp-dense.out" "$CLOCK_DIR/stamp-$clock.out" || {
+    echo "verify: stamp --clock $clock diverged from dense" >&2; exit 1; }
+done
+
+echo "==> clock-smoke: unknown backend is refused with a diagnostic"
+if "$SYNCTIME" run --ring 4 --clock warp > /dev/null 2> "$CLOCK_DIR/warp.err"; then
+  echo "verify: run --clock warp should have been refused" >&2; exit 1
+fi
+grep -q 'unknown clock backend' "$CLOCK_DIR/warp.err" || {
+  echo "verify: --clock warp error lacks the backend diagnostic" >&2; exit 1; }
 
 echo "==> panic-free gate: crates/runtime/src"
 for f in crates/runtime/src/*.rs; do
