@@ -1,6 +1,8 @@
 //! Experiment N1: the network layer — precedence-query server throughput
-//! (single queries, v2 batches, and the sharded multi-trace fabric) and
-//! the TCP transport's overhead against the in-process baseline.
+//! (single queries, v2 batches, v3 pipelined windows, and the sharded
+//! multi-trace fabric), the allocation-free serving hot path, the
+//! vectorized clock kernels, and the TCP transport's overhead against the
+//! in-process baseline.
 //!
 //! Workload families, self-timed and exported as machine-readable JSON:
 //!
@@ -16,6 +18,19 @@
 //!   N queries instead of per query. Latency is reported **amortised**
 //!   (batch round trip / batch size) — the per-query cost a caller with
 //!   N outstanding questions actually pays.
+//! * `query_pipeline` — the same single connection asked over
+//!   correlation-tagged v3 QUERY3/ANSWER3 frames with a window of W
+//!   batches in flight (W ∈ {1, 4, 16}): requests stream without waiting
+//!   for answers, the server answers every buffered frame in one write,
+//!   and the client decodes answers as borrowed views straight into
+//!   booleans — no allocation on either side in steady state.
+//! * `serve` — the steady-state serving loop driven in-process under a
+//!   counting global allocator: the record's `allocs` detail is the
+//!   number of heap allocations across thousands of pumped batches, and
+//!   the full-mode floor demands exactly zero.
+//! * `kernel` — the chunked 8-lane merge kernel behind every clock
+//!   backend, vectorized vs the black-box-per-element scalar loop at
+//!   d=256, reported as a speedup ratio.
 //! * `fabric` — a 4-shard catalog of 8 stamped traces served by the
 //!   fixed worker pool; closed-loop connections spread batched load
 //!   across every trace, reporting aggregate queries/sec across shards.
@@ -32,13 +47,18 @@
 //!
 //! `--smoke` shrinks the workloads for CI; `--validate PATH` checks an
 //! existing report (e.g. `results/BENCH_net.json`) against the
-//! `synctime/bench_net/v2` schema. The full run additionally enforces the
+//! `synctime/bench_net/v3` schema. The full run additionally enforces the
 //! acceptance floors: `query/precedes` above 10_000 queries/sec,
-//! `batch_256` at least 3x the single-connection v1 rate, and the fabric
-//! at 500_000+ aggregate queries/sec with amortised p99 at or below
-//! 250us.
+//! `batch_256` at least 3x the single-connection v1 rate, the fabric at
+//! 500_000+ aggregate queries/sec with amortised p99 at or below 250us,
+//! the W=16 pipeline at least 1.5x the same run's `batch_256` rate, the
+//! vectorized merge kernel at least 1.3x scalar at d=256, and **zero**
+//! steady-state serving allocations.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,19 +66,77 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
 use synctime_core::online::OnlineStamper;
-use synctime_core::{wire, MessageTimestamps};
+use synctime_core::{kernel, wire, MessageTimestamps};
 use synctime_graph::{decompose, topology, EdgeDecomposition, Graph};
 use synctime_net::{
-    serve_fabric, topology_hash_of, QueryClient, QueryFabric, QueryService, TcpMeshBuilder,
+    encode_query_batch_into, pump_frames, serve_fabric, topology_hash_of, BatchQuery, FrameReader,
+    FrameScratch, QueryClient, QueryFabric, QueryService, TcpMeshBuilder,
 };
 use synctime_obs::{nearest_rank_percentile, RunStats};
 use synctime_runtime::{Behavior, Runtime};
 
-const SCHEMA: &str = "synctime/bench_net/v2";
+const SCHEMA: &str = "synctime/bench_net/v3";
 const QPS_FLOOR: f64 = 10_000.0;
 const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
 const FABRIC_QPS_FLOOR: f64 = 500_000.0;
 const FABRIC_P99_CEILING_NS: u64 = 250_000;
+/// W=16 pipelining must beat the same run's lock-step batch_256 rate.
+const PIPELINE_SPEEDUP_FLOOR: f64 = 1.5;
+/// The 8-lane merge kernel must beat the black-box scalar loop at d=256.
+const KERNEL_SPEEDUP_FLOOR: f64 = 1.3;
+
+// ------------------------------------------------- counting allocator
+//
+// The whole bench binary runs under a counting wrapper of the system
+// allocator so the `serve/steady_state` record can *prove* the zero-
+// allocation claim rather than assert it. Only the thread that sets its
+// thread-local recording flag is counted, so the server/client threads
+// of the socket benchmarks never pollute the count (and pay only an
+// unconditional TLS read).
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init: the allocator must be able to read the flag without
+    // allocating (lazy TLS init would recurse).
+    static RECORDING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn recording() -> bool {
+    RECORDING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if recording() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if recording() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if recording() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 // ---------------------------------------------------- tiny Value builders
 
@@ -305,6 +383,192 @@ fn bench_batch(
     }
 }
 
+// ------------------------------------------------- pipelined v3 windows
+
+/// A single connection to a one-trace fabric, asked over v3 pipelined
+/// frames: each call streams `chunks_per_call` QUERY3 batches of
+/// `batch_size` precedes queries with `window` in flight. Latency is
+/// amortised per query across the whole call; `ops_per_sec` is the
+/// sustained single-connection rate the window buys.
+fn bench_pipeline(
+    window: usize,
+    batch_size: usize,
+    chunks_per_call: usize,
+    calls: usize,
+    messages: usize,
+    variant: &'static str,
+) -> Record {
+    let processes = 8;
+    let fabric = QueryFabric::new(1);
+    let (stamps, _) = stamped_trace(processes, messages, 7);
+    let m = stamps.len() as u32;
+    fabric.publish("trace-0", stamps);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        let _ = serve_fabric(listener, Arc::new(fabric), 1);
+    });
+
+    let mut client = QueryClient::connect(&addr).expect("connect to fabric");
+    let mut rng = StdRng::seed_from_u64(3000 + window as u64);
+    let pairs: Vec<(u32, u32)> = (0..batch_size * chunks_per_call)
+        .map(|_| (rng.gen_range(0..m), rng.gen_range(0..m)))
+        .collect();
+    let mut amortised = Vec::with_capacity(calls);
+    let started = Instant::now();
+    for _ in 0..calls {
+        let at = Instant::now();
+        let verdicts = client
+            .precedes_many_pipelined("trace-0", &pairs, batch_size, window)
+            .expect("pipelined call");
+        let ns = at.elapsed().as_nanos() as u64;
+        assert_eq!(verdicts.len(), pairs.len());
+        amortised.push(ns / pairs.len() as u64);
+    }
+    let elapsed_ns = started.elapsed().as_nanos();
+    amortised.sort_unstable();
+    let ops = (calls * pairs.len()) as u64;
+    // v3 wire cost per query: the correlation id adds 4 bytes to each
+    // direction of every batch frame.
+    let trace_id_bytes = "trace-0".len();
+    let bytes_per_query = (wire::batch_query3_frame_bytes(trace_id_bytes, batch_size)
+        + wire::batch_answer3_frame_bytes(batch_size, batch_size)) as f64
+        / batch_size as f64;
+    Record {
+        workload: "query_pipeline",
+        variant,
+        processes,
+        ops,
+        elapsed_ns,
+        detail: obj(vec![
+            ("messages", uint(m as u64)),
+            ("window", uint(window as u64)),
+            ("batch_size", uint(batch_size as u64)),
+            ("chunks_per_call", uint(chunks_per_call as u64)),
+            ("bytes_per_query", float(bytes_per_query)),
+            ("p50_ns", uint(nearest_rank_percentile(&amortised, 50, 100))),
+            ("p99_ns", uint(nearest_rank_percentile(&amortised, 99, 100))),
+        ]),
+    }
+}
+
+// --------------------------------------------- steady-state allocations
+
+/// Drives the serving hot path in-process under the counting allocator:
+/// one warm-up pump, then `pumps` counted pumps of a 256-query QUERY3
+/// batch. The detail's `allocs` is the total heap allocations the
+/// serving thread made across all of them — the full-mode floor is 0.
+fn bench_alloc_steady_state(pumps: usize) -> Record {
+    let processes = 8;
+    let fabric = QueryFabric::new(1);
+    let (stamps, _) = stamped_trace(processes, 400, 7);
+    let m = stamps.len() as u32;
+    fabric.publish("trace-0", stamps);
+
+    let batch_size = 256usize;
+    let mut rng = StdRng::seed_from_u64(4000);
+    let queries: Vec<BatchQuery> = (0..batch_size)
+        .map(|_| BatchQuery {
+            kind: synctime_net::query::QUERY_PRECEDES,
+            m1: rng.gen_range(0..m),
+            m2: rng.gen_range(0..m),
+        })
+        .collect();
+    let mut wire_bytes = Vec::new();
+    encode_query_batch_into(&mut wire_bytes, Some(1), "trace-0", &queries);
+
+    let mut reader = FrameReader::new();
+    let mut scratch = FrameScratch::new();
+    // Warm-up: grow every buffer to steady-state capacity.
+    reader.feed(&wire_bytes);
+    scratch.out.clear();
+    assert!(pump_frames(&mut reader, &fabric, &mut scratch).expect("warm-up pump"));
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    RECORDING.with(|flag| flag.set(true));
+    let started = Instant::now();
+    for _ in 0..pumps {
+        reader.feed(&wire_bytes);
+        scratch.out.clear();
+        assert!(pump_frames(&mut reader, &fabric, &mut scratch).expect("steady-state pump"));
+    }
+    let elapsed_ns = started.elapsed().as_nanos();
+    RECORDING.with(|flag| flag.set(false));
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    Record {
+        workload: "serve",
+        variant: "steady_state",
+        processes,
+        ops: (pumps * batch_size) as u64,
+        elapsed_ns,
+        detail: obj(vec![
+            ("messages", uint(m as u64)),
+            ("batch_size", uint(batch_size as u64)),
+            ("pumps", uint(pumps as u64)),
+            ("allocs", uint(allocs)),
+        ]),
+    }
+}
+
+// ------------------------------------------------------ kernel speedup
+
+/// The 8-lane chunked merge kernel against the black-box-per-element
+/// scalar loop, at clock dimension `dimension`. Both sides do the same
+/// `iters` merges over the same pseudo-random lanes; the detail carries
+/// the speedup the full-mode floor checks.
+fn bench_kernel_merge(dimension: usize, iters: usize) -> Record {
+    use std::hint::black_box;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let src: Vec<u64> = (0..dimension).map(|_| next()).collect();
+    let mut dst_scalar: Vec<u64> = (0..dimension).map(|_| next()).collect();
+    let mut dst_vector = dst_scalar.clone();
+
+    // Scalar baseline: black_box on every element defeats autovectorization,
+    // modelling the per-component loop the clocks used before the kernel.
+    let scalar_started = Instant::now();
+    for _ in 0..iters {
+        for (d, s) in dst_scalar.iter_mut().zip(&src) {
+            *d = black_box((*d).max(*s));
+        }
+    }
+    let scalar_ns = scalar_started.elapsed().as_nanos() as u64;
+
+    let vector_started = Instant::now();
+    for _ in 0..iters {
+        kernel::merge_max_lanes(black_box(&mut dst_vector), black_box(&src));
+    }
+    let vector_ns = vector_started.elapsed().as_nanos() as u64;
+    assert_eq!(dst_scalar, dst_vector, "kernels disagree on the merge");
+
+    let speedup = if vector_ns > 0 {
+        scalar_ns as f64 / vector_ns as f64
+    } else {
+        0.0
+    };
+    Record {
+        workload: "kernel",
+        variant: "merge_d256",
+        processes: 1,
+        ops: (iters * dimension) as u64,
+        elapsed_ns: vector_ns as u128,
+        detail: obj(vec![
+            ("dimension", uint(dimension as u64)),
+            ("iters", uint(iters as u64)),
+            ("scalar_ns", uint(scalar_ns)),
+            ("vector_ns", uint(vector_ns)),
+            ("speedup_vs_scalar", float(speedup)),
+        ]),
+    }
+}
+
 // -------------------------------------------------------- ring transport
 
 fn ring_behaviors(n: usize, rounds: u64) -> Vec<Behavior> {
@@ -467,6 +731,43 @@ fn run_suite(smoke: bool) -> Value {
         "query_batch",
         "batch_256",
     ));
+    let (pipe_chunks, pipe_calls, pumps, kernel_iters) = if smoke {
+        (8, 2, 64, 2_000)
+    } else {
+        (32, 24, 4_096, 400_000)
+    };
+    eprintln!(
+        "net_query: v3 pipelined windows (single connection, batch 256 x \
+         {pipe_chunks} chunks, W in {{1, 4, 16}})"
+    );
+    records.push(bench_pipeline(
+        1,
+        256,
+        pipe_chunks,
+        pipe_calls,
+        messages,
+        "window_1",
+    ));
+    records.push(bench_pipeline(
+        4,
+        256,
+        pipe_chunks,
+        pipe_calls,
+        messages,
+        "window_4",
+    ));
+    records.push(bench_pipeline(
+        16,
+        256,
+        pipe_chunks,
+        pipe_calls,
+        messages,
+        "window_16",
+    ));
+    eprintln!("net_query: steady-state serving allocations ({pumps} pumps x 256 queries)");
+    records.push(bench_alloc_steady_state(pumps));
+    eprintln!("net_query: merge kernel vs scalar (d=256, {kernel_iters} iters)");
+    records.push(bench_kernel_merge(256, kernel_iters));
     eprintln!("net_query: sharded fabric (4 shards x 8 traces, {connections} connections)");
     records.push(bench_batch(
         4,
@@ -497,12 +798,24 @@ fn run_suite(smoke: bool) -> Value {
             .and_then(as_u64)
             .unwrap_or(0)
     };
+    let detail_f64 = |workload: &str, variant: &str, key: &str| -> f64 {
+        records
+            .iter()
+            .find(|r| r.workload == workload && r.variant == variant)
+            .and_then(|r| r.detail.get_field(key))
+            .and_then(as_f64)
+            .unwrap_or(0.0)
+    };
     let tcp_rate = rate("ring_transport", "tcp");
     let v1_single = rate("query", "precedes_1conn");
+    let batch256 = rate("query_batch", "batch_256");
     // Wire cost of one v1 precedes exchange, from the same pricing model.
     let bytes_per_query_v1 = (wire::query_frame_bytes() + wire::answer_frame_bytes(1)) as f64;
     let bytes_per_query_batch256 = (wire::batch_query_frame_bytes("trace-0".len(), 256)
         + wire::batch_answer_frame_bytes(256, 256)) as f64
+        / 256.0;
+    let bytes_per_query_pipeline256 = (wire::batch_query3_frame_bytes("trace-0".len(), 256)
+        + wire::batch_answer3_frame_bytes(256, 256)) as f64
         / 256.0;
     obj(vec![
         ("schema", string(SCHEMA)),
@@ -526,6 +839,34 @@ fn run_suite(smoke: bool) -> Value {
                         0.0
                     }),
                 ),
+                (
+                    "pipeline_window1_qps",
+                    float(rate("query_pipeline", "window_1")),
+                ),
+                (
+                    "pipeline_window4_qps",
+                    float(rate("query_pipeline", "window_4")),
+                ),
+                (
+                    "pipeline_window16_qps",
+                    float(rate("query_pipeline", "window_16")),
+                ),
+                (
+                    "pipeline16_speedup_vs_batch256",
+                    float(if batch256 > 0.0 {
+                        rate("query_pipeline", "window_16") / batch256
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "serve_steady_state_allocs",
+                    uint(detail_u64("serve", "steady_state", "allocs")),
+                ),
+                (
+                    "kernel_merge_speedup_d256",
+                    float(detail_f64("kernel", "merge_d256", "speedup_vs_scalar")),
+                ),
                 ("fabric_aggregate_qps", float(rate("fabric", "shards_4"))),
                 (
                     "fabric_p99_ns",
@@ -533,6 +874,10 @@ fn run_suite(smoke: bool) -> Value {
                 ),
                 ("bytes_per_query_v1", float(bytes_per_query_v1)),
                 ("bytes_per_query_batch256", float(bytes_per_query_batch256)),
+                (
+                    "bytes_per_query_pipeline256",
+                    float(bytes_per_query_pipeline256),
+                ),
                 (
                     "transport_slowdown_tcp_vs_local",
                     float(if tcp_rate > 0.0 {
@@ -571,6 +916,9 @@ fn validate_report(doc: &Value) -> Vec<String> {
     let mut precedes_qps = None;
     let mut seen_batch = false;
     let mut seen_fabric = false;
+    let mut seen_pipeline = false;
+    let mut seen_serve = false;
+    let mut seen_kernel = false;
     for (i, r) in records.iter().enumerate() {
         for key in ["workload", "variant"] {
             if r.get_field(key).and_then(Value::as_str).is_none() {
@@ -594,7 +942,10 @@ fn validate_report(doc: &Value) -> Vec<String> {
         }
         let workload = r.get_field("workload").and_then(Value::as_str);
         // Every query-shaped record carries its latency percentiles.
-        if matches!(workload, Some("query" | "query_batch" | "fabric")) {
+        if matches!(
+            workload,
+            Some("query" | "query_batch" | "query_pipeline" | "fabric")
+        ) {
             for key in ["p50_ns", "p99_ns"] {
                 if r.get_field("detail")
                     .and_then(|d| d.get_field(key))
@@ -632,6 +983,69 @@ fn validate_report(doc: &Value) -> Vec<String> {
             seen_batch |= workload == Some("query_batch");
             seen_fabric |= workload == Some("fabric");
         }
+        // Pipelined records carry their window and wire pricing.
+        if workload == Some("query_pipeline") {
+            for key in ["window", "batch_size"] {
+                if r.get_field("detail")
+                    .and_then(|d| d.get_field(key))
+                    .and_then(as_u64)
+                    .is_none()
+                {
+                    errs.push(format!(
+                        "records[{i}].detail.{key} must be an unsigned integer"
+                    ));
+                }
+            }
+            if r.get_field("detail")
+                .and_then(|d| d.get_field("bytes_per_query"))
+                .and_then(as_f64)
+                .is_none()
+            {
+                errs.push(format!(
+                    "records[{i}].detail.bytes_per_query must be a number"
+                ));
+            }
+            seen_pipeline = true;
+        }
+        // The steady-state serve record proves the allocation count.
+        if workload == Some("serve") {
+            for key in ["allocs", "pumps", "batch_size"] {
+                if r.get_field("detail")
+                    .and_then(|d| d.get_field(key))
+                    .and_then(as_u64)
+                    .is_none()
+                {
+                    errs.push(format!(
+                        "records[{i}].detail.{key} must be an unsigned integer"
+                    ));
+                }
+            }
+            seen_serve = true;
+        }
+        // The kernel record carries both raw timings and the ratio.
+        if workload == Some("kernel") {
+            for key in ["dimension", "scalar_ns", "vector_ns"] {
+                if r.get_field("detail")
+                    .and_then(|d| d.get_field(key))
+                    .and_then(as_u64)
+                    .is_none()
+                {
+                    errs.push(format!(
+                        "records[{i}].detail.{key} must be an unsigned integer"
+                    ));
+                }
+            }
+            if r.get_field("detail")
+                .and_then(|d| d.get_field("speedup_vs_scalar"))
+                .and_then(as_f64)
+                .is_none()
+            {
+                errs.push(format!(
+                    "records[{i}].detail.speedup_vs_scalar must be a number"
+                ));
+            }
+            seen_kernel = true;
+        }
         if workload == Some("query")
             && r.get_field("variant").and_then(Value::as_str) == Some("precedes")
         {
@@ -644,6 +1058,15 @@ fn validate_report(doc: &Value) -> Vec<String> {
     if !seen_fabric {
         errs.push("report has no fabric record".to_string());
     }
+    if !seen_pipeline {
+        errs.push("report has no query_pipeline record".to_string());
+    }
+    if !seen_serve {
+        errs.push("report has no serve record".to_string());
+    }
+    if !seen_kernel {
+        errs.push("report has no kernel record".to_string());
+    }
     let derived = doc.get_field("derived");
     match derived {
         Some(Value::Object(_)) => {}
@@ -655,14 +1078,30 @@ fn validate_report(doc: &Value) -> Vec<String> {
         "batch16_qps",
         "batch256_qps",
         "batch256_speedup_vs_v1",
+        "pipeline_window1_qps",
+        "pipeline_window4_qps",
+        "pipeline_window16_qps",
+        "pipeline16_speedup_vs_batch256",
+        "serve_steady_state_allocs",
+        "kernel_merge_speedup_d256",
         "fabric_aggregate_qps",
         "fabric_p99_ns",
         "bytes_per_query_v1",
         "bytes_per_query_batch256",
+        "bytes_per_query_pipeline256",
     ] {
         if derived_f64(key).is_none() {
             errs.push(format!("\"derived.{key}\" must be a number"));
         }
+    }
+    // The zero-allocation claim binds in every mode: warm buffers are warm
+    // whether the run is a smoke or the full suite.
+    match derived_f64("serve_steady_state_allocs") {
+        Some(allocs) if allocs == 0.0 => {}
+        Some(allocs) => errs.push(format!(
+            "steady-state serving made {allocs:.0} heap allocations; the hot path must make 0"
+        )),
+        None => {}
     }
     // The acceptance floors bind full runs only; smoke runs are a bit-rot
     // gate, not a performance claim.
@@ -696,6 +1135,22 @@ fn validate_report(doc: &Value) -> Vec<String> {
                  {FABRIC_P99_CEILING_NS}ns ceiling"
             )),
             None => errs.push("full report has no fabric_p99_ns".to_string()),
+        }
+        match derived_f64("pipeline16_speedup_vs_batch256") {
+            Some(x) if x >= PIPELINE_SPEEDUP_FLOOR => {}
+            Some(x) => errs.push(format!(
+                "full-mode W=16 pipeline speedup {x:.2}x is below the \
+                 {PIPELINE_SPEEDUP_FLOOR:.1}x floor over lock-step batch_256"
+            )),
+            None => errs.push("full report has no pipeline16_speedup_vs_batch256".to_string()),
+        }
+        match derived_f64("kernel_merge_speedup_d256") {
+            Some(x) if x >= KERNEL_SPEEDUP_FLOOR => {}
+            Some(x) => errs.push(format!(
+                "full-mode merge-kernel speedup {x:.2}x is below the \
+                 {KERNEL_SPEEDUP_FLOOR:.1}x floor over the scalar loop at d=256"
+            )),
+            None => errs.push("full report has no kernel_merge_speedup_d256".to_string()),
         }
     }
     errs

@@ -44,7 +44,8 @@ USAGE:
   synctime diagram   --trace <FILE>
   synctime query     (--topology <SPEC> --trace <FILE> | --connect <ADDR>)
                      (--m1 <K> --m2 <K> | --chain <K> | --batch <K:K,K:K,..>)
-                     [--trace <NAME>]   (with --connect: trace name, not file)
+                     [--trace <NAME>] [--window <W>]
+                     (with --connect: trace name, not file)
   synctime generate  --topology <SPEC> --messages <M> [--internals <I>] [--seed <S>]
   synctime simulate  --programs <FILE> [--topology <SPEC>] [--seed <S>]
   synctime run       (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
@@ -132,6 +133,9 @@ QUERY FABRIC:
   targets one trace with `--trace NAME` and asks many questions per round
   trip with `--batch \"1:2,3:4\"` (pairs of 1-based message numbers; each
   line answers whether the first synchronously precedes the second).
+  `--window W` pipelines the batch over protocol v3: up to W frames stay
+  in flight on the one connection, so the wire never idles for a round
+  trip. Answers (and output) are identical to the unpipelined batch.
 "
     .to_string()
 }
@@ -499,7 +503,8 @@ fn cmd_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
 /// stamping locally. Message numbers stay 1-based on the command line; the
 /// wire protocol is 0-based. `--trace NAME` targets one trace of a
 /// multi-trace catalog (routed over v2 batch frames); `--batch` asks many
-/// precedence questions in one round trip.
+/// precedence questions in one round trip, and `--window W` pipelines
+/// them over correlation-tagged v3 frames with W in flight.
 fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
     let addr = require(opts, "connect")?;
     let mut client = synctime_net::QueryClient::connect(addr)
@@ -526,9 +531,24 @@ fn cmd_query_remote(opts: &BTreeMap<String, String>) -> Result<String, String> {
                 Ok((parse_1based("batch", a)?, parse_1based("batch", b)?))
             })
             .collect::<Result<_, String>>()?;
-        let verdicts = client
-            .precedes_many(trace, &pairs)
-            .map_err(|e| e.to_string())?;
+        let verdicts = match opts.get("window") {
+            Some(w) => {
+                let window: usize = w
+                    .parse()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| "--window expects a positive number".to_string())?;
+                // One pair per v3 frame, `window` frames in flight: the
+                // answers are byte-identical to the v2 batch, only the
+                // wire schedule changes.
+                client
+                    .precedes_many_pipelined(trace, &pairs, 1, window)
+                    .map_err(|e| e.to_string())?
+            }
+            None => client
+                .precedes_many(trace, &pairs)
+                .map_err(|e| e.to_string())?,
+        };
         let mut out = String::new();
         for (&(a, b), verdict) in pairs.iter().zip(verdicts) {
             writeln!(
@@ -2054,6 +2074,34 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(out, "m1 -> m2: yes\nm2 -> m1: no\nm1 -> m3: yes\n");
+        // The pipelined (v3, --window) batch prints the identical output.
+        let piped = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "ring",
+            "--batch",
+            "1:2,2:1,1:3",
+            "--window",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(piped, out);
+        // A window must be a positive number.
+        let err = run_strs(&[
+            "query",
+            "--connect",
+            &addr,
+            "--trace",
+            "ring",
+            "--batch",
+            "1:2",
+            "--window",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--window"), "{err}");
         // An unnamed query against a 2-trace catalog is ambiguous.
         let err = run_strs(&["query", "--connect", &addr, "--m1", "1", "--m2", "2"]).unwrap_err();
         assert!(err.contains("2 traces"), "{err}");

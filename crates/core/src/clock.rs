@@ -28,6 +28,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
 
+use crate::kernel;
 use crate::{CoreError, VectorOrder, VectorTime};
 
 /// The operations a vector-clock representation must provide to run the
@@ -520,11 +521,9 @@ impl<const K: usize> Clock for FixedArray<K> {
                 got: other.len,
             });
         }
-        // Fixed trip count over every lane: auto-vectorises, and the zero
-        // padding is inert under max.
-        for i in 0..K {
-            self.lanes[i] = self.lanes[i].max(other.lanes[i]);
-        }
+        // Chunked 8-lane kernel over every lane: the zero padding is inert
+        // under max, so merging all K lanes keeps the trip count fixed.
+        kernel::merge_max_lanes(&mut self.lanes, &other.lanes);
         Ok(())
     }
 
@@ -560,13 +559,9 @@ impl<const K: usize> Clock for FixedArray<K> {
             "cannot compare clocks of dimensions {} and {}",
             self.len, other.len
         );
-        // Branchless flag accumulation over all K lanes (padding lanes are
+        // Branchless chunked kernel over all K lanes (padding lanes are
         // equal and contribute nothing).
-        let (mut less, mut greater) = (false, false);
-        for i in 0..K {
-            less |= self.lanes[i] < other.lanes[i];
-            greater |= self.lanes[i] > other.lanes[i];
-        }
+        let (less, greater) = kernel::compare_lanes(&self.lanes, &other.lanes);
         match (less, greater) {
             (false, false) => VectorOrder::Equal,
             (true, false) => VectorOrder::Less,

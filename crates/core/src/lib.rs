@@ -76,6 +76,7 @@ pub mod clock;
 pub mod events;
 pub mod fm;
 pub mod fz;
+pub mod kernel;
 pub mod lamport;
 pub mod offline;
 pub mod online;

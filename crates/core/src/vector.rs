@@ -4,6 +4,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use synctime_trace::MessageId;
 
+use crate::kernel;
 use crate::CoreError;
 
 /// The outcome of comparing two vector timestamps under *vector order*
@@ -94,9 +95,7 @@ impl VectorTime {
                 got: other.dim(),
             });
         }
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
-            *a = (*a).max(*b);
-        }
+        kernel::merge_max_lanes(&mut self.components, &other.components);
         Ok(())
     }
 
@@ -118,15 +117,7 @@ impl VectorTime {
             self.dim(),
             other.dim()
         );
-        let mut some_less = false;
-        let mut some_greater = false;
-        for (a, b) in self.components.iter().zip(&other.components) {
-            match a.cmp(b) {
-                Ordering::Less => some_less = true,
-                Ordering::Greater => some_greater = true,
-                Ordering::Equal => {}
-            }
-        }
+        let (some_less, some_greater) = kernel::compare_lanes(&self.components, &other.components);
         match (some_less, some_greater) {
             (false, false) => VectorOrder::Equal,
             (true, false) => VectorOrder::Less,

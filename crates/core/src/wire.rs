@@ -189,6 +189,19 @@ pub fn batch_answer_frame_bytes(entry_body_bytes: usize, count: usize) -> u64 {
     FRAME_HEADER_BYTES + 4 + 5 * count as u64 + entry_body_bytes as u64
 }
 
+/// On-wire cost of one v3 pipelined QUERY frame: a v2 batched QUERY frame
+/// plus the 4-byte correlation id that lets the client keep a window of
+/// batches in flight and match answers out of order.
+pub fn batch_query3_frame_bytes(trace_bytes: usize, count: usize) -> u64 {
+    batch_query_frame_bytes(trace_bytes, count) + 4
+}
+
+/// On-wire cost of one v3 pipelined ANSWER frame: a v2 batched ANSWER
+/// frame plus the echoed 4-byte correlation id.
+pub fn batch_answer3_frame_bytes(entry_body_bytes: usize, count: usize) -> u64 {
+    batch_answer_frame_bytes(entry_body_bytes, count) + 4
+}
+
 /// What one clean rendezvous costs with full fixed-width vectors (8 bytes
 /// per component, both directions): an OFFER and an ACK frame, including
 /// frame/ack overhead. The before-deltas baseline behind
@@ -496,6 +509,18 @@ mod tests {
             assert!(batched < n * query_frame_bytes() + 5 + 11 || n == 1);
         }
         assert_eq!(batch_answer_frame_bytes(256, 256), 5 + 4 + 5 * 256 + 256);
+        // v3: pipelining costs exactly one 4-byte correlation id per frame
+        // over v2, request and answer alike.
+        for (trace, n) in [(0usize, 0usize), (5, 1), (5, 256)] {
+            assert_eq!(
+                batch_query3_frame_bytes(trace, n),
+                batch_query_frame_bytes(trace, n) + 4
+            );
+        }
+        assert_eq!(
+            batch_answer3_frame_bytes(256, 256),
+            5 + 4 + 4 + 5 * 256 + 256
+        );
     }
 
     #[test]

@@ -222,13 +222,23 @@ impl QueryFabric {
     /// used against a multi-trace catalog.
     pub fn resolve(&self, trace: &str) -> Result<Arc<MessageTimestamps>, NetError> {
         if trace.is_empty() {
-            let names = self.trace_names();
-            return match names.as_slice() {
-                [only] => self.resolve(only),
+            // Walk the shards for the lone snapshot directly — no name
+            // list is materialised, so the v1 hot path stays
+            // allocation-free (an `Arc` clone is the entire cost).
+            let mut only: Option<Arc<MessageTimestamps>> = None;
+            let mut count = 0usize;
+            for shard in &self.shards {
+                let traces = shard.traces.read().unwrap_or_else(PoisonError::into_inner);
+                count += traces.len();
+                if only.is_none() {
+                    only = traces.values().next().map(Arc::clone);
+                }
+            }
+            return match (count, only) {
+                (1, Some(snapshot)) => Ok(snapshot),
                 _ => Err(NetError::Query(format!(
-                    "catalog serves {} traces; name one (empty trace id only works \
-                     against a single-trace catalog)",
-                    names.len()
+                    "catalog serves {count} traces; name one (empty trace id only works \
+                     against a single-trace catalog)"
                 ))),
             };
         }

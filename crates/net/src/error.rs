@@ -21,6 +21,11 @@ pub enum NetError {
     /// The query server rejected a query (out-of-range message id,
     /// unknown query kind); carries the server's diagnostic.
     Query(String),
+    /// A pipelined ANSWER3 frame carried a correlation id that matches no
+    /// in-flight batch (never issued, or already answered). The frame has
+    /// been consumed and framing is intact, so the connection stays
+    /// usable — the stray answer is dropped, not desynchronising.
+    Correlation(u32),
 }
 
 impl fmt::Display for NetError {
@@ -31,6 +36,9 @@ impl fmt::Display for NetError {
             NetError::Protocol(detail) => write!(f, "frame protocol violation: {detail}"),
             NetError::Closed => write!(f, "connection closed by peer"),
             NetError::Query(detail) => write!(f, "query rejected: {detail}"),
+            NetError::Correlation(corr) => {
+                write!(f, "unknown correlation id {corr} on a pipelined answer")
+            }
         }
     }
 }

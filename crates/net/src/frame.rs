@@ -1,7 +1,7 @@
 //! The length-prefixed frame protocol every `synctime-net` socket speaks.
 //!
 //! A frame is `[u32 le length][u8 type][body]`, where `length` counts the
-//! type byte plus the body. Nine frame types exist:
+//! type byte plus the body. Eleven frame types exist:
 //!
 //! | type | name    | body (little-endian)                                              |
 //! |------|---------|-------------------------------------------------------------------|
@@ -14,6 +14,8 @@
 //! | 6    | ERROR   | UTF-8 diagnostic                                                  |
 //! | 7    | QUERY2  | `u16` trace len, trace id, `u32` count, count × (`u8` kind, `u32` m1, `u32` m2) |
 //! | 8    | ANSWER2 | `u32` count, count × (`u8` status, `u32` len, body)               |
+//! | 9    | QUERY3  | `u32` correlation id, then a QUERY2 body                          |
+//! | 10   | ANSWER3 | `u32` correlation id, then an ANSWER2 body                        |
 //!
 //! QUERY2/ANSWER2 are the **batch** query frames (protocol v2): one frame
 //! carries up to [`MAX_BATCH`] queries against one named trace of a
@@ -25,26 +27,47 @@
 //! that query, or status 1 followed by a UTF-8 diagnostic — one bad message
 //! id fails its entry, not the batch.
 //!
+//! QUERY3/ANSWER3 are the **pipelined** batch frames (protocol v3): the
+//! same bodies as QUERY2/ANSWER2 prefixed by a 4-byte correlation id the
+//! server echoes verbatim, so a client can keep a window of batches in
+//! flight on one connection and match answers that complete out of order.
+//! Entry bodies are byte-identical to their v2 (and thus v1) counterparts;
+//! only the correlation prefix differs.
+//!
 //! OFFER/ACK/RESYNC body layouts match `synctime_core::wire`'s frame
 //! pricing helpers (`offer_frame_bytes` and friends) byte for byte, and
-//! QUERY/ANSWER/QUERY2/ANSWER2 match `query_frame_bytes` /
-//! `batch_query_frame_bytes` and friends the same way, so the byte counts
-//! the in-process runtime reports are exactly what a TCP run moves on the
-//! wire — and bytes-per-query is a measured, not estimated, metric.
+//! QUERY/ANSWER/QUERY2/ANSWER2/QUERY3/ANSWER3 match `query_frame_bytes` /
+//! `batch_query_frame_bytes` / `batch_query3_frame_bytes` and friends the
+//! same way, so the byte counts the in-process runtime reports are exactly
+//! what a TCP run moves on the wire — and bytes-per-query is a measured,
+//! not estimated, metric.
 //!
 //! Decoding is incremental: a [`FrameReader`] is fed arbitrary chunks as
 //! they arrive from a socket and yields complete frames as soon as their
 //! bytes are in. Malformed frames (unknown type, truncated body, oversized
 //! length prefix) are rejected with a typed [`NetError::Protocol`] — a
 //! desynchronised byte stream can never be silently misparsed.
+//!
+//! The serving hot path avoids the owned [`Frame`] representation
+//! entirely: [`FrameReader::peek_frame`]/[`FrameReader::consume_frame`]
+//! expose a complete frame's type and body as borrowed slices,
+//! [`encode_query_batch_into`] and friends append frames to a caller-owned
+//! buffer, and [`FrameScratch`] bundles the reusable buffers a connection
+//! threads through encode/decode so steady state allocates nothing.
 
 use crate::error::NetError;
 
 /// The protocol version carried in every HELLO. Bumped on any frame-layout
-/// change; endpoints refuse to talk across versions. Version 2 added the
-/// batched QUERY2/ANSWER2 frames (a v1 endpoint would reject them as
-/// unknown types, which is exactly what the handshake refusal prevents).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// change; transport endpoints refuse to talk across versions. Version 2
+/// added the batched QUERY2/ANSWER2 frames; version 3 added the pipelined
+/// QUERY3/ANSWER3 frames. Query servers still accept v2 clients (every v2
+/// frame is valid v3), but the mesh transport stays exact-match.
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// The oldest client protocol version a query server still accepts. v2
+/// clients never send QUERY3, and every frame they do send means the same
+/// thing under v3, so serving them costs nothing.
+pub const MIN_QUERY_VERSION: u16 = 2;
 
 /// Upper bound on a frame's length prefix: 16 MiB. A prefix beyond this is
 /// a desynchronised or hostile stream, not a real frame (the largest
@@ -70,6 +93,11 @@ const TYPE_ANSWER: u8 = 5;
 const TYPE_ERROR: u8 = 6;
 const TYPE_QUERY_BATCH: u8 = 7;
 const TYPE_ANSWER_BATCH: u8 = 8;
+/// Wire type byte of a QUERY3 frame — `pub(crate)` so the serving hot
+/// path can dispatch on a peeked type without constructing a [`Frame`].
+pub(crate) const TYPE_QUERY_PIPELINED: u8 = 9;
+/// Wire type byte of an ANSWER3 frame.
+pub(crate) const TYPE_ANSWER_PIPELINED: u8 = 10;
 
 /// One question inside a QUERY2 batch frame: the same `(kind, m1, m2)`
 /// triple a v1 QUERY frame carries (see `query::QueryKind` constants).
@@ -162,89 +190,214 @@ pub enum Frame {
         /// One entry per query, in query order.
         entries: Vec<BatchEntry>,
     },
+    /// A v3 pipelined batch of queries: a [`Frame::QueryBatch`] carrying a
+    /// correlation id the server echoes, so several batches can be in
+    /// flight on one connection at once.
+    QueryPipelined {
+        /// Client-chosen correlation id, echoed verbatim in the answer.
+        corr: u32,
+        /// The trace id the batch targets; empty means the catalog's
+        /// default trace.
+        trace: String,
+        /// The questions, answered positionally (at most [`MAX_BATCH`]).
+        queries: Vec<BatchQuery>,
+    },
+    /// A v3 pipelined batch of replies, matched to its QUERY3 frame by
+    /// correlation id rather than by position in the stream.
+    AnswerPipelined {
+        /// The correlation id of the QUERY3 frame being answered.
+        corr: u32,
+        /// One entry per query, in query order within the batch.
+        entries: Vec<BatchEntry>,
+    },
+}
+
+/// Starts a frame in `out`: reserves the length prefix and writes the type
+/// byte. Returns the patch position to hand to [`end_frame`].
+pub(crate) fn begin_frame(out: &mut Vec<u8>, ty: u8) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(ty);
+    start
+}
+
+/// Finishes a frame started by [`begin_frame`]: backpatches the length
+/// prefix from whatever the caller appended in between.
+pub(crate) fn end_frame(out: &mut Vec<u8>, start: usize) {
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Appends a QUERY2 (`corr == None`) or QUERY3 (`corr == Some`) frame to
+/// `out` from borrowed parts — the allocation-free form of encoding
+/// [`Frame::QueryBatch`] / [`Frame::QueryPipelined`], used by the client
+/// hot path (and reusable by tests and benches to build request streams).
+pub fn encode_query_batch_into(
+    out: &mut Vec<u8>,
+    corr: Option<u32>,
+    trace: &str,
+    queries: &[BatchQuery],
+) {
+    debug_assert!(trace.len() <= u16::MAX as usize, "trace id too long");
+    debug_assert!(queries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+    let ty = if corr.is_some() {
+        TYPE_QUERY_PIPELINED
+    } else {
+        TYPE_QUERY_BATCH
+    };
+    let start = begin_frame(out, ty);
+    if let Some(corr) = corr {
+        out.extend_from_slice(&corr.to_le_bytes());
+    }
+    out.extend_from_slice(&(trace.len() as u16).to_le_bytes());
+    out.extend_from_slice(trace.as_bytes());
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    for q in queries {
+        out.push(q.kind);
+        out.extend_from_slice(&q.m1.to_le_bytes());
+        out.extend_from_slice(&q.m2.to_le_bytes());
+    }
+    end_frame(out, start);
+}
+
+/// Appends an OFFER frame to `out` from borrowed parts (the transport's
+/// allocation-free form of encoding [`Frame::Offer`]).
+pub fn encode_offer_into(out: &mut Vec<u8>, key: u64, payload: u64, vector: &[u8]) {
+    let start = begin_frame(out, TYPE_OFFER);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&payload.to_le_bytes());
+    out.extend_from_slice(vector);
+    end_frame(out, start);
+}
+
+/// Appends an ACK frame to `out` from borrowed parts (the transport's
+/// allocation-free form of encoding [`Frame::Ack`]).
+pub fn encode_ack_into(out: &mut Vec<u8>, key: u64, ack: &[u8]) {
+    let start = begin_frame(out, TYPE_ACK);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(ack);
+    end_frame(out, start);
+}
+
+/// Reusable per-connection encode/decode buffers for the serving and
+/// pipelined-client hot paths.
+///
+/// Ownership rule: a `FrameScratch` belongs to exactly one connection at a
+/// time (a pool worker hands its scratch to whichever connection it is
+/// currently serving), and every use begins by `clear()`ing the buffer it
+/// is about to fill — capacity persists across frames and connections, so
+/// once the buffers have grown to a connection's working set the steady
+/// state performs **zero heap allocations per query** (proven by the
+/// counting-allocator test `crates/net/tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    /// Encode buffer: outgoing frames accumulate here between flushes, so
+    /// every answer decoded from one socket read leaves in one write.
+    pub out: Vec<u8>,
+    /// Decoded-query buffer reused across batches by the pipelined client.
+    pub queries: Vec<BatchQuery>,
+    /// Answer-body arena: one entry's kind-specific answer bytes are built
+    /// here before being framed with their (status, length) prefix.
+    pub body: Vec<u8>,
+}
+
+impl FrameScratch {
+    /// Empty scratch; buffers grow to the connection's working set on
+    /// first use and then stay warm.
+    pub fn new() -> Self {
+        FrameScratch::default()
+    }
 }
 
 impl Frame {
     /// Serialises the frame, length prefix included.
+    ///
+    /// Convenience form of [`Frame::encode_into`] for cold paths and
+    /// tests; allocates a fresh buffer per call.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::new();
-        let ty = match self {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialised frame (length prefix included) to `out`
+    /// without intermediate allocation: the length prefix is reserved up
+    /// front and backpatched once the body is in place.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
             Frame::Hello {
                 version,
                 topology_hash,
                 process,
             } => {
-                body.extend_from_slice(&version.to_le_bytes());
-                body.extend_from_slice(&topology_hash.to_le_bytes());
-                body.extend_from_slice(&process.to_le_bytes());
-                TYPE_HELLO
+                let start = begin_frame(out, TYPE_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&topology_hash.to_le_bytes());
+                out.extend_from_slice(&process.to_le_bytes());
+                end_frame(out, start);
             }
             Frame::Offer {
                 key,
                 payload,
                 vector,
-            } => {
-                body.extend_from_slice(&key.to_le_bytes());
-                body.extend_from_slice(&payload.to_le_bytes());
-                body.extend_from_slice(vector);
-                TYPE_OFFER
-            }
-            Frame::Ack { key, ack } => {
-                body.extend_from_slice(&key.to_le_bytes());
-                body.extend_from_slice(ack);
-                TYPE_ACK
-            }
+            } => encode_offer_into(out, *key, *payload, vector),
+            Frame::Ack { key, ack } => encode_ack_into(out, *key, ack),
             Frame::Resync { key } => {
-                body.extend_from_slice(&key.to_le_bytes());
-                TYPE_RESYNC
+                let start = begin_frame(out, TYPE_RESYNC);
+                out.extend_from_slice(&key.to_le_bytes());
+                end_frame(out, start);
             }
             Frame::Query { kind, m1, m2 } => {
-                body.push(*kind);
-                body.extend_from_slice(&m1.to_le_bytes());
-                body.extend_from_slice(&m2.to_le_bytes());
-                TYPE_QUERY
+                let start = begin_frame(out, TYPE_QUERY);
+                out.push(*kind);
+                out.extend_from_slice(&m1.to_le_bytes());
+                out.extend_from_slice(&m2.to_le_bytes());
+                end_frame(out, start);
             }
-            Frame::Answer { body: b } => {
-                body.extend_from_slice(b);
-                TYPE_ANSWER
+            Frame::Answer { body } => {
+                let start = begin_frame(out, TYPE_ANSWER);
+                out.extend_from_slice(body);
+                end_frame(out, start);
             }
             Frame::Error { message } => {
-                body.extend_from_slice(message.as_bytes());
-                TYPE_ERROR
+                let start = begin_frame(out, TYPE_ERROR);
+                out.extend_from_slice(message.as_bytes());
+                end_frame(out, start);
             }
             Frame::QueryBatch { trace, queries } => {
-                debug_assert!(trace.len() <= u16::MAX as usize, "trace id too long");
-                debug_assert!(queries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
-                body.extend_from_slice(&(trace.len() as u16).to_le_bytes());
-                body.extend_from_slice(trace.as_bytes());
-                body.extend_from_slice(&(queries.len() as u32).to_le_bytes());
-                for q in queries {
-                    body.push(q.kind);
-                    body.extend_from_slice(&q.m1.to_le_bytes());
-                    body.extend_from_slice(&q.m2.to_le_bytes());
-                }
-                TYPE_QUERY_BATCH
+                encode_query_batch_into(out, None, trace, queries);
             }
+            Frame::QueryPipelined {
+                corr,
+                trace,
+                queries,
+            } => encode_query_batch_into(out, Some(*corr), trace, queries),
             Frame::AnswerBatch { entries } => {
-                debug_assert!(entries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
-                body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-                for e in entries {
-                    let (status, bytes): (u8, &[u8]) = match e {
-                        BatchEntry::Answer(b) => (0, b),
-                        BatchEntry::Error(m) => (1, m.as_bytes()),
-                    };
-                    body.push(status);
-                    body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                    body.extend_from_slice(bytes);
-                }
-                TYPE_ANSWER_BATCH
+                Self::encode_entries(out, TYPE_ANSWER_BATCH, None, entries);
             }
-        };
-        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
-        out.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
-        out.push(ty);
-        out.extend_from_slice(&body);
-        out
+            Frame::AnswerPipelined { corr, entries } => {
+                Self::encode_entries(out, TYPE_ANSWER_PIPELINED, Some(*corr), entries);
+            }
+        }
+    }
+
+    fn encode_entries(out: &mut Vec<u8>, ty: u8, corr: Option<u32>, entries: &[BatchEntry]) {
+        debug_assert!(entries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+        let start = begin_frame(out, ty);
+        if let Some(corr) = corr {
+            out.extend_from_slice(&corr.to_le_bytes());
+        }
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in entries {
+            let (status, bytes): (u8, &[u8]) = match e {
+                BatchEntry::Answer(b) => (0, b),
+                BatchEntry::Error(m) => (1, m.as_bytes()),
+            };
+            out.push(status);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        end_frame(out, start);
     }
 
     /// Parses one frame body (`ty` byte already split off).
@@ -321,73 +474,235 @@ impl Frame {
                     .map_err(|_| NetError::Protocol("ERROR frame body is not UTF-8".to_string()))?,
             }),
             TYPE_QUERY_BATCH => {
-                at_least(2)?;
-                let trace_len = u16_at(0) as usize;
-                at_least(2 + trace_len + 4)?;
-                let trace = String::from_utf8(body[2..2 + trace_len].to_vec())
-                    .map_err(|_| NetError::Protocol("QUERY2 trace id is not UTF-8".to_string()))?;
-                let count = u32_at(2 + trace_len) as usize;
-                if count > MAX_BATCH {
-                    return Err(NetError::Protocol(format!(
-                        "QUERY2 batch of {count} queries exceeds the {MAX_BATCH}-query bound"
-                    )));
-                }
-                exact(2 + trace_len + 4 + 9 * count)?;
-                let base = 2 + trace_len + 4;
-                let queries = (0..count)
-                    .map(|i| {
-                        let at = base + 9 * i;
-                        BatchQuery {
-                            kind: body[at],
-                            m1: u32_at(at + 1),
-                            m2: u32_at(at + 5),
-                        }
-                    })
-                    .collect();
+                let (trace, queries) = Self::decode_query_batch(body)?;
                 Ok(Frame::QueryBatch { trace, queries })
             }
             TYPE_ANSWER_BATCH => {
-                at_least(4)?;
-                let count = u32_at(0) as usize;
-                if count > MAX_BATCH {
-                    return Err(NetError::Protocol(format!(
-                        "ANSWER2 batch of {count} entries exceeds the {MAX_BATCH}-entry bound"
-                    )));
-                }
-                let mut entries = Vec::with_capacity(count);
-                let mut at = 4usize;
-                for i in 0..count {
-                    at_least(at + 5)?;
-                    let status = body[at];
-                    let len = u32_at(at + 1) as usize;
-                    at_least(at + 5 + len)?;
-                    let bytes = body[at + 5..at + 5 + len].to_vec();
-                    entries.push(match status {
-                        0 => BatchEntry::Answer(bytes),
-                        1 => BatchEntry::Error(String::from_utf8(bytes).map_err(|_| {
-                            NetError::Protocol(format!("ANSWER2 entry {i} error text is not UTF-8"))
-                        })?),
-                        other => {
-                            return Err(NetError::Protocol(format!(
-                                "ANSWER2 entry {i} has unknown status {other}"
-                            )))
-                        }
-                    });
-                    at += 5 + len;
-                }
-                exact(at)?;
+                let entries = Self::decode_answer_batch(body)?;
                 Ok(Frame::AnswerBatch { entries })
+            }
+            TYPE_QUERY_PIPELINED => {
+                at_least(4)?;
+                let (trace, queries) = Self::decode_query_batch(&body[4..])?;
+                Ok(Frame::QueryPipelined {
+                    corr: u32_at(0),
+                    trace,
+                    queries,
+                })
+            }
+            TYPE_ANSWER_PIPELINED => {
+                at_least(4)?;
+                let entries = Self::decode_answer_batch(&body[4..])?;
+                Ok(Frame::AnswerPipelined {
+                    corr: u32_at(0),
+                    entries,
+                })
             }
             other => Err(NetError::Protocol(format!("unknown frame type {other}"))),
         }
+    }
+
+    /// Parses a QUERY2/QUERY3 batch body (correlation id, if any, already
+    /// split off).
+    fn decode_query_batch(body: &[u8]) -> Result<(String, Vec<BatchQuery>), NetError> {
+        let view = QueryBatchView::parse(body)?;
+        Ok((view.trace().to_string(), view.queries().collect()))
+    }
+
+    /// Parses an ANSWER2/ANSWER3 entry list (correlation id, if any,
+    /// already split off).
+    fn decode_answer_batch(body: &[u8]) -> Result<Vec<BatchEntry>, NetError> {
+        let view = AnswerBatchView::parse(body)?;
+        let mut entries = Vec::with_capacity(view.count());
+        for (i, (status, bytes)) in view.entries().enumerate() {
+            entries.push(match status {
+                0 => BatchEntry::Answer(bytes.to_vec()),
+                1 => BatchEntry::Error(String::from_utf8(bytes.to_vec()).map_err(|_| {
+                    NetError::Protocol(format!("ANSWER2 entry {i} error text is not UTF-8"))
+                })?),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "ANSWER2 entry {i} has unknown status {other}"
+                    )))
+                }
+            });
+        }
+        Ok(entries)
+    }
+}
+
+/// A borrowed, validated view over a QUERY2/QUERY3 batch body — the
+/// allocation-free decode the serving hot path uses instead of
+/// materialising a [`Frame::QueryBatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryBatchView<'a> {
+    trace: &'a str,
+    records: &'a [u8],
+    count: usize,
+}
+
+impl<'a> QueryBatchView<'a> {
+    /// Validates and wraps a batch body (the bytes after the type byte and,
+    /// for QUERY3, after the correlation id).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on truncation, trailing garbage, a non-UTF-8
+    /// trace id, or a count beyond [`MAX_BATCH`].
+    pub fn parse(body: &'a [u8]) -> Result<Self, NetError> {
+        if body.len() < 2 {
+            return Err(NetError::Protocol(
+                "QUERY2 body too short for trace length".to_string(),
+            ));
+        }
+        let trace_len = u16::from_le_bytes([body[0], body[1]]) as usize;
+        if body.len() < 2 + trace_len + 4 {
+            return Err(NetError::Protocol(
+                "QUERY2 body too short for trace id and count".to_string(),
+            ));
+        }
+        let trace = std::str::from_utf8(&body[2..2 + trace_len])
+            .map_err(|_| NetError::Protocol("QUERY2 trace id is not UTF-8".to_string()))?;
+        let at = 2 + trace_len;
+        let count =
+            u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]) as usize;
+        if count > MAX_BATCH {
+            return Err(NetError::Protocol(format!(
+                "QUERY2 batch of {count} queries exceeds the {MAX_BATCH}-query bound"
+            )));
+        }
+        let records = &body[at + 4..];
+        if records.len() != 9 * count {
+            return Err(NetError::Protocol(format!(
+                "QUERY2 batch of {count} queries carries {} record bytes, expected {}",
+                records.len(),
+                9 * count
+            )));
+        }
+        Ok(QueryBatchView {
+            trace,
+            records,
+            count,
+        })
+    }
+
+    /// The batch's trace id (empty means the catalog's default trace).
+    pub fn trace(&self) -> &'a str {
+        self.trace
+    }
+
+    /// Number of queries in the batch.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The queries, decoded on the fly from the borrowed record bytes.
+    pub fn queries(&self) -> impl Iterator<Item = BatchQuery> + 'a {
+        self.records.chunks_exact(9).map(|r| BatchQuery {
+            kind: r[0],
+            m1: u32::from_le_bytes([r[1], r[2], r[3], r[4]]),
+            m2: u32::from_le_bytes([r[5], r[6], r[7], r[8]]),
+        })
+    }
+}
+
+/// A borrowed, validated view over an ANSWER2/ANSWER3 entry list — the
+/// allocation-free decode the pipelined client uses instead of
+/// materialising [`BatchEntry`] values.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerBatchView<'a> {
+    entries: &'a [u8],
+    count: usize,
+}
+
+impl<'a> AnswerBatchView<'a> {
+    /// Validates and wraps an entry list (the bytes after the type byte
+    /// and, for ANSWER3, after the correlation id). Walks every entry once
+    /// so [`AnswerBatchView::entries`] can iterate infallibly.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on truncation, trailing garbage, or a count
+    /// beyond [`MAX_BATCH`].
+    pub fn parse(body: &'a [u8]) -> Result<Self, NetError> {
+        if body.len() < 4 {
+            return Err(NetError::Protocol(
+                "ANSWER2 body too short for entry count".to_string(),
+            ));
+        }
+        let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+        if count > MAX_BATCH {
+            return Err(NetError::Protocol(format!(
+                "ANSWER2 batch of {count} entries exceeds the {MAX_BATCH}-entry bound"
+            )));
+        }
+        let entries = &body[4..];
+        let mut at = 0usize;
+        for _ in 0..count {
+            if entries.len() < at + 5 {
+                return Err(NetError::Protocol(
+                    "ANSWER2 entry truncated at its prefix".to_string(),
+                ));
+            }
+            let len = u32::from_le_bytes([
+                entries[at + 1],
+                entries[at + 2],
+                entries[at + 3],
+                entries[at + 4],
+            ]) as usize;
+            if entries.len() < at + 5 + len {
+                return Err(NetError::Protocol(
+                    "ANSWER2 entry truncated in its body".to_string(),
+                ));
+            }
+            at += 5 + len;
+        }
+        if at != entries.len() {
+            return Err(NetError::Protocol(format!(
+                "ANSWER2 batch carries {} trailing bytes",
+                entries.len() - at
+            )));
+        }
+        Ok(AnswerBatchView { entries, count })
+    }
+
+    /// Number of entries.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The `(status, body)` pairs in entry order, borrowed from the frame
+    /// bytes. Status 0 is an answer, 1 an error diagnostic; any other
+    /// value is surfaced to the caller to reject.
+    pub fn entries(&self) -> impl Iterator<Item = (u8, &'a [u8])> + 'a {
+        let entries = self.entries;
+        let mut at = 0usize;
+        (0..self.count).map(move |_| {
+            let status = entries[at];
+            let len = u32::from_le_bytes([
+                entries[at + 1],
+                entries[at + 2],
+                entries[at + 3],
+                entries[at + 4],
+            ]) as usize;
+            let bytes = &entries[at + 5..at + 5 + len];
+            at += 5 + len;
+            (status, bytes)
+        })
     }
 }
 
 /// Incremental frame decoder: feed it socket chunks of any size, drain
 /// complete frames as they materialise.
+///
+/// Consumed frames advance a cursor instead of shifting the buffer; the
+/// buffer is compacted once per [`FrameReader::feed`] call (one `memmove`
+/// per socket read, however many frames it carried) and its capacity is
+/// kept, so steady-state reading allocates nothing.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    start: usize,
 }
 
 impl FrameReader {
@@ -398,7 +713,34 @@ impl FrameReader {
 
     /// Appends freshly received bytes.
     pub fn feed(&mut self, chunk: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
         self.buf.extend_from_slice(chunk);
+    }
+
+    /// Validates the length prefix of the frame at the cursor. Returns the
+    /// frame's total on-wire size if it has fully arrived.
+    fn complete_frame_len(&self) -> Result<Option<usize>, NetError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len == 0 {
+            return Err(NetError::Protocol("zero-length frame".to_string()));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+            )));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        Ok(Some(total))
     }
 
     /// Pops the next complete frame, if its bytes have all arrived.
@@ -409,30 +751,48 @@ impl FrameReader {
     /// frame type, or a malformed body. The stream is unrecoverable after
     /// an error: framing is lost.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
-        if self.buf.len() < 4 {
+        let Some(total) = self.complete_frame_len()? else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-        if len == 0 {
-            return Err(NetError::Protocol("zero-length frame".to_string()));
-        }
-        if len > MAX_FRAME_LEN {
-            return Err(NetError::Protocol(format!(
-                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
-            )));
-        }
-        let total = 4 + len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let frame = Frame::decode_body(self.buf[4], &self.buf[5..total])?;
-        self.buf.drain(..total);
+        };
+        let pending = &self.buf[self.start..self.start + total];
+        let frame = Frame::decode_body(pending[4], &pending[5..])?;
+        self.start += total;
         Ok(Some(frame))
+    }
+
+    /// Exposes the next complete frame as its type byte and borrowed body,
+    /// without decoding it into an owned [`Frame`]. The frame stays at the
+    /// cursor until [`FrameReader::consume_frame`] is called, so the hot
+    /// path can answer straight out of the receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on a zero or oversized length prefix (the
+    /// body is *not* validated here — that is the caller's dispatch).
+    pub fn peek_frame(&self) -> Result<Option<(u8, &[u8])>, NetError> {
+        let Some(total) = self.complete_frame_len()? else {
+            return Ok(None);
+        };
+        let pending = &self.buf[self.start..self.start + total];
+        Ok(Some((pending[4], &pending[5..])))
+    }
+
+    /// Consumes the frame last exposed by [`FrameReader::peek_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if no complete frame is at the cursor.
+    pub fn consume_frame(&mut self) {
+        let total = self.complete_frame_len().ok().flatten().unwrap_or_else(|| {
+            debug_assert!(false, "consume_frame without a peeked frame");
+            0
+        });
+        self.start += total;
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.start
     }
 }
 
@@ -531,6 +891,22 @@ mod tests {
                     BatchEntry::Answer(vec![1]),
                     BatchEntry::Error("message 9 out of range".to_string()),
                     BatchEntry::Answer(vec![]),
+                ],
+            },
+            Frame::QueryPipelined {
+                corr: 0xfeed_beef,
+                trace: "ring-a".to_string(),
+                queries: vec![BatchQuery {
+                    kind: 1,
+                    m1: 4,
+                    m2: 5,
+                }],
+            },
+            Frame::AnswerPipelined {
+                corr: u32::MAX,
+                entries: vec![
+                    BatchEntry::Answer(vec![0]),
+                    BatchEntry::Error("no".to_string()),
                 ],
             },
         ];
@@ -669,5 +1045,181 @@ mod tests {
                 batch_answer_frame_bytes(count, count)
             );
         }
+    }
+
+    #[test]
+    fn pipelined_frame_sizes_match_core_wire_pricing() {
+        use synctime_core::wire::{batch_answer3_frame_bytes, batch_query3_frame_bytes};
+        for count in [0usize, 1, 16, 256] {
+            let batch = Frame::QueryPipelined {
+                corr: 7,
+                trace: "alpha".to_string(),
+                queries: vec![
+                    BatchQuery {
+                        kind: 0,
+                        m1: 3,
+                        m2: 4,
+                    };
+                    count
+                ],
+            };
+            assert_eq!(
+                batch.encode().len() as u64,
+                batch_query3_frame_bytes(5, count)
+            );
+            let answers = Frame::AnswerPipelined {
+                corr: 7,
+                entries: vec![BatchEntry::Answer(vec![1]); count],
+            };
+            assert_eq!(
+                answers.encode().len() as u64,
+                batch_answer3_frame_bytes(count, count)
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_bodies_differ_from_v2_only_by_correlation_prefix() {
+        let queries = vec![
+            BatchQuery {
+                kind: 0,
+                m1: 1,
+                m2: 2,
+            },
+            BatchQuery {
+                kind: 2,
+                m1: 9,
+                m2: 0,
+            },
+        ];
+        let v2 = Frame::QueryBatch {
+            trace: "t".to_string(),
+            queries: queries.clone(),
+        }
+        .encode();
+        let v3 = Frame::QueryPipelined {
+            corr: 0x0102_0304,
+            trace: "t".to_string(),
+            queries,
+        }
+        .encode();
+        // Same body after the 4-byte correlation id; length prefix 4 larger.
+        assert_eq!(&v3[FRAME_HEADER_BYTES + 4..], &v2[FRAME_HEADER_BYTES..]);
+        assert_eq!(
+            &v3[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + 4],
+            &[4, 3, 2, 1]
+        );
+        let entries = vec![
+            BatchEntry::Answer(vec![1]),
+            BatchEntry::Error("bad".to_string()),
+        ];
+        let v2 = Frame::AnswerBatch {
+            entries: entries.clone(),
+        }
+        .encode();
+        let v3 = Frame::AnswerPipelined { corr: 5, entries }.encode();
+        assert_eq!(&v3[FRAME_HEADER_BYTES + 4..], &v2[FRAME_HEADER_BYTES..]);
+    }
+
+    #[test]
+    fn peek_and_consume_walk_the_stream_without_decoding() {
+        let frames = [
+            Frame::Resync { key: 3 },
+            Frame::Query {
+                kind: 0,
+                m1: 1,
+                m2: 2,
+            },
+            Frame::Answer { body: vec![1] },
+        ];
+        let mut reader = FrameReader::new();
+        for f in &frames {
+            reader.feed(&f.encode());
+        }
+        // Peeking is idempotent until the frame is consumed.
+        let (ty, body) = reader.peek_frame().unwrap().unwrap();
+        assert_eq!((ty, body.len()), (TYPE_RESYNC, 8));
+        let (ty2, _) = reader.peek_frame().unwrap().unwrap();
+        assert_eq!(ty2, TYPE_RESYNC);
+        reader.consume_frame();
+        // Peek and owned decode interleave on one stream.
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Some(Frame::Query {
+                kind: 0,
+                m1: 1,
+                m2: 2
+            })
+        );
+        let (ty, body) = reader.peek_frame().unwrap().unwrap();
+        assert_eq!((ty, body), (TYPE_ANSWER, &[1u8][..]));
+        reader.consume_frame();
+        assert_eq!(reader.peek_frame().unwrap(), None);
+        assert_eq!(reader.pending_bytes(), 0);
+        // Feeding a partial frame keeps peek at None until it completes.
+        let encoded = Frame::Resync { key: 9 }.encode();
+        reader.feed(&encoded[..6]);
+        assert_eq!(reader.peek_frame().unwrap(), None);
+        reader.feed(&encoded[6..]);
+        assert_eq!(
+            reader.peek_frame().unwrap(),
+            Some((TYPE_RESYNC, &encoded[FRAME_HEADER_BYTES..]))
+        );
+    }
+
+    #[test]
+    fn borrowed_views_agree_with_owned_decode() {
+        let queries = vec![
+            BatchQuery {
+                kind: 0,
+                m1: 1,
+                m2: 2,
+            },
+            BatchQuery {
+                kind: 2,
+                m1: 7,
+                m2: 0,
+            },
+        ];
+        let encoded = Frame::QueryPipelined {
+            corr: 11,
+            trace: "tr".to_string(),
+            queries: queries.clone(),
+        }
+        .encode();
+        let body = &encoded[FRAME_HEADER_BYTES + 4..]; // skip header + corr
+        let view = QueryBatchView::parse(body).unwrap();
+        assert_eq!(view.trace(), "tr");
+        assert_eq!(view.count(), 2);
+        assert_eq!(view.queries().collect::<Vec<_>>(), queries);
+
+        let entries = vec![
+            BatchEntry::Answer(vec![1]),
+            BatchEntry::Error("m 9 out of range".to_string()),
+            BatchEntry::Answer(vec![]),
+        ];
+        let encoded = Frame::AnswerPipelined {
+            corr: 11,
+            entries: entries.clone(),
+        }
+        .encode();
+        let body = &encoded[FRAME_HEADER_BYTES + 4..];
+        let view = AnswerBatchView::parse(body).unwrap();
+        assert_eq!(view.count(), 3);
+        let seen: Vec<(u8, Vec<u8>)> = view
+            .entries()
+            .map(|(status, bytes)| (status, bytes.to_vec()))
+            .collect();
+        assert_eq!(
+            seen,
+            vec![(0, vec![1]), (1, b"m 9 out of range".to_vec()), (0, vec![]),]
+        );
+
+        // Truncation and trailing garbage are rejected.
+        assert!(AnswerBatchView::parse(&body[..body.len() - 1]).is_err());
+        let mut garbage = body.to_vec();
+        garbage.push(0);
+        assert!(AnswerBatchView::parse(&garbage).is_err());
+        assert!(QueryBatchView::parse(&[1, 0]).is_err());
     }
 }

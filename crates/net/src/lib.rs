@@ -8,8 +8,11 @@
 //! protocol — plus a network query service over stamped traces:
 //!
 //! * [`frame`] — the wire protocol: `[u32 len][u8 type][body]` frames
-//!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR, plus the batched
-//!   QUERY2/ANSWER2 pair), an incremental [`FrameReader`], and
+//!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR, the batched
+//!   QUERY2/ANSWER2 pair, and the correlation-tagged pipelined
+//!   QUERY3/ANSWER3 pair), an incremental [`FrameReader`] with
+//!   zero-copy [`peek_frame`](frame::FrameReader::peek_frame) access,
+//!   borrowed batch views, reusable [`FrameScratch`] buffers, and
 //!   [`topology_hash`] for handshake validation. OFFER/ACK/RESYNC and
 //!   QUERY/ANSWER byte layouts match `synctime-core`'s wire-cost model
 //!   *exactly*, so [`RunStats`] wire accounting is identical whether a
@@ -28,7 +31,9 @@
 //!   replaced PR 5's thread-per-connection accept loop.
 //! * [`query`] — the precedence-query protocol: Theorem 4 of the paper
 //!   as a service ([`QueryService`], [`serve_queries`],
-//!   [`QueryClient`] with single, batched, and multi-trace calls).
+//!   [`QueryClient`] with single, batched, multi-trace, and pipelined
+//!   calls — [`Pipeline`] keeps a window of batches in flight on one
+//!   connection, completing out of order by correlation id).
 //! * [`report`] — [`NodeReport`], the JSON document each OS process
 //!   prints so a launcher can merge a distributed run back into one
 //!   trace and one [`RunStats`].
@@ -47,6 +52,8 @@
 //! [`serve_fabric`]: pool::serve_fabric
 //! [`NodeReport`]: report::NodeReport
 //! [`FrameReader`]: frame::FrameReader
+//! [`FrameScratch`]: frame::FrameScratch
+//! [`Pipeline`]: query::Pipeline
 //! [`topology_hash`]: frame::topology_hash
 //! [`TcpMeshBuilder`]: tcp::TcpMeshBuilder
 //! [`TcpMesh`]: tcp::TcpMesh
@@ -66,10 +73,14 @@ pub mod tcp;
 pub use catalog::{QueryFabric, ShardRing, DEFAULT_SHARDS};
 pub use error::NetError;
 pub use frame::{
-    topology_hash, topology_hash_of, BatchEntry, BatchQuery, Frame, FrameReader, MAX_BATCH,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_ack_into, encode_offer_into, encode_query_batch_into, topology_hash, topology_hash_of,
+    AnswerBatchView, BatchEntry, BatchQuery, Frame, FrameReader, FrameScratch, QueryBatchView,
+    MAX_BATCH, MAX_FRAME_LEN, MIN_QUERY_VERSION, PROTOCOL_VERSION,
 };
 pub use pool::{default_pool_size, serve_fabric};
-pub use query::{answer_query, QueryClient, QueryService, DEFAULT_TRACE_NAME};
+pub use query::{
+    answer_query, answer_query_into, pump_frames, Pipeline, QueryClient, QueryService,
+    DEFAULT_TRACE_NAME,
+};
 pub use report::{NodeReport, NODE_REPORT_SCHEMA};
 pub use tcp::{TcpMesh, TcpMeshBuilder};

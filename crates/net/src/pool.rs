@@ -22,6 +22,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::catalog::QueryFabric;
 use crate::error::NetError;
+use crate::frame::FrameScratch;
 use crate::query::serve_fabric_connection;
 
 /// The worker count used when a caller does not choose one: the machine's
@@ -57,19 +58,26 @@ pub fn serve_fabric(
         let fabric = Arc::clone(&fabric);
         std::thread::Builder::new()
             .name(format!("synctime-qworker-{w}"))
-            .spawn(move || loop {
-                let stream = {
-                    let (lock, cv) = &*queue;
-                    let mut pending = lock.lock().unwrap_or_else(PoisonError::into_inner);
-                    loop {
-                        if let Some(stream) = pending.pop_front() {
-                            break stream;
+            .spawn(move || {
+                // One scratch per worker, reused across every connection it
+                // serves: buffer capacity warmed by one connection pays for
+                // the next, and the steady-state answer path allocates
+                // nothing.
+                let mut scratch = FrameScratch::new();
+                loop {
+                    let stream = {
+                        let (lock, cv) = &*queue;
+                        let mut pending = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                        loop {
+                            if let Some(stream) = pending.pop_front() {
+                                break stream;
+                            }
+                            pending = cv.wait(pending).unwrap_or_else(PoisonError::into_inner);
                         }
-                        pending = cv.wait(pending).unwrap_or_else(PoisonError::into_inner);
-                    }
-                };
-                // A misbehaving client only kills its own connection.
-                let _ = serve_fabric_connection(stream, &fabric);
+                    };
+                    // A misbehaving client only kills its own connection.
+                    let _ = serve_fabric_connection(stream, &fabric, &mut scratch);
+                }
             })?;
     }
     loop {

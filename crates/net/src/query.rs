@@ -20,6 +20,17 @@
 //! trace lookup are paid once per batch, which is what takes a
 //! single connection from ~10⁵ to ~10⁶ queries/sec on loopback.
 //!
+//! A v3 **pipelined** connection removes the remaining lock-step: a
+//! [`Pipeline`] keeps up to W correlation-tagged QUERY3 batches in flight
+//! at once, the server answers frames *as they decode* (every batch read
+//! off the socket in one `read` is answered in one `write`), and answers
+//! complete out of order, matched by correlation id. The serving hot path
+//! is allocation-free in steady state: [`pump_frames`] decodes borrowed
+//! [`QueryBatchView`]s straight out of the receive buffer and appends
+//! ANSWER3 frames to a per-connection [`FrameScratch`], whose buffers are
+//! reused across frames and connections (see
+//! `crates/net/tests/zero_alloc.rs` for the counting-allocator proof).
+//!
 //! Every connection is served by the fixed worker pool in [`crate::pool`]
 //! against a shared [`QueryFabric`] catalog; the single-trace [`serve`]
 //! entry point is the same machinery over a one-trace catalog.
@@ -27,7 +38,10 @@
 //! Query connections handshake like transport connections, but a client
 //! is not a process of any computation: it identifies as process
 //! `u32::MAX` with topology hash `0`, and the server validates the
-//! protocol version only.
+//! protocol version only — accepting [`MIN_QUERY_VERSION`] up to
+//! [`PROTOCOL_VERSION`], so v2 clients keep working across the v3 bump.
+//!
+//! [`QueryBatchView`]: crate::frame::QueryBatchView
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -38,7 +52,11 @@ use synctime_trace::MessageId;
 
 use crate::catalog::QueryFabric;
 use crate::error::NetError;
-use crate::frame::{BatchEntry, BatchQuery, Frame, FrameReader, MAX_BATCH, PROTOCOL_VERSION};
+use crate::frame::{
+    begin_frame, encode_query_batch_into, end_frame, AnswerBatchView, BatchEntry, BatchQuery,
+    Frame, FrameReader, FrameScratch, QueryBatchView, MAX_BATCH, MIN_QUERY_VERSION,
+    PROTOCOL_VERSION, TYPE_ANSWER_PIPELINED, TYPE_QUERY_PIPELINED,
+};
 
 /// Query kind byte: does `m1` precede `m2`?
 pub const QUERY_PRECEDES: u8 = 0;
@@ -69,6 +87,26 @@ pub fn answer_query(
     m1: u32,
     m2: u32,
 ) -> Result<Vec<u8>, NetError> {
+    let mut body = Vec::new();
+    answer_query_into(stamps, kind, m1, m2, &mut body)?;
+    Ok(body)
+}
+
+/// [`answer_query`] appending into a caller-owned buffer — the
+/// allocation-free form the serving hot path uses ([`FrameScratch::body`]
+/// is the usual arena). On error nothing has been appended.
+///
+/// # Errors
+///
+/// [`NetError::Query`] on an unknown kind or out-of-range message id
+/// (0-based).
+pub fn answer_query_into(
+    stamps: &MessageTimestamps,
+    kind: u8,
+    m1: u32,
+    m2: u32,
+    out: &mut Vec<u8>,
+) -> Result<(), NetError> {
     let check = |m: u32| -> Result<MessageId, NetError> {
         let idx = m as usize;
         if idx >= stamps.len() {
@@ -82,25 +120,29 @@ pub fn answer_query(
     match kind {
         QUERY_PRECEDES => {
             let (a, b) = (check(m1)?, check(m2)?);
-            Ok(vec![u8::from(stamps.precedes(a, b))])
+            out.push(u8::from(stamps.precedes(a, b)));
+            Ok(())
         }
         QUERY_CONCURRENT => {
             let (a, b) = (check(m1)?, check(m2)?);
-            Ok(vec![u8::from(stamps.concurrent(a, b))])
+            out.push(u8::from(stamps.concurrent(a, b)));
+            Ok(())
         }
         QUERY_CHAIN_OF => {
             let m = check(m1)?;
-            let ordered: Vec<u32> = (0..stamps.len())
-                .map(MessageId)
-                .filter(|&o| o == m || stamps.precedes(o, m) || stamps.precedes(m, o))
-                .map(|o| o.0 as u32)
-                .collect();
-            let mut body = Vec::with_capacity(4 + 4 * ordered.len());
-            body.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
-            for id in ordered {
-                body.extend_from_slice(&id.to_le_bytes());
+            // Count prefix backpatched once the ids are appended, so the
+            // ordered set is never materialised separately.
+            let count_at = out.len();
+            out.extend_from_slice(&[0u8; 4]);
+            let mut count = 0u32;
+            for o in (0..stamps.len()).map(MessageId) {
+                if o == m || stamps.precedes(o, m) || stamps.precedes(m, o) {
+                    out.extend_from_slice(&(o.0 as u32).to_le_bytes());
+                    count += 1;
+                }
             }
-            Ok(body)
+            out[count_at..count_at + 4].copy_from_slice(&count.to_le_bytes());
+            Ok(())
         }
         other => Err(NetError::Query(format!("unknown query kind {other}"))),
     }
@@ -159,8 +201,16 @@ pub fn serve(listener: TcpListener, service: QueryService) -> Result<(), NetErro
 }
 
 /// Runs one client connection against the catalog: handshake, then a
-/// query/answer loop (v1 single queries and v2 batches interleave freely)
-/// until the client disconnects.
+/// query/answer loop (v1 single queries, v2 batches, and v3 pipelined
+/// batches interleave freely) until the client disconnects.
+///
+/// The loop never lock-steps: every complete frame already buffered is
+/// answered into `scratch.out` before the reply bytes leave in a single
+/// `write`, so a pipelining client that lands W batches in one socket
+/// read gets W answers in one socket write. `scratch` is the connection's
+/// reusable buffer set — a pool worker passes the same scratch to every
+/// connection it serves, which is what keeps the steady state
+/// allocation-free.
 ///
 /// Rejected queries — bad ids, unknown kinds, unresolvable trace ids —
 /// answer with ERROR frames (or error entries) and keep the connection
@@ -169,25 +219,28 @@ pub fn serve(listener: TcpListener, service: QueryService) -> Result<(), NetErro
 /// # Errors
 ///
 /// [`NetError::Handshake`] when the client's HELLO is missing or speaks
-/// the wrong protocol version, [`NetError::Protocol`] on frame
-/// violations, [`NetError::Io`] on socket failures.
+/// an unsupported protocol version (anything outside
+/// [`MIN_QUERY_VERSION`]..=[`PROTOCOL_VERSION`]), [`NetError::Protocol`]
+/// on frame violations, [`NetError::Io`] on socket failures.
 pub fn serve_fabric_connection(
     mut stream: TcpStream,
     fabric: &QueryFabric,
+    scratch: &mut FrameScratch,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
     let mut reader = FrameReader::new();
-    let mut buf = [0u8; 4096];
+    let mut buf = [0u8; 16384];
     let hello = read_frame(&mut stream, &mut reader, &mut buf)?;
     let Frame::Hello { version, .. } = hello else {
         return Err(NetError::Handshake(format!(
             "expected HELLO, got {hello:?}"
         )));
     };
-    if version != PROTOCOL_VERSION {
+    if !(MIN_QUERY_VERSION..=PROTOCOL_VERSION).contains(&version) {
         let refusal = Frame::Error {
             message: format!(
-                "protocol version mismatch: client speaks {version}, server speaks {PROTOCOL_VERSION}"
+                "protocol version mismatch: client speaks {version}, server accepts \
+                 {MIN_QUERY_VERSION}..={PROTOCOL_VERSION}"
             ),
         };
         stream.write_all(&refusal.encode())?;
@@ -202,10 +255,102 @@ pub fn serve_fabric_connection(
         .encode(),
     )?;
     loop {
-        let frame = match read_frame(&mut stream, &mut reader, &mut buf) {
-            Ok(f) => f,
-            Err(NetError::Closed) => return Ok(()),
-            Err(e) => return Err(e),
+        scratch.out.clear();
+        let open = pump_frames(&mut reader, fabric, scratch)?;
+        if !scratch.out.is_empty() {
+            stream.write_all(&scratch.out)?;
+        }
+        if !open {
+            return Ok(());
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        reader.feed(&buf[..n]);
+    }
+}
+
+/// Answers every complete frame buffered in `reader`, appending the reply
+/// bytes to `scratch.out` (the caller flushes them in one write). Returns
+/// `false` when the connection should close after the flush — an
+/// unexpected frame type was answered with a final ERROR frame.
+///
+/// This is the serving hot path: QUERY3 frames are decoded as borrowed
+/// [`QueryBatchView`]s straight out of the receive buffer and answered
+/// via [`answer_query_into`] into the scratch arena, so in steady state
+/// (warm buffers, no rejected queries) the whole pump performs **zero
+/// heap allocations per query** — `crates/net/tests/zero_alloc.rs` counts
+/// them. A QUERY3 whose trace id does not resolve answers ANSWER3 with
+/// every entry carrying the resolution error, keeping the correlation id
+/// (a bare ERROR frame would not say *which* in-flight batch failed).
+///
+/// # Errors
+///
+/// [`NetError::Protocol`] on frame violations (framing is lost; the
+/// caller should drop the connection without flushing further replies).
+pub fn pump_frames(
+    reader: &mut FrameReader,
+    fabric: &QueryFabric,
+    scratch: &mut FrameScratch,
+) -> Result<bool, NetError> {
+    loop {
+        // Fast path: answer a pipelined batch without materialising a
+        // Frame. Everything else falls back to the owned decode below.
+        if let Some((TYPE_QUERY_PIPELINED, body)) = reader.peek_frame()? {
+            if body.len() < 4 {
+                return Err(NetError::Protocol(
+                    "QUERY3 body too short for correlation id".to_string(),
+                ));
+            }
+            let corr = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+            let view = QueryBatchView::parse(&body[4..])?;
+            let FrameScratch {
+                out, body: arena, ..
+            } = scratch;
+            let start = begin_frame(out, TYPE_ANSWER_PIPELINED);
+            out.extend_from_slice(&corr.to_le_bytes());
+            out.extend_from_slice(&(view.count() as u32).to_le_bytes());
+            match fabric.resolve(view.trace()) {
+                Ok(stamps) => {
+                    for q in view.queries() {
+                        arena.clear();
+                        let status = match answer_query_into(&stamps, q.kind, q.m1, q.m2, arena) {
+                            Ok(()) => 0u8,
+                            Err(e) => {
+                                let detail = match e {
+                                    NetError::Query(detail) => detail,
+                                    other => other.to_string(),
+                                };
+                                arena.clear();
+                                arena.extend_from_slice(detail.as_bytes());
+                                1
+                            }
+                        };
+                        out.push(status);
+                        out.extend_from_slice(&(arena.len() as u32).to_le_bytes());
+                        out.extend_from_slice(arena);
+                    }
+                }
+                Err(e) => {
+                    let detail = match e {
+                        NetError::Query(detail) => detail,
+                        other => other.to_string(),
+                    };
+                    for _ in 0..view.count() {
+                        out.push(1);
+                        out.extend_from_slice(&(detail.len() as u32).to_le_bytes());
+                        out.extend_from_slice(detail.as_bytes());
+                    }
+                }
+            }
+            end_frame(out, start);
+            reader.consume_frame();
+            continue;
+        }
+        let frame = match reader.next_frame()? {
+            Some(f) => f,
+            None => return Ok(true),
         };
         let reply = match frame {
             Frame::Query { kind, m1, m2 } => {
@@ -236,14 +381,14 @@ pub fn serve_fabric_connection(
                 }
             }
             other => {
-                let err = Frame::Error {
-                    message: format!("expected QUERY or QUERY2, got {other:?}"),
-                };
-                stream.write_all(&err.encode())?;
-                return Ok(());
+                Frame::Error {
+                    message: format!("expected QUERY, QUERY2, or QUERY3, got {other:?}"),
+                }
+                .encode_into(&mut scratch.out);
+                return Ok(false);
             }
         };
-        stream.write_all(&reply.encode())?;
+        reply.encode_into(&mut scratch.out);
     }
 }
 
@@ -264,11 +409,13 @@ fn read_frame(
     }
 }
 
-/// A blocking query connection: one handshake, then sequential queries.
+/// A blocking query connection: one handshake, then sequential queries —
+/// or up to W overlapping batches via [`QueryClient::pipeline`].
 #[derive(Debug)]
 pub struct QueryClient {
     stream: TcpStream,
     reader: FrameReader,
+    scratch: FrameScratch,
 }
 
 impl QueryClient {
@@ -292,7 +439,11 @@ impl QueryClient {
         let mut reader = FrameReader::new();
         let mut buf = [0u8; 4096];
         match read_frame(&mut stream, &mut reader, &mut buf)? {
-            Frame::Hello { .. } => Ok(QueryClient { stream, reader }),
+            Frame::Hello { .. } => Ok(QueryClient {
+                stream,
+                reader,
+                scratch: FrameScratch::new(),
+            }),
             Frame::Error { message } => Err(NetError::Handshake(message)),
             other => Err(NetError::Handshake(format!(
                 "expected HELLO, got {other:?}"
@@ -398,14 +549,16 @@ impl QueryClient {
             )));
         }
         let mut entries = Vec::with_capacity(queries.len());
-        for chunk in queries.chunks(MAX_BATCH) {
-            self.stream.write_all(
-                &Frame::QueryBatch {
-                    trace: trace.to_string(),
-                    queries: chunk.to_vec(),
-                }
-                .encode(),
-            )?;
+        // Explicit cursor instead of `chunks()`: an exact multiple of
+        // MAX_BATCH sends exactly len/MAX_BATCH frames (no trailing empty
+        // frame), and an empty batch still sends one frame so a bad trace
+        // id surfaces as the error it is rather than silently succeeding.
+        let mut sent = 0usize;
+        loop {
+            let chunk = &queries[sent..queries.len().min(sent + MAX_BATCH)];
+            self.scratch.out.clear();
+            encode_query_batch_into(&mut self.scratch.out, None, trace, chunk);
+            self.stream.write_all(&self.scratch.out)?;
             let mut buf = [0u8; 65536];
             match read_frame(&mut self.stream, &mut self.reader, &mut buf)? {
                 Frame::AnswerBatch { entries: got } => {
@@ -425,8 +578,11 @@ impl QueryClient {
                     )))
                 }
             }
+            sent += chunk.len();
+            if sent >= queries.len() {
+                return Ok(entries);
+            }
         }
-        Ok(entries)
     }
 
     /// Batched `precedes`: one boolean per `(m1, m2)` pair, in order, via
@@ -521,6 +677,310 @@ impl QueryClient {
                 )),
             },
             BatchEntry::Error(message) => Err(NetError::Query(message)),
+        }
+    }
+
+    /// Opens a pipelined (protocol v3) session on this connection: up to
+    /// `window` batches stay in flight at once, each tagged with a
+    /// correlation id the server echoes, so the wire never idles for a
+    /// round trip between batches. Answers complete out of order; the
+    /// [`Pipeline`] reassembles them by submission slot.
+    ///
+    /// Dropping a [`Pipeline`] with batches still in flight leaves their
+    /// answers unread in the stream — call [`Pipeline::finish`] (or
+    /// [`Pipeline::drain`]) before issuing non-pipelined queries on this
+    /// client again.
+    pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            window: window.max(1),
+            expected: Vec::new(),
+            results: Vec::new(),
+            outstanding: 0,
+        }
+    }
+
+    /// Pipelined batched `precedes`: one boolean per `(m1, m2)` pair, in
+    /// order, with the pairs split into `batch`-sized QUERY3 frames and up
+    /// to `window` frames in flight at once. This is the fastest
+    /// single-connection path: requests stream without waiting for
+    /// answers, and answers are decoded as borrowed views without
+    /// per-entry allocation.
+    ///
+    /// `batch` is clamped to `1..=`[`MAX_BATCH`]; `window` to at least 1
+    /// (`window == 1` degenerates to [`QueryClient::precedes_many`]'s
+    /// lock-step, still on v3 frames).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] if the trace id or *any* pair is rejected,
+    /// [`NetError::Correlation`] on an answer for no in-flight batch,
+    /// [`NetError::Protocol`] on malformed replies, transport errors
+    /// otherwise.
+    pub fn precedes_many_pipelined(
+        &mut self,
+        trace: &str,
+        pairs: &[(u32, u32)],
+        batch: usize,
+        window: usize,
+    ) -> Result<Vec<bool>, NetError> {
+        if trace.len() > u16::MAX as usize {
+            return Err(NetError::Query(format!(
+                "trace id of {} bytes exceeds the u16 length field",
+                trace.len()
+            )));
+        }
+        let batch = batch.clamp(1, MAX_BATCH);
+        let window = window.max(1);
+        let mut results = vec![false; pairs.len()];
+        let chunk_count = pairs.len().div_ceil(batch);
+        let mut done = vec![false; chunk_count];
+        let mut buf = vec![0u8; 65536];
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        while completed < chunk_count {
+            while submitted < chunk_count && submitted - completed < window {
+                let lo = submitted * batch;
+                let hi = pairs.len().min(lo + batch);
+                self.scratch.queries.clear();
+                self.scratch
+                    .queries
+                    .extend(pairs[lo..hi].iter().map(|&(m1, m2)| BatchQuery {
+                        kind: QUERY_PRECEDES,
+                        m1,
+                        m2,
+                    }));
+                self.scratch.out.clear();
+                encode_query_batch_into(
+                    &mut self.scratch.out,
+                    Some(submitted as u32),
+                    trace,
+                    &self.scratch.queries,
+                );
+                self.stream.write_all(&self.scratch.out)?;
+                submitted += 1;
+            }
+            self.recv_pipelined_bools(batch, &mut results, &mut done, &mut buf)?;
+            completed += 1;
+        }
+        Ok(results)
+    }
+
+    /// Receives one ANSWER3 frame and scatters its booleans into
+    /// `results` at the slot its correlation id names. The borrowed-view
+    /// decode path: nothing is allocated per entry.
+    fn recv_pipelined_bools(
+        &mut self,
+        batch: usize,
+        results: &mut [bool],
+        done: &mut [bool],
+        buf: &mut [u8],
+    ) -> Result<(), NetError> {
+        loop {
+            if self.reader.peek_frame()?.is_some() {
+                break;
+            }
+            let n = self.stream.read(buf)?;
+            if n == 0 {
+                return Err(NetError::Closed);
+            }
+            self.reader.feed(&buf[..n]);
+        }
+        let Some((ty, body)) = self.reader.peek_frame()? else {
+            return Err(NetError::Protocol("peeked frame vanished".to_string()));
+        };
+        if ty != TYPE_ANSWER_PIPELINED {
+            // Cold path: owned decode for ERROR or stray frames.
+            return match self.reader.next_frame()? {
+                Some(Frame::Error { message }) => Err(NetError::Query(message)),
+                Some(other) => Err(NetError::Protocol(format!(
+                    "expected ANSWER3, got {other:?}"
+                ))),
+                None => Err(NetError::Protocol("peeked frame vanished".to_string())),
+            };
+        }
+        if body.len() < 4 {
+            return Err(NetError::Protocol(
+                "ANSWER3 body too short for correlation id".to_string(),
+            ));
+        }
+        let corr = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+        let view = AnswerBatchView::parse(&body[4..])?;
+        let slot = corr as usize;
+        // Resolve the slot before touching results; a stray or duplicate
+        // correlation id consumes its frame and surfaces typed, leaving
+        // the connection alive.
+        let outcome: Result<(), NetError> = if slot >= done.len() || done[slot] {
+            Err(NetError::Correlation(corr))
+        } else {
+            let lo = slot * batch;
+            let hi = results.len().min(lo + batch);
+            if view.count() != hi - lo {
+                Err(NetError::Protocol(format!(
+                    "batch of {} queries answered with {} entries",
+                    hi - lo,
+                    view.count()
+                )))
+            } else {
+                let mut failure: Option<NetError> = None;
+                for (i, (status, bytes)) in view.entries().enumerate() {
+                    match (status, bytes) {
+                        (0, [0]) => results[lo + i] = false,
+                        (0, [1]) => results[lo + i] = true,
+                        (0, _) => {
+                            failure = Some(NetError::Protocol(
+                                "boolean answer body is not a single 0/1 byte".to_string(),
+                            ));
+                            break;
+                        }
+                        (1, msg) => {
+                            failure =
+                                Some(NetError::Query(String::from_utf8_lossy(msg).into_owned()));
+                            break;
+                        }
+                        (status, _) => {
+                            failure = Some(NetError::Protocol(format!(
+                                "ANSWER3 entry has unknown status {status}"
+                            )));
+                            break;
+                        }
+                    }
+                }
+                match failure {
+                    Some(e) => Err(e),
+                    None => {
+                        done[slot] = true;
+                        Ok(())
+                    }
+                }
+            }
+        };
+        self.reader.consume_frame();
+        outcome
+    }
+}
+
+/// A pipelined (protocol v3) query session: keeps up to W batches in
+/// flight on one connection, completing them out of order by correlation
+/// id. Created by [`QueryClient::pipeline`].
+///
+/// [`Pipeline::submit`] blocks only when the window is full (it receives
+/// one answer to make room); [`Pipeline::drain`] /[`Pipeline::finish`]
+/// receive whatever is still in flight. Results are returned in
+/// *submission* order regardless of the order answers arrived.
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    client: &'a mut QueryClient,
+    window: usize,
+    /// Entry count each slot's answer must carry.
+    expected: Vec<u32>,
+    /// Slot-indexed answers; `None` until the slot's ANSWER3 arrives.
+    results: Vec<Option<Vec<BatchEntry>>>,
+    outstanding: usize,
+}
+
+impl Pipeline<'_> {
+    /// Sends one batch (at most [`MAX_BATCH`] queries) against a named
+    /// trace, returning its submission slot. Blocks receiving answers
+    /// only while the window is full.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] on an oversized batch or trace id (or a
+    /// server-rejected trace on the answer that made room),
+    /// [`NetError::Correlation`] when an answer matches no in-flight
+    /// batch, transport errors otherwise.
+    pub fn submit(&mut self, trace: &str, queries: &[BatchQuery]) -> Result<usize, NetError> {
+        if queries.len() > MAX_BATCH {
+            return Err(NetError::Query(format!(
+                "batch of {} queries exceeds the {MAX_BATCH}-query frame bound",
+                queries.len()
+            )));
+        }
+        if trace.len() > u16::MAX as usize {
+            return Err(NetError::Query(format!(
+                "trace id of {} bytes exceeds the u16 length field",
+                trace.len()
+            )));
+        }
+        while self.outstanding >= self.window {
+            self.recv_one()?;
+        }
+        let corr = self.results.len() as u32;
+        self.client.scratch.out.clear();
+        encode_query_batch_into(&mut self.client.scratch.out, Some(corr), trace, queries);
+        self.client.stream.write_all(&self.client.scratch.out)?;
+        self.results.push(None);
+        self.expected.push(queries.len() as u32);
+        self.outstanding += 1;
+        Ok(corr as usize)
+    }
+
+    /// Batches submitted but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Receives answers until nothing is in flight. A
+    /// [`NetError::Correlation`] return is recoverable: the stray frame
+    /// has been consumed, and calling `drain` again resumes receiving the
+    /// real answers.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Correlation`] on an answer for no in-flight batch,
+    /// [`NetError::Query`] when the server rejected a batch's trace,
+    /// [`NetError::Protocol`] on malformed replies, transport errors
+    /// otherwise.
+    pub fn drain(&mut self) -> Result<(), NetError> {
+        while self.outstanding > 0 {
+            self.recv_one()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the window and returns every batch's entries in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::drain`].
+    pub fn finish(mut self) -> Result<Vec<Vec<BatchEntry>>, NetError> {
+        self.drain()?;
+        Ok(self
+            .results
+            .drain(..)
+            .map(Option::unwrap_or_default)
+            .collect())
+    }
+
+    fn recv_one(&mut self) -> Result<(), NetError> {
+        let mut buf = [0u8; 65536];
+        match read_frame(&mut self.client.stream, &mut self.client.reader, &mut buf)? {
+            Frame::AnswerPipelined { corr, entries } => {
+                let slot = corr as usize;
+                match self.results.get_mut(slot) {
+                    Some(result) if result.is_none() => {
+                        if entries.len() as u32 != self.expected[slot] {
+                            return Err(NetError::Protocol(format!(
+                                "batch of {} queries answered with {} entries",
+                                self.expected[slot],
+                                entries.len()
+                            )));
+                        }
+                        *result = Some(entries);
+                        self.outstanding -= 1;
+                        Ok(())
+                    }
+                    // Unknown or duplicate correlation id: the frame is
+                    // consumed, framing is intact, the session continues.
+                    _ => Err(NetError::Correlation(corr)),
+                }
+            }
+            Frame::Error { message } => Err(NetError::Query(message)),
+            other => Err(NetError::Protocol(format!(
+                "expected ANSWER3, got {other:?}"
+            ))),
         }
     }
 }

@@ -43,7 +43,7 @@ use synctime_runtime::{
 };
 
 use crate::error::NetError;
-use crate::frame::{Frame, FrameReader, PROTOCOL_VERSION};
+use crate::frame::{encode_ack_into, encode_offer_into, Frame, FrameReader, PROTOCOL_VERSION};
 use crate::mailbox::Mailbox;
 
 /// How long `establish` keeps retrying a refused connect before giving
@@ -57,28 +57,41 @@ enum AnswerMsg {
     Resync { key: u64 },
 }
 
+/// The write half of a connection: the socket plus a reusable encode
+/// buffer, both behind one lock so frames from the Tx and Rx endpoints
+/// interleave whole. Reusing the buffer keeps the steady-state offer/ack
+/// path free of per-frame allocation.
+#[derive(Debug)]
+struct WriteHalf {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
 /// One established peer connection: the write half (shared by the Tx and
 /// Rx endpoints under a lock) plus the reader thread's demultiplexed
 /// mailboxes.
 #[derive(Debug)]
 struct Conn {
-    writer: Mutex<TcpStream>,
+    writer: Mutex<WriteHalf>,
     offers: Mailbox<RawOffer>,
     answers: Mailbox<AnswerMsg>,
 }
 
 impl Conn {
-    /// Writes one frame, mapping close-like failures to
+    /// Encodes one frame into the shared write buffer (via `fill`) and
+    /// writes it, mapping close-like failures to
     /// [`TransportError::Closed`].
-    fn write_frame(&self, frame: &Frame) -> Result<(), TransportError> {
-        let bytes = frame.encode();
+    fn write_with(&self, fill: impl FnOnce(&mut Vec<u8>)) -> Result<(), TransportError> {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        writer.write_all(&bytes).map_err(map_io)
+        let WriteHalf { stream, buf } = &mut *writer;
+        buf.clear();
+        fill(buf);
+        stream.write_all(buf).map_err(map_io)
     }
 
     fn shutdown(&self) {
         let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = writer.shutdown(Shutdown::Both);
+        let _ = writer.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -306,7 +319,10 @@ impl TcpMeshBuilder {
             stream.set_nodelay(true)?;
             let read_half = stream.try_clone()?;
             let conn = Arc::new(Conn {
-                writer: Mutex::new(stream),
+                writer: Mutex::new(WriteHalf {
+                    stream,
+                    buf: Vec::new(),
+                }),
                 offers: Mailbox::new(),
                 answers: Mailbox::new(),
             });
@@ -438,11 +454,10 @@ impl TxChannel for TcpTx {
     }
 
     fn offer(&self, key: u64, payload: u64, vector: &[u8]) -> Result<(), TransportError> {
-        self.conn.write_frame(&Frame::Offer {
-            key,
-            payload,
-            vector: vector.to_vec(),
-        })?;
+        // Borrowed encode: the timestamp vector goes straight from the
+        // caller's slice into the connection's write buffer.
+        self.conn
+            .write_with(|out| encode_offer_into(out, key, payload, vector))?;
         *self.inflight.lock().unwrap_or_else(PoisonError::into_inner) = Some((key, Instant::now()));
         Ok(())
     }
@@ -515,10 +530,11 @@ impl RxChannel for TcpRx {
                 "answer without a taken offer".to_string(),
             ));
         };
-        let frame = match answer {
-            OfferAnswer::Ack(ack) => Frame::Ack { key, ack },
-            OfferAnswer::Resync => Frame::Resync { key },
-        };
-        self.conn.write_frame(&frame)
+        match answer {
+            OfferAnswer::Ack(ack) => self.conn.write_with(|out| encode_ack_into(out, key, &ack)),
+            OfferAnswer::Resync => self
+                .conn
+                .write_with(|out| Frame::Resync { key }.encode_into(out)),
+        }
     }
 }

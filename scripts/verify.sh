@@ -19,10 +19,12 @@
 #      sparse-vs-dense speedup claim in the full report)
 #   9. bench-smoke: the net_query suite at CI scale, checking both its own
 #      smoke report and the checked-in results/ JSON against the
-#      synctime/bench_net/v2 schema (full reports must clear the >= 10k
+#      synctime/bench_net/v3 schema (full reports must clear the >= 10k
 #      single-query floor, >= 3x batch-256 speedup over single-connection
-#      v1, and >= 500k aggregate fabric queries/sec at amortised
-#      p99 <= 250us)
+#      v1, >= 500k aggregate fabric queries/sec at amortised p99 <= 250us,
+#      >= 1.5x W=16 pipelined speedup over lock-step batch-256, >= 1.3x
+#      vectorized merge-kernel speedup at d=256, and zero steady-state
+#      serving allocations)
 #  10. bench-smoke: the clock_backends suite at CI scale, checking both its
 #      own smoke report and the checked-in results/ JSON against the
 #      synctime/bench_clocks/v1 schema (full reports must clear the >= 2x
@@ -37,11 +39,16 @@
 #      known precedence queries over the wire; a 2-trace `--traces-dir`
 #      catalog must answer named-trace and batched queries with the same
 #      verdicts
-#  13. clock-smoke: `run --ring 8` and `stamp` of a generated trace must
+#  13. pipeline-smoke: against the live catalog server, a `--window 16`
+#      pipelined (protocol v3) batch must print byte-identical output to
+#      the same batch over lock-step v2 frames; the dedicated
+#      counting-allocator test must prove the steady-state serving path
+#      performs zero heap allocations
+#  14. clock-smoke: `run --ring 8` and `stamp` of a generated trace must
 #      produce byte-identical output under every `--clock` backend
 #      (dense / tree / fixed / auto), and an unknown backend name must be
 #      refused with a diagnostic
-#  14. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#  15. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -191,8 +198,24 @@ m1 -> m3: yes" ] || {
 if qc --m1 1 --m2 2 > /dev/null 2>&1; then
   echo "verify: unnamed query against a 2-trace catalog should fail" >&2; exit 1
 fi
+
+echo "==> pipeline-smoke: --window 16 (v3) answers byte-identical to v2 batches"
+# A batch big enough to span several pipelined frames, against the live
+# catalog server: every pair of the ring trace, both directions.
+PAIRS="1:2,2:1,1:3,3:1,2:3,3:2,1:1,2:2,3:3"
+qc --trace ring --batch "$PAIRS" > "$NET_DIR/batch-v2.out"
+qc --trace ring --batch "$PAIRS" --window 16 > "$NET_DIR/batch-v3.out"
+diff "$NET_DIR/batch-v2.out" "$NET_DIR/batch-v3.out" || {
+  echo "verify: pipelined (v3, W=16) verdicts diverged from v2 batches" >&2; exit 1; }
+qc --trace web --batch "$PAIRS" > "$NET_DIR/web-v2.out"
+qc --trace web --batch "$PAIRS" --window 16 > "$NET_DIR/web-v3.out"
+diff "$NET_DIR/web-v2.out" "$NET_DIR/web-v3.out" || {
+  echo "verify: pipelined (v3, W=16) verdicts diverged from v2 on trace web" >&2; exit 1; }
 kill "$CATALOG_PID" 2>/dev/null || true
 wait "$CATALOG_PID" 2>/dev/null || true
+
+echo "==> pipeline-smoke: counting-allocator proof of the zero-alloc hot path"
+run cargo test -q -p synctime-net --test zero_alloc
 
 # --- clock-smoke: every clock backend must be a drop-in representation —
 # --- same traces, same stamps, byte for byte.

@@ -351,7 +351,9 @@ macro_rules! prop_assert_ne {
         if *__left == *__right {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($a), stringify!($b), __left
+                stringify!($a),
+                stringify!($b),
+                __left
             )));
         }
     }};
@@ -371,8 +373,8 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
-        Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
     };
 
     /// Mirrors `proptest::prelude::prop` (`prop::collection::vec`, ...).
@@ -431,6 +433,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "too many")]
     fn rejection_storm_bounded() {
-        run_proptest(&PC::with_cases(1), "rejection_storm", |_rng| Err(TCE::Reject));
+        run_proptest(&PC::with_cases(1), "rejection_storm", |_rng| {
+            Err(TCE::Reject)
+        });
     }
 }

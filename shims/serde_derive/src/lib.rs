@@ -32,8 +32,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives `serde::Serialize` (the local shim's trait).
@@ -59,7 +65,8 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
         }
         Err(msg) => format!("compile_error!({msg:?});"),
     };
-    code.parse().expect("serde_derive shim generated invalid Rust")
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
 }
 
 // ------------------------------------------------------------------ parse
