@@ -475,7 +475,8 @@ fn bench_alloc_steady_state(pumps: usize) -> Record {
         })
         .collect();
     let mut wire_bytes = Vec::new();
-    encode_query_batch_into(&mut wire_bytes, Some(1), "trace-0", &queries);
+    encode_query_batch_into(&mut wire_bytes, Some(1), "trace-0", &queries)
+        .expect("bench batch encodes");
 
     let mut reader = FrameReader::new();
     let mut scratch = FrameScratch::new();

@@ -53,16 +53,19 @@ USAGE:
                      [--matcher parking|polling] [--fault-plan <FILE>]
                      [--rendezvous-timeout <MS>] [--rendezvous-retries <K>]
                      [--clock dense|tree|fixed|auto] [--seed <S>]
+                     [--persist <DIR> [--trace-name <NAME>]]
   synctime faultplan --processes <N> --max-op <M> [--crashes <K>]
                      [--desyncs <D>] [--seed <S>]
   synctime launch    (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
                      [--transport tcp|local] [--stats] [--seed <S>]
                      [--topology <SPEC>] [--establish-timeout-ms <MS>]
+                     [--persist <DIR> [--trace-name <NAME>]]
   synctime serve-node --process <P> (--programs <FILE> | --ring <N> | --gossip <N>)
                      [--peers <A0,A1,..>] [--topology <SPEC>] [--rounds <R>]
                      [--seed <S>] [--establish-timeout-ms <MS>]
   synctime serve-query (--topology <SPEC> --trace <FILE>
-                       | --traces-dir <DIR> [--topology <SPEC>] [--shards <S>])
+                       | --traces-dir <DIR> [--topology <SPEC>] [--shards <S>]
+                       | --store-dir <DIR> [--poll-ms <MS>] [--shards <S>])
                      [--listen <ADDR>] [--pool <W>]
 
 TOPOLOGY SPECS:
@@ -885,12 +888,62 @@ fn op_behavior(ops: Vec<ProgramOp>) -> synctime_runtime::Behavior {
     })
 }
 
+/// The trace id a persisted run is stored under when `--trace-name` is
+/// not given.
+const DEFAULT_PERSIST_TRACE: &str = "run";
+
+/// Opens the durable-ingestion writer when `--persist DIR` was given:
+/// returns the sink to install on the runtime and the handle that seals
+/// the store once every sender is gone.
+fn persist_writer(
+    opts: &BTreeMap<String, String>,
+    process_count: usize,
+) -> Result<
+    Option<(
+        std::sync::mpsc::Sender<Vec<synctime_store::PersistEvent>>,
+        synctime_store::StoreWriter,
+    )>,
+    String,
+> {
+    let Some(root) = opts.get("persist") else {
+        return Ok(None);
+    };
+    let trace = opts
+        .get("trace-name")
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_PERSIST_TRACE);
+    let (tx, writer) =
+        synctime_store::spawn_writer(std::path::Path::new(root), trace, process_count)
+            .map_err(|e| format!("cannot open the stamp store under `{root}`: {e}"))?;
+    Ok(Some((tx, writer)))
+}
+
+/// Joins the store writer after a persisted run. Every sender must be
+/// dropped first (the runtime holds one until it is dropped), or the
+/// join blocks forever. Reports where the sealed trace landed on stderr
+/// so stdout stays reserved for the command's JSON output.
+fn seal_store(writer: Option<synctime_store::StoreWriter>) -> Result<(), String> {
+    let Some(writer) = writer else {
+        return Ok(());
+    };
+    let store = writer
+        .finish()
+        .map_err(|e| format!("stamp store writer failed: {e}"))?;
+    eprintln!("persisted trace to {}", store.dir().display());
+    Ok(())
+}
+
 fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
     let programs = run_programs(opts)?;
     reject_receive_any(&programs)?;
     let topo = run_topology(&programs, opts)?;
     let dec = decompose::best_known(&topo);
     let mut rt = configure_runtime(synctime_runtime::Runtime::new(&topo, &dec), opts)?;
+    let mut store_writer = None;
+    if let Some((tx, writer)) = persist_writer(opts, topo.node_count())? {
+        rt = rt.with_log_sink(tx);
+        store_writer = Some(writer);
+    }
     let fault_plan = opts
         .get("fault-plan")
         .map(|path| -> Result<synctime_sim::FaultPlan, String> {
@@ -908,6 +961,8 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
         // verdict alongside the stats, succeeding as a command.
         rt = rt.with_fault_injector(std::sync::Arc::new(plan));
         let run = rt.run_tolerant(behaviors);
+        drop(rt); // release the store sink so the writer can seal
+        seal_store(store_writer)?;
         let outcomes: Vec<String> = run
             .outcomes()
             .iter()
@@ -925,6 +980,8 @@ fn cmd_run(opts: &BTreeMap<String, String>) -> Result<String, String> {
         ));
     }
     let run = rt.run(behaviors).map_err(|e| e.to_string())?;
+    drop(rt); // release the store sink so the writer can seal
+    seal_store(store_writer)?;
     if opts.contains_key("stats") {
         let mut out = run.stats().to_json();
         out.push('\n');
@@ -1138,6 +1195,19 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
         stats_parts.push(report.stats);
         outcomes.push(report.outcome);
     }
+    if let Some(root) = opts.get("persist") {
+        // The launcher persists the *merged* logs after the fact: node
+        // children stream nothing durably themselves, so a single sealed
+        // store appears atomically once every report is in. Recovery
+        // trims any partial per-process suffix to a consistent prefix.
+        let trace = opts
+            .get("trace-name")
+            .map(String::as_str)
+            .unwrap_or(DEFAULT_PERSIST_TRACE);
+        let store = synctime_store::persist_logs(std::path::Path::new(root), trace, &logs)
+            .map_err(|e| format!("cannot persist the run under `{root}`: {e}"))?;
+        eprintln!("persisted trace to {}", store.dir().display());
+    }
     let stats = synctime_obs::RunStats::merged(&stats_parts);
     if outcomes.iter().any(Option::is_some) {
         // Mirror `run --fault-plan`: typed per-process failures are a
@@ -1180,21 +1250,37 @@ fn cmd_serve_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
         })
         .transpose()?
         .unwrap_or_else(synctime_net::default_pool_size);
-    let is_catalog = opts.contains_key("traces-dir");
-    let fabric = if let Some(dir) = opts.get("traces-dir") {
+    let shards = opts
+        .get("shards")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "--shards expects a shard count".to_string())
+        })
+        .transpose()?
+        .unwrap_or(synctime_net::DEFAULT_SHARDS);
+    if shards == 0 {
+        return Err("--shards expects at least 1".to_string());
+    }
+    let poll_ms: u64 = opts
+        .get("poll-ms")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--poll-ms expects milliseconds".to_string())
+        })
+        .transpose()?
+        .unwrap_or(100);
+    let store_dir = opts.get("store-dir");
+    let is_catalog = opts.contains_key("traces-dir") || store_dir.is_some();
+    let fabric = if let Some(root) = store_dir {
+        if opts.contains_key("trace") || opts.contains_key("traces-dir") {
+            return Err(
+                "--store-dir is mutually exclusive with --trace and --traces-dir".to_string(),
+            );
+        }
+        load_store_catalog(root, shards)?
+    } else if let Some(dir) = opts.get("traces-dir") {
         if opts.contains_key("trace") {
             return Err("--trace and --traces-dir are mutually exclusive".to_string());
-        }
-        let shards = opts
-            .get("shards")
-            .map(|s| {
-                s.parse::<usize>()
-                    .map_err(|_| "--shards expects a shard count".to_string())
-            })
-            .transpose()?
-            .unwrap_or(synctime_net::DEFAULT_SHARDS);
-        if shards == 0 {
-            return Err("--shards expects at least 1".to_string());
         }
         load_trace_catalog(dir, opts.get("topology").map(String::as_str), shards)?
     } else {
@@ -1226,9 +1312,89 @@ fn cmd_serve_query(opts: &BTreeMap<String, String>) -> Result<String, String> {
         }
     }
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    synctime_net::serve_fabric(listener, std::sync::Arc::new(fabric), pool)
+    let fabric = std::sync::Arc::new(fabric);
+    if let Some(root) = store_dir {
+        spawn_store_tailer(
+            std::path::PathBuf::from(root),
+            std::sync::Arc::clone(&fabric),
+            std::time::Duration::from_millis(poll_ms),
+        );
+    }
+    synctime_net::serve_fabric(listener, fabric, pool)
         .map_err(|e| format!("query server failed: {e}"))?;
     Ok(String::new())
+}
+
+/// Recovers every trace directory under a `synctime-store` root and
+/// publishes the reconstructible prefix of each into a fresh fabric.
+/// Per-trace failures are warnings, not errors: a trace being written
+/// *right now* may be momentarily torn, and the tailer republishes it on
+/// a later poll. An empty root is fine — traces appear as runs persist
+/// them.
+fn load_store_catalog(root: &str, shards: usize) -> Result<synctime_net::QueryFabric, String> {
+    // A server may come up before the first persisted run: create the
+    // root so an empty store is servable and the tailer picks up traces
+    // as they appear.
+    std::fs::create_dir_all(root)
+        .map_err(|e| format!("cannot create --store-dir `{root}`: {e}"))?;
+    let dirs = synctime_store::trace_dirs(std::path::Path::new(root))
+        .map_err(|e| format!("cannot read --store-dir `{root}`: {e}"))?;
+    let fabric = synctime_net::QueryFabric::new(shards);
+    for (name, dir) in dirs {
+        match publish_store_trace(&fabric, &name, &dir) {
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: trace `{name}` not yet servable: {e}"),
+        }
+    }
+    Ok(fabric)
+}
+
+/// Recovers one store trace directory and publishes its stamps under
+/// `name` (copy-on-write: in-flight queries keep the old snapshot).
+fn publish_store_trace(
+    fabric: &synctime_net::QueryFabric,
+    name: &str,
+    dir: &std::path::Path,
+) -> Result<(), String> {
+    let rec = synctime_store::read_trace_dir(dir).map_err(|e| e.to_string())?;
+    let (_comp, stamps) = synctime_store::materialize(&rec.logs).map_err(|e| e.to_string())?;
+    fabric.publish(name, stamps);
+    Ok(())
+}
+
+/// Watches a store root and republishes any trace whose on-disk bytes
+/// grew since the last poll, so a serving node follows live ingestion.
+/// Fingerprints are (snapshot len, log len) pairs — both files are
+/// append-only between snapshots, and a snapshot changes both lengths,
+/// so growth is always visible. Failed recoveries (a torn in-progress
+/// write) leave the fingerprint unrecorded and retry next poll.
+fn spawn_store_tailer(
+    root: std::path::PathBuf,
+    fabric: std::sync::Arc<synctime_net::QueryFabric>,
+    poll: std::time::Duration,
+) {
+    let file_len = |path: std::path::PathBuf| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    std::thread::spawn(move || {
+        let mut seen: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        loop {
+            std::thread::sleep(poll);
+            let Ok(dirs) = synctime_store::trace_dirs(&root) else {
+                continue; // root may not exist yet; a run can create it later
+            };
+            for (name, dir) in dirs {
+                let fp = (
+                    file_len(dir.join(synctime_store::SNAPSHOT_FILE)),
+                    file_len(dir.join(synctime_store::LOG_FILE)),
+                );
+                if seen.get(&name) == Some(&fp) {
+                    continue;
+                }
+                if publish_store_trace(&fabric, &name, &dir).is_ok() {
+                    seen.insert(name, fp);
+                }
+            }
+        }
+    });
 }
 
 /// Loads every `*.json` trace under `dir` into a sharded catalog; the

@@ -20,7 +20,11 @@ use synctime_trace::ProcessId;
 
 use crate::VectorTime;
 
-fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+/// Appends `x` to `out` as an LEB128 varint — the integer encoding every
+/// `synctime` byte format shares (vector components here, record fields in
+/// the `synctime-store` log), so sizes priced by this module's helpers are
+/// exact by construction.
+pub fn push_varint(out: &mut Vec<u8>, mut x: u64) {
     loop {
         let byte = (x & 0x7f) as u8;
         x >>= 7;
@@ -32,7 +36,10 @@ fn push_varint(out: &mut Vec<u8>, mut x: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+/// Reads one [`push_varint`]-encoded integer at `*pos`, advancing the
+/// cursor past it. Returns `None` on truncation or a value overflowing 64
+/// bits, leaving `*pos` wherever the scan stopped.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
     let mut x = 0u64;
     let mut shift = 0u32;
     loop {
@@ -200,6 +207,57 @@ pub fn batch_query3_frame_bytes(trace_bytes: usize, count: usize) -> u64 {
 /// frame plus the echoed 4-byte correlation id.
 pub fn batch_answer3_frame_bytes(entry_body_bytes: usize, count: usize) -> u64 {
     batch_answer_frame_bytes(entry_body_bytes, count) + 4
+}
+
+/// Number of bytes [`push_varint`] emits for `x` (1 for values under 128,
+/// up to 10 for the full `u64` range). The building block of the store
+/// record pricing below.
+pub fn varint_bytes(x: u64) -> u64 {
+    (64 - x.leading_zeros()).max(1).div_ceil(7) as u64
+}
+
+/// Bytes of the fixed prefix every `synctime-store` log record pays before
+/// its payload: a `u32` payload length plus a `u32` CRC-32 of the payload.
+pub const STORE_RECORD_HEADER_BYTES: u64 = 8;
+
+/// On-disk cost of a store META record (the first record of every store
+/// file): record header + 1-byte tag + varints for the format version, the
+/// run's process count, and the snapshot generation.
+pub fn store_meta_record_bytes(version: u64, process_count: u64, generation: u64) -> u64 {
+    STORE_RECORD_HEADER_BYTES
+        + 1
+        + varint_bytes(version)
+        + varint_bytes(process_count)
+        + varint_bytes(generation)
+}
+
+/// On-disk cost of a store SENT/RECEIVED record: record header + 1-byte
+/// tag + varints for the logging process, its log position, the peer
+/// process, and the message key — then the encoded stamp *last* (it is the
+/// variable-width remainder of the payload, exactly the bytes the clock
+/// seam `Clock::encode_wire` / [`encode_full`] produces, so any clock
+/// backend round-trips byte-identically).
+pub fn store_stamp_record_bytes(
+    process: u64,
+    pseq: u64,
+    peer: u64,
+    key: u64,
+    stamp_bytes: usize,
+) -> u64 {
+    STORE_RECORD_HEADER_BYTES
+        + 1
+        + varint_bytes(process)
+        + varint_bytes(pseq)
+        + varint_bytes(peer)
+        + varint_bytes(key)
+        + stamp_bytes as u64
+}
+
+/// On-disk cost of a store INTERNAL record: record header + 1-byte tag +
+/// varints for the logging process and its log position (internal events
+/// carry no peer, key, or stamp).
+pub fn store_internal_record_bytes(process: u64, pseq: u64) -> u64 {
+    STORE_RECORD_HEADER_BYTES + 1 + varint_bytes(process) + varint_bytes(pseq)
 }
 
 /// What one clean rendezvous costs with full fixed-width vectors (8 bytes
@@ -531,7 +589,25 @@ mod tests {
             let mut pos = 0;
             assert_eq!(read_varint(&buf, &mut pos), Some(x));
             assert_eq!(pos, buf.len());
+            assert_eq!(varint_bytes(x), buf.len() as u64, "pricing of {x}");
         }
+    }
+
+    #[test]
+    fn store_record_pricing_is_consistent() {
+        // META: header + tag + three small varints.
+        assert_eq!(store_meta_record_bytes(1, 4, 0), 8 + 1 + 3);
+        assert_eq!(store_meta_record_bytes(1, 300, 0), 8 + 1 + 1 + 2 + 1);
+        // Stamp records put the encoded vector last; its size adds
+        // straight through.
+        let stamp = encode_full(&VectorTime::from(vec![1, 0, 300]));
+        assert_eq!(
+            store_stamp_record_bytes(2, 5, 3, 1 << 33, stamp.len()),
+            8 + 1 + 1 + 1 + 1 + 5 + stamp.len() as u64
+        );
+        // INTERNAL carries only its coordinates.
+        assert_eq!(store_internal_record_bytes(0, 0), 8 + 1 + 1 + 1);
+        assert_eq!(store_internal_record_bytes(200, 200), 8 + 1 + 2 + 2);
     }
 
     #[test]

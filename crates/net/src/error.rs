@@ -26,6 +26,14 @@ pub enum NetError {
     /// been consumed and framing is intact, so the connection stays
     /// usable — the stray answer is dropped, not desynchronising.
     Correlation(u32),
+    /// A pipelined session finished with a submitted batch still
+    /// unanswered: the server never sent an ANSWER3 for the batch at this
+    /// slot. Surfaced instead of fabricating empty results for the hole.
+    Incomplete {
+        /// The submission slot (as returned by `Pipeline::submit`) whose
+        /// answer never arrived.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -38,6 +46,9 @@ impl fmt::Display for NetError {
             NetError::Query(detail) => write!(f, "query rejected: {detail}"),
             NetError::Correlation(corr) => {
                 write!(f, "unknown correlation id {corr} on a pipelined answer")
+            }
+            NetError::Incomplete { slot } => {
+                write!(f, "pipelined batch at slot {slot} was never answered")
             }
         }
     }

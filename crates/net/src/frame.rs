@@ -20,7 +20,9 @@
 //! QUERY2/ANSWER2 are the **batch** query frames (protocol v2): one frame
 //! carries up to [`MAX_BATCH`] queries against one named trace of a
 //! multi-trace catalog, so framing, the trace id, and the syscall are paid
-//! once per batch instead of once per query. The trace id is UTF-8; the
+//! once per batch instead of once per query. The trace id is UTF-8, at
+//! most [`MAX_TRACE_NAME`] bytes (enforced on the encode and decode
+//! paths, so the `u16` length prefix can never silently truncate it); the
 //! empty id means "the catalog's default trace" and gives a batch the v1
 //! single-trace semantics. Each ANSWER2 entry is either status 0 followed
 //! by the same kind-specific answer bytes a v1 ANSWER frame would carry for
@@ -83,6 +85,13 @@ pub const FRAME_HEADER_BYTES: usize = 5;
 /// protocol violation, rejected before any allocation; clients split
 /// larger batches across frames transparently.
 pub const MAX_BATCH: usize = 4096;
+
+/// Upper bound on a QUERY2/QUERY3 trace id in bytes. Well under the
+/// `u16` length prefix's 65535-byte ceiling, so an in-bounds name can
+/// never be silently truncated by the cast into the prefix; longer names
+/// are a typed [`NetError::Query`] at encode time on the client and a
+/// [`NetError::Protocol`] at decode time on the server.
+pub const MAX_TRACE_NAME: usize = 4096;
 
 const TYPE_HELLO: u8 = 0;
 const TYPE_OFFER: u8 = 1;
@@ -232,14 +241,31 @@ pub(crate) fn end_frame(out: &mut Vec<u8>, start: usize) {
 /// `out` from borrowed parts — the allocation-free form of encoding
 /// [`Frame::QueryBatch`] / [`Frame::QueryPipelined`], used by the client
 /// hot path (and reusable by tests and benches to build request streams).
+///
+/// # Errors
+///
+/// [`NetError::Query`] when the trace id exceeds [`MAX_TRACE_NAME`] bytes
+/// (the `u16` length prefix would otherwise truncate ids past 65535
+/// bytes and desynchronise the frame) or the batch exceeds [`MAX_BATCH`]
+/// queries. Nothing is appended to `out` on error.
 pub fn encode_query_batch_into(
     out: &mut Vec<u8>,
     corr: Option<u32>,
     trace: &str,
     queries: &[BatchQuery],
-) {
-    debug_assert!(trace.len() <= u16::MAX as usize, "trace id too long");
-    debug_assert!(queries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+) -> Result<(), NetError> {
+    if trace.len() > MAX_TRACE_NAME {
+        return Err(NetError::Query(format!(
+            "trace id of {} bytes exceeds the {MAX_TRACE_NAME}-byte bound",
+            trace.len()
+        )));
+    }
+    if queries.len() > MAX_BATCH {
+        return Err(NetError::Query(format!(
+            "batch of {} queries exceeds the {MAX_BATCH}-query bound",
+            queries.len()
+        )));
+    }
     let ty = if corr.is_some() {
         TYPE_QUERY_PIPELINED
     } else {
@@ -257,6 +283,15 @@ pub fn encode_query_batch_into(
         out.extend_from_slice(&q.m1.to_le_bytes());
         out.extend_from_slice(&q.m2.to_le_bytes());
     }
+    end_frame(out, start);
+    Ok(())
+}
+
+/// Appends a RESYNC frame to `out` (the transport's allocation-free form
+/// of encoding [`Frame::Resync`]; infallible, unlike the batch encoders).
+pub fn encode_resync_into(out: &mut Vec<u8>, key: u64) {
+    let start = begin_frame(out, TYPE_RESYNC);
+    out.extend_from_slice(&key.to_le_bytes());
     end_frame(out, start);
 }
 
@@ -314,16 +349,29 @@ impl Frame {
     ///
     /// Convenience form of [`Frame::encode_into`] for cold paths and
     /// tests; allocates a fresh buffer per call.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] when a batch frame's trace id exceeds
+    /// [`MAX_TRACE_NAME`] bytes or its query/entry list exceeds
+    /// [`MAX_BATCH`].
+    pub fn encode(&self) -> Result<Vec<u8>, NetError> {
         let mut out = Vec::new();
-        self.encode_into(&mut out);
-        out
+        self.encode_into(&mut out)?;
+        Ok(out)
     }
 
     /// Appends the serialised frame (length prefix included) to `out`
     /// without intermediate allocation: the length prefix is reserved up
     /// front and backpatched once the body is in place.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Query`] when a batch frame's trace id exceeds
+    /// [`MAX_TRACE_NAME`] bytes or its query/entry list exceeds
+    /// [`MAX_BATCH`]; `out` is left untouched on error. All other frame
+    /// types encode infallibly.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), NetError> {
         match self {
             Frame::Hello {
                 version,
@@ -342,11 +390,7 @@ impl Frame {
                 vector,
             } => encode_offer_into(out, *key, *payload, vector),
             Frame::Ack { key, ack } => encode_ack_into(out, *key, ack),
-            Frame::Resync { key } => {
-                let start = begin_frame(out, TYPE_RESYNC);
-                out.extend_from_slice(&key.to_le_bytes());
-                end_frame(out, start);
-            }
+            Frame::Resync { key } => encode_resync_into(out, *key),
             Frame::Query { kind, m1, m2 } => {
                 let start = begin_frame(out, TYPE_QUERY);
                 out.push(*kind);
@@ -365,24 +409,35 @@ impl Frame {
                 end_frame(out, start);
             }
             Frame::QueryBatch { trace, queries } => {
-                encode_query_batch_into(out, None, trace, queries);
+                encode_query_batch_into(out, None, trace, queries)?;
             }
             Frame::QueryPipelined {
                 corr,
                 trace,
                 queries,
-            } => encode_query_batch_into(out, Some(*corr), trace, queries),
+            } => encode_query_batch_into(out, Some(*corr), trace, queries)?,
             Frame::AnswerBatch { entries } => {
-                Self::encode_entries(out, TYPE_ANSWER_BATCH, None, entries);
+                Self::encode_entries(out, TYPE_ANSWER_BATCH, None, entries)?;
             }
             Frame::AnswerPipelined { corr, entries } => {
-                Self::encode_entries(out, TYPE_ANSWER_PIPELINED, Some(*corr), entries);
+                Self::encode_entries(out, TYPE_ANSWER_PIPELINED, Some(*corr), entries)?;
             }
         }
+        Ok(())
     }
 
-    fn encode_entries(out: &mut Vec<u8>, ty: u8, corr: Option<u32>, entries: &[BatchEntry]) {
-        debug_assert!(entries.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+    fn encode_entries(
+        out: &mut Vec<u8>,
+        ty: u8,
+        corr: Option<u32>,
+        entries: &[BatchEntry],
+    ) -> Result<(), NetError> {
+        if entries.len() > MAX_BATCH {
+            return Err(NetError::Query(format!(
+                "answer batch of {} entries exceeds the {MAX_BATCH}-entry bound",
+                entries.len()
+            )));
+        }
         let start = begin_frame(out, ty);
         if let Some(corr) = corr {
             out.extend_from_slice(&corr.to_le_bytes());
@@ -398,6 +453,7 @@ impl Frame {
             out.extend_from_slice(bytes);
         }
         end_frame(out, start);
+        Ok(())
     }
 
     /// Parses one frame body (`ty` byte already split off).
@@ -548,7 +604,8 @@ impl<'a> QueryBatchView<'a> {
     /// # Errors
     ///
     /// [`NetError::Protocol`] on truncation, trailing garbage, a non-UTF-8
-    /// trace id, or a count beyond [`MAX_BATCH`].
+    /// trace id, a trace id beyond [`MAX_TRACE_NAME`], or a count beyond
+    /// [`MAX_BATCH`].
     pub fn parse(body: &'a [u8]) -> Result<Self, NetError> {
         if body.len() < 2 {
             return Err(NetError::Protocol(
@@ -556,6 +613,11 @@ impl<'a> QueryBatchView<'a> {
             ));
         }
         let trace_len = u16::from_le_bytes([body[0], body[1]]) as usize;
+        if trace_len > MAX_TRACE_NAME {
+            return Err(NetError::Protocol(format!(
+                "QUERY2 trace id of {trace_len} bytes exceeds the {MAX_TRACE_NAME}-byte bound"
+            )));
+        }
         if body.len() < 2 + trace_len + 4 {
             return Err(NetError::Protocol(
                 "QUERY2 body too short for trace id and count".to_string(),
@@ -912,7 +974,7 @@ mod tests {
         ];
         let mut reader = FrameReader::new();
         for f in &frames {
-            reader.feed(&f.encode());
+            reader.feed(&f.encode().unwrap());
         }
         for f in &frames {
             assert_eq!(reader.next_frame().unwrap().as_ref(), Some(f));
@@ -975,7 +1037,7 @@ mod tests {
             ],
         };
         let mut reader = FrameReader::new();
-        reader.feed(&max.encode());
+        reader.feed(&max.encode().unwrap());
         assert_eq!(reader.next_frame().unwrap(), Some(max));
     }
 
@@ -997,14 +1059,14 @@ mod tests {
             payload: 2,
             vector: vec![0; 11],
         };
-        assert_eq!(offer.encode().len() as u64, offer_frame_bytes(11));
+        assert_eq!(offer.encode().unwrap().len() as u64, offer_frame_bytes(11));
         let ack = Frame::Ack {
             key: 1,
             ack: vec![0; 5],
         };
-        assert_eq!(ack.encode().len() as u64, ack_frame_bytes(5));
+        assert_eq!(ack.encode().unwrap().len() as u64, ack_frame_bytes(5));
         let resync = Frame::Resync { key: 1 };
-        assert_eq!(resync.encode().len() as u64, resync_frame_bytes());
+        assert_eq!(resync.encode().unwrap().len() as u64, resync_frame_bytes());
     }
 
     #[test]
@@ -1018,9 +1080,9 @@ mod tests {
             m1: 1,
             m2: 2,
         };
-        assert_eq!(query.encode().len() as u64, query_frame_bytes());
+        assert_eq!(query.encode().unwrap().len() as u64, query_frame_bytes());
         let answer = Frame::Answer { body: vec![1] };
-        assert_eq!(answer.encode().len() as u64, answer_frame_bytes(1));
+        assert_eq!(answer.encode().unwrap().len() as u64, answer_frame_bytes(1));
         for count in [0usize, 1, 16, 256] {
             let batch = Frame::QueryBatch {
                 trace: "alpha".to_string(),
@@ -1034,14 +1096,14 @@ mod tests {
                 ],
             };
             assert_eq!(
-                batch.encode().len() as u64,
+                batch.encode().unwrap().len() as u64,
                 batch_query_frame_bytes(5, count)
             );
             let answers = Frame::AnswerBatch {
                 entries: vec![BatchEntry::Answer(vec![1]); count],
             };
             assert_eq!(
-                answers.encode().len() as u64,
+                answers.encode().unwrap().len() as u64,
                 batch_answer_frame_bytes(count, count)
             );
         }
@@ -1064,7 +1126,7 @@ mod tests {
                 ],
             };
             assert_eq!(
-                batch.encode().len() as u64,
+                batch.encode().unwrap().len() as u64,
                 batch_query3_frame_bytes(5, count)
             );
             let answers = Frame::AnswerPipelined {
@@ -1072,7 +1134,7 @@ mod tests {
                 entries: vec![BatchEntry::Answer(vec![1]); count],
             };
             assert_eq!(
-                answers.encode().len() as u64,
+                answers.encode().unwrap().len() as u64,
                 batch_answer3_frame_bytes(count, count)
             );
         }
@@ -1096,13 +1158,15 @@ mod tests {
             trace: "t".to_string(),
             queries: queries.clone(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         let v3 = Frame::QueryPipelined {
             corr: 0x0102_0304,
             trace: "t".to_string(),
             queries,
         }
-        .encode();
+        .encode()
+        .unwrap();
         // Same body after the 4-byte correlation id; length prefix 4 larger.
         assert_eq!(&v3[FRAME_HEADER_BYTES + 4..], &v2[FRAME_HEADER_BYTES..]);
         assert_eq!(
@@ -1116,8 +1180,11 @@ mod tests {
         let v2 = Frame::AnswerBatch {
             entries: entries.clone(),
         }
-        .encode();
-        let v3 = Frame::AnswerPipelined { corr: 5, entries }.encode();
+        .encode()
+        .unwrap();
+        let v3 = Frame::AnswerPipelined { corr: 5, entries }
+            .encode()
+            .unwrap();
         assert_eq!(&v3[FRAME_HEADER_BYTES + 4..], &v2[FRAME_HEADER_BYTES..]);
     }
 
@@ -1134,7 +1201,7 @@ mod tests {
         ];
         let mut reader = FrameReader::new();
         for f in &frames {
-            reader.feed(&f.encode());
+            reader.feed(&f.encode().unwrap());
         }
         // Peeking is idempotent until the frame is consumed.
         let (ty, body) = reader.peek_frame().unwrap().unwrap();
@@ -1157,7 +1224,7 @@ mod tests {
         assert_eq!(reader.peek_frame().unwrap(), None);
         assert_eq!(reader.pending_bytes(), 0);
         // Feeding a partial frame keeps peek at None until it completes.
-        let encoded = Frame::Resync { key: 9 }.encode();
+        let encoded = Frame::Resync { key: 9 }.encode().unwrap();
         reader.feed(&encoded[..6]);
         assert_eq!(reader.peek_frame().unwrap(), None);
         reader.feed(&encoded[6..]);
@@ -1186,7 +1253,8 @@ mod tests {
             trace: "tr".to_string(),
             queries: queries.clone(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         let body = &encoded[FRAME_HEADER_BYTES + 4..]; // skip header + corr
         let view = QueryBatchView::parse(body).unwrap();
         assert_eq!(view.trace(), "tr");
@@ -1202,7 +1270,8 @@ mod tests {
             corr: 11,
             entries: entries.clone(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         let body = &encoded[FRAME_HEADER_BYTES + 4..];
         let view = AnswerBatchView::parse(body).unwrap();
         assert_eq!(view.count(), 3);

@@ -73,9 +73,9 @@ pub mod tcp;
 pub use catalog::{QueryFabric, ShardRing, DEFAULT_SHARDS};
 pub use error::NetError;
 pub use frame::{
-    encode_ack_into, encode_offer_into, encode_query_batch_into, topology_hash, topology_hash_of,
-    AnswerBatchView, BatchEntry, BatchQuery, Frame, FrameReader, FrameScratch, QueryBatchView,
-    MAX_BATCH, MAX_FRAME_LEN, MIN_QUERY_VERSION, PROTOCOL_VERSION,
+    encode_ack_into, encode_offer_into, encode_query_batch_into, encode_resync_into, topology_hash,
+    topology_hash_of, AnswerBatchView, BatchEntry, BatchQuery, Frame, FrameReader, FrameScratch,
+    QueryBatchView, MAX_BATCH, MAX_FRAME_LEN, MAX_TRACE_NAME, MIN_QUERY_VERSION, PROTOCOL_VERSION,
 };
 pub use pool::{default_pool_size, serve_fabric};
 pub use query::{

@@ -43,6 +43,7 @@
 //!
 //! [`QueryBatchView`]: crate::frame::QueryBatchView
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -243,7 +244,7 @@ pub fn serve_fabric_connection(
                  {MIN_QUERY_VERSION}..={PROTOCOL_VERSION}"
             ),
         };
-        stream.write_all(&refusal.encode())?;
+        stream.write_all(&refusal.encode()?)?;
         return Err(NetError::Handshake("client version mismatch".to_string()));
     }
     stream.write_all(
@@ -252,7 +253,7 @@ pub fn serve_fabric_connection(
             topology_hash: 0,
             process: QUERY_CLIENT_ID,
         }
-        .encode(),
+        .encode()?,
     )?;
     loop {
         scratch.out.clear();
@@ -384,11 +385,11 @@ pub fn pump_frames(
                 Frame::Error {
                     message: format!("expected QUERY, QUERY2, or QUERY3, got {other:?}"),
                 }
-                .encode_into(&mut scratch.out);
+                .encode_into(&mut scratch.out)?;
                 return Ok(false);
             }
         };
-        reply.encode_into(&mut scratch.out);
+        reply.encode_into(&mut scratch.out)?;
     }
 }
 
@@ -434,7 +435,7 @@ impl QueryClient {
                 topology_hash: 0,
                 process: QUERY_CLIENT_ID,
             }
-            .encode(),
+            .encode()?,
         )?;
         let mut reader = FrameReader::new();
         let mut buf = [0u8; 4096];
@@ -453,7 +454,7 @@ impl QueryClient {
 
     fn ask(&mut self, kind: u8, m1: u32, m2: u32) -> Result<Vec<u8>, NetError> {
         self.stream
-            .write_all(&Frame::Query { kind, m1, m2 }.encode())?;
+            .write_all(&Frame::Query { kind, m1, m2 }.encode()?)?;
         let mut buf = [0u8; 4096];
         match read_frame(&mut self.stream, &mut self.reader, &mut buf)? {
             Frame::Answer { body } => Ok(body),
@@ -542,12 +543,6 @@ impl QueryClient {
         trace: &str,
         queries: &[BatchQuery],
     ) -> Result<Vec<BatchEntry>, NetError> {
-        if trace.len() > u16::MAX as usize {
-            return Err(NetError::Query(format!(
-                "trace id of {} bytes exceeds the u16 length field",
-                trace.len()
-            )));
-        }
         let mut entries = Vec::with_capacity(queries.len());
         // Explicit cursor instead of `chunks()`: an exact multiple of
         // MAX_BATCH sends exactly len/MAX_BATCH frames (no trailing empty
@@ -557,7 +552,7 @@ impl QueryClient {
         loop {
             let chunk = &queries[sent..queries.len().min(sent + MAX_BATCH)];
             self.scratch.out.clear();
-            encode_query_batch_into(&mut self.scratch.out, None, trace, chunk);
+            encode_query_batch_into(&mut self.scratch.out, None, trace, chunk)?;
             self.stream.write_all(&self.scratch.out)?;
             let mut buf = [0u8; 65536];
             match read_frame(&mut self.stream, &mut self.reader, &mut buf)? {
@@ -691,12 +686,23 @@ impl QueryClient {
     /// [`Pipeline::drain`]) before issuing non-pipelined queries on this
     /// client again.
     pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        self.pipeline_at(window, 0)
+    }
+
+    /// As [`QueryClient::pipeline`], but starting correlation ids at
+    /// `first_corr` instead of 0. Correlation ids are a wrapping `u32`
+    /// counter (skipping ids still in flight), so a session outliving
+    /// 2^32 submissions keeps working; this seam lets tests start next to
+    /// the wrap point instead of submitting 2^32 batches to reach it.
+    pub fn pipeline_at(&mut self, window: usize, first_corr: u32) -> Pipeline<'_> {
         Pipeline {
             client: self,
             window: window.max(1),
             expected: Vec::new(),
             results: Vec::new(),
             outstanding: 0,
+            next_corr: first_corr,
+            inflight: HashMap::new(),
         }
     }
 
@@ -724,12 +730,6 @@ impl QueryClient {
         batch: usize,
         window: usize,
     ) -> Result<Vec<bool>, NetError> {
-        if trace.len() > u16::MAX as usize {
-            return Err(NetError::Query(format!(
-                "trace id of {} bytes exceeds the u16 length field",
-                trace.len()
-            )));
-        }
         let batch = batch.clamp(1, MAX_BATCH);
         let window = window.max(1);
         let mut results = vec![false; pairs.len()];
@@ -756,7 +756,7 @@ impl QueryClient {
                     Some(submitted as u32),
                     trace,
                     &self.scratch.queries,
-                );
+                )?;
                 self.stream.write_all(&self.scratch.out)?;
                 submitted += 1;
             }
@@ -877,6 +877,13 @@ pub struct Pipeline<'a> {
     /// Slot-indexed answers; `None` until the slot's ANSWER3 arrives.
     results: Vec<Option<Vec<BatchEntry>>>,
     outstanding: usize,
+    /// Next correlation id to try; wraps around `u32::MAX` (ids are a
+    /// cursor, not a slot index — slots keep growing past 2^32).
+    next_corr: u32,
+    /// Correlation id → submission slot, for every unanswered batch. The
+    /// map both routes answers and keeps a wrapped id from being reissued
+    /// while its first use is still in flight.
+    inflight: HashMap<u32, usize>,
 }
 
 impl Pipeline<'_> {
@@ -891,29 +898,27 @@ impl Pipeline<'_> {
     /// [`NetError::Correlation`] when an answer matches no in-flight
     /// batch, transport errors otherwise.
     pub fn submit(&mut self, trace: &str, queries: &[BatchQuery]) -> Result<usize, NetError> {
-        if queries.len() > MAX_BATCH {
-            return Err(NetError::Query(format!(
-                "batch of {} queries exceeds the {MAX_BATCH}-query frame bound",
-                queries.len()
-            )));
-        }
-        if trace.len() > u16::MAX as usize {
-            return Err(NetError::Query(format!(
-                "trace id of {} bytes exceeds the u16 length field",
-                trace.len()
-            )));
-        }
         while self.outstanding >= self.window {
             self.recv_one()?;
         }
-        let corr = self.results.len() as u32;
+        // The correlation id is a wrapping cursor, not the slot index: a
+        // session past 2^32 submissions wraps around, and any id still in
+        // flight (the window bounds these to a handful) is skipped so two
+        // live batches can never share an id.
+        let mut corr = self.next_corr;
+        while self.inflight.contains_key(&corr) {
+            corr = corr.wrapping_add(1);
+        }
+        self.next_corr = corr.wrapping_add(1);
         self.client.scratch.out.clear();
-        encode_query_batch_into(&mut self.client.scratch.out, Some(corr), trace, queries);
+        encode_query_batch_into(&mut self.client.scratch.out, Some(corr), trace, queries)?;
         self.client.stream.write_all(&self.client.scratch.out)?;
+        let slot = self.results.len();
+        self.inflight.insert(corr, slot);
         self.results.push(None);
         self.expected.push(queries.len() as u32);
         self.outstanding += 1;
-        Ok(corr as usize)
+        Ok(slot)
     }
 
     /// Batches submitted but not yet answered.
@@ -947,20 +952,26 @@ impl Pipeline<'_> {
     /// As [`Pipeline::drain`].
     pub fn finish(mut self) -> Result<Vec<Vec<BatchEntry>>, NetError> {
         self.drain()?;
-        Ok(self
-            .results
-            .drain(..)
-            .map(Option::unwrap_or_default)
-            .collect())
+        // A hole after a clean drain means an answer never arrived for
+        // that submission. Fabricating an empty entry list would let the
+        // caller zip results against queries and silently misattribute
+        // every answer past the hole — surface the missing slot instead.
+        let mut out = Vec::with_capacity(self.results.len());
+        for (slot, result) in self.results.drain(..).enumerate() {
+            match result {
+                Some(entries) => out.push(entries),
+                None => return Err(NetError::Incomplete { slot }),
+            }
+        }
+        Ok(out)
     }
 
     fn recv_one(&mut self) -> Result<(), NetError> {
         let mut buf = [0u8; 65536];
         match read_frame(&mut self.client.stream, &mut self.client.reader, &mut buf)? {
             Frame::AnswerPipelined { corr, entries } => {
-                let slot = corr as usize;
-                match self.results.get_mut(slot) {
-                    Some(result) if result.is_none() => {
+                match self.inflight.remove(&corr) {
+                    Some(slot) => {
                         if entries.len() as u32 != self.expected[slot] {
                             return Err(NetError::Protocol(format!(
                                 "batch of {} queries answered with {} entries",
@@ -968,13 +979,14 @@ impl Pipeline<'_> {
                                 entries.len()
                             )));
                         }
-                        *result = Some(entries);
+                        self.results[slot] = Some(entries);
                         self.outstanding -= 1;
                         Ok(())
                     }
-                    // Unknown or duplicate correlation id: the frame is
-                    // consumed, framing is intact, the session continues.
-                    _ => Err(NetError::Correlation(corr)),
+                    // Unknown or already-answered correlation id: the
+                    // frame is consumed, framing is intact, the session
+                    // continues.
+                    None => Err(NetError::Correlation(corr)),
                 }
             }
             Frame::Error { message } => Err(NetError::Query(message)),
@@ -1048,5 +1060,53 @@ mod tests {
         assert!(matches!(err, NetError::Query(_)), "{err}");
         // The connection survives a rejected query.
         assert!(client.precedes(0, 1).unwrap());
+    }
+
+    /// A client whose stream nobody reads, for driving Pipeline
+    /// bookkeeping without a server.
+    fn inert_client() -> QueryClient {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let (sink, _) = listener.accept().unwrap();
+        // Keep the accepted end alive so writes never see a reset.
+        std::mem::forget(sink);
+        QueryClient {
+            stream,
+            reader: FrameReader::new(),
+            scratch: FrameScratch::new(),
+        }
+    }
+
+    #[test]
+    fn submit_skips_correlation_ids_still_in_flight() {
+        let mut client = inert_client();
+        let mut pipeline = client.pipeline_at(16, 7);
+        // Pretend ids 7 and 8 are still unanswered from before a full
+        // wrap of the counter.
+        pipeline.inflight.insert(7, 1000);
+        pipeline.inflight.insert(8, 1001);
+        let slot = pipeline.submit("", &[]).unwrap();
+        assert_eq!(slot, 0);
+        // The fresh submission landed on the first free id, 9.
+        assert_eq!(pipeline.inflight.get(&9), Some(&slot));
+        assert_eq!(pipeline.next_corr, 10);
+    }
+
+    #[test]
+    fn finish_reports_a_hole_as_incomplete() {
+        let mut client = inert_client();
+        let mut pipeline = client.pipeline(4);
+        // A slot whose answer never arrived, with nothing outstanding —
+        // the defensive hole check must refuse to fabricate results.
+        pipeline
+            .results
+            .push(Some(vec![BatchEntry::Answer(vec![1])]));
+        pipeline.results.push(None);
+        pipeline.expected.extend([1, 1]);
+        match pipeline.finish() {
+            Err(NetError::Incomplete { slot }) => assert_eq!(slot, 1),
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
     }
 }

@@ -43,7 +43,9 @@ use synctime_runtime::{
 };
 
 use crate::error::NetError;
-use crate::frame::{encode_ack_into, encode_offer_into, Frame, FrameReader, PROTOCOL_VERSION};
+use crate::frame::{
+    encode_ack_into, encode_offer_into, encode_resync_into, Frame, FrameReader, PROTOCOL_VERSION,
+};
 use crate::mailbox::Mailbox;
 
 /// How long `establish` keeps retrying a refused connect before giving
@@ -279,7 +281,7 @@ impl TcpMeshBuilder {
             })?;
             let mut stream = connect_retry(addr, deadline)?;
             stream.set_read_timeout(Some(remaining(deadline)?))?;
-            stream.write_all(&hello.encode())?;
+            stream.write_all(&hello.encode()?)?;
             let (frame, reader) = read_one_frame(&mut stream)?;
             let said = check_hello(&frame, topology_hash)?;
             if said != peer {
@@ -306,7 +308,7 @@ impl TcpMeshBuilder {
                     "process {said} connected, but this node only expects {expected:?}"
                 )));
             };
-            stream.write_all(&hello.encode())?;
+            stream.write_all(&hello.encode()?)?;
             expected.swap_remove(slot);
             streams.insert(said, (stream, reader));
         }
@@ -532,9 +534,7 @@ impl RxChannel for TcpRx {
         };
         match answer {
             OfferAnswer::Ack(ack) => self.conn.write_with(|out| encode_ack_into(out, key, &ack)),
-            OfferAnswer::Resync => self
-                .conn
-                .write_with(|out| Frame::Resync { key }.encode_into(out)),
+            OfferAnswer::Resync => self.conn.write_with(|out| encode_resync_into(out, key)),
         }
     }
 }

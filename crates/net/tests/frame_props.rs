@@ -76,7 +76,10 @@ proptest! {
         frames in collection::vec(arb_frame(), 1..12),
         cuts in collection::vec(1usize..64, 0..40),
     ) {
-        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let stream: Vec<u8> = frames
+            .iter()
+            .flat_map(|f| f.encode().expect("arbitrary frame encodes"))
+            .collect();
         let mut reader = FrameReader::new();
         let mut decoded = Vec::new();
         let mut rest = stream.as_slice();
@@ -105,7 +108,7 @@ proptest! {
     #[test]
     fn single_frame_roundtrip(frame in arb_frame()) {
         let mut reader = FrameReader::new();
-        reader.feed(&frame.encode());
+        reader.feed(&frame.encode().expect("arbitrary frame encodes"));
         prop_assert_eq!(reader.next_frame().unwrap(), Some(frame));
         prop_assert_eq!(reader.next_frame().unwrap(), None);
     }
@@ -163,9 +166,9 @@ proptest! {
         which in any::<bool>(),
     ) {
         let full = if which {
-            Frame::QueryBatch { trace: "trace-a".to_string(), queries }.encode()
+            Frame::QueryBatch { trace: "trace-a".to_string(), queries }.encode().unwrap()
         } else {
-            Frame::AnswerBatch { entries }.encode()
+            Frame::AnswerBatch { entries }.encode().unwrap()
         };
         let body = &full[5..];
         let cut = cut.min(body.len() - 1).max(1);
@@ -260,12 +263,12 @@ proptest! {
                 .iter()
                 .filter_map(|e| match e {
                     BatchEntry::Answer(body) => {
-                        Some(Frame::Answer { body: body.clone() }.encode())
+                        Some(Frame::Answer { body: body.clone() }.encode().unwrap())
                     }
                     BatchEntry::Error(_) => None,
                 })
                 .collect();
-            (answers, Frame::AnswerBatch { entries }.encode())
+            (answers, Frame::AnswerBatch { entries }.encode().unwrap())
         };
 
         let dense = OnlineStamper::new(&dec).stamp_computation(&comp).unwrap();
@@ -296,7 +299,7 @@ fn future_version_hello_is_parseable_but_refusable() {
         process: 0,
     };
     let mut reader = FrameReader::new();
-    reader.feed(&hello.encode());
+    reader.feed(&hello.encode().expect("HELLO encodes"));
     match reader.next_frame().unwrap() {
         Some(Frame::Hello { version, .. }) => assert_eq!(version, PROTOCOL_VERSION + 1),
         other => panic!("expected HELLO, got {other:?}"),

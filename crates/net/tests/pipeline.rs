@@ -84,7 +84,8 @@ fn mock_handshake(stream: &mut TcpStream) -> FrameReader {
                 topology_hash: 0,
                 process: u32::MAX,
             }
-            .encode(),
+            .encode()
+            .expect("HELLO encodes"),
         )
         .expect("handshake reply");
     reader
@@ -144,14 +145,19 @@ fn shuffled_answer_server(
                             corr,
                             entries: vec![BatchEntry::Answer(vec![1])],
                         }
-                        .encode(),
+                        .encode()
+                        .expect("stray encodes"),
                     )
                     .expect("stray answer");
             }
             for &slot in &permutation(batches.len(), seed) {
                 let (corr, entries) = batches[slot].clone();
                 stream
-                    .write_all(&Frame::AnswerPipelined { corr, entries }.encode())
+                    .write_all(
+                        &Frame::AnswerPipelined { corr, entries }
+                            .encode()
+                            .expect("answer encodes"),
+                    )
                     .expect("answer");
             }
         }

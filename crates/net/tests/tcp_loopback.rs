@@ -267,7 +267,8 @@ fn establish_refuses_protocol_version_mismatch() {
                 topology_hash: 7,
                 process: 1,
             }
-            .encode(),
+            .encode()
+            .unwrap(),
         )
         .unwrap();
     let result = t.join().unwrap();

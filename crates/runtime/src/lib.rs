@@ -70,8 +70,9 @@ pub use error::RuntimeError;
 pub use fault::{FaultAction, FaultInjector};
 pub use matcher::{Matcher, BLOCK_POLL};
 pub use runtime::{
-    reconstruct_from_logs, Behavior, LiveObservation, LogEntry, ProcessCtx, ProcessRun, Runtime,
-    RuntimeRun, DEFAULT_EVENT_RING, DEFAULT_RENDEZVOUS_RETRIES, DEFAULT_WATCHDOG_TIMEOUT,
+    reconstruct_from_logs, Behavior, LiveObservation, LogEntry, PersistEvent, ProcessCtx,
+    ProcessRun, Runtime, RuntimeRun, DEFAULT_EVENT_RING, DEFAULT_RENDEZVOUS_RETRIES,
+    DEFAULT_WATCHDOG_TIMEOUT,
 };
 pub use transport::{
     OfferAnswer, Polled, RawOffer, ReadySlot, RxChannel, SendAnswer, TransportError, TxChannel,

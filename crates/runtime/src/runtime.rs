@@ -173,6 +173,31 @@ pub struct LiveObservation {
     pub stamp: VectorTime,
 }
 
+/// Entries buffered per process before a burst is delivered to the log
+/// sink. Bounds both the wakeup amortisation and how far a durable
+/// writer can lag a live process (a crash loses at most this many
+/// unflushed entries per process — recovery trims to a consistent
+/// prefix regardless).
+const SINK_BATCH: usize = 64;
+
+/// One log entry on its way to a durable store: the entry itself plus the
+/// coordinates that make replay order-independent — which process logged
+/// it and at which position of that process's log. Emitted to the sink
+/// installed by [`Runtime::with_log_sink`] in per-process bursts (a
+/// small buffer, flushed when full and when the behavior exits), so an
+/// external writer (the `synctime-store` ingest thread) sees exactly the
+/// log the run keeps without the run paying a receiver wakeup per entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistEvent {
+    /// The process whose log gained the entry.
+    pub process: ProcessId,
+    /// The entry's index in that process's log (0-based, dense): the
+    /// replay key a store sorts and gap-checks on.
+    pub pseq: u64,
+    /// The entry, exactly as logged.
+    pub entry: LogEntry,
+}
+
 /// One entry of a process's execution log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogEntry {
@@ -292,6 +317,13 @@ pub struct ProcessCtx {
     clock: BackendClock,
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
+    sink: Option<std::sync::mpsc::Sender<Vec<PersistEvent>>>,
+    /// Entries awaiting delivery to `sink`, shipped as one `Vec` per
+    /// burst of [`SINK_BATCH`] (and at behavior exit): one send — one
+    /// allocation handoff, one receiver wakeup — per burst instead of
+    /// one per entry keeps durable ingestion off the rendezvous fast
+    /// path even on a single hardware thread.
+    sink_buf: Vec<PersistEvent>,
     seq: u64,
     /// Sending endpoint of each outgoing channel, keyed by receiver. The
     /// medium behind the trait object is interchangeable: in-process slots
@@ -746,11 +778,13 @@ impl ProcessCtx {
                 stamp: stamp.clone(),
             });
         }
-        self.log.push(LogEntry::Sent {
+        let entry = LogEntry::Sent {
             to,
             key,
             stamp: stamp.clone(),
-        });
+        };
+        self.persist(&entry);
+        self.log.push(entry);
         Ok(stamp)
     }
 
@@ -869,17 +903,52 @@ impl ProcessCtx {
             self.rendezvous_bytes_full,
             recv_wait.as_nanos() as u64,
         );
-        self.log.push(LogEntry::Received {
+        let entry = LogEntry::Received {
             from,
             key: offer.key,
             stamp: stamp.clone(),
-        });
+        };
+        self.persist(&entry);
+        self.log.push(entry);
         Ok((offer.payload, stamp))
     }
 
     /// Records an internal event.
     pub fn internal(&mut self) {
+        self.persist(&LogEntry::Internal);
         self.log.push(LogEntry::Internal);
+    }
+
+    /// Mirrors a log entry to the durable-store sink, if any, tagged with
+    /// the process id and the entry's position in this process's log. A
+    /// lagging or dropped sink must never stall the protocol — exactly the
+    /// observer's contract. Entries are buffered and sent in bursts of
+    /// [`SINK_BATCH`]: each send to an idle receiver costs a thread
+    /// wakeup, and paying that per entry would tax every rendezvous.
+    fn persist(&mut self, entry: &LogEntry) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.sink_buf.push(PersistEvent {
+            process: self.id,
+            pseq: self.log.len() as u64,
+            entry: entry.clone(),
+        });
+        if self.sink_buf.len() >= SINK_BATCH {
+            self.flush_sink();
+        }
+    }
+
+    /// Ships the buffered burst to the sink as a single send. Called when
+    /// the buffer fills and — by the runtime — when the behavior exits,
+    /// so a completed process's log always reaches the writer in full.
+    fn flush_sink(&mut self) {
+        if self.sink_buf.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.sink {
+            let _ = tx.send(std::mem::take(&mut self.sink_buf));
+        }
     }
 }
 
@@ -893,6 +962,7 @@ pub struct Runtime {
     topology: Graph,
     decomposition: EdgeDecomposition,
     observer: Option<std::sync::mpsc::Sender<LiveObservation>>,
+    sink: Option<std::sync::mpsc::Sender<Vec<PersistEvent>>>,
     watchdog: Option<Duration>,
     ring_capacity: usize,
     matcher: Matcher,
@@ -921,6 +991,7 @@ impl Runtime {
             topology: topology.clone(),
             decomposition: decomposition.clone(),
             observer: None,
+            sink: None,
             watchdog: Some(DEFAULT_WATCHDOG_TIMEOUT),
             ring_capacity: DEFAULT_EVENT_RING,
             matcher: Matcher::default(),
@@ -1029,6 +1100,21 @@ impl Runtime {
         self
     }
 
+    /// Streams a [`PersistEvent`] per log entry to `tx` as the execution
+    /// runs, from the logging process's own thread in per-process bursts:
+    /// each send carries a `Vec` of up to [`SINK_BATCH`] events (flushed
+    /// when the buffer fills and when the behavior exits) — the
+    /// durable-ingestion seam `synctime-store`'s writer thread consumes.
+    /// Sink failures are ignored, like observer failures: durability lag
+    /// must not perturb the protocol. Callers that need completeness join
+    /// the consuming writer *after* the run returns (every event is sent
+    /// before the run's threads exit).
+    #[must_use]
+    pub fn with_log_sink(mut self, tx: std::sync::mpsc::Sender<Vec<PersistEvent>>) -> Self {
+        self.sink = Some(tx);
+        self
+    }
+
     /// Runs one behavior per process (there must be exactly
     /// `topology.node_count()` of them), each on its own OS thread, until
     /// all of them return.
@@ -1126,6 +1212,9 @@ impl Runtime {
                         // clean PeerTerminated instead of a hang.
                         let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
                             .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
+                        // The tail of the log (possibly short of a full
+                        // burst) still belongs to the durable writer.
+                        ctx.flush_sink();
                         // Finished processes are no longer candidates for a
                         // deadlock; tell the watchdog and wake parked peers
                         // so they observe the exit instead of waiting for
@@ -1204,6 +1293,8 @@ impl Runtime {
             clock,
             decomposition: self.decomposition.clone(),
             observer: self.observer.clone(),
+            sink: self.sink.clone(),
+            sink_buf: Vec::new(),
             seq: 0,
             tx,
             rx,
@@ -1261,6 +1352,7 @@ impl Runtime {
         let mut ctx = self.process_ctx(id, tx, rx, Arc::clone(&shared), Arc::clone(&recorder));
         let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
             .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
+        ctx.flush_sink();
         shared.live[id].store(false, Ordering::Release);
         let max_component = ctx
             .log

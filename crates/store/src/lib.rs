@@ -1,0 +1,95 @@
+//! Durable ingestion for stamped traces: an append-only, length-prefixed,
+//! CRC-checked log of execution-log records, with periodic snapshots that
+//! compact the log and crash recovery by replaying snapshot + tail.
+//!
+//! The paper's point is that timestamps are *small*; this crate's point is
+//! that small timestamps are *cheap to keep*. What is persisted is not the
+//! reconstructed trace (whose canonical message numbering is only stable
+//! once the run has quiesced) but the raw material the runtime logs anyway:
+//! one record per [`LogEntry`], keyed by `(process, pseq)` — which process
+//! logged it and at which position of that process's log. Those
+//! coordinates make replay **order-independent** (records may arrive
+//! interleaved, duplicated across a snapshot/log overlap, or truncated by
+//! a crash) and **idempotent** (replay deduplicates by coordinate), and
+//! the replayed logs feed the exact same
+//! [`reconstruct_from_logs`](synctime_runtime::reconstruct_from_logs)
+//! seam an in-memory run uses — so a recovered trace answers precedence
+//! queries byte-identically to one that never touched disk.
+//!
+//! Layout on disk, per trace, under a store root directory:
+//!
+//! ```text
+//! <root>/<trace>/snapshot.st   all records up to the last compaction
+//! <root>/<trace>/log.st        records appended since
+//! ```
+//!
+//! Both files are a META record followed by entry records (see
+//! [`record`] for the byte format, priced byte-for-byte by
+//! `synctime_core::wire`'s `store_*_record_bytes` helpers). A snapshot is
+//! written to a temp file, fsynced, and atomically renamed before the log
+//! is truncated; recovery tolerates every crash point in that sequence
+//! plus a torn final record in either file, always materialising the
+//! largest causally consistent prefix of the run (see [`read_trace_dir`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod log;
+pub mod record;
+mod replay;
+
+use std::fmt;
+
+pub use crc::crc32;
+pub use log::{
+    read_trace_dir, trace_dirs, validate_trace_name, RecoveredTrace, TraceStore,
+    DEFAULT_SNAPSHOT_EVERY, LOG_FILE, SNAPSHOT_FILE,
+};
+pub use record::{FileScan, Meta, StampRecord, FORMAT_VERSION};
+pub use replay::{
+    materialize, persist_logs, record_from_event, record_from_log_entry, spawn_writer, StoreWriter,
+};
+
+// Re-exported so store consumers can name the ingestion seam without
+// depending on `synctime-runtime` directly.
+pub use synctime_runtime::{LogEntry, PersistEvent};
+
+/// Why a `synctime-store` operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An OS-level filesystem failure (create, write, rename, fsync).
+    Io(String),
+    /// The store's bytes violate the record format beyond what torn-tail
+    /// recovery tolerates: no readable META record, a format version this
+    /// build does not speak, or files that disagree about the run's shape.
+    Corrupt(String),
+    /// The trace name cannot be a store directory (empty, path
+    /// separators, leading dot, or over the length bound).
+    InvalidTraceName(String),
+    /// The recovered records do not reassemble into a synchronous
+    /// computation (carries the reconstruction diagnostic).
+    Replay(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(detail) => write!(f, "store i/o failure: {detail}"),
+            StoreError::Corrupt(detail) => write!(f, "store corrupt: {detail}"),
+            StoreError::InvalidTraceName(detail) => {
+                write!(f, "invalid trace name: {detail}")
+            }
+            StoreError::Replay(detail) => write!(f, "store replay failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,492 @@
+//! The trace store writer ([`TraceStore`]) and directory-level recovery
+//! ([`read_trace_dir`]).
+//!
+//! ## Snapshot / compaction lifecycle
+//!
+//! A [`TraceStore`] appends records to `log.st`. Once the log tail has
+//! both reached `snapshot_every` appends *and* grown to rival the
+//! snapshotted prefix (a geometric trigger, so total compaction I/O
+//! stays a constant factor of the bytes ingested — a fixed cadence
+//! would rewrite the whole trace `O(n / cadence)` times), and on
+//! demand, it compacts:
+//!
+//! 1. write *all* records to `snapshot.tmp` under the next generation,
+//!    flush, fsync;
+//! 2. atomically rename `snapshot.tmp` → `snapshot.st` and fsync the
+//!    directory;
+//! 3. recreate `log.st` empty (a lone META record of the new generation).
+//!
+//! A crash at any point leaves a recoverable store: before the rename the
+//! old snapshot + old log are intact; between the rename and the log
+//! truncation the new snapshot *contains* every record the stale log
+//! repeats, and recovery's coordinate-level deduplication makes the
+//! overlap harmless.
+//!
+//! ## Recovery invariants
+//!
+//! [`read_trace_dir`] concatenates both files' valid record prefixes
+//! (torn tails dropped by the scan layer), then:
+//!
+//! 1. **dedup** — one record per `(process, pseq)` coordinate, first
+//!    occurrence wins;
+//! 2. **dense prefix** — each process keeps its longest gap-free `pseq`
+//!    prefix (a gap means later records of that process are unanchored);
+//! 3. **matched keys** — iteratively truncate each process's log at the
+//!    first entry whose rendezvous partner record is missing, until
+//!    stable.
+//!
+//! The result is the largest causally consistent prefix family of the
+//! original run: local orders are prefixes, every kept send has its kept
+//! receive, and [`reconstruct_from_logs`] rebuilds exactly the trace an
+//! uninterrupted in-memory run would have produced from the same prefix.
+//! A quiesced, fully flushed store recovers the *whole* run.
+//!
+//! [`reconstruct_from_logs`]: synctime_runtime::reconstruct_from_logs
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use synctime_core::wire;
+use synctime_runtime::LogEntry;
+use synctime_trace::ProcessId;
+
+use crate::record::{encode_meta, encode_record, scan_file, Meta, StampRecord, FORMAT_VERSION};
+use crate::StoreError;
+
+/// File holding all records up to the last compaction.
+pub const SNAPSHOT_FILE: &str = "snapshot.st";
+
+/// File holding records appended since the last compaction.
+pub const LOG_FILE: &str = "log.st";
+
+/// The staging name a snapshot is written under before its atomic rename.
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Default appends between automatic compactions.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 4096;
+
+/// Bound on a trace name in bytes (it becomes a directory name).
+const MAX_TRACE_NAME: usize = 255;
+
+/// Checks that `name` is safe to use as a store subdirectory: non-empty,
+/// at most 255 bytes, no path separators or NUL, and no leading dot.
+///
+/// # Errors
+///
+/// [`StoreError::InvalidTraceName`] describing the violation.
+pub fn validate_trace_name(name: &str) -> Result<(), StoreError> {
+    if name.is_empty() {
+        return Err(StoreError::InvalidTraceName(
+            "trace name is empty".to_string(),
+        ));
+    }
+    if name.len() > MAX_TRACE_NAME {
+        return Err(StoreError::InvalidTraceName(format!(
+            "trace name of {} bytes exceeds the {MAX_TRACE_NAME}-byte bound",
+            name.len()
+        )));
+    }
+    if name.starts_with('.') {
+        return Err(StoreError::InvalidTraceName(format!(
+            "trace name {name:?} starts with a dot"
+        )));
+    }
+    if name.chars().any(|c| c == '/' || c == '\\' || c == '\0') {
+        return Err(StoreError::InvalidTraceName(format!(
+            "trace name {name:?} contains a path separator"
+        )));
+    }
+    Ok(())
+}
+
+/// Lists the trace subdirectories of a store root as `(name, path)`
+/// pairs, sorted by name. Entries that are not directories or whose names
+/// would not validate are skipped, not errors — a store root may hold
+/// unrelated files.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the root itself cannot be read.
+pub fn trace_dirs(root: &Path) -> Result<Vec<(String, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if validate_trace_name(name).is_ok() {
+            out.push((name.to_string(), path));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Flushes directory metadata (the rename durability point on POSIX).
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// The append side of one trace's durable log. See the module docs for
+/// the snapshot/compaction lifecycle.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    log: BufWriter<File>,
+    process_count: usize,
+    generation: u64,
+    /// Every record appended so far, already framed and checksummed —
+    /// exactly the bytes a snapshot writes, so compaction is a single
+    /// sequential write instead of a re-encode of the whole history.
+    encoded: Vec<u8>,
+    /// Records appended so far (the geometric trigger's unit).
+    records: usize,
+    since_snapshot: usize,
+    snapshot_every: usize,
+    scratch: Vec<u8>,
+}
+
+impl TraceStore {
+    /// Creates (or resets) the store for `trace` under `root`, writing a
+    /// fresh generation-0 log. Any previous contents of the trace
+    /// directory are superseded.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidTraceName`] for an unusable name,
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn create(root: &Path, trace: &str, process_count: usize) -> Result<Self, StoreError> {
+        validate_trace_name(trace)?;
+        let dir = root.join(trace);
+        fs::create_dir_all(&dir)?;
+        for stale in [SNAPSHOT_FILE, SNAPSHOT_TMP] {
+            let path = dir.join(stale);
+            if path.exists() {
+                fs::remove_file(&path)?;
+            }
+        }
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: process_count as u64,
+            generation: 0,
+        };
+        let mut scratch = Vec::new();
+        encode_meta(&mut scratch, &meta);
+        let mut log = BufWriter::new(File::create(dir.join(LOG_FILE))?);
+        log.write_all(&scratch)?;
+        log.flush()?;
+        log.get_ref().sync_all()?;
+        Ok(TraceStore {
+            dir,
+            log,
+            process_count,
+            generation: 0,
+            encoded: Vec::new(),
+            records: 0,
+            since_snapshot: 0,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            scratch,
+        })
+    }
+
+    /// Sets how many appends trigger an automatic compaction (0 disables
+    /// automatic snapshots; [`TraceStore::snapshot`] still works).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Appends one record to the log (buffered — call
+    /// [`TraceStore::flush`] to make it visible to readers, or
+    /// [`TraceStore::sync`] to make it durable). Triggers a compaction
+    /// when the configured append budget is reached.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write or compaction failures.
+    pub fn append(&mut self, rec: StampRecord) -> Result<(), StoreError> {
+        self.scratch.clear();
+        encode_record(&mut self.scratch, &rec);
+        self.log.write_all(&self.scratch)?;
+        self.encoded.extend_from_slice(&self.scratch);
+        self.records += 1;
+        self.since_snapshot += 1;
+        // Geometric trigger: compact only once the un-snapshotted tail is
+        // at least `snapshot_every` records AND at least as large as the
+        // snapshotted prefix, so a long run rewrites each record O(1)
+        // times in total rather than once per cadence window.
+        let snapshotted = self.records - self.since_snapshot;
+        if self.snapshot_every != 0
+            && self.since_snapshot >= self.snapshot_every
+            && self.since_snapshot >= snapshotted
+        {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Pushes buffered appends to the OS (readers polling the file see
+    /// them after this; durability additionally needs
+    /// [`TraceStore::sync`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write failures.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.log.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the log: everything appended so far survives a
+    /// crash (modulo the final record tearing, which recovery tolerates).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on flush or fsync failures.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.log.flush()?;
+        self.log.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Compacts now: writes every record to a fresh snapshot (staged and
+    /// atomically renamed), then truncates the log under the next
+    /// generation. See the module docs for the crash-safety argument.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure; the store is still
+    /// recoverable afterwards (the sequence is crash-safe at every step).
+    pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        let generation = self.generation + 1;
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: self.process_count as u64,
+            generation,
+        };
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        {
+            // Record bytes were framed and checksummed at append time;
+            // the snapshot is META followed by that byte stream verbatim.
+            let mut snap = BufWriter::new(File::create(&tmp)?);
+            self.scratch.clear();
+            encode_meta(&mut self.scratch, &meta);
+            snap.write_all(&self.scratch)?;
+            snap.write_all(&self.encoded)?;
+            snap.flush()?;
+            snap.get_ref().sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        sync_dir(&self.dir)?;
+        // Drain the old writer's buffer before truncating, so its drop
+        // cannot flush stale records into the fresh log.
+        self.log.flush()?;
+        let mut log = BufWriter::new(File::create(self.dir.join(LOG_FILE))?);
+        self.scratch.clear();
+        encode_meta(&mut self.scratch, &meta);
+        log.write_all(&self.scratch)?;
+        log.flush()?;
+        log.get_ref().sync_all()?;
+        self.log = log;
+        self.generation = generation;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// How many records have been appended to this store.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The current snapshot generation (0 until the first compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The run's process count, as written into every META record.
+    pub fn process_count(&self) -> usize {
+        self.process_count
+    }
+
+    /// The trace's directory (`<root>/<trace>`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// What recovery reassembled from one trace directory.
+#[derive(Debug, Clone)]
+pub struct RecoveredTrace {
+    /// The run's process count (from the META records).
+    pub process_count: usize,
+    /// The highest snapshot generation seen.
+    pub generation: u64,
+    /// The recovered per-process logs: the largest causally consistent
+    /// prefix family of the persisted run, ready for
+    /// [`reconstruct_from_logs`](synctime_runtime::reconstruct_from_logs).
+    pub logs: Vec<Vec<LogEntry>>,
+    /// Entry records surviving into `logs`.
+    pub records: usize,
+    /// Bytes refused by the torn-tail scan, across both files.
+    pub torn_bytes: usize,
+    /// Records parsed but trimmed by dedup, gap, or matching rules.
+    pub dropped_records: usize,
+}
+
+/// Converts a surviving record into the [`LogEntry`] replay feeds to
+/// reconstruction. Stamp bytes were validated at scan time, so a decode
+/// failure here means the scan let something through — surfaced as a
+/// typed corruption error, never a panic.
+fn entry_of(rec: &StampRecord) -> Result<LogEntry, StoreError> {
+    let stamp_of = |bytes: &[u8]| {
+        wire::decode_full(bytes).ok_or_else(|| {
+            StoreError::Corrupt("stamp bytes failed to decode after a valid scan".to_string())
+        })
+    };
+    Ok(match rec {
+        StampRecord::Sent {
+            peer, key, stamp, ..
+        } => LogEntry::Sent {
+            to: *peer as ProcessId,
+            key: *key,
+            stamp: stamp_of(stamp)?,
+        },
+        StampRecord::Received {
+            peer, key, stamp, ..
+        } => LogEntry::Received {
+            from: *peer as ProcessId,
+            key: *key,
+            stamp: stamp_of(stamp)?,
+        },
+        StampRecord::Internal { .. } => LogEntry::Internal,
+    })
+}
+
+/// Recovers one trace directory into per-process logs. See the module
+/// docs for the recovery invariants; this function is the crash-recovery
+/// entry point (`serve-query --store-dir` calls it per trace, and again
+/// on every poll while a trace grows).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the directory cannot be read,
+/// [`StoreError::Corrupt`] when no readable META record exists, the
+/// format version is unknown, or the files disagree on the process count.
+/// Torn tails and partial records are *not* errors — they shorten the
+/// recovered prefix instead.
+pub fn read_trace_dir(dir: &Path) -> Result<RecoveredTrace, StoreError> {
+    let read_scan = |name: &str| -> Result<Option<crate::record::FileScan>, StoreError> {
+        let path = dir.join(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Ok(Some(scan_file(&fs::read(&path)?)))
+    };
+    let snap = read_scan(SNAPSHOT_FILE)?;
+    let log = read_scan(LOG_FILE)?;
+    let mut torn_bytes = 0usize;
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut all: Vec<StampRecord> = Vec::new();
+    for scan in [snap, log].into_iter().flatten() {
+        torn_bytes += scan.torn_bytes;
+        if let Some(meta) = scan.meta {
+            metas.push(meta);
+            all.extend(scan.records);
+        }
+    }
+    let Some(first) = metas.first().copied() else {
+        return Err(StoreError::Corrupt(format!(
+            "no readable store metadata in {}",
+            dir.display()
+        )));
+    };
+    if first.version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "store format version {} (this build reads {FORMAT_VERSION})",
+            first.version
+        )));
+    }
+    if metas.iter().any(|m| m.process_count != first.process_count) {
+        return Err(StoreError::Corrupt(
+            "snapshot and log disagree on the process count".to_string(),
+        ));
+    }
+    let process_count = first.process_count as usize;
+    let generation = metas.iter().map(|m| m.generation).max().unwrap_or(0);
+
+    // Dedup by (process, pseq), first occurrence wins (snapshot records
+    // precede log records, so a stale-log overlap resolves to the
+    // snapshot's copy — which is byte-identical anyway).
+    let parsed = all.len();
+    let mut per: Vec<BTreeMap<u64, StampRecord>> =
+        (0..process_count).map(|_| BTreeMap::new()).collect();
+    for rec in all {
+        let Some(map) = per.get_mut(rec.process() as usize) else {
+            continue; // record names a process beyond the META's count
+        };
+        map.entry(rec.pseq()).or_insert(rec);
+    }
+
+    // Longest dense pseq prefix per process.
+    let mut logs: Vec<Vec<LogEntry>> = Vec::with_capacity(process_count);
+    for map in &per {
+        let mut log = Vec::with_capacity(map.len());
+        for (i, (&pseq, rec)) in map.iter().enumerate() {
+            if pseq != i as u64 {
+                break;
+            }
+            log.push(entry_of(rec)?);
+        }
+        logs.push(log);
+    }
+
+    // Fixpoint: truncate each log at its first entry whose rendezvous
+    // partner is missing, until no truncation happens. Terminates because
+    // every round that changes anything strictly shrinks the total.
+    loop {
+        let mut sent: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut received: BTreeMap<u64, usize> = BTreeMap::new();
+        for log in &logs {
+            for entry in log {
+                match entry {
+                    LogEntry::Sent { key, .. } => *sent.entry(*key).or_default() += 1,
+                    LogEntry::Received { key, .. } => *received.entry(*key).or_default() += 1,
+                    LogEntry::Internal => {}
+                }
+            }
+        }
+        let mut changed = false;
+        for log in &mut logs {
+            let cut = log.iter().position(|entry| match entry {
+                LogEntry::Sent { key, .. } => received.get(key).copied().unwrap_or(0) == 0,
+                LogEntry::Received { key, .. } => sent.get(key).copied().unwrap_or(0) == 0,
+                LogEntry::Internal => false,
+            });
+            if let Some(cut) = cut {
+                log.truncate(cut);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let records = logs.iter().map(Vec::len).sum();
+    Ok(RecoveredTrace {
+        process_count,
+        generation,
+        logs,
+        records,
+        torn_bytes,
+        dropped_records: parsed - records,
+    })
+}

@@ -1,0 +1,449 @@
+//! The on-disk record codec.
+//!
+//! A store file is a sequence of framed records:
+//!
+//! ```text
+//! record := u32 le payload_len | u32 le crc32(payload) | payload
+//! ```
+//!
+//! and a payload is a 1-byte tag followed by LEB128 varints (the same
+//! varints `synctime_core::wire` uses on the network):
+//!
+//! | tag | name     | payload after the tag                                        |
+//! |-----|----------|--------------------------------------------------------------|
+//! | 0   | META     | varint version, varint process_count, varint generation      |
+//! | 1   | SENT     | varint process, varint pseq, varint peer, varint key, stamp  |
+//! | 2   | RECEIVED | varint process, varint pseq, varint peer, varint key, stamp  |
+//! | 3   | INTERNAL | varint process, varint pseq                                  |
+//!
+//! The stamp is **last** and runs to the end of the payload: it is exactly
+//! the bytes the clock seam (`Clock::encode_wire`, i.e.
+//! [`wire::encode_full`]) produces, so every `--clock` backend round-trips
+//! byte-identically and [`wire::decode_full`]'s exact-consumption check
+//! validates it in place. Record sizes are priced byte-for-byte by
+//! `wire::store_meta_record_bytes` / `store_stamp_record_bytes` /
+//! `store_internal_record_bytes` (asserted by this module's tests).
+
+use synctime_core::wire;
+
+use crate::crc::crc32;
+
+/// The record-format version written into every META record. Readers
+/// refuse other versions rather than guess.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Upper bound on one record's payload length: a larger length prefix is
+/// a torn or hostile file, not a real record (the largest legitimate
+/// payload is a stamp record whose vector is bounded by the decomposition
+/// dimension).
+pub const MAX_RECORD_PAYLOAD: u32 = 1 << 24;
+
+const TAG_META: u8 = 0;
+const TAG_SENT: u8 = 1;
+const TAG_RECEIVED: u8 = 2;
+const TAG_INTERNAL: u8 = 3;
+
+/// A store file's leading record: what a reader must know before it can
+/// interpret the entry records that follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// The record-format version (see [`FORMAT_VERSION`]).
+    pub version: u64,
+    /// The run's process count — the number of per-process logs replay
+    /// reassembles.
+    pub process_count: u64,
+    /// The snapshot generation this file belongs to. Incremented on every
+    /// compaction; recovery uses coordinate-level deduplication, so even
+    /// a log left stale by a crash between snapshot rename and log
+    /// truncation replays correctly.
+    pub generation: u64,
+}
+
+/// One durable execution-log record: a [`LogEntry`] plus the
+/// `(process, pseq)` coordinates that make replay order-independent.
+///
+/// [`LogEntry`]: synctime_runtime::LogEntry
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StampRecord {
+    /// The process sent a message (the OFFER side of a rendezvous).
+    Sent {
+        /// The logging (sending) process.
+        process: u64,
+        /// The entry's position in that process's log.
+        pseq: u64,
+        /// The receiving process.
+        peer: u64,
+        /// The message's reconstruction key.
+        key: u64,
+        /// The agreed timestamp, encoded by the clock wire seam
+        /// ([`wire::encode_full`]).
+        stamp: Vec<u8>,
+    },
+    /// The process received a message (the ACK side of a rendezvous).
+    Received {
+        /// The logging (receiving) process.
+        process: u64,
+        /// The entry's position in that process's log.
+        pseq: u64,
+        /// The sending process.
+        peer: u64,
+        /// The message's reconstruction key.
+        key: u64,
+        /// The agreed timestamp, encoded by the clock wire seam.
+        stamp: Vec<u8>,
+    },
+    /// The process logged a local event.
+    Internal {
+        /// The logging process.
+        process: u64,
+        /// The entry's position in that process's log.
+        pseq: u64,
+    },
+}
+
+impl StampRecord {
+    /// The logging process.
+    pub fn process(&self) -> u64 {
+        match self {
+            StampRecord::Sent { process, .. }
+            | StampRecord::Received { process, .. }
+            | StampRecord::Internal { process, .. } => *process,
+        }
+    }
+
+    /// The record's position in its process's log.
+    pub fn pseq(&self) -> u64 {
+        match self {
+            StampRecord::Sent { pseq, .. }
+            | StampRecord::Received { pseq, .. }
+            | StampRecord::Internal { pseq, .. } => *pseq,
+        }
+    }
+
+    /// The framed on-disk size of this record, via `core::wire`'s store
+    /// pricing helpers — asserted byte-for-byte against [`encode_record`].
+    pub fn encoded_len(&self) -> u64 {
+        match self {
+            StampRecord::Sent {
+                process,
+                pseq,
+                peer,
+                key,
+                stamp,
+            }
+            | StampRecord::Received {
+                process,
+                pseq,
+                peer,
+                key,
+                stamp,
+            } => wire::store_stamp_record_bytes(*process, *pseq, *peer, *key, stamp.len()),
+            StampRecord::Internal { process, pseq } => {
+                wire::store_internal_record_bytes(*process, *pseq)
+            }
+        }
+    }
+}
+
+/// Frames `payload` (length prefix + CRC) onto `out`.
+fn frame_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Appends a framed META record to `out`.
+pub fn encode_meta(out: &mut Vec<u8>, meta: &Meta) {
+    let mut payload = Vec::with_capacity(16);
+    payload.push(TAG_META);
+    wire::push_varint(&mut payload, meta.version);
+    wire::push_varint(&mut payload, meta.process_count);
+    wire::push_varint(&mut payload, meta.generation);
+    frame_payload(out, &payload);
+}
+
+/// Appends a framed entry record to `out`.
+pub fn encode_record(out: &mut Vec<u8>, rec: &StampRecord) {
+    let mut payload = Vec::with_capacity(24);
+    match rec {
+        StampRecord::Sent {
+            process,
+            pseq,
+            peer,
+            key,
+            stamp,
+        } => {
+            payload.push(TAG_SENT);
+            wire::push_varint(&mut payload, *process);
+            wire::push_varint(&mut payload, *pseq);
+            wire::push_varint(&mut payload, *peer);
+            wire::push_varint(&mut payload, *key);
+            payload.extend_from_slice(stamp);
+        }
+        StampRecord::Received {
+            process,
+            pseq,
+            peer,
+            key,
+            stamp,
+        } => {
+            payload.push(TAG_RECEIVED);
+            wire::push_varint(&mut payload, *process);
+            wire::push_varint(&mut payload, *pseq);
+            wire::push_varint(&mut payload, *peer);
+            wire::push_varint(&mut payload, *key);
+            payload.extend_from_slice(stamp);
+        }
+        StampRecord::Internal { process, pseq } => {
+            payload.push(TAG_INTERNAL);
+            wire::push_varint(&mut payload, *process);
+            wire::push_varint(&mut payload, *pseq);
+        }
+    }
+    frame_payload(out, &payload);
+}
+
+/// What a scan of one store file's bytes yielded: the valid prefix, and
+/// how many tail bytes it refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileScan {
+    /// The file's META record, if its first record parsed as one.
+    pub meta: Option<Meta>,
+    /// Every entry record of the valid prefix, in file order.
+    pub records: Vec<StampRecord>,
+    /// Bytes at the tail that did not form a valid record: a torn final
+    /// write, a failed checksum, or garbage. Everything before them is
+    /// kept; everything from the first invalid byte on is dropped.
+    pub torn_bytes: usize,
+}
+
+/// Decodes one record payload (tag + fields) into a [`StampRecord`], or
+/// `None` for a malformed payload. Stamp bytes are validated against
+/// [`wire::decode_full`] here so replay never meets an undecodable stamp.
+fn decode_payload(payload: &[u8]) -> Option<StampRecord> {
+    let (&tag, rest) = payload.split_first()?;
+    let mut pos = 0usize;
+    match tag {
+        TAG_SENT | TAG_RECEIVED => {
+            let process = wire::read_varint(rest, &mut pos)?;
+            let pseq = wire::read_varint(rest, &mut pos)?;
+            let peer = wire::read_varint(rest, &mut pos)?;
+            let key = wire::read_varint(rest, &mut pos)?;
+            let stamp = rest[pos..].to_vec();
+            wire::decode_full(&stamp)?;
+            Some(if tag == TAG_SENT {
+                StampRecord::Sent {
+                    process,
+                    pseq,
+                    peer,
+                    key,
+                    stamp,
+                }
+            } else {
+                StampRecord::Received {
+                    process,
+                    pseq,
+                    peer,
+                    key,
+                    stamp,
+                }
+            })
+        }
+        TAG_INTERNAL => {
+            let process = wire::read_varint(rest, &mut pos)?;
+            let pseq = wire::read_varint(rest, &mut pos)?;
+            (pos == rest.len()).then_some(StampRecord::Internal { process, pseq })
+        }
+        _ => None,
+    }
+}
+
+/// Decodes a META payload, or `None` if it is not one.
+fn decode_meta_payload(payload: &[u8]) -> Option<Meta> {
+    let (&tag, rest) = payload.split_first()?;
+    if tag != TAG_META {
+        return None;
+    }
+    let mut pos = 0usize;
+    let version = wire::read_varint(rest, &mut pos)?;
+    let process_count = wire::read_varint(rest, &mut pos)?;
+    let generation = wire::read_varint(rest, &mut pos)?;
+    (pos == rest.len()).then_some(Meta {
+        version,
+        process_count,
+        generation,
+    })
+}
+
+/// Splits the framed record at `bytes[*pos..]`, advancing the cursor past
+/// it. Returns `None` (cursor untouched) when the bytes there do not form
+/// a complete record with a matching checksum.
+fn next_payload<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let rest = &bytes[*pos..];
+    if rest.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    if len == 0 || len > MAX_RECORD_PAYLOAD {
+        return None;
+    }
+    let want = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    let payload = rest.get(8..8 + len as usize)?;
+    if crc32(payload) != want {
+        return None;
+    }
+    *pos += 8 + len as usize;
+    Some(payload)
+}
+
+/// Scans one store file's bytes into its valid record prefix.
+///
+/// The first record must be a META record; without one the whole file is
+/// treated as torn (a crash during file creation). After it, records are
+/// taken in order until the first framing violation, checksum failure, or
+/// malformed payload — the torn-tail rule: **keep the valid prefix, drop
+/// the rest, never fail**. Scanning cannot error; corruption shows up as
+/// `torn_bytes` and a shorter prefix, and it is the caller's dedup/trim
+/// pass ([`read_trace_dir`](crate::read_trace_dir)) that decides what the
+/// surviving records mean.
+pub fn scan_file(bytes: &[u8]) -> FileScan {
+    let mut pos = 0usize;
+    let Some(meta) = next_payload(bytes, &mut pos).and_then(decode_meta_payload) else {
+        return FileScan {
+            meta: None,
+            records: Vec::new(),
+            torn_bytes: bytes.len(),
+        };
+    };
+    let mut records = Vec::new();
+    while let Some(payload) = next_payload(bytes, &mut pos) {
+        match decode_payload(payload) {
+            Some(rec) => records.push(rec),
+            None => {
+                // A checksum-valid but malformed payload still ends the
+                // prefix: trusting anything after an undecodable record
+                // would re-order the stream.
+                pos -= 8 + payload.len();
+                break;
+            }
+        }
+    }
+    FileScan {
+        meta: Some(meta),
+        records,
+        torn_bytes: bytes.len() - pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synctime_core::VectorTime;
+
+    fn sample_records() -> Vec<StampRecord> {
+        let stamp = |v: Vec<u64>| wire::encode_full(&VectorTime::from(v));
+        vec![
+            StampRecord::Sent {
+                process: 0,
+                pseq: 0,
+                peer: 1,
+                key: 0,
+                stamp: stamp(vec![1, 0]),
+            },
+            StampRecord::Received {
+                process: 1,
+                pseq: 0,
+                peer: 0,
+                key: 0,
+                stamp: stamp(vec![1, 0]),
+            },
+            StampRecord::Internal {
+                process: 1,
+                pseq: 1,
+            },
+            StampRecord::Sent {
+                process: 1,
+                pseq: 2,
+                peer: 0,
+                key: 1 << 32,
+                stamp: stamp(vec![1, 300]),
+            },
+        ]
+    }
+
+    fn encode_file(meta: &Meta, records: &[StampRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_meta(&mut out, meta);
+        for r in records {
+            encode_record(&mut out, r);
+        }
+        out
+    }
+
+    #[test]
+    fn records_roundtrip_and_match_wire_pricing() {
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: 2,
+            generation: 3,
+        };
+        let records = sample_records();
+        let bytes = encode_file(&meta, &records);
+        // Every record's framed size is exactly what core::wire prices.
+        let mut expected = wire::store_meta_record_bytes(FORMAT_VERSION, 2, 3);
+        for r in &records {
+            expected += r.encoded_len();
+        }
+        assert_eq!(bytes.len() as u64, expected);
+        let scan = scan_file(&bytes);
+        assert_eq!(scan.meta, Some(meta));
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: 2,
+            generation: 0,
+        };
+        let records = sample_records();
+        let bytes = encode_file(&meta, &records);
+        for cut in 0..bytes.len() {
+            let scan = scan_file(&bytes[..cut]);
+            assert!(scan.records.len() <= records.len());
+            assert_eq!(
+                scan.records,
+                records[..scan.records.len()],
+                "prefix property violated at cut {cut}"
+            );
+        }
+        // The untruncated file scans whole.
+        assert_eq!(scan_file(&bytes).records.len(), records.len());
+    }
+
+    #[test]
+    fn corrupt_byte_ends_the_prefix() {
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: 2,
+            generation: 0,
+        };
+        let records = sample_records();
+        let clean = encode_file(&meta, &records);
+        // Flip one byte inside the third record's payload: the first two
+        // records survive, everything after the flip is dropped.
+        let meta_len = wire::store_meta_record_bytes(FORMAT_VERSION, 2, 0) as usize;
+        let off = meta_len + (records[0].encoded_len() + records[1].encoded_len()) as usize + 9; // inside record 2's payload
+        let mut bytes = clean.clone();
+        bytes[off] ^= 0xff;
+        let scan = scan_file(&bytes);
+        assert_eq!(scan.records, records[..2]);
+        assert!(scan.torn_bytes > 0);
+        // A file whose META itself is unreadable yields nothing.
+        let scan = scan_file(&clean[3..]);
+        assert_eq!(scan.meta, None);
+        assert!(scan.records.is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! The bridges between the runtime's ingestion seam and the on-disk
+//! store: converting [`LogEntry`]/[`PersistEvent`] values into records,
+//! streaming a live run into a [`TraceStore`] on a background thread, and
+//! materialising a recovered trace back into queryable timestamps.
+
+use std::path::Path;
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+use synctime_core::wire;
+use synctime_core::MessageTimestamps;
+use synctime_runtime::{reconstruct_from_logs, LogEntry, PersistEvent};
+use synctime_trace::SyncComputation;
+
+use crate::log::TraceStore;
+use crate::record::StampRecord;
+use crate::StoreError;
+
+/// Encodes one runtime log entry as a store record at coordinate
+/// `(process, pseq)`. The stamp is serialised with the same
+/// `synctime_core::wire::encode_full` codec every clock backend already
+/// speaks, so any `--clock` choice round-trips through the store.
+pub fn record_from_log_entry(process: u64, pseq: u64, entry: &LogEntry) -> StampRecord {
+    match entry {
+        LogEntry::Sent { to, key, stamp } => StampRecord::Sent {
+            process,
+            pseq,
+            peer: *to as u64,
+            key: *key,
+            stamp: wire::encode_full(stamp),
+        },
+        LogEntry::Received { from, key, stamp } => StampRecord::Received {
+            process,
+            pseq,
+            peer: *from as u64,
+            key: *key,
+            stamp: wire::encode_full(stamp),
+        },
+        LogEntry::Internal => StampRecord::Internal { process, pseq },
+    }
+}
+
+/// Encodes a live-ingestion event (as emitted through
+/// `Runtime::with_log_sink`) as a store record.
+pub fn record_from_event(event: &PersistEvent) -> StampRecord {
+    record_from_log_entry(event.process as u64, event.pseq, &event.entry)
+}
+
+/// Persists already-collected per-process logs (e.g. a finished
+/// [`RuntimeRun`](synctime_runtime::RuntimeRun)'s logs, or logs merged
+/// from distributed node reports) into `<root>/<trace>`, sealing the
+/// result with a snapshot so the log is compact and fsynced.
+///
+/// # Errors
+///
+/// [`StoreError::InvalidTraceName`] or [`StoreError::Io`] from the
+/// underlying [`TraceStore`].
+pub fn persist_logs(
+    root: &Path,
+    trace: &str,
+    logs: &[Vec<LogEntry>],
+) -> Result<TraceStore, StoreError> {
+    let mut store = TraceStore::create(root, trace, logs.len())?.with_snapshot_every(0);
+    for (process, log) in logs.iter().enumerate() {
+        for (pseq, entry) in log.iter().enumerate() {
+            store.append(record_from_log_entry(process as u64, pseq as u64, entry))?;
+        }
+    }
+    store.snapshot()?;
+    Ok(store)
+}
+
+/// Rebuilds the queryable trace from a recovered prefix family via the
+/// same [`reconstruct_from_logs`] seam an in-memory run uses, so stored
+/// and never-stored runs answer queries identically.
+///
+/// # Errors
+///
+/// [`StoreError::Replay`] when the recovered logs do not reassemble into
+/// a synchronous computation (recovery's trimming rules make this
+/// unreachable for stores written by this crate, but adversarial bytes
+/// surface here as a typed error rather than a panic).
+pub fn materialize(
+    logs: &[Vec<LogEntry>],
+) -> Result<(SyncComputation, MessageTimestamps), StoreError> {
+    reconstruct_from_logs(logs).map_err(|e| StoreError::Replay(e.to_string()))
+}
+
+/// The handle to a background ingestion writer spawned by
+/// [`spawn_writer`]. Dropping the event sender (and every clone the
+/// runtime holds) ends the stream; [`StoreWriter::finish`] then joins the
+/// thread and returns the sealed store.
+#[derive(Debug)]
+pub struct StoreWriter {
+    handle: JoinHandle<Result<TraceStore, StoreError>>,
+}
+
+impl StoreWriter {
+    /// Waits for the ingestion thread to drain the channel, seal the
+    /// store with a final snapshot + fsync, and hand the store back.
+    /// Callers must drop every [`Sender`] clone first (the runtime's
+    /// `with_log_sink` clone included) or this blocks forever.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] the writer thread hit while appending or
+    /// sealing.
+    pub fn finish(self) -> Result<TraceStore, StoreError> {
+        match self.handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(StoreError::Io("store writer thread panicked".to_string())),
+        }
+    }
+}
+
+/// Records appended between writer-thread flushes before a flush is
+/// forced even with the channel still busy. Bounds how far a polling
+/// reader can lag a fast producer without costing one `write(2)` per
+/// record when the writer outpaces the run (the common case).
+const FLUSH_EVERY_RECORDS: usize = 1024;
+
+/// How long the writer waits for the next event before flushing whatever
+/// is buffered — the staleness bound a concurrently polling reader sees
+/// during a quiet stretch.
+const FLUSH_IDLE: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Spawns the ingestion thread: event bursts sent on the returned
+/// channel's [`Sender`] (wire it via `Runtime::with_log_sink`, which
+/// ships one `Vec` per per-process burst) are appended to
+/// `<root>/<trace>` as they arrive. Flushes are batched — every
+/// [`FLUSH_EVERY_RECORDS`] appends under load, or after [`FLUSH_IDLE`]
+/// without a new burst — so a concurrently polling reader observes
+/// growth promptly while a fast run never pays one syscall per record.
+/// The store snapshots/compacts automatically (geometric trigger seeded
+/// at [`DEFAULT_SNAPSHOT_EVERY`](crate::DEFAULT_SNAPSHOT_EVERY)).
+///
+/// # Errors
+///
+/// [`StoreError::InvalidTraceName`] or [`StoreError::Io`] when the store
+/// cannot be created (before any thread is spawned).
+pub fn spawn_writer(
+    root: &Path,
+    trace: &str,
+    process_count: usize,
+) -> Result<(Sender<Vec<PersistEvent>>, StoreWriter), StoreError> {
+    use std::sync::mpsc::RecvTimeoutError;
+    let mut store = TraceStore::create(root, trace, process_count)?;
+    let (tx, rx): (Sender<Vec<PersistEvent>>, Receiver<Vec<PersistEvent>>) =
+        std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || -> Result<TraceStore, StoreError> {
+        let mut unflushed = 0usize;
+        loop {
+            match rx.recv_timeout(FLUSH_IDLE) {
+                Ok(burst) => {
+                    for event in &burst {
+                        store.append(record_from_event(event))?;
+                        unflushed += 1;
+                    }
+                    // Drain whatever else is queued before considering a
+                    // flush; under load this amortises the syscall over
+                    // every pending burst.
+                    while let Ok(burst) = rx.try_recv() {
+                        for event in &burst {
+                            store.append(record_from_event(event))?;
+                            unflushed += 1;
+                        }
+                    }
+                    if unflushed >= FLUSH_EVERY_RECORDS {
+                        store.flush()?;
+                        unflushed = 0;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if unflushed > 0 {
+                        store.flush()?;
+                        unflushed = 0;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        store.snapshot()?;
+        store.sync()?;
+        Ok(store)
+    });
+    Ok((tx, StoreWriter { handle }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read_trace_dir;
+    use std::sync::mpsc;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synctime-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp root");
+        dir
+    }
+
+    fn ping_pong_logs(rounds: u64) -> Vec<Vec<LogEntry>> {
+        use synctime_graph::{decompose, topology};
+        use synctime_runtime::{Behavior, Runtime};
+        let topo = topology::path(2);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let a: Behavior = Box::new(move |ctx| {
+            for i in 0..rounds {
+                ctx.send(1, i)?;
+                ctx.receive_from(1)?;
+            }
+            Ok(())
+        });
+        let b: Behavior = Box::new(move |ctx| {
+            for _ in 0..rounds {
+                let (x, _) = ctx.receive_from(0)?;
+                ctx.internal();
+                ctx.send(0, x)?;
+            }
+            Ok(())
+        });
+        let run = rt.run(vec![a, b]).expect("ping-pong run");
+        run.logs().to_vec()
+    }
+
+    #[test]
+    fn persist_then_recover_round_trips_the_run() {
+        let root = temp_root("roundtrip");
+        let logs = ping_pong_logs(5);
+        let store = persist_logs(&root, "pp", &logs).expect("persist");
+        assert_eq!(store.generation(), 1);
+        let rec = read_trace_dir(store.dir()).expect("recover");
+        assert_eq!(rec.process_count, 2);
+        assert_eq!(rec.logs, logs);
+        assert_eq!(rec.dropped_records, 0);
+        assert_eq!(rec.torn_bytes, 0);
+        let (_, direct) = reconstruct_from_logs(&logs).expect("direct");
+        let (_, via_store) = materialize(&rec.logs).expect("via store");
+        assert_eq!(direct.len(), via_store.len());
+        for i in 0..direct.len() {
+            use synctime_trace::MessageId;
+            assert_eq!(direct.vector(MessageId(i)), via_store.vector(MessageId(i)));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_persistence() {
+        let root = temp_root("stream");
+        let logs = ping_pong_logs(4);
+        let (tx, writer) = spawn_writer(&root, "live", logs.len()).expect("spawn");
+        // Deliver in deliberately ragged bursts (1, 2, 3, ... events) to
+        // exercise the batched channel the runtime's sink buffer feeds.
+        let mut burst = Vec::new();
+        let mut burst_len = 1;
+        for (process, log) in logs.iter().enumerate() {
+            for (pseq, entry) in log.iter().enumerate() {
+                burst.push(PersistEvent {
+                    process,
+                    pseq: pseq as u64,
+                    entry: entry.clone(),
+                });
+                if burst.len() >= burst_len {
+                    tx.send(std::mem::take(&mut burst)).expect("send");
+                    burst_len += 1;
+                }
+            }
+        }
+        if !burst.is_empty() {
+            tx.send(burst).expect("send tail");
+        }
+        drop(tx);
+        let store = writer.finish().expect("finish");
+        let rec = read_trace_dir(store.dir()).expect("recover");
+        assert_eq!(rec.logs, logs);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mid_run_truncation_recovers_a_consistent_prefix() {
+        let root = temp_root("torn");
+        let logs = ping_pong_logs(6);
+        let store = persist_logs(&root, "torn", &logs).expect("persist");
+        let snap = store.dir().join(crate::SNAPSHOT_FILE);
+        let bytes = std::fs::read(&snap).expect("read snapshot");
+        // Cut the snapshot at every byte length; recovery must never
+        // error and must always reconstruct successfully.
+        for cut in (0..bytes.len()).step_by(7) {
+            std::fs::write(&snap, &bytes[..cut]).expect("truncate");
+            match read_trace_dir(store.dir()) {
+                Ok(rec) => {
+                    materialize(&rec.logs).expect("prefix reconstructs");
+                }
+                Err(StoreError::Corrupt(_)) => {
+                    // Acceptable only while META itself is torn.
+                }
+                Err(other) => panic!("unexpected error at cut {cut}: {other}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn drained_channel_without_events_still_seals_the_store() {
+        let root = temp_root("empty");
+        let (tx, writer) = spawn_writer(&root, "empty", 3).expect("spawn");
+        let (_unused_tx, _) = mpsc::channel::<Vec<PersistEvent>>();
+        drop(tx);
+        let store = writer.finish().expect("finish");
+        let rec = read_trace_dir(store.dir()).expect("recover");
+        assert_eq!(rec.process_count, 3);
+        assert_eq!(rec.records, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

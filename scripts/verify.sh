@@ -48,7 +48,20 @@
 #      produce byte-identical output under every `--clock` backend
 #      (dense / tree / fixed / auto), and an unknown backend name must be
 #      refused with a diagnostic
-#  15. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#  15. bench-smoke: the store_replay suite at CI scale, checking both its
+#      own smoke report and the checked-in results/ JSON against the
+#      synctime/bench_store/v1 schema (full reports must recover byte-
+#      identical logs, clear the >= 20k records/s replay floor, and keep
+#      ingest overhead <= 1.10 on hosts with a second hardware thread —
+#      <= 1.5 on single-thread hosts, where the writer's CPU serialises
+#      with the run)
+#  16. store-smoke: a ring run with `--persist` is served from its store
+#      by `serve-query --store-dir`; the serving node is killed with
+#      SIGKILL mid-ingest while a second persisted run grows the store,
+#      restarted from the store alone, and must then answer the same
+#      batched + chain queries byte-identically to a server over an
+#      uninterrupted copy of the run (ROADMAP item 3's recovery gate)
+#  17. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,6 +94,8 @@ run cargo bench -q -p synctime-bench --bench net_query -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_net.json"
 run cargo bench -q -p synctime-bench --bench clock_backends -- \
   --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_clocks.json"
+run cargo bench -q -p synctime-bench --bench store_replay -- \
+  --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_store.json"
 
 # --- fault-smoke: seeded fault plans must degrade gracefully, never panic.
 SYNCTIME="target/release/synctime"
@@ -249,6 +264,69 @@ if "$SYNCTIME" run --ring 4 --clock warp > /dev/null 2> "$CLOCK_DIR/warp.err"; t
 fi
 grep -q 'unknown clock backend' "$CLOCK_DIR/warp.err" || {
   echo "verify: --clock warp error lacks the backend diagnostic" >&2; exit 1; }
+
+# --- store-smoke: durable ingestion must survive a SIGKILL of the serving
+# --- node and recover query answers byte-identical to an uninterrupted run.
+STORE_DIR="$(mktemp -d)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"; rm -rf "$FAULT_DIR" "$NET_DIR" "$CLOCK_DIR" "$STORE_DIR"' EXIT
+
+# The ring workload is deterministic: two persisted runs of the same shape
+# produce byte-identical stores, so the crashed and uninterrupted servers
+# can be compared across separate store roots.
+STORE_QUERIES="1:2,2:1,3:9,9:3,5:17,17:5,4:4"
+
+echo "==> store-smoke: reference run with --persist, served uninterrupted"
+"$SYNCTIME" run --ring 6 --rounds 40 --persist "$STORE_DIR/ref" \
+  --trace-name ring > /dev/null
+"$SYNCTIME" serve-query --store-dir "$STORE_DIR/ref" \
+  > "$STORE_DIR/ref-server.out" &
+REF_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^listening on //p' "$STORE_DIR/ref-server.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: store serve-query never announced its address" >&2; exit 1; }
+"$SYNCTIME" query --connect "$ADDR" --trace ring --batch "$STORE_QUERIES" \
+  > "$STORE_DIR/ref-answers.out"
+"$SYNCTIME" query --connect "$ADDR" --trace ring --chain 9 \
+  >> "$STORE_DIR/ref-answers.out"
+kill "$REF_PID" 2>/dev/null || true
+wait "$REF_PID" 2>/dev/null || true
+
+echo "==> store-smoke: SIGKILL the serving node mid-ingest, restart from the store"
+# Grow the second store while its server is live (fast polling so the
+# tailer is mid-republish when the SIGKILL lands), then kill -9.
+"$SYNCTIME" serve-query --store-dir "$STORE_DIR/crash" --poll-ms 20 \
+  > "$STORE_DIR/crash-server.out" &
+CRASH_PID=$!
+"$SYNCTIME" run --ring 6 --rounds 40 --persist "$STORE_DIR/crash" \
+  --trace-name ring > /dev/null &
+RUN_PID=$!
+sleep 0.3
+kill -9 "$CRASH_PID" 2>/dev/null || true
+wait "$CRASH_PID" 2>/dev/null || true
+wait "$RUN_PID" || { echo "verify: persisted ring run failed" >&2; exit 1; }
+"$SYNCTIME" serve-query --store-dir "$STORE_DIR/crash" \
+  > "$STORE_DIR/crash-server2.out" &
+CRASH2_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^listening on //p' "$STORE_DIR/crash-server2.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: restarted store serve-query never announced its address" >&2; exit 1; }
+"$SYNCTIME" query --connect "$ADDR" --trace ring --batch "$STORE_QUERIES" \
+  > "$STORE_DIR/crash-answers.out"
+"$SYNCTIME" query --connect "$ADDR" --trace ring --chain 9 \
+  >> "$STORE_DIR/crash-answers.out"
+kill "$CRASH2_PID" 2>/dev/null || true
+wait "$CRASH2_PID" 2>/dev/null || true
+diff "$STORE_DIR/ref-answers.out" "$STORE_DIR/crash-answers.out" || {
+  echo "verify: answers after SIGKILL + restart diverged from the uninterrupted run" >&2
+  exit 1; }
 
 echo "==> panic-free gate: crates/runtime/src"
 for f in crates/runtime/src/*.rs; do
