@@ -1,0 +1,402 @@
+//! Experiment R12: live reconfiguration under churn.
+//!
+//! The reconfiguration control plane claims three things worth numbers:
+//!
+//! * **Reconfiguration is fast.** A boundary — quiesce, apply the edge
+//!   edits to the incremental decomposition, rebase the baseline clock
+//!   into the new dimension, swap the runtime's epoch — is a blip, not an
+//!   outage. The `reconfigure` records measure every boundary of a long
+//!   seeded churn script; the derived p99 must stay <= 50 ms on full
+//!   reports.
+//! * **The dimension bound survives churn.** Every epoch's stamp
+//!   dimension must respect the paper's `d <= 2*alpha` bound (Theorem 6)
+//!   over that epoch's topology, no matter how the active set evolved to
+//!   produce it. `derived.within_bound` must be true — in smoke and full
+//!   reports alike, it is a correctness property, not a speed one.
+//! * **Serving survives republication.** A query node republishes a
+//!   trace's stamps after every reconfiguration (copy-on-write inside
+//!   [`synctime_net::QueryFabric`]); readers on the old snapshot must not
+//!   stall. The `query` records measure precedence throughput over the
+//!   final epoch's stamps, once steady and once while a writer thread
+//!   republishes continuously; the derived `dip_ratio` (during / steady)
+//!   is reported for the experiment table.
+//!
+//! Usage (a `harness = false` bench):
+//!
+//! ```text
+//! cargo bench -p synctime-bench --bench reconfig_churn              # full run, JSON to stdout
+//!   -- [--smoke] [--out PATH] [--validate PATH]
+//! ```
+//!
+//! `--smoke` shrinks the churn script to CI scale; `--out` writes the
+//! JSON report to a file; `--validate` checks an existing report (e.g.
+//! the checked-in `results/BENCH_churn.json`) against the
+//! `synctime/bench_churn/v1` schema, including the p99 ceiling on full
+//! reports and the dimension bound always, and fails the process if it
+//! does not conform.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use synctime_graph::decompose;
+use synctime_runtime::reconstruct_from_logs;
+use synctime_sim::churn::epoch_topology;
+use synctime_sim::{run_churn, ChurnConfig, ChurnPlan};
+use synctime_trace::MessageId;
+
+const SCHEMA: &str = "synctime/bench_churn/v1";
+
+/// The reconfiguration-latency ceiling (microseconds, p99) enforced on
+/// full reports.
+const P99_CEILING_US: f64 = 50_000.0;
+
+// ---------------------------------------------------- tiny Value builders
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn string(x: &str) -> Value {
+    Value::Str(x.to_string())
+}
+
+fn uint(x: u64) -> Value {
+    Value::UInt(x)
+}
+
+fn float(x: f64) -> Value {
+    Value::Float(x)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(x) => Some(*x),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// The nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)] as f64
+}
+
+// ------------------------------------------------------------ the report
+
+fn run_suite(smoke: bool) -> Value {
+    let (universe, boundaries, query_iters) = if smoke {
+        (6usize, 8usize, 20_000usize)
+    } else {
+        (12, 120, 400_000)
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let plan = ChurnPlan::random(universe, boundaries, 1, &mut rng);
+    eprintln!("reconfig_churn: churn script, universe {universe}, {boundaries} boundaries");
+    let started = Instant::now();
+    let run = run_churn(&plan, &ChurnConfig::default()).expect("churn run");
+    let run_ns = started.elapsed().as_nanos();
+
+    // Reconfiguration latency: every epoch after the first records the
+    // microseconds its entering boundary took.
+    let mut lat: Vec<u64> = run
+        .epochs
+        .iter()
+        .skip(1)
+        .map(|e| e.reconfigure_micros)
+        .collect();
+    lat.sort_unstable();
+    let p50 = percentile(&lat, 50.0);
+    let p90 = percentile(&lat, 90.0);
+    let p99 = percentile(&lat, 99.0);
+
+    // Dimension bound: every epoch's dimension against 2*alpha of that
+    // epoch's topology.
+    let mut max_dim = 0usize;
+    let mut max_bound = 0usize;
+    let mut within_bound = true;
+    for e in &run.epochs {
+        let topo = epoch_topology(universe, &e.active).expect("epoch topology");
+        let bound = 2 * decompose::alpha(&topo);
+        max_dim = max_dim.max(e.dim);
+        max_bound = max_bound.max(bound);
+        within_bound &= e.dim <= bound;
+    }
+
+    // Query serving: precedence throughput over the final epoch's stamps,
+    // steady vs. while a writer republishes the trace continuously.
+    let final_logs = run.final_epoch_logs();
+    let (comp, stamps) = reconstruct_from_logs(&final_logs).expect("final epoch reconstructs");
+    let m = comp.message_count();
+    assert!(m >= 2, "final epoch must carry messages");
+    let fabric = std::sync::Arc::new(synctime_net::QueryFabric::single("churn", stamps.clone()));
+    let queries = |iters: usize| -> u128 {
+        // A fixed LCG walk over message pairs: same sequence both runs.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let started = Instant::now();
+        let mut hits = 0usize;
+        for _ in 0..iters {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let m1 = MessageId((x >> 33) as usize % m);
+            let m2 = MessageId((x >> 13) as usize % m);
+            let snapshot = fabric.resolve("churn").expect("trace is published");
+            if snapshot.precedes(m1, m2) {
+                hits += 1;
+            }
+        }
+        std::hint::black_box(hits);
+        started.elapsed().as_nanos()
+    };
+    eprintln!("reconfig_churn: query serving, {query_iters} lookups x2");
+    let steady_ns = queries(query_iters);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let publisher = {
+        let fabric = std::sync::Arc::clone(&fabric);
+        let stop = std::sync::Arc::clone(&stop);
+        let stamps = stamps.clone();
+        std::thread::spawn(move || {
+            let mut publishes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                fabric.publish("churn", stamps.clone());
+                publishes += 1;
+            }
+            publishes
+        })
+    };
+    let during_ns = queries(query_iters);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let publishes = publisher.join().expect("publisher joins");
+
+    let qps = |ns: u128| {
+        if ns > 0 {
+            query_iters as f64 / (ns as f64 / 1e9)
+        } else {
+            0.0
+        }
+    };
+    let qps_steady = qps(steady_ns);
+    let qps_during = qps(during_ns);
+
+    let records = vec![
+        obj(vec![
+            ("workload", string("reconfigure")),
+            ("variant", string("boundary")),
+            ("dim", uint(max_dim as u64)),
+            ("ops", uint(lat.len() as u64)),
+            ("elapsed_ns", uint(run_ns as u64)),
+            (
+                "ops_per_sec",
+                float(lat.len() as f64 / (run_ns as f64 / 1e9)),
+            ),
+            (
+                "detail",
+                obj(vec![
+                    ("universe", uint(universe as u64)),
+                    ("p50_us", float(p50)),
+                    ("p90_us", float(p90)),
+                    ("p99_us", float(p99)),
+                ]),
+            ),
+        ]),
+        obj(vec![
+            ("workload", string("query")),
+            ("variant", string("steady")),
+            ("dim", uint(max_dim as u64)),
+            ("ops", uint(query_iters as u64)),
+            ("elapsed_ns", uint(steady_ns as u64)),
+            ("ops_per_sec", float(qps_steady)),
+            ("detail", obj(vec![("messages", uint(m as u64))])),
+        ]),
+        obj(vec![
+            ("workload", string("query")),
+            ("variant", string("during_rebase")),
+            ("dim", uint(max_dim as u64)),
+            ("ops", uint(query_iters as u64)),
+            ("elapsed_ns", uint(during_ns as u64)),
+            ("ops_per_sec", float(qps_during)),
+            (
+                "detail",
+                obj(vec![
+                    ("messages", uint(m as u64)),
+                    ("publishes", uint(publishes)),
+                ]),
+            ),
+        ]),
+    ];
+
+    obj(vec![
+        ("schema", string(SCHEMA)),
+        ("mode", string(if smoke { "smoke" } else { "full" })),
+        ("records", Value::Array(records)),
+        (
+            "derived",
+            obj(vec![
+                ("reconfigure_p50_us", float(p50)),
+                ("reconfigure_p90_us", float(p90)),
+                ("reconfigure_p99_us", float(p99)),
+                ("max_dim", uint(max_dim as u64)),
+                ("bound_2alpha", uint(max_bound as u64)),
+                ("within_bound", Value::Bool(within_bound)),
+                ("qps_steady", float(qps_steady)),
+                ("qps_during_rebase", float(qps_during)),
+                (
+                    "dip_ratio",
+                    float(if qps_steady > 0.0 {
+                        qps_during / qps_steady
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
+// ------------------------------------------------------------ validation
+
+/// Checks a report against the v1 schema: the p99 ceiling on full
+/// reports, the dimension bound always. Returns every violation found
+/// (empty = conforming).
+fn validate_report(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get_field("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        errs.push(format!("top-level \"schema\" must be \"{SCHEMA}\""));
+    }
+    let mode = doc.get_field("mode").and_then(Value::as_str);
+    match mode {
+        Some("full") | Some("smoke") => {}
+        other => errs.push(format!(
+            "\"mode\" must be \"full\" or \"smoke\", got {other:?}"
+        )),
+    }
+    let Some(records) = doc.get_field("records").and_then(Value::as_array) else {
+        errs.push("\"records\" must be an array".to_string());
+        return errs;
+    };
+    for (i, r) in records.iter().enumerate() {
+        for key in ["workload", "variant"] {
+            if r.get_field(key).and_then(Value::as_str).is_none() {
+                errs.push(format!("records[{i}].{key} must be a string"));
+            }
+        }
+        for key in ["dim", "ops", "elapsed_ns"] {
+            if r.get_field(key).and_then(as_u64).is_none() {
+                errs.push(format!("records[{i}].{key} must be an unsigned integer"));
+            }
+        }
+        match r.get_field("ops_per_sec").and_then(as_f64) {
+            Some(value) if value > 0.0 => {}
+            _ => errs.push(format!(
+                "records[{i}].ops_per_sec must be a positive number"
+            )),
+        }
+    }
+    for workload in ["reconfigure", "query"] {
+        if !records
+            .iter()
+            .any(|r| r.get_field("workload").and_then(Value::as_str) == Some(workload))
+        {
+            errs.push(format!("records must cover the \"{workload}\" workload"));
+        }
+    }
+    let Some(derived) = doc.get_field("derived") else {
+        errs.push("\"derived\" must be an object".to_string());
+        return errs;
+    };
+    match derived.get_field("within_bound") {
+        Some(Value::Bool(true)) => {}
+        _ => errs.push("derived.within_bound must be true (d <= 2*alpha, Theorem 6)".to_string()),
+    }
+    let full = mode == Some("full");
+    match derived.get_field("reconfigure_p99_us").and_then(as_f64) {
+        Some(x) if x > 0.0 => {
+            if full && x > P99_CEILING_US {
+                errs.push(format!(
+                    "derived.reconfigure_p99_us must be <= {P99_CEILING_US} in a full report, got {x:.0}"
+                ));
+            }
+        }
+        _ => errs.push("derived.reconfigure_p99_us must be positive".to_string()),
+    }
+    for key in ["qps_steady", "qps_during_rebase", "dip_ratio"] {
+        match derived.get_field(key).and_then(as_f64) {
+            Some(x) if x > 0.0 => {}
+            _ => errs.push(format!("derived.{key} must be positive")),
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().expect("--out expects a path").clone()),
+            "--validate" => {
+                validate = Some(it.next().expect("--validate expects a path").clone());
+            }
+            // Tolerate cargo-bench plumbing (--bench, filter strings, ...).
+            _ => {}
+        }
+    }
+
+    let report = run_suite(smoke);
+    let mut failures: Vec<String> = validate_report(&report);
+
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&report).expect("report serialises")
+    );
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("reconfig_churn: report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    if let Some(path) = &validate {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let doc: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+        let errs = validate_report(&doc);
+        if errs.is_empty() {
+            eprintln!("reconfig_churn: {path} conforms to {SCHEMA}");
+        } else {
+            failures.extend(errs.into_iter().map(|e| format!("{path}: {e}")));
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("reconfig_churn: SCHEMA VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

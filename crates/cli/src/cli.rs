@@ -28,6 +28,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "launch" => cmd_launch(&opts),
         "serve-query" => cmd_serve_query(&opts),
         "faultplan" => cmd_faultplan(&opts),
+        "churn" => cmd_churn(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`; try `synctime help`")),
     }
@@ -56,11 +57,15 @@ USAGE:
                      [--persist <DIR> [--trace-name <NAME>]]
   synctime faultplan --processes <N> --max-op <M> [--crashes <K>]
                      [--desyncs <D>] [--seed <S>]
-  synctime launch    (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>])
+  synctime churn     --universe <N> --boundaries <B> [--mean-rounds <R>]
+                     [--seed <S>]
+  synctime launch    (--programs <FILE> | --ring <N> | --gossip <N> [--rounds <R>]
+                      | --churn-plan <FILE>)
                      [--transport tcp|local] [--stats] [--seed <S>]
                      [--topology <SPEC>] [--establish-timeout-ms <MS>]
                      [--persist <DIR> [--trace-name <NAME>]]
-  synctime serve-node --process <P> (--programs <FILE> | --ring <N> | --gossip <N>)
+  synctime serve-node --process <P> (--programs <FILE> | --ring <N> | --gossip <N>
+                      | --churn-plan <FILE>)
                      [--peers <A0,A1,..>] [--topology <SPEC>] [--rounds <R>]
                      [--seed <S>] [--establish-timeout-ms <MS>]
   synctime serve-query (--topology <SPEC> --trace <FILE>
@@ -114,6 +119,23 @@ FAULTPLAN:
   `--crashes K` distinct processes crash and `--desyncs D` delta-stream
   desyncs land at operation indices drawn from 0..M. Same seed, same plan.
 
+CHURN:
+  Generates a random reconfiguration script as JSON for `launch
+  --churn-plan`: `--boundaries B` join/leave/swap events over a fixed
+  `--universe N` process pool, with exponential gaps of mean
+  `--mean-rounds` token laps between events (Poisson churn arrivals).
+  Same seed, same plan. `launch --churn-plan plan.json` then runs the
+  multi-epoch workload: every epoch is a token ring over the plan's
+  active set, and every boundary ships a RECONFIGURE prepare/commit round
+  through the coordinator (process 0) — in-flight traffic quiesces at the
+  epoch boundary, every node rebases its clock through the group remap,
+  and the committed max-merged baseline keeps post-change stamps
+  order-isomorphic with an uninterrupted run over the new topology. The
+  command prints the FINAL epoch's reconstructed trace (byte-identical to
+  an uninterrupted reference run over the post-churn topology); with
+  `--persist DIR` the boundaries are stored as reconfiguration records so
+  `serve-query --store-dir` serves the latest epoch across restarts.
+
 DISTRIBUTED:
   `launch --transport tcp` runs the same workload as `run`, but as one OS
   process per synchronous process, meshed over loopback TCP: it spawns
@@ -154,7 +176,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
             return Err("empty flag `--`".to_string());
         }
         // Boolean flags take no value.
-        if matches!(name, "optimal" | "cover" | "json" | "stats") {
+        if matches!(name, "optimal" | "cover" | "json" | "stats" | "epochs") {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -1032,10 +1054,36 @@ fn establish_timeout(opts: &BTreeMap<String, String>) -> Result<std::time::Durat
 /// stdout, and reads the comma-separated peer list from stdin — the
 /// contract `launch --transport tcp` drives. Prints a node report.
 fn cmd_serve_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
-    use std::io::Write as _;
+    if opts.contains_key("churn-plan") {
+        return cmd_serve_churn_node(opts);
+    }
     let programs = run_programs(opts)?;
     reject_receive_any(&programs)?;
     let n = programs.len();
+    let process = node_process(opts, n)?;
+    let topo = run_topology(&programs, opts)?;
+    let dec = decompose::best_known(&topo);
+    let hash = synctime_net::topology_hash_of(n, &dec);
+    let neighbors: Vec<usize> = topo.neighbors(process).collect();
+    let mesh = node_mesh(opts, process, n, &neighbors, hash)?;
+    let (tx, rx) = mesh.channels();
+    let rt = configure_runtime(synctime_runtime::Runtime::new(&topo, &dec), opts)?;
+    let behavior = op_behavior(programs.into_iter().nth(process).expect("index checked"));
+    let run = rt.run_process(process, behavior, tx, rx);
+    drop(mesh); // close peer sockets before reporting
+    let (p, log, outcome, stats) = run.into_parts();
+    let report = synctime_net::NodeReport {
+        process: p,
+        outcome: outcome.map(|e| e.to_string()),
+        log,
+        cuts: Vec::new(),
+        stats,
+    };
+    Ok(report.to_json() + "\n")
+}
+
+/// Parses and range-checks `--process` against the workload size.
+fn node_process(opts: &BTreeMap<String, String>, n: usize) -> Result<usize, String> {
     let process: usize = require(opts, "process")?
         .parse()
         .map_err(|_| "--process expects a process index".to_string())?;
@@ -1044,9 +1092,20 @@ fn cmd_serve_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
             "--process {process} out of range (workload has {n} processes)"
         ));
     }
-    let topo = run_topology(&programs, opts)?;
-    let dec = decompose::best_known(&topo);
-    let hash = synctime_net::topology_hash_of(n, &dec);
+    Ok(process)
+}
+
+/// Binds this node's socket, exchanges the peer address list (fixed via
+/// `--peers`, or the announce-on-stdout / list-on-stdin contract `launch`
+/// drives), and establishes the mesh over `neighbors`.
+fn node_mesh(
+    opts: &BTreeMap<String, String>,
+    process: usize,
+    n: usize,
+    neighbors: &[usize],
+    hash: u64,
+) -> Result<synctime_net::TcpMesh, String> {
+    use std::io::Write as _;
     let timeout = establish_timeout(opts)?;
     let (builder, addrs) = match opts.get("peers") {
         Some(list) => {
@@ -1071,21 +1130,124 @@ fn cmd_serve_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
             (builder, parse_addr_list(line.trim(), n)?)
         }
     };
-    let neighbors: Vec<usize> = topo.neighbors(process).collect();
-    let mesh = builder
-        .establish(process, &addrs, &neighbors, hash, timeout)
-        .map_err(|e| format!("mesh establishment failed: {e}"))?;
-    let (tx, rx) = mesh.channels();
-    let rt = configure_runtime(synctime_runtime::Runtime::new(&topo, &dec), opts)?;
-    let behavior = op_behavior(programs.into_iter().nth(process).expect("index checked"));
-    let run = rt.run_process(process, behavior, tx, rx);
+    builder
+        .establish(process, &addrs, neighbors, hash, timeout)
+        .map_err(|e| format!("mesh establishment failed: {e}"))
+}
+
+/// Reads and validates the `--churn-plan` JSON file.
+fn load_churn_plan(opts: &BTreeMap<String, String>) -> Result<synctime_sim::ChurnPlan, String> {
+    let path = require(opts, "churn-plan")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read churn plan `{path}`: {e}"))?;
+    let plan = synctime_sim::ChurnPlan::from_json(&text)
+        .map_err(|e| format!("bad churn plan JSON: {e}"))?;
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan)
+}
+
+/// The mesh neighbors of one process in a churn run: its union-topology
+/// neighbors plus the control-star edge to the coordinator (process 0
+/// connects to everyone), so RECONFIGURE rounds always have a socket even
+/// when an epoch's ring does not touch the coordinator.
+fn churn_neighbors(union: &Graph, process: usize, n: usize) -> Vec<usize> {
+    let mut nb: std::collections::BTreeSet<usize> = union.neighbors(process).collect();
+    if process == 0 {
+        nb.extend(1..n);
+    } else {
+        nb.insert(0);
+    }
+    nb.remove(&process);
+    nb.into_iter().collect()
+}
+
+/// `serve-node --churn-plan`: one process of a multi-epoch churn run.
+/// Establishes the mesh over the plan's *union* topology (plus control
+/// star), then alternates epoch execution with reconfiguration rounds:
+/// the coordinator drives `coordinate_reconfigure`, everyone else
+/// `follow_reconfigure`, and each node applies the committed epoch to its
+/// own runtime. The report carries the concatenated log and the
+/// per-boundary cuts the launcher persists as reconfiguration records.
+fn cmd_serve_churn_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let plan = load_churn_plan(opts)?;
+    let actives = plan.active_sets().map_err(|e| e.to_string())?;
+    let n = plan.universe;
+    let process = node_process(opts, n)?;
+    let union = plan.union_topology().map_err(|e| e.to_string())?;
+    let union_dec = decompose::best_known(&union);
+    let hash = synctime_net::topology_hash_of(n, &union_dec);
+    let neighbors = churn_neighbors(&union, process, n);
+    let mesh = node_mesh(opts, process, n, &neighbors, hash)?;
+    let reconfig_timeout = establish_timeout(opts)?;
+
+    let epoch0 = synctime_sim::churn::epoch_topology(n, &actives[0]).map_err(|e| e.to_string())?;
+    let mut session = synctime_net::ReconfigSession::new(&epoch0);
+    let mut rt = configure_runtime(
+        synctime_runtime::Runtime::new(session.graph(), session.decomposition()),
+        opts,
+    )?;
+
+    let mut log: Vec<synctime_runtime::LogEntry> = Vec::new();
+    let mut cuts: Vec<u64> = Vec::new();
+    let mut stats_parts = Vec::new();
+    let mut outcome: Option<String> = None;
+    for (e, active) in actives.iter().enumerate() {
+        let rounds = match plan.events.get(e) {
+            Some(ev) => ev.after_rounds,
+            None => plan.tail_rounds,
+        };
+        let behavior = synctime_sim::ring_behavior(active, process, rounds);
+        let (tx, rx) = mesh.channels();
+        let run = rt.run_process(process, behavior, tx, rx);
+        let final_clock = run.final_clock().clone();
+        let (_, epoch_log, epoch_outcome, stats) = run.into_parts();
+        log.extend(epoch_log);
+        stats_parts.push(stats);
+        if outcome.is_none() {
+            outcome = epoch_outcome.map(|err| format!("epoch {e}: {err}"));
+        }
+        if e + 1 < actives.len() {
+            let ops = synctime_sim::churn::edge_ops(active, &actives[e + 1]);
+            let committed = if process == 0 {
+                let peers: Vec<usize> = (1..n).collect();
+                synctime_net::coordinate_reconfigure(
+                    &mesh,
+                    &mut session,
+                    &peers,
+                    &ops,
+                    &final_clock,
+                    reconfig_timeout,
+                )
+            } else {
+                synctime_net::follow_reconfigure(
+                    &mesh,
+                    &mut session,
+                    0,
+                    process as u32,
+                    &final_clock,
+                    reconfig_timeout,
+                )
+            }
+            .map_err(|err| format!("reconfiguration into epoch {}: {err}", e + 1))?;
+            let applied = synctime_runtime::AppliedReconfigure {
+                epoch: committed.epoch,
+                topology: session.graph().clone(),
+                decomposition: session.decomposition().clone(),
+                remap: committed.remap,
+                baseline: committed.baseline,
+            };
+            rt.apply_reconfigure(&applied)
+                .map_err(|err| format!("applying epoch {}: {err}", e + 1))?;
+            cuts.push(log.len() as u64);
+        }
+    }
     drop(mesh); // close peer sockets before reporting
-    let (p, log, outcome, stats) = run.into_parts();
     let report = synctime_net::NodeReport {
-        process: p,
-        outcome: outcome.map(|e| e.to_string()),
+        process,
+        outcome,
         log,
-        stats,
+        cuts,
+        stats: synctime_obs::RunStats::merged(&stats_parts),
     };
     Ok(report.to_json() + "\n")
 }
@@ -1095,9 +1257,15 @@ fn cmd_serve_node(opts: &BTreeMap<String, String>) -> Result<String, String> {
 /// spawns `serve-node` children, wires them into a loopback mesh, and
 /// merges their reports into the same outputs `run` produces.
 fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
-    use std::io::{BufRead as _, Read as _, Write as _};
+    let churn = opts.contains_key("churn-plan");
     match opts.get("transport").map(String::as_str).unwrap_or("tcp") {
-        "local" => return cmd_run(opts),
+        "local" => {
+            return if churn {
+                cmd_launch_churn_local(opts)
+            } else {
+                cmd_run(opts)
+            }
+        }
         "tcp" => {}
         other => {
             return Err(format!(
@@ -1105,12 +1273,14 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
             ))
         }
     }
+    if churn {
+        return cmd_launch_churn_tcp(opts);
+    }
     let programs = run_programs(opts)?;
     reject_receive_any(&programs)?;
     // Validate the topology before spawning anything.
     let _ = run_topology(&programs, opts)?;
     let n = programs.len();
-    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
     const FORWARDED: [&str; 10] = [
         "programs",
         "ring",
@@ -1123,12 +1293,72 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
         "rendezvous-retries",
         "establish-timeout-ms",
     ];
+    let reports = launch_nodes(opts, n, &FORWARDED)?;
+    let mut logs = Vec::with_capacity(n);
+    let mut stats_parts = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for report in reports {
+        logs.push(report.log);
+        stats_parts.push(report.stats);
+        outcomes.push(report.outcome);
+    }
+    if let Some(root) = opts.get("persist") {
+        // The launcher persists the *merged* logs after the fact: node
+        // children stream nothing durably themselves, so a single sealed
+        // store appears atomically once every report is in. Recovery
+        // trims any partial per-process suffix to a consistent prefix.
+        let trace = opts
+            .get("trace-name")
+            .map(String::as_str)
+            .unwrap_or(DEFAULT_PERSIST_TRACE);
+        let store = synctime_store::persist_logs(std::path::Path::new(root), trace, &logs)
+            .map_err(|e| format!("cannot persist the run under `{root}`: {e}"))?;
+        eprintln!("persisted trace to {}", store.dir().display());
+    }
+    let stats = synctime_obs::RunStats::merged(&stats_parts);
+    if outcomes.iter().any(Option::is_some) {
+        // Mirror `run --fault-plan`: typed per-process failures are a
+        // reportable result, not a launcher error.
+        let rendered: Vec<String> = outcomes
+            .iter()
+            .map(|o| match o {
+                None => "null".to_string(),
+                Some(e) => serde_json::to_string(e).expect("strings serialise infallibly"),
+            })
+            .collect();
+        return Ok(format!(
+            "{{\n  \"stats\": {},\n  \"outcomes\": [{}]\n}}\n",
+            stats.to_json(),
+            rendered.join(", ")
+        ));
+    }
+    if opts.contains_key("stats") {
+        let mut out = stats.to_json();
+        out.push('\n');
+        return Ok(out);
+    }
+    let (comp, _stamps) = synctime_runtime::reconstruct_from_logs(&logs)
+        .map_err(|e| format!("cannot reconstruct the distributed run: {e}"))?;
+    Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+/// Spawns `n` `serve-node` children (forwarding the named flags), drives
+/// the three-phase bootstrap — scrape each node's announced address, hand
+/// everyone the full peer list, collect one JSON report per process — and
+/// waits for every child to exit cleanly.
+fn launch_nodes(
+    opts: &BTreeMap<String, String>,
+    n: usize,
+    forwarded: &[&str],
+) -> Result<Vec<synctime_net::NodeReport>, String> {
+    use std::io::{BufRead as _, Read as _, Write as _};
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
     let mut children = Vec::with_capacity(n);
     for p in 0..n {
         let mut cmd = std::process::Command::new(&exe);
         cmd.arg("serve-node").arg("--process").arg(p.to_string());
-        for name in FORWARDED {
-            if let Some(value) = opts.get(name) {
+        for name in forwarded {
+            if let Some(value) = opts.get(*name) {
                 cmd.arg(format!("--{name}")).arg(value);
             }
         }
@@ -1187,31 +1417,37 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
             return Err(format!("node {p} exited with {status}"));
         }
     }
-    let mut logs = Vec::with_capacity(n);
-    let mut stats_parts = Vec::with_capacity(n);
-    let mut outcomes = Vec::with_capacity(n);
-    for report in reports.into_iter().map(|r| r.expect("one report per slot")) {
-        logs.push(report.log);
-        stats_parts.push(report.stats);
-        outcomes.push(report.outcome);
-    }
+    Ok(reports
+        .into_iter()
+        .map(|r| r.expect("one report per slot"))
+        .collect())
+}
+
+/// Persists a multi-epoch run and returns the final-epoch trace JSON (or
+/// the merged stats / per-process outcomes, mirroring plain `launch`).
+/// Shared tail of the local and distributed churn launch paths.
+fn churn_output(
+    opts: &BTreeMap<String, String>,
+    logs: Vec<Vec<synctime_runtime::LogEntry>>,
+    records: Vec<synctime_store::ReconfigRecord>,
+    stats: synctime_obs::RunStats,
+    outcomes: Vec<Option<String>>,
+) -> Result<String, String> {
     if let Some(root) = opts.get("persist") {
-        // The launcher persists the *merged* logs after the fact: node
-        // children stream nothing durably themselves, so a single sealed
-        // store appears atomically once every report is in. Recovery
-        // trims any partial per-process suffix to a consistent prefix.
         let trace = opts
             .get("trace-name")
             .map(String::as_str)
             .unwrap_or(DEFAULT_PERSIST_TRACE);
-        let store = synctime_store::persist_logs(std::path::Path::new(root), trace, &logs)
-            .map_err(|e| format!("cannot persist the run under `{root}`: {e}"))?;
+        let store = synctime_store::persist_logs_with_reconfigs(
+            std::path::Path::new(root),
+            trace,
+            &logs,
+            &records,
+        )
+        .map_err(|e| format!("cannot persist the run under `{root}`: {e}"))?;
         eprintln!("persisted trace to {}", store.dir().display());
     }
-    let stats = synctime_obs::RunStats::merged(&stats_parts);
     if outcomes.iter().any(Option::is_some) {
-        // Mirror `run --fault-plan`: typed per-process failures are a
-        // reportable result, not a launcher error.
         let rendered: Vec<String> = outcomes
             .iter()
             .map(|o| match o {
@@ -1230,9 +1466,129 @@ fn cmd_launch(opts: &BTreeMap<String, String>) -> Result<String, String> {
         out.push('\n');
         return Ok(out);
     }
-    let (comp, _stamps) = synctime_runtime::reconstruct_from_logs(&logs)
-        .map_err(|e| format!("cannot reconstruct the distributed run: {e}"))?;
+    // Only the final epoch reconstructs whole (earlier epochs recycle
+    // message keys and live in other dimensions); that is exactly the
+    // post-churn trace a fresh run over the final topology would produce.
+    let final_logs: Vec<Vec<synctime_runtime::LogEntry>> = match records.last() {
+        None => logs,
+        Some(last) => logs
+            .iter()
+            .zip(&last.cuts)
+            .map(|(log, &cut)| log.get(cut as usize..).unwrap_or(&[]).to_vec())
+            .collect(),
+    };
+    let (comp, _stamps) = synctime_runtime::reconstruct_from_logs(&final_logs)
+        .map_err(|e| format!("cannot reconstruct the final epoch: {e}"))?;
     Ok(synctime_trace::json::to_json_string(&comp))
+}
+
+/// `launch --transport local --churn-plan`: the whole multi-epoch run in
+/// this OS process via the sim engine — same epochs, same boundaries, same
+/// final-epoch trace as the distributed path, byte for byte.
+fn cmd_launch_churn_local(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let plan = load_churn_plan(opts)?;
+    let mut cfg = synctime_sim::ChurnConfig::default();
+    if opts.contains_key("clock") {
+        cfg.backend = parse_clock(opts)?;
+    }
+    if let Some(path) = opts.get("fault-plan") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
+        cfg.fault = synctime_sim::FaultPlan::from_json(&text)
+            .map_err(|e| format!("bad fault plan JSON: {e}"))?;
+    }
+    let run = synctime_sim::run_churn(&plan, &cfg).map_err(|e| e.to_string())?;
+    let records: Vec<synctime_store::ReconfigRecord> = run
+        .boundaries
+        .iter()
+        .map(|b| synctime_store::ReconfigRecord {
+            epoch: b.epoch,
+            cuts: b.cuts.clone(),
+            ops: b.ops.clone(),
+        })
+        .collect();
+    if opts.contains_key("epochs") {
+        return Ok(render_epoch_reports(&run.epochs));
+    }
+    churn_output(opts, run.logs, records, run.stats, run.outcomes)
+}
+
+/// Renders `--epochs` output: one JSON object per epoch with its active
+/// set, stamp dimension, reconfiguration latency, and survivor count.
+fn render_epoch_reports(epochs: &[synctime_sim::EpochReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in epochs.iter().enumerate() {
+        let active: Vec<String> = e.active.iter().map(ToString::to_string).collect();
+        let _ = write!(
+            out,
+            "  {{\"epoch\": {}, \"active\": [{}], \"dim\": {}, \"reconfigure_micros\": {}, \"survivors\": {}}}{}\n",
+            e.epoch,
+            active.join(", "),
+            e.dim,
+            e.reconfigure_micros,
+            e.survivors,
+            if i + 1 < epochs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// `launch --churn-plan` over TCP: spawns one `serve-node --churn-plan`
+/// per process in the plan's universe, lets the nodes drive the
+/// RECONFIGURE rounds among themselves, then assembles the per-node cuts
+/// into the store's reconfiguration records.
+fn cmd_launch_churn_tcp(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    let plan = load_churn_plan(opts)?;
+    let actives = plan.active_sets().map_err(|e| e.to_string())?;
+    let n = plan.universe;
+    const FORWARDED: [&str; 6] = [
+        "churn-plan",
+        "clock",
+        "rendezvous-timeout",
+        "rendezvous-retries",
+        "establish-timeout-ms",
+        "watchdog-ms",
+    ];
+    let reports = launch_nodes(opts, n, &FORWARDED)?;
+    let boundaries = plan.events.len();
+    for report in &reports {
+        if report.cuts.len() != boundaries {
+            return Err(format!(
+                "process {} reported {} cuts, expected {boundaries}",
+                report.process,
+                report.cuts.len()
+            ));
+        }
+    }
+    let records: Vec<synctime_store::ReconfigRecord> = (0..boundaries)
+        .map(|b| synctime_store::ReconfigRecord {
+            epoch: (b + 1) as u64,
+            cuts: reports.iter().map(|r| r.cuts[b]).collect(),
+            ops: synctime_sim::churn::edge_ops(&actives[b], &actives[b + 1])
+                .iter()
+                .map(|op| match *op {
+                    synctime_graph::EdgeOp::Insert(u, v) => (0u8, u as u64, v as u64),
+                    synctime_graph::EdgeOp::Remove(u, v) => (1u8, u as u64, v as u64),
+                })
+                .collect(),
+        })
+        .collect();
+    let mut logs = Vec::with_capacity(n);
+    let mut stats_parts = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for report in reports {
+        logs.push(report.log);
+        stats_parts.push(report.stats);
+        outcomes.push(report.outcome);
+    }
+    churn_output(
+        opts,
+        logs,
+        records,
+        synctime_obs::RunStats::merged(&stats_parts),
+        outcomes,
+    )
 }
 
 /// `serve-query`: stamp one trace (`--trace`) or a whole directory of
@@ -1357,7 +1713,20 @@ fn publish_store_trace(
     dir: &std::path::Path,
 ) -> Result<(), String> {
     let rec = synctime_store::read_trace_dir(dir).map_err(|e| e.to_string())?;
-    let (_comp, stamps) = synctime_store::materialize(&rec.logs).map_err(|e| e.to_string())?;
+    publish_recovered(fabric, name, &rec)
+}
+
+/// Publishes the queryable view of a recovered trace: its **latest
+/// epoch**. For a single-epoch trace that is the whole run; for a churn
+/// trace it is the segment past the newest reconfiguration boundary — the
+/// only segment whose stamps share a dimension and whose keys are unique.
+fn publish_recovered(
+    fabric: &synctime_net::QueryFabric,
+    name: &str,
+    rec: &synctime_store::RecoveredTrace,
+) -> Result<(), String> {
+    let (_epoch, _comp, stamps) =
+        synctime_store::materialize_latest_epoch(rec).map_err(|e| e.to_string())?;
     fabric.publish(name, stamps);
     Ok(())
 }
@@ -1366,8 +1735,11 @@ fn publish_store_trace(
 /// grew since the last poll, so a serving node follows live ingestion.
 /// Fingerprints are (snapshot len, log len) pairs — both files are
 /// append-only between snapshots, and a snapshot changes both lengths,
-/// so growth is always visible. Failed recoveries (a torn in-progress
-/// write) leave the fingerprint unrecorded and retry next poll.
+/// so growth is always visible. A changed trace is re-read through its
+/// per-trace [`synctime_store::TraceTailReader`], which replays only the
+/// appended suffix instead of rescanning the whole log. Failed recoveries
+/// (a torn in-progress write) leave the fingerprint unrecorded and retry
+/// next poll.
 fn spawn_store_tailer(
     root: std::path::PathBuf,
     fabric: std::sync::Arc<synctime_net::QueryFabric>,
@@ -1376,6 +1748,7 @@ fn spawn_store_tailer(
     let file_len = |path: std::path::PathBuf| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     std::thread::spawn(move || {
         let mut seen: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut readers: BTreeMap<String, synctime_store::TraceTailReader> = BTreeMap::new();
         loop {
             std::thread::sleep(poll);
             let Ok(dirs) = synctime_store::trace_dirs(&root) else {
@@ -1389,7 +1762,13 @@ fn spawn_store_tailer(
                 if seen.get(&name) == Some(&fp) {
                     continue;
                 }
-                if publish_store_trace(&fabric, &name, &dir).is_ok() {
+                let reader = readers
+                    .entry(name.clone())
+                    .or_insert_with(|| synctime_store::TraceTailReader::new(&dir));
+                let Ok(rec) = reader.poll() else {
+                    continue;
+                };
+                if publish_recovered(&fabric, &name, &rec).is_ok() {
                     seen.insert(name, fp);
                 }
             }
@@ -1467,6 +1846,40 @@ fn cmd_faultplan(opts: &BTreeMap<String, String>) -> Result<String, String> {
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let plan = synctime_sim::FaultPlan::random(processes, max_op, crashes, desyncs, &mut rng);
+    let mut out = plan.to_json();
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_churn(opts: &BTreeMap<String, String>) -> Result<String, String> {
+    use rand::SeedableRng;
+    let universe: usize = require(opts, "universe")?
+        .parse()
+        .map_err(|_| "--universe expects a process count".to_string())?;
+    let boundaries: usize = require(opts, "boundaries")?
+        .parse()
+        .map_err(|_| "--boundaries expects a count".to_string())?;
+    let mean_rounds: u64 = opts
+        .get("mean-rounds")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--mean-rounds expects a round count".to_string())
+        })
+        .transpose()?
+        .unwrap_or(3);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    if universe < 3 {
+        return Err("--universe expects at least 3 (joins and leaves need headroom)".to_string());
+    }
+    if mean_rounds == 0 {
+        return Err("--mean-rounds expects at least 1".to_string());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let plan = synctime_sim::ChurnPlan::random(universe, boundaries, mean_rounds, &mut rng);
     let mut out = plan.to_json();
     out.push('\n');
     Ok(out)
@@ -2360,6 +2773,105 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("bad socket address"), "{err}");
+    }
+
+    #[test]
+    fn churn_generator_is_seeded() {
+        let args = [
+            "churn",
+            "--universe",
+            "6",
+            "--boundaries",
+            "3",
+            "--mean-rounds",
+            "2",
+            "--seed",
+            "11",
+        ];
+        let a = run_strs(&args).unwrap();
+        assert_eq!(a, run_strs(&args).unwrap(), "same seed, same plan");
+        let plan = synctime_sim::ChurnPlan::from_json(&a).unwrap();
+        assert_eq!(plan.universe, 6);
+        assert_eq!(plan.events.len(), 3);
+        plan.validate().unwrap();
+        // A universe too small for joins and leaves is rejected up front.
+        let err = run_strs(&["churn", "--universe", "2", "--boundaries", "1"]).unwrap_err();
+        assert!(err.contains("at least 3"), "{err}");
+    }
+
+    const CHURN_PLAN_FIXTURE: &str = r#"{
+        "universe": 5,
+        "initial": [0, 1, 2],
+        "events": [
+            {"after_rounds": 2, "kind": {"join": {"process": 3}}},
+            {"after_rounds": 2, "kind": {"leave": {"process": 1}}}
+        ],
+        "tail_rounds": 2
+    }"#;
+
+    /// `launch --transport local --churn-plan` emits the final epoch's
+    /// trace: the post-churn active set's ring, reconstructed from the log
+    /// suffix past the last boundary.
+    #[test]
+    fn launch_churn_local_emits_final_epoch_trace() {
+        let dir = std::env::temp_dir().join("synctime-cli-churn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.json");
+        std::fs::write(&plan, CHURN_PLAN_FIXTURE).unwrap();
+        let out = run_strs(&[
+            "launch",
+            "--transport",
+            "local",
+            "--churn-plan",
+            plan.to_str().unwrap(),
+        ])
+        .unwrap();
+        let comp = parse_trace(&out, None).unwrap();
+        // Final active set {0, 2, 3}: a 3-ring run for 2 rounds.
+        assert_eq!(comp.process_count(), 5);
+        assert_eq!(comp.message_count(), 6);
+        // --epochs surfaces the per-epoch dimension/latency reports instead.
+        let epochs = run_strs(&[
+            "launch",
+            "--transport",
+            "local",
+            "--churn-plan",
+            plan.to_str().unwrap(),
+            "--epochs",
+        ])
+        .unwrap();
+        assert_eq!(epochs.matches("\"epoch\"").count(), 3, "{epochs}");
+        assert!(epochs.contains("\"reconfigure_micros\""), "{epochs}");
+    }
+
+    /// `--persist` on a churn launch stores the boundary records; recovery
+    /// serves the latest epoch.
+    #[test]
+    fn launch_churn_local_persists_reconfig_records() {
+        let dir = std::env::temp_dir().join("synctime-cli-churn-persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.json");
+        std::fs::write(&plan, CHURN_PLAN_FIXTURE).unwrap();
+        let root = dir.join("store");
+        run_strs(&[
+            "launch",
+            "--transport",
+            "local",
+            "--churn-plan",
+            plan.to_str().unwrap(),
+            "--persist",
+            root.to_str().unwrap(),
+            "--trace-name",
+            "churn",
+        ])
+        .unwrap();
+        let rec = synctime_store::read_trace_dir(&root.join("churn")).unwrap();
+        assert_eq!(rec.reconfigs.len(), 2);
+        assert_eq!(rec.reconfigs.last().unwrap().epoch, 2);
+        let (epoch, comp, _stamps) = synctime_store::materialize_latest_epoch(&rec).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(comp.message_count(), 6);
     }
 
     /// `launch --transport local` is `run` by another name.

@@ -143,6 +143,105 @@ fn serve_query_binary_roundtrip() {
     server.wait().ok();
 }
 
+/// The reconfiguration control plane end-to-end: `launch --churn-plan`
+/// spawns one OS process per universe slot, the nodes drive RECONFIGURE
+/// rounds over loopback TCP at every boundary, and the final-epoch trace
+/// is byte-identical to the same plan run in-process by the sim engine.
+#[test]
+fn launch_churn_tcp_matches_local() {
+    let dir = std::env::temp_dir().join("synctime-bin-e2e-churn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan_path = dir.join("plan.json");
+    let (plan, stderr, ok) = synctime(&[
+        "churn",
+        "--universe",
+        "5",
+        "--boundaries",
+        "2",
+        "--mean-rounds",
+        "2",
+        "--seed",
+        "4",
+    ]);
+    assert!(ok, "{stderr}");
+    std::fs::write(&plan_path, &plan).unwrap();
+    let p = plan_path.to_str().unwrap();
+
+    let (local, stderr, ok) = synctime(&["launch", "--transport", "local", "--churn-plan", p]);
+    assert!(ok, "{stderr}");
+    let (tcp, stderr, ok) = synctime(&["launch", "--churn-plan", p]);
+    assert!(ok, "{stderr}");
+    assert_eq!(local, tcp, "distributed churn diverged from the sim engine");
+    assert!(tcp.contains("\"processes\": 5"), "{tcp}");
+}
+
+/// Persist a distributed churn run, then serve it: `serve-query
+/// --store-dir` recovers the store, materialises the latest epoch, and
+/// answers precedence queries over it.
+#[test]
+fn churn_store_serves_latest_epoch() {
+    use std::io::{BufRead as _, BufReader};
+
+    let dir = std::env::temp_dir().join("synctime-bin-e2e-churn-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan_path = dir.join("plan.json");
+    std::fs::write(
+        &plan_path,
+        r#"{
+            "universe": 4,
+            "initial": [0, 1, 2, 3],
+            "events": [{"after_rounds": 2, "kind": {"leave": {"process": 1}}}],
+            "tail_rounds": 3
+        }"#,
+    )
+    .unwrap();
+    let root = dir.join("store");
+    let (_, stderr, ok) = synctime(&[
+        "launch",
+        "--churn-plan",
+        plan_path.to_str().unwrap(),
+        "--persist",
+        root.to_str().unwrap(),
+        "--trace-name",
+        "churn",
+    ]);
+    assert!(ok, "{stderr}");
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_synctime"))
+        .args(["serve-query", "--store-dir", root.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut reader = BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announce line")
+        .to_string();
+
+    // The final epoch is a 3-ring for 3 rounds: 9 messages, and the ring
+    // token chain makes m1 precede m9.
+    let (verdict, _, ok) = synctime(&[
+        "query",
+        "--connect",
+        &addr,
+        "--trace",
+        "churn",
+        "--m1",
+        "1",
+        "--m2",
+        "9",
+    ]);
+    assert!(ok, "{verdict}");
+    assert_eq!(verdict, "m1 synchronously precedes m2\n");
+
+    server.kill().ok();
+    server.wait().ok();
+}
+
 #[test]
 fn simulate_binary() {
     let dir = std::env::temp_dir().join("synctime-bin-e2e");

@@ -92,6 +92,29 @@ impl GroupRemap {
     }
 }
 
+/// One topology edit in a reconfiguration: a channel appearing or
+/// disappearing. Sequences of these are the unit a control plane ships —
+/// deterministic to apply, so every replica that starts from the same
+/// decomposition and applies the same ops lands on the same groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Add channel `(u, v)` to the topology.
+    Insert(NodeId, NodeId),
+    /// Remove channel `(u, v)` from the topology.
+    Remove(NodeId, NodeId),
+}
+
+/// An epoch-numbered batch of topology edits — the payload of one
+/// reconfiguration round. Epoch `e` transforms the topology of epoch
+/// `e - 1` into the topology of epoch `e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconfiguration {
+    /// The epoch this batch establishes when applied.
+    pub epoch: u64,
+    /// The edits, applied in order.
+    pub ops: Vec<EdgeOp>,
+}
+
 /// A graph and its edge decomposition, kept consistent under edge edits
 /// (see the [module docs](self) for the patching strategy and the
 /// maintained `d ≤ 2·α` invariant).
@@ -231,6 +254,33 @@ impl IncrementalDecomposition {
         }
         if self.rebuilds == rebuilds_before {
             self.fast_path_hits += 1;
+        }
+        Ok(remap)
+    }
+
+    /// Applies a batch of edge edits in order, composing the per-edit
+    /// remaps into one [`GroupRemap`] taking the pre-batch dimension to the
+    /// post-batch one. Application is atomic: on error nothing is left
+    /// half-applied (the cache is restored to its pre-batch state).
+    ///
+    /// # Errors
+    ///
+    /// The first [`GraphError`] any individual edit produces.
+    pub fn apply_ops(&mut self, ops: &[EdgeOp]) -> Result<GroupRemap, GraphError> {
+        let checkpoint = self.clone();
+        let mut remap = GroupRemap::identity(self.decomposition.len());
+        for op in ops {
+            let step = match *op {
+                EdgeOp::Insert(u, v) => self.insert_edge(u, v),
+                EdgeOp::Remove(u, v) => self.remove_edge(u, v),
+            };
+            match step {
+                Ok(next) => remap = remap.then(&next),
+                Err(e) => {
+                    *self = checkpoint;
+                    return Err(e);
+                }
+            }
         }
         Ok(remap)
     }
@@ -446,6 +496,44 @@ mod tests {
             cache.remove_edge(0, 2),
             Err(GraphError::UnknownEdge(_))
         ));
+    }
+
+    #[test]
+    fn apply_ops_composes_remaps_and_matches_stepwise_application() {
+        let g = topology::cycle(6);
+        let ops = vec![
+            EdgeOp::Remove(0, 1),
+            EdgeOp::Insert(0, 3),
+            EdgeOp::Remove(4, 5),
+            EdgeOp::Insert(1, 4),
+        ];
+        let mut batched = IncrementalDecomposition::new(&g);
+        let mut stepwise = IncrementalDecomposition::new(&g);
+        let composed = batched.apply_ops(&ops).unwrap();
+        let mut manual = GroupRemap::identity(stepwise.decomposition().len());
+        for op in &ops {
+            let step = match *op {
+                EdgeOp::Insert(u, v) => stepwise.insert_edge(u, v).unwrap(),
+                EdgeOp::Remove(u, v) => stepwise.remove_edge(u, v).unwrap(),
+            };
+            manual = manual.then(&step);
+        }
+        assert_eq!(composed, manual);
+        assert_eq!(batched.decomposition(), stepwise.decomposition());
+        batched.decomposition().validate(batched.graph()).unwrap();
+        assert!(batched.decomposition().len() <= 2 * decompose::alpha(batched.graph()));
+    }
+
+    #[test]
+    fn apply_ops_failure_rolls_back_atomically() {
+        let g = topology::path(4);
+        let mut cache = IncrementalDecomposition::new(&g);
+        let before_graph = cache.graph().clone();
+        let before_dec = cache.decomposition().clone();
+        let err = cache.apply_ops(&[EdgeOp::Insert(0, 3), EdgeOp::Remove(1, 3)]);
+        assert!(matches!(err, Err(GraphError::UnknownEdge(_))));
+        assert_eq!(cache.graph(), &before_graph);
+        assert_eq!(cache.decomposition(), &before_dec);
     }
 
     #[test]

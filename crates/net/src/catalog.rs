@@ -62,6 +62,52 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The memoised vnode hashes a [`ShardRing`] is built from: one
+/// splitmix64-finalized FNV-1a hash per `(shard, replica)` label, laid out
+/// shard-major and grown on demand.
+///
+/// Hashing a vnode label is pure — `shard-3-vnode-17` hashes the same in
+/// every ring that contains shard 3 — so a rebuild on a catalog change
+/// (resharding up or down) only ever computes the labels it has never
+/// seen. The `computed_hashes` counter makes that reuse observable: the
+/// fabric proptest asserts a grown ring pays for exactly the new shard's
+/// vnodes.
+#[derive(Debug, Default, Clone)]
+pub struct VnodeTable {
+    /// `hashes[shard * VNODES_PER_SHARD + replica]`.
+    hashes: Vec<u64>,
+    /// Labels hashed since creation (monotone).
+    computed: u64,
+}
+
+impl VnodeTable {
+    /// An empty table; the first ring built from it hashes every label.
+    pub fn new() -> Self {
+        VnodeTable::default()
+    }
+
+    /// How many vnode labels have been hashed through this table — a
+    /// ring rebuild that reuses the cache leaves this unchanged for every
+    /// previously seen shard.
+    pub fn computed_hashes(&self) -> u64 {
+        self.computed
+    }
+
+    /// Ensures hashes exist for `shards` shards, computing only the
+    /// missing tail.
+    fn grow(&mut self, shards: usize) {
+        let want = shards * VNODES_PER_SHARD;
+        while self.hashes.len() < want {
+            let idx = self.hashes.len();
+            let shard = idx / VNODES_PER_SHARD;
+            let replica = idx % VNODES_PER_SHARD;
+            let label = format!("shard-{shard}-vnode-{replica}");
+            self.hashes.push(fnv1a(label.as_bytes()));
+            self.computed += 1;
+        }
+    }
+}
+
 /// Consistent hashing of trace ids onto shard indices: each shard owns
 /// [`VNODES_PER_SHARD`] points on a `u64` ring, and a trace id maps to the
 /// owner of the first point at or after its hash (wrapping).
@@ -73,14 +119,25 @@ pub struct ShardRing {
 }
 
 impl ShardRing {
-    /// A ring over `shards` shards (clamped to at least 1).
+    /// A ring over `shards` shards (clamped to at least 1), hashing every
+    /// vnode label afresh. Rebuilding rings repeatedly (a fabric that
+    /// reshards as its catalog changes) should share a [`VnodeTable`] via
+    /// [`ShardRing::with_table`] instead.
     pub fn new(shards: usize) -> Self {
+        ShardRing::with_table(shards, &mut VnodeTable::new())
+    }
+
+    /// A ring over `shards` shards (clamped to at least 1) built from the
+    /// cached vnode hashes in `table`, which is grown as needed. The ring
+    /// is identical to [`ShardRing::new`]'s for the same count — the
+    /// table changes what is *computed*, never what is *placed*.
+    pub fn with_table(shards: usize, table: &mut VnodeTable) -> Self {
         let shards = shards.max(1);
+        table.grow(shards);
         let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
         for shard in 0..shards {
             for replica in 0..VNODES_PER_SHARD {
-                let label = format!("shard-{shard}-vnode-{replica}");
-                points.push((fnv1a(label.as_bytes()), shard));
+                points.push((table.hashes[shard * VNODES_PER_SHARD + replica], shard));
             }
         }
         points.sort_unstable();
@@ -114,14 +171,52 @@ struct Shard {
 pub struct QueryFabric {
     ring: ShardRing,
     shards: Vec<Shard>,
+    /// Memoised vnode hashes, so a reshard reuses every label already
+    /// hashed instead of rehashing each surviving shard's vnodes.
+    vnodes: VnodeTable,
 }
 
 impl QueryFabric {
     /// An empty catalog sharded `shards` ways (clamped to at least 1).
     pub fn new(shards: usize) -> Self {
-        let ring = ShardRing::new(shards);
+        let mut vnodes = VnodeTable::new();
+        let ring = ShardRing::with_table(shards, &mut vnodes);
         let shards = (0..ring.shards()).map(|_| Shard::default()).collect();
-        QueryFabric { ring, shards }
+        QueryFabric {
+            ring,
+            shards,
+            vnodes,
+        }
+    }
+
+    /// Rebuilds the ring for a new shard count and redistributes every
+    /// held trace to its new owner. Vnode hashes are reused from the
+    /// fabric's [`VnodeTable`]: growing from `S` to `S + 1` shards hashes
+    /// only the newcomer's labels, and shrinking hashes nothing at all.
+    /// Snapshots are moved by `Arc`, never copied.
+    pub fn reshard(&mut self, shards: usize) {
+        let ring = ShardRing::with_table(shards, &mut self.vnodes);
+        let mut entries: Vec<(String, Arc<MessageTimestamps>)> = Vec::new();
+        for shard in &self.shards {
+            entries.extend(
+                shard
+                    .traces
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .drain(),
+            );
+        }
+        self.shards = (0..ring.shards()).map(|_| Shard::default()).collect();
+        self.ring = ring;
+        for (name, snapshot) in entries {
+            self.publish_shared(&name, snapshot);
+        }
+    }
+
+    /// How many vnode labels this fabric has hashed across all ring
+    /// builds (see [`VnodeTable::computed_hashes`]).
+    pub fn vnode_hashes_computed(&self) -> u64 {
+        self.vnodes.computed_hashes()
     }
 
     /// A single-trace catalog: one shard holding `name`, the configuration

@@ -26,6 +26,17 @@ pub enum NetError {
     /// been consumed and framing is intact, so the connection stays
     /// usable — the stray answer is dropped, not desynchronising.
     Correlation(u32),
+    /// A reconfiguration frame named an epoch this node is not at: a
+    /// RECONFIGURE prepare that is not the successor of the node's current
+    /// epoch, or a commit for an epoch the node never prepared. The
+    /// refusing node reports its own epoch so the coordinator can resync
+    /// the straggler by replaying the missed prepares in order.
+    EpochMismatch {
+        /// The epoch the node could have accepted.
+        expected: u64,
+        /// The epoch the frame carried.
+        got: u64,
+    },
     /// A pipelined session finished with a submitted batch still
     /// unanswered: the server never sent an ANSWER3 for the batch at this
     /// slot. Surfaced instead of fabricating empty results for the hole.
@@ -46,6 +57,12 @@ impl fmt::Display for NetError {
             NetError::Query(detail) => write!(f, "query rejected: {detail}"),
             NetError::Correlation(corr) => {
                 write!(f, "unknown correlation id {corr} on a pipelined answer")
+            }
+            NetError::EpochMismatch { expected, got } => {
+                write!(
+                    f,
+                    "reconfiguration epoch mismatch: frame names epoch {got}, node expects {expected}"
+                )
             }
             NetError::Incomplete { slot } => {
                 write!(f, "pipelined batch at slot {slot} was never answered")

@@ -1,7 +1,7 @@
 //! The length-prefixed frame protocol every `synctime-net` socket speaks.
 //!
 //! A frame is `[u32 le length][u8 type][body]`, where `length` counts the
-//! type byte plus the body. Eleven frame types exist:
+//! type byte plus the body. Thirteen frame types exist:
 //!
 //! | type | name    | body (little-endian)                                              |
 //! |------|---------|-------------------------------------------------------------------|
@@ -16,6 +16,8 @@
 //! | 8    | ANSWER2 | `u32` count, count × (`u8` status, `u32` len, body)               |
 //! | 9    | QUERY3  | `u32` correlation id, then a QUERY2 body                          |
 //! | 10   | ANSWER3 | `u32` correlation id, then an ANSWER2 body                        |
+//! | 11   | RECONFIGURE | `u8` phase, `u64` epoch; phase 0 (prepare): `u64` topology hash, `u32` op count, count × (`u8` kind, `u32` u, `u32` v), `u32` old dim, `u32` new dim, old dim × `u32` remap slot; phase 1 (commit): full-encoded baseline vector |
+//! | 12   | RECONFIG_ACK | `u64` epoch, `u32` process, `u8` status, `u64` current epoch, full-encoded clock |
 //!
 //! QUERY2/ANSWER2 are the **batch** query frames (protocol v2): one frame
 //! carries up to [`MAX_BATCH`] queries against one named trace of a
@@ -35,6 +37,14 @@
 //! flight on one connection and match answers that complete out of order.
 //! Entry bodies are byte-identical to their v2 (and thus v1) counterparts;
 //! only the correlation prefix differs.
+//!
+//! RECONFIGURE/RECONFIG_ACK are the **reconfiguration control plane**
+//! frames (see [`crate::reconfig`]): a coordinator ships an
+//! epoch-numbered topology-edit batch plus its expected
+//! [`GroupRemap`](synctime_graph::GroupRemap) (prepare), each node
+//! answers with its rebased clock or an epoch-mismatch refusal, and the
+//! coordinator commits the max-merged uniform baseline vector every node
+//! restarts the new epoch from.
 //!
 //! OFFER/ACK/RESYNC body layouts match `synctime_core::wire`'s frame
 //! pricing helpers (`offer_frame_bytes` and friends) byte for byte, and
@@ -107,6 +117,10 @@ const TYPE_ANSWER_BATCH: u8 = 8;
 pub(crate) const TYPE_QUERY_PIPELINED: u8 = 9;
 /// Wire type byte of an ANSWER3 frame.
 pub(crate) const TYPE_ANSWER_PIPELINED: u8 = 10;
+/// Wire type byte of a RECONFIGURE control frame (prepare or commit).
+pub(crate) const TYPE_RECONFIGURE: u8 = 11;
+/// Wire type byte of a RECONFIG_ACK control frame.
+pub(crate) const TYPE_RECONFIG_ACK: u8 = 12;
 
 /// One question inside a QUERY2 batch frame: the same `(kind, m1, m2)`
 /// triple a v1 QUERY frame carries (see `query::QueryKind` constants).
@@ -219,6 +233,13 @@ pub enum Frame {
         /// One entry per query, in query order within the batch.
         entries: Vec<BatchEntry>,
     },
+    /// A reconfiguration control frame: an epoch-numbered prepare carrying
+    /// topology edits and the expected remap, or the commit carrying the
+    /// uniform baseline vector (see [`crate::reconfig`]).
+    Reconfigure(crate::reconfig::ReconfigFrame),
+    /// A node's answer to a RECONFIGURE prepare: applied (with its rebased
+    /// clock) or refused with an epoch mismatch.
+    ReconfigAck(crate::reconfig::ReconfigAckFrame),
 }
 
 /// Starts a frame in `out`: reserves the length prefix and writes the type
@@ -422,6 +443,12 @@ impl Frame {
             Frame::AnswerPipelined { corr, entries } => {
                 Self::encode_entries(out, TYPE_ANSWER_PIPELINED, Some(*corr), entries)?;
             }
+            Frame::Reconfigure(frame) => {
+                crate::reconfig::encode_reconfigure_into(out, TYPE_RECONFIGURE, frame);
+            }
+            Frame::ReconfigAck(ack) => {
+                crate::reconfig::encode_reconfig_ack_into(out, TYPE_RECONFIG_ACK, ack);
+            }
         }
         Ok(())
     }
@@ -554,6 +581,12 @@ impl Frame {
                     entries,
                 })
             }
+            TYPE_RECONFIGURE => Ok(Frame::Reconfigure(crate::reconfig::decode_reconfigure(
+                body,
+            )?)),
+            TYPE_RECONFIG_ACK => Ok(Frame::ReconfigAck(crate::reconfig::decode_reconfig_ack(
+                body,
+            )?)),
             other => Err(NetError::Protocol(format!("unknown frame type {other}"))),
         }
     }
@@ -1137,6 +1170,115 @@ mod tests {
                 answers.encode().unwrap().len() as u64,
                 batch_answer3_frame_bytes(count, count)
             );
+        }
+    }
+
+    #[test]
+    fn reconfigure_frame_sizes_match_core_wire_pricing() {
+        use crate::reconfig::{
+            ReconfigAckFrame, ReconfigCommit, ReconfigFrame, ReconfigPrepare, ReconfigStatus,
+        };
+        use synctime_core::wire::{
+            reconfig_ack_frame_bytes, reconfigure_commit_frame_bytes,
+            reconfigure_prepare_frame_bytes,
+        };
+        use synctime_graph::{EdgeOp, GroupRemap};
+        let prepare = Frame::Reconfigure(ReconfigFrame::Prepare(ReconfigPrepare {
+            epoch: 3,
+            topology_hash: 0xfeed,
+            ops: vec![EdgeOp::Insert(0, 5), EdgeOp::Remove(2, 3)],
+            remap: GroupRemap {
+                old_to_new: vec![Some(0), None, Some(1)],
+                new_len: 2,
+            },
+        }));
+        assert_eq!(
+            prepare.encode().unwrap().len() as u64,
+            reconfigure_prepare_frame_bytes(2, 3)
+        );
+        let commit = Frame::Reconfigure(ReconfigFrame::Commit(ReconfigCommit {
+            epoch: 3,
+            baseline: vec![0; 17],
+        }));
+        assert_eq!(
+            commit.encode().unwrap().len() as u64,
+            reconfigure_commit_frame_bytes(17)
+        );
+        let ack = Frame::ReconfigAck(ReconfigAckFrame {
+            epoch: 3,
+            process: 4,
+            status: ReconfigStatus::Prepared,
+            current_epoch: 3,
+            clock: vec![0; 9],
+        });
+        assert_eq!(
+            ack.encode().unwrap().len() as u64,
+            reconfig_ack_frame_bytes(9)
+        );
+    }
+
+    #[test]
+    fn reconfigure_frames_round_trip() {
+        use crate::reconfig::{
+            ReconfigAckFrame, ReconfigCommit, ReconfigFrame, ReconfigPrepare, ReconfigStatus,
+        };
+        use synctime_graph::{EdgeOp, GroupRemap};
+        let frames = [
+            Frame::Reconfigure(ReconfigFrame::Prepare(ReconfigPrepare {
+                epoch: 9,
+                topology_hash: 0xdead_beef,
+                ops: vec![EdgeOp::Remove(1, 2), EdgeOp::Insert(4, 0)],
+                remap: GroupRemap {
+                    old_to_new: vec![None, Some(1), Some(0)],
+                    new_len: 2,
+                },
+            })),
+            Frame::Reconfigure(ReconfigFrame::Prepare(ReconfigPrepare {
+                epoch: 1,
+                topology_hash: 0,
+                ops: Vec::new(),
+                remap: GroupRemap::identity(0),
+            })),
+            Frame::Reconfigure(ReconfigFrame::Commit(ReconfigCommit {
+                epoch: 9,
+                baseline: vec![1, 2, 3],
+            })),
+            Frame::ReconfigAck(ReconfigAckFrame {
+                epoch: 9,
+                process: 2,
+                status: ReconfigStatus::EpochMismatch,
+                current_epoch: 7,
+                clock: Vec::new(),
+            }),
+        ];
+        for frame in frames {
+            let mut reader = FrameReader::new();
+            reader.feed(&frame.encode().unwrap());
+            assert_eq!(reader.next_frame().unwrap(), Some(frame));
+        }
+    }
+
+    #[test]
+    fn truncated_reconfigure_bodies_are_typed_protocol_errors() {
+        use crate::reconfig::{ReconfigFrame, ReconfigPrepare};
+        use synctime_graph::{EdgeOp, GroupRemap};
+        let good = Frame::Reconfigure(ReconfigFrame::Prepare(ReconfigPrepare {
+            epoch: 2,
+            topology_hash: 5,
+            ops: vec![EdgeOp::Insert(0, 1)],
+            remap: GroupRemap::identity(2),
+        }))
+        .encode()
+        .unwrap();
+        // Rewrite the length prefix to each shorter body length: every cut
+        // must surface as NetError::Protocol, never a panic or a misparse.
+        for cut in FRAME_HEADER_BYTES..good.len() {
+            let mut bytes = good[..cut].to_vec();
+            let len = (cut - FRAME_HEADER_BYTES + 1) as u32;
+            bytes[..4].copy_from_slice(&len.to_le_bytes());
+            let mut reader = FrameReader::new();
+            reader.feed(&bytes);
+            assert!(matches!(reader.next_frame(), Err(NetError::Protocol(_))));
         }
     }
 

@@ -9,8 +9,9 @@
 //!
 //! * [`frame`] — the wire protocol: `[u32 len][u8 type][body]` frames
 //!   (HELLO, OFFER, ACK, RESYNC, QUERY, ANSWER, ERROR, the batched
-//!   QUERY2/ANSWER2 pair, and the correlation-tagged pipelined
-//!   QUERY3/ANSWER3 pair), an incremental [`FrameReader`] with
+//!   QUERY2/ANSWER2 pair, the correlation-tagged pipelined
+//!   QUERY3/ANSWER3 pair, and the RECONFIGURE/RECONFIG_ACK control
+//!   pair), an incremental [`FrameReader`] with
 //!   zero-copy [`peek_frame`](frame::FrameReader::peek_frame) access,
 //!   borrowed batch views, reusable [`FrameScratch`] buffers, and
 //!   [`topology_hash`] for handshake validation. OFFER/ACK/RESYNC and
@@ -22,6 +23,13 @@
 //!   reader thread per connection demultiplexing into bounded-poll
 //!   mailboxes, and `TxChannel`/`RxChannel` adapters the runtime drives
 //!   unmodified.
+//! * [`reconfig`] — the live reconfiguration control plane: a
+//!   coordinator ships epoch-numbered topology edits (RECONFIGURE
+//!   prepare) to every node's [`IncrementalDecomposition`] replica,
+//!   collects rebased clocks (RECONFIG_ACK, with epoch-mismatch refusal
+//!   and straggler resync), and commits one max-merged baseline vector
+//!   all processes restart the new epoch from — keeping post-change
+//!   stamps order-isomorphic with an uninterrupted reference run.
 //! * [`catalog`] — the multi-trace query fabric: [`QueryFabric`] holds
 //!   shared immutable [`Arc`](std::sync::Arc) snapshots of stamped
 //!   traces, keyed by trace id and spread across in-process shards by a
@@ -57,6 +65,7 @@
 //! [`topology_hash`]: frame::topology_hash
 //! [`TcpMeshBuilder`]: tcp::TcpMeshBuilder
 //! [`TcpMesh`]: tcp::TcpMesh
+//! [`IncrementalDecomposition`]: synctime_graph::IncrementalDecomposition
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,10 +76,11 @@ pub mod frame;
 mod mailbox;
 pub mod pool;
 pub mod query;
+pub mod reconfig;
 pub mod report;
 pub mod tcp;
 
-pub use catalog::{QueryFabric, ShardRing, DEFAULT_SHARDS};
+pub use catalog::{QueryFabric, ShardRing, VnodeTable, DEFAULT_SHARDS};
 pub use error::NetError;
 pub use frame::{
     encode_ack_into, encode_offer_into, encode_query_batch_into, encode_resync_into, topology_hash,
@@ -81,6 +91,10 @@ pub use pool::{default_pool_size, serve_fabric};
 pub use query::{
     answer_query, answer_query_into, pump_frames, Pipeline, QueryClient, QueryService,
     DEFAULT_TRACE_NAME,
+};
+pub use reconfig::{
+    coordinate_reconfigure, follow_reconfigure, remap_vector, ReconfigAckFrame, ReconfigCommit,
+    ReconfigFrame, ReconfigOutcome, ReconfigPrepare, ReconfigSession, ReconfigStatus,
 };
 pub use report::{NodeReport, NODE_REPORT_SCHEMA};
 pub use tcp::{TcpMesh, TcpMeshBuilder};

@@ -29,8 +29,13 @@ pub struct NodeReport {
     pub process: usize,
     /// `None` for a clean finish, else the rendered runtime error.
     pub outcome: Option<String>,
-    /// The node's execution log, in program order.
+    /// The node's execution log, in program order (for a churn run, all
+    /// epochs concatenated).
     pub log: Vec<LogEntry>,
+    /// This node's log length at each reconfiguration boundary, in epoch
+    /// order — empty for a single-epoch run. The launcher assembles these
+    /// per-process cuts into the store's reconfiguration records.
+    pub cuts: Vec<u64>,
     /// The node's side of the run's wire/latency accounting.
     pub stats: RunStats,
 }
@@ -114,6 +119,10 @@ impl NodeReport {
                 "log".to_string(),
                 Value::Array(self.log.iter().map(entry_value).collect()),
             ),
+            (
+                "cuts".to_string(),
+                Value::Array(self.cuts.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
             ("stats".to_string(), self.stats.to_value()),
         ]);
         serde_json::to_string_pretty(&doc).expect("node report serialises infallibly")
@@ -159,12 +168,19 @@ impl NodeReport {
             .iter()
             .map(parse_entry)
             .collect::<Result<Vec<_>, _>>()?;
+        // Absent in reports from single-epoch nodes predating churn runs.
+        let cuts = match doc.get_field("cuts") {
+            Some(v) => Vec::<u64>::from_value(v)
+                .map_err(|e| NetError::Protocol(format!("node report `cuts`: {e}")))?,
+            None => Vec::new(),
+        };
         let stats = RunStats::from_value(field(&doc, "stats")?)
             .map_err(|e| NetError::Protocol(format!("node report `stats`: {e}")))?;
         Ok(NodeReport {
             process,
             outcome,
             log,
+            cuts,
             stats,
         })
     }
@@ -192,6 +208,7 @@ mod tests {
                     stamp: VectorTime::from(vec![3, 2, 1]),
                 },
             ],
+            cuts: vec![2, 3],
             stats: RunStats::merged(&[]),
         };
         let text = report.to_json();

@@ -77,6 +77,10 @@ struct Conn {
     writer: Mutex<WriteHalf>,
     offers: Mailbox<RawOffer>,
     answers: Mailbox<AnswerMsg>,
+    /// RECONFIGURE/RECONFIG_ACK control frames, kept out of the data
+    /// mailboxes so an in-flight reconfiguration never reorders against
+    /// pending offers or acks.
+    controls: Mailbox<Frame>,
 }
 
 impl Conn {
@@ -94,6 +98,13 @@ impl Conn {
     fn shutdown(&self) {
         let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = writer.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn transport_to_net(e: TransportError) -> NetError {
+    match e {
+        TransportError::Closed => NetError::Closed,
+        TransportError::Io(detail) => NetError::Io(detail),
     }
 }
 
@@ -119,7 +130,8 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, mut reader: FrameReader) 
     let mut buf = [0u8; 16 * 1024];
     let close = |detail: Option<String>| {
         conn.offers.close(detail.clone());
-        conn.answers.close(detail);
+        conn.answers.close(detail.clone());
+        conn.controls.close(detail);
     };
     loop {
         // Drain every complete frame already buffered (including any the
@@ -142,6 +154,9 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, mut reader: FrameReader) 
                     at: Instant::now(),
                 }),
                 Ok(Some(Frame::Resync { key })) => conn.answers.push(AnswerMsg::Resync { key }),
+                Ok(Some(control @ (Frame::Reconfigure(_) | Frame::ReconfigAck(_)))) => {
+                    conn.controls.push(control);
+                }
                 Ok(Some(other)) => {
                     close(Some(format!(
                         "unexpected frame on a transport connection: {other:?}"
@@ -327,6 +342,7 @@ impl TcpMeshBuilder {
                 }),
                 offers: Mailbox::new(),
                 answers: Mailbox::new(),
+                controls: Mailbox::new(),
             });
             let for_reader = Arc::clone(&conn);
             std::thread::Builder::new()
@@ -417,6 +433,81 @@ impl TcpMesh {
             );
         }
         (tx, rx)
+    }
+
+    /// Sends a RECONFIGURE control frame (prepare or commit) to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when no connection to `peer` exists or the write
+    /// fails, [`NetError::Closed`] when the peer has gone away.
+    pub fn send_reconfigure(
+        &self,
+        peer: usize,
+        frame: &crate::reconfig::ReconfigFrame,
+    ) -> Result<(), NetError> {
+        self.conn_to(peer)?
+            .write_with(|out| {
+                crate::reconfig::encode_reconfigure_into(
+                    out,
+                    crate::frame::TYPE_RECONFIGURE,
+                    frame,
+                );
+            })
+            .map_err(transport_to_net)
+    }
+
+    /// Sends a RECONFIG_ACK control frame to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TcpMesh::send_reconfigure`].
+    pub fn send_reconfig_ack(
+        &self,
+        peer: usize,
+        ack: &crate::reconfig::ReconfigAckFrame,
+    ) -> Result<(), NetError> {
+        self.conn_to(peer)?
+            .write_with(|out| {
+                crate::reconfig::encode_reconfig_ack_into(
+                    out,
+                    crate::frame::TYPE_RECONFIG_ACK,
+                    ack,
+                );
+            })
+            .map_err(transport_to_net)
+    }
+
+    /// Waits (until `deadline`) for the next control frame from `peer` —
+    /// a [`Frame::Reconfigure`] or [`Frame::ReconfigAck`] routed to the
+    /// connection's control mailbox by its reader thread. Data traffic
+    /// (offers, acks) is unaffected: it flows through its own mailboxes
+    /// while a reconfiguration is in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when no connection to `peer` exists or the
+    /// deadline passes, [`NetError::Closed`] when the peer has gone away.
+    pub fn recv_control(&self, peer: usize, deadline: Instant) -> Result<Frame, NetError> {
+        let conn = self.conn_to(peer)?;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(NetError::Io(format!(
+                    "timed out waiting for a control frame from process {peer}"
+                )));
+            }
+            match conn.controls.pop(Some(left)).map_err(transport_to_net)? {
+                Polled::Ready(frame) => return Ok(frame),
+                Polled::Pending => continue,
+            }
+        }
+    }
+
+    fn conn_to(&self, peer: usize) -> Result<&Arc<Conn>, NetError> {
+        self.conns
+            .get(&peer)
+            .ok_or_else(|| NetError::Io(format!("no connection to process {peer}")))
     }
 
     /// Closes every peer socket. Peers observe the close as this process

@@ -88,6 +88,15 @@ pub enum RuntimeError {
         /// The backend's maximum dimension.
         capacity: usize,
     },
+    /// A reconfiguration was applied out of order: `Runtime::apply_reconfigure`
+    /// requires each applied epoch to be the successor of the runtime's
+    /// current epoch, so no topology change can be skipped or replayed.
+    EpochMismatch {
+        /// The epoch the runtime could have accepted (current + 1).
+        expected: u64,
+        /// The epoch the reconfiguration carried.
+        got: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -136,6 +145,12 @@ impl fmt::Display for RuntimeError {
                 write!(
                     f,
                     "clock backend holds at most {capacity} components, but the decomposition has {dim} edge groups"
+                )
+            }
+            RuntimeError::EpochMismatch { expected, got } => {
+                write!(
+                    f,
+                    "reconfiguration epoch mismatch: applied epoch {got}, runtime expects {expected}"
                 )
             }
         }

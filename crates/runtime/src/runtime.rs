@@ -11,7 +11,7 @@ use synctime_core::wire::{
     StreamError,
 };
 use synctime_core::{CoreError, MessageTimestamps, VectorTime};
-use synctime_graph::{Edge, EdgeDecomposition, Graph};
+use synctime_graph::{Edge, EdgeDecomposition, Graph, GroupRemap};
 use synctime_obs::{DeadlockDiagnosis, Recorder, RunStats, WaitEdge, WaitOp};
 use synctime_trace::{EventKind, MessageId, ProcessId, SyncComputation, TraceError};
 
@@ -235,25 +235,41 @@ enum BackendClock {
 }
 
 impl BackendClock {
-    /// Builds the clock the resolved backend calls for.
+    /// Builds the clock the resolved backend calls for, starting from
+    /// `initial` when given (the uniform baseline a reconfigured epoch
+    /// resumes from) and from zero otherwise.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::ClockUnsupported`] when the backend cannot hold
     /// `dim` components.
-    fn new(backend: ClockBackend, dim: usize) -> Result<Self, RuntimeError> {
+    fn new(
+        backend: ClockBackend,
+        dim: usize,
+        initial: Option<&VectorTime>,
+    ) -> Result<Self, RuntimeError> {
         let unsupported = |_: CoreError| RuntimeError::ClockUnsupported {
             dim,
             capacity: ClockBackend::FIXED_CAPACITY,
         };
+        use synctime_core::clock::Clock;
         Ok(match backend.resolve(dim).map_err(unsupported)? {
-            ClockBackend::Tree => {
-                BackendClock::Tree(GenericProcessClock::try_new(dim).map_err(unsupported)?)
-            }
-            ClockBackend::Fixed => {
-                BackendClock::Fixed(GenericProcessClock::try_new(dim).map_err(unsupported)?)
-            }
-            _ => BackendClock::Dense(Self::dense_clock(dim)),
+            ClockBackend::Tree => BackendClock::Tree(match initial {
+                Some(v) => {
+                    GenericProcessClock::from(TreeClock::from_vector(v).map_err(unsupported)?)
+                }
+                None => GenericProcessClock::try_new(dim).map_err(unsupported)?,
+            }),
+            ClockBackend::Fixed => BackendClock::Fixed(match initial {
+                Some(v) => {
+                    GenericProcessClock::from(FixedArray16::from_vector(v).map_err(unsupported)?)
+                }
+                None => GenericProcessClock::try_new(dim).map_err(unsupported)?,
+            }),
+            _ => BackendClock::Dense(match initial {
+                Some(v) => GenericProcessClock::from(v.clone()),
+                None => Self::dense_clock(dim),
+            }),
         })
     }
 
@@ -955,6 +971,29 @@ impl ProcessCtx {
 /// A process's code: runs on its own thread against a [`ProcessCtx`].
 pub type Behavior = Box<dyn FnOnce(&mut ProcessCtx) -> Result<(), RuntimeError> + Send>;
 
+/// One committed reconfiguration, ready to be applied to a [`Runtime`]
+/// at an epoch boundary: the new topology and decomposition every replica
+/// agreed on, the remap from the previous dimension, and the uniform
+/// baseline vector all processes resume from (the max-merge of every
+/// process's rebased final clock, distributed by the control plane's
+/// commit — see `synctime-net`'s `reconfig` module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedReconfigure {
+    /// The epoch this reconfiguration establishes (must be the runtime's
+    /// current epoch + 1).
+    pub epoch: u64,
+    /// The post-change topology.
+    pub topology: Graph,
+    /// The post-change decomposition (dimension of the new epoch's
+    /// stamps).
+    pub decomposition: EdgeDecomposition,
+    /// How group indices moved from the previous decomposition.
+    pub remap: GroupRemap,
+    /// The uniform baseline every process clock starts the new epoch
+    /// from.
+    pub baseline: VectorTime,
+}
+
 /// Configures and launches rendezvous executions over a topology and its
 /// edge decomposition.
 #[derive(Debug, Clone)]
@@ -970,6 +1009,14 @@ pub struct Runtime {
     rendezvous_timeout: Option<Duration>,
     rendezvous_retries: u32,
     clock_backend: ClockBackend,
+    /// The reconfiguration epoch this runtime executes (0 at creation,
+    /// bumped by [`Runtime::apply_reconfigure`]).
+    epoch: u64,
+    /// The uniform baseline every process clock starts from (zero when
+    /// absent — the launch epoch). Set by a reconfiguration's commit so
+    /// post-change stamps stay order-isomorphic with a zero-started
+    /// reference run over the new topology.
+    initial_clock: Option<VectorTime>,
 }
 
 /// Default stall timeout before the watchdog declares a deadlock.
@@ -999,7 +1046,77 @@ impl Runtime {
             rendezvous_timeout: None,
             rendezvous_retries: DEFAULT_RENDEZVOUS_RETRIES,
             clock_backend: ClockBackend::default(),
+            epoch: 0,
+            initial_clock: None,
         }
+    }
+
+    /// The reconfiguration epoch this runtime executes: 0 at creation,
+    /// incremented by every [`Runtime::apply_reconfigure`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts every process clock of subsequent runs from `baseline`
+    /// instead of zero — the seam a committed reconfiguration uses so all
+    /// processes resume the new epoch from the same uniform vector
+    /// (`max(B+x, B+y) = B + max(x, y)`, so every precedence verdict
+    /// matches a zero-started reference run's).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ClockUnsupported`] when `baseline`'s dimension
+    /// differs from the decomposition's.
+    pub fn with_initial_clock(mut self, baseline: VectorTime) -> Result<Self, RuntimeError> {
+        if baseline.dim() != self.decomposition.len() {
+            return Err(RuntimeError::ClockUnsupported {
+                dim: baseline.dim(),
+                capacity: self.decomposition.len(),
+            });
+        }
+        self.initial_clock = Some(baseline);
+        Ok(self)
+    }
+
+    /// Applies one committed reconfiguration: validates the epoch is the
+    /// successor of the current one, swaps in the new topology and
+    /// decomposition, and arms the uniform baseline every process clock of
+    /// the next run starts from. Channels, watchdog, fault injectors, and
+    /// every other setting carry over unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::EpochMismatch`] when `r.epoch` is not
+    /// `self.epoch() + 1`; [`RuntimeError::ClockUnsupported`] when the
+    /// remap, baseline, and decomposition disagree on the new dimension or
+    /// the configured clock backend cannot hold it.
+    pub fn apply_reconfigure(&mut self, r: &AppliedReconfigure) -> Result<(), RuntimeError> {
+        if r.epoch != self.epoch + 1 {
+            return Err(RuntimeError::EpochMismatch {
+                expected: self.epoch + 1,
+                got: r.epoch,
+            });
+        }
+        let dim = r.decomposition.len();
+        if r.remap.new_len != dim || r.baseline.dim() != dim {
+            return Err(RuntimeError::ClockUnsupported {
+                dim: r.baseline.dim().max(r.remap.new_len),
+                capacity: dim,
+            });
+        }
+        // Re-validate the configured backend against the new dimension —
+        // a topology change can grow past a fixed backend's lanes.
+        self.clock_backend
+            .resolve(dim)
+            .map_err(|_| RuntimeError::ClockUnsupported {
+                dim,
+                capacity: ClockBackend::FIXED_CAPACITY,
+            })?;
+        self.topology = r.topology.clone();
+        self.decomposition = r.decomposition.clone();
+        self.initial_clock = Some(r.baseline.clone());
+        self.epoch = r.epoch;
+        Ok(())
     }
 
     /// Selects the clock backend every process clock of this runtime uses
@@ -1192,59 +1309,64 @@ impl Runtime {
             ctxs.push(self.process_ctx(id, tx, rx, Arc::clone(&shared), Arc::clone(&recorder)));
         }
 
-        let results: Vec<(Vec<LogEntry>, Option<RuntimeError>)> = std::thread::scope(|s| {
-            if let Some(timeout) = self.watchdog {
-                let shared = Arc::clone(&shared);
-                s.spawn(move || watchdog_loop(&shared, timeout));
-            }
-            let handles: Vec<_> = behaviors
-                .into_iter()
-                .zip(ctxs)
-                .map(|(behavior, mut ctx)| {
+        let results: Vec<(Vec<LogEntry>, VectorTime, Option<RuntimeError>)> =
+            std::thread::scope(|s| {
+                if let Some(timeout) = self.watchdog {
                     let shared = Arc::clone(&shared);
-                    s.spawn(move || {
-                        let id = ctx.id;
-                        // catch_unwind keeps a panicking behavior from
-                        // unwinding through the runtime: the process's log
-                        // survives for partial reconstruction, and no
-                        // panic propagates before the liveness flag and
-                        // peer wakeups below run — so survivors observe a
-                        // clean PeerTerminated instead of a hang.
-                        let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
-                            .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
-                        // The tail of the log (possibly short of a full
-                        // burst) still belongs to the durable writer.
-                        ctx.flush_sink();
-                        // Finished processes are no longer candidates for a
-                        // deadlock; tell the watchdog and wake parked peers
-                        // so they observe the exit instead of waiting for
-                        // the park backstop.
-                        shared.live[id].store(false, Ordering::Release);
-                        shared.wake_all();
-                        (ctx.log, outcome.err())
+                    s.spawn(move || watchdog_loop(&shared, timeout));
+                }
+                let handles: Vec<_> = behaviors
+                    .into_iter()
+                    .zip(ctxs)
+                    .map(|(behavior, mut ctx)| {
+                        let shared = Arc::clone(&shared);
+                        s.spawn(move || {
+                            let id = ctx.id;
+                            // catch_unwind keeps a panicking behavior from
+                            // unwinding through the runtime: the process's log
+                            // survives for partial reconstruction, and no
+                            // panic propagates before the liveness flag and
+                            // peer wakeups below run — so survivors observe a
+                            // clean PeerTerminated instead of a hang.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| behavior(&mut ctx)))
+                                .unwrap_or(Err(RuntimeError::BehaviorPanicked { process: id }));
+                            // The tail of the log (possibly short of a full
+                            // burst) still belongs to the durable writer.
+                            ctx.flush_sink();
+                            // Finished processes are no longer candidates for a
+                            // deadlock; tell the watchdog and wake parked peers
+                            // so they observe the exit instead of waiting for
+                            // the park backstop.
+                            shared.live[id].store(false, Ordering::Release);
+                            shared.wake_all();
+                            let final_clock = ctx.clock.current_vector();
+                            (ctx.log, final_clock, outcome.err())
+                        })
                     })
-                })
-                .collect();
-            let results = handles
-                .into_iter()
-                .enumerate()
-                .map(|(p, h)| {
-                    h.join().unwrap_or_else(|_| {
-                        (
-                            Vec::new(),
-                            Some(RuntimeError::BehaviorPanicked { process: p }),
-                        )
+                    .collect();
+                let results = handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            (
+                                Vec::new(),
+                                VectorTime::zero(self.decomposition.len()),
+                                Some(RuntimeError::BehaviorPanicked { process: p }),
+                            )
+                        })
                     })
-                })
-                .collect();
-            shared.finished.store(true, Ordering::Release);
-            results
-        });
+                    .collect();
+                shared.finished.store(true, Ordering::Release);
+                results
+            });
 
         let mut logs = Vec::with_capacity(n);
+        let mut final_clocks = Vec::with_capacity(n);
         let mut outcomes = Vec::with_capacity(n);
-        for (log, outcome) in results {
+        for (log, final_clock, outcome) in results {
             logs.push(log);
+            final_clocks.push(final_clock);
             outcomes.push(outcome);
         }
         // Components only grow and every increment is captured in a logged
@@ -1264,6 +1386,7 @@ impl Runtime {
         RuntimeRun {
             process_count: n,
             logs,
+            final_clocks,
             outcomes,
             stats: recorder.finish(max_component),
         }
@@ -1284,7 +1407,7 @@ impl Runtime {
         // `with_clock` validated the backend against this decomposition, so
         // construction cannot fail; the dense fallback keeps this path
         // typed and panic-free regardless.
-        let clock = match BackendClock::new(self.clock_backend, dim) {
+        let clock = match BackendClock::new(self.clock_backend, dim, self.initial_clock.as_ref()) {
             Ok(clock) => clock,
             Err(_) => BackendClock::Dense(BackendClock::dense_clock(dim)),
         };
@@ -1365,9 +1488,11 @@ impl Runtime {
             })
             .max()
             .unwrap_or(0);
+        let final_clock = ctx.clock.current_vector();
         ProcessRun {
             process: id,
             log: ctx.log,
+            final_clock,
             outcome: outcome.err(),
             stats: recorder.finish(max_component),
         }
@@ -1382,6 +1507,7 @@ impl Runtime {
 pub struct ProcessRun {
     process: ProcessId,
     log: Vec<LogEntry>,
+    final_clock: VectorTime,
     outcome: Option<RuntimeError>,
     stats: RunStats,
 }
@@ -1395,6 +1521,13 @@ impl ProcessRun {
     /// The process's execution log, in program order.
     pub fn log(&self) -> &[LogEntry] {
         &self.log
+    }
+
+    /// The process's clock vector when its behavior ended — what the
+    /// reconfiguration control plane acknowledges (after rebasing) so the
+    /// coordinator can compute the next epoch's uniform baseline.
+    pub fn final_clock(&self) -> &VectorTime {
+        &self.final_clock
     }
 
     /// How the behavior ended: `None` for a clean return.
@@ -1419,6 +1552,7 @@ impl ProcessRun {
 pub struct RuntimeRun {
     process_count: usize,
     logs: Vec<Vec<LogEntry>>,
+    final_clocks: Vec<VectorTime>,
     outcomes: Vec<Option<RuntimeError>>,
     stats: RunStats,
 }
@@ -1427,6 +1561,14 @@ impl RuntimeRun {
     /// The per-process execution logs.
     pub fn logs(&self) -> &[Vec<LogEntry>] {
         &self.logs
+    }
+
+    /// Each process's clock vector at the end of its behavior, in process
+    /// order. An epoch boundary max-merges these into the next epoch's
+    /// uniform baseline (see [`AppliedReconfigure`]); a process that
+    /// panicked before producing a clock contributes the zero vector.
+    pub fn final_clocks(&self) -> &[VectorTime] {
+        &self.final_clocks
     }
 
     /// How each process's behavior ended: `None` for a clean return, the
@@ -2106,5 +2248,138 @@ mod tests {
         // The JSON rendering round-trips.
         let back = synctime_obs::RunStats::from_json(&stats.to_json()).unwrap();
         assert_eq!(&back, stats);
+    }
+
+    /// Behaviors for one token-passing round trip on the path 0–1–2.
+    fn three_path_behaviors() -> Vec<Behavior> {
+        let p0: Behavior = Box::new(|ctx| {
+            ctx.send(1, 7)?;
+            let (x, _) = ctx.receive_from(1)?;
+            assert_eq!(x, 9);
+            Ok(())
+        });
+        let p1: Behavior = Box::new(|ctx| {
+            let (x, _) = ctx.receive_from(0)?;
+            ctx.send(2, x + 1)?;
+            let (y, _) = ctx.receive_from(2)?;
+            ctx.send(0, y)?;
+            Ok(())
+        });
+        let p2: Behavior = Box::new(|ctx| {
+            let (x, _) = ctx.receive_from(1)?;
+            ctx.send(1, x + 1)?;
+            Ok(())
+        });
+        vec![p0, p1, p2]
+    }
+
+    #[test]
+    fn apply_reconfigure_resumes_order_isomorphic_to_reference() {
+        use synctime_graph::{EdgeOp, IncrementalDecomposition};
+        // Epoch 0: ping-pong on channel 0–1 of a fixed 3-process universe;
+        // process 2 has not joined yet and idles (topology changes edit
+        // edges, never the process universe).
+        let topo0 = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut inc = IncrementalDecomposition::new(&topo0);
+        let mut rt = Runtime::new(&topo0, inc.decomposition());
+        let (rt0, mut behaviors0) = ping_pong(3);
+        drop(rt0);
+        behaviors0.push(Box::new(|_| Ok(())));
+        let run0 = rt.run(behaviors0).unwrap();
+        assert_eq!(run0.final_clocks().len(), 3);
+
+        // Epoch boundary: max-merge every final clock into the baseline,
+        // then rebase it through the remap of the committed edit batch
+        // (grow 0–1 into the path 0–1–2).
+        let mut old_baseline = VectorTime::zero(inc.decomposition().len());
+        for clock in run0.final_clocks() {
+            old_baseline.merge_max(clock).unwrap();
+        }
+        // The 2-path saw 6 messages through its single group.
+        assert_eq!(old_baseline.component(0), 6);
+        let remap = inc.apply_ops(&[EdgeOp::Insert(1, 2)]).unwrap();
+        let new_dim = inc.decomposition().len();
+        let mut slots = vec![0u64; new_dim];
+        for (old, new) in remap.old_to_new.iter().enumerate() {
+            if let Some(n) = new {
+                slots[*n] = old_baseline.component(old);
+            }
+        }
+        let baseline = VectorTime::from(slots);
+
+        // Out-of-order epochs are refused before any state changes.
+        let skipped = AppliedReconfigure {
+            epoch: 2,
+            topology: inc.graph().clone(),
+            decomposition: inc.decomposition().clone(),
+            remap: remap.clone(),
+            baseline: baseline.clone(),
+        };
+        assert_eq!(
+            rt.apply_reconfigure(&skipped),
+            Err(RuntimeError::EpochMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(rt.epoch(), 0);
+
+        rt.apply_reconfigure(&AppliedReconfigure {
+            epoch: 1,
+            ..skipped
+        })
+        .unwrap();
+        assert_eq!(rt.epoch(), 1);
+
+        // Epoch 1 on the reconfigured runtime vs an uninterrupted
+        // zero-started reference over the same post-change topology.
+        let run1 = rt.run(three_path_behaviors()).unwrap();
+        let reference = Runtime::new(inc.graph(), inc.decomposition());
+        let ref_run = reference.run(three_path_behaviors()).unwrap();
+
+        // Every epoch-1 stamp is the reference stamp shifted by the
+        // uniform baseline (`max(B+x, B+y) = B + max(x, y)`)...
+        for (log, ref_log) in run1.logs().iter().zip(ref_run.logs()) {
+            assert_eq!(log.len(), ref_log.len());
+            for (entry, ref_entry) in log.iter().zip(ref_log) {
+                let (stamp, ref_stamp) = match (entry, ref_entry) {
+                    (
+                        LogEntry::Sent { stamp, .. },
+                        LogEntry::Sent {
+                            stamp: ref_stamp, ..
+                        },
+                    )
+                    | (
+                        LogEntry::Received { stamp, .. },
+                        LogEntry::Received {
+                            stamp: ref_stamp, ..
+                        },
+                    ) => (stamp, ref_stamp),
+                    (LogEntry::Internal, LogEntry::Internal) => continue,
+                    other => panic!("log shapes diverged: {other:?}"),
+                };
+                let shifted: Vec<u64> = ref_stamp
+                    .as_slice()
+                    .iter()
+                    .zip(baseline.as_slice())
+                    .map(|(r, b)| r + b)
+                    .collect();
+                assert_eq!(stamp.as_slice(), &shifted[..]);
+            }
+        }
+        // ...so every precedence verdict matches the reference run's.
+        let (_, stamps) = run1.reconstruct().unwrap();
+        let (ref_comp, ref_stamps) = ref_run.reconstruct().unwrap();
+        assert!(ref_stamps.encodes(&Oracle::new(&ref_comp)));
+        assert!(stamps.encodes(&Oracle::new(&ref_comp)));
+    }
+
+    #[test]
+    fn with_initial_clock_rejects_wrong_dimension() {
+        let topo = topology::path(3);
+        let dec = decompose::best_known(&topo);
+        let rt = Runtime::new(&topo, &dec);
+        let err = rt.with_initial_clock(VectorTime::zero(dec.len() + 1));
+        assert!(matches!(err, Err(RuntimeError::ClockUnsupported { .. })));
     }
 }

@@ -20,7 +20,12 @@
 //!   deadlock when the scripts cannot rendezvous;
 //! * [`fault`] — seeded, JSON-serialisable fault schedules (crashes,
 //!   delays, forced delta-stream desyncs) that plug into the runtime's
-//!   fault-injection hook for crash-robustness experiments.
+//!   fault-injection hook for crash-robustness experiments;
+//! * [`churn`] — seeded, JSON-serialisable reconfiguration scripts
+//!   (join/leave/swap at Poisson arrival times over a fixed process
+//!   universe) plus a multi-epoch engine that drives the runtime's
+//!   epoch seam, producing boundary-cut logs for persistence and
+//!   per-epoch dimension/latency reports.
 //!
 //! Everything is seeded and deterministic: the same seed yields the same
 //! computation, so experiments are reproducible run-to-run.
@@ -28,12 +33,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod fault;
 pub mod programs;
 pub mod scenarios;
 pub mod sim;
 pub mod workload;
 
+pub use churn::{
+    ring_behavior, run_churn, ChurnConfig, ChurnError, ChurnEvent, ChurnKind, ChurnPlan, ChurnRun,
+    EpochBoundary, EpochReport,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use scenarios::Scenario;
 pub use sim::{enumerate_schedules, Op, Program, SimError, Simulator};

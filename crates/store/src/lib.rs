@@ -43,12 +43,13 @@ use std::fmt;
 
 pub use crc::crc32;
 pub use log::{
-    read_trace_dir, trace_dirs, validate_trace_name, RecoveredTrace, TraceStore,
+    read_trace_dir, trace_dirs, validate_trace_name, RecoveredTrace, TraceStore, TraceTailReader,
     DEFAULT_SNAPSHOT_EVERY, LOG_FILE, SNAPSHOT_FILE,
 };
-pub use record::{FileScan, Meta, StampRecord, FORMAT_VERSION};
+pub use record::{FileScan, Meta, ReconfigRecord, StampRecord, TailScan, FORMAT_VERSION};
 pub use replay::{
-    materialize, persist_logs, record_from_event, record_from_log_entry, spawn_writer, StoreWriter,
+    materialize, materialize_latest_epoch, persist_logs, persist_logs_with_reconfigs,
+    record_from_event, record_from_log_entry, spawn_writer, StoreWriter,
 };
 
 // Re-exported so store consumers can name the ingestion seam without

@@ -52,7 +52,10 @@ use synctime_core::wire;
 use synctime_runtime::LogEntry;
 use synctime_trace::ProcessId;
 
-use crate::record::{encode_meta, encode_record, scan_file, Meta, StampRecord, FORMAT_VERSION};
+use crate::record::{
+    encode_meta, encode_reconfig, encode_record, scan_file, scan_meta, scan_tail, Meta,
+    ReconfigRecord, StampRecord, FORMAT_VERSION,
+};
 use crate::StoreError;
 
 /// File holding all records up to the last compaction.
@@ -215,6 +218,12 @@ impl TraceStore {
     pub fn append(&mut self, rec: StampRecord) -> Result<(), StoreError> {
         self.scratch.clear();
         encode_record(&mut self.scratch, &rec);
+        self.append_scratch()
+    }
+
+    /// Writes the framed record staged in `scratch` and runs the
+    /// compaction trigger — the tail shared by every append flavor.
+    fn append_scratch(&mut self) -> Result<(), StoreError> {
         self.log.write_all(&self.scratch)?;
         self.encoded.extend_from_slice(&self.scratch);
         self.records += 1;
@@ -231,6 +240,20 @@ impl TraceStore {
             self.snapshot()?;
         }
         Ok(())
+    }
+
+    /// Appends one RECONFIG epoch-boundary record. Counts toward the
+    /// compaction trigger like any other record and rides the same
+    /// snapshot byte stream, so a boundary survives compaction alongside
+    /// the entries it segments.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write or compaction failures.
+    pub fn append_reconfig(&mut self, rec: &ReconfigRecord) -> Result<(), StoreError> {
+        self.scratch.clear();
+        encode_reconfig(&mut self.scratch, rec);
+        self.append_scratch()
     }
 
     /// Pushes buffered appends to the OS (readers polling the file see
@@ -339,6 +362,12 @@ pub struct RecoveredTrace {
     pub torn_bytes: usize,
     /// Records parsed but trimmed by dedup, gap, or matching rules.
     pub dropped_records: usize,
+    /// Epoch boundaries whose cuts are fully covered by the recovered
+    /// logs, sorted by epoch (first record of a duplicated epoch wins). A
+    /// boundary that names more processes than the run has, or whose cut
+    /// lies beyond a recovered log's end (the boundary outran the torn
+    /// tail), is dropped — replay can only segment what it holds.
+    pub reconfigs: Vec<ReconfigRecord>,
 }
 
 /// Converts a surviving record into the [`LogEntry`] replay feeds to
@@ -395,13 +424,31 @@ pub fn read_trace_dir(dir: &Path) -> Result<RecoveredTrace, StoreError> {
     let mut torn_bytes = 0usize;
     let mut metas: Vec<Meta> = Vec::new();
     let mut all: Vec<StampRecord> = Vec::new();
+    let mut reconfigs: Vec<ReconfigRecord> = Vec::new();
     for scan in [snap, log].into_iter().flatten() {
         torn_bytes += scan.torn_bytes;
         if let Some(meta) = scan.meta {
             metas.push(meta);
             all.extend(scan.records);
+            reconfigs.extend(scan.reconfigs);
         }
     }
+    assemble(dir, &metas, all, reconfigs, torn_bytes)
+}
+
+/// The pure half of recovery: applies the dedup / dense-prefix /
+/// matched-keys invariants (module docs) to scanned records, however they
+/// were gathered — a full directory read ([`read_trace_dir`]) or a
+/// tailing reader's accumulated head + tails ([`TraceTailReader`]). Both
+/// paths feeding identical record sequences through this function is what
+/// makes incremental tailing answer-equivalent to full re-reads.
+fn assemble(
+    dir: &Path,
+    metas: &[Meta],
+    all: Vec<StampRecord>,
+    reconfigs: Vec<ReconfigRecord>,
+    torn_bytes: usize,
+) -> Result<RecoveredTrace, StoreError> {
     let Some(first) = metas.first().copied() else {
         return Err(StoreError::Corrupt(format!(
             "no readable store metadata in {}",
@@ -448,13 +495,45 @@ pub fn read_trace_dir(dir: &Path) -> Result<RecoveredTrace, StoreError> {
         logs.push(log);
     }
 
-    // Fixpoint: truncate each log at its first entry whose rendezvous
-    // partner is missing, until no truncation happens. Terminates because
-    // every round that changes anything strictly shrinks the total.
+    match_keys_fixpoint(&mut logs);
+
+    // Epoch boundaries: sort by epoch (stable, so the first-written record
+    // of a duplicated epoch wins after dedup), then keep only boundaries
+    // the recovered logs fully cover.
+    let mut boundaries = reconfigs;
+    boundaries.sort_by_key(|r| r.epoch);
+    boundaries.dedup_by_key(|r| r.epoch);
+    boundaries.retain(|r| {
+        r.cuts.len() == process_count
+            && r.cuts
+                .iter()
+                .zip(&logs)
+                .all(|(&cut, log)| cut as usize <= log.len())
+    });
+
+    let records = logs.iter().map(Vec::len).sum();
+    Ok(RecoveredTrace {
+        process_count,
+        generation,
+        logs,
+        records,
+        torn_bytes,
+        dropped_records: parsed - records,
+        reconfigs: boundaries,
+    })
+}
+
+/// Fixpoint: truncate each log at its first entry whose rendezvous
+/// partner is missing, until no truncation happens. Terminates because
+/// every round that changes anything strictly shrinks the total. Shared
+/// by whole-trace recovery and per-epoch segment materialisation
+/// ([`materialize_latest_epoch`](crate::materialize_latest_epoch)), which
+/// must re-run it because message keys are only unique within an epoch.
+pub(crate) fn match_keys_fixpoint(logs: &mut [Vec<LogEntry>]) {
     loop {
         let mut sent: BTreeMap<u64, usize> = BTreeMap::new();
         let mut received: BTreeMap<u64, usize> = BTreeMap::new();
-        for log in &logs {
+        for log in logs.iter() {
             for entry in log {
                 match entry {
                     LogEntry::Sent { key, .. } => *sent.entry(*key).or_default() += 1,
@@ -464,7 +543,7 @@ pub fn read_trace_dir(dir: &Path) -> Result<RecoveredTrace, StoreError> {
             }
         }
         let mut changed = false;
-        for log in &mut logs {
+        for log in logs.iter_mut() {
             let cut = log.iter().position(|entry| match entry {
                 LogEntry::Sent { key, .. } => received.get(key).copied().unwrap_or(0) == 0,
                 LogEntry::Received { key, .. } => sent.get(key).copied().unwrap_or(0) == 0,
@@ -479,14 +558,172 @@ pub fn read_trace_dir(dir: &Path) -> Result<RecoveredTrace, StoreError> {
             break;
         }
     }
+}
 
-    let records = logs.iter().map(Vec::len).sum();
-    Ok(RecoveredTrace {
-        process_count,
-        generation,
-        logs,
-        records,
-        torn_bytes,
-        dropped_records: parsed - records,
-    })
+/// Upper bound on a META record's framed size: 8-byte frame, 1-byte tag,
+/// three varints of at most 10 bytes each. Reading this much from a
+/// file's head always captures the whole META.
+const META_HEAD_BYTES: usize = 8 + 1 + 3 * 10;
+
+/// An incremental reader for a growing trace directory.
+///
+/// [`read_trace_dir`] re-reads and re-scans both files on every call —
+/// fine for one-shot recovery, quadratic for a tailer polling a live
+/// trace. This reader remembers the log's scanned byte offset and, while
+/// the generation is unchanged, recovers only the appended tail
+/// ([`scan_tail`]); a generation bump (compaction) or a shrunk log falls
+/// back to one full re-read. Either way the accumulated record sequence
+/// fed to [`assemble`] is byte-for-byte the sequence a fresh
+/// [`read_trace_dir`] would scan, so every poll's answer is identical to
+/// a full re-read's (asserted by this crate's tests).
+#[derive(Debug)]
+pub struct TraceTailReader {
+    dir: PathBuf,
+    /// The log generation the accumulated state belongs to; `None` until
+    /// the first successful read.
+    generation: Option<u64>,
+    /// Bytes of `log.st` scanned into the accumulated records (META
+    /// included). A torn final record stays beyond this offset and is
+    /// re-tried on the next poll, once its bytes complete.
+    log_offset: usize,
+    metas: Vec<Meta>,
+    records: Vec<StampRecord>,
+    reconfigs: Vec<ReconfigRecord>,
+    /// Torn bytes of the snapshot file (the log's torn tail is recomputed
+    /// per poll — it may still complete).
+    snap_torn: usize,
+}
+
+impl TraceTailReader {
+    /// A reader for `dir`, holding nothing yet; the first [`poll`]
+    /// performs a full read.
+    ///
+    /// [`poll`]: TraceTailReader::poll
+    pub fn new(dir: &Path) -> Self {
+        TraceTailReader {
+            dir: dir.to_path_buf(),
+            generation: None,
+            log_offset: 0,
+            metas: Vec::new(),
+            records: Vec::new(),
+            reconfigs: Vec::new(),
+            snap_torn: 0,
+        }
+    }
+
+    /// Drops all accumulated state so the next poll re-reads everything.
+    fn reset(&mut self) {
+        self.generation = None;
+        self.log_offset = 0;
+        self.metas.clear();
+        self.records.clear();
+        self.reconfigs.clear();
+        self.snap_torn = 0;
+    }
+
+    /// Re-reads snapshot and log in full, replacing the accumulated
+    /// state — the cold path (first poll, compaction, or shrunk log).
+    /// Returns the log's torn-tail byte count as of this read (transient:
+    /// those bytes may complete by the next poll, so they are not cached).
+    fn full_read(&mut self) -> Result<usize, StoreError> {
+        self.reset();
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            let scan = scan_file(&fs::read(&snap_path)?);
+            self.snap_torn = scan.torn_bytes;
+            if let Some(meta) = scan.meta {
+                self.metas.push(meta);
+                self.records.extend(scan.records);
+                self.reconfigs.extend(scan.reconfigs);
+            }
+        }
+        let mut log_torn = 0usize;
+        let log_path = self.dir.join(LOG_FILE);
+        if log_path.exists() {
+            let bytes = fs::read(&log_path)?;
+            let scan = scan_file(&bytes);
+            if let Some(meta) = scan.meta {
+                self.generation = Some(meta.generation);
+                self.log_offset = bytes.len() - scan.torn_bytes;
+                log_torn = scan.torn_bytes;
+                self.metas.push(meta);
+                self.records.extend(scan.records);
+                self.reconfigs.extend(scan.reconfigs);
+            }
+        }
+        Ok(log_torn)
+    }
+
+    /// Recovers the trace as of now: a full read on the first call or
+    /// after a compaction, an append-tail read otherwise. The result is
+    /// always identical to what [`read_trace_dir`] would return at this
+    /// instant.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`read_trace_dir`]'s errors: [`StoreError::Io`] when a
+    /// file cannot be read, [`StoreError::Corrupt`] when no META is
+    /// readable or the files disagree. The accumulated state survives an
+    /// error and the next poll retries.
+    pub fn poll(&mut self) -> Result<RecoveredTrace, StoreError> {
+        let log_path = self.dir.join(LOG_FILE);
+        let head = if log_path.exists() {
+            let mut head = vec![0u8; META_HEAD_BYTES];
+            let n = read_head(&log_path, &mut head)?;
+            head.truncate(n);
+            scan_meta(&head)
+        } else {
+            None
+        };
+        match (head, self.generation) {
+            // Warm path: same generation — only the appended tail is new.
+            (Some((meta, _)), Some(generation)) if meta.generation == generation => {
+                let bytes = fs::read(&log_path)?;
+                let log_torn = if bytes.len() < self.log_offset {
+                    // Shrunk without a generation bump: not a compaction
+                    // the protocol produces, but never serve stale state.
+                    self.full_read()?
+                } else {
+                    let tail = scan_tail(&bytes[self.log_offset..]);
+                    self.records.extend(tail.records);
+                    self.reconfigs.extend(tail.reconfigs);
+                    self.log_offset += tail.consumed;
+                    bytes.len() - self.log_offset
+                };
+                self.assemble_current(log_torn)
+            }
+            // Cold path: first poll, a compaction's generation bump, or a
+            // log whose META is unreadable (mid-recreate) — re-read all.
+            _ => {
+                let log_torn = self.full_read()?;
+                self.assemble_current(log_torn)
+            }
+        }
+    }
+
+    /// Runs the shared recovery invariants over the accumulated records.
+    fn assemble_current(&self, log_torn: usize) -> Result<RecoveredTrace, StoreError> {
+        assemble(
+            &self.dir,
+            &self.metas,
+            self.records.clone(),
+            self.reconfigs.clone(),
+            self.snap_torn + log_torn,
+        )
+    }
+}
+
+/// Reads up to `buf.len()` bytes from the start of `path`, returning how
+/// many were read (short for a file smaller than the buffer).
+fn read_head(path: &Path, buf: &mut [u8]) -> Result<usize, StoreError> {
+    use std::io::Read;
+    let mut file = File::open(path)?;
+    let mut filled = 0usize;
+    loop {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 || filled + n == buf.len() {
+            return Ok(filled + n);
+        }
+        filled += n;
+    }
 }

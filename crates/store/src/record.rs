@@ -15,6 +15,7 @@
 //! | 1   | SENT     | varint process, varint pseq, varint peer, varint key, stamp  |
 //! | 2   | RECEIVED | varint process, varint pseq, varint peer, varint key, stamp  |
 //! | 3   | INTERNAL | varint process, varint pseq                                  |
+//! | 4   | RECONFIG | varint epoch, varint cut_count, cuts, varint op_count, ops   |
 //!
 //! The stamp is **last** and runs to the end of the payload: it is exactly
 //! the bytes the clock seam (`Clock::encode_wire`, i.e.
@@ -42,6 +43,7 @@ const TAG_META: u8 = 0;
 const TAG_SENT: u8 = 1;
 const TAG_RECEIVED: u8 = 2;
 const TAG_INTERNAL: u8 = 3;
+const TAG_RECONFIG: u8 = 4;
 
 /// A store file's leading record: what a reader must know before it can
 /// interpret the entry records that follow.
@@ -145,6 +147,36 @@ impl StampRecord {
     }
 }
 
+/// An epoch boundary made durable: a committed reconfiguration's position
+/// in every process's log, so replay can segment a trace into epochs and
+/// materialize the latest one even after a crash mid-churn.
+///
+/// The remap itself is **not** stored — stamps are logged post-rebase, so
+/// replay never needs to re-run a remap; the edge operations ride along as
+/// provenance (what changed, auditable from the trace alone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigRecord {
+    /// The epoch this boundary establishes (the first committed boundary
+    /// writes epoch 1).
+    pub epoch: u64,
+    /// Per process, the length of its log when the boundary committed:
+    /// entries `< cuts[p]` belong to earlier epochs, entries `>= cuts[p]`
+    /// to this one. One cut per process of the run.
+    pub cuts: Vec<u64>,
+    /// The edit batch that produced the new topology, as
+    /// `(kind, u, v)` triples — kind 0 inserts edge `(u, v)`, kind 1
+    /// removes it (mirrors `synctime_graph::EdgeOp`).
+    pub ops: Vec<(u8, u64, u64)>,
+}
+
+impl ReconfigRecord {
+    /// The framed on-disk size of this record, priced byte-for-byte by
+    /// `core::wire::store_reconfig_record_bytes`.
+    pub fn encoded_len(&self) -> u64 {
+        wire::store_reconfig_record_bytes(self.epoch, &self.cuts, &self.ops)
+    }
+}
+
 /// Frames `payload` (length prefix + CRC) onto `out`.
 fn frame_payload(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -203,6 +235,24 @@ pub fn encode_record(out: &mut Vec<u8>, rec: &StampRecord) {
     frame_payload(out, &payload);
 }
 
+/// Appends a framed RECONFIG record to `out`.
+pub fn encode_reconfig(out: &mut Vec<u8>, rec: &ReconfigRecord) {
+    let mut payload = Vec::with_capacity(24);
+    payload.push(TAG_RECONFIG);
+    wire::push_varint(&mut payload, rec.epoch);
+    wire::push_varint(&mut payload, rec.cuts.len() as u64);
+    for &cut in &rec.cuts {
+        wire::push_varint(&mut payload, cut);
+    }
+    wire::push_varint(&mut payload, rec.ops.len() as u64);
+    for &(kind, u, v) in &rec.ops {
+        wire::push_varint(&mut payload, kind as u64);
+        wire::push_varint(&mut payload, u);
+        wire::push_varint(&mut payload, v);
+    }
+    frame_payload(out, &payload);
+}
+
 /// What a scan of one store file's bytes yielded: the valid prefix, and
 /// how many tail bytes it refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,16 +261,27 @@ pub struct FileScan {
     pub meta: Option<Meta>,
     /// Every entry record of the valid prefix, in file order.
     pub records: Vec<StampRecord>,
+    /// Every RECONFIG epoch-boundary record of the valid prefix, in file
+    /// order. Kept apart from `records`: a boundary's position in a
+    /// process log is given by its `cuts`, not by its interleaving in the
+    /// file.
+    pub reconfigs: Vec<ReconfigRecord>,
     /// Bytes at the tail that did not form a valid record: a torn final
     /// write, a failed checksum, or garbage. Everything before them is
     /// kept; everything from the first invalid byte on is dropped.
     pub torn_bytes: usize,
 }
 
-/// Decodes one record payload (tag + fields) into a [`StampRecord`], or
-/// `None` for a malformed payload. Stamp bytes are validated against
-/// [`wire::decode_full`] here so replay never meets an undecodable stamp.
-fn decode_payload(payload: &[u8]) -> Option<StampRecord> {
+/// One decoded non-META payload: an entry record or an epoch boundary.
+enum Decoded {
+    Stamp(StampRecord),
+    Reconfig(ReconfigRecord),
+}
+
+/// Decodes one record payload (tag + fields), or `None` for a malformed
+/// payload. Stamp bytes are validated against [`wire::decode_full`] here
+/// so replay never meets an undecodable stamp.
+fn decode_payload(payload: &[u8]) -> Option<Decoded> {
     let (&tag, rest) = payload.split_first()?;
     let mut pos = 0usize;
     match tag {
@@ -231,7 +292,7 @@ fn decode_payload(payload: &[u8]) -> Option<StampRecord> {
             let key = wire::read_varint(rest, &mut pos)?;
             let stamp = rest[pos..].to_vec();
             wire::decode_full(&stamp)?;
-            Some(if tag == TAG_SENT {
+            Some(Decoded::Stamp(if tag == TAG_SENT {
                 StampRecord::Sent {
                     process,
                     pseq,
@@ -247,12 +308,38 @@ fn decode_payload(payload: &[u8]) -> Option<StampRecord> {
                     key,
                     stamp,
                 }
-            })
+            }))
         }
         TAG_INTERNAL => {
             let process = wire::read_varint(rest, &mut pos)?;
             let pseq = wire::read_varint(rest, &mut pos)?;
-            (pos == rest.len()).then_some(StampRecord::Internal { process, pseq })
+            (pos == rest.len()).then_some(Decoded::Stamp(StampRecord::Internal { process, pseq }))
+        }
+        TAG_RECONFIG => {
+            let epoch = wire::read_varint(rest, &mut pos)?;
+            let cut_count = wire::read_varint(rest, &mut pos)?;
+            if cut_count > MAX_RECORD_PAYLOAD as u64 {
+                return None;
+            }
+            let mut cuts = Vec::with_capacity(cut_count as usize);
+            for _ in 0..cut_count {
+                cuts.push(wire::read_varint(rest, &mut pos)?);
+            }
+            let op_count = wire::read_varint(rest, &mut pos)?;
+            if op_count > MAX_RECORD_PAYLOAD as u64 {
+                return None;
+            }
+            let mut ops = Vec::with_capacity(op_count as usize);
+            for _ in 0..op_count {
+                let kind = wire::read_varint(rest, &mut pos)?;
+                if kind > 1 {
+                    return None;
+                }
+                let u = wire::read_varint(rest, &mut pos)?;
+                let v = wire::read_varint(rest, &mut pos)?;
+                ops.push((kind as u8, u, v));
+            }
+            (pos == rest.len()).then_some(Decoded::Reconfig(ReconfigRecord { epoch, cuts, ops }))
         }
         _ => None,
     }
@@ -312,26 +399,75 @@ pub fn scan_file(bytes: &[u8]) -> FileScan {
         return FileScan {
             meta: None,
             records: Vec::new(),
+            reconfigs: Vec::new(),
             torn_bytes: bytes.len(),
         };
     };
+    let (records, reconfigs) = scan_entries(bytes, &mut pos);
+    FileScan {
+        meta: Some(meta),
+        records,
+        reconfigs,
+        torn_bytes: bytes.len() - pos,
+    }
+}
+
+/// Takes entry and RECONFIG records from `bytes[*pos..]` until the first
+/// framing violation, checksum failure, or malformed payload, leaving the
+/// cursor at the end of the valid prefix.
+fn scan_entries(bytes: &[u8], pos: &mut usize) -> (Vec<StampRecord>, Vec<ReconfigRecord>) {
     let mut records = Vec::new();
-    while let Some(payload) = next_payload(bytes, &mut pos) {
+    let mut reconfigs = Vec::new();
+    while let Some(payload) = next_payload(bytes, pos) {
         match decode_payload(payload) {
-            Some(rec) => records.push(rec),
+            Some(Decoded::Stamp(rec)) => records.push(rec),
+            Some(Decoded::Reconfig(rec)) => reconfigs.push(rec),
             None => {
                 // A checksum-valid but malformed payload still ends the
                 // prefix: trusting anything after an undecodable record
                 // would re-order the stream.
-                pos -= 8 + payload.len();
+                *pos -= 8 + payload.len();
                 break;
             }
         }
     }
-    FileScan {
-        meta: Some(meta),
+    (records, reconfigs)
+}
+
+/// Decodes only a file's leading META record, returning it together with
+/// how many bytes it occupied — what a tailing reader needs to detect a
+/// compaction (generation bump) without re-reading the whole file.
+pub fn scan_meta(bytes: &[u8]) -> Option<(Meta, usize)> {
+    let mut pos = 0usize;
+    let meta = next_payload(bytes, &mut pos).and_then(decode_meta_payload)?;
+    Some((meta, pos))
+}
+
+/// The result of scanning a log **tail** — bytes starting mid-file, after
+/// a known-good offset, with no META record in front of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailScan {
+    /// Entry records of the tail's valid prefix, in file order.
+    pub records: Vec<StampRecord>,
+    /// RECONFIG records of the tail's valid prefix, in file order.
+    pub reconfigs: Vec<ReconfigRecord>,
+    /// How many of the given bytes formed valid records. The caller
+    /// advances its offset by exactly this much; a torn final record is
+    /// left behind and may complete on a later read.
+    pub consumed: usize,
+}
+
+/// Scans record bytes that start **after** a file's META — the
+/// incremental half of [`scan_file`], used by tailing readers that
+/// remember a byte offset and only re-read what appended since. Same
+/// torn-tail rule: keep the valid prefix, report how far it reached.
+pub fn scan_tail(bytes: &[u8]) -> TailScan {
+    let mut pos = 0usize;
+    let (records, reconfigs) = scan_entries(bytes, &mut pos);
+    TailScan {
         records,
-        torn_bytes: bytes.len() - pos,
+        reconfigs,
+        consumed: pos,
     }
 }
 
@@ -445,5 +581,80 @@ mod tests {
         let scan = scan_file(&clean[3..]);
         assert_eq!(scan.meta, None);
         assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn reconfig_records_roundtrip_and_match_wire_pricing() {
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: 3,
+            generation: 0,
+        };
+        let records = sample_records();
+        let boundary = ReconfigRecord {
+            epoch: 1,
+            cuts: vec![2, 2, 0],
+            ops: vec![(0, 1, 2), (1, 0, 1)],
+        };
+        let mut bytes = Vec::new();
+        encode_meta(&mut bytes, &meta);
+        encode_record(&mut bytes, &records[0]);
+        encode_record(&mut bytes, &records[1]);
+        encode_reconfig(&mut bytes, &boundary);
+        encode_record(&mut bytes, &records[2]);
+        // The boundary's framed size is exactly what core::wire prices.
+        assert_eq!(
+            boundary.encoded_len(),
+            wire::store_reconfig_record_bytes(1, &[2, 2, 0], &[(0, 1, 2), (1, 0, 1)])
+        );
+        let scan = scan_file(&bytes);
+        assert_eq!(scan.meta, Some(meta));
+        assert_eq!(scan.records, records[..3]);
+        assert_eq!(scan.reconfigs, vec![boundary]);
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn scan_tail_resumes_where_a_full_scan_left_off() {
+        let meta = Meta {
+            version: FORMAT_VERSION,
+            process_count: 2,
+            generation: 0,
+        };
+        let records = sample_records();
+        let mut head = Vec::new();
+        encode_meta(&mut head, &meta);
+        encode_record(&mut head, &records[0]);
+        encode_record(&mut head, &records[1]);
+        // Tail: two more records plus an epoch boundary, appended later.
+        let boundary = ReconfigRecord {
+            epoch: 1,
+            cuts: vec![1, 2],
+            ops: vec![(1, 0, 1)],
+        };
+        let mut tail = Vec::new();
+        encode_record(&mut tail, &records[2]);
+        encode_reconfig(&mut tail, &boundary);
+        encode_record(&mut tail, &records[3]);
+        let tail_scan = scan_tail(&tail);
+        assert_eq!(tail_scan.records, records[2..]);
+        assert_eq!(tail_scan.reconfigs, vec![boundary.clone()]);
+        assert_eq!(tail_scan.consumed, tail.len());
+        // Head-scan + tail-scan agree with one scan of the whole file.
+        let mut whole = head.clone();
+        whole.extend_from_slice(&tail);
+        let full = scan_file(&whole);
+        let head_scan = scan_file(&head);
+        let mut combined = head_scan.records.clone();
+        combined.extend(tail_scan.records.clone());
+        assert_eq!(full.records, combined);
+        assert_eq!(full.reconfigs, tail_scan.reconfigs);
+        // A torn tail consumes only up to the torn record; the rest waits
+        // for the bytes to complete.
+        for cut in 0..tail.len() {
+            let partial = scan_tail(&tail[..cut]);
+            assert!(partial.consumed <= cut);
+            assert_eq!(partial.records, tail_scan.records[..partial.records.len()]);
+        }
     }
 }

@@ -60,11 +60,35 @@ pub fn persist_logs(
     trace: &str,
     logs: &[Vec<LogEntry>],
 ) -> Result<TraceStore, StoreError> {
+    persist_logs_with_reconfigs(root, trace, logs, &[])
+}
+
+/// [`persist_logs`] for a reconfigured (multi-epoch) run: the per-process
+/// logs are each epoch's logs concatenated in epoch order (so `pseq`
+/// stays dense per process across epochs), and `reconfigs` carries one
+/// epoch-boundary record per committed reconfiguration, its cuts naming
+/// where in each concatenated log the boundary falls.
+/// [`materialize_latest_epoch`] uses those cuts to serve the post-churn
+/// trace after recovery.
+///
+/// # Errors
+///
+/// [`StoreError::InvalidTraceName`] or [`StoreError::Io`] from the
+/// underlying [`TraceStore`].
+pub fn persist_logs_with_reconfigs(
+    root: &Path,
+    trace: &str,
+    logs: &[Vec<LogEntry>],
+    reconfigs: &[crate::ReconfigRecord],
+) -> Result<TraceStore, StoreError> {
     let mut store = TraceStore::create(root, trace, logs.len())?.with_snapshot_every(0);
     for (process, log) in logs.iter().enumerate() {
         for (pseq, entry) in log.iter().enumerate() {
             store.append(record_from_log_entry(process as u64, pseq as u64, entry))?;
         }
+    }
+    for boundary in reconfigs {
+        store.append_reconfig(boundary)?;
     }
     store.snapshot()?;
     Ok(store)
@@ -84,6 +108,42 @@ pub fn materialize(
     logs: &[Vec<LogEntry>],
 ) -> Result<(SyncComputation, MessageTimestamps), StoreError> {
     reconstruct_from_logs(logs).map_err(|e| StoreError::Replay(e.to_string()))
+}
+
+/// Materialises the **latest epoch** of a recovered trace: the log
+/// segment after the newest covered RECONFIG boundary (the whole trace
+/// when no boundary was recorded). Returns that epoch's number alongside
+/// the reconstruction.
+///
+/// A reconfigured trace cannot reconstruct whole: stamps before and after
+/// a boundary live in different vector dimensions, and message keys are
+/// only unique within one epoch's run. The durable cuts segment the logs
+/// exactly; a segment-local matched-keys pass then trims any rendezvous
+/// half-lost to a torn tail (whole-trace recovery cannot see those,
+/// because a recycled key from an older epoch masks the missing partner).
+///
+/// # Errors
+///
+/// [`StoreError::Replay`] when the segment does not reassemble into a
+/// synchronous computation.
+pub fn materialize_latest_epoch(
+    trace: &crate::RecoveredTrace,
+) -> Result<(u64, SyncComputation, MessageTimestamps), StoreError> {
+    let Some(last) = trace.reconfigs.last() else {
+        let (comp, stamps) = materialize(&trace.logs)?;
+        return Ok((0, comp, stamps));
+    };
+    // Recovery kept only fully-covered boundaries, so every cut is in
+    // range.
+    let mut segment: Vec<Vec<LogEntry>> = trace
+        .logs
+        .iter()
+        .zip(&last.cuts)
+        .map(|(log, &cut)| log.get(cut as usize..).unwrap_or(&[]).to_vec())
+        .collect();
+    crate::log::match_keys_fixpoint(&mut segment);
+    let (comp, stamps) = materialize(&segment)?;
+    Ok((last.epoch, comp, stamps))
 }
 
 /// The handle to a background ingestion writer spawned by
@@ -299,6 +359,120 @@ mod tests {
                 Err(other) => panic!("unexpected error at cut {cut}: {other}"),
             }
         }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tail_reader_answers_identically_to_full_rereads() {
+        use crate::{TraceStore, TraceTailReader};
+        let root = temp_root("tailer");
+        let logs = ping_pong_logs(8);
+        // Write incrementally with a tiny compaction budget so the poll
+        // sequence crosses several generation bumps, and check after every
+        // flush that the tail reader's recovery equals a full re-read's.
+        let mut store = TraceStore::create(&root, "live", logs.len())
+            .expect("create")
+            .with_snapshot_every(4);
+        let mut reader = TraceTailReader::new(store.dir());
+        let empty = reader.poll().expect("poll empty");
+        assert_eq!(empty.records, 0);
+        let mut flat: Vec<(u64, u64, LogEntry)> = Vec::new();
+        for (process, log) in logs.iter().enumerate() {
+            for (pseq, entry) in log.iter().enumerate() {
+                flat.push((process as u64, pseq as u64, entry.clone()));
+            }
+        }
+        for (i, (process, pseq, entry)) in flat.iter().enumerate() {
+            store
+                .append(record_from_log_entry(*process, *pseq, entry))
+                .expect("append");
+            if i % 3 == 0 {
+                store.flush().expect("flush");
+                let incremental = reader.poll().expect("incremental poll");
+                let full = read_trace_dir(store.dir()).expect("full re-read");
+                assert_eq!(incremental.logs, full.logs, "diverged after append {i}");
+                assert_eq!(incremental.records, full.records);
+                assert_eq!(incremental.generation, full.generation);
+                assert_eq!(incremental.reconfigs, full.reconfigs);
+            }
+        }
+        store.snapshot().expect("seal");
+        let incremental = reader.poll().expect("final poll");
+        let full = read_trace_dir(store.dir()).expect("final full read");
+        assert_eq!(incremental.logs, full.logs);
+        assert_eq!(incremental.logs, logs);
+        assert!(store.generation() > 0, "compactions should have fired");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tail_reader_recovers_a_torn_tail_once_it_completes() {
+        use crate::TraceTailReader;
+        let root = temp_root("tailer-torn");
+        let logs = ping_pong_logs(3);
+        let store = persist_logs(&root, "torn", &logs).expect("persist");
+        // Rewrite the log with a record torn in half; the reader must park
+        // its offset before the torn record and pick it up whole later.
+        let log_path = store.dir().join(crate::LOG_FILE);
+        let full_bytes = {
+            let mut out = std::fs::read(&log_path).expect("read log");
+            let extra = record_from_log_entry(0, 99, &LogEntry::Internal);
+            let mut framed = Vec::new();
+            crate::record::encode_record(&mut framed, &extra);
+            out.extend_from_slice(&framed);
+            out
+        };
+        std::fs::write(&log_path, &full_bytes[..full_bytes.len() - 3]).expect("tear");
+        let mut reader = TraceTailReader::new(store.dir());
+        let torn = reader.poll().expect("poll torn");
+        assert!(torn.torn_bytes > 0);
+        std::fs::write(&log_path, &full_bytes).expect("complete");
+        let healed = reader.poll().expect("poll healed");
+        assert_eq!(healed.torn_bytes, 0);
+        let full = read_trace_dir(store.dir()).expect("full read");
+        assert_eq!(healed.logs, full.logs);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn multi_epoch_persist_materializes_the_latest_epoch() {
+        use crate::ReconfigRecord;
+        // Two epochs of the same 2-process workload: keys repeat across
+        // epochs (each epoch's run restarts its counters), which is
+        // exactly what the boundary cuts disambiguate.
+        let root = temp_root("epochs");
+        let epoch0 = ping_pong_logs(2);
+        let epoch1 = ping_pong_logs(5);
+        let cuts: Vec<u64> = epoch0.iter().map(|log| log.len() as u64).collect();
+        let merged: Vec<Vec<LogEntry>> = epoch0
+            .iter()
+            .zip(&epoch1)
+            .map(|(a, b)| a.iter().chain(b).cloned().collect())
+            .collect();
+        let boundary = ReconfigRecord {
+            epoch: 1,
+            cuts,
+            ops: vec![(0, 0, 1)],
+        };
+        let store = persist_logs_with_reconfigs(&root, "churned", &merged, &[boundary.clone()])
+            .expect("persist");
+        let rec = read_trace_dir(store.dir()).expect("recover");
+        assert_eq!(rec.reconfigs, vec![boundary]);
+        let (epoch, comp, stamps) = materialize_latest_epoch(&rec).expect("latest epoch");
+        assert_eq!(epoch, 1);
+        // The served segment is exactly epoch 1's run.
+        let (ref_comp, ref_stamps) = reconstruct_from_logs(&epoch1).expect("reference");
+        assert_eq!(comp.message_count(), ref_comp.message_count());
+        for i in 0..ref_stamps.len() {
+            use synctime_trace::MessageId;
+            assert_eq!(stamps.vector(MessageId(i)), ref_stamps.vector(MessageId(i)));
+        }
+        // A trace with no boundary serves whole, as epoch 0.
+        let plain = persist_logs(&root, "plain", &epoch0).expect("persist plain");
+        let rec = read_trace_dir(plain.dir()).expect("recover plain");
+        let (epoch, comp, _) = materialize_latest_epoch(&rec).expect("whole trace");
+        assert_eq!(epoch, 0);
+        assert_eq!(comp.message_count(), 4);
         let _ = std::fs::remove_dir_all(&root);
     }
 

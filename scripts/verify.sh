@@ -55,13 +55,26 @@
 #      ingest overhead <= 1.10 on hosts with a second hardware thread —
 #      <= 1.5 on single-thread hosts, where the writer's CPU serialises
 #      with the run)
-#  16. store-smoke: a ring run with `--persist` is served from its store
+#  16. bench-smoke: the reconfig_churn suite at CI scale, checking both
+#      its own smoke report and the checked-in results/ JSON against the
+#      synctime/bench_churn/v1 schema (full reports must keep reconfigure
+#      p99 <= 50ms and the rebased clock dimension within 2*alpha in
+#      every epoch)
+#  17. store-smoke: a ring run with `--persist` is served from its store
 #      by `serve-query --store-dir`; the serving node is killed with
 #      SIGKILL mid-ingest while a second persisted run grows the store,
 #      restarted from the store alone, and must then answer the same
 #      batched + chain queries byte-identically to a server over an
 #      uninterrupted copy of the run (ROADMAP item 3's recovery gate)
-#  17. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
+#  18. churn-smoke: a churned run (join + leave + swap across three
+#      epochs) must produce byte-identical final-epoch traces over the
+#      distributed TCP path, the in-process engine, and an uninterrupted
+#      reference run whose membership is the final active set (the
+#      uniform-baseline order-isomorphism, end to end); `--epochs` must
+#      report every epoch; a persisted churned store served by
+#      `serve-query --store-dir` must answer queries byte-identically to
+#      the sparse offline engine stamping the reference trace
+#  19. panic-free gate: no new `.unwrap()` / `.expect(` on the runtime's
 #      non-test source (typed RuntimeError paths only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -96,6 +109,8 @@ run cargo bench -q -p synctime-bench --bench clock_backends -- \
   --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_clocks.json"
 run cargo bench -q -p synctime-bench --bench store_replay -- \
   --smoke --out "$SMOKE_OUT" --validate "$PWD/results/BENCH_store.json"
+run cargo bench -q -p synctime-bench --bench reconfig_churn -- \
+  --smoke --out "$SMOKE_OUT2" --validate "$PWD/results/BENCH_churn.json"
 
 # --- fault-smoke: seeded fault plans must degrade gracefully, never panic.
 SYNCTIME="target/release/synctime"
@@ -326,6 +341,93 @@ kill "$CRASH2_PID" 2>/dev/null || true
 wait "$CRASH2_PID" 2>/dev/null || true
 diff "$STORE_DIR/ref-answers.out" "$STORE_DIR/crash-answers.out" || {
   echo "verify: answers after SIGKILL + restart diverged from the uninterrupted run" >&2
+  exit 1; }
+
+# --- churn-smoke: live reconfiguration must be invisible in the final
+# --- epoch — distributed, in-process, and reference runs byte-identical.
+CHURN_DIR="$(mktemp -d)"
+trap 'rm -f "$SMOKE_OUT" "$SMOKE_OUT2"; rm -rf "$FAULT_DIR" "$NET_DIR" "$CLOCK_DIR" "$STORE_DIR" "$CHURN_DIR"' EXIT
+
+echo "==> churn-smoke: churn generator is deterministic under a seed"
+"$SYNCTIME" churn --universe 6 --boundaries 2 --mean-rounds 3 --seed 7 \
+  > "$CHURN_DIR/gen-a.json"
+"$SYNCTIME" churn --universe 6 --boundaries 2 --mean-rounds 3 --seed 7 \
+  > "$CHURN_DIR/gen-b.json"
+diff "$CHURN_DIR/gen-a.json" "$CHURN_DIR/gen-b.json" || {
+  echo "verify: churn generator is not deterministic under a fixed seed" >&2; exit 1; }
+
+# A handwritten plan with a known final membership: start with all six
+# processes, lose 4, then swap 1 out for 4 — final active {0,2,3,4,5}.
+cat > "$CHURN_DIR/plan.json" <<'EOF'
+{"universe": 6, "initial": [0, 1, 2, 3, 4, 5], "tail_rounds": 3,
+ "events": [
+   {"after_rounds": 4, "kind": {"leave": {"process": 4}}},
+   {"after_rounds": 6, "kind": {"swap": {"leaving": 1, "joining": 4}}}]}
+EOF
+# The uninterrupted reference: the final membership from round zero, for
+# exactly the churned run's tail rounds. The uniform baseline makes the
+# churned final epoch order-isomorphic — and the emitted trace
+# byte-identical — to this run.
+cat > "$CHURN_DIR/reference-plan.json" <<'EOF'
+{"universe": 6, "initial": [0, 2, 3, 4, 5], "tail_rounds": 3, "events": []}
+EOF
+
+echo "==> churn-smoke: tcp vs local vs uninterrupted reference (byte-identical)"
+"$SYNCTIME" launch --churn-plan "$CHURN_DIR/plan.json" --transport tcp \
+  > "$CHURN_DIR/tcp.json"
+"$SYNCTIME" launch --churn-plan "$CHURN_DIR/plan.json" --transport local \
+  > "$CHURN_DIR/local.json"
+"$SYNCTIME" launch --churn-plan "$CHURN_DIR/reference-plan.json" --transport local \
+  > "$CHURN_DIR/reference.json"
+diff "$CHURN_DIR/tcp.json" "$CHURN_DIR/local.json" || {
+  echo "verify: churned tcp launch diverged from the in-process engine" >&2; exit 1; }
+diff "$CHURN_DIR/local.json" "$CHURN_DIR/reference.json" || {
+  echo "verify: churned final epoch diverged from the uninterrupted reference" >&2
+  exit 1; }
+
+echo "==> churn-smoke: --epochs reports all three epochs"
+"$SYNCTIME" launch --churn-plan "$CHURN_DIR/plan.json" --transport local --epochs \
+  > "$CHURN_DIR/epochs.json"
+EPOCHS="$(grep -c '"reconfigure_micros"' "$CHURN_DIR/epochs.json")"
+[ "$EPOCHS" -eq 3 ] || {
+  echo "verify: expected 3 epoch reports, got $EPOCHS" >&2; exit 1; }
+
+echo "==> churn-smoke: persisted churned store serves the latest epoch"
+"$SYNCTIME" launch --churn-plan "$CHURN_DIR/plan.json" --transport local \
+  --persist "$CHURN_DIR/store" --trace-name churned > /dev/null
+"$SYNCTIME" serve-query --store-dir "$CHURN_DIR/store" \
+  > "$CHURN_DIR/store-server.out" &
+CHURN_PID=$!
+# The reference trace behind the sparse offline engine is the answer key.
+mkdir -p "$CHURN_DIR/refcat"
+cp "$CHURN_DIR/reference.json" "$CHURN_DIR/refcat/churned.json"
+"$SYNCTIME" serve-query --traces-dir "$CHURN_DIR/refcat" \
+  > "$CHURN_DIR/ref-server.out" &
+CHURNREF_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^listening on //p' "$CHURN_DIR/store-server.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "verify: churned store server never announced its address" >&2; exit 1; }
+REF_ADDR=""
+for _ in $(seq 1 50); do
+  REF_ADDR="$(sed -n 's/^listening on //p' "$CHURN_DIR/ref-server.out")"
+  [ -n "$REF_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$REF_ADDR" ] || { echo "verify: churn reference server never announced its address" >&2; exit 1; }
+CHURN_QUERIES="1:2,2:1,1:6,6:1,3:15,15:3,7:7"
+"$SYNCTIME" query --connect "$ADDR" --trace churned --batch "$CHURN_QUERIES" \
+  > "$CHURN_DIR/store-answers.out"
+"$SYNCTIME" query --connect "$REF_ADDR" --trace churned --batch "$CHURN_QUERIES" \
+  > "$CHURN_DIR/ref-answers.out"
+kill "$CHURN_PID" "$CHURNREF_PID" 2>/dev/null || true
+wait "$CHURN_PID" 2>/dev/null || true
+wait "$CHURNREF_PID" 2>/dev/null || true
+diff "$CHURN_DIR/store-answers.out" "$CHURN_DIR/ref-answers.out" || {
+  echo "verify: churned store answers diverged from the reference trace" >&2
   exit 1; }
 
 echo "==> panic-free gate: crates/runtime/src"
